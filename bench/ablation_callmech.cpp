@@ -1,0 +1,101 @@
+// Ablation A2 (§5.1/§2.2): per-call cost of the managed-to-native call
+// mechanisms — FCall (internally trusted, Motor's path) vs P/Invoke
+// (Indiana bindings, on both host profiles) vs JNI (mpiJava). This is the
+// fixed per-operation term that separates the Figure 9 curves at small
+// buffer sizes.
+#include <benchmark/benchmark.h>
+
+#include "vm/handles.hpp"
+#include "vm/vm.hpp"
+
+namespace {
+
+using namespace motor;
+
+vm::VmConfig host(vm::RuntimeProfile profile) {
+  vm::VmConfig c;
+  c.profile = std::move(profile);
+  c.heap.young_bytes = 1 << 20;
+  return c;
+}
+
+vm::Value nop_body(vm::Vm&, vm::ManagedThread&,
+                   std::span<const vm::Value>) {
+  return vm::Value();
+}
+
+void BM_FCall_SSCLI(benchmark::State& state) {
+  vm::Vm vm(host(vm::RuntimeProfile::sscli()));
+  vm::ManagedThread thread(vm);
+  const int idx = vm.fcalls().register_fcall("nop", nop_body);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(vm.fcalls().invoke(vm, thread, idx, {}));
+  }
+}
+BENCHMARK(BM_FCall_SSCLI);
+
+void BM_PInvoke_SSCLI(benchmark::State& state) {
+  vm::Vm vm(host(vm::RuntimeProfile::sscli()));
+  vm::ManagedThread thread(vm);
+  const int idx = vm.pinvokes().register_entry("nop", nop_body);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(vm.pinvokes().invoke(vm, thread, idx, {}));
+  }
+}
+BENCHMARK(BM_PInvoke_SSCLI);
+
+void BM_PInvoke_CommercialNET(benchmark::State& state) {
+  vm::Vm vm(host(vm::RuntimeProfile::commercial_net()));
+  vm::ManagedThread thread(vm);
+  const int idx = vm.pinvokes().register_entry("nop", nop_body);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(vm.pinvokes().invoke(vm, thread, idx, {}));
+  }
+}
+BENCHMARK(BM_PInvoke_CommercialNET);
+
+void BM_JNI_SunJvm(benchmark::State& state) {
+  vm::Vm vm(host(vm::RuntimeProfile::sun_jvm()));
+  vm::ManagedThread thread(vm);
+  const int idx = vm.pinvokes().register_entry("nop", nop_body);
+  const vm::MethodTable* ints =
+      vm.types().primitive_array(vm::ElementKind::kInt32);
+  vm::GcRoot arr(thread, vm.heap().alloc_array(ints, 64));
+  const vm::Value args[] = {vm::Value::from_ref(arr.get())};
+  for (auto _ : state) {
+    // JNI auto-pins the array argument every call (§2.3).
+    benchmark::DoNotOptimize(vm.pinvokes().invoke_jni(vm, thread, idx, args));
+  }
+}
+BENCHMARK(BM_JNI_SunJvm);
+
+/// The pin/unpin pair in isolation (the cost the Motor policy avoids).
+void BM_PinUnpinPair(benchmark::State& state) {
+  vm::Vm vm(host(vm::RuntimeProfile::uncosted()));
+  vm::ManagedThread thread(vm);
+  const vm::MethodTable* ints =
+      vm.types().primitive_array(vm::ElementKind::kInt32);
+  vm::GcRoot arr(thread, vm.heap().alloc_array(ints, 64));
+  for (auto _ : state) {
+    vm.heap().pin(arr.get());
+    vm.heap().unpin(arr.get());
+  }
+}
+BENCHMARK(BM_PinUnpinPair);
+
+/// The Motor young-generation boundary check (the policy's fast test).
+void BM_GenerationCheck(benchmark::State& state) {
+  vm::Vm vm(host(vm::RuntimeProfile::uncosted()));
+  vm::ManagedThread thread(vm);
+  const vm::MethodTable* ints =
+      vm.types().primitive_array(vm::ElementKind::kInt32);
+  vm::GcRoot arr(thread, vm.heap().alloc_array(ints, 64));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(vm.heap().in_young(arr.get()));
+  }
+}
+BENCHMARK(BM_GenerationCheck);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,100 @@
+// Ablation A3 (§8): the Motor serializer's visited-object structure —
+// the paper's LINEAR list (the cause of the Figure 10 fall-off past 2048
+// objects) vs the HASHED structure the paper says will replace it
+// ("will be improved when we implement an efficient structure to record
+// objects visited"). Also measures the FieldDesc-Transportable-bit fast
+// path against the reflection/metadata slow path (§7.5).
+#include <benchmark/benchmark.h>
+
+#include "motor/motor_serializer.hpp"
+#include "vm/handles.hpp"
+#include "vm/vm.hpp"
+
+namespace {
+
+using namespace motor;
+
+struct Fixture {
+  vm::Vm vm;
+  vm::ManagedThread thread;
+  const vm::MethodTable* bytes_mt;
+  const vm::MethodTable* node_mt;
+
+  Fixture()
+      : vm([] {
+          vm::VmConfig c;
+          c.profile = vm::RuntimeProfile::uncosted();
+          c.heap.young_bytes = 8 << 20;
+          return c;
+        }()),
+        thread(vm) {
+    bytes_mt = vm.types().primitive_array(vm::ElementKind::kUInt8);
+    node_mt = vm.types()
+                  .define_class("LinkedArray")
+                  .transportable()
+                  .ref_field("array", bytes_mt, true)
+                  .ref_field("next", vm.types().object_type(), true)
+                  .build();
+  }
+
+  vm::Obj make_list(int elements) {
+    vm::GcRoot head(thread, nullptr);
+    for (int i = 0; i < elements; ++i) {
+      vm::GcRoot arr(thread, vm.heap().alloc_array(bytes_mt, 4));
+      vm::Obj n = vm.heap().alloc_object(node_mt);
+      vm::set_ref_field(n, 0, arr.get());
+      vm::set_ref_field(n, 8, head.get());
+      head.set(n);
+    }
+    return head.get();
+  }
+};
+
+void BM_SerializeVisited(benchmark::State& state, mp::VisitedMode mode) {
+  Fixture f;
+  const int objects = static_cast<int>(state.range(0));
+  vm::GcRoot list(f.thread, f.make_list(objects / 2));
+  mp::MotorSerializer ser(f.vm, mode);
+  for (auto _ : state) {
+    ByteBuffer buf;
+    benchmark::DoNotOptimize(ser.serialize(list.get(), buf));
+  }
+  state.counters["objects"] = objects;
+  state.counters["scan_steps_per_iter"] =
+      static_cast<double>(ser.stats().visited_scan_steps) /
+      static_cast<double>(state.iterations());
+}
+
+void BM_Visited_Linear(benchmark::State& state) {
+  BM_SerializeVisited(state, mp::VisitedMode::kLinear);
+}
+void BM_Visited_Hashed(benchmark::State& state) {
+  BM_SerializeVisited(state, mp::VisitedMode::kHashed);
+}
+BENCHMARK(BM_Visited_Linear)->Arg(256)->Arg(1024)->Arg(4096)->Arg(8192);
+BENCHMARK(BM_Visited_Hashed)->Arg(256)->Arg(1024)->Arg(4096)->Arg(8192);
+
+/// §7.5's other fast path: Transportable via the FieldDesc bit...
+void BM_TransportableViaFieldDescBit(benchmark::State& state) {
+  Fixture f;
+  const vm::FieldDesc* field = f.node_mt->field_named("array");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(field->is_transportable());
+  }
+}
+BENCHMARK(BM_TransportableViaFieldDescBit);
+
+/// ...versus introspecting the type metadata through reflection.
+void BM_TransportableViaReflection(benchmark::State& state) {
+  Fixture f;
+  const vm::MetadataRegistry& md = f.vm.types().metadata();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        md.field_has_attribute("LinkedArray", "array", "Transportable"));
+  }
+}
+BENCHMARK(BM_TransportableViaReflection);
+
+}  // namespace
+
+BENCHMARK_MAIN();

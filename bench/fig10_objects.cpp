@@ -1,0 +1,199 @@
+// Figure 10 reproduction: ping-pong of a LINKED LIST OF OBJECTS, time per
+// iteration (microseconds), serialization cost included, across total
+// object counts 2 .. 8192. A 4096-byte payload is evenly distributed over
+// the list; each element contributes two objects (the node and its byte
+// array), exactly as in §8.
+//
+// Series: Motor (extended OO operations, custom serializer with the
+// paper's LINEAR visited structure), mpiJava (standard Java
+// serialization — stack overflow past 1024 objects, handle-table bump
+// mid-range), Indiana bindings on .NET and on SSCLI (standard CLI binary
+// serialization over regular MPI).
+//
+// Budget deviation from the paper: iterations scale down at large object
+// counts (documented in EXPERIMENTS.md); shapes are unaffected.
+#include <cstdio>
+#include <vector>
+
+#include "series.hpp"
+#include "vm/java_serializer.hpp"
+
+namespace {
+
+using namespace motor;
+using namespace motor::bench;
+
+constexpr std::size_t kTotalPayloadBytes = 4096;
+
+baselines::PingPongSpec spec_for(int total_objects) {
+  baselines::PingPongSpec spec;
+  spec.repeats = 1;
+  spec.warmup_iterations = total_objects >= 2048 ? 2 : 5;
+  spec.timed_iterations =
+      std::max(3, std::min(40, 40960 / std::max(total_objects, 1)));
+  return spec;
+}
+
+/// Motor OO-ops series.
+RankSetup motor_objects(int elements) {
+  return [elements](mpi::RankCtx& ctx) {
+    auto host = std::make_shared<HostedRank>(vm::RuntimeProfile::sscli());
+    auto direct = std::make_shared<mp::MPDirect>(host->vm, host->thread,
+                                                 ctx.comm_world());
+    auto fixture = std::make_shared<ListFixture>(host->vm);
+    const int me = ctx.comm_world().rank();
+    auto list = std::make_shared<vm::GcRoot>(
+        host->thread,
+        me == 0 ? fixture->make(host->vm, host->thread, elements,
+                                kTotalPayloadBytes)
+                : nullptr);
+    return IterationFn([host, direct, fixture, list, me] {
+      if (me == 0) {
+        direct->osend(list->get(), 1, 0);
+        vm::Obj back = nullptr;
+        direct->orecv(1, 0, &back);
+      } else {
+        vm::Obj got = nullptr;
+        direct->orecv(0, 0, &got);
+        vm::GcRoot got_root(host->thread, got);
+        direct->osend(got_root.get(), 0, 0);
+      }
+    });
+  };
+}
+
+/// Indiana series (CLI binary serialization over regular MPI).
+RankSetup indiana_objects(int elements, vm::RuntimeProfile profile) {
+  return [elements, profile](mpi::RankCtx& ctx) {
+    auto host = std::make_shared<HostedRank>(profile);
+    auto comm = std::make_shared<baselines::IndianaCommunicator>(
+        host->vm, host->thread, ctx.comm_world());
+    auto fixture = std::make_shared<ListFixture>(host->vm);
+    const int me = ctx.comm_world().rank();
+    auto list = std::make_shared<vm::GcRoot>(
+        host->thread,
+        me == 0 ? fixture->make(host->vm, host->thread, elements,
+                                kTotalPayloadBytes)
+                : nullptr);
+    return IterationFn([host, comm, fixture, list, me] {
+      if (me == 0) {
+        comm->send_object_tree(list->get(), 1, 0);
+        vm::Obj back = nullptr;
+        comm->recv_object_tree(1, 0, &back);
+      } else {
+        vm::Obj got = nullptr;
+        comm->recv_object_tree(0, 0, &got);
+        vm::GcRoot got_root(host->thread, got);
+        comm->send_object_tree(got_root.get(), 0, 0);
+      }
+    });
+  };
+}
+
+/// mpiJava series. The stack overflow is probed during SETUP (a local
+/// trial serialization): if the list is too deep for the Java serializer,
+/// both ranks skip their iterations — otherwise the receiver would block
+/// on a message the failed sender can never produce.
+RankSetup mpijava_objects(int elements, std::shared_ptr<std::atomic<bool>> failed) {
+  return [elements, failed](mpi::RankCtx& ctx) {
+    auto host = std::make_shared<HostedRank>(vm::RuntimeProfile::sun_jvm());
+    auto comm = std::make_shared<baselines::MpiJavaCommunicator>(
+        host->vm, host->thread, ctx.comm_world());
+    auto fixture = std::make_shared<ListFixture>(host->vm);
+    const int me = ctx.comm_world().rank();
+    auto list = std::make_shared<vm::GcRoot>(
+        host->thread,
+        me == 0 ? fixture->make(host->vm, host->thread, elements,
+                                kTotalPayloadBytes)
+                : nullptr);
+    if (me == 0) {
+      vm::JavaSerializer probe(host->vm);
+      ByteBuffer scratch;
+      if (probe.serialize(list->get(), scratch).code() ==
+          ErrorCode::kStackOverflow) {
+        failed->store(true);  // visible to rank 1 before the first iteration
+      }
+    }
+    return IterationFn([host, comm, fixture, list, me, failed] {
+      if (failed->load()) return;  // overflow: series is not measurable
+      if (me == 0) {
+        if (!comm->send_object(list->get(), 1, 0).is_ok()) return;
+        vm::Obj back = nullptr;
+        comm->recv_object(1, 0, &back);
+      } else {
+        vm::Obj got = nullptr;
+        if (!comm->recv_object(0, 0, &got).is_ok()) return;
+        vm::GcRoot got_root(host->thread, got);
+        comm->send_object(got_root.get(), 0, 0);
+      }
+    });
+  };
+}
+
+}  // namespace
+
+int main() {
+  std::printf("# Figure 10: ping-pong, linked list of objects\n");
+  std::printf("# total payload %zu bytes; objects = 2 x list elements\n",
+              kTotalPayloadBytes);
+  std::printf("# time per iteration in microseconds; 'overflow' = the Java\n");
+  std::printf("# serialization stack overflow the paper reports past 1024\n");
+  std::printf("%10s %12s %14s %14s %14s\n", "objects", "Motor", "mpiJava",
+              "IndianaNET", "IndianaSSCLI");
+
+  double motor_small_sum = 0, best_other_small_sum = 0;
+  double motor_at_8192 = 0, indiana_net_at_8192 = 0;
+  bool java_overflowed = false;
+  int java_last_ok = 0;
+
+  for (int objects = 2; objects <= 8192; objects *= 2) {
+    const int elements = std::max(1, objects / 2);
+    const auto spec = spec_for(objects);
+
+    const double motor_us =
+        baselines::run_pingpong_us(spec, motor_objects(elements),
+                                   paper_world_config());
+    auto failed = std::make_shared<std::atomic<bool>>(false);
+    const double java_us =
+        baselines::run_pingpong_us(spec, mpijava_objects(elements, failed),
+                                   paper_world_config());
+    const double net_us = baselines::run_pingpong_us(
+        spec, indiana_objects(elements, vm::RuntimeProfile::commercial_net()),
+        paper_world_config());
+    const double sscli_us = baselines::run_pingpong_us(
+        spec, indiana_objects(elements, vm::RuntimeProfile::sscli()),
+        paper_world_config());
+
+    if (failed->load()) {
+      java_overflowed = true;
+      std::printf("%10d %12.2f %14s %14.2f %14.2f\n", objects, motor_us,
+                  "overflow", net_us, sscli_us);
+    } else {
+      java_last_ok = objects;
+      std::printf("%10d %12.2f %14.2f %14.2f %14.2f\n", objects, motor_us,
+                  java_us, net_us, sscli_us);
+    }
+    std::fflush(stdout);
+
+    if (objects <= 1024) {
+      motor_small_sum += motor_us;
+      best_other_small_sum +=
+          std::min(net_us, failed->load() ? net_us : java_us);
+    }
+    if (objects == 8192) {
+      motor_at_8192 = motor_us;
+      indiana_net_at_8192 = net_us;
+    }
+  }
+
+  std::printf("\n# shape summary\n");
+  std::printf("motor_fastest_below_2048    %s   (paper: Motor best < 2048)\n",
+              motor_small_sum < best_other_small_sum ? "yes" : "no");
+  std::printf("motor_degrades_at_8192      %s   (paper: linear visited "
+              "structure falls off)\n",
+              motor_at_8192 > indiana_net_at_8192 ? "yes" : "no");
+  std::printf("mpijava_overflowed          %s   (paper: stops at 1024 "
+              "objects; last ok here: %d)\n",
+              java_overflowed ? "yes" : "no", java_last_ok);
+  return 0;
+}

@@ -1,0 +1,97 @@
+// Figure 9 reproduction: ping-pong of REGULAR MPI operations, time per
+// iteration (microseconds) across buffer sizes 4 B .. 256 KiB, for the
+// five implementations the paper compares:
+//   C++ (native MPI core), Motor, Indiana bindings on SSCLI, Indiana
+//   bindings on commercial .NET, mpiJava on the Sun JVM.
+//
+// Methodology per §8: 200 iterations (last 100 timed), each size run 3
+// times and averaged, single node, two ranks. Also prints the §8 headline
+// ratios (experiment E3): Motor vs Indiana-SSCLI peak / mean / >64 KiB
+// mean improvements.
+#include <cstdio>
+#include <vector>
+
+#include "series.hpp"
+
+namespace {
+
+using namespace motor;
+using namespace motor::bench;
+
+struct Row {
+  std::size_t bytes;
+  double cpp, motor, indiana_sscli, indiana_net, mpijava;
+};
+
+}  // namespace
+
+int main() {
+  PingPongSpec spec;
+  spec.warmup_iterations = 100;
+  spec.timed_iterations = 100;
+  spec.repeats = 3;
+
+  std::vector<std::size_t> sizes;
+  for (std::size_t b = 4; b <= 262144; b *= 2) sizes.push_back(b);
+
+  std::printf("# Figure 9: ping-pong, regular MPI operations\n");
+  std::printf("# time per iteration (round trip) in microseconds\n");
+  std::printf("%10s %12s %12s %14s %12s %12s\n", "bytes", "C++", "Motor",
+              "IndianaSSCLI", "IndianaNET", "mpiJava");
+
+  std::vector<Row> rows;
+  for (std::size_t bytes : sizes) {
+    Row row{};
+    row.bytes = bytes;
+    row.cpp = baselines::native_pingpong_us(bytes, spec, paper_world_config());
+    row.motor =
+        baselines::run_pingpong_us(spec, motor_pingpong(bytes), paper_world_config());
+    row.indiana_sscli = baselines::run_pingpong_us(
+        spec, indiana_pingpong(bytes, vm::RuntimeProfile::sscli()),
+        paper_world_config());
+    row.indiana_net = baselines::run_pingpong_us(
+        spec, indiana_pingpong(bytes, vm::RuntimeProfile::commercial_net()),
+        paper_world_config());
+    row.mpijava = baselines::run_pingpong_us(spec, mpijava_pingpong(bytes),
+                                             paper_world_config());
+    rows.push_back(row);
+    std::printf("%10zu %12.2f %12.2f %14.2f %12.2f %12.2f\n", row.bytes,
+                row.cpp, row.motor, row.indiana_sscli, row.indiana_net,
+                row.mpijava);
+    std::fflush(stdout);
+  }
+
+  // E3: the paper's headline Motor-vs-Indiana-SSCLI improvements:
+  // "16% at a peak; 8% on average over all buffer sizes; and 3% on
+  // average over buffer sizes greater than 65,536 bytes".
+  double peak = 0.0, sum = 0.0, sum_large = 0.0;
+  int n_large = 0;
+  int motor_wins = 0, cpp_fastest = 0, java_slowest = 0;
+  for (const Row& r : rows) {
+    const double gain = (r.indiana_sscli - r.motor) / r.indiana_sscli * 100.0;
+    peak = std::max(peak, gain);
+    sum += gain;
+    if (r.bytes > 65536) {
+      sum_large += gain;
+      ++n_large;
+    }
+    if (r.motor < r.indiana_sscli) ++motor_wins;
+    if (r.cpp <= r.motor && r.cpp <= r.indiana_sscli && r.cpp <= r.indiana_net)
+      ++cpp_fastest;
+    if (r.mpijava >= r.motor) ++java_slowest;
+  }
+  const auto total = static_cast<double>(rows.size());
+  std::printf("\n# E3 summary (Motor improvement over Indiana-SSCLI)\n");
+  std::printf("peak_improvement_pct        %6.1f   (paper: ~16)\n", peak);
+  std::printf("mean_improvement_pct        %6.1f   (paper: ~8)\n",
+              sum / total);
+  std::printf("mean_improvement_gt64k_pct  %6.1f   (paper: ~3)\n",
+              n_large > 0 ? sum_large / n_large : 0.0);
+  std::printf("motor_beats_indiana_sscli   %d/%zu sizes\n", motor_wins,
+              rows.size());
+  std::printf("cpp_fastest_overall         %d/%zu sizes\n", cpp_fastest,
+              rows.size());
+  std::printf("mpijava_slowest_vs_motor    %d/%zu sizes\n", java_slowest,
+              rows.size());
+  return 0;
+}

@@ -1,0 +1,166 @@
+// Shared series builders for the paper-reproduction benchmarks: one
+// setup function per measured implementation, all running over the same
+// Message Passing Core so the measured deltas are wrapper architecture,
+// exactly as in the paper's methodology (§8).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "baselines/indiana_bindings.hpp"
+#include "baselines/mpijava_bindings.hpp"
+#include "baselines/native_pingpong.hpp"
+#include "motor/mp_direct.hpp"
+#include "vm/handles.hpp"
+
+namespace motor::bench {
+
+using baselines::IterationFn;
+using baselines::PingPongSpec;
+using baselines::RankSetup;
+
+/// World configuration for the paper-reproduction benchmarks: the wire
+/// gets a localhost-TCP-scale one-way latency so cost *proportions* match
+/// the paper's 2005 testbed (see EXPERIMENTS.md calibration).
+inline mpi::WorldConfig paper_world_config() {
+  mpi::WorldConfig c;
+  c.wire_latency_ns = 13'000;
+  return c;
+}
+
+inline vm::VmConfig hosted_vm_config(vm::RuntimeProfile profile) {
+  vm::VmConfig c;
+  c.profile = std::move(profile);
+  // Generous nursery: Figure 9 isolates call-path costs, not GC pressure.
+  c.heap.young_bytes = 4 << 20;
+  return c;
+}
+
+/// Per-rank state shared by hosted-series setups. Kept alive by the
+/// returned IterationFn's shared_ptr.
+struct HostedRank {
+  explicit HostedRank(vm::RuntimeProfile profile)
+      : vm(hosted_vm_config(std::move(profile))), thread(vm) {}
+  vm::Vm vm;
+  vm::ManagedThread thread;
+};
+
+/// Motor series: System.MP over the FCall boundary with the pinning
+/// policy (SSCLI host profile, as in the paper).
+inline RankSetup motor_pingpong(std::size_t bytes,
+                                mp::PinMode pin_mode = mp::PinMode::kMotorPolicy) {
+  return [bytes, pin_mode](mpi::RankCtx& ctx) {
+    auto host = std::make_shared<HostedRank>(vm::RuntimeProfile::sscli());
+    mp::MPDirectConfig mp_cfg;
+    mp_cfg.pin_mode = pin_mode;
+    auto direct = std::make_shared<mp::MPDirect>(host->vm, host->thread,
+                                                 ctx.comm_world(), mp_cfg);
+    const vm::MethodTable* mt =
+        host->vm.types().primitive_array(vm::ElementKind::kUInt8);
+    auto buf = std::make_shared<vm::GcRoot>(
+        host->thread,
+        host->vm.heap().alloc_array(mt, static_cast<std::int64_t>(bytes)));
+    const int me = ctx.comm_world().rank();
+    return IterationFn([host, direct, buf, me] {
+      if (me == 0) {
+        direct->send(buf->get(), 1, 0);
+        direct->recv(buf->get(), 1, 0);
+      } else {
+        direct->recv(buf->get(), 0, 0);
+        direct->send(buf->get(), 0, 0);
+      }
+    });
+  };
+}
+
+/// Indiana C# bindings series, hosted by `profile` (sscli or dotnet).
+inline RankSetup indiana_pingpong(std::size_t bytes,
+                                  vm::RuntimeProfile profile) {
+  return [bytes, profile](mpi::RankCtx& ctx) {
+    auto host = std::make_shared<HostedRank>(profile);
+    auto comm = std::make_shared<baselines::IndianaCommunicator>(
+        host->vm, host->thread, ctx.comm_world());
+    const vm::MethodTable* mt =
+        host->vm.types().primitive_array(vm::ElementKind::kUInt8);
+    auto buf = std::make_shared<vm::GcRoot>(
+        host->thread,
+        host->vm.heap().alloc_array(mt, static_cast<std::int64_t>(bytes)));
+    const int me = ctx.comm_world().rank();
+    return IterationFn([host, comm, buf, me] {
+      if (me == 0) {
+        comm->send(buf->get(), 1, 0);
+        comm->recv(buf->get(), 1, 0);
+      } else {
+        comm->recv(buf->get(), 0, 0);
+        comm->send(buf->get(), 0, 0);
+      }
+    });
+  };
+}
+
+/// mpiJava series on the Sun JVM profile.
+inline RankSetup mpijava_pingpong(std::size_t bytes) {
+  return [bytes](mpi::RankCtx& ctx) {
+    auto host = std::make_shared<HostedRank>(vm::RuntimeProfile::sun_jvm());
+    auto comm = std::make_shared<baselines::MpiJavaCommunicator>(
+        host->vm, host->thread, ctx.comm_world());
+    const vm::MethodTable* mt =
+        host->vm.types().primitive_array(vm::ElementKind::kUInt8);
+    auto buf = std::make_shared<vm::GcRoot>(
+        host->thread,
+        host->vm.heap().alloc_array(mt, static_cast<std::int64_t>(bytes)));
+    const int me = ctx.comm_world().rank();
+    return IterationFn([host, comm, buf, me] {
+      if (me == 0) {
+        comm->send(buf->get(), 1, 0);
+        comm->recv(buf->get(), 1, 0);
+      } else {
+        comm->recv(buf->get(), 0, 0);
+        comm->send(buf->get(), 0, 0);
+      }
+    });
+  };
+}
+
+/// Linked-list-of-objects fixture for Figure 10: `elements` nodes, each
+/// holding a byte buffer; total payload `total_bytes` evenly distributed.
+/// Total transported objects = 2 * elements (node + its array).
+struct ListFixture {
+  const vm::MethodTable* bytes_mt;
+  const vm::MethodTable* node_mt;
+
+  explicit ListFixture(vm::Vm& vm) {
+    bytes_mt = vm.types().primitive_array(vm::ElementKind::kUInt8);
+    node_mt = vm.types()
+                  .define_class("LinkedArray")
+                  .transportable()
+                  .ref_field("array", bytes_mt, true)
+                  .ref_field("next", vm.types().object_type(), true)
+                  .build();
+  }
+
+  vm::Obj make(vm::Vm& vm, vm::ManagedThread& thread, int elements,
+               std::size_t total_bytes) const {
+    const auto per =
+        static_cast<std::int64_t>(std::max<std::size_t>(
+            1, total_bytes / static_cast<std::size_t>(elements)));
+    vm::GcRoot head(thread, nullptr);
+    for (int i = 0; i < elements; ++i) {
+      vm::GcRoot arr(thread, vm.heap().alloc_array(bytes_mt, per));
+      for (std::int64_t k = 0; k < per; ++k) {
+        vm::set_element<std::uint8_t>(arr.get(), k,
+                                      static_cast<std::uint8_t>(i + k));
+      }
+      vm::Obj n = vm.heap().alloc_object(node_mt);
+      vm::set_ref_field(n, node_mt->field_named("array")->offset(),
+                        arr.get());
+      vm::set_ref_field(n, node_mt->field_named("next")->offset(),
+                        head.get());
+      head.set(n);
+    }
+    return head.get();
+  }
+};
+
+}  // namespace motor::bench

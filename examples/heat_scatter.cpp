@@ -1,0 +1,135 @@
+// heat_scatter: a 1-D heat-diffusion solver on four Motor ranks — the
+// classic scientific-kernel shape the paper's e-Science motivation is
+// about (§1).
+//
+// The rod is scattered from rank 0 with the array-window Send overloads,
+// each rank iterates a stencil on its chunk exchanging single-element
+// halos with neighbours, and the result is gathered back — all through
+// the System.MP bindings, on managed arrays, with the pinning policy and
+// GC running underneath.
+//
+//   $ ./examples/heat_scatter
+#include <cmath>
+#include <cstdio>
+
+#include "motor/motor_runtime.hpp"
+
+using namespace motor;
+
+namespace {
+
+constexpr int kRanks = 4;
+constexpr int kCells = 64;           // total rod cells
+constexpr int kChunk = kCells / kRanks;
+constexpr int kSteps = 200;
+constexpr double kAlpha = 0.25;      // diffusion coefficient
+
+}  // namespace
+
+int main() {
+  mp::MotorWorldConfig config;
+  config.ranks = kRanks;
+
+  mp::run_motor_world(config, [](mp::MotorContext& ctx) {
+    auto& types = ctx.vm().types();
+    const vm::MethodTable* doubles =
+        types.primitive_array(vm::ElementKind::kDouble);
+    const int rank = ctx.rank();
+    const int left = rank - 1;
+    const int right = rank + 1;
+
+    // Rank 0 initializes the rod: a hot spike in the middle.
+    vm::GcRoot rod(ctx.thread(), nullptr);
+    if (rank == 0) {
+      rod.set(ctx.vm().heap().alloc_array(doubles, kCells));
+      for (int i = 0; i < kCells; ++i) {
+        vm::set_element<double>(rod.get(), i,
+                                i == kCells / 2 ? 1000.0 : 0.0);
+      }
+    }
+
+    // Scatter chunks using the array-window Send overloads (§4.2.1).
+    // Local buffer has two halo cells: [0] and [kChunk+1].
+    vm::GcRoot local(ctx.thread(),
+                     ctx.vm().heap().alloc_array(doubles, kChunk + 2));
+    if (rank == 0) {
+      for (int r = 1; r < kRanks; ++r) {
+        ctx.mp().Send(rod.get(), r * kChunk, kChunk, r, 0);
+      }
+      for (int i = 0; i < kChunk; ++i) {
+        vm::set_element<double>(local.get(), i + 1,
+                                vm::get_element<double>(rod.get(), i));
+      }
+    } else {
+      ctx.mp().Recv(local.get(), 1, kChunk, 0, 0);
+    }
+
+    // Stencil iterations with halo exchange.
+    vm::GcRoot halo(ctx.thread(), ctx.vm().heap().alloc_array(doubles, 1));
+    vm::GcRoot next(ctx.thread(),
+                    ctx.vm().heap().alloc_array(doubles, kChunk + 2));
+    for (int step = 0; step < kSteps; ++step) {
+      // Exchange boundaries (send my edge, receive neighbour's edge).
+      if (left >= 0) {
+        ctx.mp().Send(local.get(), 1, 1, left, 1);
+        ctx.mp().Recv(local.get(), 0, 1, left, 2);
+      } else {
+        vm::set_element<double>(local.get(), 0, 0.0);  // fixed cold end
+      }
+      if (right < kRanks) {
+        ctx.mp().Recv(local.get(), kChunk + 1, 1, right, 1);
+        ctx.mp().Send(local.get(), kChunk, 1, right, 2);
+      } else {
+        vm::set_element<double>(local.get(), kChunk + 1, 0.0);
+      }
+
+      for (int i = 1; i <= kChunk; ++i) {
+        const double u = vm::get_element<double>(local.get(), i);
+        const double ul = vm::get_element<double>(local.get(), i - 1);
+        const double ur = vm::get_element<double>(local.get(), i + 1);
+        vm::set_element<double>(next.get(), i, u + kAlpha * (ul - 2 * u + ur));
+      }
+      for (int i = 1; i <= kChunk; ++i) {
+        vm::set_element<double>(local.get(), i,
+                                vm::get_element<double>(next.get(), i));
+      }
+      (void)halo;
+    }
+
+    // Gather chunks back to rank 0 (window Recv into the rod).
+    if (rank == 0) {
+      for (int i = 0; i < kChunk; ++i) {
+        vm::set_element<double>(rod.get(), i,
+                                vm::get_element<double>(local.get(), i + 1));
+      }
+      for (int r = 1; r < kRanks; ++r) {
+        ctx.mp().Recv(rod.get(), r * kChunk, kChunk, r, 3);
+      }
+      double total = 0.0, peak = 0.0;
+      int peak_at = 0;
+      for (int i = 0; i < kCells; ++i) {
+        const double v = vm::get_element<double>(rod.get(), i);
+        total += v;
+        if (v > peak) {
+          peak = v;
+          peak_at = i;
+        }
+      }
+      std::printf("heat_scatter: after %d steps over %d ranks\n", kSteps,
+                  kRanks);
+      std::printf("  peak %.2f at cell %d (started 1000.00 at %d)\n", peak,
+                  peak_at, kCells / 2);
+      std::printf("  rod energy %.2f (diffused toward cold ends)\n", total);
+      std::printf("  GC collections on rank 0: %llu\n",
+                  static_cast<unsigned long long>(
+                      ctx.vm().heap().stats().collections));
+      // A rough sanity check that diffusion actually happened.
+      if (peak < 1000.0 && peak_at == kCells / 2 && total > 0) {
+        std::printf("heat_scatter: OK\n");
+      }
+    } else {
+      ctx.mp().Send(local.get(), 1, kChunk, 0, 3);
+    }
+  });
+  return 0;
+}

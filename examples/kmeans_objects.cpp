@@ -1,0 +1,168 @@
+// kmeans_objects: distributed k-means over MANAGED OBJECT data using the
+// extended OO operations — the "structured scientific data" workload the
+// paper's OO transport exists for (§2.4/§4.2.2).
+//
+// Points are managed objects (a coordinates array + a cluster label).
+// Rank 0 builds the dataset and OScatters it (split representation);
+// every iteration the ranks assign labels locally, Allreduce the partial
+// centroid sums over regular MPI, and at the end rank 0 OGathers the
+// labelled points back as one array.
+//
+//   $ ./examples/kmeans_objects
+#include <cmath>
+#include <cstdio>
+
+#include "common/prng.hpp"
+#include "motor/motor_runtime.hpp"
+#include "mpi/collectives.hpp"
+
+using namespace motor;
+
+namespace {
+
+constexpr int kRanks = 4;
+constexpr int kPoints = 64;  // divisible by kRanks
+constexpr int kClusters = 3;
+constexpr int kDims = 2;
+constexpr int kIterations = 12;
+
+struct PointTypes {
+  const vm::MethodTable* doubles;
+  const vm::MethodTable* point;
+  const vm::MethodTable* points;
+  std::uint32_t coords_off, label_off;
+
+  explicit PointTypes(vm::Vm& vm) {
+    doubles = vm.types().primitive_array(vm::ElementKind::kDouble);
+    point = vm.types()
+                .define_class("Point")
+                .transportable()
+                .ref_field("coords", doubles, true)
+                .field("label", vm::ElementKind::kInt32)
+                .build();
+    points = vm.types().ref_array(point);
+    coords_off = point->field_named("coords")->offset();
+    label_off = point->field_named("label")->offset();
+  }
+};
+
+/// Three well-separated Gaussian-ish blobs.
+double blob_coord(Prng& prng, int cluster, int dim) {
+  const double centers[kClusters][kDims] = {{0, 0}, {10, 0}, {5, 9}};
+  return centers[cluster][dim] + (prng.next_double() - 0.5) * 2.0;
+}
+
+}  // namespace
+
+int main() {
+  mp::MotorWorldConfig config;
+  config.ranks = kRanks;
+  config.vm.heap.young_bytes = 2 << 20;
+
+  mp::run_motor_world(config, [](mp::MotorContext& ctx) {
+    PointTypes T(ctx.vm());
+
+    // Rank 0 builds the dataset.
+    vm::GcRoot dataset(ctx.thread(), nullptr);
+    if (ctx.rank() == 0) {
+      Prng prng(2006);
+      dataset.set(ctx.vm().heap().alloc_array(T.points, kPoints));
+      for (int i = 0; i < kPoints; ++i) {
+        const int true_cluster = i % kClusters;
+        vm::GcRoot coords(ctx.thread(),
+                          ctx.vm().heap().alloc_array(T.doubles, kDims));
+        for (int d = 0; d < kDims; ++d) {
+          vm::set_element<double>(coords.get(), d,
+                                  blob_coord(prng, true_cluster, d));
+        }
+        vm::Obj p = ctx.vm().heap().alloc_object(T.point);
+        vm::set_ref_field(p, T.coords_off, coords.get());
+        vm::set_field<std::int32_t>(p, T.label_off, -1);
+        vm::set_ref_element(dataset.get(), i, p);
+      }
+    }
+
+    // Scatter the object array: each rank gets kPoints/kRanks points with
+    // their coordinate arrays, via the split representation.
+    vm::Obj mine = nullptr;
+    ctx.mp().OScatter(dataset.get(), 0, &mine);
+    vm::GcRoot local(ctx.thread(), mine);
+    const auto n_local = vm::array_length(local.get());
+
+    double centroids[kClusters][kDims] = {{1, 1}, {9, 1}, {4, 8}};  // seeds
+    for (int iter = 0; iter < kIterations; ++iter) {
+      // Assign each local point to its nearest centroid.
+      double sums[kClusters][kDims] = {};
+      double counts[kClusters] = {};
+      for (std::int64_t i = 0; i < n_local; ++i) {
+        vm::Obj p = vm::get_ref_element(local.get(), i);
+        vm::Obj coords = vm::get_ref_field(p, T.coords_off);
+        int best = 0;
+        double best_d = 1e300;
+        for (int c = 0; c < kClusters; ++c) {
+          double d2 = 0;
+          for (int d = 0; d < kDims; ++d) {
+            const double delta =
+                vm::get_element<double>(coords, d) - centroids[c][d];
+            d2 += delta * delta;
+          }
+          if (d2 < best_d) {
+            best_d = d2;
+            best = c;
+          }
+        }
+        vm::set_field<std::int32_t>(p, T.label_off, best);
+        for (int d = 0; d < kDims; ++d) {
+          sums[best][d] += vm::get_element<double>(coords, d);
+        }
+        counts[best] += 1.0;
+      }
+
+      // Global centroid update over regular MPI collectives.
+      double flat[kClusters * (kDims + 1)];
+      for (int c = 0; c < kClusters; ++c) {
+        for (int d = 0; d < kDims; ++d) flat[c * (kDims + 1) + d] = sums[c][d];
+        flat[c * (kDims + 1) + kDims] = counts[c];
+      }
+      double total[kClusters * (kDims + 1)];
+      mpi::allreduce(ctx.mp().direct().comm(), flat, total,
+                     kClusters * (kDims + 1), mpi::Datatype::kDouble,
+                     mpi::ReduceOp::kSum);
+      for (int c = 0; c < kClusters; ++c) {
+        const double cnt = total[c * (kDims + 1) + kDims];
+        if (cnt > 0) {
+          for (int d = 0; d < kDims; ++d) {
+            centroids[c][d] = total[c * (kDims + 1) + d] / cnt;
+          }
+        }
+      }
+    }
+
+    // Gather the labelled object array back to rank 0.
+    vm::Obj merged = nullptr;
+    ctx.mp().OGather(local.get(), 0, &merged);
+    if (ctx.rank() == 0) {
+      int sizes[kClusters] = {};
+      int mislabeled = 0;
+      for (int i = 0; i < kPoints; ++i) {
+        vm::Obj p = vm::get_ref_element(merged, i);
+        const auto label = vm::get_field<std::int32_t>(p, T.label_off);
+        ++sizes[label];
+        // Ground truth: point i came from blob i % kClusters; clusters may
+        // be permuted, so just report sizes.
+        (void)mislabeled;
+      }
+      std::printf("kmeans_objects: %d points, %d ranks, %d iterations\n",
+                  kPoints, kRanks, kIterations);
+      std::printf("  final centroids:");
+      for (int c = 0; c < kClusters; ++c) {
+        std::printf(" (%.1f, %.1f)", centroids[c][0], centroids[c][1]);
+      }
+      std::printf("\n  cluster sizes: %d %d %d (expect ~%d each)\n", sizes[0],
+                  sizes[1], sizes[2], kPoints / kClusters);
+      const bool balanced = sizes[0] > 0 && sizes[1] > 0 && sizes[2] > 0;
+      std::printf("kmeans_objects: %s\n", balanced ? "OK" : "DEGENERATE");
+    }
+  });
+  return 0;
+}

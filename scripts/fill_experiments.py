@@ -1,0 +1,49 @@
+#!/usr/bin/env python3
+"""Splice bench_output.txt sections into EXPERIMENTS.md code blocks.
+
+Each `<!-- MARKER -->` in EXPERIMENTS.md is replaced by the corresponding
+bench section from bench_output.txt, fenced as a code block. Rerun after
+regenerating bench_output.txt.
+"""
+import re
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+bench = (ROOT / "bench_output.txt").read_text()
+
+def section(name: str) -> str:
+    pattern = rf"== bench/{name}\n=+\n(.*?)(?:\n=====|\Z)"
+    m = re.search(pattern, bench, re.S)
+    if not m:
+        return f"(bench/{name} output missing — rerun scripts/run_benches.sh)"
+    return m.group(1).strip()
+
+def fenced(name: str) -> str:
+    return "```\n" + section(name) + "\n```"
+
+doc = (ROOT / "scripts" / "experiments_template.md").read_text()
+markers = {
+    "<!-- FIG9_TABLE -->": fenced("fig9_pingpong"),
+    "<!-- FIG10_TABLE -->": fenced("fig10_objects"),
+    "<!-- A1_TABLE -->": fenced("ablation_pinning"),
+    "<!-- A2_TABLE -->": fenced("ablation_callmech"),
+    "<!-- A3_TABLE -->": fenced("ablation_visited"),
+    "<!-- A4_TABLE -->": fenced("ablation_scatter"),
+    "<!-- A5_TABLE -->": fenced("ablation_unpin"),
+    "<!-- GC_TABLE -->": fenced("gc_microbench"),
+    "<!-- SWEEP_TABLE -->": fenced("sweep_interconnect"),
+}
+for marker, replacement in markers.items():
+    doc = doc.replace(marker, replacement)
+
+# E3 headline numbers from the fig9 summary.
+fig9 = section("fig9_pingpong")
+for key, marker in [("peak_improvement_pct", "<!-- E3_PEAK -->"),
+                    ("mean_improvement_pct", "<!-- E3_MEAN -->"),
+                    ("mean_improvement_gt64k_pct", "<!-- E3_LARGE -->")]:
+    m = re.search(rf"{key}\s+([\d.]+)", fig9)
+    doc = doc.replace(marker, f"{m.group(1)} %" if m else "n/a")
+
+(ROOT / "EXPERIMENTS.md").write_text(doc)
+print("EXPERIMENTS.md updated")

@@ -1,0 +1,14 @@
+#!/usr/bin/env bash
+# Regenerate every paper figure/table and ablation. Output order matches
+# the experiment index in DESIGN.md.
+set -u
+cd "$(dirname "$0")/.."
+for b in fig9_pingpong fig10_objects ablation_pinning ablation_callmech \
+         ablation_visited ablation_scatter ablation_unpin gc_microbench \
+         sweep_interconnect; do
+  echo "=================================================================="
+  echo "== bench/$b"
+  echo "=================================================================="
+  ./build/bench/"$b"
+  echo
+done

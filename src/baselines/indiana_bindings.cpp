@@ -1,0 +1,104 @@
+#include "baselines/indiana_bindings.hpp"
+
+#include "motor/integrity.hpp"
+#include "mpi/device.hpp"
+#include "mpi/pt2pt.hpp"
+#include "pal/clock.hpp"
+
+namespace motor::baselines {
+
+namespace {
+
+/// The P/Invoke transition into native MPI: marshal, charge the
+/// transition, run the body in preemptive mode (no GC polling — the
+/// runtime cannot see into native code).
+template <typename Body>
+auto pinvoke_call(vm::Vm& vm, vm::ManagedThread& thread, Body&& body) {
+  thread.poll_gc();
+  if (vm.profile().pinvoke_transition_ns > 0) {
+    pal::spin_for_ns(vm.profile().pinvoke_transition_ns);
+  }
+  {
+    vm::NativeRegion native(vm.safepoints());
+    body();
+  }
+  thread.poll_gc();
+}
+
+}  // namespace
+
+IndianaCommunicator::IndianaCommunicator(vm::Vm& vm, vm::ManagedThread& thread,
+                                         mpi::Comm comm)
+    : vm_(vm), thread_(thread), comm_(std::move(comm)), serializer_(vm) {}
+
+Status IndianaCommunicator::transfer_raw(Dir dir, std::byte* data,
+                                         std::size_t bytes, int peer, int tag,
+                                         std::size_t* received) {
+  ++pinvoke_calls_;
+  ErrorCode err = ErrorCode::kSuccess;
+  pinvoke_call(vm_, thread_, [&] {
+    if (dir == Dir::kSend) {
+      err = mpi::send(comm_, data, bytes, peer, tag);
+    } else {
+      mpi::MsgStatus st;
+      err = mpi::recv(comm_, data, bytes, peer, tag, &st);
+      if (received != nullptr) *received = st.count_bytes;
+    }
+  });
+  return Status(err);
+}
+
+Status IndianaCommunicator::transfer(Dir dir, vm::Obj pin_target,
+                                     std::byte* data, std::size_t bytes,
+                                     int peer, int tag) {
+  // "Pinning is performed for each MPI operation" (§8): pin before the
+  // native call, unpin after, no generation check, no deferral.
+  if (pin_target != nullptr) {
+    vm_.heap().pin(pin_target);
+    if (vm_.profile().pin_extra_ns > 0) {
+      pal::spin_for_ns(vm_.profile().pin_extra_ns);
+    }
+  }
+  Status st = transfer_raw(dir, data, bytes, peer, tag, nullptr);
+  if (pin_target != nullptr) vm_.heap().unpin(pin_target);
+  return st;
+}
+
+Status IndianaCommunicator::send(vm::Obj obj, int dst, int tag) {
+  mp::TransportView view;
+  MOTOR_RETURN_IF_ERROR(mp::transport_view(obj, &view));
+  return transfer(Dir::kSend, obj, view.data, view.bytes, dst, tag);
+}
+
+Status IndianaCommunicator::recv(vm::Obj obj, int src, int tag) {
+  mp::TransportView view;
+  MOTOR_RETURN_IF_ERROR(mp::transport_view(obj, &view));
+  return transfer(Dir::kRecv, obj, view.data, view.bytes, src, tag);
+}
+
+Status IndianaCommunicator::send_object_tree(vm::Obj root, int dst, int tag) {
+  // Standard CLI binary serialization to a temporary buffer (§8): the
+  // buffer is native memory, so only the serializer touches the heap.
+  ByteBuffer buf;
+  MOTOR_RETURN_IF_ERROR(serializer_.serialize(root, buf));
+  std::uint64_t size = buf.size();
+  MOTOR_RETURN_IF_ERROR(transfer_raw(Dir::kSend,
+                                     reinterpret_cast<std::byte*>(&size),
+                                     sizeof size, dst, tag, nullptr));
+  return transfer_raw(Dir::kSend, buf.data(), buf.size(), dst, tag, nullptr);
+}
+
+Status IndianaCommunicator::recv_object_tree(int src, int tag, vm::Obj* out) {
+  std::uint64_t size = 0;
+  MOTOR_RETURN_IF_ERROR(transfer_raw(Dir::kRecv,
+                                     reinterpret_cast<std::byte*>(&size),
+                                     sizeof size, src, tag, nullptr));
+  ByteBuffer buf;
+  buf.resize(size);
+  MOTOR_RETURN_IF_ERROR(
+      transfer_raw(Dir::kRecv, buf.data(), size, src, tag, nullptr));
+  buf.seek(0);
+  return serializer_.deserialize(buf, thread_, out);
+}
+
+}  // namespace motor::baselines

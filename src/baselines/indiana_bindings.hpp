@@ -1,0 +1,60 @@
+// The Indiana University C# MPI bindings, reproduced (paper §2.1/§8).
+//
+// Architecture per the paper: a managed wrapper that P/Invokes an
+// underlying native MPI (here: the same Message Passing Core Motor uses,
+// so every measured difference is the wrapper architecture, not the MPI).
+// Binding behaviour per the paper's Figure 9 setup:
+//   * "Pinning is performed for each MPI operation" — the bindings pin
+//     the buffer up front and unpin at completion, unconditionally;
+//   * every call pays the P/Invoke transition (marshalling + security);
+//   * the native call runs in preemptive mode (no GC polling) — which is
+//     precisely why the unconditional pin is mandatory;
+//   * object trees travel via the standard CLI binary serializer over
+//     regular MPI (Figure 10's "Indiana" series).
+// Host quality (SSCLI vs commercial .NET) comes from the Vm's
+// RuntimeProfile.
+#pragma once
+
+#include "mpi/comm.hpp"
+#include "vm/cli_serializer.hpp"
+#include "vm/vm.hpp"
+
+namespace motor::baselines {
+
+class IndianaCommunicator {
+ public:
+  IndianaCommunicator(vm::Vm& vm, vm::ManagedThread& thread, mpi::Comm comm);
+
+  [[nodiscard]] int rank() const { return comm_.rank(); }
+  [[nodiscard]] int size() const { return comm_.size(); }
+
+  /// Regular buffer transport of a reference-free object or primitive
+  /// array (the C# bindings do not police integrity — paper §2.4 — but we
+  /// reuse the view helper for layout).
+  Status send(vm::Obj obj, int dst, int tag);
+  Status recv(vm::Obj obj, int src, int tag);
+
+  /// Object-tree transport: CLI binary serialization into a byte buffer,
+  /// moved with regular MPI (size first, then payload).
+  Status send_object_tree(vm::Obj root, int dst, int tag);
+  Status recv_object_tree(int src, int tag, vm::Obj* out);
+
+  [[nodiscard]] std::uint64_t pinvoke_calls() const noexcept {
+    return pinvoke_calls_;
+  }
+
+ private:
+  enum class Dir { kSend, kRecv };
+  Status transfer(Dir dir, vm::Obj pin_target, std::byte* data,
+                  std::size_t bytes, int peer, int tag);
+  Status transfer_raw(Dir dir, std::byte* data, std::size_t bytes, int peer,
+                      int tag, std::size_t* received);
+
+  vm::Vm& vm_;
+  vm::ManagedThread& thread_;
+  mpi::Comm comm_;
+  vm::CliBinarySerializer serializer_;
+  std::uint64_t pinvoke_calls_ = 0;
+};
+
+}  // namespace motor::baselines

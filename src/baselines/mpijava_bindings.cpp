@@ -1,0 +1,77 @@
+#include "baselines/mpijava_bindings.hpp"
+
+#include "motor/integrity.hpp"
+#include "mpi/pt2pt.hpp"
+#include "pal/clock.hpp"
+
+namespace motor::baselines {
+
+MpiJavaCommunicator::MpiJavaCommunicator(vm::Vm& vm, vm::ManagedThread& thread,
+                                         mpi::Comm comm)
+    : vm_(vm), thread_(thread), comm_(std::move(comm)), serializer_(vm) {}
+
+Status MpiJavaCommunicator::jni_transfer(Dir dir, vm::Obj pin_target,
+                                         std::byte* data, std::size_t bytes,
+                                         int peer, int tag) {
+  ++jni_calls_;
+  thread_.poll_gc();
+  if (vm_.profile().jni_transition_ns > 0) {
+    pal::spin_for_ns(vm_.profile().jni_transition_ns);
+  }
+  // JNI pins the array for the duration of the native call, automatically.
+  if (pin_target != nullptr) {
+    vm_.heap().pin(pin_target);
+    if (vm_.profile().pin_extra_ns > 0) {
+      pal::spin_for_ns(vm_.profile().pin_extra_ns);
+    }
+  }
+  ErrorCode err = ErrorCode::kSuccess;
+  {
+    vm::NativeRegion native(vm_.safepoints());
+    if (dir == Dir::kSend) {
+      err = mpi::send(comm_, data, bytes, peer, tag);
+    } else {
+      err = mpi::recv(comm_, data, bytes, peer, tag);
+    }
+  }
+  if (pin_target != nullptr) vm_.heap().unpin(pin_target);
+  thread_.poll_gc();
+  return Status(err);
+}
+
+Status MpiJavaCommunicator::send(vm::Obj arr, int dst, int tag) {
+  mp::TransportView view;
+  MOTOR_RETURN_IF_ERROR(mp::transport_view(arr, &view));
+  return jni_transfer(Dir::kSend, arr, view.data, view.bytes, dst, tag);
+}
+
+Status MpiJavaCommunicator::recv(vm::Obj arr, int src, int tag) {
+  mp::TransportView view;
+  MOTOR_RETURN_IF_ERROR(mp::transport_view(arr, &view));
+  return jni_transfer(Dir::kRecv, arr, view.data, view.bytes, src, tag);
+}
+
+Status MpiJavaCommunicator::send_object(vm::Obj root, int dst, int tag) {
+  ByteBuffer buf;
+  MOTOR_RETURN_IF_ERROR(serializer_.serialize(root, buf));
+  std::uint64_t size = buf.size();
+  MOTOR_RETURN_IF_ERROR(jni_transfer(Dir::kSend, nullptr,
+                                     reinterpret_cast<std::byte*>(&size),
+                                     sizeof size, dst, tag));
+  return jni_transfer(Dir::kSend, nullptr, buf.data(), buf.size(), dst, tag);
+}
+
+Status MpiJavaCommunicator::recv_object(int src, int tag, vm::Obj* out) {
+  std::uint64_t size = 0;
+  MOTOR_RETURN_IF_ERROR(jni_transfer(Dir::kRecv, nullptr,
+                                     reinterpret_cast<std::byte*>(&size),
+                                     sizeof size, src, tag));
+  ByteBuffer buf;
+  buf.resize(size);
+  MOTOR_RETURN_IF_ERROR(
+      jni_transfer(Dir::kRecv, nullptr, buf.data(), size, src, tag));
+  buf.seek(0);
+  return serializer_.deserialize(buf, thread_, out);
+}
+
+}  // namespace motor::baselines

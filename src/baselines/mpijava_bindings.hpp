@@ -1,0 +1,52 @@
+// mpiJava reproduced (paper §2.1/§8): a Java wrapper over native MPI via
+// JNI.
+//
+// Behavioural signature per the paper:
+//   * every call crosses JNI (transition cost + automatic pin/unpin of
+//     the buffer — "the JNI interface automatically pins and unpins
+//     objects", §2.3);
+//   * the MPI.OBJECT datatype serializes with the STANDARD Java
+//     serialization mechanism (JavaSerializer: recursive, class
+//     descriptors, handle-table switch) — the Figure 10 series with the
+//     mid-range bump and the stack-overflow failure past 1024 objects;
+//   * the serialized length is sent ahead of the payload (§7.5 notes
+//     mpiJava does this too).
+#pragma once
+
+#include "mpi/comm.hpp"
+#include "vm/java_serializer.hpp"
+#include "vm/vm.hpp"
+
+namespace motor::baselines {
+
+class MpiJavaCommunicator {
+ public:
+  MpiJavaCommunicator(vm::Vm& vm, vm::ManagedThread& thread, mpi::Comm comm);
+
+  [[nodiscard]] int rank() const { return comm_.rank(); }
+  [[nodiscard]] int size() const { return comm_.size(); }
+
+  /// Simple-type array transport (MPI.BYTE et al.).
+  Status send(vm::Obj arr, int dst, int tag);
+  Status recv(vm::Obj arr, int src, int tag);
+
+  /// MPI.OBJECT transport: standard Java serialization, length-prefixed.
+  /// Deep structures fail with kStackOverflow, as mpiJava did.
+  Status send_object(vm::Obj root, int dst, int tag);
+  Status recv_object(int src, int tag, vm::Obj* out);
+
+  [[nodiscard]] std::uint64_t jni_calls() const noexcept { return jni_calls_; }
+
+ private:
+  enum class Dir { kSend, kRecv };
+  Status jni_transfer(Dir dir, vm::Obj pin_target, std::byte* data,
+                      std::size_t bytes, int peer, int tag);
+
+  vm::Vm& vm_;
+  vm::ManagedThread& thread_;
+  mpi::Comm comm_;
+  vm::JavaSerializer serializer_;
+  std::uint64_t jni_calls_ = 0;
+};
+
+}  // namespace motor::baselines

@@ -1,0 +1,56 @@
+#include "baselines/native_pingpong.hpp"
+
+#include <atomic>
+#include <vector>
+
+#include "mpi/collectives.hpp"
+#include "mpi/pt2pt.hpp"
+#include "pal/clock.hpp"
+
+namespace motor::baselines {
+
+double run_pingpong_us(const PingPongSpec& spec, const RankSetup& setup,
+                       const mpi::WorldConfig& world_config) {
+  double total_us = 0.0;
+  for (int repeat = 0; repeat < spec.repeats; ++repeat) {
+    std::atomic<double> measured{0.0};
+    mpi::World world(2, world_config);
+    world.run([&](mpi::RankCtx& ctx) {
+      IterationFn iteration = setup(ctx);
+      mpi::barrier(ctx.comm_world());
+      for (int i = 0; i < spec.warmup_iterations; ++i) iteration();
+      mpi::barrier(ctx.comm_world());
+      pal::Stopwatch sw;
+      for (int i = 0; i < spec.timed_iterations; ++i) iteration();
+      if (ctx.comm_world().rank() == 0) {
+        measured.store(sw.elapsed_us() / spec.timed_iterations,
+                       std::memory_order_relaxed);
+      }
+      mpi::barrier(ctx.comm_world());
+    });
+    total_us += measured.load(std::memory_order_relaxed);
+  }
+  return total_us / spec.repeats;
+}
+
+double native_pingpong_us(std::size_t buffer_bytes, PingPongSpec spec,
+                          const mpi::WorldConfig& world_config) {
+  return run_pingpong_us(spec, [buffer_bytes](mpi::RankCtx& ctx) {
+    auto buffer = std::make_shared<std::vector<std::uint8_t>>(
+        buffer_bytes, static_cast<std::uint8_t>(ctx.world_rank()));
+    mpi::Comm* comm = &ctx.comm_world();
+    const int me = comm->rank();
+    const int peer = 1 - me;
+    return IterationFn([buffer, comm, me, peer] {
+      if (me == 0) {
+        mpi::send(*comm, buffer->data(), buffer->size(), peer, 0);
+        mpi::recv(*comm, buffer->data(), buffer->size(), peer, 0);
+      } else {
+        mpi::recv(*comm, buffer->data(), buffer->size(), peer, 0);
+        mpi::send(*comm, buffer->data(), buffer->size(), peer, 0);
+      }
+    });
+  }, world_config);
+}
+
+}  // namespace motor::baselines

@@ -1,0 +1,43 @@
+// The native C++ baseline and the shared ping-pong harness used by the
+// Figure 9 / Figure 10 benchmarks (paper §8).
+//
+// Methodology follows the paper exactly: "Each experiment performed 200
+// iterations, the last 100 of which were timed. ... Each buffer size was
+// tested three times. The average time in microseconds per iteration was
+// calculated for all three experiments." A single node is used — the
+// paper's evaluation isolates MPI-implementation cost from transport.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+
+#include "mpi/world.hpp"
+
+namespace motor::baselines {
+
+struct PingPongSpec {
+  int warmup_iterations = 100;
+  int timed_iterations = 100;
+  int repeats = 3;  // experiments averaged
+};
+
+/// One round trip of the ping-pong on one rank (rank 0 sends first).
+using IterationFn = std::function<void()>;
+
+/// Per-rank setup: build buffers/VMs/bindings, return the iteration body.
+using RankSetup = std::function<IterationFn(mpi::RankCtx&)>;
+
+/// Run the paper's timing protocol around `setup` on a fresh two-rank
+/// world per repeat; returns mean microseconds per round trip, averaged
+/// over `repeats` experiments.
+double run_pingpong_us(const PingPongSpec& spec, const RankSetup& setup,
+                       const mpi::WorldConfig& world_config = mpi::WorldConfig{});
+
+/// Native C++ over the MPI core: the fastest series in Figure 9.
+/// Round-trips `buffer_bytes` between two ranks; returns us/iteration.
+double native_pingpong_us(std::size_t buffer_bytes,
+                          PingPongSpec spec = PingPongSpec{},
+                          const mpi::WorldConfig& world_config = mpi::WorldConfig{});
+
+}  // namespace motor::baselines

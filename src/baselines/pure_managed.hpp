@@ -1,0 +1,44 @@
+// A pure-managed MPI in the JMPI/jmpi mould (paper §2.1): the library
+// runs ENTIRELY as managed code over managed communication primitives —
+// fully portable, but with no access to the native transport, so every
+// payload byte moves through managed byte-array accessors.
+//
+// "Pure managed implementations are portable but suffer from
+// inefficiency ... Efficient MPI implementations require direct access to
+// the underlying operating system or interconnect, which a pure Java or
+// .NET implementation is unable to provide" (§2.1-2.2). The element-wise
+// managed copies below are that inefficiency, executed for real.
+#pragma once
+
+#include "mpi/comm.hpp"
+#include "vm/vm.hpp"
+
+namespace motor::baselines {
+
+class PureManagedCommunicator {
+ public:
+  PureManagedCommunicator(vm::Vm& vm, vm::ManagedThread& thread,
+                          mpi::Comm comm);
+
+  [[nodiscard]] int rank() const { return comm_.rank(); }
+  [[nodiscard]] int size() const { return comm_.size(); }
+
+  /// Byte-array transport through a managed staging buffer: each element
+  /// crosses a managed accessor (bounds check + tagged value), and the
+  /// staging array is a fresh managed allocation per operation — the
+  /// structural costs of a runtime-hosted MPI.
+  Status send(vm::Obj byte_array, int dst, int tag);
+  Status recv(vm::Obj byte_array, int src, int tag);
+
+  [[nodiscard]] std::uint64_t managed_element_copies() const noexcept {
+    return element_copies_;
+  }
+
+ private:
+  vm::Vm& vm_;
+  vm::ManagedThread& thread_;
+  mpi::Comm comm_;
+  std::uint64_t element_copies_ = 0;
+};
+
+}  // namespace motor::baselines

@@ -1,0 +1,4 @@
+#include "common/buffer.hpp"
+
+// ByteBuffer is header-only; this TU anchors the library target.
+namespace motor {}

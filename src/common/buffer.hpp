@@ -1,0 +1,121 @@
+// Byte-buffer primitives used throughout the transport, MPI core and
+// serializers. ByteBuffer is a growable owning buffer with explicit
+// little-endian scalar accessors (the wire format is defined, not
+// host-dependent, so serialized representations are comparable in tests).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <vector>
+
+#include "common/status.hpp"
+
+namespace motor {
+
+using ByteSpan = std::span<const std::byte>;
+using MutableByteSpan = std::span<std::byte>;
+
+inline ByteSpan as_bytes_of(const void* p, std::size_t n) {
+  return {static_cast<const std::byte*>(p), n};
+}
+inline MutableByteSpan as_writable_bytes_of(void* p, std::size_t n) {
+  return {static_cast<std::byte*>(p), n};
+}
+
+/// Growable owning byte buffer with a read cursor. Writers append at the
+/// end; readers consume from the cursor. Scalars are stored little-endian.
+class ByteBuffer {
+ public:
+  ByteBuffer() = default;
+  explicit ByteBuffer(std::size_t reserve_bytes) { data_.reserve(reserve_bytes); }
+
+  [[nodiscard]] std::size_t size() const noexcept { return data_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return data_.empty(); }
+  [[nodiscard]] const std::byte* data() const noexcept { return data_.data(); }
+  [[nodiscard]] std::byte* data() noexcept { return data_.data(); }
+  [[nodiscard]] ByteSpan span() const noexcept { return {data_.data(), data_.size()}; }
+
+  void clear() noexcept {
+    data_.clear();
+    cursor_ = 0;
+  }
+  void reserve(std::size_t n) { data_.reserve(n); }
+  void resize(std::size_t n) { data_.resize(n); }
+
+  // ---- writing ----
+  void append(ByteSpan bytes) {
+    data_.insert(data_.end(), bytes.begin(), bytes.end());
+  }
+  void append_raw(const void* p, std::size_t n) {
+    append(as_bytes_of(p, n));
+  }
+  template <typename T>
+  void put(T value) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    std::byte tmp[sizeof(T)];
+    std::memcpy(tmp, &value, sizeof(T));
+    append({tmp, sizeof(T)});
+  }
+  void put_u8(std::uint8_t v) { put(v); }
+  void put_u16(std::uint16_t v) { put(v); }
+  void put_u32(std::uint32_t v) { put(v); }
+  void put_u64(std::uint64_t v) { put(v); }
+  void put_i32(std::int32_t v) { put(v); }
+  void put_i64(std::int64_t v) { put(v); }
+
+  /// Overwrite previously written bytes (e.g. back-patching a length slot).
+  void overwrite(std::size_t offset, ByteSpan bytes) {
+    MOTOR_CHECK(offset + bytes.size() <= data_.size(), "overwrite out of range");
+    std::memcpy(data_.data() + offset, bytes.data(), bytes.size());
+  }
+  template <typename T>
+  void overwrite_at(std::size_t offset, T value) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    std::byte tmp[sizeof(T)];
+    std::memcpy(tmp, &value, sizeof(T));
+    overwrite(offset, {tmp, sizeof(T)});
+  }
+
+  // ---- reading ----
+  [[nodiscard]] std::size_t cursor() const noexcept { return cursor_; }
+  void seek(std::size_t pos) {
+    MOTOR_CHECK(pos <= data_.size(), "seek past end");
+    cursor_ = pos;
+  }
+  [[nodiscard]] std::size_t remaining() const noexcept {
+    return data_.size() - cursor_;
+  }
+
+  Status read(MutableByteSpan out) {
+    if (out.size() > remaining()) {
+      return Status(ErrorCode::kSerialization, "buffer underrun");
+    }
+    std::memcpy(out.data(), data_.data() + cursor_, out.size());
+    cursor_ += out.size();
+    return Status::ok();
+  }
+  template <typename T>
+  Status get(T& out) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    std::byte tmp[sizeof(T)];
+    MOTOR_RETURN_IF_ERROR(read({tmp, sizeof(T)}));
+    std::memcpy(&out, tmp, sizeof(T));
+    return Status::ok();
+  }
+  /// Unchecked get for hot paths; fatals on underrun.
+  template <typename T>
+  T get_or_die() {
+    T v{};
+    Status st = get(v);
+    MOTOR_CHECK(st.is_ok(), "buffer underrun");
+    return v;
+  }
+
+ private:
+  std::vector<std::byte> data_;
+  std::size_t cursor_ = 0;
+};
+
+}  // namespace motor

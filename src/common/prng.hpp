@@ -1,0 +1,34 @@
+// Deterministic PRNG (splitmix64 + xoshiro256**) for workload generation.
+// Tests and benchmarks must be reproducible, so no std::random_device here.
+#pragma once
+
+#include <cstdint>
+
+namespace motor {
+
+class Prng {
+ public:
+  explicit Prng(std::uint64_t seed) noexcept { reseed(seed); }
+
+  void reseed(std::uint64_t seed) noexcept;
+
+  /// Uniform 64-bit value.
+  std::uint64_t next_u64() noexcept;
+
+  /// Uniform in [0, bound) without modulo bias (Lemire reduction).
+  std::uint64_t next_below(std::uint64_t bound) noexcept;
+
+  /// Uniform in [lo, hi] inclusive.
+  std::int64_t next_in(std::int64_t lo, std::int64_t hi) noexcept;
+
+  /// Uniform double in [0, 1).
+  double next_double() noexcept;
+
+  /// Bernoulli with probability p.
+  bool next_bool(double p = 0.5) noexcept;
+
+ private:
+  std::uint64_t state_[4];
+};
+
+}  // namespace motor

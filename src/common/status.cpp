@@ -1,0 +1,45 @@
+#include "common/status.hpp"
+
+namespace motor {
+
+std::string_view error_code_name(ErrorCode code) noexcept {
+  switch (code) {
+    case ErrorCode::kSuccess: return "kSuccess";
+    case ErrorCode::kBufferError: return "kBufferError";
+    case ErrorCode::kCountError: return "kCountError";
+    case ErrorCode::kTypeError: return "kTypeError";
+    case ErrorCode::kTagError: return "kTagError";
+    case ErrorCode::kCommError: return "kCommError";
+    case ErrorCode::kRankError: return "kRankError";
+    case ErrorCode::kRequestError: return "kRequestError";
+    case ErrorCode::kTruncate: return "kTruncate";
+    case ErrorCode::kPending: return "kPending";
+    case ErrorCode::kNoMem: return "kNoMem";
+    case ErrorCode::kIntegrity: return "kIntegrity";
+    case ErrorCode::kSerialization: return "kSerialization";
+    case ErrorCode::kStackOverflow: return "kStackOverflow";
+    case ErrorCode::kCancelled: return "kCancelled";
+    case ErrorCode::kNotImplemented: return "kNotImplemented";
+    case ErrorCode::kInternal: return "kInternal";
+  }
+  return "<unknown>";
+}
+
+std::string Status::to_string() const {
+  std::string out(error_code_name(code_));
+  if (!message_.empty()) {
+    out += ": ";
+    out += message_;
+  }
+  return out;
+}
+
+void fatal(std::string_view subsystem, std::string_view what) {
+  std::string msg = "[motor/";
+  msg.append(subsystem);
+  msg += "] fatal: ";
+  msg.append(what);
+  throw FatalError(msg);
+}
+
+}  // namespace motor

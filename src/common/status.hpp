@@ -1,0 +1,97 @@
+// Status/error kernel shared by every Motor subsystem.
+//
+// Two error regimes coexist in this codebase, mirroring the systems it
+// reproduces:
+//   * MPI-facing entry points return `ErrorCode` (MPI-style int results);
+//   * internal invariant violations (heap corruption, protocol bugs) throw
+//     `FatalError` — in a managed runtime these would tear down the process,
+//     so they are not meant to be caught except by tests.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+namespace motor {
+
+/// MPI-flavoured error codes. Success is zero, as in every MPI ABI.
+enum class ErrorCode : int {
+  kSuccess = 0,
+  kBufferError,       // bad buffer pointer / size
+  kCountError,        // negative or overflowing count
+  kTypeError,         // datatype mismatch or integrity-violating type
+  kTagError,          // tag out of range
+  kCommError,         // bad communicator
+  kRankError,         // peer rank out of range
+  kRequestError,      // invalid / already-freed request
+  kTruncate,          // receive buffer smaller than incoming message
+  kPending,           // operation not yet complete
+  kNoMem,             // allocation failure
+  kIntegrity,         // would break the managed object model
+  kSerialization,     // (de)serialization failure
+  kStackOverflow,     // recursion limit exceeded (Java serializer parity)
+  kCancelled,         // request was cancelled
+  kNotImplemented,
+  kInternal,
+};
+
+/// Human-readable name for an error code (stable, for logs and tests).
+std::string_view error_code_name(ErrorCode code) noexcept;
+
+/// A result status: an error code plus optional context message.
+class Status {
+ public:
+  Status() noexcept : code_(ErrorCode::kSuccess) {}
+  explicit Status(ErrorCode code) : code_(code) {}
+  Status(ErrorCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status ok() noexcept { return Status(); }
+
+  [[nodiscard]] bool is_ok() const noexcept {
+    return code_ == ErrorCode::kSuccess;
+  }
+  [[nodiscard]] ErrorCode code() const noexcept { return code_; }
+  [[nodiscard]] const std::string& message() const noexcept { return message_; }
+
+  /// "kSuccess" or "kTruncate: buffer too small (16 < 64)".
+  [[nodiscard]] std::string to_string() const;
+
+  friend bool operator==(const Status& a, const Status& b) noexcept {
+    return a.code_ == b.code_;
+  }
+
+ private:
+  ErrorCode code_;
+  std::string message_;
+};
+
+/// Thrown on unrecoverable runtime-integrity violations. A real VM would
+/// FailFast; tests assert on the message instead.
+class FatalError : public std::runtime_error {
+ public:
+  explicit FatalError(const std::string& what) : std::runtime_error(what) {}
+};
+
+[[noreturn]] void fatal(std::string_view subsystem, std::string_view what);
+
+}  // namespace motor
+
+/// Invariant check that survives NDEBUG: these guard managed-heap integrity,
+/// which must never be compiled out.
+#define MOTOR_CHECK(cond, what)                          \
+  do {                                                   \
+    if (!(cond)) [[unlikely]] {                          \
+      ::motor::fatal("check", std::string(what) +        \
+                                  " [" #cond "] at " +   \
+                                  __FILE__ + ":" +       \
+                                  std::to_string(__LINE__)); \
+    }                                                    \
+  } while (0)
+
+#define MOTOR_RETURN_IF_ERROR(expr)             \
+  do {                                          \
+    ::motor::Status st_ = (expr);               \
+    if (!st_.is_ok()) return st_;               \
+  } while (0)

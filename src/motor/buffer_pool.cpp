@@ -1,0 +1,61 @@
+#include "motor/buffer_pool.hpp"
+
+namespace motor::mp {
+
+PooledBuffer::~PooledBuffer() {
+  if (buf_ != nullptr) pool_->release(std::move(buf_));
+}
+
+BufferPool::BufferPool(vm::ManagedHeap& heap) : heap_(heap) {
+  heap_.add_gc_hook(&BufferPool::gc_hook, this);
+}
+
+PooledBuffer BufferPool::acquire() {
+  std::unique_ptr<ByteBuffer> buf;
+  {
+    std::lock_guard lk(mu_);
+    if (!stack_.empty()) {
+      buf = std::move(stack_.back().buf);
+      stack_.pop_back();
+      ++reused_;
+    }
+  }
+  if (buf == nullptr) {
+    buf = std::make_unique<ByteBuffer>();
+    ++created_;
+  }
+  buf->clear();
+  return PooledBuffer(*this, std::move(buf));
+}
+
+void BufferPool::release(std::unique_ptr<ByteBuffer> buf) {
+  std::lock_guard lk(mu_);
+  stack_.push_back(Idle{std::move(buf), heap_.epoch()});
+}
+
+std::size_t BufferPool::idle_count() const {
+  std::lock_guard lk(mu_);
+  return stack_.size();
+}
+
+void BufferPool::gc_hook(void* ctx, std::uint64_t epoch) {
+  static_cast<BufferPool*>(ctx)->on_gc(epoch);
+}
+
+void BufferPool::on_gc(std::uint64_t epoch) {
+  // Trim buffers that have sat idle across a full collection cycle:
+  // released before the previous collection and untouched since.
+  if (epoch < 2) return;
+  std::lock_guard lk(mu_);
+  auto keep = stack_.begin();
+  for (Idle& idle : stack_) {
+    if (idle.released_epoch + 2 <= epoch) {
+      ++trimmed_;
+      continue;  // unique_ptr frees the buffer
+    }
+    *keep++ = std::move(idle);
+  }
+  stack_.erase(keep, stack_.end());
+}
+
+}  // namespace motor::mp

@@ -1,0 +1,80 @@
+// Static (native) buffers for the OO message-passing operations —
+// paper §7.5: "Motor provides buffers for object oriented message passing
+// operations, which are allocated from static runtime memory. They are
+// created on demand and stored in a stack for later use. At garbage
+// collection the stack is checked for buffers which are unused since the
+// last garbage collection and these are unallocated."
+//
+// Because these buffers live outside the managed heap, OO operations need
+// no pinning at all (§7.4).
+#pragma once
+
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "common/buffer.hpp"
+#include "vm/heap.hpp"
+
+namespace motor::mp {
+
+class BufferPool;
+
+/// RAII lease on a pooled buffer; returns it to the pool's stack on
+/// destruction.
+class PooledBuffer {
+ public:
+  PooledBuffer(BufferPool& pool, std::unique_ptr<ByteBuffer> buf)
+      : pool_(&pool), buf_(std::move(buf)) {}
+  ~PooledBuffer();
+
+  PooledBuffer(PooledBuffer&&) = default;
+  PooledBuffer& operator=(PooledBuffer&&) = delete;
+  PooledBuffer(const PooledBuffer&) = delete;
+  PooledBuffer& operator=(const PooledBuffer&) = delete;
+
+  ByteBuffer& operator*() { return *buf_; }
+  ByteBuffer* operator->() { return buf_.get(); }
+
+ private:
+  BufferPool* pool_;
+  std::unique_ptr<ByteBuffer> buf_;
+};
+
+class BufferPool {
+ public:
+  /// Registers the GC-epoch hook that trims idle buffers.
+  explicit BufferPool(vm::ManagedHeap& heap);
+
+  BufferPool(const BufferPool&) = delete;
+  BufferPool& operator=(const BufferPool&) = delete;
+
+  /// Pop a buffer from the stack (or create one). The buffer comes back
+  /// cleared.
+  PooledBuffer acquire();
+
+  [[nodiscard]] std::size_t idle_count() const;
+  [[nodiscard]] std::uint64_t created() const noexcept { return created_; }
+  [[nodiscard]] std::uint64_t reused() const noexcept { return reused_; }
+  [[nodiscard]] std::uint64_t trimmed() const noexcept { return trimmed_; }
+
+ private:
+  friend class PooledBuffer;
+  void release(std::unique_ptr<ByteBuffer> buf);
+  void on_gc(std::uint64_t epoch);
+  static void gc_hook(void* ctx, std::uint64_t epoch);
+
+  struct Idle {
+    std::unique_ptr<ByteBuffer> buf;
+    std::uint64_t released_epoch;
+  };
+
+  vm::ManagedHeap& heap_;
+  mutable std::mutex mu_;
+  std::vector<Idle> stack_;
+  std::uint64_t created_ = 0;
+  std::uint64_t reused_ = 0;
+  std::uint64_t trimmed_ = 0;
+};
+
+}  // namespace motor::mp

@@ -1,0 +1,63 @@
+#include "motor/integrity.hpp"
+
+namespace motor::mp {
+
+Status check_transport_type(const vm::MethodTable* mt) {
+  if (mt == nullptr) {
+    return Status(ErrorCode::kTypeError, "null type");
+  }
+  if (mt->is_array()) {
+    if (mt->element_kind() == vm::ElementKind::kObjectRef) {
+      return Status(ErrorCode::kIntegrity,
+                    "arrays of object references require the OO operations");
+    }
+    return Status::ok();
+  }
+  if (!mt->reference_offsets().empty()) {
+    return Status(ErrorCode::kIntegrity,
+                  "type " + mt->name() +
+                      " holds object references; use the OO operations");
+  }
+  return Status::ok();
+}
+
+Status transport_view(vm::Obj obj, TransportView* out) {
+  if (obj == nullptr) {
+    return Status(ErrorCode::kBufferError, "null transport object");
+  }
+  const vm::MethodTable* mt = vm::obj_mt(obj);
+  MOTOR_RETURN_IF_ERROR(check_transport_type(mt));
+  if (mt->is_array()) {
+    out->data = vm::array_data(obj);
+    out->bytes = vm::array_payload_bytes(obj);
+  } else {
+    out->data = vm::obj_data(obj);
+    out->bytes = mt->instance_bytes();
+  }
+  return Status::ok();
+}
+
+Status transport_view_array(vm::Obj arr, std::int64_t offset,
+                            std::int64_t count, TransportView* out) {
+  if (arr == nullptr) {
+    return Status(ErrorCode::kBufferError, "null transport array");
+  }
+  const vm::MethodTable* mt = vm::obj_mt(arr);
+  if (!mt->is_array()) {
+    return Status(ErrorCode::kIntegrity,
+                  "offset transport is only defined for arrays");
+  }
+  MOTOR_RETURN_IF_ERROR(check_transport_type(mt));
+  const std::int64_t length = vm::array_length(arr);
+  if (offset < 0 || count < 0 || offset + count > length) {
+    return Status(ErrorCode::kCountError,
+                  "array window out of bounds: the transport would "
+                  "overwrite the next object's header");
+  }
+  out->data = vm::array_data(arr) +
+              static_cast<std::size_t>(offset) * mt->element_bytes();
+  out->bytes = static_cast<std::size_t>(count) * mt->element_bytes();
+  return Status::ok();
+}
+
+}  // namespace motor::mp

@@ -1,0 +1,38 @@
+// Object-model integrity rules for the regular (buffer-to-buffer) Motor
+// MPI bindings — paper §2.4/§4.2.1.
+//
+// A raw transport may only touch memory that contains no object
+// references: otherwise a receive could overwrite a reference with data
+// and crash the runtime at the next collection. Motor therefore restricts
+// regular Send/Recv to:
+//   * class instances whose type has NO reference fields, or
+//   * arrays of simple types (any rank — true multidimensional arrays are
+//     one contiguous object and transport fine).
+// Offsets into objects are rejected ("there is no safe way to refer to a
+// subset of an object"); offsets into arrays are allowed via the
+// overloads carrying (offset, count).
+#pragma once
+
+#include "common/status.hpp"
+#include "vm/object.hpp"
+
+namespace motor::mp {
+
+/// The raw-memory window a regular MPI operation may hand the transport.
+struct TransportView {
+  std::byte* data = nullptr;
+  std::size_t bytes = 0;
+};
+
+/// Is `mt` legal for regular (zero-copy) transport at all?
+Status check_transport_type(const vm::MethodTable* mt);
+
+/// Whole-object view (count == 1 semantics; the count parameter was
+/// removed from the bindings, §4.2.1).
+Status transport_view(vm::Obj obj, TransportView* out);
+
+/// Array-portion view: elements [offset, offset + count).
+Status transport_view_array(vm::Obj arr, std::int64_t offset,
+                            std::int64_t count, TransportView* out);
+
+}  // namespace motor::mp

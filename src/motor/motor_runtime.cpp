@@ -1,0 +1,75 @@
+#include "motor/motor_runtime.hpp"
+
+namespace motor::mp {
+
+MotorContext::MotorContext(mpi::RankCtx& rank_ctx,
+                           const MotorWorldConfig& config)
+    : rank_ctx_(rank_ctx),
+      vm_(config.vm),
+      thread_(vm_),
+      comm_(vm_, thread_, rank_ctx.comm_world(), config.mp) {
+  if (!rank_ctx.parent().is_null()) {
+    parent_mp_.emplace(vm_, thread_, rank_ctx.parent(), config.mp);
+  }
+}
+
+int MotorContext::register_mp_fcalls() {
+  vm::FCallTable& table = vm_.fcalls();
+  Communicator* mp = &comm_;
+
+  const int first = table.register_fcall(
+      "MP.Rank", [mp](vm::Vm&, vm::ManagedThread&,
+                      std::span<const vm::Value>) {
+        return vm::Value::from_i32(mp->Rank());
+      });
+  table.register_fcall("MP.Size", [mp](vm::Vm&, vm::ManagedThread&,
+                                       std::span<const vm::Value>) {
+    return vm::Value::from_i32(mp->Size());
+  });
+  table.register_fcall("MP.Barrier", [mp](vm::Vm&, vm::ManagedThread&,
+                                          std::span<const vm::Value>) {
+    mp->Barrier();
+    return vm::Value::from_i32(0);
+  });
+  // MP.Send(obj, dest, tag) -> error code
+  table.register_fcall(
+      "MP.Send", [mp](vm::Vm&, vm::ManagedThread&,
+                      std::span<const vm::Value> args) {
+        MOTOR_CHECK(args.size() == 3 && args[0].is_ref(), "MP.Send args");
+        Status st = mp->Send(args[0].ref, args[1].i32, args[2].i32);
+        return vm::Value::from_i32(static_cast<std::int32_t>(st.code()));
+      });
+  // MP.Recv(obj, source, tag) -> error code
+  table.register_fcall(
+      "MP.Recv", [mp](vm::Vm&, vm::ManagedThread&,
+                      std::span<const vm::Value> args) {
+        MOTOR_CHECK(args.size() == 3 && args[0].is_ref(), "MP.Recv args");
+        Status st = mp->Recv(args[0].ref, args[1].i32, args[2].i32);
+        return vm::Value::from_i32(static_cast<std::int32_t>(st.code()));
+      });
+  return first;
+}
+
+Communicator spawn_motor_workers(
+    MotorContext& ctx, int root, int n_workers,
+    const std::function<void(MotorContext&)>& worker_main,
+    const MotorWorldConfig& worker_config) {
+  mpi::Comm inter = mpi::spawn(
+      ctx.rank_ctx().comm_world(), root, n_workers,
+      [worker_config, worker_main](mpi::RankCtx& child) {
+        MotorContext worker_ctx(child, worker_config);
+        worker_main(worker_ctx);
+      });
+  return Communicator(ctx.vm(), ctx.thread(), std::move(inter));
+}
+
+void run_motor_world(const MotorWorldConfig& config,
+                     const std::function<void(MotorContext&)>& rank_main) {
+  mpi::World world(config.ranks, config.world);
+  world.run([&config, &rank_main](mpi::RankCtx& rank_ctx) {
+    MotorContext ctx(rank_ctx, config);
+    rank_main(ctx);
+  });
+}
+
+}  // namespace motor::mp

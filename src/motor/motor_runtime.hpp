@@ -1,0 +1,82 @@
+// MotorRuntime: rank bootstrap for the integrated VM+MPI system.
+//
+// Each rank owns a complete managed runtime (Vm: heap, GC, types, call
+// tables) plus its System.MP communicator wired to the rank's device —
+// the full Figure 2 stack. run_motor_world launches N such ranks over one
+// fabric.
+#pragma once
+
+#include <functional>
+#include <optional>
+
+#include "motor/system_mp.hpp"
+#include "mpi/world.hpp"
+#include "vm/interpreter.hpp"
+
+namespace motor::mp {
+
+struct MotorWorldConfig {
+  int ranks = 2;
+  mpi::WorldConfig world;
+  vm::VmConfig vm;
+  MPDirectConfig mp;
+};
+
+/// Everything a Motor rank's "main" sees: its VM, its managed main
+/// thread, its communicator, and the underlying MPI rank context.
+class MotorContext {
+ public:
+  MotorContext(mpi::RankCtx& rank_ctx, const MotorWorldConfig& config);
+
+  MotorContext(const MotorContext&) = delete;
+  MotorContext& operator=(const MotorContext&) = delete;
+
+  [[nodiscard]] vm::Vm& vm() noexcept { return vm_; }
+  [[nodiscard]] vm::ManagedThread& thread() noexcept { return thread_; }
+  [[nodiscard]] Communicator& mp() noexcept { return comm_; }
+  [[nodiscard]] mpi::RankCtx& rank_ctx() noexcept { return rank_ctx_; }
+  [[nodiscard]] int rank() const { return comm_.Rank(); }
+  [[nodiscard]] int size() const { return comm_.Size(); }
+
+  /// Register the System.MP InternalCall set on this VM's FCall table so
+  /// interpreted (bytecode) programs can message-pass; returns the index
+  /// of the first entry. Names: "MP.Rank", "MP.Size", "MP.Barrier",
+  /// "MP.Send", "MP.Recv" (whole-object forms).
+  int register_mp_fcalls();
+
+  /// For ranks created by spawn_motor_workers: the intercommunicator to
+  /// the spawning group, already bound to this rank's VM.
+  [[nodiscard]] bool has_parent() const noexcept {
+    return parent_mp_.has_value();
+  }
+  [[nodiscard]] Communicator& parent_mp() {
+    MOTOR_CHECK(parent_mp_.has_value(), "rank was not spawned");
+    return *parent_mp_;
+  }
+
+ private:
+  mpi::RankCtx& rank_ctx_;
+  vm::Vm vm_;
+  vm::ManagedThread thread_;
+  Communicator comm_;
+  std::optional<Communicator> parent_mp_;
+};
+
+/// Transparent process management — the paper's stated future work (§9:
+/// "we plan to integrate the Motor MPI library more closely with other
+/// runtime services to provide transparent process management").
+/// Collectively (over ctx's world) spawns `n_workers` new Motor ranks:
+/// each worker transparently receives a fully initialized managed runtime
+/// (VM, heap, System.MP) before `worker_main` runs, and reaches the
+/// parents via MotorContext::parent_mp(). Returns the parent-side
+/// intercommunicator bound to the calling rank's VM.
+Communicator spawn_motor_workers(
+    MotorContext& ctx, int root, int n_workers,
+    const std::function<void(MotorContext&)>& worker_main,
+    const MotorWorldConfig& worker_config = MotorWorldConfig{});
+
+/// Launch `config.ranks` Motor ranks, each running `rank_main`, and join.
+void run_motor_world(const MotorWorldConfig& config,
+                     const std::function<void(MotorContext&)>& rank_main);
+
+}  // namespace motor::mp

@@ -1,0 +1,415 @@
+#include "motor/motor_serializer.hpp"
+
+#include <cstring>
+
+#include "vm/serial_util.hpp"
+#include "vm/vm.hpp"
+
+namespace motor::mp {
+
+namespace {
+
+constexpr std::uint32_t kMagic = 0x4D4F5452;  // "MOTR"
+
+std::size_t class_wire_bytes(const vm::MethodTable* mt) {
+  std::size_t n = 0;
+  for (const vm::FieldDesc& f : mt->fields()) {
+    n += f.is_reference() ? 4 : f.size();
+  }
+  return n;
+}
+
+}  // namespace
+
+std::int32_t MotorSerializer::VisitedSet::find(vm::Obj obj) {
+  ++stats_.visited_lookups;
+  if (mode_ == VisitedMode::kLinear) {
+    // The paper's current implementation: O(n) scan per lookup. The scan
+    // itself is a tight pointer compare; step accounting happens outside
+    // the loop so instrumentation does not inflate the measured cost.
+    for (std::size_t i = 0; i < linear_.size(); ++i) {
+      if (linear_[i] == obj) {
+        stats_.visited_scan_steps += i + 1;
+        return static_cast<std::int32_t>(i);
+      }
+    }
+    stats_.visited_scan_steps += linear_.size();
+    return -1;
+  }
+  auto it = hashed_.find(obj);
+  return it == hashed_.end() ? -1 : it->second;
+}
+
+void MotorSerializer::VisitedSet::insert(vm::Obj obj, std::int32_t index) {
+  if (mode_ == VisitedMode::kLinear) {
+    MOTOR_CHECK(index == static_cast<std::int32_t>(linear_.size()),
+                "visited indices must be dense");
+    linear_.push_back(obj);
+  } else {
+    hashed_.emplace(obj, index);
+  }
+}
+
+Status MotorSerializer::serialize(vm::Obj root, ByteBuffer& out) {
+  return serialize_impl(root, std::nullopt, out);
+}
+
+Status MotorSerializer::serialize_array_window(vm::Obj arr,
+                                               std::int64_t offset,
+                                               std::int64_t count,
+                                               ByteBuffer& out) {
+  if (arr == nullptr || !vm::obj_mt(arr)->is_array()) {
+    return Status(ErrorCode::kTypeError, "window serialization needs an array");
+  }
+  if (offset < 0 || count < 0 || offset + count > vm::array_length(arr)) {
+    return Status(ErrorCode::kCountError, "array window out of bounds");
+  }
+  return serialize_impl(arr, Window{offset, count}, out);
+}
+
+Status MotorSerializer::serialize_impl(vm::Obj root,
+                                       std::optional<Window> window,
+                                       ByteBuffer& out) {
+  VisitedSet visited(mode_, stats_);
+  std::vector<vm::Obj> order;       // id -> object
+  std::vector<std::uint16_t> type_refs;
+  std::vector<const vm::MethodTable*> type_table;
+  std::unordered_map<const vm::MethodTable*, std::uint16_t> type_ids;
+
+  auto type_ref_of = [&](const vm::MethodTable* mt) -> std::uint16_t {
+    auto it = type_ids.find(mt);
+    if (it != type_ids.end()) return it->second;
+    const auto id = static_cast<std::uint16_t>(type_table.size());
+    type_table.push_back(mt);
+    type_ids.emplace(mt, id);
+    return id;
+  };
+
+  // Discovery: assign dense ids under the Transportable propagation rules.
+  auto discover = [&](vm::Obj obj) -> std::int32_t {
+    if (obj == nullptr) return -1;
+    std::int32_t id = visited.find(obj);
+    if (id >= 0) return id;
+    id = static_cast<std::int32_t>(order.size());
+    visited.insert(obj, id);
+    order.push_back(obj);
+    type_refs.push_back(type_ref_of(vm::obj_mt(obj)));
+    return id;
+  };
+
+  if (root != nullptr) discover(root);
+  for (std::size_t head = 0; head < order.size(); ++head) {
+    vm::Obj obj = order[head];
+    const vm::MethodTable* mt = vm::obj_mt(obj);
+    if (mt->is_array()) {
+      if (mt->element_kind() == vm::ElementKind::kObjectRef) {
+        // Arrays propagate their entries by default (§4.2.2).
+        std::int64_t lo = 0, hi = vm::array_length(obj);
+        if (head == 0 && window.has_value()) {
+          lo = window->offset;
+          hi = window->offset + window->count;
+        }
+        for (std::int64_t i = lo; i < hi; ++i) {
+          discover(vm::get_ref_element(obj, i));
+        }
+      }
+    } else {
+      for (const vm::FieldDesc& f : mt->fields()) {
+        if (!f.is_reference()) continue;
+        if (!f.is_transportable()) {
+          ++stats_.null_swapped_refs;  // written as null on the wire
+          continue;
+        }
+        discover(vm::get_ref_field(obj, f.offset()));
+      }
+    }
+  }
+
+  // Emit: type table, then object records side by side.
+  out.put_u32(kMagic);
+  out.put_u16(static_cast<std::uint16_t>(type_table.size()));
+  for (const vm::MethodTable* mt : type_table) {
+    vm::detail::write_string(out, mt->name());
+  }
+  out.put_u32(static_cast<std::uint32_t>(order.size()));
+  out.put_i32(root == nullptr ? -1 : 0);
+
+  for (std::size_t idx = 0; idx < order.size(); ++idx) {
+    vm::Obj obj = order[idx];
+    const vm::MethodTable* mt = vm::obj_mt(obj);
+    out.put_u16(type_refs[idx]);
+
+    if (mt->is_array()) {
+      std::int64_t lo = 0, len = vm::array_length(obj);
+      if (idx == 0 && window.has_value()) {
+        lo = window->offset;
+        len = window->count;
+      }
+      if (mt->rank() > 1 && !(idx == 0 && window.has_value())) {
+        out.put_u8(1);  // dims present
+        for (int d = 0; d < mt->rank(); ++d) {
+          out.put_i32(vm::array_dim(obj, d));
+        }
+      } else {
+        out.put_u8(0);
+        out.put_i64(len);
+      }
+      if (mt->element_kind() == vm::ElementKind::kObjectRef) {
+        for (std::int64_t i = lo; i < lo + len; ++i) {
+          vm::Obj elem = vm::get_ref_element(obj, i);
+          out.put_i32(elem == nullptr ? -1 : visited.find(elem));
+        }
+      } else {
+        out.append_raw(vm::array_data(obj) +
+                           static_cast<std::size_t>(lo) * mt->element_bytes(),
+                       static_cast<std::size_t>(len) * mt->element_bytes());
+      }
+      continue;
+    }
+
+    for (const vm::FieldDesc& f : mt->fields()) {
+      if (f.is_reference()) {
+        vm::Obj target =
+            f.is_transportable() ? vm::get_ref_field(obj, f.offset()) : nullptr;
+        out.put_i32(target == nullptr ? -1 : visited.find(target));
+      } else {
+        out.append_raw(vm::obj_data(obj) + f.offset(), f.size());
+      }
+    }
+  }
+
+  stats_.objects_serialized += order.size();
+  return Status::ok();
+}
+
+Status MotorSerializer::serialize_split(vm::Obj arr,
+                                        const std::vector<std::int64_t>& counts,
+                                        std::vector<ByteBuffer>& pieces) {
+  if (arr == nullptr || !vm::obj_mt(arr)->is_array()) {
+    return Status(ErrorCode::kTypeError, "split serialization needs an array");
+  }
+  std::int64_t total = 0;
+  for (std::int64_t c : counts) {
+    if (c < 0) return Status(ErrorCode::kCountError, "negative piece count");
+    total += c;
+  }
+  if (total != vm::array_length(arr)) {
+    return Status(ErrorCode::kCountError,
+                  "piece counts do not cover the array");
+  }
+  pieces.clear();
+  pieces.resize(counts.size());
+  std::int64_t offset = 0;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    // "A single split representation is constructed of many regular
+    // representations, each with an individual type table and each
+    // individually deserialisable" (§7.5).
+    MOTOR_RETURN_IF_ERROR(
+        serialize_array_window(arr, offset, counts[i], pieces[i]));
+    offset += counts[i];
+  }
+  return Status::ok();
+}
+
+Status MotorSerializer::deserialize(ByteBuffer& in, vm::ManagedThread& thread,
+                                    vm::Obj* out) {
+  std::uint32_t magic = 0;
+  MOTOR_RETURN_IF_ERROR(in.get(magic));
+  if (magic != kMagic) {
+    return Status(ErrorCode::kSerialization, "bad Motor serializer magic");
+  }
+  std::uint16_t type_count = 0;
+  MOTOR_RETURN_IF_ERROR(in.get(type_count));
+  std::vector<const vm::MethodTable*> types(type_count);
+  for (auto& mt : types) {
+    std::string name;
+    MOTOR_RETURN_IF_ERROR(vm::detail::read_string(in, name));
+    mt = vm_.types().find(name);
+    if (mt == nullptr) {
+      return Status(ErrorCode::kSerialization, "unknown type " + name);
+    }
+  }
+
+  std::uint32_t object_count = 0;
+  std::int32_t root_id = 0;
+  MOTOR_RETURN_IF_ERROR(in.get(object_count));
+  MOTOR_RETURN_IF_ERROR(in.get(root_id));
+  // Every record is at least a u16 type ref + one payload/shape byte: a
+  // damaged count must not size multi-gigabyte bookkeeping tables.
+  if (object_count > in.remaining() / 3 + 1) {
+    return Status(ErrorCode::kSerialization, "object count exceeds stream");
+  }
+
+  // Pass 1: create objects, note payload cursors.
+  vm::RootRange table(thread);
+  std::vector<std::size_t> payload_pos(object_count);
+  for (std::uint32_t id = 0; id < object_count; ++id) {
+    std::uint16_t tref = 0;
+    MOTOR_RETURN_IF_ERROR(in.get(tref));
+    if (tref >= types.size()) {
+      return Status(ErrorCode::kSerialization, "bad type ref");
+    }
+    const vm::MethodTable* mt = types[tref];
+    vm::Obj obj = nullptr;
+    std::size_t payload = 0;
+    if (mt->is_array()) {
+      std::uint8_t has_dims = 0;
+      MOTOR_RETURN_IF_ERROR(in.get(has_dims));
+      std::int64_t length = 0;
+      if (has_dims != 0) {
+        std::vector<std::int32_t> dims(static_cast<std::size_t>(mt->rank()));
+        std::int64_t total_elems = 1;
+        for (auto& d : dims) {
+          MOTOR_RETURN_IF_ERROR(in.get(d));
+          if (d < 0) return Status(ErrorCode::kSerialization, "bad dim");
+          total_elems *= d;
+        }
+        const std::size_t wire_per_elem =
+            mt->element_kind() == vm::ElementKind::kObjectRef
+                ? 4
+                : mt->element_bytes();
+        if (static_cast<std::size_t>(total_elems) * wire_per_elem >
+            in.remaining()) {
+          return Status(ErrorCode::kSerialization,
+                        "announced array exceeds stream");
+        }
+        obj = vm_.heap().alloc_md_array(mt, dims);
+        length = vm::array_length(obj);
+      } else {
+        MOTOR_RETURN_IF_ERROR(in.get(length));
+        if (length < 0) {
+          return Status(ErrorCode::kSerialization, "negative length");
+        }
+        // Sanity before allocation: a damaged length must not drive a
+        // giant allocation; the payload has to fit in what remains.
+        const std::size_t wire_per_elem =
+            mt->element_kind() == vm::ElementKind::kObjectRef
+                ? 4
+                : mt->element_bytes();
+        if (static_cast<std::size_t>(length) * wire_per_elem >
+            in.remaining()) {
+          return Status(ErrorCode::kSerialization,
+                        "announced array exceeds stream");
+        }
+        // Window pieces always deserialize as rank-1 arrays of `count`
+        // elements, whatever the source rank.
+        const vm::MethodTable* alloc_mt =
+            mt->rank() == 1
+                ? mt
+                : (mt->element_kind() == vm::ElementKind::kObjectRef
+                       ? vm_.types().ref_array(mt->element_type(), 1)
+                       : vm_.types().primitive_array(mt->element_kind(), 1));
+        obj = vm_.heap().alloc_array(alloc_mt, length);
+      }
+      payload = static_cast<std::size_t>(length) *
+                (mt->element_kind() == vm::ElementKind::kObjectRef
+                     ? 4
+                     : mt->element_bytes());
+    } else {
+      obj = vm_.heap().alloc_object(mt);
+      payload = class_wire_bytes(mt);
+    }
+    table.add(obj);
+    payload_pos[id] = in.cursor();
+    if (in.remaining() < payload) {
+      return Status(ErrorCode::kSerialization, "truncated record");
+    }
+    in.seek(in.cursor() + payload);
+  }
+  const std::size_t end_pos = in.cursor();
+
+  auto resolve = [&](std::int32_t id) -> vm::Obj {
+    return id < 0 ? nullptr : table.at(static_cast<std::size_t>(id));
+  };
+
+  // Pass 2: fill payloads.
+  for (std::uint32_t id = 0; id < object_count; ++id) {
+    vm::Obj obj = table.at(id);
+    const vm::MethodTable* mt = vm::obj_mt(obj);
+    in.seek(payload_pos[id]);
+    if (mt->is_array()) {
+      if (mt->element_kind() == vm::ElementKind::kObjectRef) {
+        const std::int64_t n = vm::array_length(obj);
+        for (std::int64_t i = 0; i < n; ++i) {
+          std::int32_t rid = 0;
+          MOTOR_RETURN_IF_ERROR(in.get(rid));
+          if (rid >= static_cast<std::int32_t>(object_count)) {
+            return Status(ErrorCode::kSerialization, "bad object ref");
+          }
+          vm::set_ref_element(obj, i, resolve(rid));
+        }
+      } else {
+        MOTOR_RETURN_IF_ERROR(
+            in.read({vm::array_data(obj), vm::array_payload_bytes(obj)}));
+      }
+      continue;
+    }
+    for (const vm::FieldDesc& f : mt->fields()) {
+      if (f.is_reference()) {
+        std::int32_t rid = 0;
+        MOTOR_RETURN_IF_ERROR(in.get(rid));
+        if (rid >= static_cast<std::int32_t>(object_count)) {
+          return Status(ErrorCode::kSerialization, "bad object ref");
+        }
+        vm::set_ref_field(obj, f.offset(), resolve(rid));
+      } else {
+        MOTOR_RETURN_IF_ERROR(
+            in.read({vm::obj_data(obj) + f.offset(), f.size()}));
+      }
+    }
+  }
+
+  in.seek(end_pos);
+  stats_.objects_deserialized += object_count;
+  *out = resolve(root_id);
+  return Status::ok();
+}
+
+Status MotorSerializer::deserialize_merge(std::span<ByteBuffer> pieces,
+                                          vm::ManagedThread& thread,
+                                          vm::Obj* out) {
+  if (pieces.empty()) {
+    return Status(ErrorCode::kCountError, "merge of zero pieces");
+  }
+  vm::RootRange parts(thread);
+  std::int64_t total = 0;
+  const vm::MethodTable* arr_mt = nullptr;
+  for (ByteBuffer& piece : pieces) {
+    vm::Obj sub = nullptr;
+    MOTOR_RETURN_IF_ERROR(deserialize(piece, thread, &sub));
+    if (sub == nullptr || !vm::obj_mt(sub)->is_array()) {
+      return Status(ErrorCode::kSerialization, "piece is not an array");
+    }
+    if (arr_mt == nullptr) {
+      arr_mt = vm::obj_mt(sub);
+    } else if (vm::obj_mt(sub) != arr_mt) {
+      return Status(ErrorCode::kSerialization, "heterogeneous pieces");
+    }
+    total += vm::array_length(sub);
+    parts.add(sub);
+  }
+
+  vm::Obj merged = vm_.heap().alloc_array(arr_mt, total);
+  vm::GcRoot merged_root(thread, merged);
+  std::int64_t at = 0;
+  for (std::size_t p = 0; p < parts.size(); ++p) {
+    vm::Obj sub = parts.at(p);
+    const std::int64_t n = vm::array_length(sub);
+    merged = merged_root.get();  // re-read in case a collection moved it
+    if (arr_mt->element_kind() == vm::ElementKind::kObjectRef) {
+      for (std::int64_t i = 0; i < n; ++i) {
+        vm::set_ref_element(merged, at + i, vm::get_ref_element(sub, i));
+      }
+    } else {
+      std::memcpy(vm::array_data(merged) +
+                      static_cast<std::size_t>(at) * arr_mt->element_bytes(),
+                  vm::array_data(sub),
+                  static_cast<std::size_t>(n) * arr_mt->element_bytes());
+    }
+    at += n;
+  }
+  *out = merged_root.get();
+  return Status::ok();
+}
+
+}  // namespace motor::mp

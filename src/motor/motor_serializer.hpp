@@ -1,0 +1,113 @@
+// The Motor custom serialization mechanism — paper §7.5.
+//
+// Produces a flat object-tree representation with two parts: a TYPE TABLE
+// (class information) and OBJECT DATA (records laid side-by-side, each
+// prefixed with an internal type reference; object references exchanged
+// for local indices; references outside the serialization swapped to
+// null).
+//
+// Traversal (§4.2.2):
+//   * single objects: simple data only; reference fields propagate ONLY
+//     when their FieldDesc carries the Transportable bit (opt-in);
+//   * arrays: propagated together with their array-entry objects;
+//   * trees: Transportable-marked references followed recursively
+//     (iteratively here — runtime-internal code has no stack budget
+//     problem, unlike the Java baseline).
+//
+// The visited-object structure is selectable: kLinear reproduces the
+// paper's implementation ("we employ a linear structure to record objects
+// visited. This causes excessive search times with large numbers of
+// objects" — the Figure 10 fall-off past ~2048 objects); kHashed is the
+// fix the paper says is planned (ablation A3).
+//
+// For scatter/gather the serializer produces a SPLIT representation: many
+// regular representations, each with an individual type table, each
+// independently deserializable (§7.5).
+#pragma once
+
+#include <optional>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "common/buffer.hpp"
+#include "vm/handles.hpp"
+#include "vm/object.hpp"
+
+namespace motor::vm {
+class Vm;
+}
+
+namespace motor::mp {
+
+enum class VisitedMode { kLinear, kHashed };
+
+struct SerializerStats {
+  std::uint64_t objects_serialized = 0;
+  std::uint64_t objects_deserialized = 0;
+  std::uint64_t visited_lookups = 0;
+  std::uint64_t visited_scan_steps = 0;  // linear-mode comparisons
+  std::uint64_t null_swapped_refs = 0;   // non-Transportable refs nulled
+};
+
+class MotorSerializer {
+ public:
+  explicit MotorSerializer(vm::Vm& vm, VisitedMode mode = VisitedMode::kLinear)
+      : vm_(vm), mode_(mode) {}
+
+  /// Regular representation of the graph reachable from `root` under the
+  /// Transportable rules.
+  Status serialize(vm::Obj root, ByteBuffer& out);
+
+  /// Array-window representation: elements [offset, offset+count) of
+  /// `arr`, plus their referenced objects for reference arrays. The piece
+  /// deserializes to a free-standing array of length `count`.
+  Status serialize_array_window(vm::Obj arr, std::int64_t offset,
+                                std::int64_t count, ByteBuffer& out);
+
+  /// Split representation for scatter: piece i carries counts[i] elements.
+  /// Sum of counts must equal the array length.
+  Status serialize_split(vm::Obj arr, const std::vector<std::int64_t>& counts,
+                         std::vector<ByteBuffer>& pieces);
+
+  /// Rebuild a regular (or window) representation in this VM's heap.
+  Status deserialize(ByteBuffer& in, vm::ManagedThread& thread, vm::Obj* out);
+
+  /// Gather: fuse piece representations into one array in rank order.
+  Status deserialize_merge(std::span<ByteBuffer> pieces,
+                           vm::ManagedThread& thread, vm::Obj* out);
+
+  [[nodiscard]] const SerializerStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] VisitedMode mode() const noexcept { return mode_; }
+
+ private:
+  struct Window {
+    std::int64_t offset;
+    std::int64_t count;
+  };
+
+  /// The visited-object structure (paper §8 discussion).
+  class VisitedSet {
+   public:
+    VisitedSet(VisitedMode mode, SerializerStats& stats)
+        : mode_(mode), stats_(stats) {}
+    /// Index of obj, or -1.
+    std::int32_t find(vm::Obj obj);
+    void insert(vm::Obj obj, std::int32_t index);
+
+   private:
+    VisitedMode mode_;
+    SerializerStats& stats_;
+    std::vector<vm::Obj> linear_;
+    std::unordered_map<vm::Obj, std::int32_t> hashed_;
+  };
+
+  Status serialize_impl(vm::Obj root, std::optional<Window> window,
+                        ByteBuffer& out);
+
+  vm::Vm& vm_;
+  VisitedMode mode_;
+  SerializerStats stats_;
+};
+
+}  // namespace motor::mp

@@ -1,0 +1,244 @@
+#include "motor/mp_direct.hpp"
+
+#include "mpi/collectives.hpp"
+#include "mpi/device.hpp"
+#include "mpi/pt2pt.hpp"
+#include "pal/clock.hpp"
+
+namespace motor::mp {
+
+/// RAII FCall discipline: GC poll on entry and exit plus the (small)
+/// trusted-transition cost (§5.1). Every MPDirect entry point opens one.
+class FCallScope {
+ public:
+  explicit FCallScope(MPDirect& direct) : direct_(direct) {
+    ++direct_.fcall_invocations_;
+    direct_.thread_.poll_gc();
+    if (direct_.vm_.profile().fcall_transition_ns > 0) {
+      pal::spin_for_ns(direct_.vm_.profile().fcall_transition_ns);
+    }
+  }
+  ~FCallScope() { direct_.thread_.poll_gc(); }
+
+  FCallScope(const FCallScope&) = delete;
+  FCallScope& operator=(const FCallScope&) = delete;
+
+ private:
+  MPDirect& direct_;
+};
+
+MPDirect::MPDirect(vm::Vm& vm, vm::ManagedThread& thread, mpi::Comm comm,
+                   MPDirectConfig config)
+    : vm_(vm),
+      thread_(thread),
+      comm_(std::move(comm)),
+      config_(config),
+      policy_(vm.heap(), config.pin_mode),
+      serializer_(vm, config.visited_mode),
+      pool_(vm.heap()) {}
+
+mpi::PollHook MPDirect::gc_poll_hook() {
+  return [this] { thread_.poll_gc(); };
+}
+
+void MPDirect::fill_status(mpi::Comm& comm, const mpi::Request& req,
+                           MpStatus* status) {
+  if (status == nullptr) return;
+  const mpi::MsgStatus st = mpi::Device::status_of(req);
+  status->source = st.source >= 0 ? comm.peer_comm_rank(st.source) : st.source;
+  status->tag = st.tag;
+  status->error = st.error;
+  status->count_bytes = static_cast<std::int64_t>(st.count_bytes);
+}
+
+Status MPDirect::blocking_transfer(const mpi::Request& req, vm::Obj obj,
+                                   MpStatus* status) {
+  if (req == nullptr) return Status(ErrorCode::kRankError, "invalid argument");
+  mpi::Device& dev = comm_.device();
+
+  // kAlwaysPin (the wrapper-bindings ablation) pins before anything else —
+  // "pinning is performed for each MPI operation" (§8).
+  bool pinned = false;
+  if (policy_.mode() == PinMode::kAlwaysPin) {
+    pinned = policy_.pin_for_polling_wait(obj);
+  }
+
+  // Fast path: "many blocking MPI operations complete quickly and never
+  // need to enter the polling-wait. These operations do not need to pin
+  // because without entering the polling-wait there is no opportunity for
+  // garbage collection" (§7.4). Note: no poll_gc between posting and the
+  // pin decision — that is what makes the deferred pin safe.
+  for (int i = 0; i < config_.fast_attempts && !req->is_complete(); ++i) {
+    dev.progress();
+  }
+  if (req->is_complete()) {
+    if (pinned) policy_.unpin(obj);
+    policy_.note_fast_completion(obj);
+    fill_status(comm_, req, status);
+    return Status(req->error);
+  }
+
+  // Slow path: pin (per policy) for the duration of the polling-wait.
+  if (!pinned) pinned = policy_.pin_for_polling_wait(obj);
+  dev.wait(req, gc_poll_hook());
+  if (pinned) policy_.unpin(obj);
+  fill_status(comm_, req, status);
+  return Status(req->error);
+}
+
+Status MPDirect::send(vm::Obj obj, int dst, int tag) {
+  FCallScope fcall(*this);
+  TransportView view;
+  MOTOR_RETURN_IF_ERROR(transport_view(obj, &view));
+  mpi::Request req = mpi::isend(comm_, view.data, view.bytes, dst, tag);
+  return blocking_transfer(req, obj, nullptr);
+}
+
+Status MPDirect::send(vm::Obj arr, std::int64_t offset, std::int64_t count,
+                      int dst, int tag) {
+  FCallScope fcall(*this);
+  TransportView view;
+  MOTOR_RETURN_IF_ERROR(transport_view_array(arr, offset, count, &view));
+  mpi::Request req = mpi::isend(comm_, view.data, view.bytes, dst, tag);
+  return blocking_transfer(req, arr, nullptr);
+}
+
+Status MPDirect::ssend(vm::Obj obj, int dst, int tag) {
+  FCallScope fcall(*this);
+  TransportView view;
+  MOTOR_RETURN_IF_ERROR(transport_view(obj, &view));
+  mpi::Request req = mpi::issend(comm_, view.data, view.bytes, dst, tag);
+  return blocking_transfer(req, obj, nullptr);
+}
+
+Status MPDirect::recv(vm::Obj obj, int src, int tag, MpStatus* status) {
+  FCallScope fcall(*this);
+  TransportView view;
+  MOTOR_RETURN_IF_ERROR(transport_view(obj, &view));
+  mpi::Request req = mpi::irecv(comm_, view.data, view.bytes, src, tag);
+  return blocking_transfer(req, obj, status);
+}
+
+Status MPDirect::recv(vm::Obj arr, std::int64_t offset, std::int64_t count,
+                      int src, int tag, MpStatus* status) {
+  FCallScope fcall(*this);
+  TransportView view;
+  MOTOR_RETURN_IF_ERROR(transport_view_array(arr, offset, count, &view));
+  mpi::Request req = mpi::irecv(comm_, view.data, view.bytes, src, tag);
+  return blocking_transfer(req, arr, status);
+}
+
+MPRequest MPDirect::isend(vm::Obj obj, int dst, int tag) {
+  FCallScope fcall(*this);
+  TransportView view;
+  if (!transport_view(obj, &view).is_ok()) return MPRequest{};
+  mpi::Request req = mpi::isend(comm_, view.data, view.bytes, dst, tag);
+  if (req != nullptr) policy_.protect_nonblocking(obj, req);
+  return MPRequest{std::move(req)};
+}
+
+MPRequest MPDirect::isend(vm::Obj arr, std::int64_t offset, std::int64_t count,
+                          int dst, int tag) {
+  FCallScope fcall(*this);
+  TransportView view;
+  if (!transport_view_array(arr, offset, count, &view).is_ok()) {
+    return MPRequest{};
+  }
+  mpi::Request req = mpi::isend(comm_, view.data, view.bytes, dst, tag);
+  if (req != nullptr) policy_.protect_nonblocking(arr, req);
+  return MPRequest{std::move(req)};
+}
+
+MPRequest MPDirect::irecv(vm::Obj obj, int src, int tag) {
+  FCallScope fcall(*this);
+  TransportView view;
+  if (!transport_view(obj, &view).is_ok()) return MPRequest{};
+  mpi::Request req = mpi::irecv(comm_, view.data, view.bytes, src, tag);
+  if (req != nullptr) policy_.protect_nonblocking(obj, req);
+  return MPRequest{std::move(req)};
+}
+
+MPRequest MPDirect::irecv(vm::Obj arr, std::int64_t offset, std::int64_t count,
+                          int src, int tag) {
+  FCallScope fcall(*this);
+  TransportView view;
+  if (!transport_view_array(arr, offset, count, &view).is_ok()) {
+    return MPRequest{};
+  }
+  mpi::Request req = mpi::irecv(comm_, view.data, view.bytes, src, tag);
+  if (req != nullptr) policy_.protect_nonblocking(arr, req);
+  return MPRequest{std::move(req)};
+}
+
+Status MPDirect::wait(MPRequest& request, MpStatus* status) {
+  FCallScope fcall(*this);
+  if (!request.valid()) {
+    return Status(ErrorCode::kRequestError, "wait on invalid request");
+  }
+  comm_.device().wait(request.req, gc_poll_hook());
+  fill_status(comm_, request.req, status);
+  return Status(request.req->error);
+}
+
+bool MPDirect::test(MPRequest& request, MpStatus* status) {
+  FCallScope fcall(*this);
+  if (!request.valid()) return false;
+  if (!comm_.device().test(request.req)) return false;
+  fill_status(comm_, request.req, status);
+  return true;
+}
+
+bool MPDirect::iprobe(int src, int tag, MpStatus* status) {
+  FCallScope fcall(*this);
+  mpi::MsgStatus st;
+  if (!mpi::iprobe(comm_, src, tag, &st)) return false;
+  if (status != nullptr) {
+    status->source = st.source;
+    status->tag = st.tag;
+    status->error = st.error;
+    status->count_bytes = static_cast<std::int64_t>(st.count_bytes);
+  }
+  return true;
+}
+
+Status MPDirect::probe(int src, int tag, MpStatus* status) {
+  FCallScope fcall(*this);
+  const mpi::MsgStatus st = mpi::probe(comm_, src, tag, gc_poll_hook());
+  if (status != nullptr) {
+    status->source = st.source;
+    status->tag = st.tag;
+    status->error = st.error;
+    status->count_bytes = static_cast<std::int64_t>(st.count_bytes);
+  }
+  return Status(st.error);
+}
+
+Status MPDirect::barrier() {
+  FCallScope fcall(*this);
+  return Status(mpi::barrier(comm_, gc_poll_hook()));
+}
+
+mpi::Comm MPDirect::dup_comm() {
+  FCallScope fcall(*this);
+  return mpi::comm_dup(comm_);
+}
+
+mpi::Comm MPDirect::split_comm(int color, int key) {
+  FCallScope fcall(*this);
+  return mpi::comm_split(comm_, color, key);
+}
+
+Status MPDirect::bcast(vm::Obj obj, int root) {
+  FCallScope fcall(*this);
+  TransportView view;
+  MOTOR_RETURN_IF_ERROR(transport_view(obj, &view));
+  // Collectives interleave many sends/receives on the buffer: pin for the
+  // whole operation when the policy demands it.
+  const bool pinned = policy_.pin_for_polling_wait(obj);
+  const ErrorCode err =
+      mpi::bcast(comm_, view.data, view.bytes, root, gc_poll_hook());
+  if (pinned) policy_.unpin(obj);
+  return Status(err);
+}
+
+}  // namespace motor::mp

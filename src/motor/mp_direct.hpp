@@ -1,0 +1,136 @@
+// MPDirect: the InternalCall boundary between the managed System.MP
+// library and the Message Passing Core inside the runtime (paper §7.2/
+// §7.3). Every operation follows the FCall discipline — GC poll on entry
+// and exit, trusted (unmarshalled) transition — and implements:
+//   * parameter checking and object-model integrity enforcement (§7.3),
+//   * the pinning policy for blocking and non-blocking operations (§7.4),
+//   * the extended OO operations over the custom serializer and the
+//     static buffer pool (§7.5, bodies in oo_ops.cpp).
+#pragma once
+
+#include "motor/buffer_pool.hpp"
+#include "motor/integrity.hpp"
+#include "motor/motor_serializer.hpp"
+#include "motor/pinning_policy.hpp"
+#include "mpi/comm.hpp"
+#include "mpi/pt2pt.hpp"
+#include "vm/vm.hpp"
+
+namespace motor::mp {
+
+/// Managed-facing completion record (System.MP.Status analog). Ranks are
+/// communicator ranks.
+struct MpStatus {
+  int source = -1;
+  int tag = -1;
+  ErrorCode error = ErrorCode::kSuccess;
+  std::int64_t count_bytes = 0;
+};
+
+/// Handle for a non-blocking Motor operation. No unpin is ever required:
+/// young buffers are protected by a conditional pin the collector retires
+/// by itself once the request completes (§4.3).
+struct MPRequest {
+  mpi::Request req;
+  [[nodiscard]] bool valid() const noexcept { return req != nullptr; }
+};
+
+struct MPDirectConfig {
+  PinMode pin_mode = PinMode::kMotorPolicy;
+  VisitedMode visited_mode = VisitedMode::kLinear;
+  /// Progress attempts before a blocking op gives up on the fast path and
+  /// enters the (pin + polling-wait) slow path.
+  int fast_attempts = 2;
+};
+
+class MPDirect {
+ public:
+  MPDirect(vm::Vm& vm, vm::ManagedThread& thread, mpi::Comm comm,
+           MPDirectConfig config = MPDirectConfig{});
+
+  MPDirect(const MPDirect&) = delete;
+  MPDirect& operator=(const MPDirect&) = delete;
+
+  [[nodiscard]] int rank() const { return comm_.rank(); }
+  [[nodiscard]] int size() const { return comm_.size(); }
+  [[nodiscard]] mpi::Comm& comm() noexcept { return comm_; }
+  [[nodiscard]] PinningPolicy& policy() noexcept { return policy_; }
+  [[nodiscard]] MotorSerializer& serializer() noexcept { return serializer_; }
+  [[nodiscard]] BufferPool& pool() noexcept { return pool_; }
+  [[nodiscard]] vm::Vm& vm() noexcept { return vm_; }
+  [[nodiscard]] vm::ManagedThread& thread() noexcept { return thread_; }
+
+  // ---- regular MPI operations (§4.2.1) ----
+  Status send(vm::Obj obj, int dst, int tag);
+  Status send(vm::Obj arr, std::int64_t offset, std::int64_t count, int dst,
+              int tag);
+  Status ssend(vm::Obj obj, int dst, int tag);
+  Status recv(vm::Obj obj, int src, int tag, MpStatus* status = nullptr);
+  Status recv(vm::Obj arr, std::int64_t offset, std::int64_t count, int src,
+              int tag, MpStatus* status = nullptr);
+  MPRequest isend(vm::Obj obj, int dst, int tag);
+  MPRequest isend(vm::Obj arr, std::int64_t offset, std::int64_t count,
+                  int dst, int tag);
+  MPRequest irecv(vm::Obj obj, int src, int tag);
+  MPRequest irecv(vm::Obj arr, std::int64_t offset, std::int64_t count,
+                  int src, int tag);
+  Status wait(MPRequest& request, MpStatus* status = nullptr);
+  bool test(MPRequest& request, MpStatus* status = nullptr);
+
+  // ---- probing ----
+  bool iprobe(int src, int tag, MpStatus* status = nullptr);
+  Status probe(int src, int tag, MpStatus* status = nullptr);
+
+  // ---- regular collectives on integrity-checked objects ----
+  Status barrier();
+  Status bcast(vm::Obj obj, int root);
+
+  // ---- communicator management (§7: "selected communicator routines") ----
+  /// MPI_Comm_dup: same group, isolated context. Collective.
+  mpi::Comm dup_comm();
+  /// MPI_Comm_split. Collective; color < 0 yields a null comm.
+  mpi::Comm split_comm(int color, int key);
+
+  // ---- extended object-oriented operations (§4.2.2, oo_ops.cpp) ----
+  Status osend(vm::Obj obj, int dst, int tag);
+  Status osend(vm::Obj arr, std::int64_t offset, std::int64_t count, int dst,
+               int tag);
+  Status orecv(int src, int tag, vm::Obj* out, MpStatus* status = nullptr);
+  Status obcast(vm::Obj* inout, int root);
+  /// Root scatters `arr` (object or primitive array) evenly; every rank
+  /// receives its piece in *my_piece. Requires size() | length.
+  Status oscatter(vm::Obj arr, int root, vm::Obj* my_piece);
+  /// Every rank contributes an array; root receives the fused array.
+  Status ogather(vm::Obj my_piece, int root, vm::Obj* merged);
+  /// OGather to rank 0 followed by an OBcast of the fusion: every rank
+  /// ends with the complete array (extension beyond the paper's list).
+  Status oallgather(vm::Obj my_piece, vm::Obj* merged);
+
+  [[nodiscard]] std::uint64_t fcall_invocations() const noexcept {
+    return fcall_invocations_;
+  }
+
+ private:
+  friend class FCallScope;
+
+  Status blocking_transfer(const mpi::Request& req, vm::Obj obj,
+                           MpStatus* status);
+  static void fill_status(mpi::Comm& comm, const mpi::Request& req,
+                          MpStatus* status);
+  mpi::PollHook gc_poll_hook();
+
+  // OO helpers (oo_ops.cpp).
+  Status send_buffer(ByteBuffer& buf, int dst, int tag);
+  Status recv_buffer(ByteBuffer& buf, int src, int tag, MpStatus* status);
+
+  vm::Vm& vm_;
+  vm::ManagedThread& thread_;
+  mpi::Comm comm_;
+  MPDirectConfig config_;
+  PinningPolicy policy_;
+  MotorSerializer serializer_;
+  BufferPool pool_;
+  std::uint64_t fcall_invocations_ = 0;
+};
+
+}  // namespace motor::mp

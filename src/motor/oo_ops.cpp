@@ -1,0 +1,227 @@
+// Extended object-oriented operations (paper §4.2.2/§7.5): OSend/ORecv/
+// OBcast/OScatter/OGather over the Motor custom serializer and the static
+// buffer pool. No pinning anywhere: serialization targets native buffers
+// outside the managed heap (§7.4).
+//
+// Wire protocol per transfer: the byte size first, then the serialized
+// representation — "Before sending the serialized buffer, Motor sends the
+// size of the buffer. This ensures the receiver can prepare a sufficient
+// buffer" (§7.5).
+#include "motor/mp_direct.hpp"
+#include "mpi/device.hpp"
+#include "mpi/collectives.hpp"
+#include "mpi/pt2pt.hpp"
+#include "pal/clock.hpp"
+
+namespace motor::mp {
+
+namespace {
+
+/// Local FCall discipline (see mp_direct.cpp's FCallScope; duplicated here
+/// because the class is file-local there by design — entry points in this
+/// TU charge the same transition).
+class OoFCallScope {
+ public:
+  OoFCallScope(vm::Vm& vm, vm::ManagedThread& thread)
+      : vm_(vm), thread_(thread) {
+    thread_.poll_gc();
+    if (vm_.profile().fcall_transition_ns > 0) {
+      pal::spin_for_ns(vm_.profile().fcall_transition_ns);
+    }
+  }
+  ~OoFCallScope() { thread_.poll_gc(); }
+
+ private:
+  vm::Vm& vm_;
+  vm::ManagedThread& thread_;
+};
+
+}  // namespace
+
+Status MPDirect::send_buffer(ByteBuffer& buf, int dst, int tag) {
+  const std::uint64_t size = buf.size();
+  ErrorCode err = mpi::send(comm_, &size, sizeof size, dst, tag,
+                            gc_poll_hook());
+  if (err != ErrorCode::kSuccess) return Status(err);
+  return Status(mpi::send(comm_, buf.data(), buf.size(), dst, tag,
+                          gc_poll_hook()));
+}
+
+Status MPDirect::recv_buffer(ByteBuffer& buf, int src, int tag,
+                             MpStatus* status) {
+  std::uint64_t size = 0;
+  mpi::MsgStatus size_st;
+  ErrorCode err = mpi::recv(comm_, &size, sizeof size, src, tag, &size_st,
+                            gc_poll_hook());
+  if (err != ErrorCode::kSuccess) return Status(err);
+
+  // Pin down the actual peer/tag so a wildcard receive pairs the payload
+  // with the size message it belongs to (per-peer FIFO guarantees order).
+  const int actual_src = size_st.source;
+  const int actual_tag = size_st.tag;
+  buf.clear();
+  buf.resize(size);
+  mpi::MsgStatus payload_st;
+  err = mpi::recv(comm_, buf.data(), buf.size(), actual_src, actual_tag,
+                  &payload_st, gc_poll_hook());
+  if (status != nullptr) {
+    status->source = actual_src;
+    status->tag = actual_tag;
+    status->error = err;
+    status->count_bytes = static_cast<std::int64_t>(size);
+  }
+  return Status(err);
+}
+
+Status MPDirect::osend(vm::Obj obj, int dst, int tag) {
+  OoFCallScope fcall(vm_, thread_);
+  PooledBuffer buf = pool_.acquire();
+  MOTOR_RETURN_IF_ERROR(serializer_.serialize(obj, *buf));
+  return send_buffer(*buf, dst, tag);
+}
+
+Status MPDirect::osend(vm::Obj arr, std::int64_t offset, std::int64_t count,
+                       int dst, int tag) {
+  OoFCallScope fcall(vm_, thread_);
+  PooledBuffer buf = pool_.acquire();
+  MOTOR_RETURN_IF_ERROR(
+      serializer_.serialize_array_window(arr, offset, count, *buf));
+  return send_buffer(*buf, dst, tag);
+}
+
+Status MPDirect::orecv(int src, int tag, vm::Obj* out, MpStatus* status) {
+  OoFCallScope fcall(vm_, thread_);
+  PooledBuffer buf = pool_.acquire();
+  MOTOR_RETURN_IF_ERROR(recv_buffer(*buf, src, tag, status));
+  buf->seek(0);
+  return serializer_.deserialize(*buf, thread_, out);
+}
+
+Status MPDirect::obcast(vm::Obj* inout, int root) {
+  OoFCallScope fcall(vm_, thread_);
+  PooledBuffer buf = pool_.acquire();
+  std::uint64_t size = 0;
+  if (comm_.rank() == root) {
+    MOTOR_RETURN_IF_ERROR(serializer_.serialize(*inout, *buf));
+    size = buf->size();
+  }
+  ErrorCode err = mpi::bcast(comm_, &size, sizeof size, root, gc_poll_hook());
+  if (err != ErrorCode::kSuccess) return Status(err);
+  if (comm_.rank() != root) buf->resize(size);
+  err = mpi::bcast(comm_, buf->data(), size, root, gc_poll_hook());
+  if (err != ErrorCode::kSuccess) return Status(err);
+  if (comm_.rank() != root) {
+    buf->seek(0);
+    return serializer_.deserialize(*buf, thread_, inout);
+  }
+  return Status::ok();
+}
+
+Status MPDirect::oscatter(vm::Obj arr, int root, vm::Obj* my_piece) {
+  OoFCallScope fcall(vm_, thread_);
+  const int n = comm_.size();
+  const int tag = comm_.next_collective_tag();
+
+  if (comm_.rank() == root) {
+    if (arr == nullptr || !vm::obj_mt(arr)->is_array()) {
+      return Status(ErrorCode::kTypeError, "OScatter requires an array");
+    }
+    const std::int64_t length = vm::array_length(arr);
+    if (length % n != 0) {
+      return Status(ErrorCode::kCountError,
+                    "OScatter requires rank-count-divisible arrays");
+    }
+    // "For scatter operations the serialization mechanism automatically
+    // splits the array and flattens referenced objects" (§7.5).
+    std::vector<std::int64_t> counts(static_cast<std::size_t>(n), length / n);
+    std::vector<ByteBuffer> pieces;
+    MOTOR_RETURN_IF_ERROR(serializer_.serialize_split(arr, counts, pieces));
+    for (int r = 0; r < n; ++r) {
+      if (r == root) continue;
+      ByteBuffer& piece = pieces[static_cast<std::size_t>(r)];
+      const std::uint64_t size = piece.size();
+      ErrorCode err =
+          mpi::send(comm_, &size, sizeof size, r, tag, gc_poll_hook());
+      if (err != ErrorCode::kSuccess) return Status(err);
+      err = mpi::send(comm_, piece.data(), piece.size(), r, tag,
+                      gc_poll_hook());
+      if (err != ErrorCode::kSuccess) return Status(err);
+    }
+    ByteBuffer& mine = pieces[static_cast<std::size_t>(root)];
+    mine.seek(0);
+    return serializer_.deserialize(mine, thread_, my_piece);
+  }
+
+  std::uint64_t size = 0;
+  ErrorCode err =
+      mpi::recv(comm_, &size, sizeof size, root, tag, nullptr, gc_poll_hook());
+  if (err != ErrorCode::kSuccess) return Status(err);
+  PooledBuffer buf = pool_.acquire();
+  buf->resize(size);
+  err = mpi::recv(comm_, buf->data(), size, root, tag, nullptr,
+                  gc_poll_hook());
+  if (err != ErrorCode::kSuccess) return Status(err);
+  buf->seek(0);
+  return serializer_.deserialize(*buf, thread_, my_piece);
+}
+
+Status MPDirect::ogather(vm::Obj my_piece, int root, vm::Obj* merged) {
+  OoFCallScope fcall(vm_, thread_);
+  const int n = comm_.size();
+  const int tag = comm_.next_collective_tag();
+
+  if (my_piece == nullptr || !vm::obj_mt(my_piece)->is_array()) {
+    return Status(ErrorCode::kTypeError, "OGather requires arrays");
+  }
+
+  if (comm_.rank() != root) {
+    PooledBuffer buf = pool_.acquire();
+    MOTOR_RETURN_IF_ERROR(serializer_.serialize_array_window(
+        my_piece, 0, vm::array_length(my_piece), *buf));
+    const std::uint64_t size = buf->size();
+    ErrorCode err =
+        mpi::send(comm_, &size, sizeof size, root, tag, gc_poll_hook());
+    if (err != ErrorCode::kSuccess) return Status(err);
+    return Status(mpi::send(comm_, buf->data(), buf->size(), root, tag,
+                            gc_poll_hook()));
+  }
+
+  // Root: collect pieces in rank order, then fuse — "the deserialization
+  // mechanism takes many split representations and reconstructs them into
+  // a single array" (§7.5).
+  std::vector<ByteBuffer> pieces(static_cast<std::size_t>(n));
+  for (int r = 0; r < n; ++r) {
+    ByteBuffer& piece = pieces[static_cast<std::size_t>(r)];
+    if (r == root) {
+      MOTOR_RETURN_IF_ERROR(serializer_.serialize_array_window(
+          my_piece, 0, vm::array_length(my_piece), piece));
+      continue;
+    }
+    std::uint64_t size = 0;
+    ErrorCode err =
+        mpi::recv(comm_, &size, sizeof size, r, tag, nullptr, gc_poll_hook());
+    if (err != ErrorCode::kSuccess) return Status(err);
+    piece.resize(size);
+    err = mpi::recv(comm_, piece.data(), size, r, tag, nullptr,
+                    gc_poll_hook());
+    if (err != ErrorCode::kSuccess) return Status(err);
+  }
+  for (ByteBuffer& piece : pieces) piece.seek(0);
+  return serializer_.deserialize_merge(pieces, thread_, merged);
+}
+
+Status MPDirect::oallgather(vm::Obj my_piece, vm::Obj* merged) {
+  vm::Obj fused = nullptr;
+  MOTOR_RETURN_IF_ERROR(ogather(my_piece, 0, &fused));
+  if (comm_.rank() == 0) {
+    vm::GcRoot fused_root(thread_, fused);
+    MOTOR_RETURN_IF_ERROR(obcast(&fused, 0));
+    *merged = fused_root.get();
+    return Status::ok();
+  }
+  MOTOR_RETURN_IF_ERROR(obcast(&fused, 0));
+  *merged = fused;
+  return Status::ok();
+}
+
+}  // namespace motor::mp

@@ -1,0 +1,56 @@
+#include "motor/pinning_policy.hpp"
+
+namespace motor::mp {
+
+bool PinningPolicy::pin_for_polling_wait(vm::Obj obj) {
+  if (obj == nullptr) return false;
+  switch (mode_) {
+    case PinMode::kNeverPin:
+      return false;
+    case PinMode::kAlwaysPin:
+      heap_.pin(obj);
+      ++stats_.blocking_pinned;
+      return true;
+    case PinMode::kMotorPolicy:
+      // "Motor checks the object's internal memory address against the
+      // boundaries of the younger generation" (§7.4).
+      if (!heap_.in_young(obj)) {
+        ++stats_.blocking_elder_skip;
+        return false;
+      }
+      heap_.pin(obj);
+      ++stats_.blocking_pinned;
+      return true;
+  }
+  return false;
+}
+
+void PinningPolicy::note_fast_completion(vm::Obj obj) {
+  if (obj == nullptr) return;
+  if (mode_ == PinMode::kMotorPolicy) ++stats_.blocking_fast_path;
+}
+
+void PinningPolicy::protect_nonblocking(vm::Obj obj, const mpi::Request& req) {
+  if (obj == nullptr) return;
+  switch (mode_) {
+    case PinMode::kNeverPin:
+      return;
+    case PinMode::kAlwaysPin:
+      // Wrapper-style behaviour: pin now; release via a conditional entry
+      // so this mode needs no explicit unpin either (it measures the
+      // up-front pin cost, not a different lifetime).
+      heap_.add_conditional_pin(obj, req);
+      ++stats_.conditional_registered;
+      return;
+    case PinMode::kMotorPolicy:
+      if (!heap_.in_young(obj)) {
+        ++stats_.nonblocking_elder_skip;
+        return;
+      }
+      heap_.add_conditional_pin(obj, req);
+      ++stats_.conditional_registered;
+      return;
+  }
+}
+
+}  // namespace motor::mp

@@ -1,0 +1,69 @@
+// The Motor pinning policy — paper §4.3/§7.4.
+//
+// Pinning is required only when (a) a collection might occur during the
+// transport and (b) the object could move in that collection. The policy:
+//   * Elder-generation objects never move → never pinned.
+//   * Blocking operations on young objects DEFER the pin until the
+//     operation actually enters its polling-wait; fast-completing
+//     operations never pin because there is no GC opportunity before
+//     completion.
+//   * Non-blocking operations on young objects register a CONDITIONAL pin
+//     with the collector, resolved against request status at mark time —
+//     no unpin call is ever needed.
+//
+// kAlwaysPin and kNeverPin exist for the ablation study (bench A1):
+// kAlwaysPin is what the wrapper bindings do; kNeverPin demonstrates why
+// the policy is not merely an optimization (GC corrupts in-flight
+// buffers — tests assert this).
+#pragma once
+
+#include <cstdint>
+
+#include "mpi/request.hpp"
+#include "vm/heap.hpp"
+
+namespace motor::mp {
+
+enum class PinMode {
+  kMotorPolicy,
+  kAlwaysPin,
+  kNeverPin,
+};
+
+struct PinStats {
+  std::uint64_t blocking_fast_path = 0;   // completed before polling-wait
+  std::uint64_t blocking_elder_skip = 0;  // already promoted, no pin
+  std::uint64_t blocking_pinned = 0;      // deferred pin taken
+  std::uint64_t conditional_registered = 0;
+  std::uint64_t nonblocking_elder_skip = 0;
+};
+
+class PinningPolicy {
+ public:
+  PinningPolicy(vm::ManagedHeap& heap, PinMode mode = PinMode::kMotorPolicy)
+      : heap_(heap), mode_(mode) {}
+
+  [[nodiscard]] PinMode mode() const noexcept { return mode_; }
+  [[nodiscard]] const PinStats& stats() const noexcept { return stats_; }
+
+  /// Blocking-path decision once the operation failed to complete on its
+  /// first progress attempts and is about to enter the polling-wait.
+  /// Returns true if the object was pinned (caller unpins after the wait).
+  bool pin_for_polling_wait(vm::Obj obj);
+
+  /// Blocking-path bookkeeping when the operation completed before any
+  /// polling-wait (no pin was ever needed).
+  void note_fast_completion(vm::Obj obj);
+
+  /// Non-blocking path: arrange protection for the request's lifetime.
+  void protect_nonblocking(vm::Obj obj, const mpi::Request& req);
+
+  void unpin(vm::Obj obj) { heap_.unpin(obj); }
+
+ private:
+  vm::ManagedHeap& heap_;
+  PinMode mode_;
+  PinStats stats_;
+};
+
+}  // namespace motor::mp

@@ -1,0 +1,6 @@
+#include "motor/system_mp.hpp"
+
+// Communicator is a header-only forwarding facade over MPDirect (the
+// managed System.MP layer is deliberately thin, paper §7.2); this TU
+// anchors the library target.
+namespace motor::mp {}

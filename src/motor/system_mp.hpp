@@ -1,0 +1,134 @@
+// System.MP — the managed message-passing library surface (paper §7.2).
+//
+// In Motor this layer is C# code in the System.MP namespace whose every
+// member forwards to an MPDirect InternalCall; here it is the public C++
+// facade with the same shape: the paper's simplified MPI bindings
+// (§4.2.1 — no count, no MPI_Datatype, integrity-protected) plus the
+// extended object-oriented operations (§4.2.2 — the "O" prefix family).
+//
+// Naming follows the paper's bindings (Send/Recv/OSend/ORecv...) so the
+// examples read like Figure 3/4.
+#pragma once
+
+#include <memory>
+
+#include "motor/mp_direct.hpp"
+
+namespace motor::mp {
+
+inline constexpr int kAnySource = mpi::kAnySource;
+inline constexpr int kAnyTag = mpi::kAnyTag;
+
+class Communicator {
+ public:
+  /// Null communicator (the result of Split with a negative color).
+  Communicator() = default;
+
+  Communicator(vm::Vm& vm, vm::ManagedThread& thread, mpi::Comm comm,
+               MPDirectConfig config = MPDirectConfig{})
+      : direct_(std::make_unique<MPDirect>(vm, thread, std::move(comm),
+                                           config)) {}
+
+  Communicator(Communicator&&) = default;
+  Communicator& operator=(Communicator&&) = default;
+
+  [[nodiscard]] int Rank() const { return direct_->rank(); }
+  [[nodiscard]] int Size() const { return direct_->size(); }
+
+  // ---- regular MPI operations (Figure 3) ----
+  Status Send(vm::Obj obj, int dest, int tag) {
+    return direct_->send(obj, dest, tag);
+  }
+  Status Send(vm::Obj arr, std::int64_t offset, std::int64_t count, int dest,
+              int tag) {
+    return direct_->send(arr, offset, count, dest, tag);
+  }
+  Status Ssend(vm::Obj obj, int dest, int tag) {
+    return direct_->ssend(obj, dest, tag);
+  }
+  Status Recv(vm::Obj obj, int source, int tag, MpStatus* status = nullptr) {
+    return direct_->recv(obj, source, tag, status);
+  }
+  Status Recv(vm::Obj arr, std::int64_t offset, std::int64_t count, int source,
+              int tag, MpStatus* status = nullptr) {
+    return direct_->recv(arr, offset, count, source, tag, status);
+  }
+  MPRequest ISend(vm::Obj obj, int dest, int tag) {
+    return direct_->isend(obj, dest, tag);
+  }
+  MPRequest ISend(vm::Obj arr, std::int64_t offset, std::int64_t count,
+                  int dest, int tag) {
+    return direct_->isend(arr, offset, count, dest, tag);
+  }
+  MPRequest IRecv(vm::Obj obj, int source, int tag) {
+    return direct_->irecv(obj, source, tag);
+  }
+  MPRequest IRecv(vm::Obj arr, std::int64_t offset, std::int64_t count,
+                  int source, int tag) {
+    return direct_->irecv(arr, offset, count, source, tag);
+  }
+  Status Wait(MPRequest& request, MpStatus* status = nullptr) {
+    return direct_->wait(request, status);
+  }
+  bool Test(MPRequest& request, MpStatus* status = nullptr) {
+    return direct_->test(request, status);
+  }
+  Status Barrier() { return direct_->barrier(); }
+  Status Bcast(vm::Obj obj, int root) { return direct_->bcast(obj, root); }
+  bool IProbe(int source, int tag, MpStatus* status = nullptr) {
+    return direct_->iprobe(source, tag, status);
+  }
+  Status Probe(int source, int tag, MpStatus* status = nullptr) {
+    return direct_->probe(source, tag, status);
+  }
+
+  /// Clone this communicator with an isolated context (collective); the
+  /// clone shares the VM and the calling thread.
+  Communicator Dup() {
+    return Communicator(direct_->vm(), direct_->thread(), direct_->dup_comm());
+  }
+  /// Partition by color (collective); returns a null-comm Communicator for
+  /// color < 0 — check IsNull() before use.
+  Communicator Split(int color, int key) {
+    mpi::Comm sub = direct_->split_comm(color, key);
+    if (sub.is_null()) return Communicator();
+    return Communicator(direct_->vm(), direct_->thread(), std::move(sub));
+  }
+  [[nodiscard]] bool IsNull() const noexcept { return direct_ == nullptr; }
+
+  // ---- extended object-oriented operations (Figure 4) ----
+  Status OSend(vm::Obj obj, int dest, int tag) {
+    return direct_->osend(obj, dest, tag);
+  }
+  Status OSend(vm::Obj arr, std::int64_t offset, std::int64_t numcomponents,
+               int dest, int tag) {
+    return direct_->osend(arr, offset, numcomponents, dest, tag);
+  }
+  /// Returns the reconstructed object (null on error; see status).
+  vm::Obj ORecv(int source, int tag, MpStatus* status = nullptr) {
+    vm::Obj out = nullptr;
+    Status st = direct_->orecv(source, tag, &out, status);
+    if (!st.is_ok() && status != nullptr) status->error = st.code();
+    return st.is_ok() ? out : nullptr;
+  }
+  Status OBcast(vm::Obj* inout, int root) {
+    return direct_->obcast(inout, root);
+  }
+  Status OScatter(vm::Obj arr, int root, vm::Obj* my_piece) {
+    return direct_->oscatter(arr, root, my_piece);
+  }
+  Status OGather(vm::Obj my_piece, int root, vm::Obj* merged) {
+    return direct_->ogather(my_piece, root, merged);
+  }
+  Status OAllgather(vm::Obj my_piece, vm::Obj* merged) {
+    return direct_->oallgather(my_piece, merged);
+  }
+
+  /// The runtime-internal layer (tests, benchmarks, diagnostics).
+  [[nodiscard]] MPDirect& direct() noexcept { return *direct_; }
+
+ private:
+  std::unique_ptr<MPDirect> direct_;
+};
+
+}  // namespace motor::mp

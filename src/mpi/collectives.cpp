@@ -1,0 +1,319 @@
+#include "mpi/collectives.hpp"
+
+#include <cstring>
+
+namespace motor::mpi {
+
+namespace {
+
+ErrorCode require_intra(const Comm& comm) {
+  if (comm.is_null()) return ErrorCode::kCommError;
+  if (comm.is_inter()) return ErrorCode::kCommError;
+  return ErrorCode::kSuccess;
+}
+
+}  // namespace
+
+ErrorCode barrier(Comm& comm, const PollHook& poll) {
+  if (ErrorCode err_ = require_intra(comm); err_ != ErrorCode::kSuccess) {
+    return err_;
+  }
+  const int size = comm.size();
+  const int rank = comm.rank();
+  const int tag = comm.next_collective_tag();
+  // Dissemination barrier: log2(size) rounds of zero-byte exchanges.
+  for (int dist = 1; dist < size; dist <<= 1) {
+    const int to = (rank + dist) % size;
+    const int from = (rank - dist + size) % size;
+    ErrorCode err = sendrecv(comm, nullptr, 0, to, tag, nullptr, 0, from, tag,
+                             nullptr, poll);
+    if (err != ErrorCode::kSuccess) return err;
+  }
+  return ErrorCode::kSuccess;
+}
+
+ErrorCode bcast(Comm& comm, void* buf, std::size_t bytes, int root,
+                const PollHook& poll) {
+  if (ErrorCode err_ = require_intra(comm); err_ != ErrorCode::kSuccess) {
+    return err_;
+  }
+  const int size = comm.size();
+  const int rank = comm.rank();
+  if (root < 0 || root >= size) return ErrorCode::kRankError;
+  const int tag = comm.next_collective_tag();
+  if (size == 1) return ErrorCode::kSuccess;
+
+  // Binomial tree rooted at `root` (the MPICH2 short-message algorithm).
+  const int relrank = (rank - root + size) % size;
+  int mask = 1;
+  while (mask < size) {
+    if (relrank & mask) {
+      const int src = (relrank - mask + root) % size;
+      ErrorCode err = recv(comm, buf, bytes, src, tag, nullptr, poll);
+      if (err != ErrorCode::kSuccess) return err;
+      break;
+    }
+    mask <<= 1;
+  }
+  mask >>= 1;
+  while (mask > 0) {
+    if (relrank + mask < size) {
+      const int dst = (relrank + mask + root) % size;
+      ErrorCode err = send(comm, buf, bytes, dst, tag, poll);
+      if (err != ErrorCode::kSuccess) return err;
+    }
+    mask >>= 1;
+  }
+  return ErrorCode::kSuccess;
+}
+
+ErrorCode scatter(Comm& comm, const void* send_buf, std::size_t block_bytes,
+                  void* recv_buf, int root, const PollHook& poll) {
+  const int size = comm.size();
+  std::vector<std::size_t> counts(static_cast<std::size_t>(size), block_bytes);
+  std::vector<std::size_t> displs(static_cast<std::size_t>(size));
+  for (int i = 0; i < size; ++i) {
+    displs[static_cast<std::size_t>(i)] =
+        static_cast<std::size_t>(i) * block_bytes;
+  }
+  return scatterv(comm, send_buf, counts, displs, recv_buf, block_bytes, root,
+                  poll);
+}
+
+ErrorCode scatterv(Comm& comm, const void* send_buf,
+                   const std::vector<std::size_t>& counts,
+                   const std::vector<std::size_t>& displs, void* recv_buf,
+                   std::size_t recv_bytes, int root, const PollHook& poll) {
+  if (ErrorCode err_ = require_intra(comm); err_ != ErrorCode::kSuccess) {
+    return err_;
+  }
+  const int size = comm.size();
+  const int rank = comm.rank();
+  if (root < 0 || root >= size) return ErrorCode::kRankError;
+  const int tag = comm.next_collective_tag();
+
+  if (rank == root) {
+    if (counts.size() != static_cast<std::size_t>(size) ||
+        displs.size() != static_cast<std::size_t>(size)) {
+      return ErrorCode::kCountError;
+    }
+    const auto* base = static_cast<const std::byte*>(send_buf);
+    std::vector<Request> reqs;
+    for (int i = 0; i < size; ++i) {
+      const auto idx = static_cast<std::size_t>(i);
+      if (i == rank) continue;
+      reqs.push_back(isend(comm, base + displs[idx], counts[idx], i, tag));
+    }
+    const auto self = static_cast<std::size_t>(rank);
+    const std::size_t n = std::min(counts[self], recv_bytes);
+    if (n > 0 && recv_buf != nullptr) {
+      std::memcpy(recv_buf, base + displs[self], n);
+    }
+    waitall(comm, reqs, poll);
+    return counts[self] > recv_bytes ? ErrorCode::kTruncate
+                                     : ErrorCode::kSuccess;
+  }
+  return recv(comm, recv_buf, recv_bytes, root, tag, nullptr, poll);
+}
+
+ErrorCode gather(Comm& comm, const void* send_buf, std::size_t block_bytes,
+                 void* recv_buf, int root, const PollHook& poll) {
+  const int size = comm.size();
+  std::vector<std::size_t> counts(static_cast<std::size_t>(size), block_bytes);
+  std::vector<std::size_t> displs(static_cast<std::size_t>(size));
+  for (int i = 0; i < size; ++i) {
+    displs[static_cast<std::size_t>(i)] =
+        static_cast<std::size_t>(i) * block_bytes;
+  }
+  return gatherv(comm, send_buf, block_bytes, recv_buf, counts, displs, root,
+                 poll);
+}
+
+ErrorCode gatherv(Comm& comm, const void* send_buf, std::size_t send_bytes,
+                  void* recv_buf, const std::vector<std::size_t>& counts,
+                  const std::vector<std::size_t>& displs, int root,
+                  const PollHook& poll) {
+  if (ErrorCode err_ = require_intra(comm); err_ != ErrorCode::kSuccess) {
+    return err_;
+  }
+  const int size = comm.size();
+  const int rank = comm.rank();
+  if (root < 0 || root >= size) return ErrorCode::kRankError;
+  const int tag = comm.next_collective_tag();
+
+  if (rank == root) {
+    if (counts.size() != static_cast<std::size_t>(size) ||
+        displs.size() != static_cast<std::size_t>(size)) {
+      return ErrorCode::kCountError;
+    }
+    auto* base = static_cast<std::byte*>(recv_buf);
+    std::vector<Request> reqs;
+    for (int i = 0; i < size; ++i) {
+      const auto idx = static_cast<std::size_t>(i);
+      if (i == rank) continue;
+      reqs.push_back(irecv(comm, base + displs[idx], counts[idx], i, tag));
+    }
+    const auto self = static_cast<std::size_t>(rank);
+    const std::size_t n = std::min(counts[self], send_bytes);
+    if (n > 0 && send_buf != nullptr) {
+      std::memcpy(base + displs[self], send_buf, n);
+    }
+    waitall(comm, reqs, poll);
+    return ErrorCode::kSuccess;
+  }
+  return send(comm, send_buf, send_bytes, root, tag, poll);
+}
+
+ErrorCode allgather(Comm& comm, const void* send_buf, std::size_t block_bytes,
+                    void* recv_buf, const PollHook& poll) {
+  if (ErrorCode err_ = require_intra(comm); err_ != ErrorCode::kSuccess) {
+    return err_;
+  }
+  const int size = comm.size();
+  const int rank = comm.rank();
+  const int tag = comm.next_collective_tag();
+
+  auto* base = static_cast<std::byte*>(recv_buf);
+  std::memcpy(base + static_cast<std::size_t>(rank) * block_bytes, send_buf,
+              block_bytes);
+  // Ring: in step s, pass along the block that originated s hops upstream.
+  const int right = (rank + 1) % size;
+  const int left = (rank - 1 + size) % size;
+  for (int s = 0; s < size - 1; ++s) {
+    const int send_block = (rank - s + size) % size;
+    const int recv_block = (rank - s - 1 + size) % size;
+    ErrorCode err = sendrecv(
+        comm, base + static_cast<std::size_t>(send_block) * block_bytes,
+        block_bytes, right, tag,
+        base + static_cast<std::size_t>(recv_block) * block_bytes, block_bytes,
+        left, tag, nullptr, poll);
+    if (err != ErrorCode::kSuccess) return err;
+  }
+  return ErrorCode::kSuccess;
+}
+
+ErrorCode reduce(Comm& comm, const void* send_buf, void* recv_buf,
+                 std::size_t count, Datatype t, ReduceOp op, int root,
+                 const PollHook& poll) {
+  if (ErrorCode err_ = require_intra(comm); err_ != ErrorCode::kSuccess) {
+    return err_;
+  }
+  const int size = comm.size();
+  const int rank = comm.rank();
+  if (root < 0 || root >= size) return ErrorCode::kRankError;
+  const int tag = comm.next_collective_tag();
+  const std::size_t bytes = count * datatype_size(t);
+
+  // Running accumulator starts as a copy of this rank's contribution.
+  std::vector<std::byte> accum(bytes);
+  std::memcpy(accum.data(), send_buf, bytes);
+  std::vector<std::byte> incoming(bytes);
+
+  // Binomial tree: children fold into parents, root ends with the total.
+  const int relrank = (rank - root + size) % size;
+  int mask = 1;
+  while (mask < size) {
+    if (relrank & mask) {
+      const int dst = ((relrank & ~mask) + root) % size;
+      ErrorCode err = send(comm, accum.data(), bytes, dst, tag, poll);
+      if (err != ErrorCode::kSuccess) return err;
+      break;
+    }
+    const int src_rel = relrank | mask;
+    if (src_rel < size) {
+      const int src = (src_rel + root) % size;
+      ErrorCode err =
+          recv(comm, incoming.data(), bytes, src, tag, nullptr, poll);
+      if (err != ErrorCode::kSuccess) return err;
+      reduce_apply(op, t, incoming.data(), accum.data(), count);
+    }
+    mask <<= 1;
+  }
+  if (rank == root) std::memcpy(recv_buf, accum.data(), bytes);
+  return ErrorCode::kSuccess;
+}
+
+ErrorCode allreduce(Comm& comm, const void* send_buf, void* recv_buf,
+                    std::size_t count, Datatype t, ReduceOp op,
+                    const PollHook& poll) {
+  ErrorCode err = reduce(comm, send_buf, recv_buf, count, t, op, 0, poll);
+  if (err != ErrorCode::kSuccess) return err;
+  return bcast(comm, recv_buf, count * datatype_size(t), 0, poll);
+}
+
+ErrorCode scan(Comm& comm, const void* send_buf, void* recv_buf,
+               std::size_t count, Datatype t, ReduceOp op,
+               const PollHook& poll) {
+  if (ErrorCode err_ = require_intra(comm); err_ != ErrorCode::kSuccess) {
+    return err_;
+  }
+  const int size = comm.size();
+  const int rank = comm.rank();
+  const int tag = comm.next_collective_tag();
+  const std::size_t bytes = count * datatype_size(t);
+
+  // Linear pipeline: receive the running prefix from the left neighbour,
+  // fold in this rank's contribution, pass the result to the right.
+  std::memcpy(recv_buf, send_buf, bytes);
+  if (rank > 0) {
+    std::vector<std::byte> incoming(bytes);
+    ErrorCode err =
+        recv(comm, incoming.data(), bytes, rank - 1, tag, nullptr, poll);
+    if (err != ErrorCode::kSuccess) return err;
+    reduce_apply(op, t, incoming.data(), recv_buf, count);
+  }
+  if (rank + 1 < size) {
+    ErrorCode err = send(comm, recv_buf, bytes, rank + 1, tag, poll);
+    if (err != ErrorCode::kSuccess) return err;
+  }
+  return ErrorCode::kSuccess;
+}
+
+ErrorCode reduce_scatter_block(Comm& comm, const void* send_buf,
+                               void* recv_buf, std::size_t count, Datatype t,
+                               ReduceOp op, const PollHook& poll) {
+  if (ErrorCode err_ = require_intra(comm); err_ != ErrorCode::kSuccess) {
+    return err_;
+  }
+  const int size = comm.size();
+  const std::size_t total = count * static_cast<std::size_t>(size);
+  std::vector<std::byte> full(total * datatype_size(t));
+  ErrorCode err = reduce(comm, send_buf, full.data(), total, t, op, 0, poll);
+  if (err != ErrorCode::kSuccess) return err;
+  return scatter(comm, full.data(), count * datatype_size(t), recv_buf, 0,
+                 poll);
+}
+
+ErrorCode alltoall(Comm& comm, const void* send_buf, std::size_t block_bytes,
+                   void* recv_buf, const PollHook& poll) {
+  if (ErrorCode err_ = require_intra(comm); err_ != ErrorCode::kSuccess) {
+    return err_;
+  }
+  const int size = comm.size();
+  const int rank = comm.rank();
+  const int tag = comm.next_collective_tag();
+
+  const auto* sbase = static_cast<const std::byte*>(send_buf);
+  auto* rbase = static_cast<std::byte*>(recv_buf);
+  std::memcpy(rbase + static_cast<std::size_t>(rank) * block_bytes,
+              sbase + static_cast<std::size_t>(rank) * block_bytes,
+              block_bytes);
+
+  std::vector<Request> reqs;
+  for (int i = 0; i < size; ++i) {
+    if (i == rank) continue;
+    reqs.push_back(irecv(comm,
+                         rbase + static_cast<std::size_t>(i) * block_bytes,
+                         block_bytes, i, tag));
+  }
+  for (int i = 0; i < size; ++i) {
+    if (i == rank) continue;
+    reqs.push_back(isend(comm,
+                         sbase + static_cast<std::size_t>(i) * block_bytes,
+                         block_bytes, i, tag));
+  }
+  waitall(comm, reqs, poll);
+  return ErrorCode::kSuccess;
+}
+
+}  // namespace motor::mpi

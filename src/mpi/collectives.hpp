@@ -1,0 +1,71 @@
+// Collective operations over intracommunicators, built on pt2pt with the
+// algorithms MPICH2 uses at small scale: dissemination barrier, binomial
+// broadcast/reduce, ring allgather, linear rooted scatter/gather.
+//
+// All ranks of the communicator must call each collective in the same
+// order (standard MPI requirement); internal tags are sequenced per
+// communicator on that assumption.
+#pragma once
+
+#include <vector>
+
+#include "mpi/comm.hpp"
+#include "mpi/datatype.hpp"
+#include "mpi/pt2pt.hpp"
+
+namespace motor::mpi {
+
+ErrorCode barrier(Comm& comm, const PollHook& poll = {});
+
+/// Root's `buf` [bytes] is replicated into every rank's `buf`.
+ErrorCode bcast(Comm& comm, void* buf, std::size_t bytes, int root,
+                const PollHook& poll = {});
+
+/// Root holds size()*block_bytes; rank i receives block i into recv_buf.
+ErrorCode scatter(Comm& comm, const void* send_buf, std::size_t block_bytes,
+                  void* recv_buf, int root, const PollHook& poll = {});
+
+/// Variable-size scatter; counts/displacements in bytes, root-significant.
+ErrorCode scatterv(Comm& comm, const void* send_buf,
+                   const std::vector<std::size_t>& counts,
+                   const std::vector<std::size_t>& displs, void* recv_buf,
+                   std::size_t recv_bytes, int root, const PollHook& poll = {});
+
+/// Rank i's send_buf [block_bytes] lands in root's recv_buf at block i.
+ErrorCode gather(Comm& comm, const void* send_buf, std::size_t block_bytes,
+                 void* recv_buf, int root, const PollHook& poll = {});
+
+ErrorCode gatherv(Comm& comm, const void* send_buf, std::size_t send_bytes,
+                  void* recv_buf, const std::vector<std::size_t>& counts,
+                  const std::vector<std::size_t>& displs, int root,
+                  const PollHook& poll = {});
+
+/// Every rank ends with all ranks' blocks, in rank order.
+ErrorCode allgather(Comm& comm, const void* send_buf, std::size_t block_bytes,
+                    void* recv_buf, const PollHook& poll = {});
+
+/// Element-wise reduction of count elements of type t into root's recv_buf.
+ErrorCode reduce(Comm& comm, const void* send_buf, void* recv_buf,
+                 std::size_t count, Datatype t, ReduceOp op, int root,
+                 const PollHook& poll = {});
+
+ErrorCode allreduce(Comm& comm, const void* send_buf, void* recv_buf,
+                    std::size_t count, Datatype t, ReduceOp op,
+                    const PollHook& poll = {});
+
+/// Rank i sends block j of send_buf to rank j, receiving into block i.
+ErrorCode alltoall(Comm& comm, const void* send_buf, std::size_t block_bytes,
+                   void* recv_buf, const PollHook& poll = {});
+
+/// Inclusive prefix reduction: rank i receives op(rank 0 .. rank i).
+ErrorCode scan(Comm& comm, const void* send_buf, void* recv_buf,
+               std::size_t count, Datatype t, ReduceOp op,
+               const PollHook& poll = {});
+
+/// Reduce size()*count elements, then scatter `count` elements to each
+/// rank (MPI_Reduce_scatter_block).
+ErrorCode reduce_scatter_block(Comm& comm, const void* send_buf,
+                               void* recv_buf, std::size_t count, Datatype t,
+                               ReduceOp op, const PollHook& poll = {});
+
+}  // namespace motor::mpi

@@ -1,0 +1,121 @@
+#include "mpi/comm.hpp"
+
+#include <algorithm>
+
+#include "mpi/collectives.hpp"
+#include "mpi/device.hpp"
+#include "mpi/pt2pt.hpp"
+#include "mpi/world.hpp"
+
+namespace motor::mpi {
+
+Comm::Comm(World* world, Device* device, Group local, int context_id)
+    : world_(world),
+      device_(device),
+      local_(std::move(local)),
+      context_id_(context_id) {
+  rank_ = local_.rank_of(device_->world_rank()).value_or(-1);
+  MOTOR_CHECK(rank_ >= 0, "intracomm: this rank is not a group member");
+}
+
+Comm::Comm(World* world, Device* device, Group local, Group remote,
+           int context_id)
+    : world_(world),
+      device_(device),
+      local_(std::move(local)),
+      remote_(std::move(remote)),
+      context_id_(context_id) {
+  rank_ = local_.rank_of(device_->world_rank()).value_or(-1);
+  MOTOR_CHECK(rank_ >= 0, "intercomm: this rank is not a local group member");
+}
+
+int Comm::peer_world_rank(int comm_rank) const {
+  const Group& peers = is_inter() ? remote_ : local_;
+  return peers.world_rank(comm_rank);
+}
+
+int Comm::peer_comm_rank(int world_rank) const {
+  const Group& peers = is_inter() ? remote_ : local_;
+  return peers.rank_of(world_rank).value_or(-1);
+}
+
+int Comm::next_collective_tag() {
+  return kCollectiveTagBase + (coll_seq_++ & 0x0FFFFFFF);
+}
+
+Comm comm_dup(Comm& comm) {
+  MOTOR_CHECK(!comm.is_null(), "dup of null communicator");
+  int ctx = comm.rank() == 0 ? comm.world().allocate_context() : 0;
+  bcast(comm, &ctx, sizeof ctx, 0);
+  return Comm(&comm.world(), &comm.device(), comm.group(), ctx);
+}
+
+Comm comm_split(Comm& comm, int color, int key) {
+  MOTOR_CHECK(!comm.is_null(), "split of null communicator");
+  const int size = comm.size();
+  const int rank = comm.rank();
+
+  struct Triple {
+    int color, key, rank;
+  };
+  std::vector<Triple> all(static_cast<std::size_t>(size));
+  const Triple mine{color, key, rank};
+  allgather(comm, &mine, sizeof(Triple), all.data());
+
+  // Distinct non-negative colors in sorted order define the context block.
+  std::vector<int> colors;
+  for (const Triple& t : all) {
+    if (t.color >= 0) colors.push_back(t.color);
+  }
+  std::sort(colors.begin(), colors.end());
+  colors.erase(std::unique(colors.begin(), colors.end()), colors.end());
+
+  int base = 0;
+  if (rank == 0 && !colors.empty()) {
+    base = comm.world().allocate_context_block(
+        static_cast<int>(colors.size()));
+  }
+  bcast(comm, &base, sizeof base, 0);
+
+  if (color < 0) return Comm{};  // MPI_UNDEFINED
+
+  std::vector<Triple> members;
+  for (const Triple& t : all) {
+    if (t.color == color) members.push_back(t);
+  }
+  std::sort(members.begin(), members.end(), [](const Triple& a, const Triple& b) {
+    return a.key != b.key ? a.key < b.key : a.rank < b.rank;
+  });
+
+  std::vector<int> world_ranks;
+  world_ranks.reserve(members.size());
+  for (const Triple& t : members) {
+    world_ranks.push_back(comm.group().world_rank(t.rank));
+  }
+  const auto color_index = static_cast<int>(
+      std::lower_bound(colors.begin(), colors.end(), color) - colors.begin());
+  return Comm(&comm.world(), &comm.device(), Group(std::move(world_ranks)),
+              base + color_index);
+}
+
+Comm comm_create(Comm& comm, const Group& group) {
+  MOTOR_CHECK(!comm.is_null(), "create on null communicator");
+  int ctx = comm.rank() == 0 ? comm.world().allocate_context() : 0;
+  bcast(comm, &ctx, sizeof ctx, 0);
+  if (!group.rank_of(comm.device().world_rank()).has_value()) return Comm{};
+  return Comm(&comm.world(), &comm.device(), group, ctx);
+}
+
+Comm intercomm_merge(Comm& inter, bool high) {
+  MOTOR_CHECK(inter.is_inter(), "merge requires an intercommunicator");
+  // A production MPI runs a leader exchange to agree on the fused context
+  // id; with every rank sharing one World the agreed value comes from a
+  // keyed allocator (same inputs -> same id) — see DESIGN.md.
+  const auto key = static_cast<std::uint64_t>(inter.context_id());
+  const int ctx = inter.world().shared_context_for((key << 8) | 0x4Du);
+  Group merged = high ? inter.remote_group().set_union(inter.group())
+                      : inter.group().set_union(inter.remote_group());
+  return Comm(&inter.world(), &inter.device(), std::move(merged), ctx);
+}
+
+}  // namespace motor::mpi

@@ -1,0 +1,95 @@
+// Communicators: a context id (isolating tag spaces), a local group, and —
+// for intercommunicators — a remote group, per MPI-1/MPI-2 semantics.
+//
+// Comm objects are per-rank values (each rank holds its own Comm describing
+// the same communicator); equality of communicator identity is equality of
+// context id.
+#pragma once
+
+#include <memory>
+
+#include "mpi/group.hpp"
+#include "mpi/request.hpp"
+
+namespace motor::mpi {
+
+class Device;
+class World;
+
+/// Tags >= kCollectiveTagBase are reserved for internal collective traffic.
+inline constexpr int kMaxUserTag = (1 << 29) - 1;
+inline constexpr int kCollectiveTagBase = 1 << 30;
+
+class Comm {
+ public:
+  Comm() = default;  // null communicator
+
+  /// Intracommunicator.
+  Comm(World* world, Device* device, Group local, int context_id);
+
+  /// Intercommunicator: pt2pt ranks address the remote group.
+  Comm(World* world, Device* device, Group local, Group remote,
+       int context_id);
+
+  [[nodiscard]] bool is_null() const noexcept { return device_ == nullptr; }
+  [[nodiscard]] bool is_inter() const noexcept { return !remote_.members().empty(); }
+
+  /// My rank within the local group.
+  [[nodiscard]] int rank() const noexcept { return rank_; }
+  /// Local group size.
+  [[nodiscard]] int size() const noexcept { return local_.size(); }
+  /// Remote group size (intercommunicators; 0 otherwise).
+  [[nodiscard]] int remote_size() const noexcept { return remote_.size(); }
+
+  [[nodiscard]] int context_id() const noexcept { return context_id_; }
+  [[nodiscard]] const Group& group() const noexcept { return local_; }
+  [[nodiscard]] const Group& remote_group() const noexcept { return remote_; }
+
+  [[nodiscard]] Device& device() const {
+    MOTOR_CHECK(device_ != nullptr, "null communicator");
+    return *device_;
+  }
+  [[nodiscard]] World& world() const {
+    MOTOR_CHECK(world_ != nullptr, "null communicator");
+    return *world_;
+  }
+
+  /// World rank of pt2pt peer `comm_rank` (remote group on intercomms).
+  [[nodiscard]] int peer_world_rank(int comm_rank) const;
+
+  /// Comm rank corresponding to a world rank in the peer group, for
+  /// translating MsgStatus.source back to communicator terms.
+  [[nodiscard]] int peer_comm_rank(int world_rank) const;
+
+  /// Sequenced internal tag for the next collective operation. All ranks
+  /// invoke collectives on a communicator in the same order (an MPI
+  /// requirement), so the sequence agrees across ranks.
+  int next_collective_tag();
+
+ private:
+  World* world_ = nullptr;
+  Device* device_ = nullptr;
+  Group local_;
+  Group remote_;
+  int context_id_ = 0;
+  int rank_ = -1;
+  int coll_seq_ = 0;
+};
+
+/// MPI_Comm_dup: same group, fresh context id. Collective.
+Comm comm_dup(Comm& comm);
+
+/// MPI_Comm_split: partition by color (color < 0 -> no new communicator),
+/// order by (key, parent rank). Collective.
+Comm comm_split(Comm& comm, int color, int key);
+
+/// MPI_Comm_create: communicator over `group` (a subset of comm's group);
+/// ranks outside the group receive a null Comm. Collective.
+Comm comm_create(Comm& comm, const Group& group);
+
+/// MPI_Intercomm_merge: fuse an intercommunicator into an intracommunicator.
+/// `high` orders this side's ranks after the remote side. Collective over
+/// both sides.
+Comm intercomm_merge(Comm& inter, bool high);
+
+}  // namespace motor::mpi

@@ -1,0 +1,152 @@
+#include "mpi/datatype.hpp"
+
+#include <algorithm>
+
+#include "common/status.hpp"
+
+namespace motor::mpi {
+
+std::size_t datatype_size(Datatype t) noexcept {
+  switch (t) {
+    case Datatype::kByte:
+    case Datatype::kChar:
+    case Datatype::kInt8:
+    case Datatype::kUInt8:
+    case Datatype::kPacked:
+      return 1;
+    case Datatype::kInt16:
+    case Datatype::kUInt16:
+      return 2;
+    case Datatype::kInt32:
+    case Datatype::kUInt32:
+    case Datatype::kFloat:
+      return 4;
+    case Datatype::kInt64:
+    case Datatype::kUInt64:
+    case Datatype::kDouble:
+      return 8;
+  }
+  return 1;
+}
+
+std::string_view datatype_name(Datatype t) noexcept {
+  switch (t) {
+    case Datatype::kByte: return "byte";
+    case Datatype::kChar: return "char";
+    case Datatype::kInt8: return "int8";
+    case Datatype::kUInt8: return "uint8";
+    case Datatype::kInt16: return "int16";
+    case Datatype::kUInt16: return "uint16";
+    case Datatype::kInt32: return "int32";
+    case Datatype::kUInt32: return "uint32";
+    case Datatype::kInt64: return "int64";
+    case Datatype::kUInt64: return "uint64";
+    case Datatype::kFloat: return "float";
+    case Datatype::kDouble: return "double";
+    case Datatype::kPacked: return "packed";
+  }
+  return "<unknown>";
+}
+
+namespace {
+
+template <typename T>
+void apply_typed(ReduceOp op, const T* in, T* inout, std::size_t count) {
+  switch (op) {
+    case ReduceOp::kSum:
+      for (std::size_t i = 0; i < count; ++i) inout[i] = inout[i] + in[i];
+      return;
+    case ReduceOp::kProd:
+      for (std::size_t i = 0; i < count; ++i) inout[i] = inout[i] * in[i];
+      return;
+    case ReduceOp::kMin:
+      for (std::size_t i = 0; i < count; ++i)
+        inout[i] = std::min(inout[i], in[i]);
+      return;
+    case ReduceOp::kMax:
+      for (std::size_t i = 0; i < count; ++i)
+        inout[i] = std::max(inout[i], in[i]);
+      return;
+    case ReduceOp::kLogicalAnd:
+    case ReduceOp::kLogicalOr:
+    case ReduceOp::kBitAnd:
+    case ReduceOp::kBitOr:
+      if constexpr (std::is_integral_v<T>) {
+        for (std::size_t i = 0; i < count; ++i) {
+          switch (op) {
+            case ReduceOp::kLogicalAnd:
+              inout[i] = static_cast<T>((inout[i] != 0) && (in[i] != 0));
+              break;
+            case ReduceOp::kLogicalOr:
+              inout[i] = static_cast<T>((inout[i] != 0) || (in[i] != 0));
+              break;
+            case ReduceOp::kBitAnd:
+              inout[i] = static_cast<T>(inout[i] & in[i]);
+              break;
+            case ReduceOp::kBitOr:
+              inout[i] = static_cast<T>(inout[i] | in[i]);
+              break;
+            default:
+              break;
+          }
+        }
+      } else {
+        fatal("mpi", "logical/bitwise reduce on floating datatype");
+      }
+      return;
+  }
+  fatal("mpi", "unknown reduce op");
+}
+
+}  // namespace
+
+void reduce_apply(ReduceOp op, Datatype t, const void* in, void* inout,
+                  std::size_t count) {
+  switch (t) {
+    case Datatype::kByte:
+    case Datatype::kUInt8:
+    case Datatype::kPacked:
+      apply_typed(op, static_cast<const std::uint8_t*>(in),
+                  static_cast<std::uint8_t*>(inout), count);
+      return;
+    case Datatype::kChar:
+    case Datatype::kInt8:
+      apply_typed(op, static_cast<const std::int8_t*>(in),
+                  static_cast<std::int8_t*>(inout), count);
+      return;
+    case Datatype::kInt16:
+      apply_typed(op, static_cast<const std::int16_t*>(in),
+                  static_cast<std::int16_t*>(inout), count);
+      return;
+    case Datatype::kUInt16:
+      apply_typed(op, static_cast<const std::uint16_t*>(in),
+                  static_cast<std::uint16_t*>(inout), count);
+      return;
+    case Datatype::kInt32:
+      apply_typed(op, static_cast<const std::int32_t*>(in),
+                  static_cast<std::int32_t*>(inout), count);
+      return;
+    case Datatype::kUInt32:
+      apply_typed(op, static_cast<const std::uint32_t*>(in),
+                  static_cast<std::uint32_t*>(inout), count);
+      return;
+    case Datatype::kInt64:
+      apply_typed(op, static_cast<const std::int64_t*>(in),
+                  static_cast<std::int64_t*>(inout), count);
+      return;
+    case Datatype::kUInt64:
+      apply_typed(op, static_cast<const std::uint64_t*>(in),
+                  static_cast<std::uint64_t*>(inout), count);
+      return;
+    case Datatype::kFloat:
+      apply_typed(op, static_cast<const float*>(in), static_cast<float*>(inout),
+                  count);
+      return;
+    case Datatype::kDouble:
+      apply_typed(op, static_cast<const double*>(in),
+                  static_cast<double*>(inout), count);
+      return;
+  }
+}
+
+}  // namespace motor::mpi

@@ -1,0 +1,53 @@
+// MPI basic datatypes and reduction operators.
+//
+// The Motor bindings (paper §4.2.1) drop the MPI_Datatype parameter from the
+// managed surface — object type is self-describing — but the MPI core below
+// the FCall boundary still speaks datatypes, exactly as MPICH2 does, and the
+// native baseline uses them directly.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace motor::mpi {
+
+enum class Datatype : std::uint8_t {
+  kByte,
+  kChar,
+  kInt8,
+  kUInt8,
+  kInt16,
+  kUInt16,
+  kInt32,
+  kUInt32,
+  kInt64,
+  kUInt64,
+  kFloat,
+  kDouble,
+  kPacked,  // produced by pack(); element size 1
+};
+
+/// Size in bytes of one element of `t`.
+std::size_t datatype_size(Datatype t) noexcept;
+
+/// Stable name for diagnostics.
+std::string_view datatype_name(Datatype t) noexcept;
+
+enum class ReduceOp : std::uint8_t {
+  kSum,
+  kProd,
+  kMin,
+  kMax,
+  kLogicalAnd,
+  kLogicalOr,
+  kBitAnd,
+  kBitOr,
+};
+
+/// inout[i] = op(inout[i], in[i]) for count elements of type t.
+/// Logical/bitwise ops are invalid on floating types (checked).
+void reduce_apply(ReduceOp op, Datatype t, const void* in, void* inout,
+                  std::size_t count);
+
+}  // namespace motor::mpi

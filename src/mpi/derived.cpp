@@ -1,0 +1,168 @@
+#include "mpi/derived.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "mpi/pt2pt.hpp"
+
+namespace motor::mpi {
+
+DatatypeDef DatatypeDef::basic(Datatype t) {
+  DatatypeDef def;
+  def.map_.emplace_back(0, t);
+  def.size_ = datatype_size(t);
+  def.extent_ = def.size_;
+  return def;
+}
+
+DatatypeDef DatatypeDef::contiguous(int count, const DatatypeDef& old) {
+  MOTOR_CHECK(count >= 0, "contiguous: negative count");
+  DatatypeDef def;
+  def.map_.reserve(static_cast<std::size_t>(count) * old.map_.size());
+  for (int i = 0; i < count; ++i) {
+    const std::size_t shift = static_cast<std::size_t>(i) * old.extent_;
+    for (const auto& [off, t] : old.map_) def.map_.emplace_back(shift + off, t);
+  }
+  def.size_ = old.size_ * static_cast<std::size_t>(count);
+  def.extent_ = old.extent_ * static_cast<std::size_t>(count);
+  return def;
+}
+
+DatatypeDef DatatypeDef::vector(int count, int blocklength, int stride,
+                                const DatatypeDef& old) {
+  MOTOR_CHECK(count >= 0 && blocklength >= 0, "vector: negative shape");
+  DatatypeDef def;
+  for (int b = 0; b < count; ++b) {
+    const std::size_t block_base =
+        static_cast<std::size_t>(b) * static_cast<std::size_t>(stride) *
+        old.extent_;
+    for (int e = 0; e < blocklength; ++e) {
+      const std::size_t shift =
+          block_base + static_cast<std::size_t>(e) * old.extent_;
+      for (const auto& [off, t] : old.map_) {
+        def.map_.emplace_back(shift + off, t);
+      }
+    }
+  }
+  def.size_ = old.size_ * static_cast<std::size_t>(count) *
+              static_cast<std::size_t>(blocklength);
+  // MPI extent: from the first byte to the end of the last block.
+  if (count > 0 && blocklength > 0) {
+    def.extent_ = (static_cast<std::size_t>(count - 1) *
+                       static_cast<std::size_t>(stride) +
+                   static_cast<std::size_t>(blocklength)) *
+                  old.extent_;
+  }
+  return def;
+}
+
+DatatypeDef DatatypeDef::indexed(std::span<const int> blocklengths,
+                                 std::span<const int> displacements,
+                                 const DatatypeDef& old) {
+  MOTOR_CHECK(blocklengths.size() == displacements.size(),
+              "indexed: mismatched block arrays");
+  DatatypeDef def;
+  std::size_t max_end = 0;
+  for (std::size_t b = 0; b < blocklengths.size(); ++b) {
+    MOTOR_CHECK(blocklengths[b] >= 0 && displacements[b] >= 0,
+                "indexed: negative block shape");
+    const std::size_t block_base =
+        static_cast<std::size_t>(displacements[b]) * old.extent_;
+    for (int e = 0; e < blocklengths[b]; ++e) {
+      const std::size_t shift =
+          block_base + static_cast<std::size_t>(e) * old.extent_;
+      for (const auto& [off, t] : old.map_) {
+        def.map_.emplace_back(shift + off, t);
+      }
+    }
+    def.size_ += old.size_ * static_cast<std::size_t>(blocklengths[b]);
+    max_end = std::max(max_end,
+                       block_base + static_cast<std::size_t>(blocklengths[b]) *
+                                        old.extent_);
+  }
+  std::sort(def.map_.begin(), def.map_.end());
+  def.extent_ = max_end;
+  return def;
+}
+
+DatatypeDef DatatypeDef::structure(
+    std::span<const std::pair<std::size_t, Datatype>> fields,
+    std::size_t extent_bytes) {
+  DatatypeDef def;
+  for (const auto& [off, t] : fields) {
+    def.map_.emplace_back(off, t);
+    def.size_ += datatype_size(t);
+    MOTOR_CHECK(off + datatype_size(t) <= extent_bytes,
+                "structure: field outside extent");
+  }
+  std::sort(def.map_.begin(), def.map_.end());
+  def.extent_ = extent_bytes;
+  return def;
+}
+
+bool DatatypeDef::is_contiguous() const noexcept {
+  if (size_ != extent_) return false;
+  std::size_t expected = 0;
+  for (const auto& [off, t] : map_) {
+    if (off != expected) return false;
+    expected += datatype_size(t);
+  }
+  return true;
+}
+
+void DatatypeDef::pack(const void* base, std::size_t count,
+                       ByteBuffer& out) const {
+  const auto* b = static_cast<const std::byte*>(base);
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::byte* elem = b + i * extent_;
+    for (const auto& [off, t] : map_) {
+      out.append_raw(elem + off, datatype_size(t));
+    }
+  }
+}
+
+Status DatatypeDef::unpack(ByteBuffer& in, void* base,
+                           std::size_t count) const {
+  auto* b = static_cast<std::byte*>(base);
+  for (std::size_t i = 0; i < count; ++i) {
+    std::byte* elem = b + i * extent_;
+    for (const auto& [off, t] : map_) {
+      MOTOR_RETURN_IF_ERROR(
+          in.read({elem + off, datatype_size(t)}));
+    }
+  }
+  return Status::ok();
+}
+
+ErrorCode send_derived(Comm& comm, const void* base, std::size_t count,
+                       const DatatypeDef& type, int dst, int tag) {
+  if (type.is_contiguous()) {
+    // Contiguous types go straight through the zero-copy path.
+    return send(comm, base, count * type.size(), dst, tag);
+  }
+  ByteBuffer packed;
+  packed.reserve(count * type.size());
+  type.pack(base, count, packed);
+  return send(comm, packed.data(), packed.size(), dst, tag);
+}
+
+ErrorCode recv_derived(Comm& comm, void* base, std::size_t count,
+                       const DatatypeDef& type, int src, int tag,
+                       MsgStatus* status) {
+  const std::size_t wire_bytes = count * type.size();
+  if (type.is_contiguous()) {
+    return recv(comm, base, wire_bytes, src, tag, status);
+  }
+  ByteBuffer staging;
+  staging.resize(wire_bytes);
+  MsgStatus st;
+  const ErrorCode err =
+      recv(comm, staging.data(), wire_bytes, src, tag, &st);
+  if (status != nullptr) *status = st;
+  if (err != ErrorCode::kSuccess) return err;
+  staging.seek(0);
+  Status unpacked = type.unpack(staging, base, count);
+  return unpacked.is_ok() ? ErrorCode::kSuccess : unpacked.code();
+}
+
+}  // namespace motor::mpi

@@ -1,0 +1,483 @@
+#include "mpi/device.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "pal/thread.hpp"
+
+namespace motor::mpi {
+
+namespace {
+
+bool envelope_matches(const Request& recv, const PacketHeader& hdr) {
+  if (recv->context != hdr.context) return false;
+  if (recv->tag != kAnyTag && recv->tag != hdr.tag) return false;
+  if (recv->peer != kAnySource && recv->peer != hdr.src) return false;
+  return true;
+}
+
+bool is_eager(PacketType t) {
+  return t == PacketType::kEager || t == PacketType::kEagerSync;
+}
+
+}  // namespace
+
+Device::Device(transport::Fabric& fabric, int world_rank, DeviceConfig config)
+    : fabric_(fabric), my_rank_(world_rank), config_(config) {
+  MOTOR_CHECK(world_rank >= 0 && world_rank < fabric.size(),
+              "device rank outside fabric");
+}
+
+Request Device::post_send(ByteSpan data, int dst, int tag, int context,
+                          bool sync) {
+  MOTOR_CHECK(dst >= 0 && dst < fabric_.size(), "send to bad rank");
+  auto req = std::make_shared<RequestState>();
+  req->kind = RequestKind::kSend;
+  req->id = next_req_id_++;
+  req->peer = dst;
+  req->tag = tag;
+  req->context = context;
+  req->send_buf = data.data();
+  req->buffer_bytes = data.size();
+  req->sync = sync;
+
+  PacketHeader hdr;
+  hdr.src = my_rank_;
+  hdr.tag = tag;
+  hdr.context = context;
+  hdr.msg_bytes = data.size();
+  hdr.sreq_id = req->id;
+
+  if (data.size() <= config_.eager_threshold) {
+    hdr.type = sync ? PacketType::kEagerSync : PacketType::kEager;
+    hdr.payload_bytes = data.size();
+    if (sync) sync_sends_[req->id] = req;
+    enqueue_data(dst, hdr, data, req, /*completes_on_drain=*/!sync);
+  } else {
+    // Rendezvous: announce, wait for CTS, then stream. A rendezvous send is
+    // inherently synchronous — data only moves after the receiver matched.
+    hdr.type = PacketType::kRndvRts;
+    hdr.payload_bytes = 0;
+    rndv_sends_[req->id] = req;
+    enqueue_control(dst, hdr);
+  }
+  return req;
+}
+
+Request Device::post_recv(MutableByteSpan buf, int src, int tag, int context) {
+  auto req = std::make_shared<RequestState>();
+  req->kind = RequestKind::kRecv;
+  req->id = next_req_id_++;
+  req->peer = src;
+  req->tag = tag;
+  req->context = context;
+  req->recv_buf = buf.data();
+  req->buffer_bytes = buf.size();
+
+  // First look for an already-arrived message (the unexpected queue).
+  for (auto it = unexpected_.begin(); it != unexpected_.end(); ++it) {
+    if (!envelope_matches(req, it->hdr)) continue;
+    UnexpectedMsg msg = std::move(*it);
+    unexpected_.erase(it);
+    deliver_unexpected_to(req, msg);
+    // Matching may have produced control packets (sync acks, CTS). Flush
+    // them now: the request may already be complete, in which case the
+    // caller never drives progress again.
+    pump_outbound();
+    return req;
+  }
+  posted_recvs_.push_back(req);
+  return req;
+}
+
+void Device::deliver_unexpected_to(const Request& req, UnexpectedMsg& msg) {
+  const PacketHeader& hdr = msg.hdr;
+  if (is_eager(hdr.type)) {
+    const std::size_t n = std::min<std::size_t>(msg.payload.size(),
+                                                req->buffer_bytes);
+    if (n > 0) std::memcpy(req->recv_buf, msg.payload.data(), n);
+    const ErrorCode err = msg.payload.size() > req->buffer_bytes
+                              ? ErrorCode::kTruncate
+                              : ErrorCode::kSuccess;
+    on_matched(hdr, req);
+    complete_recv(req, hdr, n, err);
+  } else {
+    // Buffered RTS: match now, ask the sender to stream.
+    MOTOR_CHECK(hdr.type == PacketType::kRndvRts, "bad unexpected packet");
+    on_matched(hdr, req);
+  }
+}
+
+bool Device::try_match_posted(const PacketHeader& hdr, Request* out) {
+  for (auto it = posted_recvs_.begin(); it != posted_recvs_.end(); ++it) {
+    if (envelope_matches(*it, hdr)) {
+      *out = *it;
+      posted_recvs_.erase(it);
+      return true;
+    }
+  }
+  return false;
+}
+
+void Device::on_matched(const PacketHeader& hdr, const Request& rreq) {
+  if (hdr.type == PacketType::kEagerSync) {
+    PacketHeader ack;
+    ack.type = PacketType::kSyncAck;
+    ack.src = my_rank_;
+    ack.tag = hdr.tag;
+    ack.context = hdr.context;
+    ack.sreq_id = hdr.sreq_id;
+    enqueue_control(hdr.src, ack);
+  } else if (hdr.type == PacketType::kRndvRts) {
+    rreq->transferred = 0;
+    if (hdr.msg_bytes > rreq->buffer_bytes) rreq->error = ErrorCode::kTruncate;
+    rndv_recvs_[rreq->id] = rreq;
+    PacketHeader cts;
+    cts.type = PacketType::kRndvCts;
+    cts.src = my_rank_;
+    cts.tag = hdr.tag;
+    cts.context = hdr.context;
+    cts.sreq_id = hdr.sreq_id;
+    cts.rreq_id = rreq->id;
+    enqueue_control(hdr.src, cts);
+  }
+}
+
+void Device::complete_recv(const Request& req, const PacketHeader& hdr,
+                           std::size_t bytes, ErrorCode err) {
+  req->peer = hdr.src;
+  req->tag = hdr.tag;
+  req->transferred = bytes;
+  if (req->error == ErrorCode::kSuccess) req->error = err;
+  req->mark_complete();
+}
+
+void Device::enqueue_control(int dst, const PacketHeader& hdr) {
+  OutPacket pkt;
+  encode_header(hdr, pkt.header);
+  outq_[dst].push_back(std::move(pkt));
+}
+
+void Device::enqueue_data(int dst, const PacketHeader& hdr, ByteSpan payload,
+                          Request req, bool completes_on_drain) {
+  OutPacket pkt;
+  encode_header(hdr, pkt.header);
+  pkt.payload = payload;
+  pkt.req = std::move(req);
+  pkt.completes_on_drain = completes_on_drain;
+  outq_[dst].push_back(std::move(pkt));
+}
+
+void Device::pump_outbound() {
+  for (auto& [dst, queue] : outq_) {
+    while (!queue.empty()) {
+      OutPacket& pkt = queue.front();
+      transport::Channel& ch = fabric_.link(my_rank_, dst);
+
+      if (pkt.header_sent < kPacketHeaderBytes) {
+        const std::size_t n = ch.try_write(
+            {pkt.header + pkt.header_sent, kPacketHeaderBytes - pkt.header_sent});
+        pkt.header_sent += n;
+        bytes_sent_ += n;
+        if (pkt.header_sent < kPacketHeaderBytes) break;  // channel full
+      }
+      if (pkt.payload_sent < pkt.payload.size()) {
+        const std::size_t n = ch.try_write(pkt.payload.subspan(pkt.payload_sent));
+        pkt.payload_sent += n;
+        bytes_sent_ += n;
+        if (pkt.payload_sent < pkt.payload.size()) break;  // channel full
+      }
+
+      // Fully on the wire.
+      if (pkt.req) {
+        pkt.req->payload_drained = true;
+        if (pkt.completes_on_drain) {
+          pkt.req->transferred = pkt.payload.size();
+          pkt.req->mark_complete();
+        } else if (pkt.req->sync && pkt.req->sync_acked) {
+          pkt.req->transferred = pkt.payload.size();
+          pkt.req->mark_complete();
+        }
+      }
+      queue.pop_front();
+    }
+  }
+}
+
+void Device::dispatch_header(int src, InState& st) {
+  const PacketHeader& hdr = st.hdr;
+  st.direct_sink = nullptr;
+  st.direct_capacity = 0;
+  st.sink_req.reset();
+  st.to_staging = false;
+  st.staging.clear();
+
+  switch (hdr.type) {
+    case PacketType::kEager:
+    case PacketType::kEagerSync: {
+      Request rreq;
+      if (try_match_posted(hdr, &rreq)) {
+        on_matched(hdr, rreq);
+        st.sink_req = rreq;
+        st.direct_sink = rreq->recv_buf;
+        st.direct_capacity = rreq->buffer_bytes;
+      } else {
+        st.to_staging = true;
+        st.staging.resize(hdr.payload_bytes);
+      }
+      break;
+    }
+    case PacketType::kRndvRts: {
+      Request rreq;
+      if (try_match_posted(hdr, &rreq)) {
+        on_matched(hdr, rreq);
+      } else {
+        unexpected_.push_back(UnexpectedMsg{hdr, {}});
+      }
+      break;
+    }
+    case PacketType::kRndvCts: {
+      auto it = rndv_sends_.find(hdr.sreq_id);
+      MOTOR_CHECK(it != rndv_sends_.end(), "CTS for unknown send");
+      Request sreq = it->second;
+      rndv_sends_.erase(it);
+      PacketHeader data;
+      data.type = PacketType::kRndvData;
+      data.src = my_rank_;
+      data.tag = sreq->tag;
+      data.context = sreq->context;
+      data.payload_bytes = sreq->buffer_bytes;
+      data.msg_bytes = sreq->buffer_bytes;
+      data.sreq_id = sreq->id;
+      data.rreq_id = hdr.rreq_id;
+      // Receiver has matched: rendezvous sends satisfy synchronous mode by
+      // construction, so completion on drain is always correct here.
+      enqueue_data(src, data,
+                   {sreq->send_buf, sreq->buffer_bytes}, sreq,
+                   /*completes_on_drain=*/true);
+      break;
+    }
+    case PacketType::kRndvData: {
+      auto it = rndv_recvs_.find(hdr.rreq_id);
+      MOTOR_CHECK(it != rndv_recvs_.end(), "DATA for unknown recv");
+      Request rreq = it->second;
+      st.sink_req = rreq;
+      st.direct_sink = rreq->recv_buf;
+      st.direct_capacity = rreq->buffer_bytes;
+      break;
+    }
+    case PacketType::kSyncAck: {
+      auto it = sync_sends_.find(hdr.sreq_id);
+      if (it != sync_sends_.end()) {
+        Request sreq = it->second;
+        sync_sends_.erase(it);
+        sreq->sync_acked = true;
+        if (sreq->payload_drained) {
+          sreq->transferred = sreq->buffer_bytes;
+          sreq->mark_complete();
+        }
+      }
+      break;
+    }
+  }
+}
+
+void Device::finish_payload(int src, InState& st) {
+  (void)src;
+  const PacketHeader& hdr = st.hdr;
+  if (st.to_staging) {
+    UnexpectedMsg msg{hdr, std::move(st.staging)};
+    st.staging = {};
+    // A matching receive may have been POSTED while this payload was
+    // still streaming into staging (the staging decision is made at
+    // header time). Deliver straight to it; otherwise it would sit in
+    // the unexpected queue facing a posted receive forever.
+    Request rreq;
+    if (is_eager(hdr.type) && try_match_posted(hdr, &rreq)) {
+      deliver_unexpected_to(rreq, msg);
+      return;
+    }
+    unexpected_.push_back(std::move(msg));
+    return;
+  }
+  if (!st.sink_req) return;  // control packet
+
+  Request req = st.sink_req;
+  const std::size_t delivered =
+      std::min<std::size_t>(hdr.payload_bytes, st.direct_capacity);
+  const ErrorCode err = hdr.payload_bytes > st.direct_capacity
+                            ? ErrorCode::kTruncate
+                            : ErrorCode::kSuccess;
+  if (hdr.type == PacketType::kRndvData) {
+    rndv_recvs_.erase(hdr.rreq_id);
+  }
+  complete_recv(req, hdr, delivered, err);
+}
+
+void Device::pump_inbound() {
+  const int n = fabric_.size();
+  std::byte scratch[4096];  // sink for truncated-overflow bytes
+
+  for (int src = 0; src < n; ++src) {
+    transport::Channel& ch = fabric_.link(src, my_rank_);
+    InState& st = in_[src];
+
+    for (;;) {
+      if (!st.in_payload) {
+        if (st.header_got < kPacketHeaderBytes) {
+          const std::size_t got = ch.try_read(
+              {st.header + st.header_got, kPacketHeaderBytes - st.header_got});
+          st.header_got += got;
+          bytes_received_ += got;
+          if (st.header_got < kPacketHeaderBytes) break;  // need more bytes
+        }
+        st.hdr = decode_header(st.header);
+        st.in_payload = true;
+        st.payload_got = 0;
+        dispatch_header(src, st);
+        if (st.hdr.payload_bytes == 0) {
+          finish_payload(src, st);
+          st.in_payload = false;
+          st.header_got = 0;
+          continue;
+        }
+      }
+
+      // Stream payload bytes toward the chosen sink.
+      std::size_t remaining = st.hdr.payload_bytes - st.payload_got;
+      std::size_t got = 0;
+      if (st.to_staging) {
+        got = ch.try_read({st.staging.data() + st.payload_got, remaining});
+      } else if (st.direct_sink != nullptr &&
+                 st.payload_got < st.direct_capacity) {
+        const std::size_t room =
+            std::min(remaining, st.direct_capacity - st.payload_got);
+        got = ch.try_read({st.direct_sink + st.payload_got, room});
+      } else {
+        // Discard: truncated tail or a control payload we cannot place.
+        got = ch.try_read({scratch, std::min(remaining, sizeof scratch)});
+      }
+      st.payload_got += got;
+      bytes_received_ += got;
+      if (st.payload_got < st.hdr.payload_bytes) break;  // need more bytes
+
+      finish_payload(src, st);
+      st.in_payload = false;
+      st.header_got = 0;
+    }
+  }
+}
+
+void Device::progress() {
+  pump_outbound();
+  pump_inbound();
+  // Inbound handling may have queued control packets (acks, CTS); give them
+  // an immediate chance to leave so latency stays at one pump per hop.
+  pump_outbound();
+}
+
+bool Device::test(const Request& req) {
+  if (req->is_complete()) return true;
+  progress();
+  return req->is_complete();
+}
+
+MsgStatus Device::wait(const Request& req,
+                       const std::function<void()>& poll_hook) {
+  // Polling wait (paper §7.1): no blocking system call; every iteration is
+  // a progress pump plus the caller's yield hook (GC poll for Motor).
+  // One unconditional pump keeps already-queued control packets moving
+  // even when the request completed earlier.
+  progress();
+  while (!req->is_complete()) {
+    if (poll_hook) poll_hook();
+    pal::Thread::yield();
+    progress();
+  }
+  return status_of(req);
+}
+
+void Device::cancel(const Request& req) {
+  if (req->is_complete()) return;
+  if (req->kind == RequestKind::kRecv) {
+    for (auto it = posted_recvs_.begin(); it != posted_recvs_.end(); ++it) {
+      if (it->get() == req.get()) {
+        posted_recvs_.erase(it);
+        req->cancelled = true;
+        req->error = ErrorCode::kCancelled;
+        req->mark_complete();
+        return;
+      }
+    }
+    return;  // already matched; will complete normally
+  }
+  // Sends: cancellable only while entirely un-transmitted.
+  auto qit = outq_.find(req->peer);
+  if (qit == outq_.end()) return;
+  for (auto it = qit->second.begin(); it != qit->second.end(); ++it) {
+    if (it->req.get() == req.get() && it->header_sent == 0 &&
+        it->payload_sent == 0) {
+      qit->second.erase(it);
+      rndv_sends_.erase(req->id);
+      sync_sends_.erase(req->id);
+      req->cancelled = true;
+      req->error = ErrorCode::kCancelled;
+      req->mark_complete();
+      return;
+    }
+  }
+}
+
+bool Device::iprobe(int src, int tag, int context, MsgStatus* out) {
+  progress();
+  for (const auto& msg : unexpected_) {
+    if (msg.hdr.context != context) continue;
+    if (tag != kAnyTag && tag != msg.hdr.tag) continue;
+    if (src != kAnySource && src != msg.hdr.src) continue;
+    if (out != nullptr) {
+      out->source = msg.hdr.src;
+      out->tag = msg.hdr.tag;
+      out->count_bytes = msg.hdr.msg_bytes;
+      out->error = ErrorCode::kSuccess;
+    }
+    return true;
+  }
+  return false;
+}
+
+void Device::dump_state(std::FILE* out) const {
+  std::fprintf(out, "device rank %d: posted=%zu unexpected=%zu rndv_s=%zu "
+               "rndv_r=%zu sync=%zu\n",
+               my_rank_, posted_recvs_.size(), unexpected_.size(),
+               rndv_sends_.size(), rndv_recvs_.size(), sync_sends_.size());
+  for (const Request& r : posted_recvs_) {
+    std::fprintf(out, "  posted: src=%d tag=%d ctx=%d cap=%zu\n", r->peer,
+                 r->tag, r->context, r->buffer_bytes);
+  }
+  for (const UnexpectedMsg& m : unexpected_) {
+    std::fprintf(out, "  unexpected: type=%d src=%d tag=%d ctx=%d bytes=%llu\n",
+                 static_cast<int>(m.hdr.type), m.hdr.src, m.hdr.tag,
+                 m.hdr.context,
+                 static_cast<unsigned long long>(m.hdr.msg_bytes));
+  }
+  for (const auto& [dst, queue] : outq_) {
+    if (!queue.empty()) {
+      std::fprintf(out, "  outq to %d: %zu packets (front hdr %zu/%zu payload %zu/%zu)\n",
+                   dst, queue.size(), queue.front().header_sent,
+                   kPacketHeaderBytes, queue.front().payload_sent,
+                   queue.front().payload.size());
+    }
+  }
+}
+
+MsgStatus Device::status_of(const Request& req) {
+  MsgStatus st;
+  st.source = req->peer;
+  st.tag = req->tag;
+  st.error = req->error;
+  st.count_bytes = req->transferred;
+  st.cancelled = req->cancelled;
+  return st;
+}
+
+}  // namespace motor::mpi

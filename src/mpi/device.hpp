@@ -1,0 +1,164 @@
+// The per-rank communication device — the analog of MPICH2's CH3/ADI3
+// layer. It owns:
+//   * the posted-receive queue and the unexpected-message queue,
+//   * per-peer outbound packet queues and inbound reassembly state,
+//   * the eager/rendezvous protocol state machines,
+//   * the progress engine that pumps bytes through the channel layer.
+//
+// Threading model: exactly one application thread drives a Device (posts
+// operations and calls progress/wait), matching MPICH2's sock-channel
+// single-threaded progress. Channels themselves are safe for their single
+// producer / single consumer pair.
+//
+// Blocking waits are implemented as *polling waits* — the paper replaces
+// blocking system calls with poll loops so the calling FCall can yield to
+// the garbage collector (§7.1). The `poll_hook` parameter is that yield
+// point: Motor passes a GC-poll closure; native code passes nothing.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <deque>
+#include <functional>
+#include <list>
+#include <unordered_map>
+#include <vector>
+
+#include "mpi/packet.hpp"
+#include "mpi/request.hpp"
+#include "transport/fabric.hpp"
+
+namespace motor::mpi {
+
+/// Device tuning knobs (MPICH2-style).
+struct DeviceConfig {
+  /// Messages <= this many bytes are sent eagerly; larger ones rendezvous.
+  std::size_t eager_threshold = 64 * 1024;
+  /// Largest single DATA packet for rendezvous streaming.
+  std::size_t max_packet_payload = 256 * 1024;
+};
+
+class Device {
+ public:
+  Device(transport::Fabric& fabric, int world_rank,
+         DeviceConfig config = DeviceConfig{});
+
+  Device(const Device&) = delete;
+  Device& operator=(const Device&) = delete;
+
+  [[nodiscard]] int world_rank() const noexcept { return my_rank_; }
+  [[nodiscard]] const DeviceConfig& config() const noexcept { return config_; }
+
+  // ---- posting ----
+
+  /// Start a send of `data` to world rank `dst` on (tag, context).
+  /// `sync` requests synchronous-mode completion (matched before complete).
+  Request post_send(ByteSpan data, int dst, int tag, int context, bool sync);
+
+  /// Start a receive into `buf` from world rank `src` (or kAnySource) with
+  /// `tag` (or kAnyTag) on `context`.
+  Request post_recv(MutableByteSpan buf, int src, int tag, int context);
+
+  // ---- completion ----
+
+  /// Drive progress once and report whether `req` has completed.
+  bool test(const Request& req);
+
+  /// Poll until `req` completes. `poll_hook` (may be empty) runs every
+  /// iteration — the GC-yield point for managed callers.
+  MsgStatus wait(const Request& req, const std::function<void()>& poll_hook = {});
+
+  /// Attempt to cancel. Receives not yet matched and sends not yet on the
+  /// wire are cancelled; otherwise the request completes normally.
+  void cancel(const Request& req);
+
+  /// Non-blocking probe: true when a matching message is available, with
+  /// its envelope in `out` (count_bytes = full message size).
+  bool iprobe(int src, int tag, int context, MsgStatus* out);
+
+  /// One pump of the progress engine: flush outbound queues, drain inbound
+  /// channels, run protocol state machines.
+  void progress();
+
+  // ---- introspection (tests / diagnostics) ----
+  [[nodiscard]] std::size_t posted_recv_count() const {
+    return posted_recvs_.size();
+  }
+  [[nodiscard]] std::size_t unexpected_count() const {
+    return unexpected_.size();
+  }
+  [[nodiscard]] std::uint64_t bytes_sent() const noexcept { return bytes_sent_; }
+  [[nodiscard]] std::uint64_t bytes_received() const noexcept {
+    return bytes_received_;
+  }
+
+  static MsgStatus status_of(const Request& req);
+
+  /// Diagnostic dump of queues and protocol state (stderr-style text).
+  void dump_state(std::FILE* out) const;
+
+ private:
+  // One queued outbound transmission: an owned header plus a non-owning
+  // payload view (zero-copy: payload bytes stream from the user buffer
+  // straight into the channel).
+  struct OutPacket {
+    std::byte header[kPacketHeaderBytes];
+    std::size_t header_sent = 0;
+    ByteSpan payload;
+    std::size_t payload_sent = 0;
+    Request req;              // may be null for control packets
+    bool completes_on_drain = false;
+  };
+
+  // Inbound reassembly per source: header accumulation, then payload
+  // streaming into a sink (matched user buffer, staging vector, or void).
+  struct InState {
+    std::byte header[kPacketHeaderBytes];
+    std::size_t header_got = 0;
+    bool in_payload = false;
+    PacketHeader hdr;
+    std::size_t payload_got = 0;
+    // Sink selection after header dispatch:
+    std::byte* direct_sink = nullptr;       // matched recv buffer
+    std::size_t direct_capacity = 0;        // bytes the sink can hold
+    Request sink_req;                       // request the payload completes
+    std::vector<std::byte> staging;         // unexpected-message buffer
+    bool to_staging = false;
+  };
+
+  struct UnexpectedMsg {
+    PacketHeader hdr;
+    std::vector<std::byte> payload;  // eager only; empty for RTS
+  };
+
+  void enqueue_control(int dst, const PacketHeader& hdr);
+  void enqueue_data(int dst, const PacketHeader& hdr, ByteSpan payload,
+                    Request req, bool completes_on_drain);
+  void pump_outbound();
+  void pump_inbound();
+  void dispatch_header(int src, InState& st);
+  void finish_payload(int src, InState& st);
+  void deliver_unexpected_to(const Request& req, UnexpectedMsg& msg);
+  bool try_match_posted(const PacketHeader& hdr, Request* out);
+  void on_matched(const PacketHeader& hdr, const Request& rreq);
+  void complete_recv(const Request& req, const PacketHeader& hdr,
+                     std::size_t bytes, ErrorCode err);
+
+  transport::Fabric& fabric_;
+  int my_rank_;
+  DeviceConfig config_;
+  std::uint64_t next_req_id_ = 1;
+
+  std::unordered_map<int, std::deque<OutPacket>> outq_;   // by destination
+  std::unordered_map<int, InState> in_;                   // by source
+  std::list<Request> posted_recvs_;
+  std::list<UnexpectedMsg> unexpected_;
+  std::unordered_map<std::uint64_t, Request> rndv_sends_;  // by sreq_id
+  std::unordered_map<std::uint64_t, Request> rndv_recvs_;  // by rreq_id
+  std::unordered_map<std::uint64_t, Request> sync_sends_;  // awaiting ack
+
+  std::uint64_t bytes_sent_ = 0;
+  std::uint64_t bytes_received_ = 0;
+};
+
+}  // namespace motor::mpi

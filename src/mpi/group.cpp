@@ -1,0 +1,61 @@
+#include "mpi/group.hpp"
+
+#include <algorithm>
+
+#include "common/status.hpp"
+
+namespace motor::mpi {
+
+Group Group::contiguous(int n) {
+  std::vector<int> ranks(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) ranks[static_cast<std::size_t>(i)] = i;
+  return Group(std::move(ranks));
+}
+
+int Group::world_rank(int group_rank) const {
+  MOTOR_CHECK(group_rank >= 0 && group_rank < size(),
+              "group rank out of range");
+  return world_ranks_[static_cast<std::size_t>(group_rank)];
+}
+
+std::optional<int> Group::rank_of(int world_rank) const {
+  auto it = std::find(world_ranks_.begin(), world_ranks_.end(), world_rank);
+  if (it == world_ranks_.end()) return std::nullopt;
+  return static_cast<int>(it - world_ranks_.begin());
+}
+
+Group Group::incl(const std::vector<int>& group_ranks) const {
+  std::vector<int> out;
+  out.reserve(group_ranks.size());
+  for (int gr : group_ranks) out.push_back(world_rank(gr));
+  return Group(std::move(out));
+}
+
+Group Group::excl(const std::vector<int>& group_ranks) const {
+  std::vector<int> out;
+  for (int gr = 0; gr < size(); ++gr) {
+    if (std::find(group_ranks.begin(), group_ranks.end(), gr) ==
+        group_ranks.end()) {
+      out.push_back(world_rank(gr));
+    }
+  }
+  return Group(std::move(out));
+}
+
+Group Group::set_union(const Group& other) const {
+  std::vector<int> out = world_ranks_;
+  for (int wr : other.world_ranks_) {
+    if (std::find(out.begin(), out.end(), wr) == out.end()) out.push_back(wr);
+  }
+  return Group(std::move(out));
+}
+
+Group Group::set_intersection(const Group& other) const {
+  std::vector<int> out;
+  for (int wr : world_ranks_) {
+    if (other.rank_of(wr).has_value()) out.push_back(wr);
+  }
+  return Group(std::move(out));
+}
+
+}  // namespace motor::mpi

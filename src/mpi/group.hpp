@@ -1,0 +1,52 @@
+// Process groups: ordered sets of world ranks, per MPI-1 group semantics.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+namespace motor::mpi {
+
+class Group {
+ public:
+  Group() = default;
+  explicit Group(std::vector<int> world_ranks)
+      : world_ranks_(std::move(world_ranks)) {}
+
+  /// Group {0, 1, ..., n-1}.
+  static Group contiguous(int n);
+
+  [[nodiscard]] int size() const noexcept {
+    return static_cast<int>(world_ranks_.size());
+  }
+
+  /// World rank of group member `group_rank`.
+  [[nodiscard]] int world_rank(int group_rank) const;
+
+  /// Group rank of `world_rank`, if a member.
+  [[nodiscard]] std::optional<int> rank_of(int world_rank) const;
+
+  [[nodiscard]] const std::vector<int>& members() const noexcept {
+    return world_ranks_;
+  }
+
+  /// Subset selection (MPI_Group_incl).
+  [[nodiscard]] Group incl(const std::vector<int>& group_ranks) const;
+
+  /// Complement selection (MPI_Group_excl).
+  [[nodiscard]] Group excl(const std::vector<int>& group_ranks) const;
+
+  /// Set union keeping this group's order first (MPI_Group_union).
+  [[nodiscard]] Group set_union(const Group& other) const;
+
+  /// Members of this group also in `other`, in this group's order.
+  [[nodiscard]] Group set_intersection(const Group& other) const;
+
+  friend bool operator==(const Group& a, const Group& b) noexcept {
+    return a.world_ranks_ == b.world_ranks_;
+  }
+
+ private:
+  std::vector<int> world_ranks_;
+};
+
+}  // namespace motor::mpi

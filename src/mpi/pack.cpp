@@ -1,0 +1,31 @@
+#include "mpi/pack.hpp"
+
+#include <cstring>
+
+namespace motor::mpi {
+
+std::size_t pack_size(std::size_t count, Datatype t) noexcept {
+  return count * datatype_size(t);
+}
+
+ErrorCode pack(const void* inbuf, std::size_t count, Datatype t, void* outbuf,
+               std::size_t outsize, std::size_t& position) {
+  const std::size_t bytes = pack_size(count, t);
+  if (inbuf == nullptr && bytes > 0) return ErrorCode::kBufferError;
+  if (position + bytes > outsize) return ErrorCode::kTruncate;
+  std::memcpy(static_cast<std::byte*>(outbuf) + position, inbuf, bytes);
+  position += bytes;
+  return ErrorCode::kSuccess;
+}
+
+ErrorCode unpack(const void* inbuf, std::size_t insize, std::size_t& position,
+                 void* outbuf, std::size_t count, Datatype t) {
+  const std::size_t bytes = pack_size(count, t);
+  if (outbuf == nullptr && bytes > 0) return ErrorCode::kBufferError;
+  if (position + bytes > insize) return ErrorCode::kTruncate;
+  std::memcpy(outbuf, static_cast<const std::byte*>(inbuf) + position, bytes);
+  position += bytes;
+  return ErrorCode::kSuccess;
+}
+
+}  // namespace motor::mpi

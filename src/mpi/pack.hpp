@@ -1,0 +1,26 @@
+// MPI_Pack / MPI_Unpack. The Motor managed bindings drop pack/unpack in
+// favour of the OO operations (paper §4.2.1), but the native baseline and
+// the wrapper baselines still use them, as real MPICH2 applications do.
+#pragma once
+
+#include <cstddef>
+
+#include "mpi/datatype.hpp"
+#include "mpi/request.hpp"
+
+namespace motor::mpi {
+
+/// Bytes needed to pack `count` elements of `t`.
+std::size_t pack_size(std::size_t count, Datatype t) noexcept;
+
+/// Append count elements of `t` from `inbuf` at `position` within `outbuf`
+/// (capacity `outsize`); advances position.
+ErrorCode pack(const void* inbuf, std::size_t count, Datatype t, void* outbuf,
+               std::size_t outsize, std::size_t& position);
+
+/// Extract count elements of `t` into `outbuf` from `inbuf` at `position`;
+/// advances position.
+ErrorCode unpack(const void* inbuf, std::size_t insize, std::size_t& position,
+                 void* outbuf, std::size_t count, Datatype t);
+
+}  // namespace motor::mpi

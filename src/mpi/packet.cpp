@@ -1,0 +1,21 @@
+#include "mpi/packet.hpp"
+
+#include <cstring>
+#include <type_traits>
+
+namespace motor::mpi {
+
+static_assert(std::is_trivially_copyable_v<PacketHeader>,
+              "packet headers must be raw-copyable");
+
+void encode_header(const PacketHeader& hdr, std::byte* out) noexcept {
+  std::memcpy(out, &hdr, kPacketHeaderBytes);
+}
+
+PacketHeader decode_header(const std::byte* in) noexcept {
+  PacketHeader hdr;
+  std::memcpy(&hdr, in, kPacketHeaderBytes);
+  return hdr;
+}
+
+}  // namespace motor::mpi

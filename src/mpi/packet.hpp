@@ -1,0 +1,43 @@
+// Wire packets for the CH3-like device layer.
+//
+// Every transmission is [PacketHeader][payload bytes]. Small messages go
+// eagerly (payload immediately follows); large messages use the MPICH2
+// rendezvous protocol: RTS (no payload) -> CTS (no payload) -> DATA.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "common/buffer.hpp"
+
+namespace motor::mpi {
+
+enum class PacketType : std::uint8_t {
+  kEager,      // complete message payload follows
+  kEagerSync,  // eager + receiver must ack on match (synchronous send)
+  kRndvRts,    // request-to-send; msg_bytes announces size
+  kRndvCts,    // clear-to-send; pairs sreq_id with rreq_id
+  kRndvData,   // rendezvous payload follows
+  kSyncAck,    // matched notification for kEagerSync / rendezvous ssend
+};
+
+struct PacketHeader {
+  PacketType type = PacketType::kEager;
+  std::int32_t src = 0;      // world rank of sender
+  std::int32_t tag = 0;
+  std::int32_t context = 0;  // communicator context id
+  std::uint64_t payload_bytes = 0;  // bytes following this header
+  std::uint64_t msg_bytes = 0;      // full message size (RTS announces it)
+  std::uint64_t sreq_id = 0;        // sender-side request cookie
+  std::uint64_t rreq_id = 0;        // receiver-side request cookie
+};
+
+inline constexpr std::size_t kPacketHeaderBytes = sizeof(PacketHeader);
+
+/// Serialize a header into exactly kPacketHeaderBytes at `out`.
+void encode_header(const PacketHeader& hdr, std::byte* out) noexcept;
+
+/// Decode a header from exactly kPacketHeaderBytes at `in`.
+PacketHeader decode_header(const std::byte* in) noexcept;
+
+}  // namespace motor::mpi

@@ -1,0 +1,76 @@
+#include "mpi/persistent.hpp"
+
+#include "mpi/device.hpp"
+
+namespace motor::mpi {
+
+PersistentRequest send_init(Comm& comm, const void* buf, std::size_t bytes,
+                            int dst, int tag) {
+  PersistentRequest req;
+  req.comm_ = &comm;
+  req.is_send_ = true;
+  req.buf_ = const_cast<void*>(buf);
+  req.bytes_ = bytes;
+  req.peer_ = dst;
+  req.tag_ = tag;
+  return req;
+}
+
+PersistentRequest ssend_init(Comm& comm, const void* buf, std::size_t bytes,
+                             int dst, int tag) {
+  PersistentRequest req = send_init(comm, buf, bytes, dst, tag);
+  req.sync_ = true;
+  return req;
+}
+
+PersistentRequest recv_init(Comm& comm, void* buf, std::size_t capacity,
+                            int src, int tag) {
+  PersistentRequest req;
+  req.comm_ = &comm;
+  req.buf_ = buf;
+  req.bytes_ = capacity;
+  req.peer_ = src;
+  req.tag_ = tag;
+  return req;
+}
+
+ErrorCode start(PersistentRequest& req) {
+  if (!req.valid()) return ErrorCode::kRequestError;
+  if (req.active()) return ErrorCode::kPending;
+  if (req.is_send_) {
+    req.active_ = req.sync_
+                      ? issend(*req.comm_, req.buf_, req.bytes_, req.peer_,
+                               req.tag_)
+                      : isend(*req.comm_, req.buf_, req.bytes_, req.peer_,
+                              req.tag_);
+  } else {
+    req.active_ = irecv(*req.comm_, req.buf_, req.bytes_, req.peer_, req.tag_);
+  }
+  return req.active_ != nullptr ? ErrorCode::kSuccess
+                                : ErrorCode::kRequestError;
+}
+
+ErrorCode startall(std::span<PersistentRequest> reqs) {
+  for (PersistentRequest& r : reqs) {
+    const ErrorCode err = start(r);
+    if (err != ErrorCode::kSuccess) return err;
+  }
+  return ErrorCode::kSuccess;
+}
+
+MsgStatus wait(PersistentRequest& req, const PollHook& poll) {
+  MOTOR_CHECK(req.valid() && req.active_ != nullptr,
+              "wait on never-started persistent request");
+  MsgStatus st = wait(*req.comm_, req.active_, poll);
+  req.active_.reset();  // startable again
+  return st;
+}
+
+bool test(PersistentRequest& req, MsgStatus* status) {
+  if (!req.valid() || req.active_ == nullptr) return false;
+  if (!test(*req.comm_, req.active_, status)) return false;
+  req.active_.reset();
+  return true;
+}
+
+}  // namespace motor::mpi

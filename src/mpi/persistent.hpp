@@ -1,0 +1,68 @@
+// Persistent communication requests (MPI-1 §3.9): MPI_Send_init /
+// MPI_Recv_init create a frozen communication recipe; MPI_Start fires it;
+// the handle is reusable after each completion. The classic use is a
+// fixed halo-exchange pattern started every iteration without re-paying
+// argument validation and matching setup.
+#pragma once
+
+#include "mpi/pt2pt.hpp"
+
+namespace motor::mpi {
+
+class PersistentRequest {
+ public:
+  PersistentRequest() = default;
+
+  [[nodiscard]] bool valid() const noexcept { return comm_ != nullptr; }
+  /// True while a started operation has not yet completed.
+  [[nodiscard]] bool active() const noexcept {
+    return active_ != nullptr && !active_->is_complete();
+  }
+  /// The in-flight request of the current start (null when inactive).
+  [[nodiscard]] const Request& current() const noexcept { return active_; }
+
+ private:
+  friend PersistentRequest send_init(Comm&, const void*, std::size_t, int,
+                                     int);
+  friend PersistentRequest ssend_init(Comm&, const void*, std::size_t, int,
+                                      int);
+  friend PersistentRequest recv_init(Comm&, void*, std::size_t, int, int);
+  friend ErrorCode start(PersistentRequest&);
+  friend MsgStatus wait(PersistentRequest&, const PollHook&);
+  friend bool test(PersistentRequest&, MsgStatus*);
+
+  Comm* comm_ = nullptr;
+  bool is_send_ = false;
+  bool sync_ = false;
+  void* buf_ = nullptr;
+  std::size_t bytes_ = 0;
+  int peer_ = kAnySource;
+  int tag_ = kAnyTag;
+  Request active_;
+};
+
+/// Freeze a standard-mode send recipe (MPI_Send_init).
+PersistentRequest send_init(Comm& comm, const void* buf, std::size_t bytes,
+                            int dst, int tag);
+
+/// Freeze a synchronous-mode send recipe (MPI_Ssend_init).
+PersistentRequest ssend_init(Comm& comm, const void* buf, std::size_t bytes,
+                             int dst, int tag);
+
+/// Freeze a receive recipe (MPI_Recv_init).
+PersistentRequest recv_init(Comm& comm, void* buf, std::size_t capacity,
+                            int src, int tag);
+
+/// Fire the recipe (MPI_Start). Error if already active or invalid.
+ErrorCode start(PersistentRequest& req);
+
+/// Fire a set of recipes (MPI_Startall); stops at the first error.
+ErrorCode startall(std::span<PersistentRequest> reqs);
+
+/// Complete the current firing; the handle becomes startable again.
+MsgStatus wait(PersistentRequest& req, const PollHook& poll = {});
+
+/// Non-blocking completion check for the current firing.
+bool test(PersistentRequest& req, MsgStatus* status = nullptr);
+
+}  // namespace motor::mpi

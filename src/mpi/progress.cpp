@@ -1,0 +1,31 @@
+#include "mpi/progress.hpp"
+
+#include "pal/thread.hpp"
+
+namespace motor::mpi {
+
+void progress_until_all(Device& dev, std::span<const Request> reqs,
+                        const std::function<void()>& poll_hook) {
+  for (;;) {
+    if (all_complete(dev, reqs)) return;
+    if (poll_hook) poll_hook();
+    pal::Thread::yield();
+  }
+}
+
+bool all_complete(Device& dev, std::span<const Request> reqs) {
+  dev.progress();
+  for (const Request& r : reqs) {
+    if (r && !r->is_complete()) return false;
+  }
+  return true;
+}
+
+int first_incomplete(std::span<const Request> reqs) {
+  for (std::size_t i = 0; i < reqs.size(); ++i) {
+    if (reqs[i] && !reqs[i]->is_complete()) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+}  // namespace motor::mpi

@@ -1,0 +1,20 @@
+// Progress helpers: waiting on many requests and bounded progress pumping.
+#pragma once
+
+#include <span>
+
+#include "mpi/device.hpp"
+
+namespace motor::mpi {
+
+/// Pump `dev` until every request in `reqs` completes.
+void progress_until_all(Device& dev, std::span<const Request> reqs,
+                        const std::function<void()>& poll_hook = {});
+
+/// True iff every request completed (drives progress once).
+bool all_complete(Device& dev, std::span<const Request> reqs);
+
+/// Index of the first incomplete request, or -1 when all are done.
+int first_incomplete(std::span<const Request> reqs);
+
+}  // namespace motor::mpi

@@ -1,0 +1,180 @@
+#include "mpi/pt2pt.hpp"
+
+#include "common/buffer.hpp"
+#include "mpi/device.hpp"
+#include "pal/thread.hpp"
+
+namespace motor::mpi {
+
+namespace {
+
+ErrorCode validate(Comm& comm, const void* buf, std::size_t bytes, int peer,
+                   int tag, bool allow_wildcards) {
+  if (comm.is_null()) return ErrorCode::kCommError;
+  if (buf == nullptr && bytes > 0) return ErrorCode::kBufferError;
+  // User tags live in [0, kMaxUserTag]; tags at or above kCollectiveTagBase
+  // are reserved for internal collective traffic and always legal here.
+  const bool internal_tag = tag >= kCollectiveTagBase;
+  if ((tag > kMaxUserTag && !internal_tag) ||
+      (tag < 0 && !(allow_wildcards && tag == kAnyTag))) {
+    return ErrorCode::kTagError;
+  }
+  const int peer_count = comm.is_inter() ? comm.remote_size() : comm.size();
+  if (peer >= peer_count ||
+      (peer < 0 && !(allow_wildcards && peer == kAnySource))) {
+    return ErrorCode::kRankError;
+  }
+  return ErrorCode::kSuccess;
+}
+
+/// Convert a device status (world ranks) into communicator terms.
+MsgStatus to_comm_status(Comm& comm, const MsgStatus& dev_status) {
+  MsgStatus st = dev_status;
+  if (st.source >= 0) st.source = comm.peer_comm_rank(st.source);
+  return st;
+}
+
+}  // namespace
+
+ErrorCode send(Comm& comm, const void* buf, std::size_t bytes, int dst,
+               int tag, const PollHook& poll) {
+  Request req = isend(comm, buf, bytes, dst, tag);
+  if (!req) return ErrorCode::kRankError;
+  return comm.device().wait(req, poll).error;
+}
+
+ErrorCode ssend(Comm& comm, const void* buf, std::size_t bytes, int dst,
+                int tag, const PollHook& poll) {
+  Request req = issend(comm, buf, bytes, dst, tag);
+  if (!req) return ErrorCode::kRankError;
+  return comm.device().wait(req, poll).error;
+}
+
+ErrorCode recv(Comm& comm, void* buf, std::size_t capacity, int src, int tag,
+               MsgStatus* status, const PollHook& poll) {
+  Request req = irecv(comm, buf, capacity, src, tag);
+  if (!req) return ErrorCode::kRankError;
+  MsgStatus st = to_comm_status(comm, comm.device().wait(req, poll));
+  if (status != nullptr) *status = st;
+  return st.error;
+}
+
+ErrorCode sendrecv(Comm& comm, const void* send_buf, std::size_t send_bytes,
+                   int dst, int send_tag, void* recv_buf,
+                   std::size_t recv_capacity, int src, int recv_tag,
+                   MsgStatus* status, const PollHook& poll) {
+  Request r = irecv(comm, recv_buf, recv_capacity, src, recv_tag);
+  Request s = isend(comm, send_buf, send_bytes, dst, send_tag);
+  if (!r || !s) return ErrorCode::kRankError;
+  comm.device().wait(s, poll);
+  MsgStatus st = to_comm_status(comm, comm.device().wait(r, poll));
+  if (status != nullptr) *status = st;
+  if (s->error != ErrorCode::kSuccess) return s->error;
+  return st.error;
+}
+
+Request isend(Comm& comm, const void* buf, std::size_t bytes, int dst,
+              int tag) {
+  if (validate(comm, buf, bytes, dst, tag, false) != ErrorCode::kSuccess) {
+    return nullptr;
+  }
+  return comm.device().post_send(as_bytes_of(buf, bytes),
+                                 comm.peer_world_rank(dst), tag,
+                                 comm.context_id(), /*sync=*/false);
+}
+
+Request issend(Comm& comm, const void* buf, std::size_t bytes, int dst,
+               int tag) {
+  if (validate(comm, buf, bytes, dst, tag, false) != ErrorCode::kSuccess) {
+    return nullptr;
+  }
+  return comm.device().post_send(as_bytes_of(buf, bytes),
+                                 comm.peer_world_rank(dst), tag,
+                                 comm.context_id(), /*sync=*/true);
+}
+
+Request irecv(Comm& comm, void* buf, std::size_t capacity, int src, int tag) {
+  if (validate(comm, buf, capacity, src, tag, true) != ErrorCode::kSuccess) {
+    return nullptr;
+  }
+  const int world_src =
+      src == kAnySource ? kAnySource : comm.peer_world_rank(src);
+  return comm.device().post_recv(as_writable_bytes_of(buf, capacity),
+                                 world_src, tag, comm.context_id());
+}
+
+bool test(Comm& comm, const Request& req, MsgStatus* status) {
+  if (!comm.device().test(req)) return false;
+  if (status != nullptr) {
+    *status = to_comm_status(comm, Device::status_of(req));
+  }
+  return true;
+}
+
+MsgStatus wait(Comm& comm, const Request& req, const PollHook& poll) {
+  return to_comm_status(comm, comm.device().wait(req, poll));
+}
+
+void waitall(Comm& comm, std::span<const Request> reqs, const PollHook& poll) {
+  for (const Request& req : reqs) {
+    if (req) comm.device().wait(req, poll);
+  }
+}
+
+int waitany(Comm& comm, std::span<const Request> reqs, MsgStatus* status,
+            const PollHook& poll) {
+  bool any = false;
+  for (const Request& r : reqs) any = any || r != nullptr;
+  if (!any) return -1;
+  for (;;) {
+    const int idx = testany(comm, reqs, status);
+    if (idx >= 0) return idx;
+    if (poll) poll();
+    pal::Thread::yield();
+  }
+}
+
+bool testall(Comm& comm, std::span<const Request> reqs) {
+  comm.device().progress();
+  for (const Request& r : reqs) {
+    if (r && !r->is_complete()) return false;
+  }
+  return true;
+}
+
+int testany(Comm& comm, std::span<const Request> reqs, MsgStatus* status) {
+  comm.device().progress();
+  for (std::size_t i = 0; i < reqs.size(); ++i) {
+    if (reqs[i] && reqs[i]->is_complete()) {
+      if (status != nullptr) {
+        *status = to_comm_status(comm, Device::status_of(reqs[i]));
+      }
+      return static_cast<int>(i);
+    }
+  }
+  return -1;
+}
+
+void cancel(Comm& comm, const Request& req) { comm.device().cancel(req); }
+
+bool iprobe(Comm& comm, int src, int tag, MsgStatus* status) {
+  const int world_src =
+      src == kAnySource ? kAnySource : comm.peer_world_rank(src);
+  MsgStatus st;
+  if (!comm.device().iprobe(world_src, tag, comm.context_id(), &st)) {
+    return false;
+  }
+  if (status != nullptr) *status = to_comm_status(comm, st);
+  return true;
+}
+
+MsgStatus probe(Comm& comm, int src, int tag, const PollHook& poll) {
+  MsgStatus st;
+  while (!iprobe(comm, src, tag, &st)) {
+    if (poll) poll();
+    pal::Thread::yield();
+  }
+  return st;
+}
+
+}  // namespace motor::mpi

@@ -1,0 +1,83 @@
+// Point-to-point operations over a communicator. Ranks and statuses are in
+// communicator terms; the device speaks world ranks underneath.
+//
+// All blocking variants accept an optional `poll_hook` executed on every
+// progress iteration — Motor threads pass a GC-yield closure through here
+// (paper §7.1/§7.4); native callers omit it.
+#pragma once
+
+#include <functional>
+#include <span>
+
+#include "mpi/comm.hpp"
+#include "mpi/datatype.hpp"
+#include "mpi/request.hpp"
+
+namespace motor::mpi {
+
+using PollHook = std::function<void()>;
+
+// ---- blocking ----
+
+ErrorCode send(Comm& comm, const void* buf, std::size_t bytes, int dst,
+               int tag, const PollHook& poll = {});
+
+/// Synchronous-mode send: completes only after the receiver matched.
+ErrorCode ssend(Comm& comm, const void* buf, std::size_t bytes, int dst,
+                int tag, const PollHook& poll = {});
+
+ErrorCode recv(Comm& comm, void* buf, std::size_t capacity, int src, int tag,
+               MsgStatus* status = nullptr, const PollHook& poll = {});
+
+ErrorCode sendrecv(Comm& comm, const void* send_buf, std::size_t send_bytes,
+                   int dst, int send_tag, void* recv_buf,
+                   std::size_t recv_capacity, int src, int recv_tag,
+                   MsgStatus* status = nullptr, const PollHook& poll = {});
+
+// ---- non-blocking ----
+
+Request isend(Comm& comm, const void* buf, std::size_t bytes, int dst, int tag);
+Request issend(Comm& comm, const void* buf, std::size_t bytes, int dst, int tag);
+Request irecv(Comm& comm, void* buf, std::size_t capacity, int src, int tag);
+
+/// Drive progress once; true when complete (status filled if non-null).
+bool test(Comm& comm, const Request& req, MsgStatus* status = nullptr);
+
+MsgStatus wait(Comm& comm, const Request& req, const PollHook& poll = {});
+void waitall(Comm& comm, std::span<const Request> reqs,
+             const PollHook& poll = {});
+
+/// Block until at least one request completes; returns its index (null
+/// entries are skipped; -1 if every entry is null).
+int waitany(Comm& comm, std::span<const Request> reqs,
+            MsgStatus* status = nullptr, const PollHook& poll = {});
+
+/// True iff every request has completed (drives progress once).
+bool testall(Comm& comm, std::span<const Request> reqs);
+
+/// Index of a completed request after one progress pump, or -1.
+int testany(Comm& comm, std::span<const Request> reqs,
+            MsgStatus* status = nullptr);
+
+void cancel(Comm& comm, const Request& req);
+
+// ---- probing ----
+
+bool iprobe(Comm& comm, int src, int tag, MsgStatus* status = nullptr);
+MsgStatus probe(Comm& comm, int src, int tag, const PollHook& poll = {});
+
+// ---- typed convenience (native-baseline style: buf, count, datatype) ----
+
+template <typename T>
+ErrorCode send_typed(Comm& comm, const T* buf, std::size_t count, int dst,
+                     int tag) {
+  return send(comm, buf, count * sizeof(T), dst, tag);
+}
+
+template <typename T>
+ErrorCode recv_typed(Comm& comm, T* buf, std::size_t count, int src, int tag,
+                     MsgStatus* status = nullptr) {
+  return recv(comm, buf, count * sizeof(T), src, tag, status);
+}
+
+}  // namespace motor::mpi

@@ -1,0 +1,4 @@
+#include "mpi/request.hpp"
+
+// RequestState is header-only; this TU anchors the library target.
+namespace motor::mpi {}

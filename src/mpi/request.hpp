@@ -1,0 +1,71 @@
+// Communication requests and completion status.
+//
+// Requests are shared_ptr-managed: besides the application handle, the
+// device's queues and — crucially for Motor — the garbage collector's
+// *conditional pin table* hold references. The paper's non-blocking unpin
+// scheme (§4.3/§7.4) checks request status during the GC mark phase, which
+// can happen after the application has already waited on and released the
+// request, so request state must outlive the application handle.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+
+#include "common/status.hpp"
+
+namespace motor::mpi {
+
+inline constexpr int kAnySource = -1;
+inline constexpr int kAnyTag = -1;
+
+enum class RequestKind : std::uint8_t { kSend, kRecv };
+
+struct RequestState {
+  RequestKind kind = RequestKind::kSend;
+  std::uint64_t id = 0;  // device-unique cookie (rendezvous pairing)
+
+  // Posted parameters. Ranks are world ranks; `peer` is the destination for
+  // sends and the matched source (or kAnySource until matched) for receives.
+  int peer = kAnySource;
+  int tag = kAnyTag;
+  int context = 0;
+
+  // Buffers. Non-owning: the MPI contract (and, in managed hosts, pinning)
+  // guarantees validity until completion.
+  const std::byte* send_buf = nullptr;
+  std::byte* recv_buf = nullptr;
+  std::size_t buffer_bytes = 0;  // posted capacity (recv) or size (send)
+
+  // Completion.
+  std::atomic<bool> complete{false};
+  std::size_t transferred = 0;  // valid once complete
+  ErrorCode error = ErrorCode::kSuccess;
+  bool cancelled = false;
+
+  // Synchronous-mode sends complete only after the matching ack.
+  bool sync = false;
+  bool sync_acked = false;
+  bool payload_drained = false;
+
+  [[nodiscard]] bool is_complete() const noexcept {
+    return complete.load(std::memory_order_acquire);
+  }
+  void mark_complete() noexcept {
+    complete.store(true, std::memory_order_release);
+  }
+};
+
+using Request = std::shared_ptr<RequestState>;
+
+/// Result record delivered by Recv/Wait/Probe (the MPI_Status analog).
+struct MsgStatus {
+  int source = kAnySource;
+  int tag = kAnyTag;
+  ErrorCode error = ErrorCode::kSuccess;
+  std::size_t count_bytes = 0;
+  bool cancelled = false;
+};
+
+}  // namespace motor::mpi

@@ -1,0 +1,52 @@
+#include "mpi/world.hpp"
+
+#include "mpi/collectives.hpp"
+
+namespace motor::mpi {
+
+Comm spawn(Comm& comm, int root, int n_children,
+           std::function<void(RankCtx&)> child_main) {
+  MOTOR_CHECK(!comm.is_null() && !comm.is_inter(),
+              "spawn is collective over an intracommunicator");
+  MOTOR_CHECK(n_children >= 1, "spawn: need at least one child");
+  World& world = comm.world();
+
+  struct SpawnInfo {
+    int first_new_rank;
+    int child_world_ctx;  // children's own comm_world
+    int inter_ctx;        // parent<->children intercommunicator
+  };
+  SpawnInfo info{};
+  if (comm.rank() == root) {
+    info.first_new_rank = world.extend(n_children);
+    info.child_world_ctx = world.allocate_context();
+    info.inter_ctx = world.allocate_context();
+  }
+  bcast(comm, &info, sizeof info, root);
+
+  std::vector<int> child_ranks(static_cast<std::size_t>(n_children));
+  for (int i = 0; i < n_children; ++i) {
+    child_ranks[static_cast<std::size_t>(i)] = info.first_new_rank + i;
+  }
+  const Group children(child_ranks);
+  const Group parents = comm.group();
+
+  if (comm.rank() == root) {
+    for (int i = 0; i < n_children; ++i) {
+      const int wr = info.first_new_rank + i;
+      world.launch_rank_thread(
+          "spawned" + std::to_string(wr),
+          [&world, wr, children, parents, info, child_main] {
+            Device& dev = world.device(wr);
+            Comm child_world(&world, &dev, children, info.child_world_ctx);
+            Comm parent_inter(&world, &dev, children, parents, info.inter_ctx);
+            RankCtx ctx(world, wr, std::move(child_world),
+                        std::move(parent_inter));
+            child_main(ctx);
+          });
+    }
+  }
+  return Comm(&world, &comm.device(), parents, children, info.inter_ctx);
+}
+
+}  // namespace motor::mpi

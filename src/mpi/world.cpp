@@ -1,0 +1,105 @@
+#include "mpi/world.hpp"
+
+namespace motor::mpi {
+
+World::World(int n_ranks, WorldConfig config)
+    : config_(config),
+      fabric_(n_ranks, config.channel, config.channel_capacity,
+              config.wire_latency_ns, config.wire_bandwidth_bps),
+      initial_n_(n_ranks) {
+  std::lock_guard lk(mu_);
+  devices_.reserve(static_cast<std::size_t>(n_ranks));
+  for (int r = 0; r < n_ranks; ++r) {
+    devices_.push_back(std::make_unique<Device>(fabric_, r, config_.device));
+  }
+}
+
+World::~World() {
+  // Threads are joined in run(); any stragglers (e.g. run() never called)
+  // are joined by pal::Thread destructors.
+}
+
+Device& World::device(int world_rank) {
+  std::lock_guard lk(mu_);
+  MOTOR_CHECK(world_rank >= 0 &&
+                  world_rank < static_cast<int>(devices_.size()),
+              "device: bad world rank");
+  return *devices_[static_cast<std::size_t>(world_rank)];
+}
+
+int World::shared_context_for(std::uint64_t key) {
+  std::lock_guard lk(mu_);
+  auto it = shared_contexts_.find(key);
+  if (it != shared_contexts_.end()) return it->second;
+  const int ctx = next_context_.fetch_add(1, std::memory_order_relaxed);
+  shared_contexts_.emplace(key, ctx);
+  return ctx;
+}
+
+int World::extend(int extra) {
+  const int first_new = fabric_.add_ranks(extra);
+  std::lock_guard lk(mu_);
+  for (int r = first_new; r < first_new + extra; ++r) {
+    devices_.push_back(std::make_unique<Device>(fabric_, r, config_.device));
+  }
+  return first_new;
+}
+
+void World::record_exception() {
+  std::lock_guard lk(mu_);
+  if (!first_error_) first_error_ = std::current_exception();
+}
+
+void World::launch_rank_thread(std::string name, std::function<void()> body) {
+  auto wrapped = [this, body = std::move(body)] {
+    try {
+      body();
+    } catch (...) {
+      record_exception();
+    }
+  };
+  std::lock_guard lk(mu_);
+  threads_.push_back(
+      std::make_unique<pal::Thread>(std::move(name), std::move(wrapped)));
+}
+
+void World::run(const std::function<void(RankCtx&)>& rank_main) {
+  const Group world_group = Group::contiguous(initial_n_);
+  for (int r = 0; r < initial_n_; ++r) {
+    launch_rank_thread(
+        "rank" + std::to_string(r), [this, r, world_group, &rank_main] {
+          Comm comm_world(this, &device(r), world_group, /*context_id=*/1);
+          RankCtx ctx(*this, r, std::move(comm_world), Comm{});
+          rank_main(ctx);
+        });
+  }
+
+  // Join every rank thread, including ranks spawned while we were joining.
+  std::size_t joined = 0;
+  for (;;) {
+    pal::Thread* next = nullptr;
+    {
+      std::lock_guard lk(mu_);
+      if (joined < threads_.size()) next = threads_[joined].get();
+    }
+    if (next == nullptr) break;
+    next->join();
+    ++joined;
+  }
+
+  std::exception_ptr err;
+  {
+    std::lock_guard lk(mu_);
+    err = first_error_;
+    first_error_ = nullptr;
+  }
+  if (err) std::rethrow_exception(err);
+}
+
+RankCtx::RankCtx(World& world, int world_rank, Comm comm_world, Comm parent)
+    : world_(world),
+      world_rank_(world_rank),
+      comm_world_(std::move(comm_world)),
+      parent_(std::move(parent)) {}
+
+}  // namespace motor::mpi

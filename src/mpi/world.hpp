@@ -1,0 +1,120 @@
+// World: the process universe. Owns the fabric, one Device per rank, the
+// context-id allocator, and the rank threads.
+//
+// Ranks are threads with fully disjoint logical address spaces (each Motor
+// rank additionally instantiates its own VM and heap); the shared process
+// is only the "cluster". World::run launches the initial ranks and joins
+// everything, including ranks added later by MPI-2 spawn.
+#pragma once
+
+#include <atomic>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "mpi/comm.hpp"
+#include "mpi/device.hpp"
+#include "pal/thread.hpp"
+#include "transport/fabric.hpp"
+
+namespace motor::mpi {
+
+class RankCtx;
+
+struct WorldConfig {
+  transport::ChannelKind channel = transport::ChannelKind::kRing;
+  std::size_t channel_capacity = 1 << 20;
+  /// One-way interconnect propagation delay (0 = in-process speed). The
+  /// paper-reproduction benchmarks set this to localhost-TCP scale; see
+  /// transport/latency_channel.hpp and EXPERIMENTS.md.
+  std::uint64_t wire_latency_ns = 0;
+  /// Wire throughput cap in bytes/second (0 = unlimited); see
+  /// transport/bandwidth_channel.hpp.
+  std::uint64_t wire_bandwidth_bps = 0;
+  DeviceConfig device;
+};
+
+class World {
+ public:
+  explicit World(int n_ranks, WorldConfig config = WorldConfig{});
+  ~World();
+
+  World(const World&) = delete;
+  World& operator=(const World&) = delete;
+
+  [[nodiscard]] int initial_size() const noexcept { return initial_n_; }
+  [[nodiscard]] transport::Fabric& fabric() noexcept { return fabric_; }
+  [[nodiscard]] Device& device(int world_rank);
+
+  /// Launch the initial ranks, each executing `rank_main`, and join every
+  /// rank thread (including dynamically spawned ones) before returning.
+  /// Rethrows the first rank exception after all threads finish.
+  void run(const std::function<void(RankCtx&)>& rank_main);
+
+  /// Fresh communicator context id (world-unique).
+  int allocate_context() {
+    return next_context_.fetch_add(1, std::memory_order_relaxed);
+  }
+  /// Reserve `n` consecutive context ids; returns the first.
+  int allocate_context_block(int n) {
+    return next_context_.fetch_add(n, std::memory_order_relaxed);
+  }
+
+  /// Context id shared by every caller presenting the same key — used where
+  /// a real MPI would run a leader-exchange protocol (intercomm merge).
+  int shared_context_for(std::uint64_t key);
+
+  // ---- dynamic process management plumbing (used by spawn()) ----
+
+  /// Grow the fabric and device table by `extra` ranks; returns the first
+  /// new world rank.
+  int extend(int extra);
+
+  /// Launch an additional rank thread tracked by the join loop in run().
+  void launch_rank_thread(std::string name, std::function<void()> body);
+
+ private:
+  void record_exception();
+
+  WorldConfig config_;
+  transport::Fabric fabric_;
+  int initial_n_;
+
+  std::mutex mu_;
+  std::vector<std::unique_ptr<Device>> devices_;
+  std::vector<std::unique_ptr<pal::Thread>> threads_;
+  std::unordered_map<std::uint64_t, int> shared_contexts_;
+  std::exception_ptr first_error_;
+  std::atomic<int> next_context_{2};  // context 1 = the world communicator
+};
+
+/// Per-rank execution context handed to rank_main.
+class RankCtx {
+ public:
+  RankCtx(World& world, int world_rank, Comm comm_world, Comm parent);
+
+  [[nodiscard]] World& world() noexcept { return world_; }
+  [[nodiscard]] int world_rank() const noexcept { return world_rank_; }
+  [[nodiscard]] Device& device() { return world_.device(world_rank_); }
+  [[nodiscard]] Comm& comm_world() noexcept { return comm_world_; }
+
+  /// Intercommunicator to the spawning group; null for initial ranks.
+  [[nodiscard]] Comm& parent() noexcept { return parent_; }
+
+ private:
+  World& world_;
+  int world_rank_;
+  Comm comm_world_;
+  Comm parent_;
+};
+
+/// MPI-2 MPI_Comm_spawn: collectively (over `comm`) start `n_children` new
+/// ranks running `child_main`. Returns the parent-side intercommunicator;
+/// children find theirs via RankCtx::parent() and get their own
+/// comm_world spanning exactly the spawned group.
+Comm spawn(Comm& comm, int root, int n_children,
+           std::function<void(RankCtx&)> child_main);
+
+}  // namespace motor::mpi

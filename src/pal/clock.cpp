@@ -1,0 +1,24 @@
+#include "pal/clock.hpp"
+
+namespace motor::pal {
+
+std::uint64_t monotonic_ns() noexcept {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+double wtime_us() noexcept {
+  return static_cast<double>(monotonic_ns()) / 1e3;
+}
+
+void spin_for_ns(std::uint64_t ns) noexcept {
+  const std::uint64_t deadline = monotonic_ns() + ns;
+  while (monotonic_ns() < deadline) {
+    // Intentional busy wait: the charge must be CPU time, as the modelled
+    // overhead (marshalling, security checks) is CPU-bound.
+  }
+}
+
+}  // namespace motor::pal

@@ -1,0 +1,36 @@
+// PAL monotonic clock (QueryPerformanceCounter analog) plus a stopwatch and
+// a calibrated spin-delay used by runtime-profile cost models.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace motor::pal {
+
+/// Nanoseconds from an arbitrary monotonic epoch.
+std::uint64_t monotonic_ns() noexcept;
+
+/// Microseconds from the same epoch (convenience for MPI-style Wtime).
+double wtime_us() noexcept;
+
+class Stopwatch {
+ public:
+  Stopwatch() : start_(monotonic_ns()) {}
+  void restart() noexcept { start_ = monotonic_ns(); }
+  [[nodiscard]] std::uint64_t elapsed_ns() const noexcept {
+    return monotonic_ns() - start_;
+  }
+  [[nodiscard]] double elapsed_us() const noexcept {
+    return static_cast<double>(elapsed_ns()) / 1e3;
+  }
+
+ private:
+  std::uint64_t start_;
+};
+
+/// Busy-wait for approximately `ns` nanoseconds. Used by the runtime-profile
+/// cost models to charge documented per-call overheads (e.g. the marshalling
+/// cost of a P/Invoke transition) without descheduling the thread.
+void spin_for_ns(std::uint64_t ns) noexcept;
+
+}  // namespace motor::pal

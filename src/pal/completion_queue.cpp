@@ -1,0 +1,37 @@
+#include "pal/completion_queue.hpp"
+
+namespace motor::pal {
+
+void CompletionQueue::post(Completion c) {
+  {
+    std::lock_guard lk(mu_);
+    queue_.push_back(c);
+  }
+  cv_.notify_one();
+}
+
+std::optional<Completion> CompletionQueue::poll() {
+  std::lock_guard lk(mu_);
+  if (queue_.empty()) return std::nullopt;
+  Completion c = queue_.front();
+  queue_.pop_front();
+  return c;
+}
+
+std::optional<Completion> CompletionQueue::wait(
+    std::chrono::nanoseconds timeout) {
+  std::unique_lock lk(mu_);
+  if (!cv_.wait_for(lk, timeout, [&] { return !queue_.empty(); })) {
+    return std::nullopt;
+  }
+  Completion c = queue_.front();
+  queue_.pop_front();
+  return c;
+}
+
+std::size_t CompletionQueue::depth() const {
+  std::lock_guard lk(mu_);
+  return queue_.size();
+}
+
+}  // namespace motor::pal

@@ -1,0 +1,38 @@
+// A completion-port-like queue (the IOCP mechanism MPICH2's Windows sock
+// channel uses lives below the PAL; this is the PAL-visible analog the
+// ported channel posts completions through).
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <optional>
+
+namespace motor::pal {
+
+struct Completion {
+  std::uint64_t key = 0;        // which endpoint / socket
+  std::uint64_t bytes = 0;      // bytes transferred
+  std::uint64_t user_data = 0;  // caller cookie
+};
+
+class CompletionQueue {
+ public:
+  void post(Completion c);
+
+  /// Non-blocking poll; empty optional when nothing is pending.
+  std::optional<Completion> poll();
+
+  /// Blocking dequeue with timeout; empty optional on timeout.
+  std::optional<Completion> wait(std::chrono::nanoseconds timeout);
+
+  [[nodiscard]] std::size_t depth() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<Completion> queue_;
+};
+
+}  // namespace motor::pal

@@ -1,0 +1,3 @@
+#include "pal/critical_section.hpp"
+
+namespace motor::pal {}

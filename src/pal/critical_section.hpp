@@ -1,0 +1,35 @@
+// PAL critical section: recursive lock with try-enter, matching the Win32
+// CRITICAL_SECTION the SSCLI PAL provides.
+#pragma once
+
+#include <mutex>
+
+namespace motor::pal {
+
+class CriticalSection {
+ public:
+  CriticalSection() = default;
+  CriticalSection(const CriticalSection&) = delete;
+  CriticalSection& operator=(const CriticalSection&) = delete;
+
+  void enter() { mu_.lock(); }
+  bool try_enter() { return mu_.try_lock(); }
+  void leave() { mu_.unlock(); }
+
+ private:
+  std::recursive_mutex mu_;
+};
+
+/// RAII scope for a critical section.
+class CsLock {
+ public:
+  explicit CsLock(CriticalSection& cs) : cs_(cs) { cs_.enter(); }
+  ~CsLock() { cs_.leave(); }
+  CsLock(const CsLock&) = delete;
+  CsLock& operator=(const CsLock&) = delete;
+
+ private:
+  CriticalSection& cs_;
+};
+
+}  // namespace motor::pal

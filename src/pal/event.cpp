@@ -1,0 +1,42 @@
+#include "pal/event.hpp"
+
+namespace motor::pal {
+
+void Event::set() {
+  {
+    std::lock_guard lk(mu_);
+    signalled_ = true;
+  }
+  if (mode_ == ResetMode::kManual) {
+    cv_.notify_all();
+  } else {
+    cv_.notify_one();
+  }
+}
+
+void Event::reset() {
+  std::lock_guard lk(mu_);
+  signalled_ = false;
+}
+
+void Event::wait() {
+  std::unique_lock lk(mu_);
+  cv_.wait(lk, [&] { return signalled_; });
+  if (mode_ == ResetMode::kAuto) signalled_ = false;
+}
+
+bool Event::timed_wait(std::chrono::nanoseconds timeout) {
+  std::unique_lock lk(mu_);
+  if (!cv_.wait_for(lk, timeout, [&] { return signalled_; })) return false;
+  if (mode_ == ResetMode::kAuto) signalled_ = false;
+  return true;
+}
+
+bool Event::poll() {
+  std::lock_guard lk(mu_);
+  if (!signalled_) return false;
+  if (mode_ == ResetMode::kAuto) signalled_ = false;
+  return true;
+}
+
+}  // namespace motor::pal

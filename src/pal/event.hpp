@@ -1,0 +1,45 @@
+// PAL event object, modelled on the Win32 event the SSCLI PAL exposes:
+// manual-reset or auto-reset, with Set / Reset / Wait / TimedWait.
+// Everything above the PAL uses these instead of raw std primitives,
+// mirroring how Rotor keeps platform dependence in one layer.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+
+namespace motor::pal {
+
+class Event {
+ public:
+  enum class ResetMode { kManual, kAuto };
+
+  explicit Event(ResetMode mode = ResetMode::kAuto, bool initially_set = false)
+      : mode_(mode), signalled_(initially_set) {}
+
+  Event(const Event&) = delete;
+  Event& operator=(const Event&) = delete;
+
+  /// Signal the event. Wakes one waiter (auto) or all waiters (manual).
+  void set();
+
+  /// Clear the signalled state (meaningful for manual-reset events).
+  void reset();
+
+  /// Block until signalled. Auto-reset events consume the signal.
+  void wait();
+
+  /// Returns true if signalled within the timeout, false on timeout.
+  bool timed_wait(std::chrono::nanoseconds timeout);
+
+  /// Non-blocking poll; consumes the signal for auto-reset events.
+  bool poll();
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  ResetMode mode_;
+  bool signalled_;
+};
+
+}  // namespace motor::pal

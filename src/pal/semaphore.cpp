@@ -1,0 +1,37 @@
+#include "pal/semaphore.hpp"
+
+namespace motor::pal {
+
+void Semaphore::release(int n) {
+  {
+    std::lock_guard lk(mu_);
+    count_ += n;
+  }
+  if (n == 1) {
+    cv_.notify_one();
+  } else {
+    cv_.notify_all();
+  }
+}
+
+void Semaphore::acquire() {
+  std::unique_lock lk(mu_);
+  cv_.wait(lk, [&] { return count_ > 0; });
+  --count_;
+}
+
+bool Semaphore::try_acquire() {
+  std::lock_guard lk(mu_);
+  if (count_ <= 0) return false;
+  --count_;
+  return true;
+}
+
+bool Semaphore::timed_acquire(std::chrono::nanoseconds timeout) {
+  std::unique_lock lk(mu_);
+  if (!cv_.wait_for(lk, timeout, [&] { return count_ > 0; })) return false;
+  --count_;
+  return true;
+}
+
+}  // namespace motor::pal

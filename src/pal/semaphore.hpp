@@ -1,0 +1,27 @@
+// PAL counting semaphore.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+
+namespace motor::pal {
+
+class Semaphore {
+ public:
+  explicit Semaphore(int initial = 0) : count_(initial) {}
+  Semaphore(const Semaphore&) = delete;
+  Semaphore& operator=(const Semaphore&) = delete;
+
+  void release(int n = 1);
+  void acquire();
+  bool try_acquire();
+  bool timed_acquire(std::chrono::nanoseconds timeout);
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  int count_;
+};
+
+}  // namespace motor::pal

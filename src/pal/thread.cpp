@@ -1,0 +1,28 @@
+#include "pal/thread.hpp"
+
+#include <atomic>
+
+namespace motor::pal {
+
+namespace {
+std::atomic<ThreadId> g_next_id{1};
+thread_local ThreadId t_id = 0;
+}  // namespace
+
+Thread::Thread(std::string name, std::function<void()> body)
+    : name_(std::move(name)), impl_([body = std::move(body)] { body(); }) {}
+
+Thread::~Thread() {
+  if (impl_.joinable()) impl_.join();
+}
+
+void Thread::join() {
+  if (impl_.joinable()) impl_.join();
+}
+
+ThreadId Thread::current_id() noexcept {
+  if (t_id == 0) t_id = g_next_id.fetch_add(1, std::memory_order_relaxed);
+  return t_id;
+}
+
+}  // namespace motor::pal

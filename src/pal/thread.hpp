@@ -1,0 +1,43 @@
+// PAL thread: a named OS thread with join semantics and a cooperative
+// yield/sleep surface, equivalent to the thread slice of the SSCLI PAL.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <thread>
+
+namespace motor::pal {
+
+using ThreadId = std::uint64_t;
+
+class Thread {
+ public:
+  Thread() = default;
+  Thread(std::string name, std::function<void()> body);
+  ~Thread();
+
+  Thread(const Thread&) = delete;
+  Thread& operator=(const Thread&) = delete;
+  Thread(Thread&&) = default;
+  Thread& operator=(Thread&&) = default;
+
+  void join();
+  [[nodiscard]] bool joinable() const noexcept { return impl_.joinable(); }
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+
+  /// Id of the calling thread (stable for its lifetime).
+  static ThreadId current_id() noexcept;
+
+  static void yield() noexcept { std::this_thread::yield(); }
+  static void sleep_for(std::chrono::nanoseconds d) {
+    std::this_thread::sleep_for(d);
+  }
+
+ private:
+  std::string name_;
+  std::thread impl_;
+};
+
+}  // namespace motor::pal

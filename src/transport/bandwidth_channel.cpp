@@ -1,0 +1,46 @@
+#include "transport/bandwidth_channel.hpp"
+
+#include <algorithm>
+
+#include "pal/clock.hpp"
+
+namespace motor::transport {
+
+BandwidthChannel::BandwidthChannel(std::unique_ptr<Channel> inner,
+                                   std::uint64_t bytes_per_second,
+                                   std::size_t burst_bytes)
+    : inner_(std::move(inner)),
+      bytes_per_second_(bytes_per_second),
+      burst_bytes_(burst_bytes),
+      tokens_(static_cast<double>(burst_bytes)),
+      last_refill_ns_(pal::monotonic_ns()) {}
+
+std::size_t BandwidthChannel::refill_locked() {
+  const std::uint64_t now = pal::monotonic_ns();
+  const double elapsed_s =
+      static_cast<double>(now - last_refill_ns_) / 1e9;
+  last_refill_ns_ = now;
+  tokens_ = std::min(static_cast<double>(burst_bytes_),
+                     tokens_ + elapsed_s * static_cast<double>(
+                                               bytes_per_second_));
+  return static_cast<std::size_t>(tokens_);
+}
+
+std::size_t BandwidthChannel::try_write(ByteSpan bytes) {
+  std::lock_guard lk(mu_);
+  const std::size_t budget = refill_locked();
+  const std::size_t want = std::min(bytes.size(), budget);
+  if (want == 0) return 0;
+  const std::size_t n = inner_->try_write(bytes.first(want));
+  tokens_ -= static_cast<double>(n);
+  return n;
+}
+
+std::size_t BandwidthChannel::writable() const {
+  std::lock_guard lk(mu_);
+  const std::size_t budget =
+      const_cast<BandwidthChannel*>(this)->refill_locked();
+  return std::min(budget, inner_->writable());
+}
+
+}  // namespace motor::transport

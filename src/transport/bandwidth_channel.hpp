@@ -1,0 +1,51 @@
+// BandwidthChannel: a decorator that models a finite-throughput link.
+//
+// Complements LatencyChannel: where latency delays *visibility*,
+// bandwidth limits the *rate* at which the wire accepts bytes, using a
+// token bucket refilled at `bytes_per_second`. Together they let the
+// benchmarks sweep interconnect classes (in-process, GbE-ish, WAN-ish)
+// and watch where the Figure 9 crossovers move — an experiment the paper
+// gestures at ("The layered Motor architecture will allow us to port
+// Motor to other platforms and interconnects", §9).
+#pragma once
+
+#include <memory>
+#include <mutex>
+
+#include "transport/channel.hpp"
+
+namespace motor::transport {
+
+class BandwidthChannel final : public Channel {
+ public:
+  BandwidthChannel(std::unique_ptr<Channel> inner,
+                   std::uint64_t bytes_per_second,
+                   std::size_t burst_bytes = 16 * 1024);
+
+  std::size_t try_write(ByteSpan bytes) override;
+  std::size_t try_read(MutableByteSpan out) override {
+    return inner_->try_read(out);
+  }
+  [[nodiscard]] std::size_t readable() const override {
+    return inner_->readable();
+  }
+  [[nodiscard]] std::size_t writable() const override;
+  void close() override { inner_->close(); }
+  [[nodiscard]] bool at_eof() const override { return inner_->at_eof(); }
+  [[nodiscard]] std::string name() const override {
+    return inner_->name() + "+bw";
+  }
+
+ private:
+  std::size_t refill_locked();
+
+  std::unique_ptr<Channel> inner_;
+  std::uint64_t bytes_per_second_;
+  std::size_t burst_bytes_;
+
+  mutable std::mutex mu_;
+  double tokens_;
+  std::uint64_t last_refill_ns_;
+};
+
+}  // namespace motor::transport

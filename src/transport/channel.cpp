@@ -1,0 +1,22 @@
+#include "transport/channel.hpp"
+
+#include "transport/loopback_channel.hpp"
+#include "transport/ring_channel.hpp"
+#include "transport/stream_channel.hpp"
+
+namespace motor::transport {
+
+std::unique_ptr<Channel> make_channel(ChannelKind kind,
+                                      std::size_t capacity_bytes) {
+  switch (kind) {
+    case ChannelKind::kRing:
+      return std::make_unique<RingChannel>(capacity_bytes);
+    case ChannelKind::kStream:
+      return std::make_unique<StreamChannel>(capacity_bytes);
+    case ChannelKind::kLoopback:
+      return std::make_unique<LoopbackChannel>();
+  }
+  return nullptr;
+}
+
+}  // namespace motor::transport

@@ -1,0 +1,61 @@
+// Transport channel interface — the analog of the MPICH2 channel layer.
+//
+// A Channel moves raw bytes one way, from exactly one producer thread to
+// exactly one consumer thread. Like the MPICH2 channel interface (Gropp &
+// Lusk, ANL/MCS-TM-213), the contract is intentionally tiny — five
+// operations — so a new transport (shared memory, sockets, interconnect)
+// is a small port:
+//   try_write   non-blocking partial write
+//   try_read    non-blocking partial read
+//   readable    bytes currently available to the consumer
+//   writable    bytes currently acceptable from the producer
+//   close       producer-side end-of-stream
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <string>
+
+#include "common/buffer.hpp"
+
+namespace motor::transport {
+
+class Channel {
+ public:
+  virtual ~Channel() = default;
+
+  /// Append up to bytes.size() bytes; returns how many were accepted.
+  /// Never blocks. Returns 0 when the channel is full or closed.
+  virtual std::size_t try_write(ByteSpan bytes) = 0;
+
+  /// Remove up to out.size() bytes; returns how many were delivered.
+  /// Never blocks. Returns 0 when no data is available.
+  virtual std::size_t try_read(MutableByteSpan out) = 0;
+
+  /// Bytes the consumer could read right now.
+  [[nodiscard]] virtual std::size_t readable() const = 0;
+
+  /// Bytes the producer could write right now.
+  [[nodiscard]] virtual std::size_t writable() const = 0;
+
+  /// Producer signals no more data. Buffered bytes remain readable.
+  virtual void close() = 0;
+
+  /// True once closed *and* drained.
+  [[nodiscard]] virtual bool at_eof() const = 0;
+
+  /// Short transport name for diagnostics ("ring", "stream", "loopback").
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+/// Kinds of channel the fabric can build between every rank pair.
+enum class ChannelKind {
+  kRing,     // lock-free SPSC ring: the shared-memory-style channel
+  kStream,   // mutex/condvar byte stream: the sock-style channel
+  kLoopback, // unbounded self-channel (rank -> itself)
+};
+
+std::unique_ptr<Channel> make_channel(ChannelKind kind,
+                                      std::size_t capacity_bytes);
+
+}  // namespace motor::transport

@@ -1,0 +1,68 @@
+#include "transport/fabric.hpp"
+
+#include "common/status.hpp"
+#include "transport/bandwidth_channel.hpp"
+#include "transport/latency_channel.hpp"
+
+namespace motor::transport {
+
+Fabric::Fabric(int n_ranks, ChannelKind kind, std::size_t capacity_bytes,
+               std::uint64_t wire_latency_ns,
+               std::uint64_t wire_bandwidth_bps)
+    : kind_(kind), capacity_(capacity_bytes),
+      wire_latency_ns_(wire_latency_ns),
+      wire_bandwidth_bps_(wire_bandwidth_bps) {
+  MOTOR_CHECK(n_ranks >= 1, "fabric needs at least one rank");
+  std::lock_guard lk(mu_);
+  grow_locked(n_ranks);
+}
+
+int Fabric::size() const {
+  std::lock_guard lk(mu_);
+  return static_cast<int>(links_.size());
+}
+
+Channel& Fabric::link(int from, int to) {
+  std::lock_guard lk(mu_);
+  MOTOR_CHECK(from >= 0 && from < static_cast<int>(links_.size()),
+              "link: bad source rank");
+  MOTOR_CHECK(to >= 0 && to < static_cast<int>(links_.size()),
+              "link: bad destination rank");
+  return *links_[from][to];
+}
+
+int Fabric::add_ranks(int extra) {
+  MOTOR_CHECK(extra >= 1, "add_ranks: extra must be positive");
+  std::lock_guard lk(mu_);
+  const int first_new = static_cast<int>(links_.size());
+  grow_locked(first_new + extra);
+  return first_new;
+}
+
+void Fabric::grow_locked(int new_size) {
+  const int old_size = static_cast<int>(links_.size());
+  links_.resize(new_size);
+  for (int from = 0; from < new_size; ++from) {
+    links_[from].resize(new_size);
+    for (int to = (from < old_size ? old_size : 0); to < new_size; ++to) {
+      if (!links_[from][to]) {
+        if (from == to) {
+          links_[from][to] = make_channel(ChannelKind::kLoopback, 0);
+        } else {
+          std::unique_ptr<Channel> link = make_channel(kind_, capacity_);
+          if (wire_bandwidth_bps_ > 0) {
+            link = std::make_unique<BandwidthChannel>(std::move(link),
+                                                      wire_bandwidth_bps_);
+          }
+          if (wire_latency_ns_ > 0) {
+            link = std::make_unique<LatencyChannel>(std::move(link),
+                                                    wire_latency_ns_);
+          }
+          links_[from][to] = std::move(link);
+        }
+      }
+    }
+  }
+}
+
+}  // namespace motor::transport

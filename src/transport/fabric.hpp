@@ -1,0 +1,54 @@
+// Fabric: the full-mesh interconnect between ranks. One directed Channel
+// per ordered rank pair (i -> j), created up front; rank i's send side is
+// the only producer of channel (i, j) and rank j's progress engine is the
+// only consumer, which is what lets the ring channel stay lock-free.
+//
+// The fabric can grow (add_ranks) to support MPI-2 dynamic process
+// management: spawned worlds get fresh rows/columns of channels.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "transport/channel.hpp"
+
+namespace motor::transport {
+
+class Fabric {
+ public:
+  /// Builds an n_ranks x n_ranks mesh. Diagonal entries are loopback
+  /// channels regardless of `kind` (self-sends must not block on capacity).
+  /// `wire_latency_ns` > 0 wraps every non-loopback channel in a
+  /// LatencyChannel modelling interconnect propagation delay.
+  /// `wire_bandwidth_bps` > 0 additionally rate-limits every non-loopback
+  /// channel (token bucket), composing as latency(bandwidth(channel)).
+  Fabric(int n_ranks, ChannelKind kind, std::size_t capacity_bytes,
+         std::uint64_t wire_latency_ns = 0,
+         std::uint64_t wire_bandwidth_bps = 0);
+
+  [[nodiscard]] int size() const;
+
+  /// Channel carrying bytes from rank `from` to rank `to`.
+  Channel& link(int from, int to);
+
+  /// Extend the mesh by `extra` ranks (dynamic process management).
+  /// Returns the rank id of the first new rank.
+  int add_ranks(int extra);
+
+  [[nodiscard]] ChannelKind kind() const noexcept { return kind_; }
+
+ private:
+  void grow_locked(int new_size);
+
+  mutable std::mutex mu_;
+  ChannelKind kind_;
+  std::size_t capacity_;
+  std::uint64_t wire_latency_ns_;
+  std::uint64_t wire_bandwidth_bps_;
+  // links_[from][to]
+  std::vector<std::vector<std::unique_ptr<Channel>>> links_;
+};
+
+}  // namespace motor::transport

@@ -1,0 +1,44 @@
+#include "transport/latency_channel.hpp"
+
+#include <algorithm>
+
+#include "pal/clock.hpp"
+
+namespace motor::transport {
+
+std::size_t LatencyChannel::try_write(ByteSpan bytes) {
+  const std::size_t n = inner_->try_write(bytes);
+  if (n > 0 && latency_ns_ > 0) {
+    std::lock_guard lk(mu_);
+    written_ += n;
+    stamps_.emplace_back(written_, pal::monotonic_ns() + latency_ns_);
+  }
+  return n;
+}
+
+std::size_t LatencyChannel::released_locked() const {
+  const std::uint64_t now = pal::monotonic_ns();
+  while (!stamps_.empty() && stamps_.front().second <= now) {
+    released_ = stamps_.front().first;
+    stamps_.pop_front();
+  }
+  return static_cast<std::size_t>(released_ - read_);
+}
+
+std::size_t LatencyChannel::try_read(MutableByteSpan out) {
+  if (latency_ns_ == 0) return inner_->try_read(out);
+  std::lock_guard lk(mu_);
+  const std::size_t limit = std::min(out.size(), released_locked());
+  if (limit == 0) return 0;
+  const std::size_t n = inner_->try_read(out.first(limit));
+  read_ += n;
+  return n;
+}
+
+std::size_t LatencyChannel::readable() const {
+  if (latency_ns_ == 0) return inner_->readable();
+  std::lock_guard lk(mu_);
+  return std::min(inner_->readable(), released_locked());
+}
+
+}  // namespace motor::transport

@@ -1,0 +1,43 @@
+#include "transport/loopback_channel.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace motor::transport {
+
+std::size_t LoopbackChannel::try_write(ByteSpan bytes) {
+  std::lock_guard lk(mu_);
+  if (closed_) return 0;
+  data_.insert(data_.end(), bytes.begin(), bytes.end());
+  return bytes.size();
+}
+
+std::size_t LoopbackChannel::try_read(MutableByteSpan out) {
+  std::lock_guard lk(mu_);
+  const std::size_t n = std::min(out.size(), data_.size());
+  std::copy_n(data_.begin(), n, out.begin());
+  data_.erase(data_.begin(), data_.begin() + n);
+  return n;
+}
+
+std::size_t LoopbackChannel::readable() const {
+  std::lock_guard lk(mu_);
+  return data_.size();
+}
+
+std::size_t LoopbackChannel::writable() const {
+  std::lock_guard lk(mu_);
+  return closed_ ? 0 : std::numeric_limits<std::size_t>::max();
+}
+
+void LoopbackChannel::close() {
+  std::lock_guard lk(mu_);
+  closed_ = true;
+}
+
+bool LoopbackChannel::at_eof() const {
+  std::lock_guard lk(mu_);
+  return closed_ && data_.empty();
+}
+
+}  // namespace motor::transport

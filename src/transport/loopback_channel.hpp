@@ -1,0 +1,28 @@
+// Unbounded self-channel for rank->self sends. A rank sending to itself
+// must never deadlock on channel capacity, so loopback grows on demand.
+#pragma once
+
+#include <deque>
+#include <mutex>
+
+#include "transport/channel.hpp"
+
+namespace motor::transport {
+
+class LoopbackChannel final : public Channel {
+ public:
+  std::size_t try_write(ByteSpan bytes) override;
+  std::size_t try_read(MutableByteSpan out) override;
+  [[nodiscard]] std::size_t readable() const override;
+  [[nodiscard]] std::size_t writable() const override;
+  void close() override;
+  [[nodiscard]] bool at_eof() const override;
+  [[nodiscard]] std::string name() const override { return "loopback"; }
+
+ private:
+  mutable std::mutex mu_;
+  std::deque<std::byte> data_;
+  bool closed_ = false;
+};
+
+}  // namespace motor::transport

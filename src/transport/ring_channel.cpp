@@ -1,0 +1,66 @@
+#include "transport/ring_channel.hpp"
+
+#include <bit>
+#include <cstring>
+
+namespace motor::transport {
+
+RingChannel::RingChannel(std::size_t capacity_bytes) {
+  capacity_ = std::bit_ceil(capacity_bytes < 64 ? std::size_t{64}
+                                                : capacity_bytes);
+  mask_ = capacity_ - 1;
+  data_.resize(capacity_);
+}
+
+std::size_t RingChannel::try_write(ByteSpan bytes) {
+  if (closed_.load(std::memory_order_relaxed)) return 0;
+  const std::size_t head = head_.load(std::memory_order_acquire);
+  const std::size_t tail = tail_.load(std::memory_order_relaxed);
+  const std::size_t free_space = capacity_ - (tail - head);
+  const std::size_t n = bytes.size() < free_space ? bytes.size() : free_space;
+  if (n == 0) return 0;
+
+  const std::size_t start = tail & mask_;
+  const std::size_t first = std::min(n, capacity_ - start);
+  std::memcpy(data_.data() + start, bytes.data(), first);
+  if (n > first) {
+    std::memcpy(data_.data(), bytes.data() + first, n - first);
+  }
+  tail_.store(tail + n, std::memory_order_release);
+  return n;
+}
+
+std::size_t RingChannel::try_read(MutableByteSpan out) {
+  const std::size_t tail = tail_.load(std::memory_order_acquire);
+  const std::size_t head = head_.load(std::memory_order_relaxed);
+  const std::size_t avail = tail - head;
+  const std::size_t n = out.size() < avail ? out.size() : avail;
+  if (n == 0) return 0;
+
+  const std::size_t start = head & mask_;
+  const std::size_t first = std::min(n, capacity_ - start);
+  std::memcpy(out.data(), data_.data() + start, first);
+  if (n > first) {
+    std::memcpy(out.data() + first, data_.data(), n - first);
+  }
+  head_.store(head + n, std::memory_order_release);
+  return n;
+}
+
+std::size_t RingChannel::readable() const {
+  return tail_.load(std::memory_order_acquire) -
+         head_.load(std::memory_order_acquire);
+}
+
+std::size_t RingChannel::writable() const {
+  if (closed_.load(std::memory_order_relaxed)) return 0;
+  return capacity_ - readable();
+}
+
+void RingChannel::close() { closed_.store(true, std::memory_order_release); }
+
+bool RingChannel::at_eof() const {
+  return closed_.load(std::memory_order_acquire) && readable() == 0;
+}
+
+}  // namespace motor::transport

@@ -1,0 +1,38 @@
+// Lock-free single-producer single-consumer byte ring. This is the
+// shared-memory-style channel: fixed capacity, cache-line-separated
+// indices, real memcpy of every payload byte.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <vector>
+
+#include "transport/channel.hpp"
+
+namespace motor::transport {
+
+class RingChannel final : public Channel {
+ public:
+  /// Capacity is rounded up to a power of two (min 64 bytes).
+  explicit RingChannel(std::size_t capacity_bytes);
+
+  std::size_t try_write(ByteSpan bytes) override;
+  std::size_t try_read(MutableByteSpan out) override;
+  [[nodiscard]] std::size_t readable() const override;
+  [[nodiscard]] std::size_t writable() const override;
+  void close() override;
+  [[nodiscard]] bool at_eof() const override;
+  [[nodiscard]] std::string name() const override { return "ring"; }
+
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+
+ private:
+  std::size_t capacity_;  // power of two
+  std::size_t mask_;
+  std::vector<std::byte> data_;
+  alignas(64) std::atomic<std::size_t> head_{0};  // consumer position
+  alignas(64) std::atomic<std::size_t> tail_{0};  // producer position
+  alignas(64) std::atomic<bool> closed_{false};
+};
+
+}  // namespace motor::transport

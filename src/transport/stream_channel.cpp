@@ -1,0 +1,46 @@
+#include "transport/stream_channel.hpp"
+
+#include <algorithm>
+
+namespace motor::transport {
+
+std::size_t StreamChannel::try_write(ByteSpan bytes) {
+  std::lock_guard lk(mu_);
+  if (closed_) return 0;
+  const std::size_t room = capacity_ > data_.size() ? capacity_ - data_.size()
+                                                    : 0;
+  const std::size_t n = std::min(bytes.size(), room);
+  data_.insert(data_.end(), bytes.begin(), bytes.begin() + n);
+  return n;
+}
+
+std::size_t StreamChannel::try_read(MutableByteSpan out) {
+  std::lock_guard lk(mu_);
+  const std::size_t n = std::min(out.size(), data_.size());
+  std::copy_n(data_.begin(), n, out.begin());
+  data_.erase(data_.begin(), data_.begin() + n);
+  return n;
+}
+
+std::size_t StreamChannel::readable() const {
+  std::lock_guard lk(mu_);
+  return data_.size();
+}
+
+std::size_t StreamChannel::writable() const {
+  std::lock_guard lk(mu_);
+  if (closed_) return 0;
+  return capacity_ > data_.size() ? capacity_ - data_.size() : 0;
+}
+
+void StreamChannel::close() {
+  std::lock_guard lk(mu_);
+  closed_ = true;
+}
+
+bool StreamChannel::at_eof() const {
+  std::lock_guard lk(mu_);
+  return closed_ && data_.empty();
+}
+
+}  // namespace motor::transport

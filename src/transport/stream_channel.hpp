@@ -1,0 +1,33 @@
+// Mutex-guarded byte stream with a soft capacity bound — the sock-style
+// channel: unbounded-ish buffering with backpressure past the cap, the
+// behaviour a localhost TCP socket gives MPICH2's sock channel.
+#pragma once
+
+#include <deque>
+#include <mutex>
+
+#include "transport/channel.hpp"
+
+namespace motor::transport {
+
+class StreamChannel final : public Channel {
+ public:
+  explicit StreamChannel(std::size_t capacity_bytes)
+      : capacity_(capacity_bytes < 64 ? 64 : capacity_bytes) {}
+
+  std::size_t try_write(ByteSpan bytes) override;
+  std::size_t try_read(MutableByteSpan out) override;
+  [[nodiscard]] std::size_t readable() const override;
+  [[nodiscard]] std::size_t writable() const override;
+  void close() override;
+  [[nodiscard]] bool at_eof() const override;
+  [[nodiscard]] std::string name() const override { return "stream"; }
+
+ private:
+  mutable std::mutex mu_;
+  std::deque<std::byte> data_;
+  std::size_t capacity_;
+  bool closed_ = false;
+};
+
+}  // namespace motor::transport

@@ -1,0 +1,117 @@
+#include "vm/assembler.hpp"
+
+#include "common/status.hpp"
+
+namespace motor::vm {
+
+MethodAssembler::MethodAssembler(std::string name, int n_args, int n_locals) {
+  method_.name = std::move(name);
+  method_.n_args = n_args;
+  method_.n_locals = n_locals;
+}
+
+int MethodAssembler::new_label() { return next_label_++; }
+
+MethodAssembler& MethodAssembler::bind(int label) {
+  MOTOR_CHECK(!bound_.contains(label), "label bound twice");
+  bound_[label] = method_.code.size();
+  return *this;
+}
+
+MethodAssembler& MethodAssembler::emit(Op op, std::int64_t i, std::int64_t aux,
+                                       double f) {
+  method_.code.push_back(Instr{op, i, aux, f});
+  return *this;
+}
+
+MethodAssembler& MethodAssembler::emit_branch(Op op, int label) {
+  pending_.emplace_back(method_.code.size(), label);
+  return emit(op, -1);
+}
+
+MethodAssembler& MethodAssembler::nop() { return emit(Op::kNop); }
+MethodAssembler& MethodAssembler::ldc_i4(std::int32_t v) {
+  return emit(Op::kLdcI4, v);
+}
+MethodAssembler& MethodAssembler::ldc_i8(std::int64_t v) {
+  return emit(Op::kLdcI8, v);
+}
+MethodAssembler& MethodAssembler::ldc_r8(double v) {
+  return emit(Op::kLdcR8, 0, 0, v);
+}
+MethodAssembler& MethodAssembler::ldnull() { return emit(Op::kLdNull); }
+MethodAssembler& MethodAssembler::ldloc(int slot) {
+  return emit(Op::kLdLoc, slot);
+}
+MethodAssembler& MethodAssembler::stloc(int slot) {
+  return emit(Op::kStLoc, slot);
+}
+MethodAssembler& MethodAssembler::dup() { return emit(Op::kDup); }
+MethodAssembler& MethodAssembler::pop() { return emit(Op::kPop); }
+MethodAssembler& MethodAssembler::add() { return emit(Op::kAdd); }
+MethodAssembler& MethodAssembler::sub() { return emit(Op::kSub); }
+MethodAssembler& MethodAssembler::mul() { return emit(Op::kMul); }
+MethodAssembler& MethodAssembler::div() { return emit(Op::kDiv); }
+MethodAssembler& MethodAssembler::rem() { return emit(Op::kRem); }
+MethodAssembler& MethodAssembler::neg() { return emit(Op::kNeg); }
+MethodAssembler& MethodAssembler::and_() { return emit(Op::kAnd); }
+MethodAssembler& MethodAssembler::or_() { return emit(Op::kOr); }
+MethodAssembler& MethodAssembler::xor_() { return emit(Op::kXor); }
+MethodAssembler& MethodAssembler::not_() { return emit(Op::kNot); }
+MethodAssembler& MethodAssembler::shl() { return emit(Op::kShl); }
+MethodAssembler& MethodAssembler::shr() { return emit(Op::kShr); }
+MethodAssembler& MethodAssembler::ceq() { return emit(Op::kCeq); }
+MethodAssembler& MethodAssembler::cne() { return emit(Op::kCne); }
+MethodAssembler& MethodAssembler::clt() { return emit(Op::kClt); }
+MethodAssembler& MethodAssembler::cle() { return emit(Op::kCle); }
+MethodAssembler& MethodAssembler::cgt() { return emit(Op::kCgt); }
+MethodAssembler& MethodAssembler::cge() { return emit(Op::kCge); }
+MethodAssembler& MethodAssembler::conv_i4() { return emit(Op::kConvI4); }
+MethodAssembler& MethodAssembler::conv_i8() { return emit(Op::kConvI8); }
+MethodAssembler& MethodAssembler::conv_r8() { return emit(Op::kConvR8); }
+MethodAssembler& MethodAssembler::br(int label) {
+  return emit_branch(Op::kBr, label);
+}
+MethodAssembler& MethodAssembler::brtrue(int label) {
+  return emit_branch(Op::kBrTrue, label);
+}
+MethodAssembler& MethodAssembler::brfalse(int label) {
+  return emit_branch(Op::kBrFalse, label);
+}
+MethodAssembler& MethodAssembler::call(int method_index) {
+  return emit(Op::kCall, method_index);
+}
+MethodAssembler& MethodAssembler::call_native(int fcall_index, int n_args) {
+  return emit(Op::kCallNative, fcall_index, n_args);
+}
+MethodAssembler& MethodAssembler::ret() { return emit(Op::kRet); }
+MethodAssembler& MethodAssembler::newobj(int type_index) {
+  return emit(Op::kNewObj, type_index);
+}
+MethodAssembler& MethodAssembler::newarr(int type_index) {
+  return emit(Op::kNewArr, type_index);
+}
+MethodAssembler& MethodAssembler::ldfld(const FieldDesc& field) {
+  return emit(Op::kLdFld, field.offset(),
+              static_cast<std::int64_t>(field.kind()));
+}
+MethodAssembler& MethodAssembler::stfld(const FieldDesc& field) {
+  return emit(Op::kStFld, field.offset(),
+              static_cast<std::int64_t>(field.kind()));
+}
+MethodAssembler& MethodAssembler::ldelem() { return emit(Op::kLdElem); }
+MethodAssembler& MethodAssembler::stelem() { return emit(Op::kStElem); }
+MethodAssembler& MethodAssembler::ldlen() { return emit(Op::kLdLen); }
+
+Method MethodAssembler::build() {
+  for (const auto& [pc, label] : pending_) {
+    auto it = bound_.find(label);
+    MOTOR_CHECK(it != bound_.end(),
+                "unbound label in method " + method_.name);
+    method_.code[pc].i = static_cast<std::int64_t>(it->second);
+  }
+  pending_.clear();
+  return std::move(method_);
+}
+
+}  // namespace motor::vm

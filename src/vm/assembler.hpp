@@ -1,0 +1,84 @@
+// MethodAssembler: a small fluent builder for interpreter bytecode with
+// symbolic labels, used by examples and tests in place of a compiler
+// front-end.
+#pragma once
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "vm/interpreter.hpp"
+
+namespace motor::vm {
+
+class MethodAssembler {
+ public:
+  MethodAssembler(std::string name, int n_args, int n_locals);
+
+  // ---- labels ----
+  /// Create a fresh label id (bind later with bind()).
+  int new_label();
+  /// Bind `label` to the next emitted instruction.
+  MethodAssembler& bind(int label);
+
+  // ---- emission (chainable) ----
+  MethodAssembler& nop();
+  MethodAssembler& ldc_i4(std::int32_t v);
+  MethodAssembler& ldc_i8(std::int64_t v);
+  MethodAssembler& ldc_r8(double v);
+  MethodAssembler& ldnull();
+  MethodAssembler& ldloc(int slot);
+  MethodAssembler& stloc(int slot);
+  MethodAssembler& dup();
+  MethodAssembler& pop();
+  MethodAssembler& add();
+  MethodAssembler& sub();
+  MethodAssembler& mul();
+  MethodAssembler& div();
+  MethodAssembler& rem();
+  MethodAssembler& neg();
+  MethodAssembler& and_();
+  MethodAssembler& or_();
+  MethodAssembler& xor_();
+  MethodAssembler& not_();
+  MethodAssembler& shl();
+  MethodAssembler& shr();
+  MethodAssembler& ceq();
+  MethodAssembler& cne();
+  MethodAssembler& clt();
+  MethodAssembler& cle();
+  MethodAssembler& cgt();
+  MethodAssembler& cge();
+  MethodAssembler& conv_i4();
+  MethodAssembler& conv_i8();
+  MethodAssembler& conv_r8();
+  MethodAssembler& br(int label);
+  MethodAssembler& brtrue(int label);
+  MethodAssembler& brfalse(int label);
+  MethodAssembler& call(int method_index);
+  MethodAssembler& call_native(int fcall_index, int n_args);
+  MethodAssembler& ret();
+  MethodAssembler& newobj(int type_index);
+  MethodAssembler& newarr(int type_index);
+  MethodAssembler& ldfld(const FieldDesc& field);
+  MethodAssembler& stfld(const FieldDesc& field);
+  MethodAssembler& ldelem();
+  MethodAssembler& stelem();
+  MethodAssembler& ldlen();
+
+  /// Resolve labels and return the finished method. Fatals on an unbound
+  /// label reference.
+  Method build();
+
+ private:
+  MethodAssembler& emit(Op op, std::int64_t i = 0, std::int64_t aux = 0,
+                        double f = 0.0);
+  MethodAssembler& emit_branch(Op op, int label);
+
+  Method method_;
+  std::unordered_map<int, std::size_t> bound_;          // label -> pc
+  std::vector<std::pair<std::size_t, int>> pending_;    // (pc, label)
+  int next_label_ = 0;
+};
+
+}  // namespace motor::vm

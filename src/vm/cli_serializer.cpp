@@ -1,0 +1,238 @@
+#include "vm/cli_serializer.hpp"
+
+#include <unordered_map>
+
+#include "pal/clock.hpp"
+#include "vm/serial_util.hpp"
+#include "vm/vm.hpp"
+
+namespace motor::vm {
+
+namespace {
+
+constexpr std::uint32_t kMagic = 0x434C4942;  // "CLIB"
+
+/// Bytes a class-type record's payload occupies on the wire: primitives
+/// raw, references as 4-byte ids.
+std::size_t class_wire_bytes(const MethodTable* mt) {
+  std::size_t n = 0;
+  for (const FieldDesc& f : mt->fields()) {
+    n += f.is_reference() ? 4 : f.size();
+  }
+  return n;
+}
+
+}  // namespace
+
+Status CliBinarySerializer::serialize(Obj root, ByteBuffer& out) {
+  pal::Stopwatch sw;
+
+  // Discover the reachable graph breadth-first, assigning ids in
+  // encounter order (ObjectIDGenerator analog).
+  std::unordered_map<Obj, std::int32_t> ids;
+  std::vector<Obj> order;
+  if (root != nullptr) {
+    ids.emplace(root, 0);
+    order.push_back(root);
+    for (std::size_t head = 0; head < order.size(); ++head) {
+      Obj obj = order[head];
+      const MethodTable* mt = obj_mt(obj);
+      auto discover = [&](Obj target) {
+        if (target == nullptr || ids.contains(target)) return;
+        ids.emplace(target, static_cast<std::int32_t>(order.size()));
+        order.push_back(target);
+      };
+      if (mt->is_array()) {
+        if (mt->element_kind() == ElementKind::kObjectRef) {
+          const std::int64_t n = array_length(obj);
+          for (std::int64_t i = 0; i < n; ++i) discover(get_ref_element(obj, i));
+        }
+      } else {
+        for (std::uint32_t off : mt->reference_offsets()) {
+          discover(get_ref_field(obj, off));
+        }
+      }
+    }
+  }
+
+  out.put_u32(kMagic);
+  out.put_i32(static_cast<std::int32_t>(order.size()));
+  out.put_i32(root == nullptr ? -1 : 0);
+  for (Obj obj : order) {
+    MOTOR_RETURN_IF_ERROR(write_object_body(obj, out, ids));
+  }
+  objects_serialized_ += order.size();
+
+  // Host-quality residue: a slower managed serializer costs proportionally
+  // more CPU for the same structural work (see RuntimeProfile).
+  const double factor = vm_.profile().serializer_cost_factor;
+  if (factor > 1.0) {
+    pal::spin_for_ns(
+        static_cast<std::uint64_t>((factor - 1.0) * sw.elapsed_ns()));
+  }
+  return Status::ok();
+}
+
+Status CliBinarySerializer::write_object_body(
+    Obj obj, ByteBuffer& out,
+    const std::unordered_map<Obj, std::int32_t>& ids) {
+  const MethodTable* mt = obj_mt(obj);
+  detail::write_string(out, mt->name());
+
+  auto id_of = [&](Obj target) -> std::int32_t {
+    if (target == nullptr) return -1;
+    return ids.at(target);
+  };
+
+  if (mt->is_array()) {
+    if (mt->rank() > 1) {
+      for (int d = 0; d < mt->rank(); ++d) out.put_i32(array_dim(obj, d));
+    } else {
+      out.put_i64(array_length(obj));
+    }
+    if (mt->element_kind() == ElementKind::kObjectRef) {
+      const std::int64_t n = array_length(obj);
+      for (std::int64_t i = 0; i < n; ++i) {
+        out.put_i32(id_of(get_ref_element(obj, i)));
+      }
+    } else {
+      out.append_raw(array_data(obj), array_payload_bytes(obj));
+    }
+    return Status::ok();
+  }
+
+  for (const FieldDesc& f : mt->fields()) {
+    if (f.is_reference()) {
+      out.put_i32(id_of(get_ref_field(obj, f.offset())));
+    } else {
+      out.append_raw(obj_data(obj) + f.offset(), f.size());
+    }
+  }
+  return Status::ok();
+}
+
+Status CliBinarySerializer::deserialize(ByteBuffer& in, ManagedThread& thread,
+                                        Obj* out) {
+  pal::Stopwatch sw;
+  std::uint32_t magic = 0;
+  MOTOR_RETURN_IF_ERROR(in.get(magic));
+  if (magic != kMagic) {
+    return Status(ErrorCode::kSerialization, "bad CLI serializer magic");
+  }
+  std::int32_t count = 0, root_id = 0;
+  MOTOR_RETURN_IF_ERROR(in.get(count));
+  MOTOR_RETURN_IF_ERROR(in.get(root_id));
+  if (count < 0) return Status(ErrorCode::kSerialization, "bad object count");
+  if (static_cast<std::size_t>(count) > in.remaining() / 2 + 1) {
+    return Status(ErrorCode::kSerialization, "object count exceeds stream");
+  }
+
+  // Pass 1: create every object (GC-protected) and remember where each
+  // record's payload starts.
+  RootRange table(thread);
+  std::vector<std::size_t> payload_pos(static_cast<std::size_t>(count));
+  for (std::int32_t id = 0; id < count; ++id) {
+    std::string type_name;
+    MOTOR_RETURN_IF_ERROR(detail::read_string(in, type_name));
+    const MethodTable* mt = vm_.types().find(type_name);
+    if (mt == nullptr) {
+      return Status(ErrorCode::kSerialization, "unknown type " + type_name);
+    }
+    std::size_t payload = 0;
+    Obj obj = nullptr;
+    if (mt->is_array()) {
+      std::int64_t length = 0;
+      if (mt->rank() > 1) {
+        std::vector<std::int32_t> dims(static_cast<std::size_t>(mt->rank()));
+        std::int64_t total_elems = 1;
+        for (auto& d : dims) {
+          MOTOR_RETURN_IF_ERROR(in.get(d));
+          if (d < 0) return Status(ErrorCode::kSerialization, "bad dim");
+          total_elems *= d;
+        }
+        const std::size_t wire_per_elem =
+            mt->element_kind() == ElementKind::kObjectRef ? 4
+                                                          : mt->element_bytes();
+        if (static_cast<std::size_t>(total_elems) * wire_per_elem >
+            in.remaining()) {
+          return Status(ErrorCode::kSerialization,
+                        "announced array exceeds stream");
+        }
+        obj = vm_.heap().alloc_md_array(mt, dims);
+        length = array_length(obj);
+      } else {
+        MOTOR_RETURN_IF_ERROR(in.get(length));
+        if (length < 0) {
+          return Status(ErrorCode::kSerialization, "negative array length");
+        }
+        const std::size_t wire_per_elem =
+            mt->element_kind() == ElementKind::kObjectRef ? 4
+                                                          : mt->element_bytes();
+        if (static_cast<std::size_t>(length) * wire_per_elem >
+            in.remaining()) {
+          return Status(ErrorCode::kSerialization,
+                        "announced array exceeds stream");
+        }
+        obj = vm_.heap().alloc_array(mt, length);
+      }
+      payload = static_cast<std::size_t>(length) *
+                (mt->element_kind() == ElementKind::kObjectRef
+                     ? 4
+                     : mt->element_bytes());
+    } else {
+      obj = vm_.heap().alloc_object(mt);
+      payload = class_wire_bytes(mt);
+    }
+    table.add(obj);
+    payload_pos[static_cast<std::size_t>(id)] = in.cursor();
+    if (in.remaining() < payload) {
+      return Status(ErrorCode::kSerialization, "truncated record");
+    }
+    in.seek(in.cursor() + payload);
+  }
+
+  auto resolve = [&](std::int32_t id) -> Obj {
+    return id < 0 ? nullptr : table.at(static_cast<std::size_t>(id));
+  };
+
+  // Pass 2: fill payloads with references resolved through the table.
+  for (std::int32_t id = 0; id < count; ++id) {
+    Obj obj = table.at(static_cast<std::size_t>(id));
+    const MethodTable* mt = obj_mt(obj);
+    in.seek(payload_pos[static_cast<std::size_t>(id)]);
+    if (mt->is_array()) {
+      if (mt->element_kind() == ElementKind::kObjectRef) {
+        const std::int64_t n = array_length(obj);
+        for (std::int64_t i = 0; i < n; ++i) {
+          std::int32_t rid = 0;
+          MOTOR_RETURN_IF_ERROR(in.get(rid));
+          set_ref_element(obj, i, resolve(rid));
+        }
+      } else {
+        MOTOR_RETURN_IF_ERROR(in.read(
+            {array_data(obj), array_payload_bytes(obj)}));
+      }
+      continue;
+    }
+    for (const FieldDesc& f : mt->fields()) {
+      if (f.is_reference()) {
+        std::int32_t rid = 0;
+        MOTOR_RETURN_IF_ERROR(in.get(rid));
+        set_ref_field(obj, f.offset(), resolve(rid));
+      } else {
+        MOTOR_RETURN_IF_ERROR(in.read({obj_data(obj) + f.offset(), f.size()}));
+      }
+    }
+  }
+
+  *out = resolve(root_id);
+
+  const double factor = vm_.profile().serializer_cost_factor;
+  if (factor > 1.0) {
+    pal::spin_for_ns(
+        static_cast<std::uint64_t>((factor - 1.0) * sw.elapsed_ns()));
+  }
+  return Status::ok();
+}
+
+}  // namespace motor::vm

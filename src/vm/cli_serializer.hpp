@@ -1,0 +1,49 @@
+// The standard CLI runtime binary serializer (BinaryFormatter analog).
+//
+// This is the mechanism the Indiana-bindings baseline uses to move object
+// trees over regular MPI (paper §8, Figure 10): it produces "a single
+// atomic flat representation, which cannot be split or offset like
+// standard memory" (§2.4) — hence no scatter/gather of object arrays.
+//
+// Semantics are Serializable-style OPT-OUT: every field is serialized,
+// references included, by following the whole reachable graph. Cycles are
+// handled with an object-id table. Cost: the structural work is real; the
+// host-quality residue (Rotor's serializer being visibly slower than
+// .NET's — the Figure 10 caption calls this out) is charged as a
+// multiplier on measured serialization time.
+#pragma once
+
+#include <unordered_map>
+
+#include "common/buffer.hpp"
+#include "vm/handles.hpp"
+#include "vm/object.hpp"
+
+namespace motor::vm {
+
+class Vm;
+
+class CliBinarySerializer {
+ public:
+  explicit CliBinarySerializer(Vm& vm) : vm_(vm) {}
+
+  /// Serialize the graph reachable from `root` into `out`.
+  Status serialize(Obj root, ByteBuffer& out);
+
+  /// Rebuild the graph in this VM's heap; `thread` provides GC protection
+  /// for the growing object table.
+  Status deserialize(ByteBuffer& in, ManagedThread& thread, Obj* out);
+
+  [[nodiscard]] std::uint64_t objects_serialized() const noexcept {
+    return objects_serialized_;
+  }
+
+ private:
+  Status write_object_body(Obj obj, ByteBuffer& out,
+                           const std::unordered_map<Obj, std::int32_t>& ids);
+
+  Vm& vm_;
+  std::uint64_t objects_serialized_ = 0;
+};
+
+}  // namespace motor::vm

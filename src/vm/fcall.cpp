@@ -1,0 +1,37 @@
+#include "vm/fcall.hpp"
+
+#include "common/status.hpp"
+#include "pal/clock.hpp"
+#include "vm/vm.hpp"
+
+namespace motor::vm {
+
+int FCallTable::register_fcall(std::string name, NativeFn fn) {
+  entries_.push_back(Entry{std::move(name), std::move(fn)});
+  return static_cast<int>(entries_.size()) - 1;
+}
+
+Value FCallTable::invoke(Vm& vm, ManagedThread& thread, int index,
+                         std::span<const Value> args) const {
+  MOTOR_CHECK(index >= 0 && index < static_cast<int>(entries_.size()),
+              "unknown FCall");
+  ++calls_;
+  // "They must behave like managed code ... periodically yield to the
+  // garbage collector" (§5.1): poll on entry and exit.
+  thread.poll_gc();
+  if (vm.profile().fcall_transition_ns > 0) {
+    pal::spin_for_ns(vm.profile().fcall_transition_ns);
+  }
+  Value result = entries_[static_cast<std::size_t>(index)].fn(vm, thread, args);
+  thread.poll_gc();
+  return result;
+}
+
+int FCallTable::find(std::string_view name) const {
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    if (entries_[i].name == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+}  // namespace motor::vm

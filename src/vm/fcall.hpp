@@ -1,0 +1,50 @@
+// The FCall (InternalCall) mechanism — paper §5.1/§7.3.
+//
+// FCalls are the runtime-internal call path System libraries use: they are
+// internally trusted, so there is no parameter marshalling and no security
+// check; but they must behave like managed code — poll the GC on entry and
+// exit, and GC-protect any object pointers they hold (GcRoot). The
+// System.MP library reaches the Message Passing Core exclusively through
+// this table, which is what gives Motor its per-call advantage over
+// P/Invoke-based wrappers (Figure 9).
+#pragma once
+
+#include <functional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "vm/managed_thread.hpp"
+
+namespace motor::vm {
+
+class Vm;
+
+/// Runtime-internal native entry point (the FCIMPL body).
+using NativeFn =
+    std::function<Value(Vm&, ManagedThread&, std::span<const Value>)>;
+
+class FCallTable {
+ public:
+  /// Register an internal call; returns its index (the MethodImpl token).
+  int register_fcall(std::string name, NativeFn fn);
+
+  /// Invoke with FCall discipline: GC poll on entry, the (tiny) trusted
+  /// transition cost, the body, GC poll on exit.
+  Value invoke(Vm& vm, ManagedThread& thread, int index,
+               std::span<const Value> args) const;
+
+  [[nodiscard]] int find(std::string_view name) const;
+  [[nodiscard]] std::size_t size() const noexcept { return entries_.size(); }
+  [[nodiscard]] std::uint64_t calls() const noexcept { return calls_; }
+
+ private:
+  struct Entry {
+    std::string name;
+    NativeFn fn;
+  };
+  std::vector<Entry> entries_;
+  mutable std::uint64_t calls_ = 0;
+};
+
+}  // namespace motor::vm

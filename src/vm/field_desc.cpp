@@ -1,0 +1,59 @@
+#include "vm/field_desc.hpp"
+
+#include "common/status.hpp"
+
+namespace motor::vm {
+
+std::size_t element_size(ElementKind kind) noexcept {
+  switch (kind) {
+    case ElementKind::kBool:
+    case ElementKind::kInt8:
+    case ElementKind::kUInt8:
+      return 1;
+    case ElementKind::kChar:  // CLI char is UTF-16
+    case ElementKind::kInt16:
+    case ElementKind::kUInt16:
+      return 2;
+    case ElementKind::kInt32:
+    case ElementKind::kUInt32:
+    case ElementKind::kFloat:
+      return 4;
+    case ElementKind::kInt64:
+    case ElementKind::kUInt64:
+    case ElementKind::kDouble:
+    case ElementKind::kObjectRef:
+      return 8;
+  }
+  return 0;
+}
+
+std::string_view element_kind_name(ElementKind kind) noexcept {
+  switch (kind) {
+    case ElementKind::kBool: return "bool";
+    case ElementKind::kChar: return "char";
+    case ElementKind::kInt8: return "int8";
+    case ElementKind::kUInt8: return "uint8";
+    case ElementKind::kInt16: return "int16";
+    case ElementKind::kUInt16: return "uint16";
+    case ElementKind::kInt32: return "int32";
+    case ElementKind::kUInt32: return "uint32";
+    case ElementKind::kInt64: return "int64";
+    case ElementKind::kUInt64: return "uint64";
+    case ElementKind::kFloat: return "float";
+    case ElementKind::kDouble: return "double";
+    case ElementKind::kObjectRef: return "objectref";
+  }
+  return "<unknown>";
+}
+
+FieldDesc::FieldDesc(std::string name, ElementKind kind, std::uint32_t offset,
+                     const MethodTable* field_type, bool transportable)
+    : field_type_(field_type), name_(std::move(name)) {
+  MOTOR_CHECK(offset <= kOffsetMask, "field offset exceeds bitfield");
+  packed_ = offset | (static_cast<std::uint32_t>(kind) << kKindShift) |
+            (transportable ? kTransportableBit : 0);
+  MOTOR_CHECK(kind != ElementKind::kObjectRef || field_type != nullptr,
+              "reference field requires a declared type");
+}
+
+}  // namespace motor::vm

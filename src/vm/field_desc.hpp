@@ -1,0 +1,83 @@
+// FieldDesc: the per-field descriptor of the runtime class model.
+//
+// Mirrors the SSCLI structure the paper describes (§5.3): "a highly
+// optimized structure, using a bit field to describe field information",
+// onto which Motor adds a **Transportable bit** (§7.5) so the serializer
+// can test the attribute without touching slow type metadata.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace motor::vm {
+
+class MethodTable;
+
+/// Primitive element kinds of the common type system.
+enum class ElementKind : std::uint8_t {
+  kBool,
+  kChar,
+  kInt8,
+  kUInt8,
+  kInt16,
+  kUInt16,
+  kInt32,
+  kUInt32,
+  kInt64,
+  kUInt64,
+  kFloat,
+  kDouble,
+  kObjectRef,  // managed reference (pointer-sized)
+};
+
+/// Byte width of one element of `kind`.
+std::size_t element_size(ElementKind kind) noexcept;
+
+std::string_view element_kind_name(ElementKind kind) noexcept;
+
+class FieldDesc {
+ public:
+  FieldDesc() = default;
+  FieldDesc(std::string name, ElementKind kind, std::uint32_t offset,
+            const MethodTable* field_type, bool transportable);
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+
+  /// Byte offset of the field within the object's instance data.
+  [[nodiscard]] std::uint32_t offset() const noexcept {
+    return packed_ & kOffsetMask;
+  }
+  [[nodiscard]] ElementKind kind() const noexcept {
+    return static_cast<ElementKind>((packed_ >> kKindShift) & 0x1F);
+  }
+  [[nodiscard]] bool is_reference() const noexcept {
+    return kind() == ElementKind::kObjectRef;
+  }
+
+  /// The Motor Transportable bit: set iff the field carried the
+  /// [Transportable] custom attribute at type-definition time.
+  [[nodiscard]] bool is_transportable() const noexcept {
+    return (packed_ & kTransportableBit) != 0;
+  }
+
+  /// Declared type for reference fields (null for primitives).
+  [[nodiscard]] const MethodTable* field_type() const noexcept {
+    return field_type_;
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept {
+    return element_size(kind());
+  }
+
+ private:
+  // Bit layout: [0..23] offset | [24..28] kind | [29] transportable.
+  static constexpr std::uint32_t kOffsetMask = (1u << 24) - 1;
+  static constexpr std::uint32_t kKindShift = 24;
+  static constexpr std::uint32_t kTransportableBit = 1u << 29;
+
+  std::uint32_t packed_ = 0;
+  const MethodTable* field_type_ = nullptr;
+  std::string name_;
+};
+
+}  // namespace motor::vm

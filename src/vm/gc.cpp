@@ -1,0 +1,274 @@
+// Collection phases of the two-generation collector. See heap.hpp for the
+// overall design and the paper sections each mechanism reproduces.
+#include <algorithm>
+
+#include "pal/clock.hpp"
+#include "vm/heap.hpp"
+#include "vm/vm.hpp"
+
+namespace motor::vm {
+
+namespace {
+
+/// Root visitor that marks reachable objects into a worklist.
+class MarkVisitor final : public RootVisitor {
+ public:
+  MarkVisitor(ManagedHeap& heap, std::vector<Obj>& worklist,
+              void (ManagedHeap::*trace)(Obj, std::vector<Obj>&))
+      : heap_(heap), worklist_(worklist), trace_(trace) {}
+
+  void visit(Obj* slot) override {
+    if (*slot != nullptr) (heap_.*trace_)(*slot, worklist_);
+  }
+
+ private:
+  ManagedHeap& heap_;
+  std::vector<Obj>& worklist_;
+  void (ManagedHeap::*trace_)(Obj, std::vector<Obj>&);
+};
+
+/// Root visitor that repoints slots at promoted objects.
+class FixupVisitor final : public RootVisitor {
+ public:
+  void visit(Obj* slot) override {
+    if (*slot != nullptr && is_forwarded(*slot)) {
+      *slot = forwarding_target(*slot);
+    }
+  }
+};
+
+}  // namespace
+
+void ManagedHeap::collect_locked(bool force_elder_sweep) {
+  pal::Stopwatch pause;
+  ++stats_.collections;
+
+  // Mark phase, beginning with pin resolution: this is where Motor's
+  // request-status-dependent pins are honoured or retired (§4.3).
+  resolve_conditional_pins();
+  mark_from_roots();
+
+  // Plan and promote the young generation.
+  std::vector<YoungRecord> records = scan_young();
+  bool any_pinned_survivor = false;
+  promote_young(records, any_pinned_survivor);
+  fixup_references(records);
+
+  if (any_pinned_survivor) {
+    // "The entire block of younger generational memory is assigned to the
+    // elder generation, thereby promoting pinned objects" (§5.2).
+    donate_young_block(records);
+    ++stats_.young_blocks_donated;
+  } else {
+    young_used_ = 0;
+  }
+
+  const bool sweep =
+      force_elder_sweep ||
+      ++collections_since_sweep_ >= config_.elder_sweep_interval;
+  if (sweep) {
+    sweep_elder();
+    collections_since_sweep_ = 0;
+    ++stats_.elder_sweeps;
+  }
+  clear_marks();
+
+  for (const GcHook& hook : gc_hooks_) hook.fn(hook.ctx, stats_.collections);
+  stats_.total_pause_ns += pause.elapsed_ns();
+}
+
+void ManagedHeap::resolve_conditional_pins() {
+  gc_pinned_now_.clear();
+  gc_pin_set_.clear();
+
+  std::lock_guard lk(pin_mu_);
+  for (const auto& [obj, count] : pin_counts_) gc_pinned_now_.push_back(obj);
+
+  // Conditional pins: hold iff the transport operation is still running;
+  // otherwise "the pinning request is no longer necessary and is
+  // disregarded" (§7.4).
+  auto keep = conditional_pins_.begin();
+  for (auto& entry : conditional_pins_) {
+    ++stats_.conditional_checked;
+    if (entry.req->is_complete()) {
+      ++stats_.conditional_dropped;
+      continue;
+    }
+    gc_pinned_now_.push_back(entry.obj);
+    *keep++ = std::move(entry);
+  }
+  conditional_pins_.erase(keep, conditional_pins_.end());
+
+  for (Obj obj : gc_pinned_now_) gc_pin_set_.insert(obj);
+  stats_.pinned_at_collection += gc_pin_set_.size();
+}
+
+void ManagedHeap::trace_object(Obj obj, std::vector<Obj>& worklist) {
+  if (is_marked(obj)) return;
+  set_mark(obj);
+  worklist.push_back(obj);
+}
+
+void ManagedHeap::mark_from_roots() {
+  std::vector<Obj> worklist;
+  MarkVisitor visitor(*this, worklist, &ManagedHeap::trace_object);
+
+  // Pinned objects are roots: the transport is actively reading them.
+  for (Obj obj : gc_pinned_now_) trace_object(obj, worklist);
+  // Thread stacks, native GCPROTECT slots, interpreter frames.
+  vm_.enumerate_roots(visitor);
+  // Static reference fields.
+  vm_.types().for_each_type([&](MethodTable* mt) {
+    for (void*& slot : mt->static_ref_slots()) {
+      if (slot != nullptr) trace_object(static_cast<Obj>(slot), worklist);
+    }
+  });
+
+  while (!worklist.empty()) {
+    Obj obj = worklist.back();
+    worklist.pop_back();
+    const MethodTable* mt = obj_mt(obj);
+    if (mt->is_array()) {
+      if (mt->element_kind() == ElementKind::kObjectRef) {
+        const std::int64_t n = array_length(obj);
+        for (std::int64_t i = 0; i < n; ++i) {
+          Obj elem = get_ref_element(obj, i);
+          if (elem != nullptr) trace_object(elem, worklist);
+        }
+      }
+    } else {
+      for (std::uint32_t off : mt->reference_offsets()) {
+        Obj field = get_ref_field(obj, off);
+        if (field != nullptr) trace_object(field, worklist);
+      }
+    }
+  }
+}
+
+std::vector<ManagedHeap::YoungRecord> ManagedHeap::scan_young() const {
+  std::vector<YoungRecord> records;
+  const std::byte* p = young_base_;
+  while (p < young_base_ + young_used_) {
+    Obj obj = reinterpret_cast<Obj>(const_cast<std::byte*>(p));
+    const std::size_t size = object_total_bytes(obj);
+    records.push_back(
+        YoungRecord{obj, size, is_marked(obj), gc_pin_set_.contains(obj)});
+    p += size;
+  }
+  return records;
+}
+
+void ManagedHeap::promote_young(std::vector<YoungRecord>& records,
+                                bool& any_pinned_survivor) {
+  for (YoungRecord& rec : records) {
+    if (!rec.marked) {
+      ++stats_.dead_young_objects;
+      continue;
+    }
+    if (rec.pinned) {
+      any_pinned_survivor = true;
+      continue;  // not moved
+    }
+    // Copy-promote with compaction into the elder generation.
+    Obj copy = elder_alloc(rec.bytes);
+    std::memcpy(copy, rec.obj, rec.bytes);
+    set_forwarding(rec.obj, copy);
+    ++stats_.promoted_objects;
+    stats_.promoted_bytes += rec.bytes;
+  }
+}
+
+void ManagedHeap::fixup_slot(Obj* slot) {
+  if (*slot != nullptr && is_forwarded(*slot)) {
+    *slot = forwarding_target(*slot);
+  }
+}
+
+void ManagedHeap::fixup_object_fields(Obj obj) {
+  const MethodTable* mt = obj_mt(obj);
+  if (mt->is_array()) {
+    if (mt->element_kind() == ElementKind::kObjectRef) {
+      const std::int64_t n = array_length(obj);
+      for (std::int64_t i = 0; i < n; ++i) {
+        Obj elem = get_ref_element(obj, i);
+        if (elem != nullptr && is_forwarded(elem)) {
+          set_ref_element(obj, i, forwarding_target(elem));
+        }
+      }
+    }
+    return;
+  }
+  for (std::uint32_t off : mt->reference_offsets()) {
+    Obj field = get_ref_field(obj, off);
+    if (field != nullptr && is_forwarded(field)) {
+      set_ref_field(obj, off, forwarding_target(field));
+    }
+  }
+}
+
+void ManagedHeap::fixup_references(const std::vector<YoungRecord>& records) {
+  FixupVisitor visitor;
+  vm_.enumerate_roots(visitor);
+  vm_.types().for_each_type([&](MethodTable* mt) {
+    for (void*& slot : mt->static_ref_slots()) {
+      Obj obj = static_cast<Obj>(slot);
+      if (obj != nullptr && is_forwarded(obj)) slot = forwarding_target(obj);
+    }
+  });
+
+  // Live elder objects (including this cycle's fresh promotions).
+  for (const ElderEntry& e : elder_entries_) {
+    if (is_marked(e.obj)) fixup_object_fields(e.obj);
+  }
+  // Pinned young survivors still sitting in the young block.
+  for (const YoungRecord& rec : records) {
+    if (rec.marked && rec.pinned) fixup_object_fields(rec.obj);
+  }
+}
+
+void ManagedHeap::donate_young_block(const std::vector<YoungRecord>& records) {
+  auto block = std::make_unique<ElderBlock>();
+  block->storage = std::move(young_storage_);
+  block->bytes = config_.young_bytes;
+  block->donated_young = true;
+  for (const YoungRecord& rec : records) {
+    if (rec.marked && rec.pinned) {
+      elder_entries_.push_back(ElderEntry{rec.obj, rec.bytes, block.get()});
+      ++block->live_objects;
+      elder_bytes_ += rec.bytes;
+    }
+  }
+  MOTOR_CHECK(block->live_objects > 0, "donated young block with no pins");
+  elder_blocks_.push_back(std::move(block));
+
+  young_storage_ = std::make_unique<std::byte[]>(config_.young_bytes);
+  young_base_ = young_storage_.get();
+  young_used_ = 0;
+}
+
+void ManagedHeap::sweep_elder() {
+  auto keep = elder_entries_.begin();
+  for (ElderEntry& e : elder_entries_) {
+    if (is_marked(e.obj)) {
+      *keep++ = e;
+      continue;
+    }
+    ++stats_.elder_freed_objects;
+    stats_.elder_freed_bytes += e.bytes;
+    elder_bytes_ -= e.bytes;
+    --e.block->live_objects;
+  }
+  elder_entries_.erase(keep, elder_entries_.end());
+
+  // Free blocks whose last object died (a donated young block lingers
+  // until its final pinned resident is collected — real fragmentation).
+  std::erase_if(elder_blocks_, [](const std::unique_ptr<ElderBlock>& b) {
+    return b->live_objects == 0;
+  });
+}
+
+void ManagedHeap::clear_marks() {
+  for (const ElderEntry& e : elder_entries_) clear_mark(e.obj);
+}
+
+}  // namespace motor::vm

@@ -1,0 +1,4 @@
+#include "vm/handles.hpp"
+
+// GcRoot is header-only; this TU anchors the library target.
+namespace motor::vm {}

@@ -1,0 +1,57 @@
+// GC-protected handles for native (runtime-internal) code.
+//
+// FCalls hold raw object pointers the runtime cannot see; the SSCLI makes
+// the programmer declare them with GCPROTECT macros so the collector can
+// update them when objects move (paper §5.1). GcRoot is the RAII analog:
+// while it lives, its slot is enumerated as a root and fixed up after
+// promotion.
+#pragma once
+
+#include "vm/managed_thread.hpp"
+
+namespace motor::vm {
+
+class GcRoot {
+ public:
+  GcRoot(ManagedThread& thread, Obj initial = nullptr)
+      : thread_(thread), value_(initial) {
+    thread_.push_root(&value_);
+  }
+  ~GcRoot() { thread_.pop_root(&value_); }
+
+  GcRoot(const GcRoot&) = delete;
+  GcRoot& operator=(const GcRoot&) = delete;
+
+  [[nodiscard]] Obj get() const noexcept { return value_; }
+  void set(Obj v) noexcept { value_ = v; }
+  Obj operator*() const noexcept { return value_; }
+
+ private:
+  ManagedThread& thread_;
+  Obj value_;
+};
+
+/// A growable set of GC-protected objects with stable slots (deque), used
+/// by deserializers whose object tables grow while allocation may trigger
+/// collections.
+class RootRange {
+ public:
+  explicit RootRange(ManagedThread& thread) : thread_(thread) {
+    thread_.push_root_range(&objs_);
+  }
+  ~RootRange() { thread_.pop_root_range(&objs_); }
+
+  RootRange(const RootRange&) = delete;
+  RootRange& operator=(const RootRange&) = delete;
+
+  void add(Obj obj) { objs_.push_back(obj); }
+  [[nodiscard]] std::size_t size() const noexcept { return objs_.size(); }
+  Obj& operator[](std::size_t i) { return objs_[i]; }
+  [[nodiscard]] Obj at(std::size_t i) const { return objs_.at(i); }
+
+ private:
+  ManagedThread& thread_;
+  std::deque<Obj> objs_;
+};
+
+}  // namespace motor::vm

@@ -1,0 +1,188 @@
+#include "vm/heap.hpp"
+
+#include <cstring>
+
+#include "vm/vm.hpp"
+
+namespace motor::vm {
+
+ManagedHeap::ManagedHeap(Vm& vm, HeapConfig config)
+    : vm_(vm), config_(config) {
+  MOTOR_CHECK(config_.young_bytes >= 4096, "nursery too small");
+  young_storage_ = std::make_unique<std::byte[]>(config_.young_bytes);
+  young_base_ = young_storage_.get();
+  MOTOR_CHECK((reinterpret_cast<std::uintptr_t>(young_base_) &
+               (kObjectAlignment - 1)) == 0,
+              "young block misaligned");
+}
+
+ManagedHeap::~ManagedHeap() = default;
+
+std::byte* ManagedHeap::try_young_bump(std::size_t bytes) {
+  if (young_used_ + bytes > config_.young_bytes) return nullptr;
+  std::byte* p = young_base_ + young_used_;
+  young_used_ += bytes;
+  return p;
+}
+
+Obj ManagedHeap::elder_alloc(std::size_t bytes) {
+  auto block = std::make_unique<ElderBlock>();
+  block->storage = std::make_unique<std::byte[]>(bytes);
+  block->bytes = bytes;
+  block->live_objects = 1;
+  Obj obj = reinterpret_cast<Obj>(block->storage.get());
+  elder_entries_.push_back(ElderEntry{obj, bytes, block.get()});
+  elder_blocks_.push_back(std::move(block));
+  elder_bytes_ += bytes;
+  return obj;
+}
+
+Obj ManagedHeap::allocate_raw(const MethodTable* mt, std::size_t total_bytes) {
+  const bool large = static_cast<double>(total_bytes) >
+                     config_.large_object_fraction *
+                         static_cast<double>(config_.young_bytes);
+  std::byte* p = nullptr;
+  if (!large) {
+    p = try_young_bump(total_bytes);
+    if (p == nullptr) {
+      // "Garbage collection ... is triggered by a request for a new
+      // object" (§5.2).
+      collect();
+      p = try_young_bump(total_bytes);
+    }
+  }
+  Obj obj;
+  if (p != nullptr) {
+    std::memset(p, 0, total_bytes);
+    obj = reinterpret_cast<Obj>(p);
+  } else {
+    obj = elder_alloc(total_bytes);
+    std::memset(obj, 0, total_bytes);
+  }
+  set_obj_mt(obj, mt);
+  return obj;
+}
+
+Obj ManagedHeap::alloc_object(const MethodTable* mt) {
+  MOTOR_CHECK(!mt->is_array(), "alloc_object on array type");
+  return allocate_raw(mt, align_up(kHeaderBytes + mt->instance_bytes()));
+}
+
+Obj ManagedHeap::alloc_array(const MethodTable* mt, std::int64_t length) {
+  MOTOR_CHECK(mt->is_array() && mt->rank() == 1,
+              "alloc_array needs a rank-1 array type");
+  MOTOR_CHECK(length >= 0, "negative array length");
+  const std::size_t total =
+      align_up(kHeaderBytes + array_bounds_bytes(1) +
+               static_cast<std::size_t>(length) * mt->element_bytes());
+  Obj obj = allocate_raw(mt, total);
+  std::memcpy(obj_data(obj), &length, sizeof length);
+  return obj;
+}
+
+Obj ManagedHeap::alloc_md_array(const MethodTable* mt,
+                                const std::vector<std::int32_t>& dims) {
+  MOTOR_CHECK(mt->is_array() && mt->rank() == static_cast<int>(dims.size()),
+              "dims do not match array rank");
+  std::int64_t total_elems = 1;
+  for (std::int32_t d : dims) {
+    MOTOR_CHECK(d >= 0, "negative array dimension");
+    total_elems *= d;
+  }
+  if (mt->rank() == 1) return alloc_array(mt, total_elems);
+  const std::size_t total =
+      align_up(kHeaderBytes + array_bounds_bytes(mt->rank()) +
+               static_cast<std::size_t>(total_elems) * mt->element_bytes());
+  Obj obj = allocate_raw(mt, total);
+  std::memcpy(obj_data(obj), dims.data(), dims.size() * sizeof(std::int32_t));
+  return obj;
+}
+
+void ManagedHeap::pin(Obj obj) {
+  std::lock_guard lk(pin_mu_);
+  ++pin_counts_[obj];
+  ++stats_.pin_calls;
+}
+
+void ManagedHeap::unpin(Obj obj) {
+  std::lock_guard lk(pin_mu_);
+  auto it = pin_counts_.find(obj);
+  MOTOR_CHECK(it != pin_counts_.end(), "unpin of object that is not pinned");
+  ++stats_.unpin_calls;
+  if (--it->second == 0) pin_counts_.erase(it);
+}
+
+bool ManagedHeap::is_pinned(Obj obj) const {
+  std::lock_guard lk(pin_mu_);
+  return pin_counts_.contains(obj);
+}
+
+void ManagedHeap::add_conditional_pin(Obj obj, mpi::Request req) {
+  MOTOR_CHECK(req != nullptr, "conditional pin needs a request");
+  std::lock_guard lk(pin_mu_);
+  conditional_pins_.push_back(ConditionalPin{obj, std::move(req)});
+}
+
+bool ManagedHeap::in_young(const void* p) const noexcept {
+  const auto* b = static_cast<const std::byte*>(p);
+  return b >= young_base_ && b < young_base_ + config_.young_bytes;
+}
+
+bool ManagedHeap::in_elder(const void* p) const {
+  const auto* b = static_cast<const std::byte*>(p);
+  for (const auto& block : elder_blocks_) {
+    if (b >= block->storage.get() && b < block->storage.get() + block->bytes) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void ManagedHeap::collect(bool force_elder_sweep) {
+  vm_.safepoints().run_stop_the_world(
+      [this, force_elder_sweep] { collect_locked(force_elder_sweep); });
+}
+
+void ManagedHeap::add_gc_hook(GcEpochHook hook, void* ctx) {
+  gc_hooks_.push_back(GcHook{hook, ctx});
+}
+
+void ManagedHeap::verify_heap() const {
+  std::unordered_set<const void*> valid;
+  // Young generation is linearly walkable between collections.
+  const std::byte* p = young_base_;
+  while (p < young_base_ + young_used_) {
+    Obj obj = reinterpret_cast<Obj>(const_cast<std::byte*>(p));
+    const MethodTable* mt = obj_mt(obj);
+    MOTOR_CHECK(mt != nullptr, "verify: null MethodTable");
+    const std::size_t size = object_total_bytes(obj);
+    MOTOR_CHECK(size >= kHeaderBytes && p + size <= young_base_ + young_used_,
+                "verify: object overruns young block");
+    valid.insert(obj);
+    p += size;
+  }
+  for (const ElderEntry& e : elder_entries_) valid.insert(e.obj);
+
+  auto check_ref = [&](Obj target) {
+    MOTOR_CHECK(target == nullptr || valid.contains(target),
+                "verify: dangling reference");
+  };
+  auto check_object = [&](Obj obj) {
+    const MethodTable* mt = obj_mt(obj);
+    if (mt->is_array()) {
+      if (mt->element_kind() == ElementKind::kObjectRef) {
+        const std::int64_t n = array_length(obj);
+        for (std::int64_t i = 0; i < n; ++i) check_ref(get_ref_element(obj, i));
+      }
+    } else {
+      for (std::uint32_t off : mt->reference_offsets()) {
+        check_ref(get_ref_field(obj, off));
+      }
+    }
+  };
+  for (const void* v : valid) {
+    check_object(reinterpret_cast<Obj>(const_cast<void*>(v)));
+  }
+}
+
+}  // namespace motor::vm

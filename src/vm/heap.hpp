@@ -1,0 +1,221 @@
+// The two-generation managed heap (paper §5.2) with Motor's pin machinery
+// (§4.3, §7.4).
+//
+// * Young generation: one contiguous block, bump allocation. Collections
+//   promote live objects to the elder generation by copying (compaction).
+// * Pinned objects are not moved. If any pinned object survives a
+//   collection, the ENTIRE young block is donated to the elder generation
+//   (promoting the pinned objects in place) and a fresh young block is
+//   allocated — exactly the SSCLI behaviour the paper describes.
+// * Elder generation: per-object allocations, mark-sweep, never compacted.
+//   Swept only on "full" collections (elder pressure or every Nth young
+//   collection), so it is "collected less frequently".
+// * Conditional pin requests — Motor's non-blocking unpin mechanism — are
+//   resolved during the mark phase: an entry pins its object iff the
+//   associated MPI request is still incomplete; completed entries are
+//   dropped (§4.3/§7.4).
+//
+// Collections are triggered by allocation (a request for a new object) and
+// run under stop-the-world via the SafepointController.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "mpi/request.hpp"
+#include "vm/object.hpp"
+
+namespace motor::vm {
+
+class Vm;
+
+struct HeapConfig {
+  std::size_t young_bytes = 1 << 20;  // 1 MiB nursery
+  /// Objects larger than this fraction of the nursery allocate directly in
+  /// the elder generation (large-object path).
+  double large_object_fraction = 0.25;
+  /// Sweep the elder generation every Nth collection (1 = every time).
+  int elder_sweep_interval = 4;
+};
+
+struct GcStats {
+  std::uint64_t collections = 0;
+  std::uint64_t elder_sweeps = 0;
+  std::uint64_t promoted_objects = 0;
+  std::uint64_t promoted_bytes = 0;
+  std::uint64_t dead_young_objects = 0;
+  std::uint64_t young_blocks_donated = 0;
+  std::uint64_t pinned_at_collection = 0;     // explicit + conditional holds
+  std::uint64_t conditional_checked = 0;      // entries examined at mark
+  std::uint64_t conditional_dropped = 0;      // entries whose request completed
+  std::uint64_t elder_freed_objects = 0;
+  std::uint64_t elder_freed_bytes = 0;
+  std::uint64_t pin_calls = 0;
+  std::uint64_t unpin_calls = 0;
+  std::uint64_t total_pause_ns = 0;
+};
+
+/// Root enumeration contract: the VM walks every slot that may hold a
+/// managed reference and hands its *address* to the collector so moved
+/// objects can be repointed.
+class RootVisitor {
+ public:
+  virtual ~RootVisitor() = default;
+  virtual void visit(Obj* slot) = 0;
+};
+
+class RootProvider {
+ public:
+  virtual ~RootProvider() = default;
+  virtual void enumerate_roots(RootVisitor& visitor) = 0;
+};
+
+class ManagedHeap {
+ public:
+  explicit ManagedHeap(Vm& vm, HeapConfig config = HeapConfig{});
+  ~ManagedHeap();
+
+  ManagedHeap(const ManagedHeap&) = delete;
+  ManagedHeap& operator=(const ManagedHeap&) = delete;
+
+  // ---- allocation (may trigger collection) ----
+  Obj alloc_object(const MethodTable* mt);
+  Obj alloc_array(const MethodTable* mt, std::int64_t length);
+  Obj alloc_md_array(const MethodTable* mt,
+                     const std::vector<std::int32_t>& dims);
+
+  // ---- pinning ----
+
+  /// Counted explicit pin: the object is a root and will not move while
+  /// any pin is outstanding.
+  void pin(Obj obj);
+  void unpin(Obj obj);
+  [[nodiscard]] bool is_pinned(Obj obj) const;
+  [[nodiscard]] std::size_t pin_table_size() const {
+    return pin_counts_.size();
+  }
+
+  /// Motor's non-blocking pin: holds exactly while `req` is incomplete,
+  /// evaluated during the mark phase of each collection.
+  void add_conditional_pin(Obj obj, mpi::Request req);
+  [[nodiscard]] std::size_t conditional_pin_count() const {
+    return conditional_pins_.size();
+  }
+
+  // ---- generation queries (the Motor pinning-policy primitive) ----
+
+  /// True iff `p` lies within the current young-generation block
+  /// ("checks the object's internal memory address against the boundaries
+  /// of the younger generation", §7.4).
+  [[nodiscard]] bool in_young(const void* p) const noexcept;
+  [[nodiscard]] bool in_elder(const void* p) const;
+
+  // ---- collection ----
+
+  /// Force a collection (allocation triggers this automatically).
+  void collect(bool force_elder_sweep = false);
+
+  /// GC-epoch counter: bumped once per collection. The Motor buffer pool
+  /// uses it to detect buffers unused since the last collection (§7.5).
+  /// Callbacks run during collection get invoked after sweeping.
+  using GcEpochHook = void (*)(void* ctx, std::uint64_t epoch);
+  void add_gc_hook(GcEpochHook hook, void* ctx);
+
+  [[nodiscard]] const GcStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] std::uint64_t epoch() const noexcept {
+    return stats_.collections;
+  }
+  [[nodiscard]] std::size_t young_used() const noexcept { return young_used_; }
+  [[nodiscard]] std::size_t young_capacity() const noexcept {
+    return config_.young_bytes;
+  }
+  [[nodiscard]] std::size_t elder_object_count() const {
+    return elder_entries_.size();
+  }
+  [[nodiscard]] std::size_t elder_bytes() const noexcept {
+    return elder_bytes_;
+  }
+
+  /// Walk the whole heap and verify every header points at a registered
+  /// MethodTable and every reference field targets a live heap object.
+  /// Throws FatalError on corruption. (Test/diagnostic aid.)
+  void verify_heap() const;
+
+ private:
+  struct ElderBlock {
+    std::unique_ptr<std::byte[]> storage;
+    std::size_t bytes = 0;
+    int live_objects = 0;
+    bool donated_young = false;
+  };
+  struct ElderEntry {
+    Obj obj;
+    std::size_t bytes;
+    ElderBlock* block;
+  };
+  struct ConditionalPin {
+    Obj obj;
+    mpi::Request req;
+  };
+  struct GcHook {
+    GcEpochHook fn;
+    void* ctx;
+  };
+
+  struct YoungRecord {
+    Obj obj;
+    std::size_t bytes;
+    bool marked;
+    bool pinned;
+  };
+
+  std::byte* try_young_bump(std::size_t bytes);
+  Obj allocate_raw(const MethodTable* mt, std::size_t total_bytes);
+  Obj elder_alloc(std::size_t bytes);
+  void collect_locked(bool force_elder_sweep);
+
+  // Collection phases (gc.cpp).
+  void resolve_conditional_pins();
+  void mark_from_roots();
+  void trace_object(Obj obj, std::vector<Obj>& worklist);
+  std::vector<YoungRecord> scan_young() const;
+  void promote_young(std::vector<YoungRecord>& records,
+                     bool& any_pinned_survivor);
+  void fixup_references(const std::vector<YoungRecord>& records);
+  void fixup_object_fields(Obj obj);
+  static void fixup_slot(Obj* slot);
+  void donate_young_block(const std::vector<YoungRecord>& records);
+  void sweep_elder();
+  void clear_marks();
+
+  Vm& vm_;
+  HeapConfig config_;
+
+  std::unique_ptr<std::byte[]> young_storage_;
+  std::byte* young_base_ = nullptr;
+  std::size_t young_used_ = 0;
+
+  std::vector<std::unique_ptr<ElderBlock>> elder_blocks_;
+  std::vector<ElderEntry> elder_entries_;
+  std::size_t elder_bytes_ = 0;
+
+  // Pin structures are touched by any managed thread; the GC reads them
+  // only inside stop-the-world, but mutator threads race each other.
+  mutable std::mutex pin_mu_;
+  std::unordered_map<Obj, int> pin_counts_;
+  std::vector<ConditionalPin> conditional_pins_;
+  std::vector<GcHook> gc_hooks_;
+
+  // Per-collection scratch (valid only inside collect()).
+  std::vector<Obj> gc_pinned_now_;
+  std::unordered_set<Obj> gc_pin_set_;
+  int collections_since_sweep_ = 0;
+
+  GcStats stats_;
+};
+
+}  // namespace motor::vm

@@ -1,0 +1,494 @@
+#include "vm/interpreter.hpp"
+
+#include <cmath>
+#include <cstring>
+
+#include "common/status.hpp"
+#include "vm/heap.hpp"
+#include "vm/vm.hpp"
+
+namespace motor::vm {
+
+namespace {
+
+constexpr int kMaxCallDepth = 512;
+
+[[noreturn]] void throw_managed(const char* what) {
+  fatal("interpreter", what);
+}
+
+Value read_slot(ElementKind kind, const std::byte* p) {
+  switch (kind) {
+    case ElementKind::kBool:
+    case ElementKind::kInt8: {
+      std::int8_t v;
+      std::memcpy(&v, p, 1);
+      return Value::from_i32(v);
+    }
+    case ElementKind::kUInt8: {
+      std::uint8_t v;
+      std::memcpy(&v, p, 1);
+      return Value::from_i32(v);
+    }
+    case ElementKind::kChar:
+    case ElementKind::kUInt16: {
+      std::uint16_t v;
+      std::memcpy(&v, p, 2);
+      return Value::from_i32(v);
+    }
+    case ElementKind::kInt16: {
+      std::int16_t v;
+      std::memcpy(&v, p, 2);
+      return Value::from_i32(v);
+    }
+    case ElementKind::kInt32:
+    case ElementKind::kUInt32: {
+      std::int32_t v;
+      std::memcpy(&v, p, 4);
+      return Value::from_i32(v);
+    }
+    case ElementKind::kInt64:
+    case ElementKind::kUInt64: {
+      std::int64_t v;
+      std::memcpy(&v, p, 8);
+      return Value::from_i64(v);
+    }
+    case ElementKind::kFloat: {
+      float v;
+      std::memcpy(&v, p, 4);
+      return Value::from_f64(v);
+    }
+    case ElementKind::kDouble: {
+      double v;
+      std::memcpy(&v, p, 8);
+      return Value::from_f64(v);
+    }
+    case ElementKind::kObjectRef: {
+      Obj v;
+      std::memcpy(&v, p, 8);
+      return Value::from_ref(v);
+    }
+  }
+  throw_managed("bad element kind");
+}
+
+void write_slot(ElementKind kind, std::byte* p, const Value& v) {
+  switch (kind) {
+    case ElementKind::kBool:
+    case ElementKind::kInt8:
+    case ElementKind::kUInt8: {
+      const auto x = static_cast<std::int8_t>(v.i32);
+      std::memcpy(p, &x, 1);
+      return;
+    }
+    case ElementKind::kChar:
+    case ElementKind::kInt16:
+    case ElementKind::kUInt16: {
+      const auto x = static_cast<std::int16_t>(v.i32);
+      std::memcpy(p, &x, 2);
+      return;
+    }
+    case ElementKind::kInt32:
+    case ElementKind::kUInt32:
+      std::memcpy(p, &v.i32, 4);
+      return;
+    case ElementKind::kInt64:
+    case ElementKind::kUInt64:
+      std::memcpy(p, &v.i64, 8);
+      return;
+    case ElementKind::kFloat: {
+      const auto x = static_cast<float>(v.f64);
+      std::memcpy(p, &x, 4);
+      return;
+    }
+    case ElementKind::kDouble:
+      std::memcpy(p, &v.f64, 8);
+      return;
+    case ElementKind::kObjectRef:
+      std::memcpy(p, &v.ref, 8);
+      return;
+  }
+  throw_managed("bad element kind");
+}
+
+/// RAII frame push/pop so frames unwind on FatalError too.
+class FrameGuard {
+ public:
+  FrameGuard(ManagedThread& thread, std::size_t n_slots) : thread_(thread) {
+    thread_.frames().emplace_back();
+    thread_.frames().back().locals.resize(n_slots);
+  }
+  ~FrameGuard() { thread_.frames().pop_back(); }
+  Frame& frame() { return thread_.frames().back(); }
+
+ private:
+  ManagedThread& thread_;
+};
+
+}  // namespace
+
+int Program::method_named(std::string_view name) const {
+  for (std::size_t i = 0; i < methods.size(); ++i) {
+    if (methods[i].name == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+Value Interpreter::invoke(const Program& program, int method_index,
+                          std::span<const Value> args) {
+  MOTOR_CHECK(method_index >= 0 &&
+                  method_index < static_cast<int>(program.methods.size()),
+              "bad method index");
+  return run(program, program.methods[static_cast<std::size_t>(method_index)],
+             args, 0);
+}
+
+Value Interpreter::run(const Program& program, const Method& method,
+                       std::span<const Value> args, int depth) {
+  if (depth > kMaxCallDepth) throw_managed("StackOverflowException");
+  MOTOR_CHECK(static_cast<int>(args.size()) == method.n_args,
+              "argument count mismatch: " + method.name);
+
+  FrameGuard guard(thread_,
+                   static_cast<std::size_t>(method.n_args + method.n_locals));
+  Frame& frame = guard.frame();
+  for (std::size_t i = 0; i < args.size(); ++i) frame.locals[i] = args[i];
+  std::vector<Value>& stack = frame.stack;
+
+  auto pop = [&]() -> Value {
+    if (stack.empty()) throw_managed("operand stack underflow");
+    Value v = stack.back();
+    stack.pop_back();
+    return v;
+  };
+  auto pop_i64 = [&]() -> std::int64_t {
+    Value v = pop();
+    if (v.kind == Value::Kind::kI64) return v.i64;
+    if (v.kind == Value::Kind::kI32) return v.i32;
+    throw_managed("expected integer operand");
+  };
+  auto pop_ref = [&]() -> Obj {
+    Value v = pop();
+    if (!v.is_ref()) throw_managed("expected object reference");
+    return v.ref;
+  };
+
+  std::size_t pc = 0;
+  while (pc < method.code.size()) {
+    const Instr& ins = method.code[pc];
+    ++executed_;
+    switch (ins.op) {
+      case Op::kNop:
+        break;
+      case Op::kLdcI4:
+        stack.push_back(Value::from_i32(static_cast<std::int32_t>(ins.i)));
+        break;
+      case Op::kLdcI8:
+        stack.push_back(Value::from_i64(ins.i));
+        break;
+      case Op::kLdcR8:
+        stack.push_back(Value::from_f64(ins.f));
+        break;
+      case Op::kLdNull:
+        stack.push_back(Value::from_ref(nullptr));
+        break;
+      case Op::kLdLoc:
+        stack.push_back(frame.locals.at(static_cast<std::size_t>(ins.i)));
+        break;
+      case Op::kStLoc:
+        frame.locals.at(static_cast<std::size_t>(ins.i)) = pop();
+        break;
+      case Op::kDup:
+        if (stack.empty()) throw_managed("dup on empty stack");
+        stack.push_back(stack.back());
+        break;
+      case Op::kPop:
+        pop();
+        break;
+
+      case Op::kAdd:
+      case Op::kSub:
+      case Op::kMul:
+      case Op::kDiv:
+      case Op::kRem: {
+        Value b = pop();
+        Value a = pop();
+        if (a.kind != b.kind) throw_managed("mixed-kind arithmetic");
+        auto arith = [&](auto x, auto y) -> decltype(x) {
+          using T = decltype(x);
+          switch (ins.op) {
+            case Op::kAdd: return x + y;
+            case Op::kSub: return x - y;
+            case Op::kMul: return x * y;
+            case Op::kDiv:
+              if constexpr (std::is_integral_v<T>) {
+                if (y == 0) throw_managed("DivideByZeroException");
+              }
+              return x / y;
+            case Op::kRem:
+              if constexpr (std::is_integral_v<T>) {
+                if (y == 0) throw_managed("DivideByZeroException");
+                return x % y;
+              } else {
+                return std::fmod(x, y);
+              }
+            default:
+              throw_managed("unreachable");
+          }
+        };
+        switch (a.kind) {
+          case Value::Kind::kI32:
+            stack.push_back(Value::from_i32(arith(a.i32, b.i32)));
+            break;
+          case Value::Kind::kI64:
+            stack.push_back(Value::from_i64(arith(a.i64, b.i64)));
+            break;
+          case Value::Kind::kF64:
+            stack.push_back(Value::from_f64(arith(a.f64, b.f64)));
+            break;
+          default:
+            throw_managed("arithmetic on reference");
+        }
+        break;
+      }
+      case Op::kAnd:
+      case Op::kOr:
+      case Op::kXor:
+      case Op::kShl:
+      case Op::kShr: {
+        Value b = pop();
+        Value a = pop();
+        if (a.kind != b.kind &&
+            !(ins.op == Op::kShl || ins.op == Op::kShr)) {
+          throw_managed("mixed-kind bitwise op");
+        }
+        auto bitop = [&](auto x, auto y) -> decltype(x) {
+          switch (ins.op) {
+            case Op::kAnd: return x & y;
+            case Op::kOr: return x | y;
+            case Op::kXor: return x ^ y;
+            case Op::kShl: return x << (y & (sizeof(x) * 8 - 1));
+            case Op::kShr: return x >> (y & (sizeof(x) * 8 - 1));
+            default: throw_managed("unreachable");
+          }
+        };
+        if (a.kind == Value::Kind::kI32) {
+          const std::int32_t shift_or_rhs =
+              b.kind == Value::Kind::kI32 ? b.i32
+                                          : static_cast<std::int32_t>(b.i64);
+          stack.push_back(Value::from_i32(bitop(a.i32, shift_or_rhs)));
+        } else if (a.kind == Value::Kind::kI64) {
+          const std::int64_t shift_or_rhs =
+              b.kind == Value::Kind::kI64 ? b.i64 : b.i32;
+          stack.push_back(Value::from_i64(bitop(a.i64, shift_or_rhs)));
+        } else {
+          throw_managed("bitwise op on non-integer");
+        }
+        break;
+      }
+      case Op::kNot: {
+        Value a = pop();
+        if (a.kind == Value::Kind::kI32) {
+          stack.push_back(Value::from_i32(~a.i32));
+        } else if (a.kind == Value::Kind::kI64) {
+          stack.push_back(Value::from_i64(~a.i64));
+        } else {
+          throw_managed("not on non-integer");
+        }
+        break;
+      }
+      case Op::kNeg: {
+        Value a = pop();
+        switch (a.kind) {
+          case Value::Kind::kI32: stack.push_back(Value::from_i32(-a.i32)); break;
+          case Value::Kind::kI64: stack.push_back(Value::from_i64(-a.i64)); break;
+          case Value::Kind::kF64: stack.push_back(Value::from_f64(-a.f64)); break;
+          default: throw_managed("neg on reference");
+        }
+        break;
+      }
+
+      case Op::kCeq:
+      case Op::kCne:
+      case Op::kClt:
+      case Op::kCle:
+      case Op::kCgt:
+      case Op::kCge: {
+        Value b = pop();
+        Value a = pop();
+        auto cmp = [&](auto x, auto y) -> bool {
+          switch (ins.op) {
+            case Op::kCeq: return x == y;
+            case Op::kCne: return x != y;
+            case Op::kClt: return x < y;
+            case Op::kCle: return x <= y;
+            case Op::kCgt: return x > y;
+            case Op::kCge: return x >= y;
+            default: throw_managed("unreachable");
+          }
+        };
+        bool r = false;
+        if (a.kind == Value::Kind::kRef || b.kind == Value::Kind::kRef) {
+          if (a.kind != b.kind) throw_managed("reference compared to value");
+          if (ins.op == Op::kCeq) {
+            r = a.ref == b.ref;
+          } else if (ins.op == Op::kCne) {
+            r = a.ref != b.ref;
+          } else {
+            throw_managed("ordered comparison on references");
+          }
+        } else if (a.kind != b.kind) {
+          throw_managed("mixed-kind comparison");
+        } else if (a.kind == Value::Kind::kI32) {
+          r = cmp(a.i32, b.i32);
+        } else if (a.kind == Value::Kind::kI64) {
+          r = cmp(a.i64, b.i64);
+        } else {
+          r = cmp(a.f64, b.f64);
+        }
+        stack.push_back(Value::from_i32(r ? 1 : 0));
+        break;
+      }
+
+      case Op::kConvI4:
+        stack.push_back(Value::from_i32([&] {
+          Value v = pop();
+          switch (v.kind) {
+            case Value::Kind::kI32: return v.i32;
+            case Value::Kind::kI64: return static_cast<std::int32_t>(v.i64);
+            case Value::Kind::kF64: return static_cast<std::int32_t>(v.f64);
+            default: throw_managed("conv.i4 on reference");
+          }
+        }()));
+        break;
+      case Op::kConvI8:
+        stack.push_back(Value::from_i64(pop_i64()));
+        break;
+      case Op::kConvR8: {
+        Value v = pop();
+        switch (v.kind) {
+          case Value::Kind::kI32: stack.push_back(Value::from_f64(v.i32)); break;
+          case Value::Kind::kI64:
+            stack.push_back(Value::from_f64(static_cast<double>(v.i64)));
+            break;
+          case Value::Kind::kF64: stack.push_back(v); break;
+          default: throw_managed("conv.r8 on reference");
+        }
+        break;
+      }
+
+      case Op::kBr:
+      case Op::kBrTrue:
+      case Op::kBrFalse: {
+        bool take = true;
+        if (ins.op != Op::kBr) {
+          const std::int64_t c = pop_i64();
+          take = ins.op == Op::kBrTrue ? c != 0 : c == 0;
+        }
+        if (take) {
+          const auto target = static_cast<std::size_t>(ins.i);
+          if (target > method.code.size()) throw_managed("branch out of range");
+          // Back-edge safepoint: "the jitted code periodically polls to
+          // yield itself to garbage collection" (§5.2).
+          if (target <= pc) thread_.poll_gc();
+          pc = target;
+          continue;
+        }
+        break;
+      }
+
+      case Op::kCall: {
+        const auto callee_idx = static_cast<std::size_t>(ins.i);
+        if (callee_idx >= program.methods.size()) {
+          throw_managed("call target out of range");
+        }
+        const Method& callee = program.methods[callee_idx];
+        std::vector<Value> call_args(static_cast<std::size_t>(callee.n_args));
+        for (int i = callee.n_args - 1; i >= 0; --i) {
+          call_args[static_cast<std::size_t>(i)] = pop();
+        }
+        stack.push_back(run(program, callee, call_args, depth + 1));
+        break;
+      }
+      case Op::kCallNative: {
+        const auto n_args = static_cast<std::size_t>(ins.aux);
+        std::vector<Value> call_args(n_args);
+        for (std::size_t i = n_args; i > 0; --i) call_args[i - 1] = pop();
+        stack.push_back(vm_.fcalls().invoke(vm_, thread_,
+                                            static_cast<int>(ins.i),
+                                            call_args));
+        break;
+      }
+      case Op::kRet:
+        return stack.empty() ? Value::from_i32(0) : stack.back();
+
+      case Op::kNewObj: {
+        const MethodTable* mt =
+            program.type_pool.at(static_cast<std::size_t>(ins.i));
+        stack.push_back(Value::from_ref(vm_.heap().alloc_object(mt)));
+        break;
+      }
+      case Op::kNewArr: {
+        const MethodTable* mt =
+            program.type_pool.at(static_cast<std::size_t>(ins.i));
+        const std::int64_t len = pop_i64();
+        if (len < 0) throw_managed("OverflowException: negative array size");
+        stack.push_back(Value::from_ref(vm_.heap().alloc_array(mt, len)));
+        break;
+      }
+      case Op::kLdFld: {
+        Obj obj = pop_ref();
+        if (obj == nullptr) throw_managed("NullReferenceException");
+        stack.push_back(read_slot(static_cast<ElementKind>(ins.aux),
+                                  obj_data(obj) + ins.i));
+        break;
+      }
+      case Op::kStFld: {
+        Value v = pop();
+        Obj obj = pop_ref();
+        if (obj == nullptr) throw_managed("NullReferenceException");
+        write_slot(static_cast<ElementKind>(ins.aux), obj_data(obj) + ins.i, v);
+        break;
+      }
+      case Op::kLdElem: {
+        const std::int64_t idx = pop_i64();
+        Obj arr = pop_ref();
+        if (arr == nullptr) throw_managed("NullReferenceException");
+        if (idx < 0 || idx >= array_length(arr)) {
+          throw_managed("IndexOutOfRangeException");
+        }
+        const MethodTable* mt = obj_mt(arr);
+        stack.push_back(read_slot(
+            mt->element_kind(),
+            array_data(arr) + static_cast<std::size_t>(idx) *
+                                  mt->element_bytes()));
+        break;
+      }
+      case Op::kStElem: {
+        Value v = pop();
+        const std::int64_t idx = pop_i64();
+        Obj arr = pop_ref();
+        if (arr == nullptr) throw_managed("NullReferenceException");
+        if (idx < 0 || idx >= array_length(arr)) {
+          throw_managed("IndexOutOfRangeException");
+        }
+        const MethodTable* mt = obj_mt(arr);
+        write_slot(mt->element_kind(),
+                   array_data(arr) +
+                       static_cast<std::size_t>(idx) * mt->element_bytes(),
+                   v);
+        break;
+      }
+      case Op::kLdLen: {
+        Obj arr = pop_ref();
+        if (arr == nullptr) throw_managed("NullReferenceException");
+        stack.push_back(Value::from_i64(array_length(arr)));
+        break;
+      }
+    }
+    ++pc;
+  }
+  return stack.empty() ? Value::from_i32(0) : stack.back();
+}
+
+}  // namespace motor::vm

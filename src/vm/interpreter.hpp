@@ -1,0 +1,112 @@
+// The execution engine: a stack-based bytecode interpreter over the
+// common type system.
+//
+// Substitution note (DESIGN.md): the SSCLI JIT-compiles CIL; this
+// reproduction interprets an equivalent stack IL instead. Everything the
+// paper's mechanisms touch is preserved — GC safepoint polling on loop
+// back-edges, reference values on frames as precise GC roots, allocation
+// through the managed heap, and InternalCall dispatch into the FCall
+// table — only native code generation is out of scope.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "vm/fcall.hpp"
+#include "vm/managed_thread.hpp"
+#include "vm/method_table.hpp"
+
+namespace motor::vm {
+
+enum class Op : std::uint8_t {
+  kNop,
+  // constants
+  kLdcI4,   // i: value
+  kLdcI8,   // i: value
+  kLdcR8,   // f: value
+  kLdNull,
+  // locals / args (locals array holds args first, then locals)
+  kLdLoc,   // i: slot
+  kStLoc,   // i: slot
+  // stack
+  kDup,
+  kPop,
+  // arithmetic (operands must share a kind; i32/i64/f64)
+  kAdd, kSub, kMul, kDiv, kRem, kNeg,
+  // comparisons (push i32 0/1)
+  kCeq, kCne, kClt, kCle, kCgt, kCge,
+  // bitwise / shifts (integer kinds only)
+  kAnd, kOr, kXor, kNot, kShl, kShr,
+  // conversions
+  kConvI4, kConvI8, kConvR8,
+  // control flow (i: absolute target pc); backward branches poll the GC
+  kBr, kBrTrue, kBrFalse,
+  // calls
+  kCall,        // i: method index in the Program
+  kCallNative,  // i: index in the VM FCall table (InternalCall)
+  kRet,
+  // objects
+  kNewObj,      // i: type-pool index
+  kNewArr,      // i: type-pool index (array type); pops length
+  kLdFld,       // i: field offset, aux: ElementKind
+  kStFld,       // i: field offset, aux: ElementKind
+  kLdElem,      // pops index, array; element kind from the array type
+  kStElem,      // pops value, index, array
+  kLdLen,
+};
+
+struct Instr {
+  Op op = Op::kNop;
+  std::int64_t i = 0;
+  std::int64_t aux = 0;
+  double f = 0.0;
+};
+
+struct Method {
+  std::string name;
+  int n_args = 0;
+  int n_locals = 0;  // beyond the args
+  std::vector<Instr> code;
+};
+
+/// A loaded assembly: methods plus the type pool bytecode refers to.
+struct Program {
+  std::vector<Method> methods;
+  std::vector<const MethodTable*> type_pool;
+
+  int add_method(Method m) {
+    methods.push_back(std::move(m));
+    return static_cast<int>(methods.size()) - 1;
+  }
+  int add_type(const MethodTable* mt) {
+    type_pool.push_back(mt);
+    return static_cast<int>(type_pool.size()) - 1;
+  }
+  [[nodiscard]] int method_named(std::string_view name) const;
+};
+
+class Interpreter {
+ public:
+  Interpreter(Vm& vm, ManagedThread& thread) : vm_(vm), thread_(thread) {}
+
+  /// Execute `program.methods[method_index]` with `args`. Returns the
+  /// method's result (kI32 0 for void-like methods that push nothing).
+  Value invoke(const Program& program, int method_index,
+               std::span<const Value> args);
+
+  [[nodiscard]] std::uint64_t instructions_executed() const noexcept {
+    return executed_;
+  }
+
+ private:
+  Value run(const Program& program, const Method& method,
+            std::span<const Value> args, int depth);
+
+  Vm& vm_;
+  ManagedThread& thread_;
+  std::uint64_t executed_ = 0;
+};
+
+}  // namespace motor::vm

@@ -1,0 +1,291 @@
+#include "vm/java_serializer.hpp"
+
+#include "pal/clock.hpp"
+#include "vm/serial_util.hpp"
+#include "vm/vm.hpp"
+
+namespace motor::vm {
+
+namespace {
+
+constexpr std::uint32_t kMagic = 0x4A415653;  // "JAVS"
+
+enum Token : std::uint8_t {
+  kTcNull = 0,
+  kTcReference = 1,
+  kTcObject = 2,
+  kTcArray = 3,
+};
+enum ClassDescToken : std::uint8_t {
+  kNewClassDesc = 0,
+  kClassDescRef = 1,
+};
+
+/// Per-entry cost of migrating the handle table to the large-stream
+/// structure (the Figure 10 "bump"; see EXPERIMENTS.md for calibration).
+constexpr std::uint64_t kHandleMigrationNsPerEntry = 400;
+
+}  // namespace
+
+std::int32_t JavaSerializer::lookup_handle(WriteState& ws, Obj obj) {
+  if (!ws.switched) {
+    for (const auto& [o, h] : ws.linear_handles) {
+      if (o == obj) return h;
+    }
+    return -1;
+  }
+  auto it = ws.hashed_handles.find(obj);
+  return it == ws.hashed_handles.end() ? -1 : it->second;
+}
+
+std::int32_t JavaSerializer::assign_handle(WriteState& ws, Obj obj) {
+  const std::int32_t h = ws.next_handle++;
+  if (!ws.switched) {
+    ws.linear_handles.emplace_back(obj, h);
+    if (ws.linear_handles.size() >= kHandleTableSwitch) {
+      // The data-structure switch: rebuild every existing entry into the
+      // large-stream table.
+      for (const auto& [o, handle] : ws.linear_handles) {
+        ws.hashed_handles.emplace(o, handle);
+      }
+      pal::spin_for_ns(kHandleMigrationNsPerEntry * ws.linear_handles.size());
+      ws.linear_handles.clear();
+      ws.switched = true;
+    }
+  } else {
+    ws.hashed_handles.emplace(obj, h);
+  }
+  return h;
+}
+
+void JavaSerializer::write_class_desc(WriteState& ws, const MethodTable* mt,
+                                      ByteBuffer& out) {
+  auto it = ws.class_handles.find(mt);
+  if (it != ws.class_handles.end()) {
+    out.put_u8(kClassDescRef);
+    out.put_i32(it->second);
+    return;
+  }
+  const auto handle = static_cast<std::int32_t>(ws.class_handles.size());
+  ws.class_handles.emplace(mt, handle);
+  out.put_u8(kNewClassDesc);
+  detail::write_string(out, mt->name());
+  if (!mt->is_array()) {
+    // Full field descriptors, as the Java stream format writes them.
+    out.put_u16(static_cast<std::uint16_t>(mt->fields().size()));
+    for (const FieldDesc& f : mt->fields()) {
+      out.put_u8(static_cast<std::uint8_t>(f.kind()));
+      detail::write_string(out, f.name());
+    }
+  }
+}
+
+Status JavaSerializer::write_value(WriteState& ws, Obj obj, ByteBuffer& out,
+                                   int depth) {
+  if (depth > kRecursionLimit) {
+    return Status(ErrorCode::kStackOverflow,
+                  "java serialization recursion limit");
+  }
+  if (obj == nullptr) {
+    out.put_u8(kTcNull);
+    return Status::ok();
+  }
+  const std::int32_t existing = lookup_handle(ws, obj);
+  if (existing >= 0) {
+    out.put_u8(kTcReference);
+    out.put_i32(existing);
+    return Status::ok();
+  }
+  assign_handle(ws, obj);
+
+  const MethodTable* mt = obj_mt(obj);
+  if (mt->is_array()) {
+    out.put_u8(kTcArray);
+    write_class_desc(ws, mt, out);
+    out.put_i64(array_length(obj));
+    if (mt->element_kind() == ElementKind::kObjectRef) {
+      const std::int64_t n = array_length(obj);
+      for (std::int64_t i = 0; i < n; ++i) {
+        MOTOR_RETURN_IF_ERROR(
+            write_value(ws, get_ref_element(obj, i), out, depth + 1));
+      }
+    } else {
+      out.append_raw(array_data(obj), array_payload_bytes(obj));
+    }
+    return Status::ok();
+  }
+
+  out.put_u8(kTcObject);
+  write_class_desc(ws, mt, out);
+  for (const FieldDesc& f : mt->fields()) {
+    // Tagged ("boxed") field writes, one type byte per field.
+    out.put_u8(static_cast<std::uint8_t>(f.kind()));
+    if (f.is_reference()) {
+      MOTOR_RETURN_IF_ERROR(
+          write_value(ws, get_ref_field(obj, f.offset()), out, depth + 1));
+    } else {
+      out.append_raw(obj_data(obj) + f.offset(), f.size());
+    }
+  }
+  return Status::ok();
+}
+
+Status JavaSerializer::serialize(Obj root, ByteBuffer& out) {
+  pal::Stopwatch sw;
+  WriteState ws;
+  out.put_u32(kMagic);
+  MOTOR_RETURN_IF_ERROR(write_value(ws, root, out, 0));
+
+  const double factor = vm_.profile().serializer_cost_factor;
+  if (factor > 1.0) {
+    pal::spin_for_ns(
+        static_cast<std::uint64_t>((factor - 1.0) * sw.elapsed_ns()));
+  }
+  return Status::ok();
+}
+
+Status JavaSerializer::read_class_desc(ReadState& rs, ByteBuffer& in,
+                                       const MethodTable** out) {
+  std::uint8_t tok = 0;
+  MOTOR_RETURN_IF_ERROR(in.get(tok));
+  if (tok == kClassDescRef) {
+    std::int32_t handle = 0;
+    MOTOR_RETURN_IF_ERROR(in.get(handle));
+    if (handle < 0 || handle >= static_cast<std::int32_t>(rs.classes.size())) {
+      return Status(ErrorCode::kSerialization, "bad class handle");
+    }
+    *out = rs.classes[static_cast<std::size_t>(handle)];
+    return Status::ok();
+  }
+  if (tok != kNewClassDesc) {
+    return Status(ErrorCode::kSerialization, "bad class-desc token");
+  }
+  std::string name;
+  MOTOR_RETURN_IF_ERROR(detail::read_string(in, name));
+  const MethodTable* mt = vm_.types().find(name);
+  if (mt == nullptr) {
+    return Status(ErrorCode::kSerialization, "unknown type " + name);
+  }
+  if (!mt->is_array()) {
+    std::uint16_t n_fields = 0;
+    MOTOR_RETURN_IF_ERROR(in.get(n_fields));
+    for (std::uint16_t i = 0; i < n_fields; ++i) {
+      std::uint8_t kind = 0;
+      MOTOR_RETURN_IF_ERROR(in.get(kind));
+      std::string field_name;
+      MOTOR_RETURN_IF_ERROR(detail::read_string(in, field_name));
+    }
+  }
+  rs.classes.push_back(mt);
+  *out = mt;
+  return Status::ok();
+}
+
+Status JavaSerializer::read_value(ReadState& rs, ByteBuffer& in, int depth,
+                                  Obj* out) {
+  if (depth > kRecursionLimit) {
+    return Status(ErrorCode::kStackOverflow,
+                  "java deserialization recursion limit");
+  }
+  std::uint8_t tok = 0;
+  MOTOR_RETURN_IF_ERROR(in.get(tok));
+  switch (tok) {
+    case kTcNull:
+      *out = nullptr;
+      return Status::ok();
+    case kTcReference: {
+      std::int32_t handle = 0;
+      MOTOR_RETURN_IF_ERROR(in.get(handle));
+      if (handle < 0 ||
+          static_cast<std::size_t>(handle) >= rs.table->size()) {
+        return Status(ErrorCode::kSerialization, "bad object handle");
+      }
+      *out = rs.table->at(static_cast<std::size_t>(handle));
+      return Status::ok();
+    }
+    case kTcArray: {
+      const MethodTable* mt = nullptr;
+      MOTOR_RETURN_IF_ERROR(read_class_desc(rs, in, &mt));
+      std::int64_t length = 0;
+      MOTOR_RETURN_IF_ERROR(in.get(length));
+      if (!mt->is_array() || length < 0) {
+        return Status(ErrorCode::kSerialization, "bad array record");
+      }
+      // At least one wire byte per element must remain: rejects damaged
+      // lengths before they drive a giant allocation.
+      const std::size_t min_wire =
+          mt->element_kind() == ElementKind::kObjectRef
+              ? static_cast<std::size_t>(length)
+              : static_cast<std::size_t>(length) * mt->element_bytes();
+      if (min_wire > in.remaining()) {
+        return Status(ErrorCode::kSerialization,
+                      "announced array exceeds stream");
+      }
+      Obj arr = vm_.heap().alloc_array(mt, length);
+      rs.table->add(arr);  // handle assigned before elements (cycle-safe)
+      if (mt->element_kind() == ElementKind::kObjectRef) {
+        for (std::int64_t i = 0; i < length; ++i) {
+          Obj elem = nullptr;
+          MOTOR_RETURN_IF_ERROR(read_value(rs, in, depth + 1, &elem));
+          set_ref_element(arr, i, elem);
+        }
+      } else {
+        MOTOR_RETURN_IF_ERROR(
+            in.read({array_data(arr), array_payload_bytes(arr)}));
+      }
+      *out = arr;
+      return Status::ok();
+    }
+    case kTcObject: {
+      const MethodTable* mt = nullptr;
+      MOTOR_RETURN_IF_ERROR(read_class_desc(rs, in, &mt));
+      if (mt->is_array()) {
+        return Status(ErrorCode::kSerialization, "array in object record");
+      }
+      Obj obj = vm_.heap().alloc_object(mt);
+      rs.table->add(obj);
+      for (const FieldDesc& f : mt->fields()) {
+        std::uint8_t kind = 0;
+        MOTOR_RETURN_IF_ERROR(in.get(kind));
+        if (static_cast<ElementKind>(kind) != f.kind()) {
+          return Status(ErrorCode::kSerialization, "field kind mismatch");
+        }
+        if (f.is_reference()) {
+          Obj field_val = nullptr;
+          MOTOR_RETURN_IF_ERROR(read_value(rs, in, depth + 1, &field_val));
+          set_ref_field(obj, f.offset(), field_val);
+        } else {
+          MOTOR_RETURN_IF_ERROR(
+              in.read({obj_data(obj) + f.offset(), f.size()}));
+        }
+      }
+      *out = obj;
+      return Status::ok();
+    }
+    default:
+      return Status(ErrorCode::kSerialization, "bad token");
+  }
+}
+
+Status JavaSerializer::deserialize(ByteBuffer& in, ManagedThread& thread,
+                                   Obj* out) {
+  pal::Stopwatch sw;
+  std::uint32_t magic = 0;
+  MOTOR_RETURN_IF_ERROR(in.get(magic));
+  if (magic != kMagic) {
+    return Status(ErrorCode::kSerialization, "bad java serializer magic");
+  }
+  RootRange table(thread);
+  ReadState rs;
+  rs.table = &table;
+  MOTOR_RETURN_IF_ERROR(read_value(rs, in, 0, out));
+
+  const double factor = vm_.profile().serializer_cost_factor;
+  if (factor > 1.0) {
+    pal::spin_for_ns(
+        static_cast<std::uint64_t>((factor - 1.0) * sw.elapsed_ns()));
+  }
+  return Status::ok();
+}
+
+}  // namespace motor::vm

@@ -1,0 +1,73 @@
+// A java.io.ObjectOutputStream-faithful serializer for the mpiJava
+// baseline (paper §8, Figure 10).
+//
+// Deliberately reproduces the Java mechanism's behavioural signature:
+//   * depth-first RECURSIVE graph walk — deep linked structures exhaust
+//     the stack; serialization fails with kStackOverflow past ~1200 frames
+//     ("mpiJava results stop at 1024 objects because longer linked lists
+//     caused a stack overflow exception", Figure 10 caption);
+//   * class descriptors written once per class, then back-referenced by
+//     handle; objects back-referenced by handle on revisits;
+//   * per-field type-tagged ("boxed") writes;
+//   * a handle table that switches data structures at 512 entries — the
+//     paper observes a "consistent bump" in mpiJava's curve mid-range and
+//     conjectures Java "employs different serialization algorithms or data
+//     structures to serialize small or large numbers of objects"; the
+//     switch-over cost reproduces that bump (calibration in
+//     EXPERIMENTS.md).
+#pragma once
+
+#include <unordered_map>
+
+#include "common/buffer.hpp"
+#include "vm/handles.hpp"
+#include "vm/object.hpp"
+
+namespace motor::vm {
+
+class Vm;
+
+class JavaSerializer {
+ public:
+  explicit JavaSerializer(Vm& vm) : vm_(vm) {}
+
+  /// Recursion budget before the simulated Java stack overflows.
+  /// Calibrated so a 512-element list (1024 transported objects, depth
+  /// ~514) serializes and a 1024-element list (2048 objects) does not —
+  /// the exact failure point Figure 10 reports for mpiJava.
+  static constexpr int kRecursionLimit = 700;
+  /// Handle-table entries at which the implementation switches from the
+  /// small-stream structure to the large-stream structure.
+  static constexpr std::size_t kHandleTableSwitch = 512;
+
+  Status serialize(Obj root, ByteBuffer& out);
+  Status deserialize(ByteBuffer& in, ManagedThread& thread, Obj* out);
+
+ private:
+  // Serialization state (reset per call).
+  struct WriteState {
+    std::vector<std::pair<Obj, std::int32_t>> linear_handles;
+    std::unordered_map<Obj, std::int32_t> hashed_handles;
+    bool switched = false;
+    std::unordered_map<const MethodTable*, std::int32_t> class_handles;
+    std::int32_t next_handle = 0;
+  };
+
+  std::int32_t lookup_handle(WriteState& ws, Obj obj);
+  std::int32_t assign_handle(WriteState& ws, Obj obj);
+  void write_class_desc(WriteState& ws, const MethodTable* mt,
+                        ByteBuffer& out);
+  Status write_value(WriteState& ws, Obj obj, ByteBuffer& out, int depth);
+
+  struct ReadState {
+    RootRange* table = nullptr;
+    std::vector<const MethodTable*> classes;
+  };
+  Status read_value(ReadState& rs, ByteBuffer& in, int depth, Obj* out);
+  Status read_class_desc(ReadState& rs, ByteBuffer& in,
+                         const MethodTable** out);
+
+  Vm& vm_;
+};
+
+}  // namespace motor::vm

@@ -1,0 +1,5 @@
+#include "vm/managed_thread.hpp"
+
+// ManagedThread's methods live in vm.cpp (they need the full Vm type);
+// this TU anchors the header for the library target.
+namespace motor::vm {}

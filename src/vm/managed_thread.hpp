@@ -1,0 +1,108 @@
+// ManagedThread: per-thread runtime state — GC-protected native slots
+// (the FCall GCPROTECT discipline, paper §5.1), interpreter frames, and
+// safepoint registration.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "vm/object.hpp"
+
+namespace motor::vm {
+
+class Vm;
+
+/// A tagged interpreter value. Reference values are GC roots while they
+/// live on a frame's locals or operand stack.
+struct Value {
+  enum class Kind : std::uint8_t { kI32, kI64, kF64, kRef };
+  Kind kind = Kind::kI32;
+  union {
+    std::int32_t i32;
+    std::int64_t i64;
+    double f64;
+    Obj ref;
+  };
+
+  Value() : i32(0) {}
+  static Value from_i32(std::int32_t v) {
+    Value x;
+    x.kind = Kind::kI32;
+    x.i32 = v;
+    return x;
+  }
+  static Value from_i64(std::int64_t v) {
+    Value x;
+    x.kind = Kind::kI64;
+    x.i64 = v;
+    return x;
+  }
+  static Value from_f64(double v) {
+    Value x;
+    x.kind = Kind::kF64;
+    x.f64 = v;
+    return x;
+  }
+  static Value from_ref(Obj v) {
+    Value x;
+    x.kind = Kind::kRef;
+    x.ref = v;
+    return x;
+  }
+  [[nodiscard]] bool is_ref() const noexcept { return kind == Kind::kRef; }
+};
+
+/// One interpreter activation record.
+struct Frame {
+  std::vector<Value> locals;
+  std::vector<Value> stack;
+};
+
+class ManagedThread {
+ public:
+  /// Registers with the VM's safepoint controller and root enumeration.
+  explicit ManagedThread(Vm& vm);
+  ~ManagedThread();
+
+  ManagedThread(const ManagedThread&) = delete;
+  ManagedThread& operator=(const ManagedThread&) = delete;
+
+  [[nodiscard]] Vm& vm() noexcept { return vm_; }
+
+  /// GC yield point (jitted-code poll / FCall poll / polling-wait poll).
+  void poll_gc();
+
+  // ---- native root slots (GCPROTECT) ----
+  void push_root(Obj* slot) { root_slots_.push_back(slot); }
+  void pop_root(Obj* slot);
+  [[nodiscard]] const std::vector<Obj*>& root_slots() const noexcept {
+    return root_slots_;
+  }
+
+  // ---- bulk root ranges (deserializers' growing object tables) ----
+  void push_root_range(std::deque<Obj>* range) {
+    root_ranges_.push_back(range);
+  }
+  void pop_root_range(std::deque<Obj>* range);
+  [[nodiscard]] const std::vector<std::deque<Obj>*>& root_ranges()
+      const noexcept {
+    return root_ranges_;
+  }
+
+  // ---- interpreter frames ----
+  // A deque: activation records must keep stable addresses while nested
+  // invocations push new frames.
+  std::deque<Frame>& frames() noexcept { return frames_; }
+  [[nodiscard]] const std::deque<Frame>& frames() const noexcept {
+    return frames_;
+  }
+
+ private:
+  Vm& vm_;
+  std::vector<Obj*> root_slots_;
+  std::vector<std::deque<Obj>*> root_ranges_;
+  std::deque<Frame> frames_;
+};
+
+}  // namespace motor::vm

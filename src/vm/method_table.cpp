@@ -1,0 +1,54 @@
+#include "vm/method_table.hpp"
+
+#include "common/status.hpp"
+
+namespace motor::vm {
+
+MethodTable::MethodTable(std::string name, std::uint32_t type_id,
+                         std::vector<FieldDesc> fields,
+                         std::uint32_t instance_bytes,
+                         bool transportable_class)
+    : name_(std::move(name)),
+      type_id_(type_id),
+      fields_(std::move(fields)),
+      instance_bytes_(instance_bytes),
+      transportable_class_(transportable_class) {
+  for (const FieldDesc& f : fields_) {
+    MOTOR_CHECK(f.offset() + f.size() <= instance_bytes_,
+                "field overruns instance data");
+    if (f.is_reference()) ref_offsets_.push_back(f.offset());
+  }
+}
+
+MethodTable::MethodTable(std::string name, std::uint32_t type_id,
+                         ElementKind element, int rank)
+    : name_(std::move(name)),
+      type_id_(type_id),
+      is_array_(true),
+      rank_(rank),
+      element_(element) {
+  MOTOR_CHECK(rank >= 1, "array rank must be positive");
+  MOTOR_CHECK(element != ElementKind::kObjectRef,
+              "use the reference-array constructor for object arrays");
+}
+
+MethodTable::MethodTable(std::string name, std::uint32_t type_id,
+                         const MethodTable* element_type, int rank)
+    : name_(std::move(name)),
+      type_id_(type_id),
+      is_array_(true),
+      rank_(rank),
+      element_(ElementKind::kObjectRef),
+      element_type_(element_type) {
+  MOTOR_CHECK(rank >= 1, "array rank must be positive");
+  MOTOR_CHECK(element_type != nullptr, "object array needs an element type");
+}
+
+const FieldDesc* MethodTable::field_named(std::string_view name) const {
+  for (const FieldDesc& f : fields_) {
+    if (f.name() == name) return &f;
+  }
+  return nullptr;
+}
+
+}  // namespace motor::vm

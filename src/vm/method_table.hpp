@@ -1,0 +1,95 @@
+// MethodTable: the runtime type record every object header points at
+// (paper §5.3). Holds instance layout, the FieldDesc array (with Motor's
+// Transportable bits), array shape for array types, and the cached
+// reference-field offsets the GC scans.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "vm/field_desc.hpp"
+
+namespace motor::vm {
+
+class MethodTable {
+ public:
+  /// Class (non-array) type. Field offsets must already be assigned.
+  MethodTable(std::string name, std::uint32_t type_id,
+              std::vector<FieldDesc> fields, std::uint32_t instance_bytes,
+              bool transportable_class);
+
+  /// Array type of primitive elements, rank >= 1 (rank > 1 = true
+  /// multidimensional array, the CLI feature the paper highlights §3).
+  MethodTable(std::string name, std::uint32_t type_id, ElementKind element,
+              int rank);
+
+  /// Array type of object references.
+  MethodTable(std::string name, std::uint32_t type_id,
+              const MethodTable* element_type, int rank);
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] std::uint32_t type_id() const noexcept { return type_id_; }
+
+  // ---- class types ----
+  [[nodiscard]] const std::vector<FieldDesc>& fields() const noexcept {
+    return fields_;
+  }
+  [[nodiscard]] const FieldDesc* field_named(std::string_view name) const;
+  /// Instance-data size in bytes (excludes the object header; for arrays
+  /// this is the fixed part — bounds — only).
+  [[nodiscard]] std::uint32_t instance_bytes() const noexcept {
+    return instance_bytes_;
+  }
+  /// Offsets (within instance data) of every reference field; what the GC
+  /// traces and what Motor's integrity check tests for emptiness.
+  [[nodiscard]] const std::vector<std::uint32_t>& reference_offsets()
+      const noexcept {
+    return ref_offsets_;
+  }
+  [[nodiscard]] bool has_references() const noexcept {
+    return !ref_offsets_.empty() ||
+           (is_array_ && element_ == ElementKind::kObjectRef);
+  }
+  /// Class-level [Transportable] marker (types must opt in before their
+  /// fields' Transportable bits are honoured).
+  [[nodiscard]] bool is_transportable_class() const noexcept {
+    return transportable_class_;
+  }
+
+  // ---- array types ----
+  [[nodiscard]] bool is_array() const noexcept { return is_array_; }
+  [[nodiscard]] int rank() const noexcept { return rank_; }
+  [[nodiscard]] ElementKind element_kind() const noexcept { return element_; }
+  [[nodiscard]] const MethodTable* element_type() const noexcept {
+    return element_type_;
+  }
+  [[nodiscard]] std::size_t element_bytes() const noexcept {
+    return element_size(element_);
+  }
+
+  // ---- statics ----
+  /// Static field storage is per-type; the GC treats reference statics as
+  /// roots. Simplified: a single vector of reference slots.
+  std::vector<void*>& static_ref_slots() noexcept { return static_refs_; }
+  [[nodiscard]] const std::vector<void*>& static_ref_slots() const noexcept {
+    return static_refs_;
+  }
+
+ private:
+  std::string name_;
+  std::uint32_t type_id_ = 0;
+  std::vector<FieldDesc> fields_;
+  std::vector<std::uint32_t> ref_offsets_;
+  std::uint32_t instance_bytes_ = 0;
+  bool transportable_class_ = false;
+
+  bool is_array_ = false;
+  int rank_ = 0;
+  ElementKind element_ = ElementKind::kUInt8;
+  const MethodTable* element_type_ = nullptr;
+
+  std::vector<void*> static_refs_;
+};
+
+}  // namespace motor::vm

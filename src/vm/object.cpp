@@ -1,0 +1,4 @@
+#include "vm/object.hpp"
+
+// Object accessors are header-only; this TU anchors the library target.
+namespace motor::vm {}

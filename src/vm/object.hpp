@@ -1,0 +1,167 @@
+// Managed object layout and accessors.
+//
+// Per the SSCLI model (paper §5.3): every object starts with one word that
+// references its MethodTable; all instance data follows immediately. The
+// GC borrows the low bits of that word during collection (mark bit,
+// forwarding bit) — they are zero outside a collection.
+//
+// Array layout (rank-1):        [header][i64 length      ][elements...]
+// Array layout (rank-n, n > 1): [header][i32 dims x rank, padded][elements]
+// True multidimensional arrays are one object with one contiguous payload —
+// the CLI feature the paper contrasts with Java's arrays-of-arrays (§3).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+
+#include "common/status.hpp"
+#include "vm/method_table.hpp"
+
+namespace motor::vm {
+
+struct Object;  // opaque; always lives on a managed heap
+using Obj = Object*;
+
+inline constexpr std::size_t kObjectAlignment = 8;
+inline constexpr std::size_t kHeaderBytes = 8;
+
+inline constexpr std::uintptr_t kForwardBit = 0x1;
+inline constexpr std::uintptr_t kMarkBit = 0x2;
+inline constexpr std::uintptr_t kHeaderTagMask = kForwardBit | kMarkBit;
+
+inline std::size_t align_up(std::size_t n) {
+  return (n + kObjectAlignment - 1) & ~(kObjectAlignment - 1);
+}
+
+// ---- header word ----
+
+inline std::uintptr_t& header_word(Obj obj) {
+  return *reinterpret_cast<std::uintptr_t*>(obj);
+}
+
+inline const MethodTable* obj_mt(Obj obj) {
+  return reinterpret_cast<const MethodTable*>(header_word(obj) &
+                                              ~kHeaderTagMask);
+}
+
+inline void set_obj_mt(Obj obj, const MethodTable* mt) {
+  header_word(obj) = reinterpret_cast<std::uintptr_t>(mt);
+}
+
+inline bool is_marked(Obj obj) { return (header_word(obj) & kMarkBit) != 0; }
+inline void set_mark(Obj obj) { header_word(obj) |= kMarkBit; }
+inline void clear_mark(Obj obj) { header_word(obj) &= ~kMarkBit; }
+
+inline bool is_forwarded(Obj obj) {
+  return (header_word(obj) & kForwardBit) != 0;
+}
+inline Obj forwarding_target(Obj obj) {
+  return reinterpret_cast<Obj>(header_word(obj) & ~kHeaderTagMask);
+}
+inline void set_forwarding(Obj obj, Obj target) {
+  header_word(obj) = reinterpret_cast<std::uintptr_t>(target) | kForwardBit;
+}
+
+// ---- instance data ----
+
+inline std::byte* obj_data(Obj obj) {
+  return reinterpret_cast<std::byte*>(obj) + kHeaderBytes;
+}
+
+/// Bytes occupied by the array-bounds area for rank `rank`.
+inline std::size_t array_bounds_bytes(int rank) {
+  return rank <= 1 ? 8 : align_up(static_cast<std::size_t>(rank) * 4);
+}
+
+inline std::int64_t array_length(Obj obj) {
+  const MethodTable* mt = obj_mt(obj);
+  MOTOR_CHECK(mt->is_array(), "array_length on non-array");
+  if (mt->rank() <= 1) {
+    std::int64_t len;
+    std::memcpy(&len, obj_data(obj), sizeof len);
+    return len;
+  }
+  std::int64_t total = 1;
+  const auto* dims = reinterpret_cast<const std::int32_t*>(obj_data(obj));
+  for (int d = 0; d < mt->rank(); ++d) total *= dims[d];
+  return total;
+}
+
+inline std::int32_t array_dim(Obj obj, int d) {
+  const MethodTable* mt = obj_mt(obj);
+  MOTOR_CHECK(mt->is_array(), "array_dim on non-array");
+  MOTOR_CHECK(d >= 0 && d < mt->rank(), "array_dim out of range");
+  if (mt->rank() <= 1) return static_cast<std::int32_t>(array_length(obj));
+  const auto* dims = reinterpret_cast<const std::int32_t*>(obj_data(obj));
+  return dims[d];
+}
+
+/// First element of the contiguous payload.
+inline std::byte* array_data(Obj obj) {
+  const MethodTable* mt = obj_mt(obj);
+  return obj_data(obj) + array_bounds_bytes(mt->rank());
+}
+
+/// Payload size in bytes (elements only).
+inline std::size_t array_payload_bytes(Obj obj) {
+  return static_cast<std::size_t>(array_length(obj)) *
+         obj_mt(obj)->element_bytes();
+}
+
+/// Total heap footprint of the object, header included, aligned.
+inline std::size_t object_total_bytes(Obj obj) {
+  const MethodTable* mt = obj_mt(obj);
+  if (!mt->is_array()) {
+    return align_up(kHeaderBytes + mt->instance_bytes());
+  }
+  return align_up(kHeaderBytes + array_bounds_bytes(mt->rank()) +
+                  array_payload_bytes(obj));
+}
+
+// ---- field access ----
+
+template <typename T>
+T get_field(Obj obj, std::uint32_t offset) {
+  T v;
+  std::memcpy(&v, obj_data(obj) + offset, sizeof v);
+  return v;
+}
+
+template <typename T>
+void set_field(Obj obj, std::uint32_t offset, T value) {
+  std::memcpy(obj_data(obj) + offset, &value, sizeof value);
+}
+
+inline Obj get_ref_field(Obj obj, std::uint32_t offset) {
+  return get_field<Obj>(obj, offset);
+}
+inline void set_ref_field(Obj obj, std::uint32_t offset, Obj value) {
+  set_field(obj, offset, value);
+}
+
+inline Obj get_ref_element(Obj arr, std::int64_t index) {
+  Obj v;
+  std::memcpy(&v, array_data(arr) + static_cast<std::size_t>(index) * 8,
+              sizeof v);
+  return v;
+}
+inline void set_ref_element(Obj arr, std::int64_t index, Obj value) {
+  std::memcpy(array_data(arr) + static_cast<std::size_t>(index) * 8, &value,
+              sizeof value);
+}
+
+template <typename T>
+T get_element(Obj arr, std::int64_t index) {
+  T v;
+  std::memcpy(&v, array_data(arr) + static_cast<std::size_t>(index) * sizeof(T),
+              sizeof v);
+  return v;
+}
+template <typename T>
+void set_element(Obj arr, std::int64_t index, T value) {
+  std::memcpy(array_data(arr) + static_cast<std::size_t>(index) * sizeof(T),
+              &value, sizeof value);
+}
+
+}  // namespace motor::vm

@@ -1,0 +1,79 @@
+#include "vm/pinvoke.hpp"
+
+#include "common/status.hpp"
+#include "pal/clock.hpp"
+#include "vm/heap.hpp"
+#include "vm/vm.hpp"
+
+namespace motor::vm {
+
+int PInvokeTable::register_entry(std::string name, NativeFn fn) {
+  entries_.push_back(Entry{std::move(name), std::move(fn)});
+  return static_cast<int>(entries_.size()) - 1;
+}
+
+namespace {
+
+/// The marshalling step both P/Invoke and JNI perform: copy every argument
+/// into a transition frame (real work, proportional to arity).
+std::vector<Value> marshal_args(std::span<const Value> args) {
+  std::vector<Value> frame;
+  frame.reserve(args.size());
+  for (const Value& v : args) frame.push_back(v);
+  return frame;
+}
+
+}  // namespace
+
+Value PInvokeTable::invoke(Vm& vm, ManagedThread& thread, int index,
+                           std::span<const Value> args) const {
+  MOTOR_CHECK(index >= 0 && index < static_cast<int>(entries_.size()),
+              "unknown P/Invoke target");
+  ++calls_;
+  thread.poll_gc();  // transition out of managed code is a safe point
+  std::vector<Value> frame = marshal_args(args);
+  if (vm.profile().pinvoke_transition_ns > 0) {
+    pal::spin_for_ns(vm.profile().pinvoke_transition_ns);
+  }
+  Value result =
+      entries_[static_cast<std::size_t>(index)].fn(vm, thread, frame);
+  thread.poll_gc();
+  return result;
+}
+
+Value PInvokeTable::invoke_jni(Vm& vm, ManagedThread& thread, int index,
+                               std::span<const Value> args) const {
+  MOTOR_CHECK(index >= 0 && index < static_cast<int>(entries_.size()),
+              "unknown JNI target");
+  ++calls_;
+  thread.poll_gc();
+  std::vector<Value> frame = marshal_args(args);
+  if (vm.profile().jni_transition_ns > 0) {
+    pal::spin_for_ns(vm.profile().jni_transition_ns);
+  }
+  // JNI pins every reference argument for the duration of the call.
+  std::vector<Obj> pinned;
+  for (const Value& v : frame) {
+    if (v.is_ref() && v.ref != nullptr) {
+      vm.heap().pin(v.ref);
+      if (vm.profile().pin_extra_ns > 0) {
+        pal::spin_for_ns(vm.profile().pin_extra_ns);
+      }
+      pinned.push_back(v.ref);
+    }
+  }
+  Value result =
+      entries_[static_cast<std::size_t>(index)].fn(vm, thread, frame);
+  for (Obj obj : pinned) vm.heap().unpin(obj);
+  thread.poll_gc();
+  return result;
+}
+
+int PInvokeTable::find(std::string_view name) const {
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    if (entries_[i].name == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+}  // namespace motor::vm

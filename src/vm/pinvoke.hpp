@@ -1,0 +1,44 @@
+// The P/Invoke and JNI managed-to-native call mechanisms — what the
+// managed-wrapper MPI baselines (Indiana bindings, mpiJava) pay on every
+// operation (paper §2.2): "both JNI and P/Invoke require marshalling and
+// impose security mechanisms".
+//
+// Structural costs are executed for real (argument marshal copies, pin
+// table traffic for JNI array pinning); the host-quality residue is
+// charged from the RuntimeProfile.
+#pragma once
+
+#include "vm/fcall.hpp"
+
+namespace motor::vm {
+
+class PInvokeTable {
+ public:
+  int register_entry(std::string name, NativeFn fn);
+
+  /// P/Invoke discipline: marshal arguments into a transition frame
+  /// (copies), charge the transition (security checks / stack walk), run
+  /// the native body. The runtime does NOT track object pointers across
+  /// the call — callers must pin buffers themselves (paper §2.3).
+  Value invoke(Vm& vm, ManagedThread& thread, int index,
+               std::span<const Value> args) const;
+
+  /// JNI discipline (mpiJava baseline): same marshalling, plus automatic
+  /// pin/unpin of every reference argument ("the JNI interface
+  /// automatically pins and unpins objects", §2.3).
+  Value invoke_jni(Vm& vm, ManagedThread& thread, int index,
+                   std::span<const Value> args) const;
+
+  [[nodiscard]] int find(std::string_view name) const;
+  [[nodiscard]] std::uint64_t calls() const noexcept { return calls_; }
+
+ private:
+  struct Entry {
+    std::string name;
+    NativeFn fn;
+  };
+  std::vector<Entry> entries_;
+  mutable std::uint64_t calls_ = 0;
+};
+
+}  // namespace motor::vm

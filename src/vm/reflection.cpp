@@ -1,0 +1,53 @@
+#include "vm/reflection.hpp"
+
+namespace motor::vm {
+
+TypeMetadata& MetadataRegistry::add_type(const std::string& name) {
+  types_.push_back(TypeMetadata{name, {}, {}});
+  return types_.back();
+}
+
+const TypeMetadata* MetadataRegistry::find_type(
+    const std::string& type_name) const {
+  for (const TypeMetadata& t : types_) {
+    if (t.name == type_name) return &t;
+  }
+  return nullptr;
+}
+
+bool MetadataRegistry::field_has_attribute(const std::string& type_name,
+                                           const std::string& field_name,
+                                           const std::string& attribute) const {
+  const TypeMetadata* t = find_type(type_name);
+  if (t == nullptr) return false;
+  for (const FieldMetadata& f : t->fields) {
+    if (f.name != field_name) continue;
+    for (const std::string& a : f.attributes) {
+      if (a == attribute) return true;
+    }
+    return false;
+  }
+  return false;
+}
+
+bool MetadataRegistry::type_has_attribute(const std::string& type_name,
+                                          const std::string& attribute) const {
+  const TypeMetadata* t = find_type(type_name);
+  if (t == nullptr) return false;
+  for (const std::string& a : t->attributes) {
+    if (a == attribute) return true;
+  }
+  return false;
+}
+
+std::vector<std::string> MetadataRegistry::field_attributes(
+    const std::string& type_name, const std::string& field_name) const {
+  const TypeMetadata* t = find_type(type_name);
+  if (t == nullptr) return {};
+  for (const FieldMetadata& f : t->fields) {
+    if (f.name == field_name) return f.attributes;
+  }
+  return {};
+}
+
+}  // namespace motor::vm

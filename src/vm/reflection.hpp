@@ -1,0 +1,63 @@
+// Type metadata and reflection — the *slow* path to attribute information.
+//
+// The SSCLI keeps full type metadata besides the optimized runtime
+// structures; reflection queries walk it. The paper's serializer
+// deliberately avoids this path: "Introspecting type fields for a
+// Transportable attribute is possible using the reflection library.
+// However, this is a relatively slow operation because it accesses type
+// metadata. Instead, we implemented a Transportable bit on the FieldDesc
+// structure." (§7.5)
+//
+// This registry is faithful to that cost asymmetry: attribute lookups do
+// string-keyed scans over heap-allocated metadata records, the way
+// metadata-token resolution behaves, so the FieldDesc-bit ablation
+// (bench/ablation_visited + tests) measures a real difference.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace motor::vm {
+
+struct FieldMetadata {
+  std::string name;
+  std::string declared_type;            // textual type signature
+  std::vector<std::string> attributes;  // custom attribute names
+};
+
+struct TypeMetadata {
+  std::string name;
+  std::vector<std::string> attributes;
+  std::vector<FieldMetadata> fields;
+};
+
+class MetadataRegistry {
+ public:
+  /// Record a type (called by TypeSystem at definition time).
+  TypeMetadata& add_type(const std::string& name);
+
+  /// Reflection query: does `type_name.field_name` carry `attribute`?
+  /// Deliberately metadata-shaped: linear scans over string-keyed records.
+  [[nodiscard]] bool field_has_attribute(const std::string& type_name,
+                                         const std::string& field_name,
+                                         const std::string& attribute) const;
+
+  [[nodiscard]] bool type_has_attribute(const std::string& type_name,
+                                        const std::string& attribute) const;
+
+  /// All attributes on a field (reflection's GetCustomAttributes analog).
+  [[nodiscard]] std::vector<std::string> field_attributes(
+      const std::string& type_name, const std::string& field_name) const;
+
+  [[nodiscard]] const TypeMetadata* find_type(
+      const std::string& type_name) const;
+
+  [[nodiscard]] std::size_t type_count() const noexcept {
+    return types_.size();
+  }
+
+ private:
+  std::vector<TypeMetadata> types_;
+};
+
+}  // namespace motor::vm

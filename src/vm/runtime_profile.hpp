@@ -1,0 +1,59 @@
+// Runtime cost profiles.
+//
+// The paper benchmarks the same wrapper bindings hosted by two CLIs
+// (commercial .NET v1.1 vs the SSCLI "Rotor") and by the Sun JVM. We cannot
+// run three closed-source runtimes, so the *host-quality* differences are
+// modelled as explicit per-call/per-byte costs charged with calibrated CPU
+// spins, while everything structural (marshalling copies, pin-table
+// traffic, serializer algorithms, GC behaviour) is executed for real.
+// Calibration rationale lives in EXPERIMENTS.md.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace motor::vm {
+
+struct RuntimeProfile {
+  std::string name;
+
+  /// Managed-to-native transition charged per P/Invoke call: argument
+  /// marshalling bookkeeping plus the security/stack-walk checks the CLI
+  /// performs on unmanaged transitions.
+  std::uint64_t pinvoke_transition_ns = 0;
+
+  /// Per-call JNI transition (Java baseline): JNIEnv indirection, handle
+  /// table churn, argument conversion.
+  std::uint64_t jni_transition_ns = 0;
+
+  /// FCall transition: internally trusted, no marshalling, no security
+  /// checks (paper §5.1) — effectively a function call.
+  std::uint64_t fcall_transition_ns = 0;
+
+  /// Host-quality multiplier on the *standard* runtime serializer
+  /// (BinaryFormatter / java.io.ObjectOutputStream analogs). 1.0 = this
+  /// machine's native speed; > 1 models a slower managed implementation.
+  double serializer_cost_factor = 1.0;
+
+  /// Extra per pin/unpin pair beyond the real pin-table work (the paper's
+  /// footnote 4: fastchecked SSCLI builds pin more expensively than free
+  /// builds; hosted CLRs differ too).
+  std::uint64_t pin_extra_ns = 0;
+
+  /// Rotor / SSCLI free build: cheap-ish pinning, pricier P/Invoke, slow
+  /// managed serializer (the paper notes the SSCLI serializer is visibly
+  /// slower than .NET's in Figure 10).
+  static RuntimeProfile sscli();
+
+  /// Commercial .NET v1.1: faster P/Invoke and serializer than Rotor.
+  static RuntimeProfile commercial_net();
+
+  /// Sun JDK 1.5 hosting mpiJava: JNI transitions and the standard Java
+  /// serialization machinery.
+  static RuntimeProfile sun_jvm();
+
+  /// Zero-overhead profile for unit tests that measure structure, not time.
+  static RuntimeProfile uncosted();
+};
+
+}  // namespace motor::vm

@@ -1,0 +1,68 @@
+#include "vm/safepoint.hpp"
+
+namespace motor::vm {
+
+void SafepointController::register_thread() {
+  std::lock_guard lk(mu_);
+  ++registered_;
+}
+
+void SafepointController::unregister_thread() {
+  std::lock_guard lk(mu_);
+  --registered_;
+  cv_.notify_all();  // a departing thread may unblock a waiting collector
+}
+
+void SafepointController::poll() {
+  poll_count_.fetch_add(1, std::memory_order_relaxed);
+  if (!gc_pending_.load(std::memory_order_acquire)) return;
+
+  std::unique_lock lk(mu_);
+  if (!gc_pending_.load(std::memory_order_acquire)) return;
+  ++parked_;
+  cv_.notify_all();  // tell the collector we reached the safe state
+  cv_.wait(lk, [&] { return !gc_pending_.load(std::memory_order_acquire); });
+  --parked_;
+}
+
+void SafepointController::enter_native() {
+  std::lock_guard lk(mu_);
+  ++in_native_;
+  cv_.notify_all();  // may unblock a collector waiting for this thread
+}
+
+void SafepointController::leave_native() {
+  std::unique_lock lk(mu_);
+  // Cannot re-enter managed code while a collection is underway.
+  cv_.wait(lk, [&] { return !gc_pending_.load(std::memory_order_acquire); });
+  --in_native_;
+}
+
+void SafepointController::run_stop_the_world(
+    const std::function<void()>& stop_the_world_work) {
+  std::unique_lock lk(mu_);
+  // One collection at a time; a second requester waits for the first to
+  // finish and then runs its own (the world is already warm by then).
+  // While queued, the requester holds no unprotected heap state — it
+  // counts as parked, or the active collector would wait on it forever.
+  ++parked_;
+  cv_.notify_all();
+  cv_.wait(lk, [&] { return !collecting_; });
+  --parked_;
+  collecting_ = true;
+  gc_pending_.store(true, std::memory_order_release);
+  cv_.wait(lk, [&] { return parked_ + in_native_ >= registered_ - 1; });
+
+  stop_the_world_work();
+
+  gc_pending_.store(false, std::memory_order_release);
+  collecting_ = false;
+  cv_.notify_all();
+}
+
+int SafepointController::registered_threads() const {
+  std::lock_guard lk(mu_);
+  return registered_;
+}
+
+}  // namespace motor::vm

@@ -1,0 +1,67 @@
+// Stop-the-world coordination via cooperative safepoint polling.
+//
+// Managed execution (interpreter back-edges, FCall entry/exit, and the
+// polling-waits the Motor port substitutes for blocking system calls,
+// paper §7.1/§7.4) calls poll(). When a collection is requested, polling
+// threads park until it finishes; the collecting thread proceeds once
+// every other registered thread is parked.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+
+namespace motor::vm {
+
+class SafepointController {
+ public:
+  /// A thread entering managed execution must register; see ManagedThread.
+  void register_thread();
+  void unregister_thread();
+
+  /// The GC yield point. Fast path: one relaxed atomic load.
+  void poll();
+
+  /// Preemptive-mode transitions: a thread inside an opaque native call
+  /// (P/Invoke, JNI) counts as stopped — collections proceed without it,
+  /// which is exactly why wrapper bindings must pin their buffers
+  /// (paper §2.3). leave_native blocks while a collection is running.
+  void enter_native();
+  void leave_native();
+
+  /// Run `stop_the_world_work` with every other registered thread parked
+  /// at a safepoint. The calling thread counts as stopped.
+  void run_stop_the_world(const std::function<void()>& stop_the_world_work);
+
+  [[nodiscard]] int registered_threads() const;
+  [[nodiscard]] std::uint64_t polls() const noexcept {
+    return poll_count_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::atomic<bool> gc_pending_{false};
+  std::atomic<std::uint64_t> poll_count_{0};
+  int registered_ = 0;
+  int parked_ = 0;
+  int in_native_ = 0;
+  bool collecting_ = false;
+};
+
+/// RAII preemptive-mode region around a native (P/Invoke-style) call.
+class NativeRegion {
+ public:
+  explicit NativeRegion(SafepointController& sp) : sp_(sp) {
+    sp_.enter_native();
+  }
+  ~NativeRegion() { sp_.leave_native(); }
+  NativeRegion(const NativeRegion&) = delete;
+  NativeRegion& operator=(const NativeRegion&) = delete;
+
+ private:
+  SafepointController& sp_;
+};
+
+}  // namespace motor::vm

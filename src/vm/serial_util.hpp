@@ -1,0 +1,22 @@
+// Small shared helpers for the serializer implementations.
+#pragma once
+
+#include <string>
+
+#include "common/buffer.hpp"
+
+namespace motor::vm::detail {
+
+inline void write_string(ByteBuffer& out, std::string_view s) {
+  out.put_u16(static_cast<std::uint16_t>(s.size()));
+  out.append_raw(s.data(), s.size());
+}
+
+inline Status read_string(ByteBuffer& in, std::string& out) {
+  std::uint16_t len = 0;
+  MOTOR_RETURN_IF_ERROR(in.get(len));
+  out.resize(len);
+  return in.read(as_writable_bytes_of(out.data(), len));
+}
+
+}  // namespace motor::vm::detail

@@ -1,0 +1,147 @@
+#include "vm/type_system.hpp"
+
+#include "common/status.hpp"
+
+namespace motor::vm {
+
+namespace {
+
+std::size_t align_to(std::size_t offset, std::size_t alignment) {
+  return (offset + alignment - 1) & ~(alignment - 1);
+}
+
+std::string array_type_name(std::string_view element, int rank) {
+  std::string name(element);
+  name += "[";
+  for (int i = 1; i < rank; ++i) name += ",";
+  name += "]";
+  return name;
+}
+
+}  // namespace
+
+TypeSystem::TypeSystem() {
+  auto root = std::make_unique<MethodTable>("System.Object", next_id(),
+                                            std::vector<FieldDesc>{}, 0u,
+                                            /*transportable_class=*/false);
+  metadata_.add_type("System.Object");
+  object_type_ = register_type(std::move(root));
+}
+
+const MethodTable* TypeSystem::register_type(std::unique_ptr<MethodTable> mt) {
+  std::lock_guard lk(mu_);
+  const MethodTable* raw = mt.get();
+  MOTOR_CHECK(by_name_.emplace(mt->name(), raw).second,
+              "duplicate type name: " + mt->name());
+  types_.push_back(std::move(mt));
+  return raw;
+}
+
+ClassBuilder TypeSystem::define_class(std::string name) {
+  return ClassBuilder(*this, std::move(name));
+}
+
+const MethodTable* TypeSystem::primitive_array(ElementKind kind, int rank) {
+  MOTOR_CHECK(kind != ElementKind::kObjectRef,
+              "use ref_array for reference arrays");
+  const std::string name =
+      array_type_name(element_kind_name(kind), rank);
+  if (const MethodTable* existing = find(name)) return existing;
+  auto mt = std::make_unique<MethodTable>(name, next_id(), kind, rank);
+  metadata_.add_type(name);
+  return register_type(std::move(mt));
+}
+
+const MethodTable* TypeSystem::ref_array(const MethodTable* element,
+                                         int rank) {
+  const std::string name = array_type_name(element->name(), rank);
+  if (const MethodTable* existing = find(name)) return existing;
+  auto mt = std::make_unique<MethodTable>(name, next_id(), element, rank);
+  metadata_.add_type(name);
+  return register_type(std::move(mt));
+}
+
+const MethodTable* TypeSystem::find(const std::string& name) const {
+  std::lock_guard lk(mu_);
+  auto it = by_name_.find(name);
+  return it == by_name_.end() ? nullptr : it->second;
+}
+
+const MethodTable* TypeSystem::by_id(std::uint32_t type_id) const {
+  std::lock_guard lk(mu_);
+  for (const auto& t : types_) {
+    if (t->type_id() == type_id) return t.get();
+  }
+  return nullptr;
+}
+
+void TypeSystem::for_each_type(const std::function<void(MethodTable*)>& fn) {
+  std::lock_guard lk(mu_);
+  for (const auto& t : types_) fn(t.get());
+}
+
+std::size_t TypeSystem::type_count() const {
+  std::lock_guard lk(mu_);
+  return types_.size();
+}
+
+ClassBuilder& ClassBuilder::field(std::string name, ElementKind kind,
+                                  bool transportable) {
+  MOTOR_CHECK(kind != ElementKind::kObjectRef,
+              "use ref_field for reference fields");
+  pending_.push_back({std::move(name), kind, nullptr, transportable});
+  return *this;
+}
+
+ClassBuilder& ClassBuilder::ref_field(std::string name,
+                                      const MethodTable* type,
+                                      bool transportable) {
+  pending_.push_back(
+      {std::move(name), ElementKind::kObjectRef, type, transportable});
+  return *this;
+}
+
+ClassBuilder& ClassBuilder::transportable() {
+  class_transportable_ = true;
+  class_attributes_.push_back("Transportable");
+  return *this;
+}
+
+ClassBuilder& ClassBuilder::attribute(std::string name) {
+  class_attributes_.push_back(std::move(name));
+  return *this;
+}
+
+const MethodTable* ClassBuilder::build() {
+  std::vector<FieldDesc> fields;
+  fields.reserve(pending_.size());
+  std::size_t offset = 0;
+  for (const PendingField& p : pending_) {
+    const std::size_t sz = element_size(p.kind);
+    offset = align_to(offset, sz);
+    fields.emplace_back(p.name, p.kind, static_cast<std::uint32_t>(offset),
+                        p.type, p.transportable);
+    offset += sz;
+  }
+  const auto instance_bytes =
+      static_cast<std::uint32_t>(align_to(offset, 8));
+
+  // Populate the slow metadata mirror reflection reads.
+  TypeMetadata& meta = ts_.metadata_.add_type(name_);
+  meta.attributes = class_attributes_;
+  for (const PendingField& p : pending_) {
+    FieldMetadata fm;
+    fm.name = p.name;
+    fm.declared_type = p.type != nullptr ? p.type->name()
+                                         : std::string(element_kind_name(p.kind));
+    if (p.transportable) fm.attributes.push_back("Transportable");
+    meta.fields.push_back(std::move(fm));
+  }
+
+  auto mt = std::make_unique<MethodTable>(name_, ts_.next_id(),
+                                          std::move(fields), instance_bytes,
+                                          class_transportable_);
+  return ts_.register_type(std::move(mt));
+}
+
+}  // namespace motor::vm

@@ -1,0 +1,104 @@
+// The common type system: a registry of MethodTables plus the class
+// builder that assigns field layout and Transportable bits, and populates
+// the (slow) metadata registry reflection reads.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "vm/method_table.hpp"
+#include "vm/reflection.hpp"
+
+namespace motor::vm {
+
+class TypeSystem;
+
+/// Fluent class-type builder. Offsets are assigned in declaration order
+/// with natural alignment. `transportable` on a field sets the FieldDesc
+/// bit *and* records the [Transportable] attribute in metadata, matching
+/// how the Motor runtime mirrors the attribute at type-load time (§7.5).
+class ClassBuilder {
+ public:
+  ClassBuilder& field(std::string name, ElementKind kind,
+                      bool transportable = false);
+  ClassBuilder& ref_field(std::string name, const MethodTable* type,
+                          bool transportable = false);
+  /// Class-level [Transportable] attribute.
+  ClassBuilder& transportable();
+  /// Arbitrary extra custom attribute, metadata-only (reflection sees it;
+  /// the runtime model does not).
+  ClassBuilder& attribute(std::string name);
+
+  const MethodTable* build();
+
+ private:
+  friend class TypeSystem;
+  ClassBuilder(TypeSystem& ts, std::string name) : ts_(ts), name_(std::move(name)) {}
+
+  struct PendingField {
+    std::string name;
+    ElementKind kind;
+    const MethodTable* type;
+    bool transportable;
+  };
+
+  TypeSystem& ts_;
+  std::string name_;
+  std::vector<PendingField> pending_;
+  std::vector<std::string> class_attributes_;
+  bool class_transportable_ = false;
+};
+
+class TypeSystem {
+ public:
+  TypeSystem();
+
+  TypeSystem(const TypeSystem&) = delete;
+  TypeSystem& operator=(const TypeSystem&) = delete;
+
+  /// The root type (System.Object): no fields.
+  [[nodiscard]] const MethodTable* object_type() const noexcept {
+    return object_type_;
+  }
+
+  /// Begin defining a class type. Names must be unique.
+  ClassBuilder define_class(std::string name);
+
+  /// Array of primitive elements; `rank` > 1 makes a true multidimensional
+  /// array. Cached per (kind, rank).
+  const MethodTable* primitive_array(ElementKind kind, int rank = 1);
+
+  /// Array of references to `element`; cached per (element, rank).
+  const MethodTable* ref_array(const MethodTable* element, int rank = 1);
+
+  [[nodiscard]] const MethodTable* find(const std::string& name) const;
+  [[nodiscard]] const MethodTable* by_id(std::uint32_t type_id) const;
+
+  /// Visit every registered type (GC uses this for static roots).
+  void for_each_type(const std::function<void(MethodTable*)>& fn);
+
+  [[nodiscard]] MetadataRegistry& metadata() noexcept { return metadata_; }
+  [[nodiscard]] const MetadataRegistry& metadata() const noexcept {
+    return metadata_;
+  }
+
+  [[nodiscard]] std::size_t type_count() const;
+
+ private:
+  friend class ClassBuilder;
+  const MethodTable* register_type(std::unique_ptr<MethodTable> mt);
+  std::uint32_t next_id() { return next_type_id_++; }
+
+  mutable std::mutex mu_;
+  std::vector<std::unique_ptr<MethodTable>> types_;
+  std::unordered_map<std::string, const MethodTable*> by_name_;
+  MetadataRegistry metadata_;
+  const MethodTable* object_type_ = nullptr;
+  std::uint32_t next_type_id_ = 1;
+};
+
+}  // namespace motor::vm

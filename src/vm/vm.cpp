@@ -1,0 +1,67 @@
+#include "vm/vm.hpp"
+
+#include <algorithm>
+
+namespace motor::vm {
+
+Vm::Vm(VmConfig config) : config_(std::move(config)) {
+  heap_ = std::make_unique<ManagedHeap>(*this, config_.heap);
+}
+
+void Vm::attach_thread(ManagedThread* thread) {
+  {
+    std::lock_guard lk(threads_mu_);
+    threads_.push_back(thread);
+  }
+  safepoints_.register_thread();
+}
+
+void Vm::detach_thread(ManagedThread* thread) {
+  {
+    std::lock_guard lk(threads_mu_);
+    threads_.erase(std::remove(threads_.begin(), threads_.end(), thread),
+                   threads_.end());
+  }
+  safepoints_.unregister_thread();
+}
+
+void Vm::enumerate_roots(RootVisitor& visitor) {
+  // Runs inside stop-the-world: thread list and per-thread state are
+  // stable. The lock still guards against attach/detach racing a
+  // collection requested by another thread.
+  std::lock_guard lk(threads_mu_);
+  for (ManagedThread* t : threads_) {
+    for (Obj* slot : t->root_slots()) visitor.visit(slot);
+    for (std::deque<Obj>* range : t->root_ranges()) {
+      for (Obj& obj : *range) visitor.visit(&obj);
+    }
+    for (Frame& frame : t->frames()) {
+      for (Value& v : frame.locals) {
+        if (v.is_ref()) visitor.visit(&v.ref);
+      }
+      for (Value& v : frame.stack) {
+        if (v.is_ref()) visitor.visit(&v.ref);
+      }
+    }
+  }
+}
+
+ManagedThread::ManagedThread(Vm& vm) : vm_(vm) { vm_.attach_thread(this); }
+
+ManagedThread::~ManagedThread() { vm_.detach_thread(this); }
+
+void ManagedThread::poll_gc() { vm_.safepoints().poll(); }
+
+void ManagedThread::pop_root(Obj* slot) {
+  MOTOR_CHECK(!root_slots_.empty() && root_slots_.back() == slot,
+              "GC roots must unwind LIFO");
+  root_slots_.pop_back();
+}
+
+void ManagedThread::pop_root_range(std::deque<Obj>* range) {
+  MOTOR_CHECK(!root_ranges_.empty() && root_ranges_.back() == range,
+              "GC root ranges must unwind LIFO");
+  root_ranges_.pop_back();
+}
+
+}  // namespace motor::vm

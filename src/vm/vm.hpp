@@ -1,0 +1,67 @@
+// Vm: one managed runtime instance — type system, heap/GC, safepoints,
+// call mechanisms, and thread registry. Each Motor rank owns exactly one
+// Vm, giving ranks fully disjoint managed heaps (separate "processes" on
+// one fabric).
+#pragma once
+
+#include <memory>
+#include <mutex>
+
+#include "vm/fcall.hpp"
+#include "vm/heap.hpp"
+#include "vm/managed_thread.hpp"
+#include "vm/pinvoke.hpp"
+#include "vm/runtime_profile.hpp"
+#include "vm/safepoint.hpp"
+#include "vm/type_system.hpp"
+
+namespace motor::vm {
+
+struct VmConfig {
+  HeapConfig heap;
+  RuntimeProfile profile = RuntimeProfile::sscli();
+};
+
+class Vm : public RootProvider {
+ public:
+  explicit Vm(VmConfig config = VmConfig{});
+  ~Vm() override = default;
+
+  Vm(const Vm&) = delete;
+  Vm& operator=(const Vm&) = delete;
+
+  [[nodiscard]] TypeSystem& types() noexcept { return types_; }
+  [[nodiscard]] ManagedHeap& heap() noexcept { return *heap_; }
+  [[nodiscard]] SafepointController& safepoints() noexcept {
+    return safepoints_;
+  }
+  [[nodiscard]] const RuntimeProfile& profile() const noexcept {
+    return config_.profile;
+  }
+  [[nodiscard]] FCallTable& fcalls() noexcept { return fcalls_; }
+  [[nodiscard]] PInvokeTable& pinvokes() noexcept { return pinvokes_; }
+
+  // ---- thread registry (RootProvider) ----
+  void attach_thread(ManagedThread* thread);
+  void detach_thread(ManagedThread* thread);
+  void enumerate_roots(RootVisitor& visitor) override;
+
+  // ---- convenience allocation (managed entry points) ----
+  Obj new_object(const MethodTable* mt) { return heap_->alloc_object(mt); }
+  Obj new_array(const MethodTable* element_array_mt, std::int64_t length) {
+    return heap_->alloc_array(element_array_mt, length);
+  }
+
+ private:
+  VmConfig config_;
+  TypeSystem types_;
+  SafepointController safepoints_;
+  std::unique_ptr<ManagedHeap> heap_;
+  FCallTable fcalls_;
+  PInvokeTable pinvokes_;
+
+  std::mutex threads_mu_;
+  std::vector<ManagedThread*> threads_;
+};
+
+}  // namespace motor::vm

@@ -1,0 +1,235 @@
+// The wrapper baselines: correctness of the Indiana (P/Invoke), mpiJava
+// (JNI) and pure-managed communicators, and their behavioural signatures
+// (always-pin, stack overflow on deep lists).
+#include <gtest/gtest.h>
+
+#include "baselines/indiana_bindings.hpp"
+#include "baselines/mpijava_bindings.hpp"
+#include "baselines/native_pingpong.hpp"
+#include "baselines/pure_managed.hpp"
+#include "vm/handles.hpp"
+
+namespace motor::baselines {
+namespace {
+
+vm::VmConfig host_config(vm::RuntimeProfile profile) {
+  vm::VmConfig c;
+  c.profile = std::move(profile);
+  c.heap.young_bytes = 512 * 1024;
+  return c;
+}
+
+struct ListTypes {
+  const vm::MethodTable* ints;
+  const vm::MethodTable* node;
+
+  explicit ListTypes(vm::Vm& vm) {
+    ints = vm.types().primitive_array(vm::ElementKind::kInt32);
+    node = vm.types()
+               .define_class("LinkedArray")
+               .ref_field("array", ints)
+               .ref_field("next", vm.types().object_type())
+               .field("id", vm::ElementKind::kInt32)
+               .build();
+  }
+
+  vm::Obj make_list(vm::Vm& vm, vm::ManagedThread& thread, int n) const {
+    vm::GcRoot head(thread, nullptr);
+    for (int i = n - 1; i >= 0; --i) {
+      vm::GcRoot arr(thread, vm.heap().alloc_array(ints, 2));
+      vm::set_element<std::int32_t>(arr.get(), 0, i);
+      vm::Obj x = vm.heap().alloc_object(node);
+      vm::set_ref_field(x, node->field_named("array")->offset(), arr.get());
+      vm::set_ref_field(x, node->field_named("next")->offset(), head.get());
+      vm::set_field<std::int32_t>(x, node->field_named("id")->offset(), i);
+      head.set(x);
+    }
+    return head.get();
+  }
+};
+
+template <typename MakeComm>
+void run_two_hosted_ranks(vm::RuntimeProfile profile, MakeComm&& body) {
+  mpi::World world(2);
+  world.run([&](mpi::RankCtx& ctx) {
+    vm::Vm vm(host_config(profile));
+    vm::ManagedThread thread(vm);
+    body(vm, thread, ctx);
+  });
+}
+
+TEST(IndianaTest, ArrayRoundTrip) {
+  run_two_hosted_ranks(
+      vm::RuntimeProfile::uncosted(),
+      [](vm::Vm& vm, vm::ManagedThread& thread, mpi::RankCtx& ctx) {
+        IndianaCommunicator comm(vm, thread, ctx.comm_world());
+        const vm::MethodTable* ints =
+            vm.types().primitive_array(vm::ElementKind::kInt32);
+        vm::GcRoot arr(thread, vm.heap().alloc_array(ints, 32));
+        if (comm.rank() == 0) {
+          for (int i = 0; i < 32; ++i) {
+            vm::set_element<std::int32_t>(arr.get(), i, i * 2);
+          }
+          ASSERT_TRUE(comm.send(arr.get(), 1, 0).is_ok());
+        } else {
+          ASSERT_TRUE(comm.recv(arr.get(), 0, 0).is_ok());
+          EXPECT_EQ((vm::get_element<std::int32_t>(arr.get(), 9)), 18);
+        }
+        EXPECT_EQ(comm.pinvoke_calls(), 1u);
+      });
+}
+
+TEST(IndianaTest, PinsForEveryOperation) {
+  run_two_hosted_ranks(
+      vm::RuntimeProfile::uncosted(),
+      [](vm::Vm& vm, vm::ManagedThread& thread, mpi::RankCtx& ctx) {
+        IndianaCommunicator comm(vm, thread, ctx.comm_world());
+        const vm::MethodTable* ints =
+            vm.types().primitive_array(vm::ElementKind::kInt32);
+        vm::GcRoot arr(thread, vm.heap().alloc_array(ints, 8));
+        vm.heap().collect();  // even elder buffers get pinned by wrappers
+        for (int i = 0; i < 5; ++i) {
+          if (comm.rank() == 0) {
+            comm.send(arr.get(), 1, i);
+          } else {
+            comm.recv(arr.get(), 0, i);
+          }
+        }
+        EXPECT_EQ(vm.heap().stats().pin_calls, 5u);
+        EXPECT_EQ(vm.heap().stats().unpin_calls, 5u);
+        EXPECT_EQ(vm.heap().pin_table_size(), 0u);
+      });
+}
+
+TEST(IndianaTest, ObjectTreeViaCliSerialization) {
+  run_two_hosted_ranks(
+      vm::RuntimeProfile::uncosted(),
+      [](vm::Vm& vm, vm::ManagedThread& thread, mpi::RankCtx& ctx) {
+        ListTypes types(vm);
+        IndianaCommunicator comm(vm, thread, ctx.comm_world());
+        if (comm.rank() == 0) {
+          vm::GcRoot list(thread, types.make_list(vm, thread, 20));
+          ASSERT_TRUE(comm.send_object_tree(list.get(), 1, 0).is_ok());
+        } else {
+          vm::Obj list = nullptr;
+          ASSERT_TRUE(comm.recv_object_tree(0, 0, &list).is_ok());
+          for (int i = 0; i < 20; ++i) {
+            ASSERT_NE(list, nullptr);
+            EXPECT_EQ((vm::get_field<std::int32_t>(
+                          list, types.node->field_named("id")->offset())),
+                      i);
+            list = vm::get_ref_field(
+                list, types.node->field_named("next")->offset());
+          }
+        }
+      });
+}
+
+TEST(IndianaTest, DeepListsAreFineUnlikeJava) {
+  // CLI binary serialization is iterative: 2000-node lists round-trip.
+  run_two_hosted_ranks(
+      vm::RuntimeProfile::uncosted(),
+      [](vm::Vm& vm, vm::ManagedThread& thread, mpi::RankCtx& ctx) {
+        ListTypes types(vm);
+        IndianaCommunicator comm(vm, thread, ctx.comm_world());
+        if (comm.rank() == 0) {
+          vm::GcRoot list(thread, types.make_list(vm, thread, 2000));
+          ASSERT_TRUE(comm.send_object_tree(list.get(), 1, 0).is_ok());
+        } else {
+          vm::Obj list = nullptr;
+          ASSERT_TRUE(comm.recv_object_tree(0, 0, &list).is_ok());
+          ASSERT_NE(list, nullptr);
+        }
+      });
+}
+
+TEST(MpiJavaTest, ArrayRoundTripWithAutoPinning) {
+  run_two_hosted_ranks(
+      vm::RuntimeProfile::uncosted(),
+      [](vm::Vm& vm, vm::ManagedThread& thread, mpi::RankCtx& ctx) {
+        MpiJavaCommunicator comm(vm, thread, ctx.comm_world());
+        const vm::MethodTable* ints =
+            vm.types().primitive_array(vm::ElementKind::kInt32);
+        vm::GcRoot arr(thread, vm.heap().alloc_array(ints, 16));
+        if (comm.rank() == 0) {
+          for (int i = 0; i < 16; ++i) {
+            vm::set_element<std::int32_t>(arr.get(), i, 5 - i);
+          }
+          ASSERT_TRUE(comm.send(arr.get(), 1, 0).is_ok());
+        } else {
+          ASSERT_TRUE(comm.recv(arr.get(), 0, 0).is_ok());
+          EXPECT_EQ((vm::get_element<std::int32_t>(arr.get(), 10)), -5);
+        }
+        EXPECT_EQ(vm.heap().stats().pin_calls, 1u);     // JNI auto-pin
+        EXPECT_EQ(vm.heap().stats().unpin_calls, 1u);   // JNI auto-unpin
+      });
+}
+
+TEST(MpiJavaTest, ObjectTransportRoundTrips) {
+  run_two_hosted_ranks(
+      vm::RuntimeProfile::uncosted(),
+      [](vm::Vm& vm, vm::ManagedThread& thread, mpi::RankCtx& ctx) {
+        ListTypes types(vm);
+        MpiJavaCommunicator comm(vm, thread, ctx.comm_world());
+        if (comm.rank() == 0) {
+          vm::GcRoot list(thread, types.make_list(vm, thread, 50));
+          ASSERT_TRUE(comm.send_object(list.get(), 1, 0).is_ok());
+        } else {
+          vm::Obj list = nullptr;
+          ASSERT_TRUE(comm.recv_object(0, 0, &list).is_ok());
+          ASSERT_NE(list, nullptr);
+          EXPECT_EQ((vm::get_field<std::int32_t>(
+                        list, types.node->field_named("id")->offset())),
+                    0);
+        }
+      });
+}
+
+TEST(MpiJavaTest, DeepListStackOverflows) {
+  // The Figure 10 failure: mpiJava dies past 1024 objects.
+  run_two_hosted_ranks(
+      vm::RuntimeProfile::uncosted(),
+      [](vm::Vm& vm, vm::ManagedThread& thread, mpi::RankCtx& ctx) {
+        if (ctx.comm_world().rank() != 0) return;
+        ListTypes types(vm);
+        MpiJavaCommunicator comm(vm, thread, ctx.comm_world());
+        vm::GcRoot list(thread, types.make_list(vm, thread, 1024));
+        EXPECT_EQ(comm.send_object(list.get(), 1, 0).code(),
+                  ErrorCode::kStackOverflow);
+      });
+}
+
+TEST(PureManagedTest, ByteArrayRoundTrip) {
+  run_two_hosted_ranks(
+      vm::RuntimeProfile::uncosted(),
+      [](vm::Vm& vm, vm::ManagedThread& thread, mpi::RankCtx& ctx) {
+        PureManagedCommunicator comm(vm, thread, ctx.comm_world());
+        const vm::MethodTable* bytes =
+            vm.types().primitive_array(vm::ElementKind::kUInt8);
+        vm::GcRoot arr(thread, vm.heap().alloc_array(bytes, 100));
+        if (comm.rank() == 0) {
+          for (int i = 0; i < 100; ++i) {
+            vm::set_element<std::uint8_t>(arr.get(),
+                                          i, static_cast<std::uint8_t>(i));
+          }
+          ASSERT_TRUE(comm.send(arr.get(), 1, 0).is_ok());
+        } else {
+          ASSERT_TRUE(comm.recv(arr.get(), 0, 0).is_ok());
+          EXPECT_EQ((vm::get_element<std::uint8_t>(arr.get(), 42)), 42);
+        }
+        EXPECT_GT(comm.managed_element_copies(), 99u);
+      });
+}
+
+TEST(NativePingPongTest, ProducesPlausibleTiming) {
+  PingPongSpec spec;
+  spec.warmup_iterations = 10;
+  spec.timed_iterations = 20;
+  spec.repeats = 1;
+  const double us = native_pingpong_us(1024, spec);
+  EXPECT_GT(us, 0.0);
+  EXPECT_LT(us, 100'000.0);  // sanity: sub-0.1s per round trip
+}
+
+}  // namespace
+}  // namespace motor::baselines

@@ -1,0 +1,113 @@
+#include "common/buffer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+namespace motor {
+namespace {
+
+TEST(ByteBufferTest, StartsEmpty) {
+  ByteBuffer buf;
+  EXPECT_TRUE(buf.empty());
+  EXPECT_EQ(buf.size(), 0u);
+  EXPECT_EQ(buf.remaining(), 0u);
+}
+
+TEST(ByteBufferTest, PutGetRoundTripScalars) {
+  ByteBuffer buf;
+  buf.put_u8(0xAB);
+  buf.put_u16(0xBEEF);
+  buf.put_u32(0xDEADBEEFu);
+  buf.put_u64(0x0123456789ABCDEFull);
+  buf.put_i32(-42);
+  buf.put_i64(-1234567890123ll);
+  buf.put(3.5);
+  buf.put(2.25f);
+
+  std::uint8_t u8;
+  std::uint16_t u16;
+  std::uint32_t u32;
+  std::uint64_t u64;
+  std::int32_t i32;
+  std::int64_t i64;
+  double d;
+  float f;
+  ASSERT_TRUE(buf.get(u8).is_ok());
+  ASSERT_TRUE(buf.get(u16).is_ok());
+  ASSERT_TRUE(buf.get(u32).is_ok());
+  ASSERT_TRUE(buf.get(u64).is_ok());
+  ASSERT_TRUE(buf.get(i32).is_ok());
+  ASSERT_TRUE(buf.get(i64).is_ok());
+  ASSERT_TRUE(buf.get(d).is_ok());
+  ASSERT_TRUE(buf.get(f).is_ok());
+  EXPECT_EQ(u8, 0xAB);
+  EXPECT_EQ(u16, 0xBEEF);
+  EXPECT_EQ(u32, 0xDEADBEEFu);
+  EXPECT_EQ(u64, 0x0123456789ABCDEFull);
+  EXPECT_EQ(i32, -42);
+  EXPECT_EQ(i64, -1234567890123ll);
+  EXPECT_DOUBLE_EQ(d, 3.5);
+  EXPECT_FLOAT_EQ(f, 2.25f);
+  EXPECT_EQ(buf.remaining(), 0u);
+}
+
+TEST(ByteBufferTest, UnderrunReportsSerializationError) {
+  ByteBuffer buf;
+  buf.put_u16(7);
+  std::uint32_t v;
+  Status st = buf.get(v);
+  EXPECT_EQ(st.code(), ErrorCode::kSerialization);
+}
+
+TEST(ByteBufferTest, AppendAndReadRaw) {
+  ByteBuffer buf;
+  const char text[] = "hello, fabric";
+  buf.append_raw(text, sizeof text);
+  char out[sizeof text];
+  ASSERT_TRUE(buf.read(as_writable_bytes_of(out, sizeof out)).is_ok());
+  EXPECT_STREQ(out, text);
+}
+
+TEST(ByteBufferTest, OverwriteBackpatchesLengthSlot) {
+  ByteBuffer buf;
+  buf.put_u32(0);  // placeholder
+  buf.put_u64(99);
+  buf.overwrite_at(0, std::uint32_t{12});
+  std::uint32_t len;
+  ASSERT_TRUE(buf.get(len).is_ok());
+  EXPECT_EQ(len, 12u);
+}
+
+TEST(ByteBufferTest, SeekRewindsCursor) {
+  ByteBuffer buf;
+  buf.put_u32(1);
+  buf.put_u32(2);
+  EXPECT_EQ(buf.get_or_die<std::uint32_t>(), 1u);
+  buf.seek(0);
+  EXPECT_EQ(buf.get_or_die<std::uint32_t>(), 1u);
+  EXPECT_EQ(buf.get_or_die<std::uint32_t>(), 2u);
+}
+
+TEST(ByteBufferTest, SeekPastEndFatals) {
+  ByteBuffer buf;
+  buf.put_u8(1);
+  EXPECT_THROW(buf.seek(2), FatalError);
+}
+
+TEST(ByteBufferTest, ClearResetsCursorAndSize) {
+  ByteBuffer buf;
+  buf.put_u64(5);
+  buf.get_or_die<std::uint32_t>();
+  buf.clear();
+  EXPECT_TRUE(buf.empty());
+  EXPECT_EQ(buf.cursor(), 0u);
+}
+
+TEST(ByteBufferTest, GetOrDieOnEmptyFatals) {
+  ByteBuffer buf;
+  EXPECT_THROW(buf.get_or_die<std::uint8_t>(), FatalError);
+}
+
+}  // namespace
+}  // namespace motor

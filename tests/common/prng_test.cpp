@@ -1,0 +1,70 @@
+#include "common/prng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace motor {
+namespace {
+
+TEST(PrngTest, DeterministicForSameSeed) {
+  Prng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(PrngTest, DifferentSeedsDiverge) {
+  Prng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next_u64() == b.next_u64()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(PrngTest, NextBelowRespectsBound) {
+  Prng p(7);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(p.next_below(17), 17u);
+  }
+  EXPECT_EQ(p.next_below(0), 0u);
+  EXPECT_EQ(p.next_below(1), 0u);
+}
+
+TEST(PrngTest, NextInCoversInclusiveRange) {
+  Prng p(9);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 2000; ++i) seen.insert(p.next_in(-3, 3));
+  EXPECT_EQ(seen.size(), 7u);
+  EXPECT_EQ(*seen.begin(), -3);
+  EXPECT_EQ(*seen.rbegin(), 3);
+}
+
+TEST(PrngTest, NextDoubleInUnitInterval) {
+  Prng p(11);
+  for (int i = 0; i < 10000; ++i) {
+    const double d = p.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(PrngTest, BernoulliRoughlyCalibrated) {
+  Prng p(13);
+  int hits = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    if (p.next_bool(0.25)) ++hits;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.25, 0.02);
+}
+
+TEST(PrngTest, ReseedRestartsSequence) {
+  Prng p(5);
+  const auto first = p.next_u64();
+  p.next_u64();
+  p.reseed(5);
+  EXPECT_EQ(p.next_u64(), first);
+}
+
+}  // namespace
+}  // namespace motor

@@ -1,0 +1,49 @@
+#include "common/status.hpp"
+
+#include <gtest/gtest.h>
+
+namespace motor {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status st;
+  EXPECT_TRUE(st.is_ok());
+  EXPECT_EQ(st.code(), ErrorCode::kSuccess);
+  EXPECT_EQ(st.to_string(), "kSuccess");
+}
+
+TEST(StatusTest, ErrorCarriesMessage) {
+  Status st(ErrorCode::kTruncate, "buffer too small (16 < 64)");
+  EXPECT_FALSE(st.is_ok());
+  EXPECT_EQ(st.code(), ErrorCode::kTruncate);
+  EXPECT_EQ(st.to_string(), "kTruncate: buffer too small (16 < 64)");
+}
+
+TEST(StatusTest, EqualityComparesCodesOnly) {
+  EXPECT_EQ(Status(ErrorCode::kNoMem, "a"), Status(ErrorCode::kNoMem, "b"));
+  EXPECT_FALSE(Status(ErrorCode::kNoMem) == Status(ErrorCode::kTagError));
+}
+
+TEST(StatusTest, EveryCodeHasAName) {
+  for (int c = 0; c <= static_cast<int>(ErrorCode::kInternal); ++c) {
+    EXPECT_NE(error_code_name(static_cast<ErrorCode>(c)), "<unknown>");
+  }
+}
+
+TEST(StatusTest, FatalThrowsFatalError) {
+  EXPECT_THROW(fatal("test", "boom"), FatalError);
+  try {
+    fatal("gc", "heap corruption");
+  } catch (const FatalError& e) {
+    EXPECT_NE(std::string(e.what()).find("gc"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("heap corruption"), std::string::npos);
+  }
+}
+
+TEST(StatusTest, CheckMacroPassesAndFails) {
+  EXPECT_NO_THROW(MOTOR_CHECK(1 + 1 == 2, "arithmetic"));
+  EXPECT_THROW(MOTOR_CHECK(false, "always fails"), FatalError);
+}
+
+}  // namespace
+}  // namespace motor

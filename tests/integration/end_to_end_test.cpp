@@ -1,0 +1,271 @@
+// Whole-stack integration: Motor ranks exercising GC + pinning + MPI +
+// serialization together, cross-implementation interop over one MPI core,
+// and multi-thread/VM stress.
+#include <gtest/gtest.h>
+
+#include "baselines/indiana_bindings.hpp"
+#include "motor/motor_runtime.hpp"
+#include "mpi/collectives.hpp"
+
+namespace motor {
+namespace {
+
+using mp::MotorContext;
+using mp::MotorWorldConfig;
+
+MotorWorldConfig config(int ranks = 2, std::size_t young = 128 * 1024) {
+  MotorWorldConfig c;
+  c.ranks = ranks;
+  c.vm.profile = vm::RuntimeProfile::uncosted();
+  c.vm.heap.young_bytes = young;
+  return c;
+}
+
+TEST(EndToEndTest, PingPongUnderConstantGcPressure) {
+  // Allocate garbage between every exchange in a tiny nursery: many
+  // collections happen mid-stream; data must stay intact throughout.
+  run_motor_world(config(2, 64 * 1024), [](MotorContext& ctx) {
+    const vm::MethodTable* ints =
+        ctx.vm().types().primitive_array(vm::ElementKind::kInt32);
+    const int peer = 1 - ctx.rank();
+    for (int round = 0; round < 30; ++round) {
+      vm::GcRoot arr(ctx.thread(), ctx.vm().heap().alloc_array(ints, 128));
+      if (ctx.rank() == 0) {
+        for (int i = 0; i < 128; ++i) {
+          vm::set_element<std::int32_t>(arr.get(), i, round * 1000 + i);
+        }
+        ASSERT_TRUE(ctx.mp().Send(arr.get(), peer, round).is_ok());
+      } else {
+        ASSERT_TRUE(ctx.mp().Recv(arr.get(), peer, round).is_ok());
+        EXPECT_EQ((vm::get_element<std::int32_t>(arr.get(), 77)),
+                  round * 1000 + 77);
+      }
+      // Garbage to force collections.
+      for (int g = 0; g < 20; ++g) {
+        ctx.vm().heap().alloc_array(ints, 200);
+      }
+    }
+    EXPECT_GT(ctx.vm().heap().stats().collections, 0u);
+    ctx.vm().heap().verify_heap();
+    ctx.mp().Barrier();
+  });
+}
+
+TEST(EndToEndTest, OoTransportUnderGcPressure) {
+  run_motor_world(config(2, 96 * 1024), [](MotorContext& ctx) {
+    auto& ts = ctx.vm().types();
+    const vm::MethodTable* ints =
+        ts.primitive_array(vm::ElementKind::kInt32);
+    const vm::MethodTable* node =
+        ts.define_class("Node")
+            .ref_field("data", ints, true)
+            .ref_field("next", ts.object_type(), true)
+            .field("id", vm::ElementKind::kInt32)
+            .build();
+    const int peer = 1 - ctx.rank();
+
+    for (int round = 0; round < 10; ++round) {
+      if (ctx.rank() == 0) {
+        vm::GcRoot head(ctx.thread(), nullptr);
+        for (int i = 7; i >= 0; --i) {
+          vm::GcRoot arr(ctx.thread(), ctx.vm().heap().alloc_array(ints, 8));
+          vm::set_element<std::int32_t>(arr.get(), 0, round * 100 + i);
+          vm::Obj n = ctx.vm().heap().alloc_object(node);
+          vm::set_ref_field(n, 0, arr.get());
+          vm::set_ref_field(n, 8, head.get());
+          vm::set_field<std::int32_t>(n, 16, i);
+          head.set(n);
+        }
+        ASSERT_TRUE(ctx.mp().OSend(head.get(), peer, round).is_ok());
+      } else {
+        vm::Obj head = ctx.mp().ORecv(peer, round);
+        ASSERT_NE(head, nullptr);
+        vm::GcRoot list(ctx.thread(), head);
+        // Interleave allocation storms with verification.
+        for (int g = 0; g < 30; ++g) ctx.vm().heap().alloc_array(ints, 100);
+        vm::Obj cur = list.get();
+        for (int i = 0; i < 8; ++i) {
+          ASSERT_NE(cur, nullptr);
+          EXPECT_EQ((vm::get_field<std::int32_t>(cur, 16)), i);
+          if (i == 0) {
+            vm::Obj data = vm::get_ref_field(cur, 0);
+            EXPECT_EQ((vm::get_element<std::int32_t>(data, 0)),
+                      round * 100);
+          }
+          cur = vm::get_ref_field(cur, 8);
+        }
+      }
+    }
+    ctx.vm().heap().verify_heap();
+    ctx.mp().Barrier();
+  });
+}
+
+TEST(EndToEndTest, MotorAndIndianaInteroperateOverOneCore) {
+  // Both bindings sit on the same Message Passing Core, so a Motor rank
+  // can talk to an Indiana-hosted rank — the architecture claim of
+  // Figure 1/2 made concrete.
+  mpi::World world(2);
+  world.run([](mpi::RankCtx& rank_ctx) {
+    vm::VmConfig vc;
+    vc.profile = vm::RuntimeProfile::uncosted();
+    vm::Vm vm(vc);
+    vm::ManagedThread thread(vm);
+    const vm::MethodTable* ints =
+        vm.types().primitive_array(vm::ElementKind::kInt32);
+    vm::GcRoot arr(thread, vm.heap().alloc_array(ints, 16));
+
+    if (rank_ctx.comm_world().rank() == 0) {
+      mp::MPDirect motor(vm, thread, rank_ctx.comm_world());
+      for (int i = 0; i < 16; ++i) {
+        vm::set_element<std::int32_t>(arr.get(), i, 900 + i);
+      }
+      ASSERT_TRUE(motor.send(arr.get(), 1, 3).is_ok());
+    } else {
+      baselines::IndianaCommunicator indiana(vm, thread,
+                                             rank_ctx.comm_world());
+      ASSERT_TRUE(indiana.recv(arr.get(), 0, 3).is_ok());
+      EXPECT_EQ((vm::get_element<std::int32_t>(arr.get(), 15)), 915);
+    }
+  });
+}
+
+TEST(EndToEndTest, FourRankOoScatterComputeGather) {
+  // Scatter an object array, transform locally, gather back — a miniature
+  // of the data-parallel pattern the OO operations exist for.
+  run_motor_world(config(4, 256 * 1024), [](MotorContext& ctx) {
+    auto& ts = ctx.vm().types();
+    const vm::MethodTable* ints = ts.primitive_array(vm::ElementKind::kInt32);
+    const vm::MethodTable* cell =
+        ts.define_class("Cell")
+            .ref_field("values", ints, true)
+            .field("owner", vm::ElementKind::kInt32)
+            .build();
+    const vm::MethodTable* cells = ts.ref_array(cell);
+
+    vm::GcRoot input(ctx.thread(), nullptr);
+    if (ctx.rank() == 0) {
+      input.set(ctx.vm().heap().alloc_array(cells, 8));
+      for (int i = 0; i < 8; ++i) {
+        vm::GcRoot v(ctx.thread(), ctx.vm().heap().alloc_array(ints, 2));
+        vm::set_element<std::int32_t>(v.get(), 0, i);
+        vm::Obj c = ctx.vm().heap().alloc_object(cell);
+        vm::set_ref_field(c, 0, v.get());
+        vm::set_ref_element(input.get(), i, c);
+      }
+    }
+    vm::Obj mine = nullptr;
+    ASSERT_TRUE(ctx.mp().OScatter(input.get(), 0, &mine).is_ok());
+    vm::GcRoot mine_root(ctx.thread(), mine);
+    ASSERT_EQ(vm::array_length(mine_root.get()), 2);
+
+    // Transform: stamp ownership, double the value.
+    for (int i = 0; i < 2; ++i) {
+      vm::Obj c = vm::get_ref_element(mine_root.get(), i);
+      vm::set_field<std::int32_t>(c, 8, ctx.rank());
+      vm::Obj v = vm::get_ref_field(c, 0);
+      vm::set_element<std::int32_t>(
+          v, 1, vm::get_element<std::int32_t>(v, 0) * 2);
+    }
+
+    vm::Obj merged = nullptr;
+    ASSERT_TRUE(ctx.mp().OGather(mine_root.get(), 0, &merged).is_ok());
+    if (ctx.rank() == 0) {
+      ASSERT_EQ(vm::array_length(merged), 8);
+      for (int i = 0; i < 8; ++i) {
+        vm::Obj c = vm::get_ref_element(merged, i);
+        EXPECT_EQ((vm::get_field<std::int32_t>(c, 8)), i / 2);  // owner
+        vm::Obj v = vm::get_ref_field(c, 0);
+        EXPECT_EQ((vm::get_element<std::int32_t>(v, 1)), i * 2);
+      }
+    }
+  });
+}
+
+TEST(EndToEndTest, SecondManagedThreadForcesGcDuringTransfers) {
+  // A second managed thread on each rank's VM allocates aggressively,
+  // triggering collections the MPI thread only sees at its poll points;
+  // pinning must keep every in-flight buffer coherent.
+  run_motor_world(config(2, 64 * 1024), [](MotorContext& ctx) {
+    std::atomic<bool> stop{false};
+    vm::Vm* vm_ptr = &ctx.vm();
+    pal::Thread allocator("alloc", [vm_ptr, &stop] {
+      vm::ManagedThread t(*vm_ptr);
+      const vm::MethodTable* ints =
+          vm_ptr->types().primitive_array(vm::ElementKind::kInt32);
+      while (!stop) {
+        for (int i = 0; i < 10; ++i) vm_ptr->heap().alloc_array(ints, 64);
+        t.poll_gc();
+      }
+    });
+
+    const vm::MethodTable* ints =
+        ctx.vm().types().primitive_array(vm::ElementKind::kInt32);
+    const int peer = 1 - ctx.rank();
+    for (int round = 0; round < 20; ++round) {
+      vm::GcRoot arr(ctx.thread(), ctx.vm().heap().alloc_array(ints, 512));
+      if (ctx.rank() == 0) {
+        for (int i = 0; i < 512; ++i) {
+          vm::set_element<std::int32_t>(arr.get(), i, round + i);
+        }
+        ASSERT_TRUE(ctx.mp().Ssend(arr.get(), peer, round).is_ok());
+      } else {
+        ASSERT_TRUE(ctx.mp().Recv(arr.get(), peer, round).is_ok());
+        for (int i = 0; i < 512; i += 61) {
+          EXPECT_EQ((vm::get_element<std::int32_t>(arr.get(), i)), round + i);
+        }
+      }
+    }
+    stop = true;
+    {
+      // Joining a thread is a blocking native call: enter preemptive mode
+      // so the allocator can finish a collection that is waiting for this
+      // thread to park (the CLR pattern for blocking waits).
+      vm::NativeRegion native(ctx.vm().safepoints());
+      allocator.join();
+    }
+    ctx.vm().heap().verify_heap();
+    ctx.mp().Barrier();
+  });
+}
+
+TEST(EndToEndTest, SpawnedRanksRunMotorVms) {
+  // MPI-2 dynamic process management under Motor: children get their own
+  // VMs and exchange objects with parents over the intercommunicator.
+  mpi::World world(1);
+  world.run([](mpi::RankCtx& parent_ctx) {
+    mpi::Comm inter =
+        mpi::spawn(parent_ctx.comm_world(), 0, 2, [](mpi::RankCtx& child) {
+          vm::VmConfig vc;
+          vc.profile = vm::RuntimeProfile::uncosted();
+          vm::Vm vm(vc);
+          vm::ManagedThread thread(vm);
+          mp::MPDirect mp(vm, thread, child.parent());
+          const vm::MethodTable* ints =
+              vm.types().primitive_array(vm::ElementKind::kInt32);
+          vm::GcRoot arr(thread, vm.heap().alloc_array(ints, 4));
+          vm::set_element<std::int32_t>(arr.get(), 0,
+                                        child.comm_world().rank() * 5);
+          ASSERT_TRUE(mp.send(arr.get(), 0, 0).is_ok());
+        });
+
+    vm::VmConfig vc;
+    vc.profile = vm::RuntimeProfile::uncosted();
+    vm::Vm vm(vc);
+    vm::ManagedThread thread(vm);
+    mp::MPDirect mp(vm, thread, inter);
+    const vm::MethodTable* ints =
+        vm.types().primitive_array(vm::ElementKind::kInt32);
+    int sum = 0;
+    for (int child = 0; child < 2; ++child) {
+      vm::GcRoot arr(thread, vm.heap().alloc_array(ints, 4));
+      mp::MpStatus st;
+      ASSERT_TRUE(mp.recv(arr.get(), child, 0, &st).is_ok());
+      sum += vm::get_element<std::int32_t>(arr.get(), 0);
+    }
+    EXPECT_EQ(sum, 0 + 5);
+  });
+}
+
+}  // namespace
+}  // namespace motor

@@ -1,0 +1,168 @@
+// Failure-injection sweeps: deserializers fed damaged inputs must fail
+// with clean Status errors — never corrupt the heap, never crash the
+// runtime. (The whole point of the integrity story, §2.4: a hostile or
+// damaged buffer must not be able to break the object model.)
+#include <gtest/gtest.h>
+
+#include "common/prng.hpp"
+#include "motor/motor_serializer.hpp"
+#include "vm/cli_serializer.hpp"
+#include "vm/handles.hpp"
+#include "vm/java_serializer.hpp"
+#include "vm/vm.hpp"
+
+namespace motor {
+namespace {
+
+struct Fixture {
+  vm::Vm vm;
+  vm::ManagedThread thread;
+  const vm::MethodTable* ints;
+  const vm::MethodTable* node;
+
+  Fixture()
+      : vm([] {
+          vm::VmConfig c;
+          c.profile = vm::RuntimeProfile::uncosted();
+          c.heap.young_bytes = 1 << 20;
+          return c;
+        }()),
+        thread(vm) {
+    ints = vm.types().primitive_array(vm::ElementKind::kInt32);
+    node = vm.types()
+               .define_class("FNode")
+               .transportable()
+               .ref_field("data", ints, true)
+               .ref_field("next", vm.types().object_type(), true)
+               .field("id", vm::ElementKind::kInt32)
+               .build();
+  }
+
+  vm::Obj make_list(int n) {
+    vm::GcRoot head(thread, nullptr);
+    for (int i = 0; i < n; ++i) {
+      vm::GcRoot arr(thread, vm.heap().alloc_array(ints, 3));
+      vm::Obj x = vm.heap().alloc_object(node);
+      vm::set_ref_field(x, 0, arr.get());
+      vm::set_ref_field(x, 8, head.get());
+      head.set(x);
+    }
+    return head.get();
+  }
+};
+
+class TruncationFuzzTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(TruncationFuzzTest, TruncatedStreamsFailCleanly) {
+  Fixture f;
+  Prng prng(GetParam());
+  vm::GcRoot list(f.thread, f.make_list(static_cast<int>(prng.next_in(1, 20))));
+
+  mp::MotorSerializer motor_ser(f.vm);
+  vm::CliBinarySerializer cli_ser(f.vm);
+  vm::JavaSerializer java_ser(f.vm);
+
+  ByteBuffer full;
+  ASSERT_TRUE(motor_ser.serialize(list.get(), full).is_ok());
+  ByteBuffer cli_full;
+  ASSERT_TRUE(cli_ser.serialize(list.get(), cli_full).is_ok());
+  ByteBuffer java_full;
+  ASSERT_TRUE(java_ser.serialize(list.get(), java_full).is_ok());
+
+  // Every strict prefix must be rejected without heap damage.
+  for (int trial = 0; trial < 16; ++trial) {
+    {
+      ByteBuffer cut;
+      cut.append(full.span().first(prng.next_below(full.size())));
+      vm::Obj out = nullptr;
+      EXPECT_FALSE(motor_ser.deserialize(cut, f.thread, &out).is_ok());
+    }
+    {
+      ByteBuffer cut;
+      cut.append(cli_full.span().first(prng.next_below(cli_full.size())));
+      vm::Obj out = nullptr;
+      EXPECT_FALSE(cli_ser.deserialize(cut, f.thread, &out).is_ok());
+    }
+    {
+      ByteBuffer cut;
+      cut.append(java_full.span().first(prng.next_below(java_full.size())));
+      vm::Obj out = nullptr;
+      EXPECT_FALSE(java_ser.deserialize(cut, f.thread, &out).is_ok());
+    }
+  }
+  f.vm.heap().collect();
+  f.vm.heap().verify_heap();  // the heap survived every rejection intact
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TruncationFuzzTest,
+                         ::testing::Range<std::uint64_t>(1, 9));
+
+TEST(FuzzTest, UnknownTypeNameRejected) {
+  Fixture sender;
+  vm::GcRoot list(sender.thread, sender.make_list(3));
+  mp::MotorSerializer ser(sender.vm);
+  ByteBuffer buf;
+  ASSERT_TRUE(ser.serialize(list.get(), buf).is_ok());
+
+  // A receiver VM that never defined FNode.
+  vm::VmConfig cfg;
+  cfg.profile = vm::RuntimeProfile::uncosted();
+  vm::Vm receiver(cfg);
+  vm::ManagedThread thread(receiver);
+  mp::MotorSerializer rser(receiver);
+  buf.seek(0);
+  vm::Obj out = nullptr;
+  const Status st = rser.deserialize(buf, thread, &out);
+  EXPECT_EQ(st.code(), ErrorCode::kSerialization);
+  receiver.heap().verify_heap();
+}
+
+TEST(FuzzTest, OutOfRangeObjectRefRejected) {
+  Fixture f;
+  vm::GcRoot list(f.thread, f.make_list(2));
+  mp::MotorSerializer ser(f.vm);
+  ByteBuffer buf;
+  ASSERT_TRUE(ser.serialize(list.get(), buf).is_ok());
+
+  // Corrupt every plausible 4-byte window into a huge object index and
+  // require a clean failure or a clean success (a flip may land in pure
+  // payload bytes) — but never a crash or heap corruption.
+  Prng prng(77);
+  for (int trial = 0; trial < 64; ++trial) {
+    ByteBuffer evil;
+    evil.append(buf.span());
+    const std::size_t at = 8 + prng.next_below(evil.size() - 12);
+    evil.overwrite_at(at, std::int32_t{0x7FFFFFF0});
+    vm::Obj out = nullptr;
+    (void)ser.deserialize(evil, f.thread, &out);  // status may be either
+  }
+  f.vm.heap().collect();
+  f.vm.heap().verify_heap();
+}
+
+TEST(FuzzTest, EmptyAndGarbageHeadersRejectedEverywhere) {
+  Fixture f;
+  mp::MotorSerializer motor_ser(f.vm);
+  vm::CliBinarySerializer cli_ser(f.vm);
+  vm::JavaSerializer java_ser(f.vm);
+
+  ByteBuffer empty;
+  vm::Obj out = nullptr;
+  EXPECT_FALSE(motor_ser.deserialize(empty, f.thread, &out).is_ok());
+  empty.clear();
+  EXPECT_FALSE(cli_ser.deserialize(empty, f.thread, &out).is_ok());
+  empty.clear();
+  EXPECT_FALSE(java_ser.deserialize(empty, f.thread, &out).is_ok());
+
+  ByteBuffer garbage;
+  for (int i = 0; i < 64; ++i) garbage.put_u8(static_cast<std::uint8_t>(i));
+  garbage.seek(0);
+  EXPECT_FALSE(motor_ser.deserialize(garbage, f.thread, &out).is_ok());
+  garbage.seek(0);
+  EXPECT_FALSE(cli_ser.deserialize(garbage, f.thread, &out).is_ok());
+  garbage.seek(0);
+  EXPECT_FALSE(java_ser.deserialize(garbage, f.thread, &out).is_ok());
+}
+
+}  // namespace
+}  // namespace motor

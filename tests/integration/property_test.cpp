@@ -1,0 +1,282 @@
+// Property-style sweeps (TEST_P) over randomized workloads:
+//   * serializer equivalence: all three serializers round-trip identical
+//     random graphs to isomorphic results;
+//   * transport identity: random payloads arrive bit-identical across
+//     every binding, for any size and channel kind;
+//   * GC invariance: random mutation/collection interleavings keep the
+//     heap verifiable and reachable data intact.
+#include <gtest/gtest.h>
+
+#include "baselines/indiana_bindings.hpp"
+#include "common/prng.hpp"
+#include "motor/motor_runtime.hpp"
+#include "vm/cli_serializer.hpp"
+#include "vm/java_serializer.hpp"
+
+namespace motor {
+namespace {
+
+struct GraphTypes {
+  const vm::MethodTable* ints;
+  const vm::MethodTable* node;
+  const vm::MethodTable* node_array;
+
+  explicit GraphTypes(vm::Vm& vm) {
+    ints = vm.types().primitive_array(vm::ElementKind::kInt32);
+    node = vm.types()
+               .define_class("GNode")
+               .ref_field("data", ints, true)
+               .ref_field("left", vm.types().object_type(), true)
+               .ref_field("right", vm.types().object_type(), true)
+               .field("tag", vm::ElementKind::kInt64)
+               .build();
+    node_array = vm.types().ref_array(node);
+  }
+};
+
+/// Random DAG (possibly with shared nodes and cycles) of `n` nodes.
+vm::Obj make_random_graph(vm::Vm& vm, vm::ManagedThread& thread,
+                          const GraphTypes& t, Prng& prng, int n) {
+  vm::RootRange nodes(thread);
+  for (int i = 0; i < n; ++i) {
+    vm::GcRoot data(thread,
+                    vm.heap().alloc_array(t.ints, prng.next_in(0, 6)));
+    for (std::int64_t k = 0; k < vm::array_length(data.get()); ++k) {
+      vm::set_element<std::int32_t>(
+          data.get(), k, static_cast<std::int32_t>(prng.next_u64()));
+    }
+    vm::Obj x = vm.heap().alloc_object(t.node);
+    vm::set_ref_field(x, t.node->field_named("data")->offset(), data.get());
+    vm::set_field<std::int64_t>(x, t.node->field_named("tag")->offset(),
+                                static_cast<std::int64_t>(i));
+    nodes.add(x);
+  }
+  // Random edges among already-created nodes (cycles allowed: edges may
+  // point anywhere).
+  for (int i = 0; i < n; ++i) {
+    vm::Obj x = nodes.at(static_cast<std::size_t>(i));
+    if (prng.next_bool(0.7)) {
+      vm::set_ref_field(x, t.node->field_named("left")->offset(),
+                        nodes.at(prng.next_below(static_cast<std::uint64_t>(n))));
+    }
+    if (prng.next_bool(0.7)) {
+      vm::set_ref_field(x, t.node->field_named("right")->offset(),
+                        nodes.at(prng.next_below(static_cast<std::uint64_t>(n))));
+    }
+  }
+  return nodes.at(0);
+}
+
+/// Structural equality up to isomorphism (parallel DFS with a visited map).
+bool graphs_equal(const GraphTypes& t, vm::Obj a, vm::Obj b) {
+  std::unordered_map<vm::Obj, vm::Obj> paired;
+  std::vector<std::pair<vm::Obj, vm::Obj>> work{{a, b}};
+  while (!work.empty()) {
+    auto [x, y] = work.back();
+    work.pop_back();
+    if (x == nullptr || y == nullptr) {
+      if (x != y) return false;
+      continue;
+    }
+    auto it = paired.find(x);
+    if (it != paired.end()) {
+      if (it->second != y) return false;
+      continue;
+    }
+    paired.emplace(x, y);
+    if (vm::obj_mt(x)->name() != vm::obj_mt(y)->name()) return false;
+    if (vm::obj_mt(x)->is_array()) {
+      if (vm::array_length(x) != vm::array_length(y)) return false;
+      if (vm::obj_mt(x)->element_kind() == vm::ElementKind::kObjectRef) {
+        for (std::int64_t i = 0; i < vm::array_length(x); ++i) {
+          work.emplace_back(vm::get_ref_element(x, i),
+                            vm::get_ref_element(y, i));
+        }
+      } else if (std::memcmp(vm::array_data(x), vm::array_data(y),
+                             vm::array_payload_bytes(x)) != 0) {
+        return false;
+      }
+      continue;
+    }
+    const auto tag_off = t.node->field_named("tag")->offset();
+    if (vm::get_field<std::int64_t>(x, tag_off) !=
+        vm::get_field<std::int64_t>(y, tag_off)) {
+      return false;
+    }
+    for (const char* f : {"data", "left", "right"}) {
+      const auto off = t.node->field_named(f)->offset();
+      work.emplace_back(vm::get_ref_field(x, off), vm::get_ref_field(y, off));
+    }
+  }
+  return true;
+}
+
+vm::VmConfig uncosted_vm() {
+  vm::VmConfig c;
+  c.profile = vm::RuntimeProfile::uncosted();
+  c.heap.young_bytes = 1 << 20;
+  return c;
+}
+
+class SerializerPropertyTest : public ::testing::TestWithParam<std::uint64_t> {
+};
+
+TEST_P(SerializerPropertyTest, AllSerializersRoundTripRandomGraphs) {
+  vm::Vm vm(uncosted_vm());
+  vm::ManagedThread thread(vm);
+  GraphTypes types(vm);
+  Prng prng(GetParam());
+  const int n = static_cast<int>(prng.next_in(1, 60));
+  vm::GcRoot graph(thread, make_random_graph(vm, thread, types, prng, n));
+
+  // Motor serializer (both visited modes).
+  for (mp::VisitedMode mode :
+       {mp::VisitedMode::kLinear, mp::VisitedMode::kHashed}) {
+    mp::MotorSerializer ser(vm, mode);
+    ByteBuffer buf;
+    ASSERT_TRUE(ser.serialize(graph.get(), buf).is_ok());
+    buf.seek(0);
+    vm::Obj copy = nullptr;
+    ASSERT_TRUE(ser.deserialize(buf, thread, &copy).is_ok());
+    EXPECT_TRUE(graphs_equal(types, graph.get(), copy));
+  }
+  // CLI serializer.
+  {
+    vm::CliBinarySerializer ser(vm);
+    ByteBuffer buf;
+    ASSERT_TRUE(ser.serialize(graph.get(), buf).is_ok());
+    buf.seek(0);
+    vm::Obj copy = nullptr;
+    ASSERT_TRUE(ser.deserialize(buf, thread, &copy).is_ok());
+    EXPECT_TRUE(graphs_equal(types, graph.get(), copy));
+  }
+  // Java serializer (graphs here are < recursion limit).
+  {
+    vm::JavaSerializer ser(vm);
+    ByteBuffer buf;
+    ASSERT_TRUE(ser.serialize(graph.get(), buf).is_ok());
+    buf.seek(0);
+    vm::Obj copy = nullptr;
+    ASSERT_TRUE(ser.deserialize(buf, thread, &copy).is_ok());
+    EXPECT_TRUE(graphs_equal(types, graph.get(), copy));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SerializerPropertyTest,
+                         ::testing::Range<std::uint64_t>(1, 21));
+
+class GcPropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(GcPropertyTest, RandomMutationAndCollectionKeepsHeapCoherent) {
+  vm::VmConfig cfg = uncosted_vm();
+  cfg.heap.young_bytes = 32 * 1024;
+  cfg.heap.elder_sweep_interval = 2;
+  vm::Vm vm(cfg);
+  vm::ManagedThread thread(vm);
+  GraphTypes types(vm);
+  Prng prng(GetParam());
+
+  vm::RootRange keep(thread);
+  std::vector<std::int64_t> expected_tags;
+  for (int step = 0; step < 300; ++step) {
+    const double dice = prng.next_double();
+    if (dice < 0.5) {
+      // Allocate and keep.
+      vm::Obj x = vm.heap().alloc_object(types.node);
+      const auto tag = static_cast<std::int64_t>(prng.next_u64() >> 1);
+      vm::set_field(x, types.node->field_named("tag")->offset(), tag);
+      keep.add(x);
+      expected_tags.push_back(tag);
+    } else if (dice < 0.8) {
+      // Garbage allocation.
+      vm.heap().alloc_array(types.ints,
+                            static_cast<std::int64_t>(prng.next_below(200)));
+    } else if (dice < 0.9 && keep.size() >= 2) {
+      // Random re-linking between kept nodes (may form cycles).
+      vm::Obj from = keep.at(prng.next_below(keep.size()));
+      vm::Obj to = keep.at(prng.next_below(keep.size()));
+      vm::set_ref_field(from, types.node->field_named("left")->offset(), to);
+    } else if (dice < 0.95) {
+      vm.heap().collect();
+    } else if (keep.size() > 0) {
+      // Pin something briefly across a collection.
+      vm::Obj victim = keep.at(prng.next_below(keep.size()));
+      vm.heap().pin(victim);
+      vm.heap().collect();
+      vm.heap().unpin(victim);
+    }
+  }
+  vm.heap().collect(/*force_elder_sweep=*/true);
+  vm.heap().verify_heap();
+  for (std::size_t i = 0; i < keep.size(); ++i) {
+    EXPECT_EQ(vm::get_field<std::int64_t>(
+                  keep.at(i), types.node->field_named("tag")->offset()),
+              expected_tags[i]);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GcPropertyTest,
+                         ::testing::Range<std::uint64_t>(100, 112));
+
+struct TransportCase {
+  std::uint64_t seed;
+  std::size_t bytes;
+  transport::ChannelKind kind;
+};
+
+class TransportPropertyTest : public ::testing::TestWithParam<TransportCase> {
+};
+
+TEST_P(TransportPropertyTest, PayloadArrivesBitIdenticalViaEveryBinding) {
+  const TransportCase tc = GetParam();
+  mpi::WorldConfig wc;
+  wc.channel = tc.kind;
+  mpi::World world(2, wc);
+  world.run([&tc](mpi::RankCtx& ctx) {
+    vm::Vm vm(uncosted_vm());
+    vm::ManagedThread thread(vm);
+    const vm::MethodTable* bytes_mt =
+        vm.types().primitive_array(vm::ElementKind::kUInt8);
+    const auto n = static_cast<std::int64_t>(tc.bytes);
+    vm::GcRoot arr(thread, vm.heap().alloc_array(bytes_mt, n));
+
+    Prng prng(tc.seed);
+    if (ctx.comm_world().rank() == 0) {
+      for (std::int64_t i = 0; i < n; ++i) {
+        vm::set_element<std::uint8_t>(
+            arr.get(), i, static_cast<std::uint8_t>(prng.next_u64()));
+      }
+      mp::MPDirect motor(vm, thread, ctx.comm_world());
+      ASSERT_TRUE(motor.send(arr.get(), 1, 0).is_ok());
+    } else {
+      baselines::IndianaCommunicator indiana(vm, thread, ctx.comm_world());
+      ASSERT_TRUE(indiana.recv(arr.get(), 0, 0).is_ok());
+      for (std::int64_t i = 0; i < n; ++i) {
+        ASSERT_EQ((vm::get_element<std::uint8_t>(arr.get(), i)),
+                  static_cast<std::uint8_t>(prng.next_u64()))
+            << "byte " << i;
+      }
+    }
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SizesAndChannels, TransportPropertyTest,
+    ::testing::Values(
+        TransportCase{1, 1, transport::ChannelKind::kRing},
+        TransportCase{2, 100, transport::ChannelKind::kRing},
+        TransportCase{3, 4096, transport::ChannelKind::kRing},
+        TransportCase{4, 70000, transport::ChannelKind::kRing},
+        TransportCase{5, 300000, transport::ChannelKind::kRing},
+        TransportCase{6, 100, transport::ChannelKind::kStream},
+        TransportCase{7, 70000, transport::ChannelKind::kStream},
+        TransportCase{8, 300000, transport::ChannelKind::kStream}),
+    [](const auto& info) {
+      return "s" + std::to_string(info.param.seed) + "_b" +
+             std::to_string(info.param.bytes) + "_" +
+             (info.param.kind == transport::ChannelKind::kRing ? "ring"
+                                                               : "stream");
+    });
+
+}  // namespace
+}  // namespace motor

@@ -1,0 +1,212 @@
+// End-to-end System.MP bindings over two Motor ranks: the §4.2.1 surface.
+#include "motor/motor_runtime.hpp"
+
+#include "vm/assembler.hpp"
+
+#include <gtest/gtest.h>
+
+namespace motor::mp {
+namespace {
+
+MotorWorldConfig test_config() {
+  MotorWorldConfig c;
+  c.vm.profile = vm::RuntimeProfile::uncosted();
+  c.vm.heap.young_bytes = 256 * 1024;
+  return c;
+}
+
+vm::Obj make_ints(MotorContext& ctx, int n, int base) {
+  const vm::MethodTable* mt =
+      ctx.vm().types().primitive_array(vm::ElementKind::kInt32);
+  vm::Obj arr = ctx.vm().heap().alloc_array(mt, n);
+  for (int i = 0; i < n; ++i) {
+    vm::set_element<std::int32_t>(arr, i, base + i);
+  }
+  return arr;
+}
+
+TEST(BindingsTest, SendRecvPrimitiveArray) {
+  run_motor_world(test_config(), [](MotorContext& ctx) {
+    vm::GcRoot arr(ctx.thread(), make_ints(ctx, 16, ctx.rank() == 0 ? 100 : 0));
+    if (ctx.rank() == 0) {
+      ASSERT_TRUE(ctx.mp().Send(arr.get(), 1, 5).is_ok());
+    } else {
+      MpStatus st;
+      ASSERT_TRUE(ctx.mp().Recv(arr.get(), 0, 5, &st).is_ok());
+      EXPECT_EQ(st.source, 0);
+      EXPECT_EQ(st.tag, 5);
+      EXPECT_EQ(st.count_bytes, 64);
+      for (int i = 0; i < 16; ++i) {
+        EXPECT_EQ((vm::get_element<std::int32_t>(arr.get(), i)), 100 + i);
+      }
+    }
+  });
+}
+
+TEST(BindingsTest, SendRecvValueObject) {
+  run_motor_world(test_config(), [](MotorContext& ctx) {
+    const vm::MethodTable* mt = ctx.vm()
+                                    .types()
+                                    .define_class("Sample")
+                                    .field("a", vm::ElementKind::kDouble)
+                                    .field("b", vm::ElementKind::kInt64)
+                                    .build();
+    vm::GcRoot obj(ctx.thread(), ctx.vm().heap().alloc_object(mt));
+    if (ctx.rank() == 0) {
+      vm::set_field(obj.get(), 0, 3.25);
+      vm::set_field<std::int64_t>(obj.get(), 8, -99);
+      ASSERT_TRUE(ctx.mp().Send(obj.get(), 1, 0).is_ok());
+    } else {
+      ASSERT_TRUE(ctx.mp().Recv(obj.get(), 0, 0).is_ok());
+      EXPECT_DOUBLE_EQ(vm::get_field<double>(obj.get(), 0), 3.25);
+      EXPECT_EQ(vm::get_field<std::int64_t>(obj.get(), 8), -99);
+    }
+  });
+}
+
+TEST(BindingsTest, ReferenceTypeRejectedByRegularSend) {
+  run_motor_world(test_config(), [](MotorContext& ctx) {
+    const vm::MethodTable* mt =
+        ctx.vm()
+            .types()
+            .define_class("Reffy")
+            .ref_field("r", ctx.vm().types().object_type())
+            .build();
+    vm::GcRoot obj(ctx.thread(), ctx.vm().heap().alloc_object(mt));
+    // Both ranks observe the rejection locally; nothing is transmitted.
+    EXPECT_EQ(ctx.mp().Send(obj.get(), 1 - ctx.rank(), 0).code(),
+              ErrorCode::kIntegrity);
+  });
+}
+
+TEST(BindingsTest, ArrayWindowOverloads) {
+  run_motor_world(test_config(), [](MotorContext& ctx) {
+    vm::GcRoot arr(ctx.thread(), make_ints(ctx, 20, ctx.rank() == 0 ? 0 : -1));
+    if (ctx.rank() == 0) {
+      ASSERT_TRUE(ctx.mp().Send(arr.get(), 5, 10, 1, 0).is_ok());
+    } else {
+      MpStatus st;
+      ASSERT_TRUE(ctx.mp().Recv(arr.get(), 3, 10, 0, 0, &st).is_ok());
+      EXPECT_EQ(st.count_bytes, 40);
+      // Elements [5,15) of the sender landed at [3,13) here.
+      for (int i = 0; i < 10; ++i) {
+        EXPECT_EQ((vm::get_element<std::int32_t>(arr.get(), 3 + i)), 5 + i);
+      }
+      // Elements outside the receive window keep their initial -1+i fill.
+      EXPECT_EQ((vm::get_element<std::int32_t>(arr.get(), 0)), -1);
+      EXPECT_EQ((vm::get_element<std::int32_t>(arr.get(), 13)), -1 + 13);
+    }
+  });
+}
+
+TEST(BindingsTest, SsendAndWildcardRecv) {
+  run_motor_world(test_config(), [](MotorContext& ctx) {
+    vm::GcRoot arr(ctx.thread(), make_ints(ctx, 4, 7));
+    if (ctx.rank() == 0) {
+      ASSERT_TRUE(ctx.mp().Ssend(arr.get(), 1, 9).is_ok());
+    } else {
+      MpStatus st;
+      ASSERT_TRUE(ctx.mp().Recv(arr.get(), kAnySource, kAnyTag, &st).is_ok());
+      EXPECT_EQ(st.source, 0);
+      EXPECT_EQ(st.tag, 9);
+    }
+  });
+}
+
+TEST(BindingsTest, NonBlockingRoundTrip) {
+  run_motor_world(test_config(), [](MotorContext& ctx) {
+    vm::GcRoot arr(ctx.thread(), make_ints(ctx, 64, ctx.rank() * 1000));
+    const int peer = 1 - ctx.rank();
+    MPRequest s = ctx.mp().ISend(arr.get(), peer, 1);
+    vm::GcRoot in(ctx.thread(), make_ints(ctx, 64, 0));
+    MPRequest r = ctx.mp().IRecv(in.get(), peer, 1);
+    ASSERT_TRUE(s.valid());
+    ASSERT_TRUE(r.valid());
+    ASSERT_TRUE(ctx.mp().Wait(s).is_ok());
+    MpStatus st;
+    ASSERT_TRUE(ctx.mp().Wait(r, &st).is_ok());
+    EXPECT_EQ(st.source, peer);
+    EXPECT_EQ((vm::get_element<std::int32_t>(in.get(), 3)), peer * 1000 + 3);
+  });
+}
+
+TEST(BindingsTest, TestPollsToCompletion) {
+  run_motor_world(test_config(), [](MotorContext& ctx) {
+    vm::GcRoot arr(ctx.thread(), make_ints(ctx, 8, ctx.rank()));
+    const int peer = 1 - ctx.rank();
+    MPRequest s = ctx.mp().ISend(arr.get(), peer, 2);
+    vm::GcRoot in(ctx.thread(), make_ints(ctx, 8, -5));
+    MPRequest r = ctx.mp().IRecv(in.get(), peer, 2);
+    while (!ctx.mp().Test(r)) {
+    }
+    EXPECT_EQ((vm::get_element<std::int32_t>(in.get(), 0)), peer);
+    ctx.mp().Wait(s);
+  });
+}
+
+TEST(BindingsTest, BarrierAndBcast) {
+  run_motor_world(test_config(), [](MotorContext& ctx) {
+    ASSERT_TRUE(ctx.mp().Barrier().is_ok());
+    vm::GcRoot arr(ctx.thread(), make_ints(ctx, 6, ctx.rank() == 0 ? 50 : 0));
+    ASSERT_TRUE(ctx.mp().Bcast(arr.get(), 0).is_ok());
+    for (int i = 0; i < 6; ++i) {
+      EXPECT_EQ((vm::get_element<std::int32_t>(arr.get(), i)), 50 + i);
+    }
+  });
+}
+
+TEST(BindingsTest, EveryOperationCrossesTheFCallBoundary) {
+  run_motor_world(test_config(), [](MotorContext& ctx) {
+    vm::GcRoot arr(ctx.thread(), make_ints(ctx, 4, 0));
+    const int peer = 1 - ctx.rank();
+    if (ctx.rank() == 0) {
+      ctx.mp().Send(arr.get(), peer, 0);
+    } else {
+      ctx.mp().Recv(arr.get(), peer, 0);
+    }
+    ctx.mp().Barrier();
+    EXPECT_EQ(ctx.mp().direct().fcall_invocations(), 2u);
+  });
+}
+
+TEST(BindingsTest, InterpretedProgramUsesMpFCalls) {
+  // Managed bytecode calling System.MP through InternalCall — the Figure 8
+  // path: managed Recv -> MPDirect InternalCall -> runtime FCall.
+  run_motor_world(test_config(), [](MotorContext& ctx) {
+    const int first = ctx.register_mp_fcalls();
+    const int send_idx = ctx.vm().fcalls().find("MP.Send");
+    const int recv_idx = ctx.vm().fcalls().find("MP.Recv");
+    ASSERT_GE(first, 0);
+    ASSERT_GE(send_idx, 0);
+    ASSERT_GE(recv_idx, 0);
+
+    const vm::MethodTable* ints =
+        ctx.vm().types().primitive_array(vm::ElementKind::kInt32);
+    vm::Program p;
+    const int arr_type = p.add_type(ints);
+
+    vm::MethodAssembler a("main", 2, 1);  // args: my rank, peer
+    const int receiver = a.new_label();
+    const int done = a.new_label();
+    a.ldc_i4(8).newarr(arr_type).stloc(2);
+    a.ldloc(0).brtrue(receiver);  // rank != 0 -> receive
+    // rank 0: arr[0] = 777; MP.Send(arr, peer, 3)
+    a.ldloc(2).ldc_i4(0).ldc_i4(777).stelem();
+    a.ldloc(2).ldloc(1).ldc_i4(3).call_native(send_idx, 3).pop();
+    a.br(done);
+    a.bind(receiver);
+    a.ldloc(2).ldloc(1).ldc_i4(3).call_native(recv_idx, 3).pop();
+    a.bind(done);
+    a.ldloc(2).ldc_i4(0).ldelem().ret();
+    p.add_method(a.build());
+
+    vm::Interpreter interp(ctx.vm(), ctx.thread());
+    const vm::Value args[] = {vm::Value::from_i32(ctx.rank()),
+                              vm::Value::from_i32(1 - ctx.rank())};
+    const vm::Value result = interp.invoke(p, 0, args);
+    EXPECT_EQ(result.i32, ctx.rank() == 0 ? 777 : 777);
+  });
+}
+
+}  // namespace
+}  // namespace motor::mp

@@ -1,0 +1,130 @@
+// System.MP communicator management (Dup/Split) and probe operations.
+#include <gtest/gtest.h>
+
+#include "motor/motor_runtime.hpp"
+
+namespace motor::mp {
+namespace {
+
+MotorWorldConfig test_config(int ranks = 2) {
+  MotorWorldConfig c;
+  c.ranks = ranks;
+  c.vm.profile = vm::RuntimeProfile::uncosted();
+  return c;
+}
+
+vm::Obj make_ints(MotorContext& ctx, int n, int base) {
+  const vm::MethodTable* mt =
+      ctx.vm().types().primitive_array(vm::ElementKind::kInt32);
+  vm::Obj arr = ctx.vm().heap().alloc_array(mt, n);
+  for (int i = 0; i < n; ++i) {
+    vm::set_element<std::int32_t>(arr, i, base + i);
+  }
+  return arr;
+}
+
+TEST(CommMgmtTest, DupIsolatesTagSpaces) {
+  run_motor_world(test_config(), [](MotorContext& ctx) {
+    Communicator dup = ctx.mp().Dup();
+    EXPECT_EQ(dup.Rank(), ctx.rank());
+    EXPECT_EQ(dup.Size(), 2);
+
+    vm::GcRoot arr(ctx.thread(), make_ints(ctx, 4, ctx.rank()));
+    if (ctx.rank() == 0) {
+      // Same (dest, tag) on both communicators: contexts must keep the
+      // messages apart.
+      vm::GcRoot on_dup(ctx.thread(), make_ints(ctx, 4, 100));
+      ASSERT_TRUE(dup.Send(on_dup.get(), 1, 0).is_ok());
+      vm::GcRoot on_world(ctx.thread(), make_ints(ctx, 4, 200));
+      ASSERT_TRUE(ctx.mp().Send(on_world.get(), 1, 0).is_ok());
+    } else {
+      ASSERT_TRUE(ctx.mp().Recv(arr.get(), 0, 0).is_ok());
+      EXPECT_EQ((vm::get_element<std::int32_t>(arr.get(), 0)), 200);
+      ASSERT_TRUE(dup.Recv(arr.get(), 0, 0).is_ok());
+      EXPECT_EQ((vm::get_element<std::int32_t>(arr.get(), 0)), 100);
+    }
+  });
+}
+
+TEST(CommMgmtTest, SplitFormsWorkingSubCommunicators) {
+  run_motor_world(test_config(4), [](MotorContext& ctx) {
+    Communicator half = ctx.mp().Split(ctx.rank() / 2, ctx.rank());
+    ASSERT_FALSE(half.IsNull());
+    EXPECT_EQ(half.Size(), 2);
+    EXPECT_EQ(half.Rank(), ctx.rank() % 2);
+
+    // Exchange within each half only.
+    vm::GcRoot arr(ctx.thread(), make_ints(ctx, 2, ctx.rank() * 10));
+    const int peer = 1 - half.Rank();
+    if (half.Rank() == 0) {
+      ASSERT_TRUE(half.Send(arr.get(), peer, 0).is_ok());
+    } else {
+      ASSERT_TRUE(half.Recv(arr.get(), peer, 0).is_ok());
+      // Received from the even rank of my pair.
+      EXPECT_EQ((vm::get_element<std::int32_t>(arr.get(), 0)),
+                (ctx.rank() - 1) * 10);
+    }
+    ctx.mp().Barrier();
+  });
+}
+
+TEST(CommMgmtTest, SplitNegativeColorYieldsNull) {
+  run_motor_world(test_config(2), [](MotorContext& ctx) {
+    Communicator sub = ctx.mp().Split(ctx.rank() == 0 ? 0 : -1, 0);
+    if (ctx.rank() == 0) {
+      ASSERT_FALSE(sub.IsNull());
+      EXPECT_EQ(sub.Size(), 1);
+    } else {
+      EXPECT_TRUE(sub.IsNull());
+    }
+  });
+}
+
+TEST(CommMgmtTest, ProbeSeesEnvelopeThenRecv) {
+  run_motor_world(test_config(), [](MotorContext& ctx) {
+    if (ctx.rank() == 0) {
+      vm::GcRoot arr(ctx.thread(), make_ints(ctx, 12, 5));
+      ASSERT_TRUE(ctx.mp().Send(arr.get(), 1, 9).is_ok());
+    } else {
+      MpStatus st;
+      ASSERT_TRUE(ctx.mp().Probe(0, 9, &st).is_ok());
+      EXPECT_EQ(st.source, 0);
+      EXPECT_EQ(st.tag, 9);
+      EXPECT_EQ(st.count_bytes, 48);
+      // Allocate exactly the announced size, then receive.
+      const vm::MethodTable* ints =
+          ctx.vm().types().primitive_array(vm::ElementKind::kInt32);
+      vm::GcRoot arr(ctx.thread(),
+                     ctx.vm().heap().alloc_array(ints, st.count_bytes / 4));
+      ASSERT_TRUE(ctx.mp().Recv(arr.get(), 0, 9).is_ok());
+      EXPECT_EQ((vm::get_element<std::int32_t>(arr.get(), 11)), 16);
+    }
+  });
+}
+
+TEST(CommMgmtTest, IProbeNonBlocking) {
+  run_motor_world(test_config(), [](MotorContext& ctx) {
+    EXPECT_FALSE(ctx.mp().IProbe(1 - ctx.rank(), 77));
+    ctx.mp().Barrier();
+  });
+}
+
+TEST(CommMgmtTest, OoOpsWorkOnDupAndSplit) {
+  run_motor_world(test_config(4), [](MotorContext& ctx) {
+    const vm::MethodTable* ints =
+        ctx.vm().types().primitive_array(vm::ElementKind::kInt32);
+    Communicator half = ctx.mp().Split(ctx.rank() / 2, ctx.rank());
+    vm::GcRoot arr(ctx.thread(), nullptr);
+    if (half.Rank() == 0) {
+      arr.set(make_ints(ctx, 6, ctx.rank()));
+    }
+    vm::Obj mine = nullptr;
+    ASSERT_TRUE(half.OScatter(arr.get(), 0, &mine).is_ok());
+    ASSERT_EQ(vm::array_length(mine), 3);
+    (void)ints;
+    ctx.mp().Barrier();
+  });
+}
+
+}  // namespace
+}  // namespace motor::mp

@@ -1,0 +1,126 @@
+// Object-model integrity rules of the regular Motor bindings (§2.4/§4.2.1).
+#include "motor/integrity.hpp"
+
+#include <gtest/gtest.h>
+
+#include "vm/handles.hpp"
+#include "vm/vm.hpp"
+
+namespace motor::mp {
+namespace {
+
+class IntegrityTest : public ::testing::Test {
+ protected:
+  IntegrityTest() : vm_(config()), thread_(vm_) {}
+  static vm::VmConfig config() {
+    vm::VmConfig c;
+    c.profile = vm::RuntimeProfile::uncosted();
+    return c;
+  }
+  vm::Vm vm_;
+  vm::ManagedThread thread_;
+};
+
+TEST_F(IntegrityTest, PlainValueClassAllowed) {
+  const vm::MethodTable* mt = vm_.types()
+                                  .define_class("Particle")
+                                  .field("x", vm::ElementKind::kDouble)
+                                  .field("y", vm::ElementKind::kDouble)
+                                  .field("charge", vm::ElementKind::kInt32)
+                                  .build();
+  EXPECT_TRUE(check_transport_type(mt).is_ok());
+
+  vm::Obj obj = vm_.heap().alloc_object(mt);
+  TransportView view;
+  ASSERT_TRUE(transport_view(obj, &view).is_ok());
+  EXPECT_EQ(view.bytes, mt->instance_bytes());
+  EXPECT_EQ(view.data, vm::obj_data(obj));
+}
+
+TEST_F(IntegrityTest, ClassWithReferencesRejected) {
+  const vm::MethodTable* mt =
+      vm_.types()
+          .define_class("Holder")
+          .ref_field("payload", vm_.types().object_type())
+          .build();
+  EXPECT_EQ(check_transport_type(mt).code(), ErrorCode::kIntegrity);
+
+  vm::Obj obj = vm_.heap().alloc_object(mt);
+  TransportView view;
+  EXPECT_EQ(transport_view(obj, &view).code(), ErrorCode::kIntegrity);
+}
+
+TEST_F(IntegrityTest, PrimitiveArraysAllowed) {
+  const vm::MethodTable* mt =
+      vm_.types().primitive_array(vm::ElementKind::kDouble);
+  vm::Obj arr = vm_.heap().alloc_array(mt, 8);
+  TransportView view;
+  ASSERT_TRUE(transport_view(arr, &view).is_ok());
+  EXPECT_EQ(view.bytes, 64u);
+  EXPECT_EQ(view.data, vm::array_data(arr));
+}
+
+TEST_F(IntegrityTest, MultidimensionalArrayAllowed) {
+  // The CLI true-MD-array selling point (§3): one contiguous object.
+  const vm::MethodTable* mt =
+      vm_.types().primitive_array(vm::ElementKind::kFloat, 3);
+  vm::Obj arr = vm_.heap().alloc_md_array(mt, {2, 3, 4});
+  TransportView view;
+  ASSERT_TRUE(transport_view(arr, &view).is_ok());
+  EXPECT_EQ(view.bytes, 2u * 3u * 4u * sizeof(float));
+}
+
+TEST_F(IntegrityTest, ReferenceArrayRejected) {
+  const vm::MethodTable* arr_mt =
+      vm_.types().ref_array(vm_.types().object_type());
+  vm::Obj arr = vm_.heap().alloc_array(arr_mt, 4);
+  TransportView view;
+  EXPECT_EQ(transport_view(arr, &view).code(), ErrorCode::kIntegrity);
+}
+
+TEST_F(IntegrityTest, NullObjectRejected) {
+  TransportView view;
+  EXPECT_EQ(transport_view(nullptr, &view).code(), ErrorCode::kBufferError);
+}
+
+TEST_F(IntegrityTest, ArrayWindowInBounds) {
+  const vm::MethodTable* mt =
+      vm_.types().primitive_array(vm::ElementKind::kInt32);
+  vm::Obj arr = vm_.heap().alloc_array(mt, 10);
+  TransportView view;
+  ASSERT_TRUE(transport_view_array(arr, 2, 5, &view).is_ok());
+  EXPECT_EQ(view.bytes, 20u);
+  EXPECT_EQ(view.data, vm::array_data(arr) + 8);
+}
+
+TEST_F(IntegrityTest, ArrayWindowOverrunRejected) {
+  // "Overwrite the end of an object, corrupting the object header ... of
+  // the next object" — exactly what the bounds check prevents.
+  const vm::MethodTable* mt =
+      vm_.types().primitive_array(vm::ElementKind::kInt32);
+  vm::Obj arr = vm_.heap().alloc_array(mt, 10);
+  TransportView view;
+  EXPECT_EQ(transport_view_array(arr, 6, 5, &view).code(),
+            ErrorCode::kCountError);
+  EXPECT_EQ(transport_view_array(arr, -1, 5, &view).code(),
+            ErrorCode::kCountError);
+  EXPECT_EQ(transport_view_array(arr, 0, 11, &view).code(),
+            ErrorCode::kCountError);
+}
+
+TEST_F(IntegrityTest, OffsetIntoNonArrayRejected) {
+  // "Transporting portions of objects or offsetting into an object is not
+  // supported" (§4.2.1).
+  const vm::MethodTable* mt = vm_.types()
+                                  .define_class("Blob")
+                                  .field("a", vm::ElementKind::kInt64)
+                                  .field("b", vm::ElementKind::kInt64)
+                                  .build();
+  vm::Obj obj = vm_.heap().alloc_object(mt);
+  TransportView view;
+  EXPECT_EQ(transport_view_array(obj, 0, 1, &view).code(),
+            ErrorCode::kIntegrity);
+}
+
+}  // namespace
+}  // namespace motor::mp

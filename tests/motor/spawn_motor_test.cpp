@@ -1,0 +1,104 @@
+// Transparent process management (the paper's §9 future work, implemented
+// as an extension): spawned ranks transparently receive complete Motor
+// runtimes and talk to parents via their own System.MP communicators.
+#include <gtest/gtest.h>
+
+#include "motor/motor_runtime.hpp"
+
+namespace motor::mp {
+namespace {
+
+MotorWorldConfig test_config(int ranks = 1) {
+  MotorWorldConfig c;
+  c.ranks = ranks;
+  c.vm.profile = vm::RuntimeProfile::uncosted();
+  return c;
+}
+
+TEST(SpawnMotorTest, WorkersGetTransparentRuntimes) {
+  std::atomic<int> workers_ran{0};
+  run_motor_world(test_config(1), [&workers_ran](MotorContext& ctx) {
+    EXPECT_FALSE(ctx.has_parent());
+
+    Communicator inter = spawn_motor_workers(
+        ctx, /*root=*/0, /*n_workers=*/2,
+        [&workers_ran](MotorContext& worker) {
+          ++workers_ran;
+          ASSERT_TRUE(worker.has_parent());
+          // The worker's runtime is fully initialized: allocate, collect,
+          // then OSend a tree to the parent with zero extra setup.
+          auto& ts = worker.vm().types();
+          const vm::MethodTable* ints =
+              ts.primitive_array(vm::ElementKind::kInt32);
+          const vm::MethodTable* node =
+              ts.define_class("Result")
+                  .transportable()
+                  .ref_field("data", ints, true)
+                  .field("worker", vm::ElementKind::kInt32)
+                  .build();
+          vm::GcRoot data(worker.thread(),
+                          worker.vm().heap().alloc_array(ints, 3));
+          for (int i = 0; i < 3; ++i) {
+            vm::set_element<std::int32_t>(data.get(), i,
+                                          worker.rank() * 10 + i);
+          }
+          vm::GcRoot result(worker.thread(),
+                            worker.vm().heap().alloc_object(node));
+          vm::set_ref_field(result.get(), 0, data.get());
+          vm::set_field<std::int32_t>(result.get(), 8, worker.rank());
+          worker.vm().heap().collect();  // worker GC is live too
+          ASSERT_TRUE(
+              worker.parent_mp().OSend(result.get(), 0, 0).is_ok());
+        });
+
+    // Parent: receive both results over the intercommunicator.
+    const vm::MethodTable* ints =
+        ctx.vm().types().primitive_array(vm::ElementKind::kInt32);
+    const vm::MethodTable* node =
+        ctx.vm()
+            .types()
+            .define_class("Result")
+            .transportable()
+            .ref_field("data", ints, true)
+            .field("worker", vm::ElementKind::kInt32)
+            .build();
+    (void)node;
+    int worker_sum = 0;
+    for (int i = 0; i < 2; ++i) {
+      MpStatus st;
+      vm::Obj result = inter.ORecv(kAnySource, 0, &st);
+      ASSERT_NE(result, nullptr);
+      const auto worker_id = vm::get_field<std::int32_t>(result, 8);
+      worker_sum += worker_id;
+      vm::Obj data = vm::get_ref_field(result, 0);
+      EXPECT_EQ((vm::get_element<std::int32_t>(data, 2)), worker_id * 10 + 2);
+    }
+    EXPECT_EQ(worker_sum, 0 + 1);
+  });
+  EXPECT_EQ(workers_ran.load(), 2);
+}
+
+TEST(SpawnMotorTest, SpawnIsCollectiveOverParents) {
+  run_motor_world(test_config(2), [](MotorContext& ctx) {
+    Communicator inter = spawn_motor_workers(
+        ctx, 0, 2, [](MotorContext& worker) {
+          // Worker i pings parent i.
+          const vm::MethodTable* ints =
+              worker.vm().types().primitive_array(vm::ElementKind::kInt32);
+          vm::GcRoot arr(worker.thread(),
+                         worker.vm().heap().alloc_array(ints, 1));
+          vm::set_element<std::int32_t>(arr.get(), 0, worker.rank() + 40);
+          ASSERT_TRUE(
+              worker.parent_mp().Send(arr.get(), worker.rank(), 0).is_ok());
+        });
+    EXPECT_EQ(inter.Size(), 2);  // local (parent) group
+    const vm::MethodTable* ints =
+        ctx.vm().types().primitive_array(vm::ElementKind::kInt32);
+    vm::GcRoot arr(ctx.thread(), ctx.vm().heap().alloc_array(ints, 1));
+    ASSERT_TRUE(inter.Recv(arr.get(), ctx.rank(), 0).is_ok());
+    EXPECT_EQ((vm::get_element<std::int32_t>(arr.get(), 0)), ctx.rank() + 40);
+  });
+}
+
+}  // namespace
+}  // namespace motor::mp

@@ -1,0 +1,219 @@
+#include "mpi/collectives.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "mpi/world.hpp"
+
+namespace motor::mpi {
+namespace {
+
+// Most collectives are verified across several world sizes, including
+// non-powers-of-two, which exercise the tree/ring algorithms' edge paths.
+class CollectiveSizeTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(CollectiveSizeTest, BarrierCompletes) {
+  World world(GetParam());
+  world.run([](RankCtx& ctx) {
+    for (int i = 0; i < 5; ++i) {
+      EXPECT_EQ(barrier(ctx.comm_world()), ErrorCode::kSuccess);
+    }
+  });
+}
+
+TEST_P(CollectiveSizeTest, BcastFromEveryRoot) {
+  const int n = GetParam();
+  World world(n);
+  world.run([n](RankCtx& ctx) {
+    Comm& comm = ctx.comm_world();
+    for (int root = 0; root < n; ++root) {
+      std::vector<std::int32_t> buf(17, comm.rank() == root ? root * 7 : -1);
+      ASSERT_EQ(bcast(comm, buf.data(), buf.size() * sizeof(std::int32_t), root),
+                ErrorCode::kSuccess);
+      for (auto v : buf) EXPECT_EQ(v, root * 7);
+    }
+  });
+}
+
+TEST_P(CollectiveSizeTest, ScatterDistributesBlocks) {
+  const int n = GetParam();
+  World world(n);
+  world.run([n](RankCtx& ctx) {
+    Comm& comm = ctx.comm_world();
+    constexpr int kPer = 3;
+    std::vector<std::int32_t> send;
+    if (comm.rank() == 0) {
+      send.resize(static_cast<std::size_t>(n * kPer));
+      std::iota(send.begin(), send.end(), 0);
+    }
+    std::vector<std::int32_t> recv(kPer, -1);
+    ASSERT_EQ(scatter(comm, send.data(), kPer * sizeof(std::int32_t),
+                      recv.data(), 0),
+              ErrorCode::kSuccess);
+    for (int i = 0; i < kPer; ++i) {
+      EXPECT_EQ(recv[static_cast<std::size_t>(i)], comm.rank() * kPer + i);
+    }
+  });
+}
+
+TEST_P(CollectiveSizeTest, GatherCollectsBlocks) {
+  const int n = GetParam();
+  World world(n);
+  world.run([n](RankCtx& ctx) {
+    Comm& comm = ctx.comm_world();
+    const std::int32_t mine[2] = {comm.rank(), comm.rank() * 10};
+    std::vector<std::int32_t> all;
+    if (comm.rank() == 0) all.resize(static_cast<std::size_t>(2 * n), -1);
+    ASSERT_EQ(gather(comm, mine, sizeof mine, all.data(), 0),
+              ErrorCode::kSuccess);
+    if (comm.rank() == 0) {
+      for (int r = 0; r < n; ++r) {
+        EXPECT_EQ(all[static_cast<std::size_t>(2 * r)], r);
+        EXPECT_EQ(all[static_cast<std::size_t>(2 * r + 1)], r * 10);
+      }
+    }
+  });
+}
+
+TEST_P(CollectiveSizeTest, AllgatherGivesEveryoneEverything) {
+  const int n = GetParam();
+  World world(n);
+  world.run([n](RankCtx& ctx) {
+    Comm& comm = ctx.comm_world();
+    const std::int32_t mine = comm.rank() + 100;
+    std::vector<std::int32_t> all(static_cast<std::size_t>(n), -1);
+    ASSERT_EQ(allgather(comm, &mine, sizeof mine, all.data()),
+              ErrorCode::kSuccess);
+    for (int r = 0; r < n; ++r) {
+      EXPECT_EQ(all[static_cast<std::size_t>(r)], r + 100);
+    }
+  });
+}
+
+TEST_P(CollectiveSizeTest, ReduceSumMatchesSerialReference) {
+  const int n = GetParam();
+  World world(n);
+  world.run([n](RankCtx& ctx) {
+    Comm& comm = ctx.comm_world();
+    std::vector<std::int64_t> contrib{comm.rank() + 1, comm.rank() * 2, 7};
+    std::vector<std::int64_t> out(3, 0);
+    ASSERT_EQ(reduce(comm, contrib.data(), out.data(), 3, Datatype::kInt64,
+                     ReduceOp::kSum, 0),
+              ErrorCode::kSuccess);
+    if (comm.rank() == 0) {
+      EXPECT_EQ(out[0], static_cast<std::int64_t>(n) * (n + 1) / 2);
+      EXPECT_EQ(out[1], static_cast<std::int64_t>(n) * (n - 1));
+      EXPECT_EQ(out[2], 7 * n);
+    }
+  });
+}
+
+TEST_P(CollectiveSizeTest, AllreduceMaxAgreesEverywhere) {
+  const int n = GetParam();
+  World world(n);
+  world.run([n](RankCtx& ctx) {
+    Comm& comm = ctx.comm_world();
+    const double mine = static_cast<double>((comm.rank() * 37) % n);
+    double best = -1;
+    ASSERT_EQ(allreduce(comm, &mine, &best, 1, Datatype::kDouble,
+                        ReduceOp::kMax),
+              ErrorCode::kSuccess);
+    double expected = 0;
+    for (int r = 0; r < n; ++r) {
+      expected = std::max(expected, static_cast<double>((r * 37) % n));
+    }
+    EXPECT_DOUBLE_EQ(best, expected);
+  });
+}
+
+TEST_P(CollectiveSizeTest, AlltoallTransposesBlocks) {
+  const int n = GetParam();
+  World world(n);
+  world.run([n](RankCtx& ctx) {
+    Comm& comm = ctx.comm_world();
+    std::vector<std::int32_t> send(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i) {
+      send[static_cast<std::size_t>(i)] = comm.rank() * 1000 + i;
+    }
+    std::vector<std::int32_t> recv(static_cast<std::size_t>(n), -1);
+    ASSERT_EQ(alltoall(comm, send.data(), sizeof(std::int32_t), recv.data()),
+              ErrorCode::kSuccess);
+    for (int i = 0; i < n; ++i) {
+      EXPECT_EQ(recv[static_cast<std::size_t>(i)], i * 1000 + comm.rank());
+    }
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(WorldSizes, CollectiveSizeTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 8));
+
+TEST(CollectivesTest, ScattervHandlesUnevenBlocks) {
+  World world(3);
+  world.run([](RankCtx& ctx) {
+    Comm& comm = ctx.comm_world();
+    // Rank r receives r+1 ints.
+    std::vector<std::size_t> counts{1 * sizeof(std::int32_t),
+                                    2 * sizeof(std::int32_t),
+                                    3 * sizeof(std::int32_t)};
+    std::vector<std::size_t> displs{0, counts[0], counts[0] + counts[1]};
+    std::vector<std::int32_t> send{10, 20, 21, 30, 31, 32};
+    std::vector<std::int32_t> recv(static_cast<std::size_t>(comm.rank() + 1));
+    ASSERT_EQ(scatterv(comm, send.data(), counts, displs, recv.data(),
+                       recv.size() * sizeof(std::int32_t), 0),
+              ErrorCode::kSuccess);
+    for (int i = 0; i <= comm.rank(); ++i) {
+      EXPECT_EQ(recv[static_cast<std::size_t>(i)], (comm.rank() + 1) * 10 + i);
+    }
+  });
+}
+
+TEST(CollectivesTest, GathervReassemblesUnevenBlocks) {
+  World world(3);
+  world.run([](RankCtx& ctx) {
+    Comm& comm = ctx.comm_world();
+    std::vector<std::int32_t> mine(static_cast<std::size_t>(comm.rank() + 1));
+    for (int i = 0; i <= comm.rank(); ++i) {
+      mine[static_cast<std::size_t>(i)] = (comm.rank() + 1) * 10 + i;
+    }
+    std::vector<std::size_t> counts{1 * sizeof(std::int32_t),
+                                    2 * sizeof(std::int32_t),
+                                    3 * sizeof(std::int32_t)};
+    std::vector<std::size_t> displs{0, counts[0], counts[0] + counts[1]};
+    std::vector<std::int32_t> all(6, -1);
+    ASSERT_EQ(gatherv(comm, mine.data(), mine.size() * sizeof(std::int32_t),
+                      all.data(), counts, displs, 0),
+              ErrorCode::kSuccess);
+    if (comm.rank() == 0) {
+      EXPECT_EQ(all, (std::vector<std::int32_t>{10, 20, 21, 30, 31, 32}));
+    }
+  });
+}
+
+TEST(CollectivesTest, LargePayloadBcastUsesRendezvousPath) {
+  World world(2);
+  world.run([](RankCtx& ctx) {
+    Comm& comm = ctx.comm_world();
+    std::vector<std::uint8_t> buf(300 * 1024);
+    if (comm.rank() == 0) {
+      for (std::size_t i = 0; i < buf.size(); ++i) {
+        buf[i] = static_cast<std::uint8_t>(i * 31);
+      }
+    }
+    ASSERT_EQ(bcast(comm, buf.data(), buf.size(), 0), ErrorCode::kSuccess);
+    for (std::size_t i = 0; i < buf.size(); i += 997) {
+      EXPECT_EQ(buf[i], static_cast<std::uint8_t>(i * 31));
+    }
+  });
+}
+
+TEST(CollectivesTest, NullCommReturnsCommError) {
+  Comm null_comm;
+  std::int32_t v = 0;
+  EXPECT_EQ(bcast(null_comm, &v, sizeof v, 0), ErrorCode::kCommError);
+  EXPECT_EQ(barrier(null_comm), ErrorCode::kCommError);
+}
+
+}  // namespace
+}  // namespace motor::mpi

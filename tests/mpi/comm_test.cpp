@@ -1,0 +1,137 @@
+#include "mpi/comm.hpp"
+
+#include <gtest/gtest.h>
+
+#include "mpi/collectives.hpp"
+#include "mpi/pt2pt.hpp"
+#include "mpi/world.hpp"
+
+namespace motor::mpi {
+namespace {
+
+TEST(CommTest, WorldCommBasics) {
+  World world(4);
+  world.run([](RankCtx& ctx) {
+    Comm& comm = ctx.comm_world();
+    EXPECT_EQ(comm.size(), 4);
+    EXPECT_EQ(comm.rank(), ctx.world_rank());
+    EXPECT_FALSE(comm.is_inter());
+    EXPECT_FALSE(comm.is_null());
+    EXPECT_EQ(comm.context_id(), 1);
+  });
+}
+
+TEST(CommTest, DupIsolatesTraffic) {
+  World world(2);
+  world.run([](RankCtx& ctx) {
+    Comm& comm = ctx.comm_world();
+    Comm dup = comm_dup(comm);
+    EXPECT_NE(dup.context_id(), comm.context_id());
+    EXPECT_EQ(dup.size(), comm.size());
+    EXPECT_EQ(dup.rank(), comm.rank());
+
+    // A message on the dup must not match a receive on the world comm
+    // despite identical (src, tag).
+    if (comm.rank() == 0) {
+      std::int32_t on_dup = 1, on_world = 2;
+      ASSERT_EQ(send(dup, &on_dup, sizeof on_dup, 1, 0), ErrorCode::kSuccess);
+      ASSERT_EQ(send(comm, &on_world, sizeof on_world, 1, 0),
+                ErrorCode::kSuccess);
+    } else {
+      std::int32_t got = 0;
+      ASSERT_EQ(recv(comm, &got, sizeof got, 0, 0), ErrorCode::kSuccess);
+      EXPECT_EQ(got, 2);
+      ASSERT_EQ(recv(dup, &got, sizeof got, 0, 0), ErrorCode::kSuccess);
+      EXPECT_EQ(got, 1);
+    }
+  });
+}
+
+TEST(CommTest, SplitByParity) {
+  World world(5);
+  world.run([](RankCtx& ctx) {
+    Comm& comm = ctx.comm_world();
+    const int color = comm.rank() % 2;
+    Comm sub = comm_split(comm, color, /*key=*/comm.rank());
+    ASSERT_FALSE(sub.is_null());
+    const int expected_size = color == 0 ? 3 : 2;
+    EXPECT_EQ(sub.size(), expected_size);
+    EXPECT_EQ(sub.rank(), comm.rank() / 2);
+
+    // Sum of world ranks within each parity class.
+    std::int32_t mine = comm.rank(), total = 0;
+    ASSERT_EQ(allreduce(sub, &mine, &total, 1, Datatype::kInt32,
+                        ReduceOp::kSum),
+              ErrorCode::kSuccess);
+    EXPECT_EQ(total, color == 0 ? 0 + 2 + 4 : 1 + 3);
+  });
+}
+
+TEST(CommTest, SplitHonoursKeyOrdering) {
+  World world(4);
+  world.run([](RankCtx& ctx) {
+    Comm& comm = ctx.comm_world();
+    // Reverse order: highest world rank gets key 0.
+    Comm sub = comm_split(comm, 0, /*key=*/comm.size() - comm.rank());
+    EXPECT_EQ(sub.rank(), comm.size() - 1 - comm.rank());
+  });
+}
+
+TEST(CommTest, SplitWithNegativeColorYieldsNull) {
+  World world(3);
+  world.run([](RankCtx& ctx) {
+    Comm& comm = ctx.comm_world();
+    Comm sub = comm_split(comm, comm.rank() == 1 ? -1 : 0, 0);
+    if (comm.rank() == 1) {
+      EXPECT_TRUE(sub.is_null());
+    } else {
+      ASSERT_FALSE(sub.is_null());
+      EXPECT_EQ(sub.size(), 2);
+    }
+  });
+}
+
+TEST(CommTest, CreateSubsetCommunicator) {
+  World world(4);
+  world.run([](RankCtx& ctx) {
+    Comm& comm = ctx.comm_world();
+    const Group evens = comm.group().incl({0, 2});
+    Comm sub = comm_create(comm, evens);
+    if (comm.rank() % 2 == 0) {
+      ASSERT_FALSE(sub.is_null());
+      EXPECT_EQ(sub.size(), 2);
+      EXPECT_EQ(sub.rank(), comm.rank() / 2);
+      std::int32_t v = comm.rank() == 0 ? 55 : 0;
+      ASSERT_EQ(bcast(sub, &v, sizeof v, 0), ErrorCode::kSuccess);
+      EXPECT_EQ(v, 55);
+    } else {
+      EXPECT_TRUE(sub.is_null());
+    }
+  });
+}
+
+TEST(CommTest, CollectiveTagsAreSequenced) {
+  World world(1);
+  world.run([](RankCtx& ctx) {
+    Comm& comm = ctx.comm_world();
+    const int t1 = comm.next_collective_tag();
+    const int t2 = comm.next_collective_tag();
+    EXPECT_GE(t1, kCollectiveTagBase);
+    EXPECT_EQ(t2, t1 + 1);
+  });
+}
+
+TEST(CommTest, NestedSplitOfSplit) {
+  World world(4);
+  world.run([](RankCtx& ctx) {
+    Comm& comm = ctx.comm_world();
+    Comm half = comm_split(comm, comm.rank() / 2, comm.rank());
+    ASSERT_EQ(half.size(), 2);
+    Comm single = comm_split(half, half.rank(), 0);
+    ASSERT_EQ(single.size(), 1);
+    EXPECT_EQ(single.rank(), 0);
+  });
+}
+
+}  // namespace
+}  // namespace motor::mpi

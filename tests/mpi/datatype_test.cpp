@@ -1,0 +1,74 @@
+#include "mpi/datatype.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/status.hpp"
+
+namespace motor::mpi {
+namespace {
+
+TEST(DatatypeTest, SizesMatchCTypes) {
+  EXPECT_EQ(datatype_size(Datatype::kByte), 1u);
+  EXPECT_EQ(datatype_size(Datatype::kChar), 1u);
+  EXPECT_EQ(datatype_size(Datatype::kInt16), 2u);
+  EXPECT_EQ(datatype_size(Datatype::kInt32), 4u);
+  EXPECT_EQ(datatype_size(Datatype::kUInt32), 4u);
+  EXPECT_EQ(datatype_size(Datatype::kInt64), 8u);
+  EXPECT_EQ(datatype_size(Datatype::kFloat), sizeof(float));
+  EXPECT_EQ(datatype_size(Datatype::kDouble), sizeof(double));
+  EXPECT_EQ(datatype_size(Datatype::kPacked), 1u);
+}
+
+TEST(DatatypeTest, NamesAreStable) {
+  EXPECT_EQ(datatype_name(Datatype::kInt32), "int32");
+  EXPECT_EQ(datatype_name(Datatype::kDouble), "double");
+}
+
+TEST(ReduceApplyTest, SumInt32) {
+  std::vector<std::int32_t> in{1, 2, 3}, inout{10, 20, 30};
+  reduce_apply(ReduceOp::kSum, Datatype::kInt32, in.data(), inout.data(), 3);
+  EXPECT_EQ(inout, (std::vector<std::int32_t>{11, 22, 33}));
+}
+
+TEST(ReduceApplyTest, ProdDouble) {
+  std::vector<double> in{2.0, 0.5}, inout{3.0, 8.0};
+  reduce_apply(ReduceOp::kProd, Datatype::kDouble, in.data(), inout.data(), 2);
+  EXPECT_DOUBLE_EQ(inout[0], 6.0);
+  EXPECT_DOUBLE_EQ(inout[1], 4.0);
+}
+
+TEST(ReduceApplyTest, MinMaxInt64) {
+  std::vector<std::int64_t> in{-5, 7}, lo{1, 1}, hi{1, 1};
+  reduce_apply(ReduceOp::kMin, Datatype::kInt64, in.data(), lo.data(), 2);
+  reduce_apply(ReduceOp::kMax, Datatype::kInt64, in.data(), hi.data(), 2);
+  EXPECT_EQ(lo, (std::vector<std::int64_t>{-5, 1}));
+  EXPECT_EQ(hi, (std::vector<std::int64_t>{1, 7}));
+}
+
+TEST(ReduceApplyTest, LogicalOpsOnIntegers) {
+  std::vector<std::int32_t> in{0, 3}, a{2, 0}, o{0, 0};
+  reduce_apply(ReduceOp::kLogicalAnd, Datatype::kInt32, in.data(), a.data(), 2);
+  reduce_apply(ReduceOp::kLogicalOr, Datatype::kInt32, in.data(), o.data(), 2);
+  EXPECT_EQ(a, (std::vector<std::int32_t>{0, 0}));
+  EXPECT_EQ(o, (std::vector<std::int32_t>{0, 1}));
+}
+
+TEST(ReduceApplyTest, BitwiseOps) {
+  std::vector<std::uint32_t> in{0b1100}, band{0b1010}, bor{0b1010};
+  reduce_apply(ReduceOp::kBitAnd, Datatype::kUInt32, in.data(), band.data(), 1);
+  reduce_apply(ReduceOp::kBitOr, Datatype::kUInt32, in.data(), bor.data(), 1);
+  EXPECT_EQ(band[0], 0b1000u);
+  EXPECT_EQ(bor[0], 0b1110u);
+}
+
+TEST(ReduceApplyTest, LogicalOnFloatFatals) {
+  float in = 1.0f, inout = 1.0f;
+  EXPECT_THROW(
+      reduce_apply(ReduceOp::kBitAnd, Datatype::kFloat, &in, &inout, 1),
+      FatalError);
+}
+
+}  // namespace
+}  // namespace motor::mpi

@@ -1,0 +1,133 @@
+// waitany/testany/testall and the scan / reduce_scatter_block collectives.
+#include <gtest/gtest.h>
+
+#include "mpi/collectives.hpp"
+#include "mpi/pt2pt.hpp"
+#include "mpi/world.hpp"
+
+namespace motor::mpi {
+namespace {
+
+TEST(WaitAnyTest, ReturnsFirstCompletion) {
+  World world(2);
+  world.run([](RankCtx& ctx) {
+    Comm& comm = ctx.comm_world();
+    if (comm.rank() == 0) {
+      // Only tag 2 will be satisfiable at first.
+      std::int32_t a = 0, b = 0;
+      std::vector<Request> reqs{irecv(comm, &a, sizeof a, 1, 1),
+                                irecv(comm, &b, sizeof b, 1, 2)};
+      MsgStatus st;
+      const int idx = waitany(comm, reqs, &st);
+      EXPECT_EQ(idx, 1);
+      EXPECT_EQ(st.tag, 2);
+      EXPECT_EQ(b, 22);
+      // MPI convention: the caller retires the completed slot (the analog
+      // of MPI_Waitany writing MPI_REQUEST_NULL).
+      reqs[1] = nullptr;
+      // Unblock the peer's second send.
+      std::int32_t go = 1;
+      ASSERT_EQ(send(comm, &go, sizeof go, 1, 3), ErrorCode::kSuccess);
+      EXPECT_EQ(waitany(comm, reqs, &st), 0);
+      EXPECT_EQ(a, 11);
+    } else {
+      std::int32_t v2 = 22;
+      ASSERT_EQ(send(comm, &v2, sizeof v2, 0, 2), ErrorCode::kSuccess);
+      std::int32_t go = 0;
+      ASSERT_EQ(recv(comm, &go, sizeof go, 0, 3), ErrorCode::kSuccess);
+      std::int32_t v1 = 11;
+      ASSERT_EQ(send(comm, &v1, sizeof v1, 0, 1), ErrorCode::kSuccess);
+    }
+  });
+}
+
+TEST(WaitAnyTest, AllNullReturnsMinusOne) {
+  World world(1);
+  world.run([](RankCtx& ctx) {
+    std::vector<Request> reqs{nullptr, nullptr};
+    EXPECT_EQ(waitany(ctx.comm_world(), reqs), -1);
+  });
+}
+
+TEST(TestAllTest, TracksCompletionOfBatch) {
+  World world(2);
+  world.run([](RankCtx& ctx) {
+    Comm& comm = ctx.comm_world();
+    constexpr int kN = 8;
+    std::vector<std::int32_t> data(kN);
+    std::vector<Request> reqs;
+    if (comm.rank() == 0) {
+      for (int i = 0; i < kN; ++i) {
+        data[static_cast<std::size_t>(i)] = i;
+        reqs.push_back(isend(comm, &data[static_cast<std::size_t>(i)],
+                             sizeof(std::int32_t), 1, i));
+      }
+    } else {
+      for (int i = 0; i < kN; ++i) {
+        reqs.push_back(irecv(comm, &data[static_cast<std::size_t>(i)],
+                             sizeof(std::int32_t), 0, i));
+      }
+    }
+    while (!testall(comm, reqs)) pal::Thread::yield();
+    if (comm.rank() == 1) {
+      for (int i = 0; i < kN; ++i) {
+        EXPECT_EQ(data[static_cast<std::size_t>(i)], i);
+      }
+    }
+  });
+}
+
+class ScanSizeTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ScanSizeTest, InclusivePrefixSum) {
+  const int n = GetParam();
+  World world(n);
+  world.run([](RankCtx& ctx) {
+    Comm& comm = ctx.comm_world();
+    const std::int64_t mine[2] = {comm.rank() + 1, 2};
+    std::int64_t pref[2] = {0, 0};
+    ASSERT_EQ(scan(comm, mine, pref, 2, Datatype::kInt64, ReduceOp::kSum),
+              ErrorCode::kSuccess);
+    const std::int64_t r = comm.rank();
+    EXPECT_EQ(pref[0], (r + 1) * (r + 2) / 2);  // 1+2+...+(r+1)
+    EXPECT_EQ(pref[1], 2 * (r + 1));
+  });
+}
+
+TEST_P(ScanSizeTest, MaxScanIsMonotone) {
+  const int n = GetParam();
+  World world(n);
+  world.run([n](RankCtx& ctx) {
+    Comm& comm = ctx.comm_world();
+    // Values bounce around; the scan must be the running maximum.
+    const std::int32_t mine = (comm.rank() * 37 + 11) % n;
+    std::int32_t running = -1;
+    ASSERT_EQ(scan(comm, &mine, &running, 1, Datatype::kInt32, ReduceOp::kMax),
+              ErrorCode::kSuccess);
+    std::int32_t expected = -1;
+    for (int r = 0; r <= comm.rank(); ++r) {
+      expected = std::max(expected, static_cast<std::int32_t>((r * 37 + 11) % n));
+    }
+    EXPECT_EQ(running, expected);
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(WorldSizes, ScanSizeTest, ::testing::Values(1, 2, 3, 5));
+
+TEST(ReduceScatterTest, BlockVariantDistributesReducedVector) {
+  World world(3);
+  world.run([](RankCtx& ctx) {
+    Comm& comm = ctx.comm_world();
+    // Each rank contributes [r, r+1, r+2] per destination block of 1.
+    std::int32_t contrib[3] = {comm.rank(), comm.rank() + 1, comm.rank() + 2};
+    std::int32_t mine = -1;
+    ASSERT_EQ(reduce_scatter_block(comm, contrib, &mine, 1, Datatype::kInt32,
+                                   ReduceOp::kSum),
+              ErrorCode::kSuccess);
+    // Sum over ranks of (r + block) where block = my rank.
+    EXPECT_EQ(mine, 0 + 1 + 2 + 3 * comm.rank());
+  });
+}
+
+}  // namespace
+}  // namespace motor::mpi

@@ -1,0 +1,59 @@
+#include "mpi/group.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/status.hpp"
+
+namespace motor::mpi {
+namespace {
+
+TEST(GroupTest, ContiguousEnumeratesRanks) {
+  Group g = Group::contiguous(4);
+  EXPECT_EQ(g.size(), 4);
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(g.world_rank(i), i);
+}
+
+TEST(GroupTest, RankOfFindsMembership) {
+  Group g({5, 3, 9});
+  EXPECT_EQ(g.rank_of(3), 1);
+  EXPECT_EQ(g.rank_of(9), 2);
+  EXPECT_FALSE(g.rank_of(4).has_value());
+}
+
+TEST(GroupTest, WorldRankOutOfRangeFatals) {
+  Group g({1, 2});
+  EXPECT_THROW((void)g.world_rank(2), FatalError);
+  EXPECT_THROW((void)g.world_rank(-1), FatalError);
+}
+
+TEST(GroupTest, InclSelectsInOrder) {
+  Group g({10, 11, 12, 13});
+  Group sub = g.incl({3, 0});
+  EXPECT_EQ(sub.members(), (std::vector<int>{13, 10}));
+}
+
+TEST(GroupTest, ExclRemovesRanks) {
+  Group g({10, 11, 12, 13});
+  Group sub = g.excl({1, 2});
+  EXPECT_EQ(sub.members(), (std::vector<int>{10, 13}));
+}
+
+TEST(GroupTest, UnionKeepsFirstOrderAndDedups) {
+  Group a({1, 2, 3});
+  Group b({3, 4});
+  EXPECT_EQ(a.set_union(b).members(), (std::vector<int>{1, 2, 3, 4}));
+}
+
+TEST(GroupTest, IntersectionPreservesLeftOrder) {
+  Group a({5, 1, 7});
+  Group b({7, 5});
+  EXPECT_EQ(a.set_intersection(b).members(), (std::vector<int>{5, 7}));
+}
+
+TEST(GroupTest, EqualityIsOrderSensitive) {
+  EXPECT_EQ(Group({1, 2}), Group({1, 2}));
+  EXPECT_FALSE(Group({1, 2}) == Group({2, 1}));
+}
+
+}  // namespace
+}  // namespace motor::mpi

@@ -1,0 +1,82 @@
+#include "mpi/pack.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace motor::mpi {
+namespace {
+
+TEST(PackTest, PackSizeScalesWithDatatype) {
+  EXPECT_EQ(pack_size(10, Datatype::kByte), 10u);
+  EXPECT_EQ(pack_size(10, Datatype::kInt32), 40u);
+  EXPECT_EQ(pack_size(3, Datatype::kDouble), 24u);
+}
+
+TEST(PackTest, HeterogeneousRoundTrip) {
+  std::byte buf[64];
+  std::size_t pos = 0;
+  const std::int32_t ints[2] = {42, -7};
+  const double d = 2.5;
+  const std::uint8_t tail = 0xEE;
+  ASSERT_EQ(pack(ints, 2, Datatype::kInt32, buf, sizeof buf, pos),
+            ErrorCode::kSuccess);
+  ASSERT_EQ(pack(&d, 1, Datatype::kDouble, buf, sizeof buf, pos),
+            ErrorCode::kSuccess);
+  ASSERT_EQ(pack(&tail, 1, Datatype::kUInt8, buf, sizeof buf, pos),
+            ErrorCode::kSuccess);
+  EXPECT_EQ(pos, 8u + 8u + 1u);
+
+  std::size_t rpos = 0;
+  std::int32_t ints_out[2];
+  double d_out;
+  std::uint8_t tail_out;
+  ASSERT_EQ(unpack(buf, pos, rpos, ints_out, 2, Datatype::kInt32),
+            ErrorCode::kSuccess);
+  ASSERT_EQ(unpack(buf, pos, rpos, &d_out, 1, Datatype::kDouble),
+            ErrorCode::kSuccess);
+  ASSERT_EQ(unpack(buf, pos, rpos, &tail_out, 1, Datatype::kUInt8),
+            ErrorCode::kSuccess);
+  EXPECT_EQ(ints_out[0], 42);
+  EXPECT_EQ(ints_out[1], -7);
+  EXPECT_DOUBLE_EQ(d_out, 2.5);
+  EXPECT_EQ(tail_out, 0xEE);
+  EXPECT_EQ(rpos, pos);
+}
+
+TEST(PackTest, OverflowReportsTruncate) {
+  std::byte buf[4];
+  std::size_t pos = 0;
+  const std::int64_t v = 1;
+  EXPECT_EQ(pack(&v, 1, Datatype::kInt64, buf, sizeof buf, pos),
+            ErrorCode::kTruncate);
+  EXPECT_EQ(pos, 0u);  // position unchanged on failure
+}
+
+TEST(PackTest, UnderflowReportsTruncate) {
+  std::byte buf[4] = {};
+  std::size_t pos = 0;
+  std::int64_t v;
+  EXPECT_EQ(unpack(buf, sizeof buf, pos, &v, 1, Datatype::kInt64),
+            ErrorCode::kTruncate);
+}
+
+TEST(PackTest, NullBufferRejected) {
+  std::byte buf[8];
+  std::size_t pos = 0;
+  EXPECT_EQ(pack(nullptr, 1, Datatype::kInt32, buf, sizeof buf, pos),
+            ErrorCode::kBufferError);
+  EXPECT_EQ(unpack(buf, sizeof buf, pos, nullptr, 1, Datatype::kInt32),
+            ErrorCode::kBufferError);
+}
+
+TEST(PackTest, ZeroCountIsANoOp) {
+  std::byte buf[1];
+  std::size_t pos = 0;
+  EXPECT_EQ(pack(nullptr, 0, Datatype::kInt32, buf, sizeof buf, pos),
+            ErrorCode::kSuccess);
+  EXPECT_EQ(pos, 0u);
+}
+
+}  // namespace
+}  // namespace motor::mpi

@@ -1,0 +1,334 @@
+#include "mpi/pt2pt.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "common/prng.hpp"
+#include "mpi/world.hpp"
+
+namespace motor::mpi {
+namespace {
+
+std::vector<std::uint8_t> pattern(std::size_t n, std::uint64_t seed) {
+  Prng prng(seed);
+  std::vector<std::uint8_t> v(n);
+  for (auto& b : v) b = static_cast<std::uint8_t>(prng.next_u64());
+  return v;
+}
+
+TEST(Pt2PtTest, BlockingSendRecvSmall) {
+  World world(2);
+  world.run([](RankCtx& ctx) {
+    Comm& comm = ctx.comm_world();
+    const auto data = pattern(64, 1);
+    if (comm.rank() == 0) {
+      EXPECT_EQ(send(comm, data.data(), data.size(), 1, 7),
+                ErrorCode::kSuccess);
+    } else {
+      std::vector<std::uint8_t> buf(64);
+      MsgStatus st;
+      EXPECT_EQ(recv(comm, buf.data(), buf.size(), 0, 7, &st),
+                ErrorCode::kSuccess);
+      EXPECT_EQ(buf, data);
+      EXPECT_EQ(st.source, 0);
+      EXPECT_EQ(st.tag, 7);
+      EXPECT_EQ(st.count_bytes, 64u);
+    }
+  });
+}
+
+class Pt2PtSizeTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(Pt2PtSizeTest, RoundTripAcrossEagerAndRendezvous) {
+  const std::size_t n = GetParam();
+  World world(2);
+  world.run([n](RankCtx& ctx) {
+    Comm& comm = ctx.comm_world();
+    const auto data = pattern(n, n);
+    if (comm.rank() == 0) {
+      ASSERT_EQ(send(comm, data.data(), n, 1, 3), ErrorCode::kSuccess);
+      std::vector<std::uint8_t> echo(n);
+      ASSERT_EQ(recv(comm, echo.data(), n, 1, 4), ErrorCode::kSuccess);
+      EXPECT_EQ(echo, data);
+    } else {
+      std::vector<std::uint8_t> buf(n);
+      MsgStatus st;
+      ASSERT_EQ(recv(comm, buf.data(), n, 0, 3, &st), ErrorCode::kSuccess);
+      EXPECT_EQ(st.count_bytes, n);
+      EXPECT_EQ(buf, data);
+      ASSERT_EQ(send(comm, buf.data(), n, 0, 4), ErrorCode::kSuccess);
+    }
+  });
+}
+
+// Spans 0 bytes through well past the 64 KiB eager threshold.
+INSTANTIATE_TEST_SUITE_P(Sizes, Pt2PtSizeTest,
+                         ::testing::Values(0u, 1u, 4u, 4095u, 65536u, 65537u,
+                                           262144u, 1048576u));
+
+TEST(Pt2PtTest, NonBlockingIsendIrecv) {
+  World world(2);
+  world.run([](RankCtx& ctx) {
+    Comm& comm = ctx.comm_world();
+    const auto data = pattern(1000, 2);
+    if (comm.rank() == 0) {
+      Request req = isend(comm, data.data(), data.size(), 1, 0);
+      ASSERT_TRUE(req);
+      wait(comm, req);
+      EXPECT_TRUE(req->is_complete());
+    } else {
+      std::vector<std::uint8_t> buf(1000);
+      Request req = irecv(comm, buf.data(), buf.size(), 0, 0);
+      ASSERT_TRUE(req);
+      MsgStatus st = wait(comm, req);
+      EXPECT_EQ(st.count_bytes, 1000u);
+      EXPECT_EQ(buf, data);
+    }
+  });
+}
+
+TEST(Pt2PtTest, MessageOrderIsNonOvertaking) {
+  World world(2);
+  world.run([](RankCtx& ctx) {
+    Comm& comm = ctx.comm_world();
+    constexpr int kMessages = 50;
+    if (comm.rank() == 0) {
+      for (std::int32_t i = 0; i < kMessages; ++i) {
+        ASSERT_EQ(send(comm, &i, sizeof i, 1, 5), ErrorCode::kSuccess);
+      }
+    } else {
+      for (std::int32_t i = 0; i < kMessages; ++i) {
+        std::int32_t got = -1;
+        ASSERT_EQ(recv(comm, &got, sizeof got, 0, 5), ErrorCode::kSuccess);
+        EXPECT_EQ(got, i);  // same (src, tag, comm) => FIFO
+      }
+    }
+  });
+}
+
+TEST(Pt2PtTest, TagsSelectMessages) {
+  World world(2);
+  world.run([](RankCtx& ctx) {
+    Comm& comm = ctx.comm_world();
+    if (comm.rank() == 0) {
+      std::int32_t a = 111, b = 222;
+      ASSERT_EQ(send(comm, &a, sizeof a, 1, 10), ErrorCode::kSuccess);
+      ASSERT_EQ(send(comm, &b, sizeof b, 1, 20), ErrorCode::kSuccess);
+    } else {
+      std::int32_t got = 0;
+      // Receive the tag-20 message first even though it was sent second.
+      ASSERT_EQ(recv(comm, &got, sizeof got, 0, 20), ErrorCode::kSuccess);
+      EXPECT_EQ(got, 222);
+      ASSERT_EQ(recv(comm, &got, sizeof got, 0, 10), ErrorCode::kSuccess);
+      EXPECT_EQ(got, 111);
+    }
+  });
+}
+
+TEST(Pt2PtTest, WildcardSourceAndTag) {
+  World world(3);
+  world.run([](RankCtx& ctx) {
+    Comm& comm = ctx.comm_world();
+    if (comm.rank() != 0) {
+      const std::int32_t v = comm.rank() * 100;
+      ASSERT_EQ(send(comm, &v, sizeof v, 0, comm.rank()), ErrorCode::kSuccess);
+    } else {
+      int sum = 0;
+      for (int i = 0; i < 2; ++i) {
+        std::int32_t got = 0;
+        MsgStatus st;
+        ASSERT_EQ(recv(comm, &got, sizeof got, kAnySource, kAnyTag, &st),
+                  ErrorCode::kSuccess);
+        EXPECT_EQ(got, st.source * 100);
+        EXPECT_EQ(st.tag, st.source);
+        sum += got;
+      }
+      EXPECT_EQ(sum, 300);
+    }
+  });
+}
+
+TEST(Pt2PtTest, SsendCompletesOnlyAfterMatch) {
+  World world(2);
+  world.run([](RankCtx& ctx) {
+    Comm& comm = ctx.comm_world();
+    if (comm.rank() == 0) {
+      std::int32_t v = 9;
+      Request req = issend(comm, &v, sizeof v, 1, 0);
+      // Drive progress a while: must NOT complete before the peer posts.
+      for (int i = 0; i < 50; ++i) comm.device().progress();
+      EXPECT_FALSE(req->is_complete());
+      // Unblock the peer, then wait for the ssend.
+      std::int32_t go = 1;
+      ASSERT_EQ(send(comm, &go, sizeof go, 1, 1), ErrorCode::kSuccess);
+      wait(comm, req);
+      EXPECT_TRUE(req->is_complete());
+    } else {
+      std::int32_t go = 0;
+      ASSERT_EQ(recv(comm, &go, sizeof go, 0, 1), ErrorCode::kSuccess);
+      std::int32_t v = 0;
+      ASSERT_EQ(recv(comm, &v, sizeof v, 0, 0), ErrorCode::kSuccess);
+      EXPECT_EQ(v, 9);
+    }
+  });
+}
+
+TEST(Pt2PtTest, TruncationReportsError) {
+  World world(2);
+  world.run([](RankCtx& ctx) {
+    Comm& comm = ctx.comm_world();
+    const auto data = pattern(128, 3);
+    if (comm.rank() == 0) {
+      ASSERT_EQ(send(comm, data.data(), data.size(), 1, 0),
+                ErrorCode::kSuccess);
+    } else {
+      std::vector<std::uint8_t> buf(32);
+      MsgStatus st;
+      EXPECT_EQ(recv(comm, buf.data(), buf.size(), 0, 0, &st),
+                ErrorCode::kTruncate);
+      EXPECT_EQ(st.count_bytes, 32u);
+      EXPECT_TRUE(std::equal(buf.begin(), buf.end(), data.begin()));
+    }
+  });
+}
+
+TEST(Pt2PtTest, SendRecvExchanges) {
+  World world(2);
+  world.run([](RankCtx& ctx) {
+    Comm& comm = ctx.comm_world();
+    const std::int32_t mine = comm.rank() + 1;
+    std::int32_t theirs = 0;
+    const int peer = 1 - comm.rank();
+    ASSERT_EQ(sendrecv(comm, &mine, sizeof mine, peer, 0, &theirs,
+                       sizeof theirs, peer, 0),
+              ErrorCode::kSuccess);
+    EXPECT_EQ(theirs, (1 - comm.rank()) + 1);
+  });
+}
+
+TEST(Pt2PtTest, SendToSelf) {
+  World world(1);
+  world.run([](RankCtx& ctx) {
+    Comm& comm = ctx.comm_world();
+    std::int32_t v = 77, got = 0;
+    Request r = irecv(comm, &got, sizeof got, 0, 0);
+    ASSERT_EQ(send(comm, &v, sizeof v, 0, 0), ErrorCode::kSuccess);
+    wait(comm, r);
+    EXPECT_EQ(got, 77);
+  });
+}
+
+TEST(Pt2PtTest, ProbeSeesEnvelopeWithoutConsuming) {
+  World world(2);
+  world.run([](RankCtx& ctx) {
+    Comm& comm = ctx.comm_world();
+    if (comm.rank() == 0) {
+      const auto data = pattern(48, 4);
+      ASSERT_EQ(send(comm, data.data(), data.size(), 1, 13),
+                ErrorCode::kSuccess);
+    } else {
+      MsgStatus st = probe(comm, 0, 13);
+      EXPECT_EQ(st.source, 0);
+      EXPECT_EQ(st.tag, 13);
+      EXPECT_EQ(st.count_bytes, 48u);
+      // Message still receivable after probe.
+      std::vector<std::uint8_t> buf(st.count_bytes);
+      ASSERT_EQ(recv(comm, buf.data(), buf.size(), 0, 13),
+                ErrorCode::kSuccess);
+      EXPECT_EQ(buf, pattern(48, 4));
+    }
+  });
+}
+
+TEST(Pt2PtTest, IprobeReturnsFalseWhenNothingPending) {
+  World world(2);
+  world.run([](RankCtx& ctx) {
+    Comm& comm = ctx.comm_world();
+    EXPECT_FALSE(iprobe(comm, 1 - comm.rank(), 99));
+  });
+}
+
+TEST(Pt2PtTest, CancelUnmatchedRecv) {
+  World world(2);
+  world.run([](RankCtx& ctx) {
+    Comm& comm = ctx.comm_world();
+    if (comm.rank() == 0) {
+      std::int32_t buf = 0;
+      Request req = irecv(comm, &buf, sizeof buf, 1, 42);
+      cancel(comm, req);
+      EXPECT_TRUE(req->is_complete());
+      EXPECT_TRUE(req->cancelled);
+      EXPECT_EQ(comm.device().posted_recv_count(), 0u);
+    }
+  });
+}
+
+TEST(Pt2PtTest, ValidationRejectsBadArguments) {
+  World world(2);
+  world.run([](RankCtx& ctx) {
+    Comm& comm = ctx.comm_world();
+    std::int32_t v = 0;
+    EXPECT_EQ(isend(comm, &v, sizeof v, 5, 0), nullptr);      // bad rank
+    EXPECT_EQ(isend(comm, &v, sizeof v, 0, -3), nullptr);     // bad tag
+    EXPECT_EQ(isend(comm, nullptr, 4, 0, 0), nullptr);        // null buffer
+    EXPECT_EQ(irecv(comm, &v, sizeof v, -7, 0), nullptr);     // bad wildcard
+  });
+}
+
+TEST(Pt2PtTest, ManyOutstandingRequests) {
+  World world(2);
+  world.run([](RankCtx& ctx) {
+    Comm& comm = ctx.comm_world();
+    constexpr int kN = 64;
+    std::vector<std::vector<std::uint8_t>> bufs(kN);
+    std::vector<Request> reqs;
+    if (comm.rank() == 0) {
+      for (int i = 0; i < kN; ++i) {
+        bufs[i] = pattern(200 + static_cast<std::size_t>(i), i);
+        reqs.push_back(isend(comm, bufs[i].data(), bufs[i].size(), 1, i));
+      }
+    } else {
+      for (int i = 0; i < kN; ++i) {
+        bufs[i].resize(200 + static_cast<std::size_t>(i));
+        reqs.push_back(irecv(comm, bufs[i].data(), bufs[i].size(), 0, i));
+      }
+    }
+    waitall(comm, reqs);
+    if (comm.rank() == 1) {
+      for (int i = 0; i < kN; ++i) {
+        EXPECT_EQ(bufs[i], pattern(200 + static_cast<std::size_t>(i), i));
+      }
+    }
+  });
+}
+
+TEST(Pt2PtTest, UnexpectedMessagesQueueUntilPosted) {
+  World world(2);
+  world.run([](RankCtx& ctx) {
+    Comm& comm = ctx.comm_world();
+    if (comm.rank() == 0) {
+      for (std::int32_t i = 0; i < 5; ++i) {
+        ASSERT_EQ(send(comm, &i, sizeof i, 1, i), ErrorCode::kSuccess);
+      }
+      std::int32_t done = 0;
+      ASSERT_EQ(recv(comm, &done, sizeof done, 1, 100), ErrorCode::kSuccess);
+    } else {
+      // Let everything arrive unexpectedly before posting any receive.
+      MsgStatus st;
+      while (!iprobe(comm, 0, 4, &st)) pal::Thread::yield();
+      EXPECT_GE(comm.device().unexpected_count(), 1u);
+      for (std::int32_t i = 4; i >= 0; --i) {  // reverse order by tag
+        std::int32_t got = -1;
+        ASSERT_EQ(recv(comm, &got, sizeof got, 0, i), ErrorCode::kSuccess);
+        EXPECT_EQ(got, i);
+      }
+      std::int32_t done = 1;
+      ASSERT_EQ(send(comm, &done, sizeof done, 0, 100), ErrorCode::kSuccess);
+    }
+  });
+}
+
+}  // namespace
+}  // namespace motor::mpi

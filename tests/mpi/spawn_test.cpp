@@ -1,0 +1,89 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "mpi/collectives.hpp"
+#include "mpi/pt2pt.hpp"
+#include "mpi/world.hpp"
+
+namespace motor::mpi {
+namespace {
+
+TEST(SpawnTest, ParentsAndChildrenExchangeOverIntercomm) {
+  World world(2);
+  std::atomic<int> child_runs{0};
+
+  world.run([&child_runs](RankCtx& ctx) {
+    Comm& comm = ctx.comm_world();
+    EXPECT_TRUE(ctx.parent().is_null());  // initial ranks have no parent
+
+    Comm inter = spawn(comm, /*root=*/0, /*n_children=*/2,
+                       [&child_runs](RankCtx& child) {
+                         ++child_runs;
+                         Comm& cw = child.comm_world();
+                         EXPECT_EQ(cw.size(), 2);
+                         Comm& up = child.parent();
+                         ASSERT_FALSE(up.is_null());
+                         EXPECT_TRUE(up.is_inter());
+                         EXPECT_EQ(up.remote_size(), 2);
+
+                         // Child i sends its rank to parent i.
+                         const std::int32_t v = cw.rank() * 11;
+                         ASSERT_EQ(send(up, &v, sizeof v, cw.rank(), 0),
+                                   ErrorCode::kSuccess);
+                       });
+    ASSERT_TRUE(inter.is_inter());
+    EXPECT_EQ(inter.size(), 2);
+    EXPECT_EQ(inter.remote_size(), 2);
+
+    std::int32_t got = -1;
+    ASSERT_EQ(recv(inter, &got, sizeof got, comm.rank(), 0),
+              ErrorCode::kSuccess);
+    EXPECT_EQ(got, comm.rank() * 11);
+  });
+  EXPECT_EQ(child_runs.load(), 2);
+}
+
+TEST(SpawnTest, IntercommMergeFormsBigIntracomm) {
+  World world(2);
+  world.run([](RankCtx& ctx) {
+    Comm& comm = ctx.comm_world();
+    Comm inter = spawn(comm, 0, 2, [](RankCtx& child) {
+      Comm merged = intercomm_merge(child.parent(), /*high=*/true);
+      EXPECT_EQ(merged.size(), 4);
+      // Children are ordered after parents.
+      EXPECT_EQ(merged.rank(), 2 + child.comm_world().rank());
+      std::int32_t total = 0;
+      const std::int32_t mine = merged.rank();
+      ASSERT_EQ(allreduce(merged, &mine, &total, 1, Datatype::kInt32,
+                          ReduceOp::kSum),
+                ErrorCode::kSuccess);
+      EXPECT_EQ(total, 0 + 1 + 2 + 3);
+    });
+    Comm merged = intercomm_merge(inter, /*high=*/false);
+    EXPECT_EQ(merged.size(), 4);
+    EXPECT_EQ(merged.rank(), comm.rank());
+    std::int32_t total = 0;
+    const std::int32_t mine = merged.rank();
+    ASSERT_EQ(allreduce(merged, &mine, &total, 1, Datatype::kInt32,
+                        ReduceOp::kSum),
+              ErrorCode::kSuccess);
+    EXPECT_EQ(total, 6);
+  });
+}
+
+TEST(SpawnTest, FabricGrowsByChildCount) {
+  World world(2);
+  world.run([](RankCtx& ctx) {
+    Comm& comm = ctx.comm_world();
+    spawn(comm, 0, 3, [](RankCtx& child) {
+      EXPECT_GE(child.world_rank(), 2);
+      EXPECT_EQ(child.comm_world().size(), 3);
+    });
+    barrier(comm);
+    EXPECT_EQ(ctx.world().fabric().size(), 5);
+  });
+}
+
+}  // namespace
+}  // namespace motor::mpi

@@ -1,0 +1,40 @@
+#include "pal/clock.hpp"
+
+#include <gtest/gtest.h>
+
+namespace motor::pal {
+namespace {
+
+TEST(ClockTest, MonotonicNeverGoesBackwards) {
+  std::uint64_t prev = monotonic_ns();
+  for (int i = 0; i < 1000; ++i) {
+    const std::uint64_t now = monotonic_ns();
+    EXPECT_GE(now, prev);
+    prev = now;
+  }
+}
+
+TEST(ClockTest, StopwatchMeasuresSpin) {
+  Stopwatch sw;
+  spin_for_ns(1'000'000);  // 1 ms
+  const auto elapsed = sw.elapsed_ns();
+  EXPECT_GE(elapsed, 900'000u);      // at least ~the requested spin
+  EXPECT_LT(elapsed, 200'000'000u);  // sanity upper bound (scheduler noise)
+}
+
+TEST(ClockTest, StopwatchRestartsCleanly) {
+  Stopwatch sw;
+  spin_for_ns(500'000);
+  sw.restart();
+  EXPECT_LT(sw.elapsed_ns(), 400'000u);
+}
+
+TEST(ClockTest, WtimeTracksMonotonic) {
+  const double a = wtime_us();
+  spin_for_ns(200'000);
+  const double b = wtime_us();
+  EXPECT_GT(b, a);
+}
+
+}  // namespace
+}  // namespace motor::pal

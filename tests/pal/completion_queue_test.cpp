@@ -1,0 +1,52 @@
+#include "pal/completion_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+using namespace std::chrono_literals;
+
+namespace motor::pal {
+namespace {
+
+TEST(CompletionQueueTest, PollEmptyReturnsNothing) {
+  CompletionQueue cq;
+  EXPECT_FALSE(cq.poll().has_value());
+  EXPECT_EQ(cq.depth(), 0u);
+}
+
+TEST(CompletionQueueTest, FifoOrder) {
+  CompletionQueue cq;
+  cq.post({.key = 1, .bytes = 10, .user_data = 100});
+  cq.post({.key = 2, .bytes = 20, .user_data = 200});
+  EXPECT_EQ(cq.depth(), 2u);
+
+  auto a = cq.poll();
+  ASSERT_TRUE(a.has_value());
+  EXPECT_EQ(a->key, 1u);
+  EXPECT_EQ(a->bytes, 10u);
+  auto b = cq.poll();
+  ASSERT_TRUE(b.has_value());
+  EXPECT_EQ(b->user_data, 200u);
+  EXPECT_FALSE(cq.poll().has_value());
+}
+
+TEST(CompletionQueueTest, WaitTimesOut) {
+  CompletionQueue cq;
+  EXPECT_FALSE(cq.wait(10ms).has_value());
+}
+
+TEST(CompletionQueueTest, WaitWakesOnPost) {
+  CompletionQueue cq;
+  std::thread t([&] {
+    std::this_thread::sleep_for(20ms);
+    cq.post({.key = 7, .bytes = 0, .user_data = 0});
+  });
+  auto c = cq.wait(2s);
+  t.join();
+  ASSERT_TRUE(c.has_value());
+  EXPECT_EQ(c->key, 7u);
+}
+
+}  // namespace
+}  // namespace motor::pal

@@ -1,0 +1,66 @@
+#include "pal/event.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+using namespace std::chrono_literals;
+
+namespace motor::pal {
+namespace {
+
+TEST(EventTest, AutoResetConsumesSignal) {
+  Event ev(Event::ResetMode::kAuto);
+  ev.set();
+  EXPECT_TRUE(ev.poll());
+  EXPECT_FALSE(ev.poll());
+}
+
+TEST(EventTest, ManualResetStaysSignalled) {
+  Event ev(Event::ResetMode::kManual);
+  ev.set();
+  EXPECT_TRUE(ev.poll());
+  EXPECT_TRUE(ev.poll());
+  ev.reset();
+  EXPECT_FALSE(ev.poll());
+}
+
+TEST(EventTest, InitiallySetIsVisible) {
+  Event ev(Event::ResetMode::kAuto, /*initially_set=*/true);
+  EXPECT_TRUE(ev.poll());
+}
+
+TEST(EventTest, TimedWaitTimesOut) {
+  Event ev;
+  EXPECT_FALSE(ev.timed_wait(10ms));
+}
+
+TEST(EventTest, WaitWakesOnCrossThreadSet) {
+  Event ev;
+  std::atomic<bool> woke{false};
+  std::thread waiter([&] {
+    ev.wait();
+    woke = true;
+  });
+  std::this_thread::sleep_for(20ms);
+  EXPECT_FALSE(woke.load());
+  ev.set();
+  waiter.join();
+  EXPECT_TRUE(woke.load());
+}
+
+TEST(EventTest, ManualSetWakesAllWaiters) {
+  Event ev(Event::ResetMode::kManual);
+  std::atomic<int> woke{0};
+  std::thread a([&] { ev.wait(); ++woke; });
+  std::thread b([&] { ev.wait(); ++woke; });
+  std::this_thread::sleep_for(20ms);
+  ev.set();
+  a.join();
+  b.join();
+  EXPECT_EQ(woke.load(), 2);
+}
+
+}  // namespace
+}  // namespace motor::pal

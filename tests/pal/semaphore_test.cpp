@@ -1,0 +1,52 @@
+#include "pal/semaphore.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+using namespace std::chrono_literals;
+
+namespace motor::pal {
+namespace {
+
+TEST(SemaphoreTest, InitialCountIsAcquirable) {
+  Semaphore sem(2);
+  EXPECT_TRUE(sem.try_acquire());
+  EXPECT_TRUE(sem.try_acquire());
+  EXPECT_FALSE(sem.try_acquire());
+}
+
+TEST(SemaphoreTest, ReleaseRestoresCount) {
+  Semaphore sem(0);
+  EXPECT_FALSE(sem.try_acquire());
+  sem.release();
+  EXPECT_TRUE(sem.try_acquire());
+}
+
+TEST(SemaphoreTest, ReleaseManyWakesMany) {
+  Semaphore sem(0);
+  sem.release(3);
+  EXPECT_TRUE(sem.try_acquire());
+  EXPECT_TRUE(sem.try_acquire());
+  EXPECT_TRUE(sem.try_acquire());
+  EXPECT_FALSE(sem.try_acquire());
+}
+
+TEST(SemaphoreTest, TimedAcquireTimesOut) {
+  Semaphore sem(0);
+  EXPECT_FALSE(sem.timed_acquire(10ms));
+}
+
+TEST(SemaphoreTest, AcquireBlocksUntilRelease) {
+  Semaphore sem(0);
+  std::thread t([&] {
+    std::this_thread::sleep_for(20ms);
+    sem.release();
+  });
+  sem.acquire();  // must not deadlock
+  t.join();
+  EXPECT_FALSE(sem.try_acquire());
+}
+
+}  // namespace
+}  // namespace motor::pal

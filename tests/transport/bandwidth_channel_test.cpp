@@ -1,0 +1,71 @@
+#include "transport/bandwidth_channel.hpp"
+
+#include <gtest/gtest.h>
+
+#include "pal/clock.hpp"
+#include "transport/ring_channel.hpp"
+
+namespace motor::transport {
+namespace {
+
+std::unique_ptr<BandwidthChannel> make(std::uint64_t bps,
+                                       std::size_t burst = 1024,
+                                       std::size_t cap = 1 << 16) {
+  return std::make_unique<BandwidthChannel>(
+      std::make_unique<RingChannel>(cap), bps, burst);
+}
+
+TEST(BandwidthChannelTest, BurstAcceptedImmediately) {
+  auto ch = make(1'000'000, /*burst=*/256);
+  std::vector<std::byte> data(1000);
+  EXPECT_EQ(ch->try_write(data), 256u);  // the bucket's initial burst
+}
+
+TEST(BandwidthChannelTest, RefillsOverTime) {
+  auto ch = make(1'000, /*burst=*/100);  // 1 KB/s: refill is observable
+  std::vector<std::byte> data(100);
+  ASSERT_EQ(ch->try_write(data), 100u);
+  EXPECT_EQ(ch->try_write(data), 0u);  // drained; ~0 refilled in microseconds
+
+  // ~1 byte refills per millisecond; wait for a few.
+  const pal::Stopwatch sw;
+  std::size_t total = 0;
+  while (total < 5 && sw.elapsed_ns() < 1'000'000'000) {
+    total += ch->try_write({data.data(), 5 - total});
+  }
+  EXPECT_EQ(total, 5u);
+}
+
+TEST(BandwidthChannelTest, ThroughputRoughlyMatchesConfig) {
+  constexpr std::uint64_t kBps = 50'000'000;  // 50 MB/s
+  auto ch = make(kBps, 4096, 1 << 20);
+  std::vector<std::byte> chunk(4096);
+  std::vector<std::byte> sink(8192);
+
+  const pal::Stopwatch sw;
+  std::size_t sent = 0;
+  while (sw.elapsed_ns() < 50'000'000) {  // 50 ms
+    sent += ch->try_write(chunk);
+    ch->try_read(sink);  // drain so the inner ring never backpressures
+  }
+  const double seconds = sw.elapsed_ns() / 1e9;
+  const double observed_bps = static_cast<double>(sent) / seconds;
+  EXPECT_GT(observed_bps, kBps * 0.5);
+  EXPECT_LT(observed_bps, kBps * 1.5);
+}
+
+TEST(BandwidthChannelTest, ReadsAreUnthrottled) {
+  auto ch = make(1'000'000'000, 1 << 16);
+  std::vector<std::byte> data(1000, std::byte{5});
+  ASSERT_EQ(ch->try_write(data), 1000u);
+  std::vector<std::byte> out(1000);
+  EXPECT_EQ(ch->try_read(out), 1000u);
+  EXPECT_EQ(out, data);
+}
+
+TEST(BandwidthChannelTest, NameAdvertisesDecoration) {
+  EXPECT_EQ(make(1000)->name(), "ring+bw");
+}
+
+}  // namespace
+}  // namespace motor::transport

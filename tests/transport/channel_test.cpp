@@ -1,0 +1,155 @@
+#include "transport/channel.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <thread>
+#include <vector>
+
+#include "common/prng.hpp"
+#include "transport/ring_channel.hpp"
+
+namespace motor::transport {
+namespace {
+
+std::vector<std::byte> make_payload(std::size_t n, std::uint64_t seed) {
+  Prng prng(seed);
+  std::vector<std::byte> data(n);
+  for (auto& b : data) b = static_cast<std::byte>(prng.next_u64());
+  return data;
+}
+
+class ChannelKindTest : public ::testing::TestWithParam<ChannelKind> {
+ protected:
+  std::unique_ptr<Channel> make(std::size_t cap = 1024) {
+    return make_channel(GetParam(), cap);
+  }
+};
+
+TEST_P(ChannelKindTest, StartsEmpty) {
+  auto ch = make();
+  EXPECT_EQ(ch->readable(), 0u);
+  EXPECT_FALSE(ch->at_eof());
+  std::byte buf[8];
+  EXPECT_EQ(ch->try_read({buf, sizeof buf}), 0u);
+}
+
+TEST_P(ChannelKindTest, WriteThenReadRoundTrips) {
+  auto ch = make();
+  auto payload = make_payload(256, 1);
+  ASSERT_EQ(ch->try_write(payload), payload.size());
+  EXPECT_EQ(ch->readable(), payload.size());
+
+  std::vector<std::byte> out(payload.size());
+  ASSERT_EQ(ch->try_read(out), out.size());
+  EXPECT_EQ(out, payload);
+  EXPECT_EQ(ch->readable(), 0u);
+}
+
+TEST_P(ChannelKindTest, PartialReadsPreserveOrder) {
+  auto ch = make();
+  auto payload = make_payload(100, 2);
+  ASSERT_EQ(ch->try_write(payload), payload.size());
+
+  std::vector<std::byte> out(payload.size());
+  std::size_t got = 0;
+  while (got < out.size()) {
+    got += ch->try_read({out.data() + got, std::min<std::size_t>(7, out.size() - got)});
+  }
+  EXPECT_EQ(out, payload);
+}
+
+TEST_P(ChannelKindTest, CloseStopsWritesButDrainsReads) {
+  auto ch = make();
+  auto payload = make_payload(32, 3);
+  ASSERT_EQ(ch->try_write(payload), payload.size());
+  ch->close();
+  EXPECT_EQ(ch->try_write(payload), 0u);
+  EXPECT_FALSE(ch->at_eof());  // still has buffered bytes
+
+  std::vector<std::byte> out(32);
+  EXPECT_EQ(ch->try_read(out), 32u);
+  EXPECT_TRUE(ch->at_eof());
+}
+
+TEST_P(ChannelKindTest, NameIsNonEmpty) { EXPECT_FALSE(make()->name().empty()); }
+
+INSTANTIATE_TEST_SUITE_P(AllKinds, ChannelKindTest,
+                         ::testing::Values(ChannelKind::kRing,
+                                           ChannelKind::kStream,
+                                           ChannelKind::kLoopback),
+                         [](const auto& info) {
+                           switch (info.param) {
+                             case ChannelKind::kRing: return "ring";
+                             case ChannelKind::kStream: return "stream";
+                             case ChannelKind::kLoopback: return "loopback";
+                           }
+                           return "unknown";
+                         });
+
+TEST(RingChannelTest, CapacityRoundsToPowerOfTwo) {
+  RingChannel ch(100);
+  EXPECT_EQ(ch.capacity(), 128u);
+  RingChannel tiny(1);
+  EXPECT_EQ(tiny.capacity(), 64u);
+}
+
+TEST(RingChannelTest, BackpressureAtCapacity) {
+  RingChannel ch(64);
+  auto payload = make_payload(200, 4);
+  const std::size_t accepted = ch.try_write(payload);
+  EXPECT_EQ(accepted, 64u);
+  EXPECT_EQ(ch.writable(), 0u);
+
+  std::byte out[16];
+  ASSERT_EQ(ch.try_read({out, 16}), 16u);
+  EXPECT_EQ(ch.writable(), 16u);
+}
+
+TEST(RingChannelTest, WrapAroundPreservesBytes) {
+  RingChannel ch(64);
+  // Drive the indices far past the capacity to exercise wrap handling.
+  Prng prng(5);
+  std::vector<std::byte> sent, received;
+  for (int round = 0; round < 200; ++round) {
+    auto chunk = make_payload(static_cast<std::size_t>(prng.next_in(1, 48)),
+                              prng.next_u64());
+    std::size_t n = ch.try_write(chunk);
+    sent.insert(sent.end(), chunk.begin(), chunk.begin() + static_cast<long>(n));
+    std::byte buf[48];
+    n = ch.try_read({buf, sizeof buf});
+    received.insert(received.end(), buf, buf + n);
+  }
+  std::byte buf[64];
+  for (;;) {
+    const std::size_t n = ch.try_read({buf, sizeof buf});
+    if (n == 0) break;
+    received.insert(received.end(), buf, buf + n);
+  }
+  EXPECT_EQ(received, sent);
+}
+
+TEST(RingChannelTest, ConcurrentProducerConsumerStress) {
+  RingChannel ch(256);
+  constexpr std::size_t kTotal = 1 << 20;
+  auto payload = make_payload(kTotal, 6);
+
+  std::thread producer([&] {
+    std::size_t sent = 0;
+    while (sent < kTotal) {
+      sent += ch.try_write({payload.data() + sent,
+                            std::min<std::size_t>(97, kTotal - sent)});
+    }
+  });
+
+  std::vector<std::byte> out(kTotal);
+  std::size_t got = 0;
+  while (got < kTotal) {
+    got += ch.try_read({out.data() + got, std::min<std::size_t>(131, kTotal - got)});
+  }
+  producer.join();
+  EXPECT_EQ(out, payload);
+}
+
+}  // namespace
+}  // namespace motor::transport

@@ -1,0 +1,65 @@
+#include "transport/fabric.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/status.hpp"
+
+namespace motor::transport {
+namespace {
+
+TEST(FabricTest, BuildsFullMesh) {
+  Fabric fabric(3, ChannelKind::kRing, 1024);
+  EXPECT_EQ(fabric.size(), 3);
+  for (int i = 0; i < 3; ++i) {
+    for (int j = 0; j < 3; ++j) {
+      Channel& ch = fabric.link(i, j);
+      if (i == j) {
+        EXPECT_EQ(ch.name(), "loopback");
+      } else {
+        EXPECT_EQ(ch.name(), "ring");
+      }
+    }
+  }
+}
+
+TEST(FabricTest, LinksAreDirectedAndDistinct) {
+  Fabric fabric(2, ChannelKind::kRing, 1024);
+  std::byte data[4] = {};
+  fabric.link(0, 1).try_write({data, 4});
+  EXPECT_EQ(fabric.link(0, 1).readable(), 4u);
+  EXPECT_EQ(fabric.link(1, 0).readable(), 0u);
+}
+
+TEST(FabricTest, BadRankFatals) {
+  Fabric fabric(2, ChannelKind::kStream, 1024);
+  EXPECT_THROW(fabric.link(-1, 0), FatalError);
+  EXPECT_THROW(fabric.link(0, 2), FatalError);
+}
+
+TEST(FabricTest, AddRanksExtendsMeshAndKeepsOldChannels) {
+  Fabric fabric(2, ChannelKind::kRing, 1024);
+  std::byte data[4] = {};
+  Channel& old_link = fabric.link(0, 1);
+  old_link.try_write({data, 4});
+
+  const int first_new = fabric.add_ranks(2);
+  EXPECT_EQ(first_new, 2);
+  EXPECT_EQ(fabric.size(), 4);
+
+  // Old channel object (and its buffered bytes) survives growth.
+  EXPECT_EQ(fabric.link(0, 1).readable(), 4u);
+  EXPECT_EQ(&fabric.link(0, 1), &old_link);
+
+  // New links exist in all directions.
+  fabric.link(3, 0).try_write({data, 2});
+  EXPECT_EQ(fabric.link(3, 0).readable(), 2u);
+  EXPECT_EQ(fabric.link(2, 3).readable(), 0u);
+}
+
+TEST(FabricTest, SingleRankWorldIsJustLoopback) {
+  Fabric fabric(1, ChannelKind::kStream, 512);
+  EXPECT_EQ(fabric.link(0, 0).name(), "loopback");
+}
+
+}  // namespace
+}  // namespace motor::transport

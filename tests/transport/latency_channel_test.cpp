@@ -1,0 +1,90 @@
+#include "transport/latency_channel.hpp"
+
+#include <gtest/gtest.h>
+
+#include "pal/clock.hpp"
+#include "pal/thread.hpp"
+#include "transport/ring_channel.hpp"
+
+using namespace std::chrono_literals;
+
+namespace motor::transport {
+namespace {
+
+std::unique_ptr<LatencyChannel> make(std::uint64_t latency_ns,
+                                     std::size_t cap = 1024) {
+  return std::make_unique<LatencyChannel>(
+      std::make_unique<RingChannel>(cap), latency_ns);
+}
+
+TEST(LatencyChannelTest, ZeroLatencyIsPassthrough) {
+  auto ch = make(0);
+  std::byte data[16] = {};
+  ASSERT_EQ(ch->try_write({data, 16}), 16u);
+  EXPECT_EQ(ch->readable(), 16u);
+  std::byte out[16];
+  EXPECT_EQ(ch->try_read({out, 16}), 16u);
+}
+
+TEST(LatencyChannelTest, BytesInvisibleBeforeRelease) {
+  auto ch = make(50'000'000);  // 50 ms
+  std::byte data[8] = {};
+  ASSERT_EQ(ch->try_write({data, 8}), 8u);
+  EXPECT_EQ(ch->readable(), 0u);
+  std::byte out[8];
+  EXPECT_EQ(ch->try_read({out, 8}), 0u);
+}
+
+TEST(LatencyChannelTest, BytesArriveAfterLatency) {
+  auto ch = make(5'000'000);  // 5 ms
+  std::byte data[8];
+  for (int i = 0; i < 8; ++i) data[i] = static_cast<std::byte>(i);
+  ASSERT_EQ(ch->try_write({data, 8}), 8u);
+
+  const pal::Stopwatch sw;
+  std::byte out[8];
+  std::size_t got = 0;
+  while (got < 8) got += ch->try_read({out + got, 8 - got});
+  EXPECT_GE(sw.elapsed_ns(), 4'000'000u);  // ~the configured latency
+  for (int i = 0; i < 8; ++i) EXPECT_EQ(out[i], static_cast<std::byte>(i));
+}
+
+TEST(LatencyChannelTest, WritesReleaseInOrder) {
+  auto ch = make(2'000'000);
+  std::byte a[4] = {std::byte{1}, std::byte{1}, std::byte{1}, std::byte{1}};
+  std::byte b[4] = {std::byte{2}, std::byte{2}, std::byte{2}, std::byte{2}};
+  ch->try_write({a, 4});
+  pal::Thread::sleep_for(1ms);
+  ch->try_write({b, 4});
+
+  std::byte out[8];
+  std::size_t got = 0;
+  while (got < 8) got += ch->try_read({out + got, 8 - got});
+  EXPECT_EQ(out[0], std::byte{1});
+  EXPECT_EQ(out[7], std::byte{2});
+}
+
+TEST(LatencyChannelTest, BackpressureComesFromInnerChannel) {
+  auto ch = make(1'000'000, /*cap=*/64);
+  std::vector<std::byte> big(200);
+  EXPECT_EQ(ch->try_write(big), 64u);  // inner ring capacity
+  EXPECT_EQ(ch->writable(), 0u);
+}
+
+TEST(LatencyChannelTest, NameAdvertisesDecoration) {
+  EXPECT_EQ(make(1000)->name(), "ring+latency");
+}
+
+TEST(LatencyChannelTest, CloseAndEofDelegate) {
+  auto ch = make(0);
+  std::byte data[4] = {};
+  ch->try_write({data, 4});
+  ch->close();
+  EXPECT_FALSE(ch->at_eof());
+  std::byte out[4];
+  ch->try_read({out, 4});
+  EXPECT_TRUE(ch->at_eof());
+}
+
+}  // namespace
+}  // namespace motor::transport

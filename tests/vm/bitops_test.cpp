@@ -1,0 +1,108 @@
+// Bitwise / shift opcodes of the interpreter.
+#include <gtest/gtest.h>
+
+#include "vm/assembler.hpp"
+#include "vm/interpreter.hpp"
+#include "vm/vm.hpp"
+
+namespace motor::vm {
+namespace {
+
+class BitOpsTest : public ::testing::Test {
+ protected:
+  BitOpsTest() : vm_(uncosted()), thread_(vm_), interp_(vm_, thread_) {}
+  static VmConfig uncosted() {
+    VmConfig c;
+    c.profile = RuntimeProfile::uncosted();
+    return c;
+  }
+
+  std::int32_t run_i32(MethodAssembler& a) {
+    Program p;
+    p.add_method(a.build());
+    return interp_.invoke(p, 0, {}).i32;
+  }
+  std::int64_t run_i64(MethodAssembler& a) {
+    Program p;
+    p.add_method(a.build());
+    return interp_.invoke(p, 0, {}).i64;
+  }
+
+  Vm vm_;
+  ManagedThread thread_;
+  Interpreter interp_;
+};
+
+TEST_F(BitOpsTest, AndOrXor32) {
+  MethodAssembler a("main", 0, 0);
+  a.ldc_i4(0b1100).ldc_i4(0b1010).and_().ret();
+  EXPECT_EQ(run_i32(a), 0b1000);
+
+  MethodAssembler o("main", 0, 0);
+  o.ldc_i4(0b1100).ldc_i4(0b1010).or_().ret();
+  EXPECT_EQ(run_i32(o), 0b1110);
+
+  MethodAssembler x("main", 0, 0);
+  x.ldc_i4(0b1100).ldc_i4(0b1010).xor_().ret();
+  EXPECT_EQ(run_i32(x), 0b0110);
+}
+
+TEST_F(BitOpsTest, Not32And64) {
+  MethodAssembler a("main", 0, 0);
+  a.ldc_i4(0).not_().ret();
+  EXPECT_EQ(run_i32(a), -1);
+
+  MethodAssembler b("main", 0, 0);
+  b.ldc_i8(0x00FF).not_().ret();
+  EXPECT_EQ(run_i64(b), ~std::int64_t{0x00FF});
+}
+
+TEST_F(BitOpsTest, Shifts) {
+  MethodAssembler a("main", 0, 0);
+  a.ldc_i4(3).ldc_i4(4).shl().ret();
+  EXPECT_EQ(run_i32(a), 48);
+
+  MethodAssembler b("main", 0, 0);
+  b.ldc_i4(-64).ldc_i4(2).shr().ret();
+  EXPECT_EQ(run_i32(b), -16);  // arithmetic shift on signed
+
+  MethodAssembler c("main", 0, 0);
+  c.ldc_i8(1).ldc_i4(40).shl().ret();
+  EXPECT_EQ(run_i64(c), std::int64_t{1} << 40);
+}
+
+TEST_F(BitOpsTest, ShiftCountIsMasked) {
+  // Shift counts wrap modulo the operand width (CLI semantics).
+  MethodAssembler a("main", 0, 0);
+  a.ldc_i4(1).ldc_i4(33).shl().ret();
+  EXPECT_EQ(run_i32(a), 2);
+}
+
+TEST_F(BitOpsTest, BitwiseOnFloatFatals) {
+  MethodAssembler a("main", 0, 0);
+  a.ldc_r8(1.0).ldc_r8(2.0).and_().ret();
+  EXPECT_THROW(run_i32(a), FatalError);
+}
+
+TEST_F(BitOpsTest, PopcountKernel) {
+  // Managed popcount via shift/and loop — a realistic bit-twiddling
+  // kernel running on the interpreter with back-edge GC polls.
+  MethodAssembler a("main", 1, 2);  // arg0 = v; loc1 = count
+  const int loop = a.new_label();
+  const int done = a.new_label();
+  a.ldc_i4(0).stloc(1);
+  a.bind(loop);
+  a.ldloc(0).ldc_i4(0).ceq().brtrue(done);
+  a.ldloc(1).ldloc(0).ldc_i4(1).and_().add().stloc(1);
+  a.ldloc(0).ldc_i4(1).shr().stloc(0);
+  a.br(loop);
+  a.bind(done);
+  a.ldloc(1).ret();
+  Program p;
+  p.add_method(a.build());
+  const Value arg = Value::from_i32(0b1011101);
+  EXPECT_EQ(interp_.invoke(p, 0, std::span(&arg, 1)).i32, 5);
+}
+
+}  // namespace
+}  // namespace motor::vm

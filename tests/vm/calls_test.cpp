@@ -1,0 +1,143 @@
+// FCall vs P/Invoke vs JNI call-mechanism semantics (paper §5.1/§2.3):
+// discipline (GC polling, marshalling, automatic pinning) and the cost
+// ordering the runtime profiles encode.
+#include <gtest/gtest.h>
+
+#include "pal/clock.hpp"
+#include "pal/thread.hpp"
+#include "vm/handles.hpp"
+#include "vm/vm.hpp"
+
+namespace motor::vm {
+namespace {
+
+VmConfig profile_config(RuntimeProfile profile) {
+  VmConfig c;
+  c.profile = std::move(profile);
+  c.heap.young_bytes = 64 * 1024;
+  return c;
+}
+
+TEST(CallsTest, FCallInvokesBodyWithArgs) {
+  Vm vm(profile_config(RuntimeProfile::uncosted()));
+  ManagedThread thread(vm);
+  const int idx = vm.fcalls().register_fcall(
+      "sum", [](Vm&, ManagedThread&, std::span<const Value> args) {
+        return Value::from_i64(args[0].i64 + args[1].i64);
+      });
+  const Value args[] = {Value::from_i64(40), Value::from_i64(2)};
+  EXPECT_EQ(vm.fcalls().invoke(vm, thread, idx, args).i64, 42);
+  EXPECT_EQ(vm.fcalls().find("sum"), idx);
+  EXPECT_EQ(vm.fcalls().find("missing"), -1);
+}
+
+TEST(CallsTest, FCallPollsGcOnEntryAndExit) {
+  Vm vm(profile_config(RuntimeProfile::uncosted()));
+  ManagedThread thread(vm);
+  const int idx = vm.fcalls().register_fcall(
+      "noop",
+      [](Vm&, ManagedThread&, std::span<const Value>) { return Value(); });
+  const auto polls_before = vm.safepoints().polls();
+  vm.fcalls().invoke(vm, thread, idx, {});
+  EXPECT_EQ(vm.safepoints().polls(), polls_before + 2);
+}
+
+TEST(CallsTest, JniInvocationAutoPinsReferenceArgs) {
+  Vm vm(profile_config(RuntimeProfile::uncosted()));
+  ManagedThread thread(vm);
+  const MethodTable* ints = vm.types().primitive_array(ElementKind::kInt32);
+  GcRoot arr(thread, vm.heap().alloc_array(ints, 8));
+
+  bool was_pinned_inside = false;
+  const int idx = vm.pinvokes().register_entry(
+      "native_touch",
+      [&](Vm& inner_vm, ManagedThread&, std::span<const Value> args) {
+        was_pinned_inside = inner_vm.heap().is_pinned(args[0].ref);
+        return Value();
+      });
+  const Value args[] = {Value::from_ref(arr.get())};
+  vm.pinvokes().invoke_jni(vm, thread, idx, args);
+  EXPECT_TRUE(was_pinned_inside);                    // pinned for the call
+  EXPECT_FALSE(vm.heap().is_pinned(arr.get()));      // unpinned after
+}
+
+TEST(CallsTest, PInvokeDoesNotPin) {
+  Vm vm(profile_config(RuntimeProfile::uncosted()));
+  ManagedThread thread(vm);
+  const MethodTable* ints = vm.types().primitive_array(ElementKind::kInt32);
+  GcRoot arr(thread, vm.heap().alloc_array(ints, 8));
+
+  bool was_pinned_inside = true;
+  const int idx = vm.pinvokes().register_entry(
+      "native_raw", [&](Vm& inner_vm, ManagedThread&,
+                        std::span<const Value> args) {
+        was_pinned_inside = inner_vm.heap().is_pinned(args[0].ref);
+        return Value();
+      });
+  const Value args[] = {Value::from_ref(arr.get())};
+  vm.pinvokes().invoke(vm, thread, idx, args);
+  // "In the CLI it is the responsibility of the application" (§2.3).
+  EXPECT_FALSE(was_pinned_inside);
+}
+
+TEST(CallsTest, TransitionCostOrderingFCallBelowPInvokeBelowNothing) {
+  // FCall must be much cheaper than P/Invoke under every hosted profile.
+  for (const RuntimeProfile& profile :
+       {RuntimeProfile::sscli(), RuntimeProfile::commercial_net()}) {
+    Vm vm(profile_config(profile));
+    ManagedThread thread(vm);
+    const int f = vm.fcalls().register_fcall(
+        "f", [](Vm&, ManagedThread&, std::span<const Value>) { return Value(); });
+    const int p = vm.pinvokes().register_entry(
+        "p", [](Vm&, ManagedThread&, std::span<const Value>) { return Value(); });
+
+    constexpr int kCalls = 200;
+    pal::Stopwatch sw;
+    for (int i = 0; i < kCalls; ++i) vm.fcalls().invoke(vm, thread, f, {});
+    const auto fcall_ns = sw.elapsed_ns();
+    sw.restart();
+    for (int i = 0; i < kCalls; ++i) vm.pinvokes().invoke(vm, thread, p, {});
+    const auto pinvoke_ns = sw.elapsed_ns();
+
+    EXPECT_LT(fcall_ns * 3, pinvoke_ns) << profile.name;
+  }
+}
+
+TEST(CallsTest, SscliPInvokeCostlierThanCommercialNet) {
+  const auto measure = [](const RuntimeProfile& profile) {
+    Vm vm(profile_config(profile));
+    ManagedThread thread(vm);
+    const int p = vm.pinvokes().register_entry(
+        "p", [](Vm&, ManagedThread&, std::span<const Value>) { return Value(); });
+    pal::Stopwatch sw;
+    for (int i = 0; i < 200; ++i) vm.pinvokes().invoke(vm, thread, p, {});
+    return sw.elapsed_ns();
+  };
+  EXPECT_GT(measure(RuntimeProfile::sscli()),
+            measure(RuntimeProfile::commercial_net()));
+}
+
+TEST(CallsTest, NativeRegionAllowsGcToProceed) {
+  // A thread inside a P/Invoke body counts as stopped: another thread can
+  // collect while it is "in native".
+  Vm vm(profile_config(RuntimeProfile::uncosted()));
+  ManagedThread main_thread(vm);
+
+  std::atomic<bool> native_entered{false};
+  std::atomic<bool> release_native{false};
+  pal::Thread native_thread("native", [&] {
+    ManagedThread t(vm);
+    NativeRegion region(vm.safepoints());
+    native_entered = true;
+    while (!release_native) pal::Thread::yield();
+  });
+
+  while (!native_entered) pal::Thread::yield();
+  vm.heap().collect();  // must not deadlock on the native-parked thread
+  release_native = true;
+  native_thread.join();
+  EXPECT_GE(vm.heap().stats().collections, 1u);
+}
+
+}  // namespace
+}  // namespace motor::vm

@@ -1,0 +1,195 @@
+#include <gtest/gtest.h>
+
+#include "vm/handles.hpp"
+#include "vm/vm.hpp"
+
+namespace motor::vm {
+namespace {
+
+VmConfig small_heap_config(std::size_t young = 64 * 1024) {
+  VmConfig c;
+  c.profile = RuntimeProfile::uncosted();
+  c.heap.young_bytes = young;
+  return c;
+}
+
+class GcTest : public ::testing::Test {
+ protected:
+  GcTest() : vm_(small_heap_config()), thread_(vm_) {
+    node_ = vm_.types()
+                .define_class("Node")
+                .field("value", ElementKind::kInt64)
+                .ref_field("next", vm_.types().object_type(), true)
+                .build();
+    ints_ = vm_.types().primitive_array(ElementKind::kInt32);
+  }
+
+  Obj make_node(std::int64_t value, Obj next) {
+    GcRoot next_root(thread_, next);
+    Obj n = vm_.heap().alloc_object(node_);
+    set_field(n, 0, value);
+    set_ref_field(n, 8, next_root.get());
+    return n;
+  }
+
+  Vm vm_;
+  ManagedThread thread_;
+  const MethodTable* node_;
+  const MethodTable* ints_;
+};
+
+TEST_F(GcTest, CollectPromotesRootedObjects) {
+  GcRoot keep(thread_, make_node(7, nullptr));
+  EXPECT_TRUE(vm_.heap().in_young(keep.get()));
+  vm_.heap().collect();
+  // Live young objects are copied (promoted) to the elder generation.
+  EXPECT_FALSE(vm_.heap().in_young(keep.get()));
+  EXPECT_TRUE(vm_.heap().in_elder(keep.get()));
+  EXPECT_EQ(get_field<std::int64_t>(keep.get(), 0), 7);
+  EXPECT_EQ(vm_.heap().stats().promoted_objects, 1u);
+}
+
+TEST_F(GcTest, UnreachableYoungObjectsDie) {
+  make_node(1, nullptr);  // no root
+  make_node(2, nullptr);
+  const std::size_t used_before = vm_.heap().young_used();
+  EXPECT_GT(used_before, 0u);
+  vm_.heap().collect();
+  EXPECT_EQ(vm_.heap().young_used(), 0u);
+  EXPECT_EQ(vm_.heap().stats().dead_young_objects, 2u);
+  EXPECT_EQ(vm_.heap().stats().promoted_objects, 0u);
+}
+
+TEST_F(GcTest, ReferencesFixedUpAfterPromotion) {
+  GcRoot head(thread_, make_node(1, make_node(2, make_node(3, nullptr))));
+  vm_.heap().collect();
+  Obj n1 = head.get();
+  Obj n2 = get_ref_field(n1, 8);
+  Obj n3 = get_ref_field(n2, 8);
+  ASSERT_NE(n2, nullptr);
+  ASSERT_NE(n3, nullptr);
+  EXPECT_EQ(get_field<std::int64_t>(n1, 0), 1);
+  EXPECT_EQ(get_field<std::int64_t>(n2, 0), 2);
+  EXPECT_EQ(get_field<std::int64_t>(n3, 0), 3);
+  EXPECT_EQ(get_ref_field(n3, 8), nullptr);
+  vm_.heap().verify_heap();
+}
+
+TEST_F(GcTest, CyclesAreCollectedAndPreserved) {
+  // Preserved while rooted...
+  GcRoot a(thread_, make_node(1, nullptr));
+  {
+    GcRoot b(thread_, make_node(2, a.get()));
+    set_ref_field(a.get(), 8, b.get());  // a <-> b cycle
+    vm_.heap().collect();
+    EXPECT_EQ(get_field<std::int64_t>(get_ref_field(a.get(), 8), 0), 2);
+    EXPECT_EQ(get_ref_field(get_ref_field(a.get(), 8), 8), a.get());
+  }
+  // ...and collected once unreferenced (cycle does not keep itself alive).
+  const auto elder_before = vm_.heap().elder_object_count();
+  a.set(nullptr);
+  vm_.heap().collect(/*force_elder_sweep=*/true);
+  EXPECT_LT(vm_.heap().elder_object_count(), elder_before);
+}
+
+TEST_F(GcTest, AllocationTriggersCollection) {
+  GcRoot keep(thread_, vm_.heap().alloc_array(ints_, 1000));
+  const auto before = vm_.heap().stats().collections;
+  // Allocate far beyond the 64 KiB nursery: collections must kick in.
+  for (int i = 0; i < 100; ++i) {
+    vm_.heap().alloc_array(ints_, 500);  // ~2 KB each, unrooted
+  }
+  EXPECT_GT(vm_.heap().stats().collections, before);
+  // The rooted array survived every collection intact.
+  EXPECT_EQ(array_length(keep.get()), 1000);
+}
+
+TEST_F(GcTest, ElderSweepFreesUnreachablePromoted) {
+  {
+    GcRoot tmp(thread_, make_node(5, nullptr));
+    vm_.heap().collect();  // promotes tmp's node
+    EXPECT_TRUE(vm_.heap().in_elder(tmp.get()));
+  }
+  const auto freed_before = vm_.heap().stats().elder_freed_objects;
+  vm_.heap().collect(/*force_elder_sweep=*/true);
+  EXPECT_GT(vm_.heap().stats().elder_freed_objects, freed_before);
+}
+
+TEST_F(GcTest, ElderSweptLessFrequentlyThanYoung) {
+  // Default interval is 4: three collections -> no sweep yet.
+  VmConfig cfg = small_heap_config();
+  cfg.heap.elder_sweep_interval = 4;
+  Vm vm(cfg);
+  ManagedThread thread(vm);
+  vm.heap().collect();
+  vm.heap().collect();
+  vm.heap().collect();
+  EXPECT_EQ(vm.heap().stats().elder_sweeps, 0u);
+  vm.heap().collect();
+  EXPECT_EQ(vm.heap().stats().elder_sweeps, 1u);
+}
+
+TEST_F(GcTest, InteriorGraphReachableOnlyViaArray) {
+  const MethodTable* arr_mt = vm_.types().ref_array(node_);
+  GcRoot arr(thread_, vm_.heap().alloc_array(arr_mt, 4));
+  for (int i = 0; i < 4; ++i) {
+    Obj n = make_node(i, nullptr);
+    set_ref_element(arr.get(), i, n);
+  }
+  vm_.heap().collect();
+  for (int i = 0; i < 4; ++i) {
+    Obj n = get_ref_element(arr.get(), i);
+    ASSERT_NE(n, nullptr);
+    EXPECT_EQ(get_field<std::int64_t>(n, 0), i);
+  }
+  vm_.heap().verify_heap();
+}
+
+TEST_F(GcTest, StaticRefSlotsAreRoots) {
+  MethodTable* node = const_cast<MethodTable*>(node_);
+  Obj kept = make_node(99, nullptr);
+  node->static_ref_slots().push_back(kept);
+  vm_.heap().collect();
+  Obj after = static_cast<Obj>(node->static_ref_slots()[0]);
+  ASSERT_NE(after, nullptr);
+  EXPECT_EQ(get_field<std::int64_t>(after, 0), 99);
+  EXPECT_TRUE(vm_.heap().in_elder(after));
+  node->static_ref_slots().clear();
+}
+
+TEST_F(GcTest, RootRangeProtectsGrowingTable) {
+  RootRange table(thread_);
+  for (int i = 0; i < 50; ++i) {
+    table.add(make_node(i, nullptr));
+    if (i % 10 == 0) vm_.heap().collect();
+  }
+  vm_.heap().collect();
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(get_field<std::int64_t>(table.at(static_cast<std::size_t>(i)), 0),
+              i);
+  }
+}
+
+TEST_F(GcTest, VerifyHeapPassesOnHealthyHeap) {
+  GcRoot a(thread_, make_node(1, make_node(2, nullptr)));
+  vm_.heap().verify_heap();
+  vm_.heap().collect();
+  vm_.heap().verify_heap();
+}
+
+TEST_F(GcTest, GcHookSeesEpoch) {
+  static std::uint64_t observed = 0;
+  vm_.heap().add_gc_hook(
+      [](void*, std::uint64_t epoch) { observed = epoch; }, nullptr);
+  vm_.heap().collect();
+  EXPECT_EQ(observed, vm_.heap().epoch());
+  EXPECT_GE(observed, 1u);
+}
+
+TEST_F(GcTest, PauseTimeAccounted) {
+  vm_.heap().collect();
+  EXPECT_GT(vm_.heap().stats().total_pause_ns, 0u);
+}
+
+}  // namespace
+}  // namespace motor::vm

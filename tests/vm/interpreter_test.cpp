@@ -1,0 +1,225 @@
+#include "vm/interpreter.hpp"
+
+#include <gtest/gtest.h>
+
+#include "vm/assembler.hpp"
+#include "vm/vm.hpp"
+
+namespace motor::vm {
+namespace {
+
+class InterpreterTest : public ::testing::Test {
+ protected:
+  InterpreterTest() : vm_(uncosted()), thread_(vm_), interp_(vm_, thread_) {}
+  static VmConfig uncosted() {
+    VmConfig c;
+    c.profile = RuntimeProfile::uncosted();
+    c.heap.young_bytes = 64 * 1024;
+    return c;
+  }
+
+  Value run_main(Program& program, std::span<const Value> args = {}) {
+    return interp_.invoke(program, program.method_named("main"), args);
+  }
+
+  Vm vm_;
+  ManagedThread thread_;
+  Interpreter interp_;
+};
+
+TEST_F(InterpreterTest, ArithmeticExpression) {
+  Program p;
+  // (3 + 4) * 5 - 2 = 33
+  p.add_method(MethodAssembler("main", 0, 0)
+                   .ldc_i4(3)
+                   .ldc_i4(4)
+                   .add()
+                   .ldc_i4(5)
+                   .mul()
+                   .ldc_i4(2)
+                   .sub()
+                   .ret()
+                   .build());
+  EXPECT_EQ(run_main(p).i32, 33);
+}
+
+TEST_F(InterpreterTest, FloatingPointAndConversion) {
+  Program p;
+  p.add_method(MethodAssembler("main", 0, 0)
+                   .ldc_r8(2.5)
+                   .ldc_i4(4)
+                   .conv_r8()
+                   .mul()
+                   .conv_i4()
+                   .ret()
+                   .build());
+  EXPECT_EQ(run_main(p).i32, 10);
+}
+
+TEST_F(InterpreterTest, LoopComputesSum) {
+  // sum(1..n) with a backward branch (exercises the GC safepoint poll).
+  Program p;
+  MethodAssembler a("main", 1, 2);  // arg0 = n; loc1 = i, loc2 = sum
+  const int loop = a.new_label();
+  const int done = a.new_label();
+  a.ldc_i4(1).stloc(1);
+  a.ldc_i4(0).stloc(2);
+  a.bind(loop);
+  a.ldloc(1).ldloc(0).cgt().brtrue(done);
+  a.ldloc(2).ldloc(1).add().stloc(2);
+  a.ldloc(1).ldc_i4(1).add().stloc(1);
+  a.br(loop);
+  a.bind(done);
+  a.ldloc(2).ret();
+  p.add_method(a.build());
+
+  const Value n = Value::from_i32(100);
+  EXPECT_EQ(run_main(p, std::span(&n, 1)).i32, 5050);
+  EXPECT_GE(vm_.safepoints().polls(), 100u);  // polled on back edges
+}
+
+TEST_F(InterpreterTest, MethodCallsAndRecursion) {
+  Program p;
+  // fib(n) = n < 2 ? n : fib(n-1) + fib(n-2)
+  MethodAssembler fib("fib", 1, 0);
+  const int base = fib.new_label();
+  fib.ldloc(0).ldc_i4(2).clt().brtrue(base);
+  fib.ldloc(0).ldc_i4(1).sub().call(0);
+  fib.ldloc(0).ldc_i4(2).sub().call(0);
+  fib.add().ret();
+  fib.bind(base).ldloc(0).ret();
+  p.add_method(fib.build());  // index 0
+
+  MethodAssembler main("main", 0, 0);
+  main.ldc_i4(12).call(0).ret();
+  p.add_method(main.build());
+
+  EXPECT_EQ(run_main(p).i32, 144);
+}
+
+TEST_F(InterpreterTest, ObjectFieldsViaBytecode) {
+  const MethodTable* point = vm_.types()
+                                 .define_class("Point")
+                                 .field("x", ElementKind::kInt32)
+                                 .field("y", ElementKind::kInt32)
+                                 .build();
+  Program p;
+  const int point_idx = p.add_type(point);
+  MethodAssembler a("main", 0, 1);
+  a.newobj(point_idx).stloc(0);
+  a.ldloc(0).ldc_i4(11).stfld(*point->field_named("x"));
+  a.ldloc(0).ldc_i4(31).stfld(*point->field_named("y"));
+  a.ldloc(0).ldfld(*point->field_named("x"));
+  a.ldloc(0).ldfld(*point->field_named("y"));
+  a.add().ret();
+  p.add_method(a.build());
+  EXPECT_EQ(run_main(p).i32, 42);
+}
+
+TEST_F(InterpreterTest, ArraysViaBytecode) {
+  const MethodTable* ints = vm_.types().primitive_array(ElementKind::kInt32);
+  Program p;
+  const int arr_idx = p.add_type(ints);
+  // arr = new int[10]; arr[3] = 7; arr[4] = arr[3] * 2; return arr[4] + len
+  MethodAssembler a("main", 0, 1);
+  a.ldc_i4(10).newarr(arr_idx).stloc(0);
+  a.ldloc(0).ldc_i4(3).ldc_i4(7).stelem();
+  a.ldloc(0).ldc_i4(4);
+  a.ldloc(0).ldc_i4(3).ldelem().ldc_i4(2).mul();
+  a.stelem();
+  a.ldloc(0).ldc_i4(4).ldelem().conv_i8();
+  a.ldloc(0).ldlen().add().conv_i4().ret();
+  p.add_method(a.build());
+  EXPECT_EQ(run_main(p).i32, 24);
+}
+
+TEST_F(InterpreterTest, AllocationLoopSurvivesCollections) {
+  // Allocate ~200 KB of arrays in a 64 KiB nursery while keeping one live
+  // in a local: locals are precise roots, so the value must survive GCs.
+  const MethodTable* ints = vm_.types().primitive_array(ElementKind::kInt32);
+  Program p;
+  const int arr_idx = p.add_type(ints);
+  MethodAssembler a("main", 0, 3);  // loc0 = keeper, loc1 = i, loc2 = tmp
+  const int loop = a.new_label();
+  const int done = a.new_label();
+  a.ldc_i4(64).newarr(arr_idx).stloc(0);
+  a.ldloc(0).ldc_i4(0).ldc_i4(1234).stelem();
+  a.ldc_i4(0).stloc(1);
+  a.bind(loop);
+  a.ldloc(1).ldc_i4(200).cge().brtrue(done);
+  a.ldc_i4(256).newarr(arr_idx).stloc(2);  // garbage
+  a.ldloc(1).ldc_i4(1).add().stloc(1);
+  a.br(loop);
+  a.bind(done);
+  a.ldloc(0).ldc_i4(0).ldelem().ret();
+  p.add_method(a.build());
+
+  EXPECT_EQ(run_main(p).i32, 1234);
+  EXPECT_GT(vm_.heap().stats().collections, 0u);
+}
+
+TEST_F(InterpreterTest, FCallDispatchFromBytecode) {
+  const int fcall_idx = vm_.fcalls().register_fcall(
+      "Test.AddMul", [](Vm&, ManagedThread&, std::span<const Value> args) {
+        return Value::from_i32((args[0].i32 + args[1].i32) * args[2].i32);
+      });
+  Program p;
+  MethodAssembler a("main", 0, 0);
+  a.ldc_i4(2).ldc_i4(3).ldc_i4(4).call_native(fcall_idx, 3).ret();
+  p.add_method(a.build());
+  EXPECT_EQ(run_main(p).i32, 20);
+  EXPECT_EQ(vm_.fcalls().calls(), 1u);
+}
+
+TEST_F(InterpreterTest, DivideByZeroFatals) {
+  Program p;
+  p.add_method(MethodAssembler("main", 0, 0)
+                   .ldc_i4(1)
+                   .ldc_i4(0)
+                   .div()
+                   .ret()
+                   .build());
+  EXPECT_THROW(run_main(p), FatalError);
+}
+
+TEST_F(InterpreterTest, NullFieldAccessFatals) {
+  const MethodTable* point =
+      vm_.types().define_class("NP").field("x", ElementKind::kInt32).build();
+  Program p;
+  MethodAssembler a("main", 0, 0);
+  a.ldnull().ldfld(*point->field_named("x")).ret();
+  p.add_method(a.build());
+  EXPECT_THROW(run_main(p), FatalError);
+}
+
+TEST_F(InterpreterTest, ArrayBoundsChecked) {
+  const MethodTable* ints = vm_.types().primitive_array(ElementKind::kInt32);
+  Program p;
+  const int arr_idx = p.add_type(ints);
+  MethodAssembler a("main", 0, 1);
+  a.ldc_i4(4).newarr(arr_idx).stloc(0);
+  a.ldloc(0).ldc_i4(4).ldelem().ret();  // index == length
+  p.add_method(a.build());
+  EXPECT_THROW(run_main(p), FatalError);
+}
+
+TEST_F(InterpreterTest, InfiniteRecursionOverflows) {
+  Program p;
+  MethodAssembler rec("rec", 0, 0);
+  rec.call(0).ret();
+  p.add_method(rec.build());
+  MethodAssembler main("main", 0, 0);
+  main.call(0).ret();
+  p.add_method(main.build());
+  EXPECT_THROW(interp_.invoke(p, 1, {}), FatalError);
+}
+
+TEST_F(InterpreterTest, UnboundLabelFatalsAtBuild) {
+  MethodAssembler a("broken", 0, 0);
+  const int label = a.new_label();
+  a.br(label);
+  EXPECT_THROW(a.build(), FatalError);
+}
+
+}  // namespace
+}  // namespace motor::vm

@@ -1,0 +1,132 @@
+#include "vm/object.hpp"
+
+#include <gtest/gtest.h>
+
+#include "vm/handles.hpp"
+#include "vm/vm.hpp"
+
+namespace motor::vm {
+namespace {
+
+class ObjectTest : public ::testing::Test {
+ protected:
+  ObjectTest() : vm_(uncosted()), thread_(vm_) {}
+  static VmConfig uncosted() {
+    VmConfig c;
+    c.profile = RuntimeProfile::uncosted();
+    return c;
+  }
+  Vm vm_;
+  ManagedThread thread_;
+};
+
+TEST_F(ObjectTest, PlainObjectLayout) {
+  const MethodTable* mt = vm_.types()
+                              .define_class("P")
+                              .field("a", ElementKind::kInt32)
+                              .field("b", ElementKind::kDouble)
+                              .build();
+  Obj obj = vm_.heap().alloc_object(mt);
+  EXPECT_EQ(obj_mt(obj), mt);
+  EXPECT_EQ(object_total_bytes(obj), kHeaderBytes + 16);
+
+  set_field<std::int32_t>(obj, mt->field_named("a")->offset(), 42);
+  set_field<double>(obj, mt->field_named("b")->offset(), 1.5);
+  EXPECT_EQ((get_field<std::int32_t>(obj, 0)), 42);
+  EXPECT_DOUBLE_EQ(get_field<double>(obj, 8), 1.5);
+}
+
+TEST_F(ObjectTest, FreshObjectIsZeroed) {
+  const MethodTable* mt = vm_.types()
+                              .define_class("Z")
+                              .field("x", ElementKind::kInt64)
+                              .ref_field("r", vm_.types().object_type())
+                              .build();
+  Obj obj = vm_.heap().alloc_object(mt);
+  EXPECT_EQ(get_field<std::int64_t>(obj, 0), 0);
+  EXPECT_EQ(get_ref_field(obj, 8), nullptr);
+}
+
+TEST_F(ObjectTest, Rank1ArrayLayout) {
+  const MethodTable* mt = vm_.types().primitive_array(ElementKind::kInt32);
+  Obj arr = vm_.heap().alloc_array(mt, 10);
+  EXPECT_EQ(array_length(arr), 10);
+  EXPECT_EQ(array_dim(arr, 0), 10);
+  EXPECT_EQ(array_payload_bytes(arr), 40u);
+  EXPECT_EQ(object_total_bytes(arr), kHeaderBytes + 8 + 40);
+
+  for (std::int64_t i = 0; i < 10; ++i) {
+    set_element<std::int32_t>(arr, i, static_cast<std::int32_t>(i * i));
+  }
+  EXPECT_EQ((get_element<std::int32_t>(arr, 7)), 49);
+}
+
+TEST_F(ObjectTest, MultidimensionalArrayIsOneContiguousObject) {
+  // The CLI feature the paper highlights against Java's arrays-of-arrays.
+  const MethodTable* mt = vm_.types().primitive_array(ElementKind::kDouble, 2);
+  Obj arr = vm_.heap().alloc_md_array(mt, {3, 4});
+  EXPECT_EQ(array_length(arr), 12);
+  EXPECT_EQ(array_dim(arr, 0), 3);
+  EXPECT_EQ(array_dim(arr, 1), 4);
+  EXPECT_EQ(array_payload_bytes(arr), 96u);
+
+  // Row-major fill through the flat payload.
+  for (std::int64_t i = 0; i < 12; ++i) {
+    set_element<double>(arr, i, static_cast<double>(i));
+  }
+  EXPECT_DOUBLE_EQ(get_element<double>(arr, 2 * 4 + 3), 11.0);
+}
+
+TEST_F(ObjectTest, ZeroLengthArray) {
+  const MethodTable* mt = vm_.types().primitive_array(ElementKind::kUInt8);
+  Obj arr = vm_.heap().alloc_array(mt, 0);
+  EXPECT_EQ(array_length(arr), 0);
+  EXPECT_EQ(array_payload_bytes(arr), 0u);
+}
+
+TEST_F(ObjectTest, RefArrayElements) {
+  const MethodTable* node = vm_.types().define_class("RN").build();
+  const MethodTable* arr_mt = vm_.types().ref_array(node);
+  GcRoot arr(thread_, vm_.heap().alloc_array(arr_mt, 3));
+  GcRoot n0(thread_, vm_.heap().alloc_object(node));
+  set_ref_element(arr.get(), 0, n0.get());
+  EXPECT_EQ(get_ref_element(arr.get(), 0), n0.get());
+  EXPECT_EQ(get_ref_element(arr.get(), 1), nullptr);
+}
+
+TEST_F(ObjectTest, HeaderMarkBitsRoundTrip) {
+  const MethodTable* mt = vm_.types().define_class("H").build();
+  Obj obj = vm_.heap().alloc_object(mt);
+  EXPECT_FALSE(is_marked(obj));
+  set_mark(obj);
+  EXPECT_TRUE(is_marked(obj));
+  EXPECT_EQ(obj_mt(obj), mt);  // mt still readable through the mark bit
+  clear_mark(obj);
+  EXPECT_FALSE(is_marked(obj));
+}
+
+TEST_F(ObjectTest, ForwardingPointerRoundTrip) {
+  const MethodTable* mt = vm_.types().define_class("F").build();
+  Obj a = vm_.heap().alloc_object(mt);
+  Obj b = vm_.heap().alloc_object(mt);
+  EXPECT_FALSE(is_forwarded(a));
+  set_forwarding(a, b);
+  EXPECT_TRUE(is_forwarded(a));
+  EXPECT_EQ(forwarding_target(a), b);
+}
+
+TEST_F(ObjectTest, NegativeArrayLengthFatals) {
+  const MethodTable* mt = vm_.types().primitive_array(ElementKind::kInt32);
+  EXPECT_THROW(vm_.heap().alloc_array(mt, -1), FatalError);
+}
+
+TEST_F(ObjectTest, LargeObjectGoesStraightToElder) {
+  const MethodTable* mt = vm_.types().primitive_array(ElementKind::kUInt8);
+  // Default nursery is 1 MiB with a 0.25 large-object fraction.
+  Obj big = vm_.heap().alloc_array(mt, 512 * 1024);
+  EXPECT_FALSE(vm_.heap().in_young(big));
+  EXPECT_TRUE(vm_.heap().in_elder(big));
+}
+
+}  // namespace
+}  // namespace motor::vm

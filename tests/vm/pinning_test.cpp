@@ -1,0 +1,181 @@
+// Pinning semantics: explicit pins, young-block donation, and Motor's
+// conditional (request-status-dependent) pins — the §4.3/§5.2/§7.4
+// mechanisms.
+#include <gtest/gtest.h>
+
+#include "vm/handles.hpp"
+#include "vm/vm.hpp"
+
+namespace motor::vm {
+namespace {
+
+VmConfig test_config() {
+  VmConfig c;
+  c.profile = RuntimeProfile::uncosted();
+  c.heap.young_bytes = 64 * 1024;
+  c.heap.elder_sweep_interval = 1;
+  return c;
+}
+
+class PinningTest : public ::testing::Test {
+ protected:
+  PinningTest() : vm_(test_config()), thread_(vm_) {
+    ints_ = vm_.types().primitive_array(ElementKind::kInt32);
+  }
+
+  Obj make_array(int n) {
+    Obj arr = vm_.heap().alloc_array(ints_, n);
+    for (int i = 0; i < n; ++i) set_element<std::int32_t>(arr, i, i * 3);
+    return arr;
+  }
+
+  Vm vm_;
+  ManagedThread thread_;
+  const MethodTable* ints_;
+};
+
+TEST_F(PinningTest, PinnedObjectDoesNotMove) {
+  GcRoot arr(thread_, make_array(16));
+  Obj before = arr.get();
+  ASSERT_TRUE(vm_.heap().in_young(before));
+  vm_.heap().pin(before);
+  vm_.heap().collect();
+  EXPECT_EQ(arr.get(), before);  // same address: not moved
+  EXPECT_EQ(get_element<std::int32_t>(arr.get(), 5), 15);
+  vm_.heap().unpin(before);
+}
+
+TEST_F(PinningTest, UnpinnedObjectMovesUnderSamePressure) {
+  GcRoot arr(thread_, make_array(16));
+  Obj before = arr.get();
+  vm_.heap().collect();
+  EXPECT_NE(arr.get(), before);  // promoted == moved
+  EXPECT_EQ(get_element<std::int32_t>(arr.get(), 5), 15);
+}
+
+TEST_F(PinningTest, PinnedSurvivorDonatesYoungBlock) {
+  GcRoot pinned(thread_, make_array(8));
+  GcRoot moved(thread_, make_array(8));
+  vm_.heap().pin(pinned.get());
+  const Obj pinned_before = pinned.get();
+
+  vm_.heap().collect();
+
+  // "The entire block of younger generational memory is assigned to the
+  // elder generation" — the pinned object keeps its address but is now
+  // elder; the unpinned one was copied out; the nursery is fresh.
+  EXPECT_EQ(vm_.heap().stats().young_blocks_donated, 1u);
+  EXPECT_EQ(pinned.get(), pinned_before);
+  EXPECT_TRUE(vm_.heap().in_elder(pinned.get()));
+  EXPECT_FALSE(vm_.heap().in_young(pinned.get()));
+  EXPECT_NE(moved.get(), pinned_before);
+  EXPECT_EQ(vm_.heap().young_used(), 0u);
+  vm_.heap().unpin(pinned_before);
+
+  // The donated block's pinned resident is collectible once dead.
+  pinned.set(nullptr);
+  vm_.heap().collect(/*force_elder_sweep=*/true);
+  vm_.heap().verify_heap();
+}
+
+TEST_F(PinningTest, NoDonationWithoutPinnedSurvivors) {
+  GcRoot arr(thread_, make_array(8));
+  vm_.heap().collect();
+  EXPECT_EQ(vm_.heap().stats().young_blocks_donated, 0u);
+}
+
+TEST_F(PinningTest, PinIsCounted) {
+  GcRoot arr(thread_, make_array(4));
+  vm_.heap().pin(arr.get());
+  vm_.heap().pin(arr.get());
+  vm_.heap().unpin(arr.get());
+  EXPECT_TRUE(vm_.heap().is_pinned(arr.get()));  // one pin still held
+  vm_.heap().unpin(arr.get());
+  EXPECT_FALSE(vm_.heap().is_pinned(arr.get()));
+}
+
+TEST_F(PinningTest, UnpinWithoutPinFatals) {
+  GcRoot arr(thread_, make_array(4));
+  EXPECT_THROW(vm_.heap().unpin(arr.get()), FatalError);
+}
+
+TEST_F(PinningTest, PinnedObjectIsARoot) {
+  Obj arr = make_array(4);  // deliberately NOT rooted
+  vm_.heap().pin(arr);
+  vm_.heap().collect();
+  // Alive purely via the pin table (the transport is reading it).
+  EXPECT_EQ(get_element<std::int32_t>(arr, 2), 6);
+  vm_.heap().unpin(arr);
+}
+
+TEST_F(PinningTest, ConditionalPinHoldsWhileRequestIncomplete) {
+  GcRoot arr(thread_, make_array(16));
+  Obj before = arr.get();
+  auto req = std::make_shared<mpi::RequestState>();  // incomplete
+
+  vm_.heap().add_conditional_pin(before, req);
+  vm_.heap().collect();
+  // Request incomplete at mark time -> treated as pinned, not moved.
+  EXPECT_EQ(arr.get(), before);
+  EXPECT_EQ(vm_.heap().conditional_pin_count(), 1u);
+  EXPECT_EQ(vm_.heap().stats().conditional_checked, 1u);
+  EXPECT_EQ(vm_.heap().stats().conditional_dropped, 0u);
+}
+
+TEST_F(PinningTest, ConditionalPinDroppedOnceRequestCompletes) {
+  GcRoot arr(thread_, make_array(16));
+  auto req = std::make_shared<mpi::RequestState>();
+  vm_.heap().add_conditional_pin(arr.get(), req);
+
+  req->mark_complete();
+  const Obj before = arr.get();
+  vm_.heap().collect();
+  // "The pinning request is no longer necessary and is disregarded": the
+  // entry is retired and the object is free to move again.
+  EXPECT_EQ(vm_.heap().conditional_pin_count(), 0u);
+  EXPECT_EQ(vm_.heap().stats().conditional_dropped, 1u);
+  EXPECT_NE(arr.get(), before);  // moved normally
+}
+
+TEST_F(PinningTest, ConditionalPinLifecycleAcrossCollections) {
+  GcRoot arr(thread_, make_array(16));
+  auto req = std::make_shared<mpi::RequestState>();
+  vm_.heap().add_conditional_pin(arr.get(), req);
+
+  vm_.heap().collect();  // holds (donation happens)
+  vm_.heap().collect();  // still incomplete, still held
+  EXPECT_EQ(vm_.heap().conditional_pin_count(), 1u);
+  EXPECT_EQ(vm_.heap().stats().conditional_checked, 2u);
+
+  req->mark_complete();
+  vm_.heap().collect();
+  EXPECT_EQ(vm_.heap().conditional_pin_count(), 0u);
+}
+
+TEST_F(PinningTest, NoUnpinCallEverNeededForConditionalPins) {
+  // The §4.3 claim: non-blocking operations need no explicit unpin. After
+  // the request completes and one collection passes, the pin table is
+  // clean and the heap verifies.
+  GcRoot arr(thread_, make_array(8));
+  auto req = std::make_shared<mpi::RequestState>();
+  vm_.heap().add_conditional_pin(arr.get(), req);
+  vm_.heap().collect();
+  req->mark_complete();
+  vm_.heap().collect();
+  EXPECT_EQ(vm_.heap().conditional_pin_count(), 0u);
+  EXPECT_EQ(vm_.heap().pin_table_size(), 0u);
+  vm_.heap().verify_heap();
+}
+
+TEST_F(PinningTest, ElderObjectsNeverMoveEvenUnpinned) {
+  GcRoot arr(thread_, make_array(16));
+  vm_.heap().collect();  // promote
+  const Obj elder_addr = arr.get();
+  ASSERT_TRUE(vm_.heap().in_elder(elder_addr));
+  vm_.heap().collect();
+  vm_.heap().collect();
+  EXPECT_EQ(arr.get(), elder_addr);  // elder generation is not compacted
+}
+
+}  // namespace
+}  // namespace motor::vm

@@ -1,0 +1,130 @@
+// Stop-the-world coordination: parking, native regions, and interleaved
+// collection requests across threads.
+#include "vm/safepoint.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "pal/thread.hpp"
+
+namespace motor::vm {
+namespace {
+
+TEST(SafepointTest, SingleThreadCollectsImmediately) {
+  SafepointController sp;
+  sp.register_thread();
+  bool ran = false;
+  sp.run_stop_the_world([&] { ran = true; });
+  EXPECT_TRUE(ran);
+  sp.unregister_thread();
+}
+
+TEST(SafepointTest, PollsAreCounted) {
+  SafepointController sp;
+  sp.register_thread();
+  const auto before = sp.polls();
+  for (int i = 0; i < 10; ++i) sp.poll();
+  EXPECT_EQ(sp.polls(), before + 10);
+  sp.unregister_thread();
+}
+
+TEST(SafepointTest, CollectorWaitsForPollingThread) {
+  SafepointController sp;
+  sp.register_thread();  // collector (this thread)
+
+  std::atomic<bool> worker_started{false};
+  std::atomic<bool> stop_worker{false};
+  std::atomic<int> gc_runs{0};
+  pal::Thread worker("mutator", [&] {
+    sp.register_thread();
+    worker_started = true;
+    while (!stop_worker) {
+      sp.poll();  // the worker's safepoints let collections proceed
+      pal::Thread::yield();
+    }
+    sp.unregister_thread();
+  });
+
+  while (!worker_started) pal::Thread::yield();
+  for (int i = 0; i < 5; ++i) {
+    sp.run_stop_the_world([&] { ++gc_runs; });
+  }
+  EXPECT_EQ(gc_runs.load(), 5);
+  stop_worker = true;
+  worker.join();
+  sp.unregister_thread();
+}
+
+TEST(SafepointTest, NativeRegionCountsAsParked) {
+  SafepointController sp;
+  sp.register_thread();
+
+  std::atomic<bool> in_native{false};
+  std::atomic<bool> release{false};
+  pal::Thread native("native", [&] {
+    sp.register_thread();
+    {
+      NativeRegion region(sp);
+      in_native = true;
+      while (!release) pal::Thread::yield();
+      // leave_native (in ~NativeRegion) must block during a collection.
+    }
+    sp.unregister_thread();
+  });
+
+  while (!in_native) pal::Thread::yield();
+  bool ran = false;
+  sp.run_stop_the_world([&] { ran = true; });  // no deadlock
+  EXPECT_TRUE(ran);
+  release = true;
+  native.join();
+  sp.unregister_thread();
+}
+
+TEST(SafepointTest, ConcurrentCollectionRequestsSerialize) {
+  SafepointController sp;
+  sp.register_thread();
+  std::atomic<int> inside{0};
+  std::atomic<int> max_inside{0};
+  std::atomic<bool> start{false};
+
+  pal::Thread other("requester", [&] {
+    sp.register_thread();
+    while (!start) sp.poll();
+    for (int i = 0; i < 20; ++i) {
+      sp.run_stop_the_world([&] {
+        const int now = ++inside;
+        int seen = max_inside.load();
+        while (seen < now && !max_inside.compare_exchange_weak(seen, now)) {
+        }
+        --inside;
+      });
+      sp.poll();
+    }
+    sp.unregister_thread();
+  });
+
+  start = true;
+  for (int i = 0; i < 20; ++i) {
+    sp.run_stop_the_world([&] {
+      const int now = ++inside;
+      int seen = max_inside.load();
+      while (seen < now && !max_inside.compare_exchange_weak(seen, now)) {
+      }
+      --inside;
+    });
+    sp.poll();
+  }
+  {
+    // The requester thread may still be collecting: joining is a blocking
+    // native wait, so park in preemptive mode for its remaining cycles.
+    NativeRegion native(sp);
+    other.join();
+  }
+  EXPECT_EQ(max_inside.load(), 1);  // never two collections at once
+  sp.unregister_thread();
+}
+
+}  // namespace
+}  // namespace motor::vm

@@ -1,0 +1,124 @@
+#include "vm/type_system.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/status.hpp"
+
+namespace motor::vm {
+namespace {
+
+TEST(TypeSystemTest, ObjectTypeExists) {
+  TypeSystem ts;
+  ASSERT_NE(ts.object_type(), nullptr);
+  EXPECT_EQ(ts.object_type()->name(), "System.Object");
+  EXPECT_EQ(ts.object_type()->instance_bytes(), 0u);
+  EXPECT_FALSE(ts.object_type()->is_array());
+}
+
+TEST(TypeSystemTest, ClassBuilderAssignsAlignedOffsets) {
+  TypeSystem ts;
+  const MethodTable* mt = ts.define_class("Mixed")
+                              .field("b", ElementKind::kUInt8)
+                              .field("i", ElementKind::kInt32)
+                              .field("d", ElementKind::kDouble)
+                              .field("s", ElementKind::kInt16)
+                              .build();
+  EXPECT_EQ(mt->field_named("b")->offset(), 0u);
+  EXPECT_EQ(mt->field_named("i")->offset(), 4u);   // aligned to 4
+  EXPECT_EQ(mt->field_named("d")->offset(), 8u);   // aligned to 8
+  EXPECT_EQ(mt->field_named("s")->offset(), 16u);
+  EXPECT_EQ(mt->instance_bytes(), 24u);            // rounded to 8
+}
+
+TEST(TypeSystemTest, ReferenceFieldsTracked) {
+  TypeSystem ts;
+  const MethodTable* node = ts.define_class("Node")
+                                .field("value", ElementKind::kInt32)
+                                .ref_field("next", ts.object_type())
+                                .build();
+  EXPECT_TRUE(node->has_references());
+  ASSERT_EQ(node->reference_offsets().size(), 1u);
+  EXPECT_EQ(node->reference_offsets()[0], 8u);
+  EXPECT_TRUE(node->field_named("next")->is_reference());
+  EXPECT_FALSE(node->field_named("value")->is_reference());
+}
+
+TEST(TypeSystemTest, TransportableBitOnFieldDesc) {
+  TypeSystem ts;
+  const MethodTable* t = ts.define_class("Linked")
+                             .ref_field("a", ts.object_type(), true)
+                             .ref_field("b", ts.object_type(), false)
+                             .build();
+  EXPECT_TRUE(t->field_named("a")->is_transportable());
+  EXPECT_FALSE(t->field_named("b")->is_transportable());
+}
+
+TEST(TypeSystemTest, TransportableAttributeMirroredInMetadata) {
+  TypeSystem ts;
+  ts.define_class("LinkedArray")
+      .transportable()
+      .ref_field("array", ts.object_type(), true)
+      .ref_field("next", ts.object_type(), true)
+      .ref_field("next2", ts.object_type(), false)
+      .build();
+  const MetadataRegistry& md = ts.metadata();
+  EXPECT_TRUE(md.type_has_attribute("LinkedArray", "Transportable"));
+  EXPECT_TRUE(md.field_has_attribute("LinkedArray", "array", "Transportable"));
+  EXPECT_TRUE(md.field_has_attribute("LinkedArray", "next", "Transportable"));
+  EXPECT_FALSE(md.field_has_attribute("LinkedArray", "next2", "Transportable"));
+}
+
+TEST(TypeSystemTest, PrimitiveArrayTypesAreCached) {
+  TypeSystem ts;
+  const MethodTable* a = ts.primitive_array(ElementKind::kInt32);
+  const MethodTable* b = ts.primitive_array(ElementKind::kInt32);
+  EXPECT_EQ(a, b);
+  EXPECT_TRUE(a->is_array());
+  EXPECT_EQ(a->rank(), 1);
+  EXPECT_EQ(a->element_bytes(), 4u);
+  EXPECT_NE(a, ts.primitive_array(ElementKind::kInt32, 2));
+}
+
+TEST(TypeSystemTest, RefArrayKnowsElementType) {
+  TypeSystem ts;
+  const MethodTable* node = ts.define_class("N").build();
+  const MethodTable* arr = ts.ref_array(node);
+  EXPECT_TRUE(arr->is_array());
+  EXPECT_EQ(arr->element_kind(), ElementKind::kObjectRef);
+  EXPECT_EQ(arr->element_type(), node);
+  EXPECT_TRUE(arr->has_references());
+}
+
+TEST(TypeSystemTest, FindByNameAndById) {
+  TypeSystem ts;
+  const MethodTable* t = ts.define_class("Findable").build();
+  EXPECT_EQ(ts.find("Findable"), t);
+  EXPECT_EQ(ts.by_id(t->type_id()), t);
+  EXPECT_EQ(ts.find("Missing"), nullptr);
+}
+
+TEST(TypeSystemTest, DuplicateNameFatals) {
+  TypeSystem ts;
+  ts.define_class("Dup").build();
+  EXPECT_THROW(ts.define_class("Dup").build(), FatalError);
+}
+
+TEST(TypeSystemTest, ReflectionQueryAgreesWithFieldDescBit) {
+  // The invariant the Motor serializer relies on: the fast FieldDesc bit
+  // and the slow metadata path always agree.
+  TypeSystem ts;
+  const MethodTable* t = ts.define_class("Agree")
+                             .field("x", ElementKind::kInt64, true)
+                             .ref_field("y", ts.object_type(), false)
+                             .ref_field("z", ts.object_type(), true)
+                             .build();
+  for (const FieldDesc& f : t->fields()) {
+    EXPECT_EQ(f.is_transportable(),
+              ts.metadata().field_has_attribute("Agree", f.name(),
+                                                "Transportable"))
+        << f.name();
+  }
+}
+
+}  // namespace
+}  // namespace motor::vm
