@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_callmech.dir/ablation_callmech.cpp.o"
+  "CMakeFiles/ablation_callmech.dir/ablation_callmech.cpp.o.d"
+  "ablation_callmech"
+  "ablation_callmech.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_callmech.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

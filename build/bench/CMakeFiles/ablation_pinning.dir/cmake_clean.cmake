@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_pinning.dir/ablation_pinning.cpp.o"
+  "CMakeFiles/ablation_pinning.dir/ablation_pinning.cpp.o.d"
+  "ablation_pinning"
+  "ablation_pinning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_pinning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

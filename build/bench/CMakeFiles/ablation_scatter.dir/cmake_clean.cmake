@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_scatter.dir/ablation_scatter.cpp.o"
+  "CMakeFiles/ablation_scatter.dir/ablation_scatter.cpp.o.d"
+  "ablation_scatter"
+  "ablation_scatter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_scatter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

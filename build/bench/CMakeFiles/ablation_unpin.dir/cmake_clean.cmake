@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_unpin.dir/ablation_unpin.cpp.o"
+  "CMakeFiles/ablation_unpin.dir/ablation_unpin.cpp.o.d"
+  "ablation_unpin"
+  "ablation_unpin.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_unpin.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_visited.dir/ablation_visited.cpp.o"
+  "CMakeFiles/ablation_visited.dir/ablation_visited.cpp.o.d"
+  "ablation_visited"
+  "ablation_visited.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_visited.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig10_objects.cpp" "bench/CMakeFiles/fig10_objects.dir/fig10_objects.cpp.o" "gcc" "bench/CMakeFiles/fig10_objects.dir/fig10_objects.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/motor_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/motor_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/motor_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/motor_mpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/motor_transport.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/motor_pal.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/motor_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_objects.dir/fig10_objects.cpp.o"
+  "CMakeFiles/fig10_objects.dir/fig10_objects.cpp.o.d"
+  "fig10_objects"
+  "fig10_objects.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_objects.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_pingpong.dir/fig9_pingpong.cpp.o"
+  "CMakeFiles/fig9_pingpong.dir/fig9_pingpong.cpp.o.d"
+  "fig9_pingpong"
+  "fig9_pingpong.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_pingpong.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

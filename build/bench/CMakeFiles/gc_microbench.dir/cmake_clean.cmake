@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gc_microbench.dir/gc_microbench.cpp.o"
+  "CMakeFiles/gc_microbench.dir/gc_microbench.cpp.o.d"
+  "gc_microbench"
+  "gc_microbench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gc_microbench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sweep_interconnect.dir/sweep_interconnect.cpp.o"
+  "CMakeFiles/sweep_interconnect.dir/sweep_interconnect.cpp.o.d"
+  "sweep_interconnect"
+  "sweep_interconnect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sweep_interconnect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

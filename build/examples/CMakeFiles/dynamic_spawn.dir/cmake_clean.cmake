@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dynamic_spawn.dir/dynamic_spawn.cpp.o"
+  "CMakeFiles/dynamic_spawn.dir/dynamic_spawn.cpp.o.d"
+  "dynamic_spawn"
+  "dynamic_spawn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dynamic_spawn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

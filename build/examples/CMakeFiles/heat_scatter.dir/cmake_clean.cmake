@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/heat_scatter.dir/heat_scatter.cpp.o"
+  "CMakeFiles/heat_scatter.dir/heat_scatter.cpp.o.d"
+  "heat_scatter"
+  "heat_scatter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/heat_scatter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kmeans_objects.dir/kmeans_objects.cpp.o"
+  "CMakeFiles/kmeans_objects.dir/kmeans_objects.cpp.o.d"
+  "kmeans_objects"
+  "kmeans_objects.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kmeans_objects.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/montecarlo_spawn.dir/montecarlo_spawn.cpp.o"
+  "CMakeFiles/montecarlo_spawn.dir/montecarlo_spawn.cpp.o.d"
+  "montecarlo_spawn"
+  "montecarlo_spawn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/montecarlo_spawn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for montecarlo_spawn.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/tree_transport.cpp" "examples/CMakeFiles/tree_transport.dir/tree_transport.cpp.o" "gcc" "examples/CMakeFiles/tree_transport.dir/tree_transport.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/motor_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/motor_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/motor_mpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/motor_transport.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/motor_pal.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/motor_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tree_transport.dir/tree_transport.cpp.o"
+  "CMakeFiles/tree_transport.dir/tree_transport.cpp.o.d"
+  "tree_transport"
+  "tree_transport.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tree_transport.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/motor_baselines.dir/baselines/indiana_bindings.cpp.o"
+  "CMakeFiles/motor_baselines.dir/baselines/indiana_bindings.cpp.o.d"
+  "CMakeFiles/motor_baselines.dir/baselines/mpijava_bindings.cpp.o"
+  "CMakeFiles/motor_baselines.dir/baselines/mpijava_bindings.cpp.o.d"
+  "CMakeFiles/motor_baselines.dir/baselines/native_pingpong.cpp.o"
+  "CMakeFiles/motor_baselines.dir/baselines/native_pingpong.cpp.o.d"
+  "CMakeFiles/motor_baselines.dir/baselines/pure_managed.cpp.o"
+  "CMakeFiles/motor_baselines.dir/baselines/pure_managed.cpp.o.d"
+  "libmotor_baselines.a"
+  "libmotor_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/motor_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/common/buffer.cpp" "src/CMakeFiles/motor_common.dir/common/buffer.cpp.o" "gcc" "src/CMakeFiles/motor_common.dir/common/buffer.cpp.o.d"
+  "/root/repo/src/common/prng.cpp" "src/CMakeFiles/motor_common.dir/common/prng.cpp.o" "gcc" "src/CMakeFiles/motor_common.dir/common/prng.cpp.o.d"
+  "/root/repo/src/common/status.cpp" "src/CMakeFiles/motor_common.dir/common/status.cpp.o" "gcc" "src/CMakeFiles/motor_common.dir/common/status.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

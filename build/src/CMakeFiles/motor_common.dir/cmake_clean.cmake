@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/motor_common.dir/common/buffer.cpp.o"
+  "CMakeFiles/motor_common.dir/common/buffer.cpp.o.d"
+  "CMakeFiles/motor_common.dir/common/prng.cpp.o"
+  "CMakeFiles/motor_common.dir/common/prng.cpp.o.d"
+  "CMakeFiles/motor_common.dir/common/status.cpp.o"
+  "CMakeFiles/motor_common.dir/common/status.cpp.o.d"
+  "libmotor_common.a"
+  "libmotor_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/motor_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

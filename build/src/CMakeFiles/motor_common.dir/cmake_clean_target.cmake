@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmotor_common.a"
+)

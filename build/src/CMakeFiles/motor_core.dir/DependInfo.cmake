@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/motor/buffer_pool.cpp" "src/CMakeFiles/motor_core.dir/motor/buffer_pool.cpp.o" "gcc" "src/CMakeFiles/motor_core.dir/motor/buffer_pool.cpp.o.d"
+  "/root/repo/src/motor/integrity.cpp" "src/CMakeFiles/motor_core.dir/motor/integrity.cpp.o" "gcc" "src/CMakeFiles/motor_core.dir/motor/integrity.cpp.o.d"
+  "/root/repo/src/motor/motor_runtime.cpp" "src/CMakeFiles/motor_core.dir/motor/motor_runtime.cpp.o" "gcc" "src/CMakeFiles/motor_core.dir/motor/motor_runtime.cpp.o.d"
+  "/root/repo/src/motor/motor_serializer.cpp" "src/CMakeFiles/motor_core.dir/motor/motor_serializer.cpp.o" "gcc" "src/CMakeFiles/motor_core.dir/motor/motor_serializer.cpp.o.d"
+  "/root/repo/src/motor/mp_direct.cpp" "src/CMakeFiles/motor_core.dir/motor/mp_direct.cpp.o" "gcc" "src/CMakeFiles/motor_core.dir/motor/mp_direct.cpp.o.d"
+  "/root/repo/src/motor/oo_ops.cpp" "src/CMakeFiles/motor_core.dir/motor/oo_ops.cpp.o" "gcc" "src/CMakeFiles/motor_core.dir/motor/oo_ops.cpp.o.d"
+  "/root/repo/src/motor/pinning_policy.cpp" "src/CMakeFiles/motor_core.dir/motor/pinning_policy.cpp.o" "gcc" "src/CMakeFiles/motor_core.dir/motor/pinning_policy.cpp.o.d"
+  "/root/repo/src/motor/system_mp.cpp" "src/CMakeFiles/motor_core.dir/motor/system_mp.cpp.o" "gcc" "src/CMakeFiles/motor_core.dir/motor/system_mp.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/motor_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/motor_mpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/motor_transport.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/motor_pal.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/motor_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

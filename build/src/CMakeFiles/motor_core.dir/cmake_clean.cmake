@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/motor_core.dir/motor/buffer_pool.cpp.o"
+  "CMakeFiles/motor_core.dir/motor/buffer_pool.cpp.o.d"
+  "CMakeFiles/motor_core.dir/motor/integrity.cpp.o"
+  "CMakeFiles/motor_core.dir/motor/integrity.cpp.o.d"
+  "CMakeFiles/motor_core.dir/motor/motor_runtime.cpp.o"
+  "CMakeFiles/motor_core.dir/motor/motor_runtime.cpp.o.d"
+  "CMakeFiles/motor_core.dir/motor/motor_serializer.cpp.o"
+  "CMakeFiles/motor_core.dir/motor/motor_serializer.cpp.o.d"
+  "CMakeFiles/motor_core.dir/motor/mp_direct.cpp.o"
+  "CMakeFiles/motor_core.dir/motor/mp_direct.cpp.o.d"
+  "CMakeFiles/motor_core.dir/motor/oo_ops.cpp.o"
+  "CMakeFiles/motor_core.dir/motor/oo_ops.cpp.o.d"
+  "CMakeFiles/motor_core.dir/motor/pinning_policy.cpp.o"
+  "CMakeFiles/motor_core.dir/motor/pinning_policy.cpp.o.d"
+  "CMakeFiles/motor_core.dir/motor/system_mp.cpp.o"
+  "CMakeFiles/motor_core.dir/motor/system_mp.cpp.o.d"
+  "libmotor_core.a"
+  "libmotor_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/motor_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mpi/collectives.cpp" "src/CMakeFiles/motor_mpi.dir/mpi/collectives.cpp.o" "gcc" "src/CMakeFiles/motor_mpi.dir/mpi/collectives.cpp.o.d"
+  "/root/repo/src/mpi/comm.cpp" "src/CMakeFiles/motor_mpi.dir/mpi/comm.cpp.o" "gcc" "src/CMakeFiles/motor_mpi.dir/mpi/comm.cpp.o.d"
+  "/root/repo/src/mpi/datatype.cpp" "src/CMakeFiles/motor_mpi.dir/mpi/datatype.cpp.o" "gcc" "src/CMakeFiles/motor_mpi.dir/mpi/datatype.cpp.o.d"
+  "/root/repo/src/mpi/derived.cpp" "src/CMakeFiles/motor_mpi.dir/mpi/derived.cpp.o" "gcc" "src/CMakeFiles/motor_mpi.dir/mpi/derived.cpp.o.d"
+  "/root/repo/src/mpi/device.cpp" "src/CMakeFiles/motor_mpi.dir/mpi/device.cpp.o" "gcc" "src/CMakeFiles/motor_mpi.dir/mpi/device.cpp.o.d"
+  "/root/repo/src/mpi/group.cpp" "src/CMakeFiles/motor_mpi.dir/mpi/group.cpp.o" "gcc" "src/CMakeFiles/motor_mpi.dir/mpi/group.cpp.o.d"
+  "/root/repo/src/mpi/pack.cpp" "src/CMakeFiles/motor_mpi.dir/mpi/pack.cpp.o" "gcc" "src/CMakeFiles/motor_mpi.dir/mpi/pack.cpp.o.d"
+  "/root/repo/src/mpi/packet.cpp" "src/CMakeFiles/motor_mpi.dir/mpi/packet.cpp.o" "gcc" "src/CMakeFiles/motor_mpi.dir/mpi/packet.cpp.o.d"
+  "/root/repo/src/mpi/persistent.cpp" "src/CMakeFiles/motor_mpi.dir/mpi/persistent.cpp.o" "gcc" "src/CMakeFiles/motor_mpi.dir/mpi/persistent.cpp.o.d"
+  "/root/repo/src/mpi/progress.cpp" "src/CMakeFiles/motor_mpi.dir/mpi/progress.cpp.o" "gcc" "src/CMakeFiles/motor_mpi.dir/mpi/progress.cpp.o.d"
+  "/root/repo/src/mpi/pt2pt.cpp" "src/CMakeFiles/motor_mpi.dir/mpi/pt2pt.cpp.o" "gcc" "src/CMakeFiles/motor_mpi.dir/mpi/pt2pt.cpp.o.d"
+  "/root/repo/src/mpi/request.cpp" "src/CMakeFiles/motor_mpi.dir/mpi/request.cpp.o" "gcc" "src/CMakeFiles/motor_mpi.dir/mpi/request.cpp.o.d"
+  "/root/repo/src/mpi/spawn.cpp" "src/CMakeFiles/motor_mpi.dir/mpi/spawn.cpp.o" "gcc" "src/CMakeFiles/motor_mpi.dir/mpi/spawn.cpp.o.d"
+  "/root/repo/src/mpi/world.cpp" "src/CMakeFiles/motor_mpi.dir/mpi/world.cpp.o" "gcc" "src/CMakeFiles/motor_mpi.dir/mpi/world.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/motor_transport.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/motor_pal.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/motor_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,37 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/motor_mpi.dir/mpi/collectives.cpp.o"
+  "CMakeFiles/motor_mpi.dir/mpi/collectives.cpp.o.d"
+  "CMakeFiles/motor_mpi.dir/mpi/comm.cpp.o"
+  "CMakeFiles/motor_mpi.dir/mpi/comm.cpp.o.d"
+  "CMakeFiles/motor_mpi.dir/mpi/datatype.cpp.o"
+  "CMakeFiles/motor_mpi.dir/mpi/datatype.cpp.o.d"
+  "CMakeFiles/motor_mpi.dir/mpi/derived.cpp.o"
+  "CMakeFiles/motor_mpi.dir/mpi/derived.cpp.o.d"
+  "CMakeFiles/motor_mpi.dir/mpi/device.cpp.o"
+  "CMakeFiles/motor_mpi.dir/mpi/device.cpp.o.d"
+  "CMakeFiles/motor_mpi.dir/mpi/group.cpp.o"
+  "CMakeFiles/motor_mpi.dir/mpi/group.cpp.o.d"
+  "CMakeFiles/motor_mpi.dir/mpi/pack.cpp.o"
+  "CMakeFiles/motor_mpi.dir/mpi/pack.cpp.o.d"
+  "CMakeFiles/motor_mpi.dir/mpi/packet.cpp.o"
+  "CMakeFiles/motor_mpi.dir/mpi/packet.cpp.o.d"
+  "CMakeFiles/motor_mpi.dir/mpi/persistent.cpp.o"
+  "CMakeFiles/motor_mpi.dir/mpi/persistent.cpp.o.d"
+  "CMakeFiles/motor_mpi.dir/mpi/progress.cpp.o"
+  "CMakeFiles/motor_mpi.dir/mpi/progress.cpp.o.d"
+  "CMakeFiles/motor_mpi.dir/mpi/pt2pt.cpp.o"
+  "CMakeFiles/motor_mpi.dir/mpi/pt2pt.cpp.o.d"
+  "CMakeFiles/motor_mpi.dir/mpi/request.cpp.o"
+  "CMakeFiles/motor_mpi.dir/mpi/request.cpp.o.d"
+  "CMakeFiles/motor_mpi.dir/mpi/spawn.cpp.o"
+  "CMakeFiles/motor_mpi.dir/mpi/spawn.cpp.o.d"
+  "CMakeFiles/motor_mpi.dir/mpi/world.cpp.o"
+  "CMakeFiles/motor_mpi.dir/mpi/world.cpp.o.d"
+  "libmotor_mpi.a"
+  "libmotor_mpi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/motor_mpi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

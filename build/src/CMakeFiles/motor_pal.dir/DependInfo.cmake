@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pal/clock.cpp" "src/CMakeFiles/motor_pal.dir/pal/clock.cpp.o" "gcc" "src/CMakeFiles/motor_pal.dir/pal/clock.cpp.o.d"
+  "/root/repo/src/pal/completion_queue.cpp" "src/CMakeFiles/motor_pal.dir/pal/completion_queue.cpp.o" "gcc" "src/CMakeFiles/motor_pal.dir/pal/completion_queue.cpp.o.d"
+  "/root/repo/src/pal/critical_section.cpp" "src/CMakeFiles/motor_pal.dir/pal/critical_section.cpp.o" "gcc" "src/CMakeFiles/motor_pal.dir/pal/critical_section.cpp.o.d"
+  "/root/repo/src/pal/event.cpp" "src/CMakeFiles/motor_pal.dir/pal/event.cpp.o" "gcc" "src/CMakeFiles/motor_pal.dir/pal/event.cpp.o.d"
+  "/root/repo/src/pal/semaphore.cpp" "src/CMakeFiles/motor_pal.dir/pal/semaphore.cpp.o" "gcc" "src/CMakeFiles/motor_pal.dir/pal/semaphore.cpp.o.d"
+  "/root/repo/src/pal/thread.cpp" "src/CMakeFiles/motor_pal.dir/pal/thread.cpp.o" "gcc" "src/CMakeFiles/motor_pal.dir/pal/thread.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/motor_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/motor_pal.dir/pal/clock.cpp.o"
+  "CMakeFiles/motor_pal.dir/pal/clock.cpp.o.d"
+  "CMakeFiles/motor_pal.dir/pal/completion_queue.cpp.o"
+  "CMakeFiles/motor_pal.dir/pal/completion_queue.cpp.o.d"
+  "CMakeFiles/motor_pal.dir/pal/critical_section.cpp.o"
+  "CMakeFiles/motor_pal.dir/pal/critical_section.cpp.o.d"
+  "CMakeFiles/motor_pal.dir/pal/event.cpp.o"
+  "CMakeFiles/motor_pal.dir/pal/event.cpp.o.d"
+  "CMakeFiles/motor_pal.dir/pal/semaphore.cpp.o"
+  "CMakeFiles/motor_pal.dir/pal/semaphore.cpp.o.d"
+  "CMakeFiles/motor_pal.dir/pal/thread.cpp.o"
+  "CMakeFiles/motor_pal.dir/pal/thread.cpp.o.d"
+  "libmotor_pal.a"
+  "libmotor_pal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/motor_pal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

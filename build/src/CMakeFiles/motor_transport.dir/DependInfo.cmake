@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/transport/bandwidth_channel.cpp" "src/CMakeFiles/motor_transport.dir/transport/bandwidth_channel.cpp.o" "gcc" "src/CMakeFiles/motor_transport.dir/transport/bandwidth_channel.cpp.o.d"
+  "/root/repo/src/transport/channel.cpp" "src/CMakeFiles/motor_transport.dir/transport/channel.cpp.o" "gcc" "src/CMakeFiles/motor_transport.dir/transport/channel.cpp.o.d"
+  "/root/repo/src/transport/fabric.cpp" "src/CMakeFiles/motor_transport.dir/transport/fabric.cpp.o" "gcc" "src/CMakeFiles/motor_transport.dir/transport/fabric.cpp.o.d"
+  "/root/repo/src/transport/latency_channel.cpp" "src/CMakeFiles/motor_transport.dir/transport/latency_channel.cpp.o" "gcc" "src/CMakeFiles/motor_transport.dir/transport/latency_channel.cpp.o.d"
+  "/root/repo/src/transport/loopback_channel.cpp" "src/CMakeFiles/motor_transport.dir/transport/loopback_channel.cpp.o" "gcc" "src/CMakeFiles/motor_transport.dir/transport/loopback_channel.cpp.o.d"
+  "/root/repo/src/transport/ring_channel.cpp" "src/CMakeFiles/motor_transport.dir/transport/ring_channel.cpp.o" "gcc" "src/CMakeFiles/motor_transport.dir/transport/ring_channel.cpp.o.d"
+  "/root/repo/src/transport/stream_channel.cpp" "src/CMakeFiles/motor_transport.dir/transport/stream_channel.cpp.o" "gcc" "src/CMakeFiles/motor_transport.dir/transport/stream_channel.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/motor_pal.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/motor_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

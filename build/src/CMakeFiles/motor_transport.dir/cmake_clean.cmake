@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/motor_transport.dir/transport/bandwidth_channel.cpp.o"
+  "CMakeFiles/motor_transport.dir/transport/bandwidth_channel.cpp.o.d"
+  "CMakeFiles/motor_transport.dir/transport/channel.cpp.o"
+  "CMakeFiles/motor_transport.dir/transport/channel.cpp.o.d"
+  "CMakeFiles/motor_transport.dir/transport/fabric.cpp.o"
+  "CMakeFiles/motor_transport.dir/transport/fabric.cpp.o.d"
+  "CMakeFiles/motor_transport.dir/transport/latency_channel.cpp.o"
+  "CMakeFiles/motor_transport.dir/transport/latency_channel.cpp.o.d"
+  "CMakeFiles/motor_transport.dir/transport/loopback_channel.cpp.o"
+  "CMakeFiles/motor_transport.dir/transport/loopback_channel.cpp.o.d"
+  "CMakeFiles/motor_transport.dir/transport/ring_channel.cpp.o"
+  "CMakeFiles/motor_transport.dir/transport/ring_channel.cpp.o.d"
+  "CMakeFiles/motor_transport.dir/transport/stream_channel.cpp.o"
+  "CMakeFiles/motor_transport.dir/transport/stream_channel.cpp.o.d"
+  "libmotor_transport.a"
+  "libmotor_transport.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/motor_transport.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

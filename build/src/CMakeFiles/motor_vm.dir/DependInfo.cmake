@@ -1,0 +1,40 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/vm/assembler.cpp" "src/CMakeFiles/motor_vm.dir/vm/assembler.cpp.o" "gcc" "src/CMakeFiles/motor_vm.dir/vm/assembler.cpp.o.d"
+  "/root/repo/src/vm/cli_serializer.cpp" "src/CMakeFiles/motor_vm.dir/vm/cli_serializer.cpp.o" "gcc" "src/CMakeFiles/motor_vm.dir/vm/cli_serializer.cpp.o.d"
+  "/root/repo/src/vm/fcall.cpp" "src/CMakeFiles/motor_vm.dir/vm/fcall.cpp.o" "gcc" "src/CMakeFiles/motor_vm.dir/vm/fcall.cpp.o.d"
+  "/root/repo/src/vm/field_desc.cpp" "src/CMakeFiles/motor_vm.dir/vm/field_desc.cpp.o" "gcc" "src/CMakeFiles/motor_vm.dir/vm/field_desc.cpp.o.d"
+  "/root/repo/src/vm/gc.cpp" "src/CMakeFiles/motor_vm.dir/vm/gc.cpp.o" "gcc" "src/CMakeFiles/motor_vm.dir/vm/gc.cpp.o.d"
+  "/root/repo/src/vm/handles.cpp" "src/CMakeFiles/motor_vm.dir/vm/handles.cpp.o" "gcc" "src/CMakeFiles/motor_vm.dir/vm/handles.cpp.o.d"
+  "/root/repo/src/vm/heap.cpp" "src/CMakeFiles/motor_vm.dir/vm/heap.cpp.o" "gcc" "src/CMakeFiles/motor_vm.dir/vm/heap.cpp.o.d"
+  "/root/repo/src/vm/interpreter.cpp" "src/CMakeFiles/motor_vm.dir/vm/interpreter.cpp.o" "gcc" "src/CMakeFiles/motor_vm.dir/vm/interpreter.cpp.o.d"
+  "/root/repo/src/vm/java_serializer.cpp" "src/CMakeFiles/motor_vm.dir/vm/java_serializer.cpp.o" "gcc" "src/CMakeFiles/motor_vm.dir/vm/java_serializer.cpp.o.d"
+  "/root/repo/src/vm/managed_thread.cpp" "src/CMakeFiles/motor_vm.dir/vm/managed_thread.cpp.o" "gcc" "src/CMakeFiles/motor_vm.dir/vm/managed_thread.cpp.o.d"
+  "/root/repo/src/vm/method_table.cpp" "src/CMakeFiles/motor_vm.dir/vm/method_table.cpp.o" "gcc" "src/CMakeFiles/motor_vm.dir/vm/method_table.cpp.o.d"
+  "/root/repo/src/vm/object.cpp" "src/CMakeFiles/motor_vm.dir/vm/object.cpp.o" "gcc" "src/CMakeFiles/motor_vm.dir/vm/object.cpp.o.d"
+  "/root/repo/src/vm/pinvoke.cpp" "src/CMakeFiles/motor_vm.dir/vm/pinvoke.cpp.o" "gcc" "src/CMakeFiles/motor_vm.dir/vm/pinvoke.cpp.o.d"
+  "/root/repo/src/vm/reflection.cpp" "src/CMakeFiles/motor_vm.dir/vm/reflection.cpp.o" "gcc" "src/CMakeFiles/motor_vm.dir/vm/reflection.cpp.o.d"
+  "/root/repo/src/vm/runtime_profile.cpp" "src/CMakeFiles/motor_vm.dir/vm/runtime_profile.cpp.o" "gcc" "src/CMakeFiles/motor_vm.dir/vm/runtime_profile.cpp.o.d"
+  "/root/repo/src/vm/safepoint.cpp" "src/CMakeFiles/motor_vm.dir/vm/safepoint.cpp.o" "gcc" "src/CMakeFiles/motor_vm.dir/vm/safepoint.cpp.o.d"
+  "/root/repo/src/vm/type_system.cpp" "src/CMakeFiles/motor_vm.dir/vm/type_system.cpp.o" "gcc" "src/CMakeFiles/motor_vm.dir/vm/type_system.cpp.o.d"
+  "/root/repo/src/vm/vm.cpp" "src/CMakeFiles/motor_vm.dir/vm/vm.cpp.o" "gcc" "src/CMakeFiles/motor_vm.dir/vm/vm.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/motor_mpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/motor_transport.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/motor_pal.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/motor_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/motor/bindings_test.cpp" "tests/CMakeFiles/test_motor.dir/motor/bindings_test.cpp.o" "gcc" "tests/CMakeFiles/test_motor.dir/motor/bindings_test.cpp.o.d"
+  "/root/repo/tests/motor/comm_mgmt_test.cpp" "tests/CMakeFiles/test_motor.dir/motor/comm_mgmt_test.cpp.o" "gcc" "tests/CMakeFiles/test_motor.dir/motor/comm_mgmt_test.cpp.o.d"
+  "/root/repo/tests/motor/integrity_test.cpp" "tests/CMakeFiles/test_motor.dir/motor/integrity_test.cpp.o" "gcc" "tests/CMakeFiles/test_motor.dir/motor/integrity_test.cpp.o.d"
+  "/root/repo/tests/motor/motor_serializer_test.cpp" "tests/CMakeFiles/test_motor.dir/motor/motor_serializer_test.cpp.o" "gcc" "tests/CMakeFiles/test_motor.dir/motor/motor_serializer_test.cpp.o.d"
+  "/root/repo/tests/motor/oo_ops_test.cpp" "tests/CMakeFiles/test_motor.dir/motor/oo_ops_test.cpp.o" "gcc" "tests/CMakeFiles/test_motor.dir/motor/oo_ops_test.cpp.o.d"
+  "/root/repo/tests/motor/pinning_policy_test.cpp" "tests/CMakeFiles/test_motor.dir/motor/pinning_policy_test.cpp.o" "gcc" "tests/CMakeFiles/test_motor.dir/motor/pinning_policy_test.cpp.o.d"
+  "/root/repo/tests/motor/spawn_motor_test.cpp" "tests/CMakeFiles/test_motor.dir/motor/spawn_motor_test.cpp.o" "gcc" "tests/CMakeFiles/test_motor.dir/motor/spawn_motor_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/motor_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/motor_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/motor_mpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/motor_transport.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/motor_pal.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/motor_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

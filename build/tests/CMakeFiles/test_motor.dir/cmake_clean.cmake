@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_motor.dir/motor/bindings_test.cpp.o"
+  "CMakeFiles/test_motor.dir/motor/bindings_test.cpp.o.d"
+  "CMakeFiles/test_motor.dir/motor/comm_mgmt_test.cpp.o"
+  "CMakeFiles/test_motor.dir/motor/comm_mgmt_test.cpp.o.d"
+  "CMakeFiles/test_motor.dir/motor/integrity_test.cpp.o"
+  "CMakeFiles/test_motor.dir/motor/integrity_test.cpp.o.d"
+  "CMakeFiles/test_motor.dir/motor/motor_serializer_test.cpp.o"
+  "CMakeFiles/test_motor.dir/motor/motor_serializer_test.cpp.o.d"
+  "CMakeFiles/test_motor.dir/motor/oo_ops_test.cpp.o"
+  "CMakeFiles/test_motor.dir/motor/oo_ops_test.cpp.o.d"
+  "CMakeFiles/test_motor.dir/motor/pinning_policy_test.cpp.o"
+  "CMakeFiles/test_motor.dir/motor/pinning_policy_test.cpp.o.d"
+  "CMakeFiles/test_motor.dir/motor/spawn_motor_test.cpp.o"
+  "CMakeFiles/test_motor.dir/motor/spawn_motor_test.cpp.o.d"
+  "test_motor"
+  "test_motor.pdb"
+  "test_motor[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_motor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

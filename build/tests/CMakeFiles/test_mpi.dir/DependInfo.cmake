@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/mpi/collectives_test.cpp" "tests/CMakeFiles/test_mpi.dir/mpi/collectives_test.cpp.o" "gcc" "tests/CMakeFiles/test_mpi.dir/mpi/collectives_test.cpp.o.d"
+  "/root/repo/tests/mpi/comm_test.cpp" "tests/CMakeFiles/test_mpi.dir/mpi/comm_test.cpp.o" "gcc" "tests/CMakeFiles/test_mpi.dir/mpi/comm_test.cpp.o.d"
+  "/root/repo/tests/mpi/datatype_test.cpp" "tests/CMakeFiles/test_mpi.dir/mpi/datatype_test.cpp.o" "gcc" "tests/CMakeFiles/test_mpi.dir/mpi/datatype_test.cpp.o.d"
+  "/root/repo/tests/mpi/derived_test.cpp" "tests/CMakeFiles/test_mpi.dir/mpi/derived_test.cpp.o" "gcc" "tests/CMakeFiles/test_mpi.dir/mpi/derived_test.cpp.o.d"
+  "/root/repo/tests/mpi/device_test.cpp" "tests/CMakeFiles/test_mpi.dir/mpi/device_test.cpp.o" "gcc" "tests/CMakeFiles/test_mpi.dir/mpi/device_test.cpp.o.d"
+  "/root/repo/tests/mpi/extended_ops_test.cpp" "tests/CMakeFiles/test_mpi.dir/mpi/extended_ops_test.cpp.o" "gcc" "tests/CMakeFiles/test_mpi.dir/mpi/extended_ops_test.cpp.o.d"
+  "/root/repo/tests/mpi/group_test.cpp" "tests/CMakeFiles/test_mpi.dir/mpi/group_test.cpp.o" "gcc" "tests/CMakeFiles/test_mpi.dir/mpi/group_test.cpp.o.d"
+  "/root/repo/tests/mpi/pack_test.cpp" "tests/CMakeFiles/test_mpi.dir/mpi/pack_test.cpp.o" "gcc" "tests/CMakeFiles/test_mpi.dir/mpi/pack_test.cpp.o.d"
+  "/root/repo/tests/mpi/persistent_test.cpp" "tests/CMakeFiles/test_mpi.dir/mpi/persistent_test.cpp.o" "gcc" "tests/CMakeFiles/test_mpi.dir/mpi/persistent_test.cpp.o.d"
+  "/root/repo/tests/mpi/pt2pt_test.cpp" "tests/CMakeFiles/test_mpi.dir/mpi/pt2pt_test.cpp.o" "gcc" "tests/CMakeFiles/test_mpi.dir/mpi/pt2pt_test.cpp.o.d"
+  "/root/repo/tests/mpi/spawn_test.cpp" "tests/CMakeFiles/test_mpi.dir/mpi/spawn_test.cpp.o" "gcc" "tests/CMakeFiles/test_mpi.dir/mpi/spawn_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/motor_mpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/motor_transport.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/motor_pal.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/motor_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,32 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mpi.dir/mpi/collectives_test.cpp.o"
+  "CMakeFiles/test_mpi.dir/mpi/collectives_test.cpp.o.d"
+  "CMakeFiles/test_mpi.dir/mpi/comm_test.cpp.o"
+  "CMakeFiles/test_mpi.dir/mpi/comm_test.cpp.o.d"
+  "CMakeFiles/test_mpi.dir/mpi/datatype_test.cpp.o"
+  "CMakeFiles/test_mpi.dir/mpi/datatype_test.cpp.o.d"
+  "CMakeFiles/test_mpi.dir/mpi/derived_test.cpp.o"
+  "CMakeFiles/test_mpi.dir/mpi/derived_test.cpp.o.d"
+  "CMakeFiles/test_mpi.dir/mpi/device_test.cpp.o"
+  "CMakeFiles/test_mpi.dir/mpi/device_test.cpp.o.d"
+  "CMakeFiles/test_mpi.dir/mpi/extended_ops_test.cpp.o"
+  "CMakeFiles/test_mpi.dir/mpi/extended_ops_test.cpp.o.d"
+  "CMakeFiles/test_mpi.dir/mpi/group_test.cpp.o"
+  "CMakeFiles/test_mpi.dir/mpi/group_test.cpp.o.d"
+  "CMakeFiles/test_mpi.dir/mpi/pack_test.cpp.o"
+  "CMakeFiles/test_mpi.dir/mpi/pack_test.cpp.o.d"
+  "CMakeFiles/test_mpi.dir/mpi/persistent_test.cpp.o"
+  "CMakeFiles/test_mpi.dir/mpi/persistent_test.cpp.o.d"
+  "CMakeFiles/test_mpi.dir/mpi/pt2pt_test.cpp.o"
+  "CMakeFiles/test_mpi.dir/mpi/pt2pt_test.cpp.o.d"
+  "CMakeFiles/test_mpi.dir/mpi/spawn_test.cpp.o"
+  "CMakeFiles/test_mpi.dir/mpi/spawn_test.cpp.o.d"
+  "test_mpi"
+  "test_mpi.pdb"
+  "test_mpi[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mpi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

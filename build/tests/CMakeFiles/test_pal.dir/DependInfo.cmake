@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/pal/clock_test.cpp" "tests/CMakeFiles/test_pal.dir/pal/clock_test.cpp.o" "gcc" "tests/CMakeFiles/test_pal.dir/pal/clock_test.cpp.o.d"
+  "/root/repo/tests/pal/completion_queue_test.cpp" "tests/CMakeFiles/test_pal.dir/pal/completion_queue_test.cpp.o" "gcc" "tests/CMakeFiles/test_pal.dir/pal/completion_queue_test.cpp.o.d"
+  "/root/repo/tests/pal/event_test.cpp" "tests/CMakeFiles/test_pal.dir/pal/event_test.cpp.o" "gcc" "tests/CMakeFiles/test_pal.dir/pal/event_test.cpp.o.d"
+  "/root/repo/tests/pal/semaphore_test.cpp" "tests/CMakeFiles/test_pal.dir/pal/semaphore_test.cpp.o" "gcc" "tests/CMakeFiles/test_pal.dir/pal/semaphore_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/motor_pal.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/motor_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pal.dir/pal/clock_test.cpp.o"
+  "CMakeFiles/test_pal.dir/pal/clock_test.cpp.o.d"
+  "CMakeFiles/test_pal.dir/pal/completion_queue_test.cpp.o"
+  "CMakeFiles/test_pal.dir/pal/completion_queue_test.cpp.o.d"
+  "CMakeFiles/test_pal.dir/pal/event_test.cpp.o"
+  "CMakeFiles/test_pal.dir/pal/event_test.cpp.o.d"
+  "CMakeFiles/test_pal.dir/pal/semaphore_test.cpp.o"
+  "CMakeFiles/test_pal.dir/pal/semaphore_test.cpp.o.d"
+  "test_pal"
+  "test_pal.pdb"
+  "test_pal[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

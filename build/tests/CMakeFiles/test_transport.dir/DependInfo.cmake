@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/transport/bandwidth_channel_test.cpp" "tests/CMakeFiles/test_transport.dir/transport/bandwidth_channel_test.cpp.o" "gcc" "tests/CMakeFiles/test_transport.dir/transport/bandwidth_channel_test.cpp.o.d"
+  "/root/repo/tests/transport/channel_test.cpp" "tests/CMakeFiles/test_transport.dir/transport/channel_test.cpp.o" "gcc" "tests/CMakeFiles/test_transport.dir/transport/channel_test.cpp.o.d"
+  "/root/repo/tests/transport/fabric_test.cpp" "tests/CMakeFiles/test_transport.dir/transport/fabric_test.cpp.o" "gcc" "tests/CMakeFiles/test_transport.dir/transport/fabric_test.cpp.o.d"
+  "/root/repo/tests/transport/latency_channel_test.cpp" "tests/CMakeFiles/test_transport.dir/transport/latency_channel_test.cpp.o" "gcc" "tests/CMakeFiles/test_transport.dir/transport/latency_channel_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/motor_transport.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/motor_pal.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/motor_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

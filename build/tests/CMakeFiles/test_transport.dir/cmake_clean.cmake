@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_transport.dir/transport/bandwidth_channel_test.cpp.o"
+  "CMakeFiles/test_transport.dir/transport/bandwidth_channel_test.cpp.o.d"
+  "CMakeFiles/test_transport.dir/transport/channel_test.cpp.o"
+  "CMakeFiles/test_transport.dir/transport/channel_test.cpp.o.d"
+  "CMakeFiles/test_transport.dir/transport/fabric_test.cpp.o"
+  "CMakeFiles/test_transport.dir/transport/fabric_test.cpp.o.d"
+  "CMakeFiles/test_transport.dir/transport/latency_channel_test.cpp.o"
+  "CMakeFiles/test_transport.dir/transport/latency_channel_test.cpp.o.d"
+  "test_transport"
+  "test_transport.pdb"
+  "test_transport[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_transport.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

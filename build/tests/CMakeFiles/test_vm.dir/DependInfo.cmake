@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/vm/bitops_test.cpp" "tests/CMakeFiles/test_vm.dir/vm/bitops_test.cpp.o" "gcc" "tests/CMakeFiles/test_vm.dir/vm/bitops_test.cpp.o.d"
+  "/root/repo/tests/vm/calls_test.cpp" "tests/CMakeFiles/test_vm.dir/vm/calls_test.cpp.o" "gcc" "tests/CMakeFiles/test_vm.dir/vm/calls_test.cpp.o.d"
+  "/root/repo/tests/vm/gc_test.cpp" "tests/CMakeFiles/test_vm.dir/vm/gc_test.cpp.o" "gcc" "tests/CMakeFiles/test_vm.dir/vm/gc_test.cpp.o.d"
+  "/root/repo/tests/vm/interpreter_test.cpp" "tests/CMakeFiles/test_vm.dir/vm/interpreter_test.cpp.o" "gcc" "tests/CMakeFiles/test_vm.dir/vm/interpreter_test.cpp.o.d"
+  "/root/repo/tests/vm/object_test.cpp" "tests/CMakeFiles/test_vm.dir/vm/object_test.cpp.o" "gcc" "tests/CMakeFiles/test_vm.dir/vm/object_test.cpp.o.d"
+  "/root/repo/tests/vm/pinning_test.cpp" "tests/CMakeFiles/test_vm.dir/vm/pinning_test.cpp.o" "gcc" "tests/CMakeFiles/test_vm.dir/vm/pinning_test.cpp.o.d"
+  "/root/repo/tests/vm/safepoint_test.cpp" "tests/CMakeFiles/test_vm.dir/vm/safepoint_test.cpp.o" "gcc" "tests/CMakeFiles/test_vm.dir/vm/safepoint_test.cpp.o.d"
+  "/root/repo/tests/vm/serializer_test.cpp" "tests/CMakeFiles/test_vm.dir/vm/serializer_test.cpp.o" "gcc" "tests/CMakeFiles/test_vm.dir/vm/serializer_test.cpp.o.d"
+  "/root/repo/tests/vm/type_system_test.cpp" "tests/CMakeFiles/test_vm.dir/vm/type_system_test.cpp.o" "gcc" "tests/CMakeFiles/test_vm.dir/vm/type_system_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/motor_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/motor_mpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/motor_transport.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/motor_pal.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/motor_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,28 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_vm.dir/vm/bitops_test.cpp.o"
+  "CMakeFiles/test_vm.dir/vm/bitops_test.cpp.o.d"
+  "CMakeFiles/test_vm.dir/vm/calls_test.cpp.o"
+  "CMakeFiles/test_vm.dir/vm/calls_test.cpp.o.d"
+  "CMakeFiles/test_vm.dir/vm/gc_test.cpp.o"
+  "CMakeFiles/test_vm.dir/vm/gc_test.cpp.o.d"
+  "CMakeFiles/test_vm.dir/vm/interpreter_test.cpp.o"
+  "CMakeFiles/test_vm.dir/vm/interpreter_test.cpp.o.d"
+  "CMakeFiles/test_vm.dir/vm/object_test.cpp.o"
+  "CMakeFiles/test_vm.dir/vm/object_test.cpp.o.d"
+  "CMakeFiles/test_vm.dir/vm/pinning_test.cpp.o"
+  "CMakeFiles/test_vm.dir/vm/pinning_test.cpp.o.d"
+  "CMakeFiles/test_vm.dir/vm/safepoint_test.cpp.o"
+  "CMakeFiles/test_vm.dir/vm/safepoint_test.cpp.o.d"
+  "CMakeFiles/test_vm.dir/vm/serializer_test.cpp.o"
+  "CMakeFiles/test_vm.dir/vm/serializer_test.cpp.o.d"
+  "CMakeFiles/test_vm.dir/vm/type_system_test.cpp.o"
+  "CMakeFiles/test_vm.dir/vm/type_system_test.cpp.o.d"
+  "test_vm"
+  "test_vm.pdb"
+  "test_vm[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_vm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
