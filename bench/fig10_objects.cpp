@@ -38,8 +38,13 @@ baselines::PingPongSpec spec_for(int total_objects) {
 RankSetup motor_objects(int elements) {
   return [elements](mpi::RankCtx& ctx) {
     auto host = std::make_shared<HostedRank>(vm::RuntimeProfile::sscli());
+    // The Figure 10 reproduction depends on the PAPER's linear visited
+    // structure (the fall-off past ~2048 objects); the runtime default is
+    // now the hashed fix, so opt into kLinear explicitly here.
+    mp::MPDirectConfig cfg;
+    cfg.visited_mode = mp::VisitedMode::kLinear;
     auto direct = std::make_shared<mp::MPDirect>(host->vm, host->thread,
-                                                 ctx.comm_world());
+                                                 ctx.comm_world(), cfg);
     auto fixture = std::make_shared<ListFixture>(host->vm);
     const int me = ctx.comm_world().rank();
     auto list = std::make_shared<vm::GcRoot>(

@@ -93,5 +93,29 @@ int main() {
               rows.size());
   std::printf("mpijava_slowest_vs_motor    %d/%zu sizes\n", java_slowest,
               rows.size());
+
+  // Staged-vs-gathered ablation for the zero-copy data path: the same
+  // Motor ping-pong with DeviceConfig::staged_copies restoring the
+  // pre-gather behaviour (flatten into a staging buffer on send, bounce
+  // through a staging buffer on receive). Large messages only — that is
+  // where the per-byte copies show.
+  std::printf("\n# staged vs gathered data path (Motor series, round trip)\n");
+  std::printf("%10s %12s %12s %12s %12s %10s\n", "bytes", "staged_us",
+              "gathered_us", "staged_MBs", "gathrd_MBs", "gain_pct");
+  for (std::size_t bytes :
+       {std::size_t{16384}, std::size_t{65536}, std::size_t{262144}}) {
+    mpi::WorldConfig staged_wc = paper_world_config();
+    staged_wc.device.staged_copies = true;
+    const double st =
+        baselines::run_pingpong_us(spec, motor_pingpong(bytes), staged_wc);
+    const double ga = baselines::run_pingpong_us(spec, motor_pingpong(bytes),
+                                                 paper_world_config());
+    // Round trip moves the buffer twice; bytes/us == MB/s.
+    const double st_bw = 2.0 * static_cast<double>(bytes) / st;
+    const double ga_bw = 2.0 * static_cast<double>(bytes) / ga;
+    std::printf("%10zu %12.2f %12.2f %12.1f %12.1f %9.1f%%\n", bytes, st, ga,
+                st_bw, ga_bw, (st - ga) / st * 100.0);
+    std::fflush(stdout);
+  }
   return 0;
 }

@@ -38,21 +38,26 @@ int main() {
 
   std::printf("# Interconnect sweep: %zu-byte ping-pong, us/iteration\n",
               kBytes);
-  std::printf("%14s %10s %10s %14s %16s\n", "interconnect", "C++", "Motor",
-              "IndianaSSCLI", "motor_gain_pct");
+  std::printf("# MotorStaged = DeviceConfig::staged_copies (pre-gather path)\n");
+  std::printf("%14s %10s %10s %12s %14s %16s\n", "interconnect", "C++",
+              "Motor", "MotorStaged", "IndianaSSCLI", "motor_gain_pct");
 
   for (const Interconnect& net : nets) {
     mpi::WorldConfig wc;
     wc.wire_latency_ns = net.latency_ns;
     wc.wire_bandwidth_bps = net.bandwidth_bps;
+    mpi::WorldConfig staged_wc = wc;
+    staged_wc.device.staged_copies = true;
 
     const double cpp = baselines::native_pingpong_us(kBytes, spec, wc);
     const double mo =
         baselines::run_pingpong_us(spec, motor_pingpong(kBytes), wc);
+    const double mo_staged =
+        baselines::run_pingpong_us(spec, motor_pingpong(kBytes), staged_wc);
     const double ind = baselines::run_pingpong_us(
         spec, indiana_pingpong(kBytes, vm::RuntimeProfile::sscli()), wc);
-    std::printf("%14s %10.1f %10.1f %14.1f %15.1f%%\n", net.name, cpp, mo,
-                ind, (ind - mo) / ind * 100.0);
+    std::printf("%14s %10.1f %10.1f %12.1f %14.1f %15.1f%%\n", net.name, cpp,
+                mo, mo_staged, ind, (ind - mo) / ind * 100.0);
     std::fflush(stdout);
   }
   std::printf("\n# expectation: the relative Motor advantage GROWS as the\n");

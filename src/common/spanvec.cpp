@@ -1,0 +1,44 @@
+#include "common/spanvec.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+namespace motor {
+
+SpanVec SpanVec::slice(std::size_t offset, std::size_t len) const {
+  SpanVec out;
+  std::size_t skip = offset;
+  std::size_t want = std::min(len, total_ > offset ? total_ - offset : 0);
+  for (ByteSpan p : parts_) {
+    if (want == 0) break;
+    if (skip >= p.size()) {
+      skip -= p.size();
+      continue;
+    }
+    const std::size_t take = std::min(p.size() - skip, want);
+    out.append(p.subspan(skip, take));
+    skip = 0;
+    want -= take;
+  }
+  return out;
+}
+
+std::size_t SpanVec::copy_to(MutableByteSpan out, std::size_t offset) const {
+  std::size_t skip = offset;
+  std::size_t copied = 0;
+  for (ByteSpan p : parts_) {
+    if (copied == out.size()) break;
+    if (skip >= p.size()) {
+      skip -= p.size();
+      continue;
+    }
+    const std::size_t take =
+        std::min(p.size() - skip, out.size() - copied);
+    std::memcpy(out.data() + copied, p.data() + skip, take);
+    skip = 0;
+    copied += take;
+  }
+  return copied;
+}
+
+}  // namespace motor

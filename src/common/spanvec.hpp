@@ -1,0 +1,68 @@
+// SpanVec: an ordered gather list of read-only byte spans describing one
+// logical message without flattening it — the iovec of the data path.
+//
+// The transport accepts a SpanVec wherever it used to accept a single
+// contiguous payload, so producers (the device's packet writer, the Motor
+// serializer's split representation) can hand header + payload fragments
+// to the channel in one operation with zero staging copies. A SpanVec
+// owns only the span *descriptors*; the bytes belong to the producer,
+// which must keep them valid (for managed heap memory: pinned) until the
+// transfer drains.
+#pragma once
+
+#include <cstddef>
+#include <initializer_list>
+#include <span>
+#include <vector>
+
+#include "common/buffer.hpp"
+
+namespace motor {
+
+class SpanVec {
+ public:
+  SpanVec() = default;
+  explicit SpanVec(ByteSpan single) { append(single); }
+  SpanVec(std::initializer_list<ByteSpan> parts) {
+    for (ByteSpan p : parts) append(p);
+  }
+
+  /// Append one fragment. Empty fragments are dropped (they carry no
+  /// bytes and would only slow the per-part write loops).
+  void append(ByteSpan part) {
+    if (part.empty()) return;
+    parts_.push_back(part);
+    total_ += part.size();
+  }
+
+  void clear() noexcept {
+    parts_.clear();
+    total_ = 0;
+  }
+
+  [[nodiscard]] bool empty() const noexcept { return total_ == 0; }
+  [[nodiscard]] std::size_t part_count() const noexcept {
+    return parts_.size();
+  }
+  [[nodiscard]] std::size_t total_bytes() const noexcept { return total_; }
+  [[nodiscard]] std::span<const ByteSpan> parts() const noexcept {
+    return parts_;
+  }
+
+  /// Gather list covering bytes [offset, offset + len) of the logical
+  /// message. Used to carve rendezvous DATA packets out of a message
+  /// without touching the underlying bytes.
+  [[nodiscard]] SpanVec slice(std::size_t offset, std::size_t len) const;
+
+  /// Flatten bytes [offset, offset + out.size()) into `out`; returns the
+  /// number of bytes copied (less than out.size() only past the end).
+  /// This is the staging fallback — hot paths should hand the parts to
+  /// the channel instead.
+  std::size_t copy_to(MutableByteSpan out, std::size_t offset = 0) const;
+
+ private:
+  std::vector<ByteSpan> parts_;
+  std::size_t total_ = 0;
+};
+
+}  // namespace motor

@@ -69,7 +69,8 @@ Status MotorSerializer::serialize_array_window(vm::Obj arr,
 
 Status MotorSerializer::serialize_impl(vm::Obj root,
                                        std::optional<Window> window,
-                                       ByteBuffer& out) {
+                                       ByteBuffer& out,
+                                       std::vector<RawPart>* raw) {
   VisitedSet visited(mode_, stats_);
   std::vector<vm::Obj> order;       // id -> object
   std::vector<std::uint16_t> type_refs;
@@ -160,9 +161,18 @@ Status MotorSerializer::serialize_impl(vm::Obj root,
           out.put_i32(elem == nullptr ? -1 : visited.find(elem));
         }
       } else {
-        out.append_raw(vm::array_data(obj) +
-                           static_cast<std::size_t>(lo) * mt->element_bytes(),
-                       static_cast<std::size_t>(len) * mt->element_bytes());
+        const std::byte* src =
+            vm::array_data(obj) +
+            static_cast<std::size_t>(lo) * mt->element_bytes();
+        const std::size_t bytes =
+            static_cast<std::size_t>(len) * mt->element_bytes();
+        if (raw != nullptr && bytes >= kGatherInlineMax) {
+          // Gathered mode: reference the payload where it lives instead of
+          // copying it into the metadata stream.
+          raw->push_back(RawPart{out.size(), src, bytes, obj});
+        } else {
+          out.append_raw(src, bytes);
+        }
       }
       continue;
     }
@@ -206,6 +216,77 @@ Status MotorSerializer::serialize_split(vm::Obj arr,
     // individually deserialisable" (§7.5).
     MOTOR_RETURN_IF_ERROR(
         serialize_array_window(arr, offset, counts[i], pieces[i]));
+    offset += counts[i];
+  }
+  return Status::ok();
+}
+
+Status MotorSerializer::gather_impl(vm::Obj root, std::optional<Window> window,
+                                    GatherRep& out) {
+  out.meta.clear();
+  out.spans.clear();
+  out.backing.clear();
+  std::vector<RawPart> raws;
+  MOTOR_RETURN_IF_ERROR(serialize_impl(root, window, out.meta, &raws));
+
+  // Interleave owned metadata segments with in-place payload references,
+  // in wire order. The concatenation of the spans is byte-identical to
+  // what flat serialize() would have produced. Span construction happens
+  // only now, after the meta buffer stopped growing, so the segment
+  // pointers are stable (GatherRep is move-only for the same reason).
+  std::size_t cursor = 0;
+  for (const RawPart& part : raws) {
+    if (part.meta_pos > cursor) {
+      out.spans.append({out.meta.data() + cursor, part.meta_pos - cursor});
+      cursor = part.meta_pos;
+    }
+    out.spans.append({part.data, part.len});
+    out.backing.push_back(part.obj);
+  }
+  if (out.meta.size() > cursor) {
+    out.spans.append({out.meta.data() + cursor, out.meta.size() - cursor});
+  }
+  return Status::ok();
+}
+
+Status MotorSerializer::serialize_gather(vm::Obj root, GatherRep& out) {
+  return gather_impl(root, std::nullopt, out);
+}
+
+Status MotorSerializer::serialize_window_gather(vm::Obj arr,
+                                                std::int64_t offset,
+                                                std::int64_t count,
+                                                GatherRep& out) {
+  if (arr == nullptr || !vm::obj_mt(arr)->is_array()) {
+    return Status(ErrorCode::kTypeError, "window serialization needs an array");
+  }
+  if (offset < 0 || count < 0 || offset + count > vm::array_length(arr)) {
+    return Status(ErrorCode::kCountError, "array window out of bounds");
+  }
+  return gather_impl(arr, Window{offset, count}, out);
+}
+
+Status MotorSerializer::serialize_split_gather(
+    vm::Obj arr, const std::vector<std::int64_t>& counts,
+    std::vector<GatherRep>& pieces) {
+  if (arr == nullptr || !vm::obj_mt(arr)->is_array()) {
+    return Status(ErrorCode::kTypeError, "split serialization needs an array");
+  }
+  std::int64_t total = 0;
+  for (std::int64_t c : counts) {
+    if (c < 0) return Status(ErrorCode::kCountError, "negative piece count");
+    total += c;
+  }
+  if (total != vm::array_length(arr)) {
+    return Status(ErrorCode::kCountError,
+                  "piece counts do not cover the array");
+  }
+  pieces.clear();
+  pieces.resize(counts.size());
+  std::int64_t offset = 0;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    MOTOR_RETURN_IF_ERROR(
+        serialize_window_gather(arr, offset, counts[i], pieces[i]));
     offset += counts[i];
   }
   return Status::ok();

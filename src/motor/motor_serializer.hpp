@@ -18,11 +18,19 @@
 // paper's implementation ("we employ a linear structure to record objects
 // visited. This causes excessive search times with large numbers of
 // objects" — the Figure 10 fall-off past ~2048 objects); kHashed is the
-// fix the paper says is planned (ablation A3).
+// fix the paper says is planned (ablation A3) and is the DEFAULT — the
+// linear structure is opted into explicitly by the Figure 10 reproduction
+// and the A3 ablation benches.
 //
 // For scatter/gather the serializer produces a SPLIT representation: many
 // regular representations, each with an individual type table, each
 // independently deserializable (§7.5).
+//
+// GATHERED representation: serialize_gather() produces the same wire bytes
+// as serialize(), but large primitive-array payloads are *referenced in
+// place* on the managed heap instead of being copied into the metadata
+// buffer. The result is a SpanVec the device can push to the wire in one
+// scatter-gather operation — object-array payloads never flatten.
 #pragma once
 
 #include <optional>
@@ -31,6 +39,7 @@
 #include <vector>
 
 #include "common/buffer.hpp"
+#include "common/spanvec.hpp"
 #include "vm/handles.hpp"
 #include "vm/object.hpp"
 
@@ -50,9 +59,37 @@ struct SerializerStats {
   std::uint64_t null_swapped_refs = 0;   // non-Transportable refs nulled
 };
 
+/// Gathered serialized form. The wire bytes are the concatenation of
+/// `spans` and are byte-identical to the flat serialize() output, so any
+/// receiver deserializes them with the regular path. Metadata segments
+/// live in `meta` (owned); large primitive-array payloads are spans
+/// aliasing the managed heap. `backing` lists the heap objects those raw
+/// spans alias — the caller must pin them (see PinningPolicy) before the
+/// next GC poll and keep them pinned until the send drains.
+/// Move-only: the spans alias `meta`'s storage, which copying would break.
+struct GatherRep {
+  ByteBuffer meta;
+  SpanVec spans;
+  std::vector<vm::Obj> backing;
+
+  GatherRep() = default;
+  GatherRep(GatherRep&&) = default;
+  GatherRep& operator=(GatherRep&&) = default;
+  GatherRep(const GatherRep&) = delete;
+  GatherRep& operator=(const GatherRep&) = delete;
+
+  [[nodiscard]] std::size_t total_bytes() const noexcept {
+    return spans.total_bytes();
+  }
+};
+
 class MotorSerializer {
  public:
-  explicit MotorSerializer(vm::Vm& vm, VisitedMode mode = VisitedMode::kLinear)
+  /// Primitive-array payloads below this many bytes are copied into the
+  /// metadata buffer rather than carried as separate gather parts.
+  static constexpr std::size_t kGatherInlineMax = 256;
+
+  explicit MotorSerializer(vm::Vm& vm, VisitedMode mode = VisitedMode::kHashed)
       : vm_(vm), mode_(mode) {}
 
   /// Regular representation of the graph reachable from `root` under the
@@ -69,6 +106,21 @@ class MotorSerializer {
   /// Sum of counts must equal the array length.
   Status serialize_split(vm::Obj arr, const std::vector<std::int64_t>& counts,
                          std::vector<ByteBuffer>& pieces);
+
+  // ---- gathered (zero-copy) variants ----
+
+  /// Regular representation with in-place payload references (see
+  /// GatherRep). Wire bytes identical to serialize().
+  Status serialize_gather(vm::Obj root, GatherRep& out);
+
+  /// Gathered form of serialize_array_window().
+  Status serialize_window_gather(vm::Obj arr, std::int64_t offset,
+                                 std::int64_t count, GatherRep& out);
+
+  /// Gathered form of serialize_split(): one GatherRep per piece.
+  Status serialize_split_gather(vm::Obj arr,
+                                const std::vector<std::int64_t>& counts,
+                                std::vector<GatherRep>& pieces);
 
   /// Rebuild a regular (or window) representation in this VM's heap.
   Status deserialize(ByteBuffer& in, vm::ManagedThread& thread, vm::Obj* out);
@@ -102,8 +154,19 @@ class MotorSerializer {
     std::unordered_map<vm::Obj, std::int32_t> hashed_;
   };
 
+  // A primitive-array payload referenced in place instead of copied:
+  // `meta_pos` is where the bytes belong inside the metadata stream.
+  struct RawPart {
+    std::size_t meta_pos;
+    const std::byte* data;
+    std::size_t len;
+    vm::Obj obj;
+  };
+
   Status serialize_impl(vm::Obj root, std::optional<Window> window,
-                        ByteBuffer& out);
+                        ByteBuffer& out, std::vector<RawPart>* raw = nullptr);
+  Status gather_impl(vm::Obj root, std::optional<Window> window,
+                     GatherRep& out);
 
   vm::Vm& vm_;
   VisitedMode mode_;

@@ -37,7 +37,7 @@ struct MPRequest {
 
 struct MPDirectConfig {
   PinMode pin_mode = PinMode::kMotorPolicy;
-  VisitedMode visited_mode = VisitedMode::kLinear;
+  VisitedMode visited_mode = VisitedMode::kHashed;
   /// Progress attempts before a blocking op gives up on the fast path and
   /// enters the (pin + polling-wait) slow path.
   int fast_attempts = 2;
@@ -122,6 +122,9 @@ class MPDirect {
   // OO helpers (oo_ops.cpp).
   Status send_buffer(ByteBuffer& buf, int dst, int tag);
   Status recv_buffer(ByteBuffer& buf, int src, int tag, MpStatus* status);
+  /// Gathered OO send: pins the rep's backing objects, pushes size then
+  /// the gather list straight to the wire (no flattening), unpins.
+  Status send_gathered(GatherRep& rep, int dst, int tag);
 
   vm::Vm& vm_;
   vm::ManagedThread& thread_;

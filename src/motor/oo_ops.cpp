@@ -1,7 +1,14 @@
 // Extended object-oriented operations (paper §4.2.2/§7.5): OSend/ORecv/
 // OBcast/OScatter/OGather over the Motor custom serializer and the static
-// buffer pool. No pinning anywhere: serialization targets native buffers
-// outside the managed heap (§7.4).
+// buffer pool.
+//
+// Send paths use the GATHERED representation: metadata segments plus
+// in-place references to large primitive-array payloads, pushed to the
+// wire as one scatter-gather message with no flattening. The gather spans
+// alias the managed heap, so — unlike the flat path, which copies into
+// native buffers and needs no pinning (§7.4) — the backing objects are
+// pinned for the duration of the send (span pointers are captured at
+// serialize time, before any GC poll can run).
 //
 // Wire protocol per transfer: the byte size first, then the serialized
 // representation — "Before sending the serialized buffer, Motor sends the
@@ -73,20 +80,37 @@ Status MPDirect::recv_buffer(ByteBuffer& buf, int src, int tag,
   return Status(err);
 }
 
+Status MPDirect::send_gathered(GatherRep& rep, int dst, int tag) {
+  // Pin BEFORE the first GC poll after serialization: the gather spans
+  // were captured pointing at the arrays' current addresses, so a moving
+  // collection between here and the drain would invalidate them. The
+  // deferred-pin scheme of the flat blocking path does not apply.
+  std::vector<vm::Obj> pinned;
+  policy_.pin_backing(rep.backing, &pinned);
+  const std::uint64_t size = rep.total_bytes();
+  ErrorCode err =
+      mpi::send(comm_, &size, sizeof size, dst, tag, gc_poll_hook());
+  if (err == ErrorCode::kSuccess) {
+    err = mpi::send_v(comm_, rep.spans, dst, tag, gc_poll_hook());
+  }
+  policy_.unpin_backing(pinned);
+  return Status(err);
+}
+
 Status MPDirect::osend(vm::Obj obj, int dst, int tag) {
   OoFCallScope fcall(vm_, thread_);
-  PooledBuffer buf = pool_.acquire();
-  MOTOR_RETURN_IF_ERROR(serializer_.serialize(obj, *buf));
-  return send_buffer(*buf, dst, tag);
+  GatherRep rep;
+  MOTOR_RETURN_IF_ERROR(serializer_.serialize_gather(obj, rep));
+  return send_gathered(rep, dst, tag);
 }
 
 Status MPDirect::osend(vm::Obj arr, std::int64_t offset, std::int64_t count,
                        int dst, int tag) {
   OoFCallScope fcall(vm_, thread_);
-  PooledBuffer buf = pool_.acquire();
+  GatherRep rep;
   MOTOR_RETURN_IF_ERROR(
-      serializer_.serialize_array_window(arr, offset, count, *buf));
-  return send_buffer(*buf, dst, tag);
+      serializer_.serialize_window_gather(arr, offset, count, rep));
+  return send_gathered(rep, dst, tag);
 }
 
 Status MPDirect::orecv(int src, int tag, vm::Obj* out, MpStatus* status) {
@@ -132,24 +156,24 @@ Status MPDirect::oscatter(vm::Obj arr, int root, vm::Obj* my_piece) {
                     "OScatter requires rank-count-divisible arrays");
     }
     // "For scatter operations the serialization mechanism automatically
-    // splits the array and flattens referenced objects" (§7.5).
-    std::vector<std::int64_t> counts(static_cast<std::size_t>(n), length / n);
-    std::vector<ByteBuffer> pieces;
-    MOTOR_RETURN_IF_ERROR(serializer_.serialize_split(arr, counts, pieces));
+    // splits the array and flattens referenced objects" (§7.5). Remote
+    // pieces go out gathered — each window's payload is referenced in
+    // place, serialized immediately before its send so the span pointers
+    // meet no GC poll unpinned. The root's own piece is serialized flat:
+    // it is deserialized locally and never touches the wire.
+    const std::int64_t per_rank = length / n;
     for (int r = 0; r < n; ++r) {
       if (r == root) continue;
-      ByteBuffer& piece = pieces[static_cast<std::size_t>(r)];
-      const std::uint64_t size = piece.size();
-      ErrorCode err =
-          mpi::send(comm_, &size, sizeof size, r, tag, gc_poll_hook());
-      if (err != ErrorCode::kSuccess) return Status(err);
-      err = mpi::send(comm_, piece.data(), piece.size(), r, tag,
-                      gc_poll_hook());
-      if (err != ErrorCode::kSuccess) return Status(err);
+      GatherRep piece;
+      MOTOR_RETURN_IF_ERROR(serializer_.serialize_window_gather(
+          arr, per_rank * r, per_rank, piece));
+      MOTOR_RETURN_IF_ERROR(send_gathered(piece, r, tag));
     }
-    ByteBuffer& mine = pieces[static_cast<std::size_t>(root)];
-    mine.seek(0);
-    return serializer_.deserialize(mine, thread_, my_piece);
+    PooledBuffer mine = pool_.acquire();
+    MOTOR_RETURN_IF_ERROR(serializer_.serialize_array_window(
+        arr, per_rank * root, per_rank, *mine));
+    mine->seek(0);
+    return serializer_.deserialize(*mine, thread_, my_piece);
   }
 
   std::uint64_t size = 0;
@@ -175,15 +199,10 @@ Status MPDirect::ogather(vm::Obj my_piece, int root, vm::Obj* merged) {
   }
 
   if (comm_.rank() != root) {
-    PooledBuffer buf = pool_.acquire();
-    MOTOR_RETURN_IF_ERROR(serializer_.serialize_array_window(
-        my_piece, 0, vm::array_length(my_piece), *buf));
-    const std::uint64_t size = buf->size();
-    ErrorCode err =
-        mpi::send(comm_, &size, sizeof size, root, tag, gc_poll_hook());
-    if (err != ErrorCode::kSuccess) return Status(err);
-    return Status(mpi::send(comm_, buf->data(), buf->size(), root, tag,
-                            gc_poll_hook()));
+    GatherRep rep;
+    MOTOR_RETURN_IF_ERROR(serializer_.serialize_window_gather(
+        my_piece, 0, vm::array_length(my_piece), rep));
+    return send_gathered(rep, root, tag);
   }
 
   // Root: collect pieces in rank order, then fuse — "the deserialization

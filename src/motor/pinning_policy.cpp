@@ -53,4 +53,30 @@ void PinningPolicy::protect_nonblocking(vm::Obj obj, const mpi::Request& req) {
   }
 }
 
+void PinningPolicy::pin_backing(std::span<const vm::Obj> objs,
+                                std::vector<vm::Obj>* pinned) {
+  for (vm::Obj obj : objs) {
+    if (obj == nullptr) continue;
+    switch (mode_) {
+      case PinMode::kNeverPin:
+        continue;
+      case PinMode::kAlwaysPin:
+        break;
+      case PinMode::kMotorPolicy:
+        if (!heap_.in_young(obj)) {
+          ++stats_.backing_elder_skip;
+          continue;
+        }
+        break;
+    }
+    heap_.pin(obj);
+    ++stats_.backing_pinned;
+    if (pinned != nullptr) pinned->push_back(obj);
+  }
+}
+
+void PinningPolicy::unpin_backing(std::span<const vm::Obj> pinned) {
+  for (vm::Obj obj : pinned) heap_.unpin(obj);
+}
+
 }  // namespace motor::mp

@@ -18,6 +18,8 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
+#include <vector>
 
 #include "mpi/request.hpp"
 #include "vm/heap.hpp"
@@ -36,6 +38,8 @@ struct PinStats {
   std::uint64_t blocking_pinned = 0;      // deferred pin taken
   std::uint64_t conditional_registered = 0;
   std::uint64_t nonblocking_elder_skip = 0;
+  std::uint64_t backing_pinned = 0;       // gathered-send backing objects
+  std::uint64_t backing_elder_skip = 0;
 };
 
 class PinningPolicy {
@@ -59,6 +63,17 @@ class PinningPolicy {
   void protect_nonblocking(vm::Obj obj, const mpi::Request& req);
 
   void unpin(vm::Obj obj) { heap_.unpin(obj); }
+
+  /// Gathered-send path: a GatherRep's spans alias these heap objects, and
+  /// the span POINTERS were captured at serialize time — so unlike the
+  /// deferred blocking-path pin, the pin must be taken before the *next*
+  /// GC poll, not merely before a polling-wait. Objects actually pinned
+  /// are appended to `pinned` (elder objects never move and are skipped
+  /// under kMotorPolicy); pass that list to unpin_backing afterwards.
+  void pin_backing(std::span<const vm::Obj> objs,
+                   std::vector<vm::Obj>* pinned);
+
+  void unpin_backing(std::span<const vm::Obj> pinned);
 
  private:
   vm::ManagedHeap& heap_;

@@ -30,6 +30,11 @@ Device::Device(transport::Fabric& fabric, int world_rank, DeviceConfig config)
 
 Request Device::post_send(ByteSpan data, int dst, int tag, int context,
                           bool sync) {
+  return post_send(SpanVec(data), dst, tag, context, sync);
+}
+
+Request Device::post_send(SpanVec data, int dst, int tag, int context,
+                          bool sync) {
   MOTOR_CHECK(dst >= 0 && dst < fabric_.size(), "send to bad rank");
   auto req = std::make_shared<RequestState>();
   req->kind = RequestKind::kSend;
@@ -37,22 +42,27 @@ Request Device::post_send(ByteSpan data, int dst, int tag, int context,
   req->peer = dst;
   req->tag = tag;
   req->context = context;
-  req->send_buf = data.data();
-  req->buffer_bytes = data.size();
+  req->send_spans = std::move(data);
+  req->send_buf = req->send_spans.part_count() > 0
+                      ? req->send_spans.parts().front().data()
+                      : nullptr;
+  req->buffer_bytes = req->send_spans.total_bytes();
   req->sync = sync;
+  const std::size_t total = req->buffer_bytes;
 
   PacketHeader hdr;
   hdr.src = my_rank_;
   hdr.tag = tag;
   hdr.context = context;
-  hdr.msg_bytes = data.size();
+  hdr.msg_bytes = total;
   hdr.sreq_id = req->id;
 
-  if (data.size() <= config_.eager_threshold) {
+  if (total <= config_.eager_threshold) {
     hdr.type = sync ? PacketType::kEagerSync : PacketType::kEager;
-    hdr.payload_bytes = data.size();
+    hdr.payload_bytes = total;
     if (sync) sync_sends_[req->id] = req;
-    enqueue_data(dst, hdr, data, req, /*completes_on_drain=*/!sync);
+    enqueue_data(dst, hdr, req->send_spans, req, /*completes_on_drain=*/!sync,
+                 total);
   } else {
     // Rendezvous: announce, wait for CTS, then stream. A rendezvous send is
     // inherently synchronous — data only moves after the receiver matched.
@@ -158,13 +168,25 @@ void Device::enqueue_control(int dst, const PacketHeader& hdr) {
   outq_[dst].push_back(std::move(pkt));
 }
 
-void Device::enqueue_data(int dst, const PacketHeader& hdr, ByteSpan payload,
-                          Request req, bool completes_on_drain) {
+void Device::enqueue_data(int dst, const PacketHeader& hdr, SpanVec payload,
+                          Request req, bool completes_on_drain,
+                          std::size_t report_bytes) {
   OutPacket pkt;
   encode_header(hdr, pkt.header);
-  pkt.payload = payload;
+  if (config_.staged_copies && payload.total_bytes() > 0) {
+    // Ablation path: flatten the gather list into an owned packet buffer,
+    // the copy the zero-copy path exists to avoid.
+    const std::size_t total = payload.total_bytes();
+    pkt.staged.resize(total);
+    payload.copy_to({pkt.staged.data(), total});
+    bytes_staged_ += total;
+    pkt.payload = SpanVec(ByteSpan{pkt.staged.data(), total});
+  } else {
+    pkt.payload = std::move(payload);
+  }
   pkt.req = std::move(req);
   pkt.completes_on_drain = completes_on_drain;
+  pkt.report_bytes = report_bytes;
   outq_[dst].push_back(std::move(pkt));
 }
 
@@ -173,29 +195,64 @@ void Device::pump_outbound() {
     while (!queue.empty()) {
       OutPacket& pkt = queue.front();
       transport::Channel& ch = fabric_.link(my_rank_, dst);
+      const std::size_t psize = pkt.payload.total_bytes();
 
-      if (pkt.header_sent < kPacketHeaderBytes) {
-        const std::size_t n = ch.try_write(
-            {pkt.header + pkt.header_sent, kPacketHeaderBytes - pkt.header_sent});
-        pkt.header_sent += n;
+      if (config_.staged_copies) {
+        // Legacy two-operation path: header write, then (flattened) payload
+        // write. Staging cost was already charged at enqueue time.
+        if (pkt.header_sent < kPacketHeaderBytes) {
+          const std::size_t n = ch.try_write({pkt.header + pkt.header_sent,
+                                              kPacketHeaderBytes - pkt.header_sent});
+          pkt.header_sent += n;
+          bytes_sent_ += n;
+          if (pkt.header_sent < kPacketHeaderBytes) break;  // channel full
+        }
+        if (pkt.payload_sent < psize) {
+          const std::size_t n = ch.try_write(
+              ByteSpan{pkt.staged.data() + pkt.payload_sent,
+                       psize - pkt.payload_sent});
+          pkt.payload_sent += n;
+          bytes_sent_ += n;
+          if (pkt.payload_sent < psize) break;  // channel full
+        }
+      } else {
+        // Gathered path: header remainder plus every unsent payload
+        // fragment go to the channel in one scatter-gather operation.
+        iov_.clear();
+        if (pkt.header_sent < kPacketHeaderBytes) {
+          iov_.push_back({pkt.header + pkt.header_sent,
+                          kPacketHeaderBytes - pkt.header_sent});
+        }
+        std::size_t skip = pkt.payload_sent;
+        for (ByteSpan part : pkt.payload.parts()) {
+          if (skip >= part.size()) {
+            skip -= part.size();
+            continue;
+          }
+          iov_.push_back(part.subspan(skip));
+          skip = 0;
+        }
+        std::size_t n = iov_.empty() ? 0 : ch.try_write_v(iov_);
         bytes_sent_ += n;
-        if (pkt.header_sent < kPacketHeaderBytes) break;  // channel full
-      }
-      if (pkt.payload_sent < pkt.payload.size()) {
-        const std::size_t n = ch.try_write(pkt.payload.subspan(pkt.payload_sent));
+        const std::size_t hdr_take =
+            std::min(n, kPacketHeaderBytes - pkt.header_sent);
+        pkt.header_sent += hdr_take;
+        n -= hdr_take;
         pkt.payload_sent += n;
-        bytes_sent_ += n;
-        if (pkt.payload_sent < pkt.payload.size()) break;  // channel full
+        bytes_direct_ += n;
+        if (pkt.header_sent < kPacketHeaderBytes || pkt.payload_sent < psize) {
+          break;  // channel full
+        }
       }
 
       // Fully on the wire.
       if (pkt.req) {
         pkt.req->payload_drained = true;
         if (pkt.completes_on_drain) {
-          pkt.req->transferred = pkt.payload.size();
+          pkt.req->transferred = pkt.report_bytes;
           pkt.req->mark_complete();
         } else if (pkt.req->sync && pkt.req->sync_acked) {
-          pkt.req->transferred = pkt.payload.size();
+          pkt.req->transferred = pkt.report_bytes;
           pkt.req->mark_complete();
         }
       }
@@ -206,9 +263,8 @@ void Device::pump_outbound() {
 
 void Device::dispatch_header(int src, InState& st) {
   const PacketHeader& hdr = st.hdr;
-  st.direct_sink = nullptr;
-  st.direct_capacity = 0;
   st.sink_req.reset();
+  st.sink_offset = 0;
   st.to_staging = false;
   st.staging.clear();
 
@@ -219,8 +275,11 @@ void Device::dispatch_header(int src, InState& st) {
       if (try_match_posted(hdr, &rreq)) {
         on_matched(hdr, rreq);
         st.sink_req = rreq;
-        st.direct_sink = rreq->recv_buf;
-        st.direct_capacity = rreq->buffer_bytes;
+        if (config_.staged_copies) {
+          // Bounce ablation: land in staging first, memcpy on finish.
+          st.to_staging = true;
+          st.staging.resize(hdr.payload_bytes);
+        }
       } else {
         st.to_staging = true;
         st.staging.resize(hdr.payload_bytes);
@@ -241,20 +300,33 @@ void Device::dispatch_header(int src, InState& st) {
       MOTOR_CHECK(it != rndv_sends_.end(), "CTS for unknown send");
       Request sreq = it->second;
       rndv_sends_.erase(it);
-      PacketHeader data;
-      data.type = PacketType::kRndvData;
-      data.src = my_rank_;
-      data.tag = sreq->tag;
-      data.context = sreq->context;
-      data.payload_bytes = sreq->buffer_bytes;
-      data.msg_bytes = sreq->buffer_bytes;
-      data.sreq_id = sreq->id;
-      data.rreq_id = hdr.rreq_id;
-      // Receiver has matched: rendezvous sends satisfy synchronous mode by
-      // construction, so completion on drain is always correct here.
-      enqueue_data(src, data,
-                   {sreq->send_buf, sreq->buffer_bytes}, sreq,
-                   /*completes_on_drain=*/true);
+      // Receiver has matched: stream the message as a train of DATA
+      // packets no larger than max_packet_payload, slicing the sender's
+      // gather list in place (no flattening, no per-chunk copies). Only
+      // the final chunk carries the request; rendezvous sends satisfy
+      // synchronous mode by construction, so completion on drain of that
+      // last chunk is always correct.
+      const std::size_t total = sreq->send_spans.total_bytes();
+      const std::size_t chunk_max =
+          std::max<std::size_t>(std::size_t{1}, config_.max_packet_payload);
+      std::size_t off = 0;
+      do {
+        const std::size_t chunk = std::min(chunk_max, total - off);
+        PacketHeader data;
+        data.type = PacketType::kRndvData;
+        data.src = my_rank_;
+        data.tag = sreq->tag;
+        data.context = sreq->context;
+        data.payload_bytes = chunk;
+        data.msg_bytes = total;
+        data.sreq_id = sreq->id;
+        data.rreq_id = hdr.rreq_id;
+        const bool last = off + chunk == total;
+        enqueue_data(src, data, sreq->send_spans.slice(off, chunk),
+                     last ? sreq : Request{}, /*completes_on_drain=*/last,
+                     total);
+        off += chunk;
+      } while (off < total);
       break;
     }
     case PacketType::kRndvData: {
@@ -262,8 +334,11 @@ void Device::dispatch_header(int src, InState& st) {
       MOTOR_CHECK(it != rndv_recvs_.end(), "DATA for unknown recv");
       Request rreq = it->second;
       st.sink_req = rreq;
-      st.direct_sink = rreq->recv_buf;
-      st.direct_capacity = rreq->buffer_bytes;
+      st.sink_offset = rreq->transferred;  // bytes placed by earlier chunks
+      if (config_.staged_copies) {
+        st.to_staging = true;
+        st.staging.resize(hdr.payload_bytes);
+      }
       break;
     }
     case PacketType::kSyncAck: {
@@ -285,7 +360,7 @@ void Device::dispatch_header(int src, InState& st) {
 void Device::finish_payload(int src, InState& st) {
   (void)src;
   const PacketHeader& hdr = st.hdr;
-  if (st.to_staging) {
+  if (st.to_staging && !st.sink_req) {
     UnexpectedMsg msg{hdr, std::move(st.staging)};
     st.staging = {};
     // A matching receive may have been POSTED while this payload was
@@ -303,15 +378,31 @@ void Device::finish_payload(int src, InState& st) {
   if (!st.sink_req) return;  // control packet
 
   Request req = st.sink_req;
-  const std::size_t delivered =
-      std::min<std::size_t>(hdr.payload_bytes, st.direct_capacity);
-  const ErrorCode err = hdr.payload_bytes > st.direct_capacity
-                            ? ErrorCode::kTruncate
-                            : ErrorCode::kSuccess;
-  if (hdr.type == PacketType::kRndvData) {
-    rndv_recvs_.erase(hdr.rreq_id);
+  const std::size_t cap = req->buffer_bytes;
+  const std::size_t cap_left = cap > st.sink_offset ? cap - st.sink_offset : 0;
+  const std::size_t fitted =
+      std::min<std::size_t>(hdr.payload_bytes, cap_left);
+
+  if (st.to_staging && fitted > 0) {
+    // staged_copies bounce: staging buffer -> posted buffer.
+    std::memcpy(req->recv_buf + st.sink_offset, st.staging.data(), fitted);
   }
-  complete_recv(req, hdr, delivered, err);
+
+  if (hdr.type == PacketType::kRndvData) {
+    // Chunked stream: complete only once every DATA packet has arrived.
+    req->rndv_received += hdr.payload_bytes;
+    req->transferred += fitted;
+    if (req->rndv_received >= hdr.msg_bytes) {
+      rndv_recvs_.erase(hdr.rreq_id);
+      // Truncation (if any) was recorded on the request at match time.
+      complete_recv(req, hdr, req->transferred, req->error);
+    }
+    return;
+  }
+
+  const ErrorCode err = hdr.payload_bytes > cap_left ? ErrorCode::kTruncate
+                                                     : ErrorCode::kSuccess;
+  complete_recv(req, hdr, fitted, err);
 }
 
 void Device::pump_inbound() {
@@ -348,11 +439,16 @@ void Device::pump_inbound() {
       std::size_t got = 0;
       if (st.to_staging) {
         got = ch.try_read({st.staging.data() + st.payload_got, remaining});
-      } else if (st.direct_sink != nullptr &&
-                 st.payload_got < st.direct_capacity) {
+        bytes_staged_ += got;
+      } else if (st.sink_req &&
+                 st.sink_offset + st.payload_got < st.sink_req->buffer_bytes) {
+        // Scattered receive: land straight in the posted buffer, offset by
+        // what earlier rendezvous chunks already placed.
+        const std::size_t placed = st.sink_offset + st.payload_got;
         const std::size_t room =
-            std::min(remaining, st.direct_capacity - st.payload_got);
-        got = ch.try_read({st.direct_sink + st.payload_got, room});
+            std::min(remaining, st.sink_req->buffer_bytes - placed);
+        got = ch.recv_into({st.sink_req->recv_buf + placed, room});
+        bytes_direct_ += got;
       } else {
         // Discard: truncated tail or a control payload we cannot place.
         got = ch.try_read({scratch, std::min(remaining, sizeof scratch)});
@@ -369,11 +465,21 @@ void Device::pump_inbound() {
 }
 
 void Device::progress() {
-  pump_outbound();
-  pump_inbound();
-  // Inbound handling may have queued control packets (acks, CTS); give them
-  // an immediate chance to leave so latency stays at one pump per hop.
-  pump_outbound();
+  // Quiescence pump: drain everything the channels can currently move in
+  // ONE poll. A drained packet can unlock cascaded work inside the same
+  // call (a CTS arriving triggers DATA packets; an ack completes a send
+  // whose queue slot frees room for the next packet), so a single
+  // outbound/inbound pass is not enough — loop until the byte counters
+  // stop advancing.
+  for (;;) {
+    const std::uint64_t before = bytes_sent_ + bytes_received_;
+    pump_outbound();
+    pump_inbound();
+    // Inbound handling may have queued control packets (acks, CTS); give
+    // them an immediate chance to leave so latency stays low per hop.
+    pump_outbound();
+    if (bytes_sent_ + bytes_received_ == before) break;
+  }
 }
 
 bool Device::test(const Request& req) {
@@ -462,10 +568,11 @@ void Device::dump_state(std::FILE* out) const {
   }
   for (const auto& [dst, queue] : outq_) {
     if (!queue.empty()) {
-      std::fprintf(out, "  outq to %d: %zu packets (front hdr %zu/%zu payload %zu/%zu)\n",
+      std::fprintf(out, "  outq to %d: %zu packets (front hdr %zu/%zu payload %zu/%zu in %zu parts)\n",
                    dst, queue.size(), queue.front().header_sent,
                    kPacketHeaderBytes, queue.front().payload_sent,
-                   queue.front().payload.size());
+                   queue.front().payload.total_bytes(),
+                   queue.front().payload.part_count());
     }
   }
 }

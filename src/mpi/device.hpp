@@ -36,6 +36,11 @@ struct DeviceConfig {
   std::size_t eager_threshold = 64 * 1024;
   /// Largest single DATA packet for rendezvous streaming.
   std::size_t max_packet_payload = 256 * 1024;
+  /// Ablation/baseline: reproduce the wrapper-style STAGED data path —
+  /// every send flattens header+payload into an owned packet buffer and
+  /// every matched receive bounces through a staging buffer before the
+  /// posted buffer. Off (default) = the zero-copy scatter-gather path.
+  bool staged_copies = false;
 };
 
 class Device {
@@ -54,6 +59,12 @@ class Device {
   /// Start a send of `data` to world rank `dst` on (tag, context).
   /// `sync` requests synchronous-mode completion (matched before complete).
   Request post_send(ByteSpan data, int dst, int tag, int context, bool sync);
+
+  /// Gathered send: the message is the concatenation of `data`'s parts,
+  /// pushed onto the wire with no flattening — header and fragments go to
+  /// the channel in one gathered operation. The caller keeps every
+  /// fragment valid (pinned, for managed memory) until completion.
+  Request post_send(SpanVec data, int dst, int tag, int context, bool sync);
 
   /// Start a receive into `buf` from world rank `src` (or kAnySource) with
   /// `tag` (or kAnyTag) on `context`.
@@ -92,6 +103,19 @@ class Device {
     return bytes_received_;
   }
 
+  // Copy accounting for the zero-copy property (benches/tests assert it).
+  /// Payload bytes that passed through an intermediate buffer: inbound
+  /// staging for unexpected messages, plus every flatten/bounce in the
+  /// staged_copies ablation mode.
+  [[nodiscard]] std::uint64_t bytes_staged() const noexcept {
+    return bytes_staged_;
+  }
+  /// Payload bytes moved directly between user/serializer memory and the
+  /// channel, with no intermediate copy.
+  [[nodiscard]] std::uint64_t bytes_direct() const noexcept {
+    return bytes_direct_;
+  }
+
   static MsgStatus status_of(const Request& req);
 
   /// Diagnostic dump of queues and protocol state (stderr-style text).
@@ -99,19 +123,26 @@ class Device {
 
  private:
   // One queued outbound transmission: an owned header plus a non-owning
-  // payload view (zero-copy: payload bytes stream from the user buffer
-  // straight into the channel).
+  // gather list (zero-copy: payload fragments stream from the user /
+  // serializer buffers straight into the channel in one gathered write).
+  // In staged_copies mode the payload is instead flattened into `staged`
+  // at enqueue time and `payload` views that copy.
   struct OutPacket {
     std::byte header[kPacketHeaderBytes];
     std::size_t header_sent = 0;
-    ByteSpan payload;
+    SpanVec payload;
+    std::vector<std::byte> staged;  // staged_copies flatten buffer
     std::size_t payload_sent = 0;
     Request req;              // may be null for control packets
     bool completes_on_drain = false;
+    std::size_t report_bytes = 0;  // transferred value on completion
   };
 
   // Inbound reassembly per source: header accumulation, then payload
-  // streaming into a sink (matched user buffer, staging vector, or void).
+  // streaming into a sink. Matched messages land directly in the posted
+  // buffer at `sink_offset` (nonzero for rendezvous DATA chunks past the
+  // first); only genuinely unexpected messages stage. staged_copies mode
+  // forces matched payloads through staging too (the bounce ablation).
   struct InState {
     std::byte header[kPacketHeaderBytes];
     std::size_t header_got = 0;
@@ -119,10 +150,9 @@ class Device {
     PacketHeader hdr;
     std::size_t payload_got = 0;
     // Sink selection after header dispatch:
-    std::byte* direct_sink = nullptr;       // matched recv buffer
-    std::size_t direct_capacity = 0;        // bytes the sink can hold
-    Request sink_req;                       // request the payload completes
-    std::vector<std::byte> staging;         // unexpected-message buffer
+    Request sink_req;                // request the payload completes
+    std::size_t sink_offset = 0;     // write position inside recv_buf
+    std::vector<std::byte> staging;  // unexpected / bounce buffer
     bool to_staging = false;
   };
 
@@ -132,8 +162,9 @@ class Device {
   };
 
   void enqueue_control(int dst, const PacketHeader& hdr);
-  void enqueue_data(int dst, const PacketHeader& hdr, ByteSpan payload,
-                    Request req, bool completes_on_drain);
+  void enqueue_data(int dst, const PacketHeader& hdr, SpanVec payload,
+                    Request req, bool completes_on_drain,
+                    std::size_t report_bytes);
   void pump_outbound();
   void pump_inbound();
   void dispatch_header(int src, InState& st);
@@ -159,6 +190,12 @@ class Device {
 
   std::uint64_t bytes_sent_ = 0;
   std::uint64_t bytes_received_ = 0;
+  std::uint64_t bytes_staged_ = 0;
+  std::uint64_t bytes_direct_ = 0;
+
+  // Reusable gather scratch for pump_outbound (avoids an allocation per
+  // partially-written packet resume).
+  std::vector<ByteSpan> iov_;
 };
 
 }  // namespace motor::mpi

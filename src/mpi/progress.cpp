@@ -14,6 +14,9 @@ void progress_until_all(Device& dev, std::span<const Request> reqs,
 }
 
 bool all_complete(Device& dev, std::span<const Request> reqs) {
+  // One progress() call drains every packet the channels can currently
+  // deliver (the device pumps to quiescence), so a poll iteration never
+  // leaves ready work behind.
   dev.progress();
   for (const Request& r : reqs) {
     if (r && !r->is_complete()) return false;

@@ -83,6 +83,24 @@ Request isend(Comm& comm, const void* buf, std::size_t bytes, int dst,
                                  comm.context_id(), /*sync=*/false);
 }
 
+ErrorCode send_v(Comm& comm, const SpanVec& msg, int dst, int tag,
+                 const PollHook& poll) {
+  Request req = isend_v(comm, msg, dst, tag);
+  if (!req) return ErrorCode::kRankError;
+  return comm.device().wait(req, poll).error;
+}
+
+Request isend_v(Comm& comm, const SpanVec& msg, int dst, int tag) {
+  const void* probe_ptr =
+      msg.part_count() > 0 ? msg.parts().front().data() : nullptr;
+  if (validate(comm, probe_ptr, msg.total_bytes(), dst, tag, false) !=
+      ErrorCode::kSuccess) {
+    return nullptr;
+  }
+  return comm.device().post_send(msg, comm.peer_world_rank(dst), tag,
+                                 comm.context_id(), /*sync=*/false);
+}
+
 Request issend(Comm& comm, const void* buf, std::size_t bytes, int dst,
                int tag) {
   if (validate(comm, buf, bytes, dst, tag, false) != ErrorCode::kSuccess) {

@@ -34,9 +34,18 @@ ErrorCode sendrecv(Comm& comm, const void* send_buf, std::size_t send_bytes,
                    std::size_t recv_capacity, int src, int recv_tag,
                    MsgStatus* status = nullptr, const PollHook& poll = {});
 
+/// Gathered send: the message is the concatenation of `msg`'s parts,
+/// streamed to the wire without flattening. Every fragment must stay valid
+/// (and, for managed memory, pinned) until the call returns.
+ErrorCode send_v(Comm& comm, const SpanVec& msg, int dst, int tag,
+                 const PollHook& poll = {});
+
 // ---- non-blocking ----
 
 Request isend(Comm& comm, const void* buf, std::size_t bytes, int dst, int tag);
+
+/// Non-blocking gathered send; fragments must stay valid until completion.
+Request isend_v(Comm& comm, const SpanVec& msg, int dst, int tag);
 Request issend(Comm& comm, const void* buf, std::size_t bytes, int dst, int tag);
 Request irecv(Comm& comm, void* buf, std::size_t capacity, int src, int tag);
 

@@ -13,6 +13,7 @@
 #include <cstdint>
 #include <memory>
 
+#include "common/spanvec.hpp"
 #include "common/status.hpp"
 
 namespace motor::mpi {
@@ -33,7 +34,11 @@ struct RequestState {
   int context = 0;
 
   // Buffers. Non-owning: the MPI contract (and, in managed hosts, pinning)
-  // guarantees validity until completion.
+  // guarantees validity until completion. Sends carry a gather list so a
+  // message can be a header + many fragments (the serializer's split
+  // representation) without flattening; `send_buf` remains the first
+  // fragment for diagnostics.
+  SpanVec send_spans;
   const std::byte* send_buf = nullptr;
   std::byte* recv_buf = nullptr;
   std::size_t buffer_bytes = 0;  // posted capacity (recv) or size (send)
@@ -41,6 +46,9 @@ struct RequestState {
   // Completion.
   std::atomic<bool> complete{false};
   std::size_t transferred = 0;  // valid once complete
+  // Rendezvous receive streaming progress: wire payload bytes consumed so
+  // far across DATA packets (transferred counts only bytes that fit).
+  std::size_t rndv_received = 0;
   ErrorCode error = ErrorCode::kSuccess;
   bool cancelled = false;
 

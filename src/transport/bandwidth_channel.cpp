@@ -36,6 +36,25 @@ std::size_t BandwidthChannel::try_write(ByteSpan bytes) {
   return n;
 }
 
+std::size_t BandwidthChannel::try_write_v(std::span<const ByteSpan> parts) {
+  std::lock_guard lk(mu_);
+  std::size_t budget = refill_locked();
+  if (budget == 0) return 0;
+  // Clip the gather list to the byte budget, then commit through the
+  // inner channel's own gathered write.
+  std::vector<ByteSpan> clipped;
+  clipped.reserve(parts.size());
+  for (ByteSpan p : parts) {
+    if (budget == 0) break;
+    const std::size_t take = std::min(p.size(), budget);
+    if (take > 0) clipped.push_back(p.first(take));
+    budget -= take;
+  }
+  const std::size_t n = inner_->try_write_v(clipped);
+  tokens_ -= static_cast<double>(n);
+  return n;
+}
+
 std::size_t BandwidthChannel::writable() const {
   std::lock_guard lk(mu_);
   const std::size_t budget =

@@ -23,6 +23,10 @@ class BandwidthChannel final : public Channel {
                    std::size_t burst_bytes = 16 * 1024);
 
   std::size_t try_write(ByteSpan bytes) override;
+  /// Gathered write: one token-bucket refill for the whole gather; the
+  /// budget-clipped part list is forwarded to the inner gather in one
+  /// operation (no flattening).
+  std::size_t try_write_v(std::span<const ByteSpan> parts) override;
   std::size_t try_read(MutableByteSpan out) override {
     return inner_->try_read(out);
   }

@@ -6,6 +6,21 @@
 
 namespace motor::transport {
 
+std::size_t Channel::try_write_v(std::span<const ByteSpan> parts) {
+  // Default fallback: one try_write per part. No staging buffer — the
+  // bytes still move source -> channel directly — but each part pays its
+  // own synchronisation (lock or atomic pair). Concrete channels override
+  // this with a single-commit gather.
+  std::size_t total = 0;
+  for (ByteSpan p : parts) {
+    if (p.empty()) continue;
+    const std::size_t n = try_write(p);
+    total += n;
+    if (n < p.size()) break;  // channel full
+  }
+  return total;
+}
+
 std::unique_ptr<Channel> make_channel(ChannelKind kind,
                                       std::size_t capacity_bytes) {
   switch (kind) {

@@ -10,6 +10,11 @@
 //   readable    bytes currently available to the consumer
 //   writable    bytes currently acceptable from the producer
 //   close       producer-side end-of-stream
+//
+// The scatter-gather extension adds two operations with working default
+// implementations, so a minimal port stays five functions:
+//   try_write_v  gathered write of a span list in one channel operation
+//   recv_into    scattered read landing bytes directly in a caller buffer
 #pragma once
 
 #include <cstddef>
@@ -17,6 +22,7 @@
 #include <string>
 
 #include "common/buffer.hpp"
+#include "common/spanvec.hpp"
 
 namespace motor::transport {
 
@@ -31,6 +37,23 @@ class Channel {
   /// Remove up to out.size() bytes; returns how many were delivered.
   /// Never blocks. Returns 0 when no data is available.
   virtual std::size_t try_read(MutableByteSpan out) = 0;
+
+  /// Gathered write: append the logical byte sequence described by
+  /// `parts` (in order), up to current capacity; returns bytes accepted.
+  /// The default forwards part-by-part through try_write — correct under
+  /// the single-producer contract and already staging-free, but it pays
+  /// one synchronisation round per part. Transports override it to
+  /// commit all parts in ONE channel operation.
+  virtual std::size_t try_write_v(std::span<const ByteSpan> parts);
+  std::size_t try_write_v(const SpanVec& msg) {
+    return try_write_v(msg.parts());
+  }
+
+  /// Scattered read: land up to out.size() bytes directly in the caller's
+  /// buffer — the posted-receive landing primitive. Semantically identical
+  /// to try_read today; a separate virtual so transports that stage reads
+  /// internally can special-case the direct-landing path.
+  virtual std::size_t recv_into(MutableByteSpan out) { return try_read(out); }
 
   /// Bytes the consumer could read right now.
   [[nodiscard]] virtual std::size_t readable() const = 0;

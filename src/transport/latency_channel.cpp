@@ -16,6 +16,16 @@ std::size_t LatencyChannel::try_write(ByteSpan bytes) {
   return n;
 }
 
+std::size_t LatencyChannel::try_write_v(std::span<const ByteSpan> parts) {
+  const std::size_t n = inner_->try_write_v(parts);
+  if (n > 0 && latency_ns_ > 0) {
+    std::lock_guard lk(mu_);
+    written_ += n;
+    stamps_.emplace_back(written_, pal::monotonic_ns() + latency_ns_);
+  }
+  return n;
+}
+
 std::size_t LatencyChannel::released_locked() const {
   const std::uint64_t now = pal::monotonic_ns();
   while (!stamps_.empty() && stamps_.front().second <= now) {

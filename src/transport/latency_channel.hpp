@@ -22,6 +22,8 @@ class LatencyChannel final : public Channel {
       : inner_(std::move(inner)), latency_ns_(latency_ns) {}
 
   std::size_t try_write(ByteSpan bytes) override;
+  /// Gathered write: one release timestamp for the whole gather.
+  std::size_t try_write_v(std::span<const ByteSpan> parts) override;
   std::size_t try_read(MutableByteSpan out) override;
   [[nodiscard]] std::size_t readable() const override;
   [[nodiscard]] std::size_t writable() const override {

@@ -12,6 +12,17 @@ std::size_t LoopbackChannel::try_write(ByteSpan bytes) {
   return bytes.size();
 }
 
+std::size_t LoopbackChannel::try_write_v(std::span<const ByteSpan> parts) {
+  std::lock_guard lk(mu_);
+  if (closed_) return 0;
+  std::size_t written = 0;
+  for (ByteSpan p : parts) {
+    data_.insert(data_.end(), p.begin(), p.end());
+    written += p.size();
+  }
+  return written;
+}
+
 std::size_t LoopbackChannel::try_read(MutableByteSpan out) {
   std::lock_guard lk(mu_);
   const std::size_t n = std::min(out.size(), data_.size());

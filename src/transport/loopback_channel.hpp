@@ -12,6 +12,8 @@ namespace motor::transport {
 class LoopbackChannel final : public Channel {
  public:
   std::size_t try_write(ByteSpan bytes) override;
+  /// Gathered write: unbounded, so every part lands under ONE lock.
+  std::size_t try_write_v(std::span<const ByteSpan> parts) override;
   std::size_t try_read(MutableByteSpan out) override;
   [[nodiscard]] std::size_t readable() const override;
   [[nodiscard]] std::size_t writable() const override;

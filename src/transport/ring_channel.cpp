@@ -12,6 +12,15 @@ RingChannel::RingChannel(std::size_t capacity_bytes) {
   data_.resize(capacity_);
 }
 
+void RingChannel::place(std::size_t pos, ByteSpan bytes) {
+  const std::size_t start = pos & mask_;
+  const std::size_t first = std::min(bytes.size(), capacity_ - start);
+  std::memcpy(data_.data() + start, bytes.data(), first);
+  if (bytes.size() > first) {
+    std::memcpy(data_.data(), bytes.data() + first, bytes.size() - first);
+  }
+}
+
 std::size_t RingChannel::try_write(ByteSpan bytes) {
   if (closed_.load(std::memory_order_relaxed)) return 0;
   const std::size_t head = head_.load(std::memory_order_acquire);
@@ -20,14 +29,27 @@ std::size_t RingChannel::try_write(ByteSpan bytes) {
   const std::size_t n = bytes.size() < free_space ? bytes.size() : free_space;
   if (n == 0) return 0;
 
-  const std::size_t start = tail & mask_;
-  const std::size_t first = std::min(n, capacity_ - start);
-  std::memcpy(data_.data() + start, bytes.data(), first);
-  if (n > first) {
-    std::memcpy(data_.data(), bytes.data() + first, n - first);
-  }
+  place(tail, bytes.first(n));
   tail_.store(tail + n, std::memory_order_release);
   return n;
+}
+
+std::size_t RingChannel::try_write_v(std::span<const ByteSpan> parts) {
+  if (closed_.load(std::memory_order_relaxed)) return 0;
+  const std::size_t head = head_.load(std::memory_order_acquire);
+  const std::size_t tail = tail_.load(std::memory_order_relaxed);
+  const std::size_t free_space = capacity_ - (tail - head);
+  if (free_space == 0) return 0;
+
+  std::size_t written = 0;
+  for (ByteSpan p : parts) {
+    const std::size_t n = std::min(p.size(), free_space - written);
+    if (n > 0) place(tail + written, p.first(n));
+    written += n;
+    if (n < p.size()) break;  // out of space mid-gather
+  }
+  if (written > 0) tail_.store(tail + written, std::memory_order_release);
+  return written;
 }
 
 std::size_t RingChannel::try_read(MutableByteSpan out) {

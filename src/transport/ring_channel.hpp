@@ -17,6 +17,9 @@ class RingChannel final : public Channel {
   explicit RingChannel(std::size_t capacity_bytes);
 
   std::size_t try_write(ByteSpan bytes) override;
+  /// Gathered write: all parts copied under ONE head/tail exchange — the
+  /// consumer observes the whole gather (up to capacity) atomically.
+  std::size_t try_write_v(std::span<const ByteSpan> parts) override;
   std::size_t try_read(MutableByteSpan out) override;
   [[nodiscard]] std::size_t readable() const override;
   [[nodiscard]] std::size_t writable() const override;
@@ -27,6 +30,9 @@ class RingChannel final : public Channel {
   [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
 
  private:
+  /// Copy `bytes` into the ring at producer position `pos` (handles wrap).
+  void place(std::size_t pos, ByteSpan bytes);
+
   std::size_t capacity_;  // power of two
   std::size_t mask_;
   std::vector<std::byte> data_;

@@ -14,6 +14,21 @@ std::size_t StreamChannel::try_write(ByteSpan bytes) {
   return n;
 }
 
+std::size_t StreamChannel::try_write_v(std::span<const ByteSpan> parts) {
+  std::lock_guard lk(mu_);
+  if (closed_) return 0;
+  std::size_t room = capacity_ > data_.size() ? capacity_ - data_.size() : 0;
+  std::size_t written = 0;
+  for (ByteSpan p : parts) {
+    const std::size_t n = std::min(p.size(), room);
+    data_.insert(data_.end(), p.begin(), p.begin() + n);
+    room -= n;
+    written += n;
+    if (n < p.size()) break;  // out of space mid-gather
+  }
+  return written;
+}
+
 std::size_t StreamChannel::try_read(MutableByteSpan out) {
   std::lock_guard lk(mu_);
   const std::size_t n = std::min(out.size(), data_.size());

@@ -16,6 +16,8 @@ class StreamChannel final : public Channel {
       : capacity_(capacity_bytes < 64 ? 64 : capacity_bytes) {}
 
   std::size_t try_write(ByteSpan bytes) override;
+  /// Gathered write: all parts appended under ONE lock acquisition.
+  std::size_t try_write_v(std::span<const ByteSpan> parts) override;
   std::size_t try_read(MutableByteSpan out) override;
   [[nodiscard]] std::size_t readable() const override;
   [[nodiscard]] std::size_t writable() const override;

@@ -1,0 +1,114 @@
+// SpanVec: the gather-list primitive behind the zero-copy data path.
+#include "common/spanvec.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+namespace motor {
+namespace {
+
+std::vector<std::byte> bytes_of(const char* s) {
+  std::vector<std::byte> v(std::strlen(s));
+  std::memcpy(v.data(), s, v.size());
+  return v;
+}
+
+std::string to_string(ByteSpan s) {
+  return {reinterpret_cast<const char*>(s.data()), s.size()};
+}
+
+std::string flatten(const SpanVec& sv) {
+  std::vector<std::byte> out(sv.total_bytes());
+  sv.copy_to(out);
+  return {reinterpret_cast<const char*>(out.data()), out.size()};
+}
+
+TEST(SpanVecTest, EmptyByDefault) {
+  SpanVec sv;
+  EXPECT_TRUE(sv.empty());
+  EXPECT_EQ(sv.part_count(), 0u);
+  EXPECT_EQ(sv.total_bytes(), 0u);
+}
+
+TEST(SpanVecTest, AppendTracksTotalsAndDropsEmptyParts) {
+  auto a = bytes_of("hello");
+  auto b = bytes_of(" world");
+  SpanVec sv;
+  sv.append({a.data(), a.size()});
+  sv.append({});  // dropped
+  sv.append({b.data(), b.size()});
+  EXPECT_EQ(sv.part_count(), 2u);
+  EXPECT_EQ(sv.total_bytes(), 11u);
+  EXPECT_EQ(flatten(sv), "hello world");
+}
+
+TEST(SpanVecTest, SingleSpanConstructor) {
+  auto a = bytes_of("abc");
+  SpanVec sv(ByteSpan{a.data(), a.size()});
+  EXPECT_EQ(sv.part_count(), 1u);
+  EXPECT_EQ(flatten(sv), "abc");
+}
+
+TEST(SpanVecTest, SliceWithinOnePart) {
+  auto a = bytes_of("abcdefgh");
+  SpanVec sv(ByteSpan{a.data(), a.size()});
+  SpanVec mid = sv.slice(2, 3);
+  EXPECT_EQ(mid.total_bytes(), 3u);
+  EXPECT_EQ(flatten(mid), "cde");
+}
+
+TEST(SpanVecTest, SliceAcrossParts) {
+  auto a = bytes_of("abc");
+  auto b = bytes_of("defg");
+  auto c = bytes_of("hij");
+  SpanVec sv;
+  sv.append({a.data(), a.size()});
+  sv.append({b.data(), b.size()});
+  sv.append({c.data(), c.size()});
+  // Covers the tail of part 0, all of part 1, and the head of part 2.
+  SpanVec cut = sv.slice(2, 6);
+  EXPECT_EQ(flatten(cut), "cdefgh");
+  // Slices reference the same memory — no copying.
+  EXPECT_EQ(cut.parts().front().data(), a.data() + 2);
+}
+
+TEST(SpanVecTest, SliceClampsPastEnd) {
+  auto a = bytes_of("abcd");
+  SpanVec sv(ByteSpan{a.data(), a.size()});
+  EXPECT_EQ(flatten(sv.slice(2, 100)), "cd");
+  EXPECT_TRUE(sv.slice(4, 10).empty());
+  EXPECT_TRUE(sv.slice(100, 1).empty());
+}
+
+TEST(SpanVecTest, CopyToWithOffset) {
+  auto a = bytes_of("abc");
+  auto b = bytes_of("defg");
+  SpanVec sv;
+  sv.append({a.data(), a.size()});
+  sv.append({b.data(), b.size()});
+  std::vector<std::byte> out(4);
+  const std::size_t n = sv.copy_to({out.data(), out.size()}, 2);
+  EXPECT_EQ(n, 4u);
+  EXPECT_EQ(to_string({out.data(), n}), "cdef");
+}
+
+TEST(SpanVecTest, CopyToClampsToOutputSize) {
+  auto a = bytes_of("abcdef");
+  SpanVec sv(ByteSpan{a.data(), a.size()});
+  std::vector<std::byte> out(3);
+  EXPECT_EQ(sv.copy_to({out.data(), out.size()}), 3u);
+  EXPECT_EQ(to_string({out.data(), 3}), "abc");
+}
+
+TEST(SpanVecTest, ClearResets) {
+  auto a = bytes_of("abc");
+  SpanVec sv(ByteSpan{a.data(), a.size()});
+  sv.clear();
+  EXPECT_TRUE(sv.empty());
+  EXPECT_EQ(sv.total_bytes(), 0u);
+}
+
+}  // namespace
+}  // namespace motor

@@ -236,6 +236,43 @@ TEST(OoOpsTest, OScatterUnevenLengthRejected) {
   });
 }
 
+TEST(OoOpsTest, LargeArrayStreamsWithoutStagingCopies) {
+  // End-to-end zero-copy: a 256 KiB int array OSend/ORecv must move its
+  // payload gathered (serializer spans -> wire -> posted pool buffer)
+  // with staging reserved for the small control messages only.
+  MotorWorldConfig cfg = test_config();
+  cfg.vm.heap.young_bytes = 4 << 20;
+  run_motor_world(cfg, [](MotorContext& ctx) {
+    ListTypes types(ctx.vm());
+    constexpr int kInts = 64 * 1024;
+    constexpr std::size_t kBytes = kInts * sizeof(std::int32_t);
+    if (ctx.rank() == 0) {
+      vm::GcRoot arr(ctx.thread(),
+                     ctx.vm().heap().alloc_array(types.ints, kInts));
+      for (int i = 0; i < kInts; ++i) {
+        vm::set_element<std::int32_t>(arr.get(), i, i ^ 0x5aa5);
+      }
+      ASSERT_TRUE(ctx.mp().OSend(arr.get(), 1, 0).is_ok());
+    } else {
+      vm::Obj arr = ctx.mp().ORecv(0, 0);
+      ASSERT_NE(arr, nullptr);
+      ASSERT_EQ(vm::array_length(arr), kInts);
+      for (int i = 0; i < kInts; i += 1021) {
+        ASSERT_EQ((vm::get_element<std::int32_t>(arr, i)), i ^ 0x5aa5);
+      }
+    }
+    ctx.mp().Barrier();
+    const mpi::Device& dev = ctx.mp().direct().comm().device();
+    // The array payload itself went through the direct path...
+    if (ctx.rank() == 0) {
+      EXPECT_GE(dev.bytes_direct(), kBytes);
+    }
+    // ...and any staging is bounded by control traffic (size headers,
+    // serializer metadata on an unexpected arrival), never the payload.
+    EXPECT_LT(dev.bytes_staged(), kBytes / 16);
+  });
+}
+
 TEST(OoOpsTest, BufferPoolReusesAndTrims) {
   run_motor_world(test_config(), [](MotorContext& ctx) {
     ListTypes types(ctx.vm());
@@ -243,11 +280,15 @@ TEST(OoOpsTest, BufferPoolReusesAndTrims) {
     const int peer = 1 - ctx.rank();
     vm::GcRoot node(ctx.thread(), types.make_node(ctx, 1, nullptr));
 
+    // Sends stream gathered (no pool buffer); receives still land in
+    // pooled buffers — ping-pong so BOTH ranks exercise the pool.
     for (int round = 0; round < 3; ++round) {
       if (ctx.rank() == 0) {
         ASSERT_TRUE(ctx.mp().OSend(node.get(), peer, round).is_ok());
+        ASSERT_NE(ctx.mp().ORecv(peer, round), nullptr);
       } else {
         ASSERT_NE(ctx.mp().ORecv(peer, round), nullptr);
+        ASSERT_TRUE(ctx.mp().OSend(node.get(), peer, round).is_ok());
       }
     }
     // The pool stack grew once and was reused afterwards (§7.5).

@@ -163,5 +163,75 @@ TEST(PinningPolicyTest, PolicySavesPinTrafficVersusAlwaysPin) {
   EXPECT_GT(always_pins, 50u);  // wrapper behaviour pins relentlessly
 }
 
+TEST(PinningPolicyTest, PinBackingPinsYoungAndSkipsElder) {
+  // Gathered sends carry raw spans into heap objects captured at
+  // serialize time, so the backing pin happens eagerly (before any GC
+  // poll) — but the elder-skip rule still applies.
+  vm::VmConfig cfg;
+  cfg.profile = vm::RuntimeProfile::uncosted();
+  vm::Vm vm(cfg);
+  vm::ManagedThread thread(vm);
+  const vm::MethodTable* mt =
+      vm.types().primitive_array(vm::ElementKind::kInt32);
+
+  vm::GcRoot elder(thread, vm.heap().alloc_array(mt, 64));
+  vm.heap().collect();  // promote
+  ASSERT_TRUE(vm.heap().in_elder(elder.get()));
+  vm::GcRoot young(thread, vm.heap().alloc_array(mt, 64));
+  ASSERT_TRUE(vm.heap().in_young(young.get()));
+
+  PinningPolicy policy(vm.heap(), PinMode::kMotorPolicy);
+  const vm::Obj backing[] = {elder.get(), young.get(), nullptr};
+  std::vector<vm::Obj> pinned;
+  policy.pin_backing(backing, &pinned);
+
+  ASSERT_EQ(pinned.size(), 1u);
+  EXPECT_EQ(pinned[0], young.get());
+  EXPECT_EQ(policy.stats().backing_pinned, 1u);
+  EXPECT_EQ(policy.stats().backing_elder_skip, 1u);
+  EXPECT_EQ(vm.heap().pin_table_size(), 1u);
+
+  // A collection while pinned must not move the young buffer.
+  const std::byte* before = vm::array_data(young.get());
+  vm.heap().collect();
+  EXPECT_EQ(vm::array_data(young.get()), before);
+
+  policy.unpin_backing(pinned);
+  EXPECT_EQ(vm.heap().pin_table_size(), 0u);
+}
+
+TEST(PinningPolicyTest, PinBackingModes) {
+  vm::VmConfig cfg;
+  cfg.profile = vm::RuntimeProfile::uncosted();
+  vm::Vm vm(cfg);
+  vm::ManagedThread thread(vm);
+  const vm::MethodTable* mt =
+      vm.types().primitive_array(vm::ElementKind::kInt32);
+  vm::GcRoot elder(thread, vm.heap().alloc_array(mt, 16));
+  vm.heap().collect();
+  vm::GcRoot young(thread, vm.heap().alloc_array(mt, 16));
+  const vm::Obj backing[] = {elder.get(), young.get()};
+
+  {
+    PinningPolicy never(vm.heap(), PinMode::kNeverPin);
+    std::vector<vm::Obj> pinned;
+    never.pin_backing(backing, &pinned);
+    EXPECT_TRUE(pinned.empty());
+    EXPECT_EQ(never.stats().backing_pinned, 0u);
+    EXPECT_EQ(vm.heap().pin_table_size(), 0u);
+  }
+  {
+    // Wrapper-style: pins even the elder buffer.
+    PinningPolicy always(vm.heap(), PinMode::kAlwaysPin);
+    std::vector<vm::Obj> pinned;
+    always.pin_backing(backing, &pinned);
+    EXPECT_EQ(pinned.size(), 2u);
+    EXPECT_EQ(always.stats().backing_pinned, 2u);
+    EXPECT_EQ(always.stats().backing_elder_skip, 0u);
+    always.unpin_backing(pinned);
+    EXPECT_EQ(vm.heap().pin_table_size(), 0u);
+  }
+}
+
 }  // namespace
 }  // namespace motor::mp

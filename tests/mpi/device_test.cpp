@@ -128,7 +128,7 @@ TEST(DeviceTest, SendCancelBeforeWireRemovesPacket) {
 
 TEST(DeviceTest, ZeroByteMessageCarriesEnvelopeOnly) {
   DevicePair pair;
-  Request s = pair.a.post_send({}, 1, 3, 1, false);
+  Request s = pair.a.post_send(ByteSpan{}, 1, 3, 1, false);
   std::vector<std::byte> in(8);
   Request r = pair.b.post_recv(in, 0, 3, 1);
   for (int i = 0; i < 50 && !r->is_complete(); ++i) pair.pump_both();
@@ -191,6 +191,231 @@ TEST(DeviceTest, TinyChannelForcesPartialPacketDelivery) {
   ASSERT_TRUE(r->is_complete());
   EXPECT_EQ(in, out);
 }
+
+std::vector<std::byte> patterned(std::size_t n, int seed = 1) {
+  std::vector<std::byte> v(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    v[i] = static_cast<std::byte>((i * 31 + seed * 7) & 0xff);
+  }
+  return v;
+}
+
+TEST(DeviceTest, ZeroStagingWhenPrePostedLargeMessage) {
+  // THE zero-copy acceptance property: a pre-posted rendezvous transfer
+  // moves every payload byte user-buffer -> channel -> user-buffer with
+  // no intermediate staging on either side.
+  DeviceConfig cfg;
+  cfg.eager_threshold = 256;
+  cfg.max_packet_payload = 1024;
+  DevicePair pair(cfg);
+  const std::size_t kBytes = 100 * 1024;
+  auto out = patterned(kBytes);
+  std::vector<std::byte> in(kBytes);
+  Request r = pair.b.post_recv(in, 0, 0, 1);  // pre-posted
+  Request s = pair.a.post_send(out, 1, 0, 1, false);
+  for (int i = 0; i < 1000 && !(s->is_complete() && r->is_complete()); ++i) {
+    pair.pump_both();
+  }
+  ASSERT_TRUE(s->is_complete());
+  ASSERT_TRUE(r->is_complete());
+  EXPECT_EQ(in, out);
+  EXPECT_EQ(pair.a.bytes_staged(), 0u);
+  EXPECT_EQ(pair.b.bytes_staged(), 0u);
+  EXPECT_EQ(pair.a.bytes_direct(), kBytes);
+  EXPECT_EQ(pair.b.bytes_direct(), kBytes);
+  // The stream was chunked at max_packet_payload: RTS + 100 DATA headers.
+  EXPECT_EQ(pair.a.bytes_sent(), 101 * kPacketHeaderBytes + kBytes);
+}
+
+TEST(DeviceTest, StagedModeAccountsEveryCopy) {
+  // The staged_copies ablation reproduces the wrapper-style data path:
+  // flatten on send, bounce through staging on receive — and the copy
+  // counters prove it.
+  DeviceConfig cfg;
+  cfg.eager_threshold = 256;
+  cfg.max_packet_payload = 1024;
+  cfg.staged_copies = true;
+  DevicePair pair(cfg);
+  const std::size_t kBytes = 16 * 1024;
+  auto out = patterned(kBytes, 2);
+  std::vector<std::byte> in(kBytes);
+  Request r = pair.b.post_recv(in, 0, 0, 1);
+  Request s = pair.a.post_send(out, 1, 0, 1, false);
+  for (int i = 0; i < 1000 && !(s->is_complete() && r->is_complete()); ++i) {
+    pair.pump_both();
+  }
+  ASSERT_TRUE(s->is_complete());
+  ASSERT_TRUE(r->is_complete());
+  EXPECT_EQ(in, out);  // same wire bytes, just with extra copies
+  EXPECT_EQ(pair.a.bytes_staged(), kBytes);  // send-side flatten
+  EXPECT_EQ(pair.b.bytes_staged(), kBytes);  // receive-side bounce
+  EXPECT_EQ(pair.a.bytes_direct(), 0u);
+  EXPECT_EQ(pair.b.bytes_direct(), 0u);
+}
+
+TEST(DeviceTest, UnexpectedMessagesAreTheOnlyStagedBytes) {
+  DevicePair pair;
+  const std::size_t kBytes = 2048;  // eager, below default threshold
+  auto out = patterned(kBytes, 3);
+  Request s = pair.a.post_send(out, 1, 0, 1, false);
+  for (int i = 0; i < 100; ++i) pair.pump_both();  // arrives unexpected
+  EXPECT_EQ(pair.b.unexpected_count(), 1u);
+  EXPECT_EQ(pair.b.bytes_staged(), kBytes);
+
+  std::vector<std::byte> in(kBytes);
+  Request r = pair.b.post_recv(in, 0, 0, 1);
+  ASSERT_TRUE(r->is_complete());
+  EXPECT_EQ(in, out);
+  (void)s;
+}
+
+TEST(DeviceTest, GatheredSendConcatenatesFragmentsEager) {
+  DevicePair pair;
+  auto a = patterned(300, 4);
+  auto b = patterned(17, 5);
+  auto c = patterned(700, 6);
+  SpanVec msg{ByteSpan{a.data(), a.size()},
+              ByteSpan{b.data(), b.size()},
+              ByteSpan{c.data(), c.size()}};
+  std::vector<std::byte> in(msg.total_bytes());
+  Request r = pair.b.post_recv(in, 0, 0, 1);
+  Request s = pair.a.post_send(msg, 1, 0, 1, false);
+  for (int i = 0; i < 100 && !(s->is_complete() && r->is_complete()); ++i) {
+    pair.pump_both();
+  }
+  ASSERT_TRUE(r->is_complete());
+  std::vector<std::byte> expect;
+  expect.insert(expect.end(), a.begin(), a.end());
+  expect.insert(expect.end(), b.begin(), b.end());
+  expect.insert(expect.end(), c.begin(), c.end());
+  EXPECT_EQ(in, expect);
+  EXPECT_EQ(r->transferred, expect.size());
+  EXPECT_EQ(pair.a.bytes_staged(), 0u);
+}
+
+TEST(DeviceTest, GatheredSendStreamsFragmentsThroughRendezvousChunks) {
+  // Fragment boundaries and DATA-chunk boundaries are independent: chunks
+  // slice straight across the gather list without re-staging anything.
+  DeviceConfig cfg;
+  cfg.eager_threshold = 128;
+  cfg.max_packet_payload = 512;
+  DevicePair pair(cfg);
+  auto a = patterned(700, 7);
+  auto b = patterned(123, 8);
+  auto c = patterned(1300, 9);
+  SpanVec msg{ByteSpan{a.data(), a.size()},
+              ByteSpan{b.data(), b.size()},
+              ByteSpan{c.data(), c.size()}};
+  std::vector<std::byte> in(msg.total_bytes());
+  Request r = pair.b.post_recv(in, 0, 0, 1);
+  Request s = pair.a.post_send(msg, 1, 0, 1, false);
+  for (int i = 0; i < 1000 && !(s->is_complete() && r->is_complete()); ++i) {
+    pair.pump_both();
+  }
+  ASSERT_TRUE(s->is_complete());
+  ASSERT_TRUE(r->is_complete());
+  std::vector<std::byte> expect;
+  expect.insert(expect.end(), a.begin(), a.end());
+  expect.insert(expect.end(), b.begin(), b.end());
+  expect.insert(expect.end(), c.begin(), c.end());
+  EXPECT_EQ(in, expect);
+  EXPECT_EQ(pair.a.bytes_staged(), 0u);
+  EXPECT_EQ(pair.b.bytes_staged(), 0u);
+}
+
+TEST(DeviceTest, ChunkedRendezvousTruncatesIntoSmallBuffer) {
+  DeviceConfig cfg;
+  cfg.eager_threshold = 256;
+  cfg.max_packet_payload = 512;
+  DevicePair pair(cfg);
+  auto out = patterned(4096, 10);
+  std::vector<std::byte> in(1000);
+  Request r = pair.b.post_recv(in, 0, 0, 1);
+  Request s = pair.a.post_send(out, 1, 0, 1, false);
+  for (int i = 0; i < 1000 && !(s->is_complete() && r->is_complete()); ++i) {
+    pair.pump_both();
+  }
+  ASSERT_TRUE(r->is_complete());
+  EXPECT_EQ(r->error, ErrorCode::kTruncate);
+  EXPECT_EQ(r->transferred, 1000u);
+  EXPECT_TRUE(std::equal(in.begin(), in.end(), out.begin()));
+}
+
+TEST(DeviceTest, SinglePollDrainsAllReadyPackets) {
+  // Progress must drain EVERY packet the channel already holds in one
+  // call, not one packet per poll.
+  DevicePair pair;
+  constexpr int kN = 8;
+  std::vector<std::vector<std::byte>> outs, ins;
+  std::vector<Request> sends, recvs;
+  for (int i = 0; i < kN; ++i) {
+    outs.push_back(patterned(512, i));
+    ins.emplace_back(512);
+    recvs.push_back(pair.b.post_recv(ins.back(), 0, i, 1));
+  }
+  for (int i = 0; i < kN; ++i) {
+    sends.push_back(pair.a.post_send(outs[static_cast<std::size_t>(i)], 1, i,
+                                     1, false));
+  }
+  pair.a.progress();  // all eight packets onto the (1 MiB) wire
+
+  pair.b.progress();  // ONE poll on the receiver
+  for (int i = 0; i < kN; ++i) {
+    EXPECT_TRUE(recvs[static_cast<std::size_t>(i)]->is_complete())
+        << "recv " << i << " not drained by a single progress() call";
+    EXPECT_EQ(ins[static_cast<std::size_t>(i)],
+              outs[static_cast<std::size_t>(i)]);
+  }
+  (void)sends;
+}
+
+// Boundary matrix: message sizes straddling eager_threshold and
+// max_packet_payload, through both the gathered and the staged path.
+class DeviceBoundaryTest
+    : public ::testing::TestWithParam<std::tuple<std::size_t, bool>> {};
+
+TEST_P(DeviceBoundaryTest, RoundTripsExactly) {
+  const auto [bytes, staged] = GetParam();
+  DeviceConfig cfg;
+  cfg.eager_threshold = 256;
+  cfg.max_packet_payload = 512;
+  cfg.staged_copies = staged;
+  DevicePair pair(cfg);
+  auto out = patterned(bytes, static_cast<int>(bytes));
+  std::vector<std::byte> in(bytes);
+  Request r = pair.b.post_recv(in, 0, 0, 1);
+  Request s = pair.a.post_send(out, 1, 0, 1, false);
+  for (int i = 0; i < 2000 && !(s->is_complete() && r->is_complete()); ++i) {
+    pair.pump_both();
+  }
+  ASSERT_TRUE(s->is_complete());
+  ASSERT_TRUE(r->is_complete());
+  EXPECT_EQ(r->transferred, bytes);
+  EXPECT_EQ(in, out);
+  if (!staged) {
+    EXPECT_EQ(pair.a.bytes_staged(), 0u);
+    EXPECT_EQ(pair.b.bytes_staged(), 0u);
+    EXPECT_EQ(pair.b.bytes_direct(), bytes);
+  } else if (bytes > 0) {
+    EXPECT_EQ(pair.a.bytes_staged(), bytes);
+    EXPECT_EQ(pair.b.bytes_staged(), bytes);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    EagerAndPacketEdges, DeviceBoundaryTest,
+    ::testing::Combine(
+        // eager_threshold (256) +/- 1 and max_packet_payload (512) +/- 1,
+        // the exact boundaries, and a multi-chunk size that is not a
+        // multiple of the packet size.
+        ::testing::Values<std::size_t>(255, 256, 257, 511, 512, 513, 1025,
+                                       1536),
+        ::testing::Bool()),
+    [](const auto& info) {
+      return (std::get<1>(info.param) ? std::string("staged")
+                                      : std::string("gathered")) +
+             std::to_string(std::get<0>(info.param));
+    });
 
 }  // namespace
 }  // namespace motor::mpi

@@ -74,6 +74,51 @@ TEST_P(ChannelKindTest, CloseStopsWritesButDrainsReads) {
 
 TEST_P(ChannelKindTest, NameIsNonEmpty) { EXPECT_FALSE(make()->name().empty()); }
 
+TEST_P(ChannelKindTest, GatheredWriteEquivalentToConcatenation) {
+  auto ch = make();
+  auto a = make_payload(37, 10);
+  auto b = make_payload(301, 11);
+  auto c = make_payload(5, 12);
+  const ByteSpan parts[] = {{a.data(), a.size()},
+                            {b.data(), b.size()},
+                            {c.data(), c.size()}};
+  ASSERT_EQ(ch->try_write_v(parts), a.size() + b.size() + c.size());
+
+  std::vector<std::byte> expect;
+  expect.insert(expect.end(), a.begin(), a.end());
+  expect.insert(expect.end(), b.begin(), b.end());
+  expect.insert(expect.end(), c.begin(), c.end());
+  std::vector<std::byte> out(expect.size());
+  std::size_t got = 0;
+  while (got < out.size()) {
+    got += ch->try_read({out.data() + got, out.size() - got});
+  }
+  EXPECT_EQ(out, expect);
+}
+
+TEST_P(ChannelKindTest, GatheredWriteWithEmptyAndSingleParts) {
+  auto ch = make();
+  auto a = make_payload(64, 13);
+  const ByteSpan parts[] = {{}, {a.data(), a.size()}, {}};
+  ASSERT_EQ(ch->try_write_v(parts), a.size());
+  std::vector<std::byte> out(a.size());
+  ASSERT_EQ(ch->try_read(out), a.size());
+  EXPECT_EQ(out, a);
+  EXPECT_EQ(ch->try_write_v(std::span<const ByteSpan>{}), 0u);
+}
+
+TEST_P(ChannelKindTest, RecvIntoDrainsLikeTryRead) {
+  auto ch = make();
+  auto payload = make_payload(128, 14);
+  ASSERT_EQ(ch->try_write(payload), payload.size());
+  std::vector<std::byte> out(payload.size());
+  std::size_t got = 0;
+  while (got < out.size()) {
+    got += ch->recv_into({out.data() + got, out.size() - got});
+  }
+  EXPECT_EQ(out, payload);
+}
+
 INSTANTIATE_TEST_SUITE_P(AllKinds, ChannelKindTest,
                          ::testing::Values(ChannelKind::kRing,
                                            ChannelKind::kStream,
@@ -86,6 +131,42 @@ INSTANTIATE_TEST_SUITE_P(AllKinds, ChannelKindTest,
                            }
                            return "unknown";
                          });
+
+TEST(RingChannelTest, GatheredWriteStopsAtCapacityOnPartBoundaryAgnostic) {
+  RingChannel ch(64);
+  auto a = make_payload(40, 20);
+  auto b = make_payload(40, 21);
+  const ByteSpan parts[] = {{a.data(), a.size()}, {b.data(), b.size()}};
+  // Only 64 bytes of room: the gather commits a 64-byte prefix that cuts
+  // part `b` mid-way, in one tail update.
+  const std::size_t n = ch.try_write_v(parts);
+  EXPECT_EQ(n, 64u);
+  EXPECT_EQ(ch.readable(), 64u);
+
+  std::vector<std::byte> out(64);
+  ASSERT_EQ(ch.try_read(out), 64u);
+  std::vector<std::byte> expect(a.begin(), a.end());
+  expect.insert(expect.end(), b.begin(), b.begin() + 24);
+  EXPECT_EQ(out, expect);
+}
+
+TEST(RingChannelTest, GatheredWriteWrapsAround) {
+  RingChannel ch(64);
+  auto pad = make_payload(48, 22);
+  ASSERT_EQ(ch.try_write(pad), pad.size());
+  std::vector<std::byte> sink(48);
+  ASSERT_EQ(ch.try_read(sink), sink.size());
+  // Head is at 48; a 32-byte gather must wrap.
+  auto a = make_payload(20, 23);
+  auto b = make_payload(12, 24);
+  const ByteSpan parts[] = {{a.data(), a.size()}, {b.data(), b.size()}};
+  ASSERT_EQ(ch.try_write_v(parts), 32u);
+  std::vector<std::byte> out(32);
+  ASSERT_EQ(ch.try_read(out), 32u);
+  std::vector<std::byte> expect(a.begin(), a.end());
+  expect.insert(expect.end(), b.begin(), b.end());
+  EXPECT_EQ(out, expect);
+}
 
 TEST(RingChannelTest, CapacityRoundsToPowerOfTwo) {
   RingChannel ch(100);
