@@ -117,5 +117,29 @@ int main() {
                 st_bw, ga_bw, (st - ga) / st * 100.0);
     std::fflush(stdout);
   }
+
+  // E5: reliability-layer overhead on a clean wire. With the layer OFF
+  // (the default) the data path is byte-identical to the zero-copy PR —
+  // the acceptance gate is a <=2% bandwidth delta at 256 KiB. With it ON
+  // the frames carry sealed headers (CRC-32C over header and payload),
+  // ride the sequence window, and generate ack traffic — the price of
+  // running over an untrusted wire, paid only when asked for.
+  std::printf("\n# E5: reliability layer overhead (Motor series, round trip)\n");
+  std::printf("%10s %12s %12s %12s %12s %10s\n", "bytes", "off_us", "on_us",
+              "off_MBs", "on_MBs", "cost_pct");
+  for (std::size_t bytes :
+       {std::size_t{16384}, std::size_t{65536}, std::size_t{262144}}) {
+    mpi::WorldConfig rel_wc = paper_world_config();
+    rel_wc.device.reliability.enabled = true;
+    const double off =
+        baselines::run_pingpong_us(spec, motor_pingpong(bytes), paper_world_config());
+    const double on =
+        baselines::run_pingpong_us(spec, motor_pingpong(bytes), rel_wc);
+    const double off_bw = 2.0 * static_cast<double>(bytes) / off;
+    const double on_bw = 2.0 * static_cast<double>(bytes) / on;
+    std::printf("%10zu %12.2f %12.2f %12.1f %12.1f %9.1f%%\n", bytes, off, on,
+                off_bw, on_bw, (on - off) / off * 100.0);
+    std::fflush(stdout);
+  }
   return 0;
 }

@@ -1,7 +1,10 @@
 #!/usr/bin/env bash
 # Tier-1 verification: configure, build, run the full test suite, then a
 # fig9 smoke run (2 sizes, enough to prove the bench pipeline links and
-# the staged/gathered comparison executes).
+# the staged/gathered comparison executes). A second tree is built with
+# ASan+UBSan and runs the fault-injection tier (`ctest -L fault`) — the
+# reliability layer's retry/resync paths shuffle buffers aggressively, so
+# they get the memory-error microscope.
 set -euo pipefail
 
 repo="$(cd "$(dirname "$0")/.." && pwd)"
@@ -11,6 +14,11 @@ cmake -B build -S . >/dev/null
 cmake --build build -j "$(nproc)"
 
 ctest --test-dir build --output-on-failure
+
+# Sanitizer tier: fault-labelled stress tests under ASan + UBSan.
+cmake -B build-asan -S . -DMOTOR_SANITIZE=ON >/dev/null
+cmake --build build-asan -j "$(nproc)" --target test_fault
+ctest --test-dir build-asan -L fault --output-on-failure
 
 # fig9 smoke: the full sweep takes minutes; a capped run via the pingpong
 # spec is not exposed on the CLI, so just run the cheapest ablation bench

@@ -1,0 +1,20 @@
+// CRC-32C (Castagnoli) — the frame-integrity primitive of the reliability
+// layer. Software table implementation: portable, no SSE4.2 requirement,
+// and fast enough that the cost is dominated by the memory traffic it
+// rides along with. Incremental: feed fragments in order, seeding each
+// call with the previous return value, and the result equals the CRC of
+// the concatenation — which is exactly what the scatter-gather send path
+// needs (checksum the gather list without flattening it).
+#pragma once
+
+#include <cstdint>
+
+#include "common/buffer.hpp"
+
+namespace motor {
+
+/// CRC-32C of `bytes`, continuing from `seed` (0 for a fresh checksum).
+/// crc32c(b, crc32c(a)) == crc32c(a ++ b).
+std::uint32_t crc32c(ByteSpan bytes, std::uint32_t seed = 0) noexcept;
+
+}  // namespace motor

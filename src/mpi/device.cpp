@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstring>
 
+#include "common/checksum.hpp"
 #include "pal/thread.hpp"
 
 namespace motor::mpi {
@@ -37,6 +38,21 @@ Request Device::post_send(SpanVec data, int dst, int tag, int context,
                           bool sync) {
   MOTOR_CHECK(dst >= 0 && dst < fabric_.size(), "send to bad rank");
   auto req = std::make_shared<RequestState>();
+  if (config_.reliability.enabled) {
+    // A flow that exhausted its retries is dead: fail fast instead of
+    // queueing traffic that can never be acked.
+    auto it = tx_.find(dst);
+    if (it != tx_.end() && it->second.failed) {
+      req->kind = RequestKind::kSend;
+      req->id = next_req_id_++;
+      req->peer = dst;
+      req->tag = tag;
+      req->context = context;
+      req->error = ErrorCode::kCommError;
+      req->mark_complete();
+      return req;
+    }
+  }
   req->kind = RequestKind::kSend;
   req->id = next_req_id_++;
   req->peer = dst;
@@ -141,6 +157,7 @@ void Device::on_matched(const PacketHeader& hdr, const Request& rreq) {
   } else if (hdr.type == PacketType::kRndvRts) {
     rreq->transferred = 0;
     if (hdr.msg_bytes > rreq->buffer_bytes) rreq->error = ErrorCode::kTruncate;
+    rreq->last_progress_poll = poll_clock_;
     rndv_recvs_[rreq->id] = rreq;
     PacketHeader cts;
     cts.type = PacketType::kRndvCts;
@@ -162,17 +179,40 @@ void Device::complete_recv(const Request& req, const PacketHeader& hdr,
   req->mark_complete();
 }
 
-void Device::enqueue_control(int dst, const PacketHeader& hdr) {
+void Device::seal_header(int dst, PacketHeader& hdr,
+                         std::span<const ByteSpan> parts, OutPacket& pkt) {
+  // Payload CRC over the gather list incrementally — the zero-copy send
+  // path checksums without flattening (crc32c(b, crc32c(a)) == crc(a++b)).
+  std::uint32_t crc = 0;
+  for (ByteSpan p : parts) crc = crc32c(p, crc);
+  hdr.payload_crc = crc;
+  if (hdr.type == PacketType::kAck) {
+    // Acks are unsequenced and never retransmitted: a lost ack is repaired
+    // by the next (cumulative) one, or by the sender's retry provoking it.
+    hdr.seq = 0;
+  } else {
+    TxFlow& fl = tx_[dst];
+    hdr.seq = fl.next_seq++;
+    pkt.seq = hdr.seq;
+    pkt.reliable = true;
+  }
+  encode_header_sealed(hdr, pkt.header);
+}
+
+void Device::enqueue_control(int dst, PacketHeader hdr) {
   OutPacket pkt;
-  encode_header(hdr, pkt.header);
+  if (config_.reliability.enabled) {
+    seal_header(dst, hdr, {}, pkt);
+  } else {
+    encode_header(hdr, pkt.header);
+  }
   outq_[dst].push_back(std::move(pkt));
 }
 
-void Device::enqueue_data(int dst, const PacketHeader& hdr, SpanVec payload,
+void Device::enqueue_data(int dst, PacketHeader hdr, SpanVec payload,
                           Request req, bool completes_on_drain,
                           std::size_t report_bytes) {
   OutPacket pkt;
-  encode_header(hdr, pkt.header);
   if (config_.staged_copies && payload.total_bytes() > 0) {
     // Ablation path: flatten the gather list into an owned packet buffer,
     // the copy the zero-copy path exists to avoid.
@@ -184,10 +224,27 @@ void Device::enqueue_data(int dst, const PacketHeader& hdr, SpanVec payload,
   } else {
     pkt.payload = std::move(payload);
   }
+  if (config_.reliability.enabled) {
+    seal_header(dst, hdr, pkt.payload.parts(), pkt);
+  } else {
+    encode_header(hdr, pkt.header);
+  }
   pkt.req = std::move(req);
   pkt.completes_on_drain = completes_on_drain;
   pkt.report_bytes = report_bytes;
   outq_[dst].push_back(std::move(pkt));
+}
+
+void Device::complete_drained(OutPacket& pkt) {
+  if (!pkt.req) return;
+  pkt.req->payload_drained = true;
+  if (pkt.completes_on_drain) {
+    pkt.req->transferred = pkt.report_bytes;
+    pkt.req->mark_complete();
+  } else if (pkt.req->sync && pkt.req->sync_acked) {
+    pkt.req->transferred = pkt.report_bytes;
+    pkt.req->mark_complete();
+  }
 }
 
 void Device::pump_outbound() {
@@ -245,16 +302,20 @@ void Device::pump_outbound() {
         }
       }
 
-      // Fully on the wire.
-      if (pkt.req) {
-        pkt.req->payload_drained = true;
-        if (pkt.completes_on_drain) {
-          pkt.req->transferred = pkt.report_bytes;
-          pkt.req->mark_complete();
-        } else if (pkt.req->sync && pkt.req->sync_acked) {
-          pkt.req->transferred = pkt.report_bytes;
-          pkt.req->mark_complete();
+      // Fully on the wire. Reliable frames park in the unacked window —
+      // they complete (and may be retransmitted from there) on ack, not on
+      // drain, because the wire is allowed to eat them.
+      if (pkt.reliable) {
+        TxFlow& fl = tx_[dst];
+        if (fl.unacked.empty()) {
+          if (fl.timeout_polls == 0) {
+            fl.timeout_polls = config_.reliability.retry_timeout_polls;
+          }
+          fl.deadline = poll_clock_ + fl.timeout_polls;
         }
+        fl.unacked.push_back(std::move(pkt));
+      } else {
+        complete_drained(pkt);
       }
       queue.pop_front();
     }
@@ -297,7 +358,12 @@ void Device::dispatch_header(int src, InState& st) {
     }
     case PacketType::kRndvCts: {
       auto it = rndv_sends_.find(hdr.sreq_id);
-      MOTOR_CHECK(it != rndv_sends_.end(), "CTS for unknown send");
+      if (it == rndv_sends_.end()) {
+        // Under reliability a send can be failed (retries exhausted) while
+        // its CTS is still in flight; ignore rather than assert.
+        MOTOR_CHECK(config_.reliability.enabled, "CTS for unknown send");
+        break;
+      }
       Request sreq = it->second;
       rndv_sends_.erase(it);
       // Receiver has matched: stream the message as a train of DATA
@@ -331,8 +397,14 @@ void Device::dispatch_header(int src, InState& st) {
     }
     case PacketType::kRndvData: {
       auto it = rndv_recvs_.find(hdr.rreq_id);
-      MOTOR_CHECK(it != rndv_recvs_.end(), "DATA for unknown recv");
+      if (it == rndv_recvs_.end()) {
+        // The receive may have been errored out by the stall watchdog;
+        // discard the late payload instead of asserting.
+        MOTOR_CHECK(config_.reliability.enabled, "DATA for unknown recv");
+        break;
+      }
       Request rreq = it->second;
+      rreq->last_progress_poll = poll_clock_;
       st.sink_req = rreq;
       st.sink_offset = rreq->transferred;  // bytes placed by earlier chunks
       if (config_.staged_copies) {
@@ -354,6 +426,10 @@ void Device::dispatch_header(int src, InState& st) {
       }
       break;
     }
+    case PacketType::kAck:
+      // Reliability acks are consumed by handle_frame_reliable before
+      // dispatch; nothing reaches here.
+      break;
   }
 }
 
@@ -407,6 +483,26 @@ void Device::finish_payload(int src, InState& st) {
 
 void Device::pump_inbound() {
   const int n = fabric_.size();
+
+  if (config_.reliability.enabled) {
+    for (int src = 0; src < n; ++src) {
+      InState& st = in_[src];
+      pump_inbound_reliable(src, st);
+      if (st.ack_pending) {
+        // One coalesced cumulative ack per source per pump, covering every
+        // frame delivered (or duplicate re-acked) above.
+        PacketHeader ack;
+        ack.type = PacketType::kAck;
+        ack.src = my_rank_;
+        ack.msg_bytes = st.expected_seq - 1;
+        enqueue_control(src, ack);
+        ++acks_sent_;
+        st.ack_pending = false;
+      }
+    }
+    return;
+  }
+
   std::byte scratch[4096];  // sink for truncated-overflow bytes
 
   for (int src = 0; src < n; ++src) {
@@ -464,6 +560,243 @@ void Device::pump_inbound() {
   }
 }
 
+void Device::pump_inbound_reliable(int src, InState& st) {
+  transport::Channel& ch = fabric_.link(src, my_rank_);
+
+  for (;;) {
+    if (!st.in_payload) {
+      if (st.header_got < kPacketHeaderBytes) {
+        const std::size_t got = ch.try_read(
+            {st.header + st.header_got, kPacketHeaderBytes - st.header_got});
+        st.header_got += got;
+        bytes_received_ += got;
+        if (st.header_got < kPacketHeaderBytes) break;  // need more bytes
+      }
+      // Frame-boundary scan: the wire may have truncated or corrupted an
+      // earlier frame, so this window might sit mid-stream. Hunt for the
+      // magic anchor; a matching anchor with a bad CRC is a real corrupt
+      // header (count it), a non-anchor is just scan noise (silent).
+      const HeaderCheck hc = check_sealed_header(st.header);
+      if (hc != HeaderCheck::kOk) {
+        if (hc == HeaderCheck::kBadCrc) ++checksum_failures_;
+        std::memmove(st.header, st.header + 1, kPacketHeaderBytes - 1);
+        st.header_got = kPacketHeaderBytes - 1;
+        continue;
+      }
+      st.hdr = decode_header(st.header);
+      st.in_payload = true;
+      st.payload_got = 0;
+      st.frame.resize(static_cast<std::size_t>(st.hdr.payload_bytes));
+    }
+
+    // Buffer the whole payload before ANY protocol action: a corrupt or
+    // out-of-window frame must produce zero side effects, and the payload
+    // CRC can only be checked once every byte is in hand.
+    const std::size_t remaining =
+        static_cast<std::size_t>(st.hdr.payload_bytes) - st.payload_got;
+    if (remaining > 0) {
+      const std::size_t got =
+          ch.try_read({st.frame.data() + st.payload_got, remaining});
+      st.payload_got += got;
+      bytes_received_ += got;
+      if (st.payload_got < st.hdr.payload_bytes) break;  // need more bytes
+    }
+
+    handle_frame_reliable(src, st);
+    st.in_payload = false;
+    st.header_got = 0;
+  }
+}
+
+void Device::handle_frame_reliable(int src, InState& st) {
+  const PacketHeader& hdr = st.hdr;
+
+  if (crc32c({st.frame.data(), st.frame.size()}) != hdr.payload_crc) {
+    // Header survived but the payload didn't. Drop the frame whole; the
+    // sender's window retransmits it.
+    ++checksum_failures_;
+    ++frames_dropped_;
+    return;  // no ack — an ack would confirm delivery that never happened
+  }
+
+  if (hdr.type == PacketType::kAck) {
+    process_ack(src, static_cast<std::uint32_t>(hdr.msg_bytes));
+    return;
+  }
+
+  if (hdr.seq != st.expected_seq) {
+    if (hdr.seq < st.expected_seq) {
+      // Retransmitted copy of a frame already delivered (its ack was lost
+      // or late). Suppress — protocol side effects must be single-shot.
+      ++duplicates_suppressed_;
+    } else {
+      // Gap: a predecessor was eaten. Go-Back-N discards successors; the
+      // sender retransmits from the loss point.
+      ++frames_dropped_;
+    }
+    st.ack_pending = true;  // re-ack so the sender can resync its window
+    return;
+  }
+
+  st.expected_seq += 1;
+  st.ack_pending = true;
+  deliver_frame_reliable(src, st);
+}
+
+void Device::deliver_frame_reliable(int src, InState& st) {
+  dispatch_header(src, st);
+
+  const std::size_t bytes = st.frame.size();
+  if (bytes > 0) {
+    if (st.to_staging) {
+      std::memcpy(st.staging.data(), st.frame.data(), bytes);
+      bytes_staged_ += bytes;
+    } else if (st.sink_req) {
+      // Verified bounce into the posted buffer. This copy is the price of
+      // verify-before-deliver (the send side stays zero-copy); it is
+      // charged to bytes_staged_ so the copy-accounting benches see it.
+      const std::size_t cap = st.sink_req->buffer_bytes;
+      const std::size_t room = cap > st.sink_offset ? cap - st.sink_offset : 0;
+      const std::size_t fitted = std::min(bytes, room);
+      if (fitted > 0) {
+        std::memcpy(st.sink_req->recv_buf + st.sink_offset, st.frame.data(),
+                    fitted);
+      }
+      bytes_staged_ += bytes;
+    }
+    // else: no sink — truncated tail or a late DATA frame; discard.
+  }
+  st.payload_got = bytes;
+  finish_payload(src, st);
+}
+
+void Device::process_ack(int src, std::uint32_t cum_seq) {
+  auto txit = tx_.find(src);
+  if (txit == tx_.end()) return;
+  TxFlow& fl = txit->second;
+  bool progressed = false;
+
+  while (!fl.unacked.empty() && fl.unacked.front().seq <= cum_seq) {
+    complete_drained(fl.unacked.front());
+    fl.unacked.pop_front();
+    progressed = true;
+  }
+
+  // Retransmit copies still queued whose delivery this ack just confirmed:
+  // drop the ones that have not touched the wire. A partially-written copy
+  // must finish draining (aborting it would corrupt the byte stream); the
+  // receiver will suppress it as a duplicate and re-ack.
+  auto qit = outq_.find(src);
+  if (qit != outq_.end()) {
+    auto& q = qit->second;
+    for (auto it = q.begin(); it != q.end();) {
+      if (it->reliable && it->seq <= cum_seq && it->header_sent == 0) {
+        complete_drained(*it);
+        it = q.erase(it);
+        progressed = true;
+      } else {
+        ++it;
+      }
+    }
+  }
+
+  if (progressed) {
+    fl.retries = 0;
+    fl.timeout_polls = config_.reliability.retry_timeout_polls;
+  }
+  fl.deadline = fl.unacked.empty() ? 0 : poll_clock_ + fl.timeout_polls;
+}
+
+void Device::fail_flow(int dst) {
+  TxFlow& fl = tx_[dst];
+  fl.failed = true;
+  fl.deadline = 0;
+
+  auto fail_req = [](const Request& r) {
+    if (r && !r->is_complete()) {
+      r->error = ErrorCode::kCommError;
+      r->mark_complete();
+    }
+  };
+
+  for (OutPacket& p : fl.unacked) fail_req(p.req);
+  fl.unacked.clear();
+  auto qit = outq_.find(dst);
+  if (qit != outq_.end()) {
+    for (OutPacket& p : qit->second) fail_req(p.req);
+    qit->second.clear();
+  }
+  // Sends parked on control traffic from the dead peer (CTS, sync ack)
+  // would otherwise wait forever.
+  for (auto it = rndv_sends_.begin(); it != rndv_sends_.end();) {
+    if (it->second->peer == dst) {
+      fail_req(it->second);
+      it = rndv_sends_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  for (auto it = sync_sends_.begin(); it != sync_sends_.end();) {
+    if (it->second->peer == dst) {
+      fail_req(it->second);
+      it = sync_sends_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void Device::reliability_tick() {
+  ++poll_clock_;
+  const ReliabilityConfig& rc = config_.reliability;
+
+  // Retry timers, in rank order for run-to-run determinism.
+  const int n = fabric_.size();
+  for (int dst = 0; dst < n; ++dst) {
+    auto it = tx_.find(dst);
+    if (it == tx_.end()) continue;
+    TxFlow& fl = it->second;
+    if (fl.failed || fl.unacked.empty() || fl.deadline == 0) continue;
+    if (poll_clock_ < fl.deadline) continue;
+
+    if (fl.retries >= rc.max_retries) {
+      fail_flow(dst);
+      continue;
+    }
+    ++fl.retries;
+    frames_retried_ += fl.unacked.size();
+    // Go-Back-N: the whole window returns to the head of the queue in
+    // sequence order and rides the normal outbound path again.
+    auto& q = outq_[dst];
+    while (!fl.unacked.empty()) {
+      OutPacket pkt = std::move(fl.unacked.back());
+      fl.unacked.pop_back();
+      pkt.header_sent = 0;
+      pkt.payload_sent = 0;
+      q.push_front(std::move(pkt));
+    }
+    fl.timeout_polls =
+        std::min(fl.timeout_polls * 2, rc.retry_timeout_cap_polls);
+    fl.deadline = poll_clock_ + fl.timeout_polls;
+  }
+
+  // Rendezvous-receive stall watchdog: a sender that died mid-stream never
+  // delivers the remaining DATA frames, and no ack timer fires on the
+  // receive side — this is the only way out.
+  for (auto it = rndv_recvs_.begin(); it != rndv_recvs_.end();) {
+    Request& r = it->second;
+    if (poll_clock_ - r->last_progress_poll > rc.recv_stall_polls) {
+      if (!r->is_complete()) {
+        r->error = ErrorCode::kCommError;
+        r->mark_complete();
+      }
+      it = rndv_recvs_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
 void Device::progress() {
   // Quiescence pump: drain everything the channels can currently move in
   // ONE poll. A drained packet can unlock cascaded work inside the same
@@ -471,6 +804,7 @@ void Device::progress() {
   // whose queue slot frees room for the next packet), so a single
   // outbound/inbound pass is not enough — loop until the byte counters
   // stop advancing.
+  if (config_.reliability.enabled) reliability_tick();
   for (;;) {
     const std::uint64_t before = bytes_sent_ + bytes_received_;
     pump_outbound();
@@ -573,6 +907,24 @@ void Device::dump_state(std::FILE* out) const {
                    kPacketHeaderBytes, queue.front().payload_sent,
                    queue.front().payload.total_bytes(),
                    queue.front().payload.part_count());
+    }
+  }
+  if (config_.reliability.enabled) {
+    std::fprintf(out,
+                 "  reliability: poll=%llu dropped=%llu retried=%llu "
+                 "crc_fail=%llu dups=%llu acks=%llu\n",
+                 static_cast<unsigned long long>(poll_clock_),
+                 static_cast<unsigned long long>(frames_dropped_),
+                 static_cast<unsigned long long>(frames_retried_),
+                 static_cast<unsigned long long>(checksum_failures_),
+                 static_cast<unsigned long long>(duplicates_suppressed_),
+                 static_cast<unsigned long long>(acks_sent_));
+    for (const auto& [dst, fl] : tx_) {
+      if (!fl.unacked.empty() || fl.failed) {
+        std::fprintf(out, "  tx flow to %d: unacked=%zu retries=%u%s\n", dst,
+                     fl.unacked.size(), fl.retries,
+                     fl.failed ? " FAILED" : "");
+      }
     }
   }
 }

@@ -30,6 +30,30 @@
 
 namespace motor::mpi {
 
+/// Reliability layer knobs. Timeouts are measured in progress() calls
+/// ("polls"), not wall-clock time: the device is driven by polling waits,
+/// so poll counts are the natural virtual clock — and they make fault
+/// scenarios fully deterministic (identical counters run over run), which
+/// wall-clock timers can never be.
+struct ReliabilityConfig {
+  /// Master switch. Off (default) is the paper's trusting lossless mode:
+  /// no checksums computed, no acks sent, no retransmit state kept — the
+  /// zero-copy path is byte-for-byte the PR 1 behaviour.
+  bool enabled = false;
+  /// Polls without a covering ack before the unacked window retransmits.
+  std::uint32_t retry_timeout_polls = 1 << 12;
+  /// The timeout doubles per consecutive retry, capped here.
+  std::uint32_t retry_timeout_cap_polls = 1 << 16;
+  /// Consecutive whole-window retries before the flow is declared dead
+  /// and its requests complete with ErrorCode::kCommError (MPI_ERR_OTHER
+  /// analog) instead of hanging.
+  std::uint32_t max_retries = 16;
+  /// Rendezvous-receive watchdog: polls without accepted DATA progress
+  /// before the matched receive errors out (covers a sender that died
+  /// mid-stream, which acks alone cannot detect on the receive side).
+  std::uint32_t recv_stall_polls = 1 << 20;
+};
+
 /// Device tuning knobs (MPICH2-style).
 struct DeviceConfig {
   /// Messages <= this many bytes are sent eagerly; larger ones rendezvous.
@@ -41,6 +65,8 @@ struct DeviceConfig {
   /// every matched receive bounces through a staging buffer before the
   /// posted buffer. Off (default) = the zero-copy scatter-gather path.
   bool staged_copies = false;
+  /// Checksums + sequence window + retransmission (see ReliabilityConfig).
+  ReliabilityConfig reliability;
 };
 
 class Device {
@@ -116,6 +142,29 @@ class Device {
     return bytes_direct_;
   }
 
+  // Reliability counters (zero while the layer is disabled). The benches
+  // report these alongside the copy-accounting block above.
+  /// Inbound frames discarded: payload checksum mismatch or a sequence
+  /// gap (frames past a loss are dropped and retransmitted, Go-Back-N).
+  [[nodiscard]] std::uint64_t frames_dropped() const noexcept {
+    return frames_dropped_;
+  }
+  /// Outbound frames retransmitted after an ack timeout.
+  [[nodiscard]] std::uint64_t frames_retried() const noexcept {
+    return frames_retried_;
+  }
+  /// Header or payload CRC mismatches detected on inbound frames.
+  [[nodiscard]] std::uint64_t checksum_failures() const noexcept {
+    return checksum_failures_;
+  }
+  /// Inbound frames that had already been delivered (seq below the
+  /// window), discarded without re-dispatching protocol side effects.
+  [[nodiscard]] std::uint64_t duplicates_suppressed() const noexcept {
+    return duplicates_suppressed_;
+  }
+  /// Cumulative ack frames emitted.
+  [[nodiscard]] std::uint64_t acks_sent() const noexcept { return acks_sent_; }
+
   static MsgStatus status_of(const Request& req);
 
   /// Diagnostic dump of queues and protocol state (stderr-style text).
@@ -136,6 +185,8 @@ class Device {
     Request req;              // may be null for control packets
     bool completes_on_drain = false;
     std::size_t report_bytes = 0;  // transferred value on completion
+    std::uint32_t seq = 0;    // reliability sequence (0 = unsequenced/ack)
+    bool reliable = false;    // parked in the unacked window after drain
   };
 
   // Inbound reassembly per source: header accumulation, then payload
@@ -154,6 +205,23 @@ class Device {
     std::size_t sink_offset = 0;     // write position inside recv_buf
     std::vector<std::byte> staging;  // unexpected / bounce buffer
     bool to_staging = false;
+    // Reliability-mode receive state. The whole frame payload is buffered
+    // in `frame` and checksum-verified BEFORE dispatch, so a corrupt frame
+    // produces zero protocol side effects.
+    std::uint32_t expected_seq = 1;  // next in-order sequence number
+    bool ack_pending = false;        // coalesced ack owed to this source
+    std::vector<std::byte> frame;    // payload bounce buffer
+  };
+
+  // Per-destination reliability transmit state: Go-Back-N with a
+  // cumulative-ack window and capped exponential backoff (poll clock).
+  struct TxFlow {
+    std::uint32_t next_seq = 1;
+    std::deque<OutPacket> unacked;   // drained but not yet acked, seq order
+    std::uint32_t retries = 0;       // consecutive timeouts without progress
+    std::uint32_t timeout_polls = 0; // current (backed-off) timeout
+    std::uint64_t deadline = 0;      // poll_clock_ value that fires a retry
+    bool failed = false;             // flow declared dead; sends fail fast
   };
 
   struct UnexpectedMsg {
@@ -161,12 +229,21 @@ class Device {
     std::vector<std::byte> payload;  // eager only; empty for RTS
   };
 
-  void enqueue_control(int dst, const PacketHeader& hdr);
-  void enqueue_data(int dst, const PacketHeader& hdr, SpanVec payload,
+  void enqueue_control(int dst, PacketHeader hdr);
+  void enqueue_data(int dst, PacketHeader hdr, SpanVec payload,
                     Request req, bool completes_on_drain,
                     std::size_t report_bytes);
+  void seal_header(int dst, PacketHeader& hdr, std::span<const ByteSpan> parts,
+                   OutPacket& pkt);
   void pump_outbound();
   void pump_inbound();
+  void pump_inbound_reliable(int src, InState& st);
+  void handle_frame_reliable(int src, InState& st);
+  void deliver_frame_reliable(int src, InState& st);
+  void reliability_tick();
+  void process_ack(int src, std::uint32_t cum_seq);
+  void fail_flow(int dst);
+  void complete_drained(OutPacket& pkt);
   void dispatch_header(int src, InState& st);
   void finish_payload(int src, InState& st);
   void deliver_unexpected_to(const Request& req, UnexpectedMsg& msg);
@@ -192,6 +269,15 @@ class Device {
   std::uint64_t bytes_received_ = 0;
   std::uint64_t bytes_staged_ = 0;
   std::uint64_t bytes_direct_ = 0;
+
+  // Reliability state (untouched while config_.reliability.enabled is off).
+  std::unordered_map<int, TxFlow> tx_;  // by destination
+  std::uint64_t poll_clock_ = 0;        // progress() call count
+  std::uint64_t frames_dropped_ = 0;
+  std::uint64_t frames_retried_ = 0;
+  std::uint64_t checksum_failures_ = 0;
+  std::uint64_t duplicates_suppressed_ = 0;
+  std::uint64_t acks_sent_ = 0;
 
   // Reusable gather scratch for pump_outbound (avoids an allocation per
   // partially-written packet resume).

@@ -1,12 +1,24 @@
 #include "mpi/packet.hpp"
 
+#include <cstddef>
 #include <cstring>
 #include <type_traits>
+
+#include "common/checksum.hpp"
 
 namespace motor::mpi {
 
 static_assert(std::is_trivially_copyable_v<PacketHeader>,
               "packet headers must be raw-copyable");
+
+namespace {
+
+constexpr std::size_t kMagicOffset = offsetof(PacketHeader, magic);
+constexpr std::size_t kHeaderCrcOffset = offsetof(PacketHeader, header_crc);
+static_assert(kHeaderCrcOffset + sizeof(std::uint32_t) == kPacketHeaderBytes,
+              "header_crc must be the trailing field (sealed-encode patch)");
+
+}  // namespace
 
 void encode_header(const PacketHeader& hdr, std::byte* out) noexcept {
   std::memcpy(out, &hdr, kPacketHeaderBytes);
@@ -16,6 +28,31 @@ PacketHeader decode_header(const std::byte* in) noexcept {
   PacketHeader hdr;
   std::memcpy(&hdr, in, kPacketHeaderBytes);
   return hdr;
+}
+
+void encode_header_sealed(PacketHeader& hdr, std::byte* out) noexcept {
+  hdr.magic = kPacketMagic;
+  hdr.header_crc = 0;
+  std::memcpy(out, &hdr, kPacketHeaderBytes);
+  hdr.header_crc = crc32c({out, kPacketHeaderBytes});
+  std::memcpy(out + kHeaderCrcOffset, &hdr.header_crc,
+              sizeof hdr.header_crc);
+}
+
+HeaderCheck check_sealed_header(const std::byte* in) noexcept {
+  std::uint32_t magic = 0;
+  std::memcpy(&magic, in + kMagicOffset, sizeof magic);
+  if (magic != kPacketMagic) return HeaderCheck::kBadMagic;
+  std::uint32_t claimed = 0;
+  std::memcpy(&claimed, in + kHeaderCrcOffset, sizeof claimed);
+  // Recompute with the crc field zeroed, exactly as it was sealed.
+  std::byte scratch[kPacketHeaderBytes];
+  std::memcpy(scratch, in, kPacketHeaderBytes);
+  std::memset(scratch + kHeaderCrcOffset, 0, sizeof claimed);
+  if (crc32c({scratch, kPacketHeaderBytes}) != claimed) {
+    return HeaderCheck::kBadCrc;
+  }
+  return HeaderCheck::kOk;
 }
 
 }  // namespace motor::mpi

@@ -19,7 +19,12 @@ enum class PacketType : std::uint8_t {
   kRndvCts,    // clear-to-send; pairs sreq_id with rreq_id
   kRndvData,   // rendezvous payload follows
   kSyncAck,    // matched notification for kEagerSync / rendezvous ssend
+  kAck,        // reliability: cumulative frame ack; msg_bytes = highest
+               // in-order seq delivered on this flow
 };
+
+/// Resync anchor for the reliability layer's frame scan ("MOTR").
+inline constexpr std::uint32_t kPacketMagic = 0x4D4F5452u;
 
 struct PacketHeader {
   PacketType type = PacketType::kEager;
@@ -27,9 +32,18 @@ struct PacketHeader {
   std::int32_t tag = 0;
   std::int32_t context = 0;  // communicator context id
   std::uint64_t payload_bytes = 0;  // bytes following this header
-  std::uint64_t msg_bytes = 0;      // full message size (RTS announces it)
+  std::uint64_t msg_bytes = 0;      // full message size (RTS announces it);
+                                    // for kAck: cumulative acked seq
   std::uint64_t sreq_id = 0;        // sender-side request cookie
   std::uint64_t rreq_id = 0;        // receiver-side request cookie
+
+  // Reliability trailer — populated only when DeviceConfig::reliability is
+  // enabled; zero (written, never read) in the default trusting mode, so
+  // the lossless fast path pays nothing but 16 wire bytes per packet.
+  std::uint32_t magic = 0;        // kPacketMagic (resync anchor)
+  std::uint32_t seq = 0;          // per-flow sequence number (kAck: 0)
+  std::uint32_t payload_crc = 0;  // CRC-32C of the payload bytes
+  std::uint32_t header_crc = 0;   // CRC-32C of this header, field zeroed
 };
 
 inline constexpr std::size_t kPacketHeaderBytes = sizeof(PacketHeader);
@@ -39,5 +53,19 @@ void encode_header(const PacketHeader& hdr, std::byte* out) noexcept;
 
 /// Decode a header from exactly kPacketHeaderBytes at `in`.
 PacketHeader decode_header(const std::byte* in) noexcept;
+
+/// Reliability encode: stamps `hdr.magic` and `hdr.header_crc` (computed
+/// over the encoded bytes with the crc field zeroed), then serializes.
+/// The caller must have set seq/payload_crc first.
+void encode_header_sealed(PacketHeader& hdr, std::byte* out) noexcept;
+
+enum class HeaderCheck {
+  kOk,
+  kBadMagic,  // not a frame start — slide the scan window silently
+  kBadCrc,    // magic matched but the header is corrupt
+};
+
+/// Validate kPacketHeaderBytes at `in` as a sealed reliability header.
+HeaderCheck check_sealed_header(const std::byte* in) noexcept;
 
 }  // namespace motor::mpi

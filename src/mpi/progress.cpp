@@ -24,6 +24,16 @@ bool all_complete(Device& dev, std::span<const Request> reqs) {
   return true;
 }
 
+bool progress_pair_until(Device& a, Device& b, std::span<const Request> reqs,
+                         std::uint64_t max_rounds) {
+  for (std::uint64_t round = 0; round < max_rounds; ++round) {
+    a.progress();
+    b.progress();
+    if (first_incomplete(reqs) < 0) return true;
+  }
+  return first_incomplete(reqs) < 0;
+}
+
 int first_incomplete(std::span<const Request> reqs) {
   for (std::size_t i = 0; i < reqs.size(); ++i) {
     if (reqs[i] && !reqs[i]->is_complete()) return static_cast<int>(i);

@@ -17,4 +17,12 @@ bool all_complete(Device& dev, std::span<const Request> reqs);
 /// Index of the first incomplete request, or -1 when all are done.
 int first_incomplete(std::span<const Request> reqs);
 
+/// Pump both devices alternately until every request in `reqs` completes
+/// or `max_rounds` rounds elapse; true when all completed. This is the
+/// deadline primitive for fault-injection tests: a reliability bug that
+/// would hang a wait() instead fails a bounded assertion. Deterministic —
+/// both devices run on the calling thread, one progress() each per round.
+bool progress_pair_until(Device& a, Device& b, std::span<const Request> reqs,
+                         std::uint64_t max_rounds);
+
 }  // namespace motor::mpi

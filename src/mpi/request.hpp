@@ -57,6 +57,11 @@ struct RequestState {
   bool sync_acked = false;
   bool payload_drained = false;
 
+  // Reliability watchdog stamp: the device poll-clock value at the last
+  // forward progress on this request (rendezvous receives only). Lets the
+  // receive side detect a sender that died mid-stream.
+  std::uint64_t last_progress_poll = 0;
+
   [[nodiscard]] bool is_complete() const noexcept {
     return complete.load(std::memory_order_acquire);
   }

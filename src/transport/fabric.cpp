@@ -39,6 +39,20 @@ int Fabric::add_ranks(int extra) {
   return first_new;
 }
 
+FaultyChannel* Fabric::inject_faults(int from, int to,
+                                     const FaultConfig& config) {
+  std::lock_guard lk(mu_);
+  MOTOR_CHECK(from >= 0 && from < static_cast<int>(links_.size()),
+              "inject_faults: bad source rank");
+  MOTOR_CHECK(to >= 0 && to < static_cast<int>(links_.size()),
+              "inject_faults: bad destination rank");
+  auto wrapped =
+      std::make_unique<FaultyChannel>(std::move(links_[from][to]), config);
+  FaultyChannel* handle = wrapped.get();
+  links_[from][to] = std::move(wrapped);
+  return handle;
+}
+
 void Fabric::grow_locked(int new_size) {
   const int old_size = static_cast<int>(links_.size());
   links_.resize(new_size);

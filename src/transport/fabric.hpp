@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "transport/channel.hpp"
+#include "transport/faulty_channel.hpp"
 
 namespace motor::transport {
 
@@ -36,6 +37,13 @@ class Fabric {
   /// Extend the mesh by `extra` ranks (dynamic process management).
   /// Returns the rank id of the first new rank.
   int add_ranks(int extra);
+
+  /// Wrap the `from` -> `to` link in a fault-injecting decorator (see
+  /// transport/faulty_channel.hpp). Call during setup, BEFORE any rank
+  /// starts moving bytes over the link — wrapping swaps the channel out
+  /// from under a concurrent producer/consumer otherwise. Returns the
+  /// decorator (owned by the fabric) so tests can read its fault stats.
+  FaultyChannel* inject_faults(int from, int to, const FaultConfig& config);
 
   [[nodiscard]] ChannelKind kind() const noexcept { return kind_; }
 

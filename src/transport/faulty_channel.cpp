@@ -1,0 +1,173 @@
+#include "transport/faulty_channel.hpp"
+
+#include <algorithm>
+
+namespace motor::transport {
+
+namespace {
+
+std::size_t total_of(std::span<const ByteSpan> parts) {
+  std::size_t n = 0;
+  for (ByteSpan p : parts) n += p.size();
+  return n;
+}
+
+}  // namespace
+
+FaultyChannel::FaultyChannel(std::unique_ptr<Channel> inner,
+                             FaultConfig config)
+    : inner_(std::move(inner)), config_(config), prng_(config.seed) {}
+
+std::size_t FaultyChannel::try_write(ByteSpan bytes) {
+  const ByteSpan parts[] = {bytes};
+  return write_frame(parts);
+}
+
+std::size_t FaultyChannel::try_write_v(std::span<const ByteSpan> parts) {
+  return write_frame(parts);
+}
+
+void FaultyChannel::close() {
+  flush_delayed(/*force=*/true);
+  inner_->close();
+}
+
+std::size_t FaultyChannel::flatten_prefix(std::span<const ByteSpan> parts,
+                                          std::size_t limit,
+                                          std::vector<std::byte>& out) {
+  out.clear();
+  out.reserve(limit);
+  for (ByteSpan p : parts) {
+    if (out.size() >= limit) break;
+    const std::size_t take = std::min(p.size(), limit - out.size());
+    out.insert(out.end(), p.begin(), p.begin() + static_cast<long>(take));
+  }
+  return out.size();
+}
+
+std::size_t FaultyChannel::forward_prefix(std::span<const ByteSpan> parts,
+                                          std::size_t limit) {
+  // Clip the gather list to `limit` logical bytes, then hand it to the
+  // inner channel in ONE operation so the wrapped transport's own gather
+  // semantics (single-commit, capacity cut mid-part) stay observable.
+  std::vector<ByteSpan> clipped;
+  clipped.reserve(parts.size());
+  std::size_t left = limit;
+  for (ByteSpan p : parts) {
+    if (left == 0) break;
+    if (p.empty()) continue;
+    const std::size_t take = std::min(p.size(), left);
+    clipped.push_back(p.first(take));
+    left -= take;
+  }
+  if (clipped.empty()) return 0;
+  return inner_->try_write_v(clipped);
+}
+
+void FaultyChannel::flush_delayed(bool force) {
+  if (delayed_.empty()) return;
+  ++delayed_age_;
+  if (!force && delayed_age_ <= config_.delay_ops) return;
+  const ByteSpan rest{delayed_.data() + delayed_sent_,
+                      delayed_.size() - delayed_sent_};
+  delayed_sent_ += inner_->try_write(rest);
+  if (delayed_sent_ == delayed_.size()) {
+    delayed_.clear();
+    delayed_sent_ = 0;
+    delayed_age_ = 0;
+  }
+}
+
+std::size_t FaultyChannel::write_frame(std::span<const ByteSpan> parts) {
+  // A held frame past its age goes out first, so it lands BEHIND traffic
+  // written while it was held — the reordering a delayed route produces.
+  flush_delayed(/*force=*/false);
+
+  const std::size_t total = total_of(parts);
+  if (total == 0) return 0;
+  ++stats_.frames_total;
+
+  // Short write first: only a prefix of the frame is accepted at all, and
+  // the accepted prefix then rides the wire-fault pipeline like any frame.
+  std::size_t accept = total;
+  if (config_.short_write_rate > 0 && total > 1 &&
+      prng_.next_bool(config_.short_write_rate)) {
+    accept = 1 + static_cast<std::size_t>(prng_.next_below(total - 1));
+    ++stats_.short_writes;
+  }
+
+  // At most one wire fault per frame, drawn in a fixed order so the fault
+  // schedule is reproducible from the seed.
+  enum class Wire { kNone, kDrop, kTruncate, kDuplicate, kBitflip, kDelay };
+  Wire wire = Wire::kNone;
+  if (config_.drop_rate > 0 && prng_.next_bool(config_.drop_rate)) {
+    wire = Wire::kDrop;
+  } else if (config_.truncate_rate > 0 &&
+             prng_.next_bool(config_.truncate_rate)) {
+    wire = Wire::kTruncate;
+  } else if (config_.duplicate_rate > 0 &&
+             prng_.next_bool(config_.duplicate_rate)) {
+    wire = Wire::kDuplicate;
+  } else if (config_.bitflip_rate > 0 &&
+             prng_.next_bool(config_.bitflip_rate)) {
+    wire = Wire::kBitflip;
+  } else if (config_.delay_rate > 0 && prng_.next_bool(config_.delay_rate)) {
+    wire = Wire::kDelay;
+  }
+
+  switch (wire) {
+    case Wire::kNone:
+      return forward_prefix(parts, accept);
+
+    case Wire::kDrop:
+      // The writer is told the bytes left; the wire ate them.
+      ++stats_.frames_dropped;
+      return accept;
+
+    case Wire::kTruncate: {
+      // A strict prefix reaches the wire; the writer believes all did.
+      const auto keep = static_cast<std::size_t>(prng_.next_below(accept));
+      if (keep > 0) forward_prefix(parts, keep);
+      ++stats_.frames_truncated;
+      return accept;
+    }
+
+    case Wire::kDuplicate: {
+      const std::size_t n = forward_prefix(parts, accept);
+      if (n == accept && inner_->writable() >= accept) {
+        // Only a complete back-to-back copy counts as a duplicate; a
+        // partial copy would be corruption, which bitflip already covers.
+        forward_prefix(parts, accept);
+        ++stats_.frames_duplicated;
+      }
+      return n;
+    }
+
+    case Wire::kBitflip: {
+      flatten_prefix(parts, accept, scratch_);
+      const std::size_t flips =
+          1 + static_cast<std::size_t>(prng_.next_below(config_.max_bitflips));
+      for (std::size_t i = 0; i < flips; ++i) {
+        const auto bit = prng_.next_below(scratch_.size() * 8);
+        scratch_[bit / 8] ^= static_cast<std::byte>(1u << (bit % 8));
+      }
+      ++stats_.frames_bitflipped;
+      return inner_->try_write(scratch_);
+    }
+
+    case Wire::kDelay:
+      if (!delayed_.empty()) {
+        // Only one frame is held at a time; a second candidate passes
+        // through clean (it overtakes the held one, which is the point).
+        return forward_prefix(parts, accept);
+      }
+      flatten_prefix(parts, accept, delayed_);
+      delayed_sent_ = 0;
+      delayed_age_ = 0;
+      ++stats_.frames_delayed;
+      return accept;
+  }
+  return 0;
+}
+
+}  // namespace motor::transport

@@ -1,0 +1,126 @@
+// FaultyChannel: a deterministic fault-injecting decorator.
+//
+// Wraps any Channel and perturbs the producer side the way a real lossy
+// interconnect (or a buggy driver) would: whole frames silently dropped,
+// truncated mid-frame, duplicated, bit-flipped, delayed past later
+// traffic, or committed only partially (short writes — including
+// mid-gather partial commits of try_write_v). Every decision comes from a
+// seeded PRNG (common/prng), so a fault schedule is a pure function of
+// the seed and the call sequence: stress tests replay scenarios and
+// assert identical outcomes and counters run over run.
+//
+// A "frame" here is one producer call (try_write or try_write_v) — the
+// granularity at which the device commits packets, so faults land on
+// protocol-meaningful boundaries. Partial-resume calls (the device
+// re-offering the unaccepted tail of an earlier frame) are treated as
+// fresh frames, which is exactly the chaos a real wire provides.
+//
+// Fault semantics (drop/truncate report FULL acceptance — the writer must
+// believe the bytes are gone, like a UDP sendto or a failing DMA):
+//   drop        frame vanishes entirely
+//   truncate    a strict prefix reaches the wire, the rest vanishes
+//   duplicate   frame arrives twice back-to-back
+//   bitflip     1..max_bitflips random bits corrupted in transit
+//   delay       frame held back and released after `delay_ops` later
+//               writes (reordering past subsequent traffic)
+//   short write only a prefix is ACCEPTED (honestly reported) — exercises
+//               the caller's partial-commit resume path
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/prng.hpp"
+#include "transport/channel.hpp"
+
+namespace motor::transport {
+
+struct FaultConfig {
+  std::uint64_t seed = 1;
+  // Per-frame probabilities. Wire faults (drop/truncate/duplicate/
+  // bitflip/delay) are mutually exclusive per frame, drawn in that order;
+  // a short write composes with any of them.
+  double drop_rate = 0.0;
+  double truncate_rate = 0.0;
+  double duplicate_rate = 0.0;
+  double bitflip_rate = 0.0;
+  double delay_rate = 0.0;
+  double short_write_rate = 0.0;
+  /// A delayed frame is released after this many subsequent write calls.
+  std::size_t delay_ops = 3;
+  /// Upper bound on corrupted bits per bit-flipped frame.
+  std::size_t max_bitflips = 4;
+};
+
+struct FaultStats {
+  std::uint64_t frames_total = 0;
+  std::uint64_t frames_dropped = 0;
+  std::uint64_t frames_truncated = 0;
+  std::uint64_t frames_duplicated = 0;
+  std::uint64_t frames_bitflipped = 0;
+  std::uint64_t frames_delayed = 0;
+  std::uint64_t short_writes = 0;
+
+  [[nodiscard]] std::uint64_t injected() const noexcept {
+    return frames_dropped + frames_truncated + frames_duplicated +
+           frames_bitflipped + frames_delayed + short_writes;
+  }
+};
+
+class FaultyChannel final : public Channel {
+ public:
+  FaultyChannel(std::unique_ptr<Channel> inner, FaultConfig config);
+
+  std::size_t try_write(ByteSpan bytes) override;
+  std::size_t try_write_v(std::span<const ByteSpan> parts) override;
+  std::size_t try_read(MutableByteSpan out) override {
+    return inner_->try_read(out);
+  }
+  std::size_t recv_into(MutableByteSpan out) override {
+    return inner_->recv_into(out);
+  }
+  [[nodiscard]] std::size_t readable() const override {
+    return inner_->readable();
+  }
+  [[nodiscard]] std::size_t writable() const override {
+    return inner_->writable();
+  }
+  void close() override;
+  [[nodiscard]] bool at_eof() const override { return inner_->at_eof(); }
+  [[nodiscard]] std::string name() const override {
+    return inner_->name() + "+faulty";
+  }
+
+  [[nodiscard]] const FaultStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] const FaultConfig& config() const noexcept { return config_; }
+
+ private:
+  /// The whole fault pipeline for one frame; returns bytes "accepted".
+  std::size_t write_frame(std::span<const ByteSpan> parts);
+
+  /// Forward up to `limit` logical bytes of `parts` to the inner channel
+  /// in one gathered operation; returns bytes the inner channel took.
+  std::size_t forward_prefix(std::span<const ByteSpan> parts,
+                             std::size_t limit);
+
+  /// Flatten up to `limit` bytes of `parts` into `out`.
+  static std::size_t flatten_prefix(std::span<const ByteSpan> parts,
+                                    std::size_t limit,
+                                    std::vector<std::byte>& out);
+
+  /// Release a held (delayed) frame once it has aged out. `force` flushes
+  /// regardless of age (close()).
+  void flush_delayed(bool force);
+
+  std::unique_ptr<Channel> inner_;
+  FaultConfig config_;
+  Prng prng_;
+  FaultStats stats_;
+  std::vector<std::byte> scratch_;   // bitflip / clip staging
+  std::vector<std::byte> delayed_;   // the held frame (at most one)
+  std::size_t delayed_sent_ = 0;     // prefix of delayed_ already flushed
+  std::size_t delayed_age_ = 0;      // write calls since it was held
+};
+
+}  // namespace motor::transport

@@ -1,0 +1,77 @@
+#include "common/checksum.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "common/prng.hpp"
+
+namespace motor {
+namespace {
+
+ByteSpan bytes_of(const char* s) {
+  return {reinterpret_cast<const std::byte*>(s), std::strlen(s)};
+}
+
+TEST(Crc32cTest, KnownVectors) {
+  // The canonical CRC-32C check value (RFC 3720 appendix / iSCSI).
+  EXPECT_EQ(crc32c(bytes_of("123456789")), 0xE3069283u);
+  // 32 zero bytes — a second published vector.
+  std::vector<std::byte> zeros(32, std::byte{0});
+  EXPECT_EQ(crc32c({zeros.data(), zeros.size()}), 0x8A9136AAu);
+  // 32 0xFF bytes.
+  std::vector<std::byte> ones(32, std::byte{0xFF});
+  EXPECT_EQ(crc32c({ones.data(), ones.size()}), 0x62A8AB43u);
+}
+
+TEST(Crc32cTest, EmptyIsZero) {
+  EXPECT_EQ(crc32c({}), 0u);
+  EXPECT_EQ(crc32c({}, 0u), 0u);
+}
+
+TEST(Crc32cTest, IncrementalEqualsWhole) {
+  // crc32c(b, crc32c(a)) == crc32c(a ++ b) — the property the zero-copy
+  // send path relies on to checksum a gather list without flattening it.
+  Prng gen(2024);
+  std::vector<std::byte> data(4096);
+  for (auto& b : data) {
+    b = static_cast<std::byte>(gen.next_below(256));
+  }
+  const std::uint32_t whole = crc32c({data.data(), data.size()});
+
+  for (std::size_t cut : {std::size_t{0}, std::size_t{1}, std::size_t{63},
+                          std::size_t{2048}, data.size()}) {
+    const std::uint32_t first = crc32c({data.data(), cut});
+    const std::uint32_t both =
+        crc32c({data.data() + cut, data.size() - cut}, first);
+    EXPECT_EQ(both, whole) << "cut at " << cut;
+  }
+
+  // Many-fragment accumulation (simulating a SpanVec walk).
+  std::uint32_t acc = 0;
+  std::size_t off = 0;
+  Prng frag(7);
+  while (off < data.size()) {
+    const std::size_t take = std::min<std::size_t>(
+        1 + frag.next_below(97), data.size() - off);
+    acc = crc32c({data.data() + off, take}, acc);
+    off += take;
+  }
+  EXPECT_EQ(acc, whole);
+}
+
+TEST(Crc32cTest, DetectsSingleBitFlips) {
+  std::vector<std::byte> data(256, std::byte{0x5C});
+  const std::uint32_t clean = crc32c({data.data(), data.size()});
+  for (std::size_t bit : {std::size_t{0}, std::size_t{7}, std::size_t{1000},
+                          data.size() * 8 - 1}) {
+    data[bit / 8] ^= static_cast<std::byte>(1u << (bit % 8));
+    EXPECT_NE(crc32c({data.data(), data.size()}), clean) << "bit " << bit;
+    data[bit / 8] ^= static_cast<std::byte>(1u << (bit % 8));
+  }
+  EXPECT_EQ(crc32c({data.data(), data.size()}), clean);
+}
+
+}  // namespace
+}  // namespace motor

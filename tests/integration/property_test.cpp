@@ -9,7 +9,10 @@
 
 #include "baselines/indiana_bindings.hpp"
 #include "common/prng.hpp"
+#include "motor/motor_serializer.hpp"
 #include "motor/motor_runtime.hpp"
+#include "transport/faulty_channel.hpp"
+#include "transport/ring_channel.hpp"
 #include "vm/cli_serializer.hpp"
 #include "vm/java_serializer.hpp"
 
@@ -217,6 +220,58 @@ TEST_P(GcPropertyTest, RandomMutationAndCollectionKeepsHeapCoherent) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, GcPropertyTest,
                          ::testing::Range<std::uint64_t>(100, 112));
+
+// ---------------------------------------------------------------------------
+// Gather-path wire identity: serialize_gather's SpanVec, pushed through a
+// FaultyChannel with every fault rate at zero (the decorator in the data
+// path but injecting nothing), must land byte-identical to the flat
+// serialize() form — and the drained bytes must deserialize back to an
+// isomorphic graph. 1000 seeded cases.
+
+TEST(GatherWirePropertyTest, GatherThroughCleanFaultyChannelMatchesFlat) {
+  vm::Vm vm(uncosted_vm());
+  vm::ManagedThread thread(vm);
+  GraphTypes types(vm);
+  mp::MotorSerializer ser(vm, mp::VisitedMode::kHashed);
+
+  for (std::uint64_t seed = 1; seed <= 1000; ++seed) {
+    Prng prng(seed * 0x2545F4914F6CDD1Dull + seed);
+    const int n = static_cast<int>(prng.next_in(1, 24));
+    vm::GcRoot graph(thread, make_random_graph(vm, thread, types, prng, n));
+
+    ByteBuffer flat;
+    ASSERT_TRUE(ser.serialize(graph.get(), flat).is_ok()) << "seed " << seed;
+
+    mp::GatherRep rep;
+    ASSERT_TRUE(ser.serialize_gather(graph.get(), rep).is_ok())
+        << "seed " << seed;
+    ASSERT_EQ(rep.total_bytes(), flat.size()) << "seed " << seed;
+    // No allocation happens between here and the drain below, so the
+    // in-place payload spans cannot move (no GC) without pinning.
+
+    transport::FaultyChannel ch(
+        std::make_unique<transport::RingChannel>(1 << 20),
+        transport::FaultConfig{});  // all rates zero: decorator, no chaos
+    ASSERT_EQ(ch.try_write_v(rep.spans.parts()), rep.total_bytes())
+        << "seed " << seed;
+    ASSERT_EQ(ch.stats().injected(), 0u);
+
+    std::vector<std::byte> wire(rep.total_bytes());
+    ASSERT_EQ(ch.try_read({wire.data(), wire.size()}), wire.size())
+        << "seed " << seed;
+    ASSERT_TRUE(std::equal(wire.begin(), wire.end(), flat.span().begin()))
+        << "seed " << seed << ": gathered wire bytes differ from flat form";
+
+    ByteBuffer in;
+    in.append({wire.data(), wire.size()});
+    in.seek(0);
+    vm::Obj copy = nullptr;
+    ASSERT_TRUE(ser.deserialize(in, thread, &copy).is_ok()) << "seed " << seed;
+    EXPECT_TRUE(graphs_equal(types, graph.get(), copy)) << "seed " << seed;
+
+    if (seed % 128 == 0) vm.heap().collect();
+  }
+}
 
 struct TransportCase {
   std::uint64_t seed;

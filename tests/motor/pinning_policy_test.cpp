@@ -5,6 +5,10 @@
 #include <gtest/gtest.h>
 
 #include "motor/motor_runtime.hpp"
+#include "motor/motor_serializer.hpp"
+#include "mpi/device.hpp"
+#include "transport/fabric.hpp"
+#include "transport/faulty_channel.hpp"
 
 namespace motor::mp {
 namespace {
@@ -198,6 +202,93 @@ TEST(PinningPolicyTest, PinBackingPinsYoungAndSkipsElder) {
 
   policy.unpin_backing(pinned);
   EXPECT_EQ(vm.heap().pin_table_size(), 0u);
+}
+
+TEST(PinningPolicyTest, BackingPinsSurviveReliabilityRetryWindow) {
+  // The hard case the backing pin exists for: a gathered send whose spans
+  // point straight into the managed heap sits in the reliability layer's
+  // retransmit window for thousands of polls while a lossy wire forces
+  // retries — and the application thread keeps allocating and collecting
+  // the whole time. The pin must hold the bytes still until the LAST
+  // retransmit drains, not just the first copy.
+  vm::VmConfig vcfg;
+  vcfg.profile = vm::RuntimeProfile::uncosted();
+  vcfg.heap.young_bytes = 256 * 1024;
+  vm::Vm vmachine(vcfg);
+  vm::ManagedThread thread(vmachine);
+  const vm::MethodTable* mt =
+      vmachine.types().primitive_array(vm::ElementKind::kInt32);
+
+  vm::GcRoot arr(thread, vmachine.heap().alloc_array(mt, 8192));  // 32 KiB
+  for (int i = 0; i < 8192; ++i) {
+    vm::set_element<std::int32_t>(arr.get(), i, i ^ 0x55AA);
+  }
+  ASSERT_TRUE(vmachine.heap().in_young(arr.get()));
+
+  MotorSerializer ser(vmachine);
+  ByteBuffer flat;
+  ASSERT_TRUE(ser.serialize(arr.get(), flat).is_ok());
+  GatherRep rep;
+  ASSERT_TRUE(ser.serialize_gather(arr.get(), rep).is_ok());
+  ASSERT_EQ(rep.spans.total_bytes(), flat.size());
+  ASSERT_FALSE(rep.backing.empty());  // payload referenced in place
+
+  // Pin before the first GC poll — the spans were captured at serialize
+  // time and are invalid the moment the array moves.
+  PinningPolicy policy(vmachine.heap(), PinMode::kMotorPolicy);
+  std::vector<vm::Obj> pinned;
+  policy.pin_backing(rep.backing, &pinned);
+  ASSERT_GT(policy.stats().backing_pinned, 0u);
+  const std::byte* data_before = vm::array_data(arr.get());
+
+  // A lossy forward wire: drops and bitflips force GBN retransmits that
+  // re-read the pinned spans long after the first transmission.
+  transport::Fabric fabric(2, transport::ChannelKind::kRing, 1 << 20);
+  transport::FaultConfig faults;
+  faults.seed = 21;
+  faults.drop_rate = 0.15;
+  faults.bitflip_rate = 0.05;
+  fabric.inject_faults(0, 1, faults);
+
+  mpi::DeviceConfig dcfg;
+  dcfg.eager_threshold = 1024;
+  dcfg.max_packet_payload = 4096;
+  dcfg.reliability.enabled = true;
+  dcfg.reliability.retry_timeout_polls = 32;
+  dcfg.reliability.retry_timeout_cap_polls = 256;
+  dcfg.reliability.max_retries = 64;
+  mpi::Device a(fabric, 0, dcfg);
+  mpi::Device b(fabric, 1, dcfg);
+
+  std::vector<std::byte> in(flat.size());
+  mpi::Request r = b.post_recv(in, 0, 0, 1);
+  mpi::Request s = a.post_send(rep.spans, 1, 0, 1, false);
+
+  bool done = false;
+  for (int round = 0; round < 200000 && !done; ++round) {
+    a.progress();
+    b.progress();
+    if (round % 64 == 63) {
+      // GC pressure squarely inside the retry window.
+      (void)vmachine.heap().alloc_array(mt, 512);
+      vmachine.heap().collect();
+      ASSERT_EQ(vm::array_data(arr.get()), data_before)
+          << "pinned backing moved mid-flight at round " << round;
+    }
+    done = s->is_complete() && r->is_complete();
+  }
+  ASSERT_TRUE(done) << "faulty gathered send hung";
+  EXPECT_EQ(s->error, ErrorCode::kSuccess);
+  EXPECT_EQ(r->error, ErrorCode::kSuccess);
+  EXPECT_GT(a.frames_retried(), 0u) << "wire too kind: no retry exercised";
+  EXPECT_EQ(r->transferred, flat.size());
+  EXPECT_TRUE(std::equal(in.begin(), in.end(), flat.span().begin()))
+      << "delivered bytes differ from the flat serialization";
+
+  policy.unpin_backing(pinned);
+  vmachine.heap().collect();
+  EXPECT_EQ(vmachine.heap().pin_table_size(), 0u);
+  vmachine.heap().verify_heap();
 }
 
 TEST(PinningPolicyTest, PinBackingModes) {

@@ -1,0 +1,234 @@
+// FaultyChannel unit tests: each fault class in isolation, plus the
+// determinism contract (same seed + same call sequence => same faults).
+#include "transport/faulty_channel.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "transport/ring_channel.hpp"
+
+namespace motor::transport {
+namespace {
+
+std::unique_ptr<FaultyChannel> make_faulty(const FaultConfig& cfg,
+                                           std::size_t capacity = 1 << 16) {
+  return std::make_unique<FaultyChannel>(
+      std::make_unique<RingChannel>(capacity), cfg);
+}
+
+std::vector<std::byte> pattern(std::size_t n, std::uint8_t base = 0) {
+  std::vector<std::byte> v(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    v[i] = static_cast<std::byte>((base + i) & 0xFF);
+  }
+  return v;
+}
+
+std::vector<std::byte> drain(Channel& ch) {
+  std::vector<std::byte> out(ch.readable());
+  const std::size_t got = ch.try_read({out.data(), out.size()});
+  out.resize(got);
+  return out;
+}
+
+TEST(FaultyChannelTest, ZeroRatesArePassthrough) {
+  auto ch = make_faulty(FaultConfig{});
+  const auto frame = pattern(500);
+  // Gathered write: three parts, one frame.
+  const ByteSpan parts[] = {{frame.data(), 100},
+                            {frame.data() + 100, 250},
+                            {frame.data() + 350, 150}};
+  EXPECT_EQ(ch->try_write_v(parts), 500u);
+  EXPECT_EQ(drain(*ch), frame);
+  EXPECT_EQ(ch->stats().frames_total, 1u);
+  EXPECT_EQ(ch->stats().injected(), 0u);
+  EXPECT_EQ(ch->name(), "ring+faulty");
+}
+
+TEST(FaultyChannelTest, DropReportsFullAcceptance) {
+  FaultConfig cfg;
+  cfg.drop_rate = 1.0;
+  auto ch = make_faulty(cfg);
+  const auto frame = pattern(256);
+  // The writer must believe the bytes left — that is what makes a drop a
+  // silent wire fault rather than backpressure.
+  EXPECT_EQ(ch->try_write(frame), 256u);
+  EXPECT_EQ(ch->readable(), 0u);
+  EXPECT_EQ(ch->stats().frames_dropped, 1u);
+}
+
+TEST(FaultyChannelTest, TruncateDeliversStrictPrefix) {
+  FaultConfig cfg;
+  cfg.truncate_rate = 1.0;
+  cfg.seed = 5;
+  auto ch = make_faulty(cfg);
+  const auto frame = pattern(256);
+  EXPECT_EQ(ch->try_write(frame), 256u);  // full acceptance reported
+  const auto got = drain(*ch);
+  EXPECT_LT(got.size(), frame.size());
+  // Whatever arrived is a prefix, uncorrupted.
+  EXPECT_TRUE(std::equal(got.begin(), got.end(), frame.begin()));
+  EXPECT_EQ(ch->stats().frames_truncated, 1u);
+}
+
+TEST(FaultyChannelTest, DuplicateDeliversTwoFullCopies) {
+  FaultConfig cfg;
+  cfg.duplicate_rate = 1.0;
+  auto ch = make_faulty(cfg);
+  const auto frame = pattern(64);
+  EXPECT_EQ(ch->try_write(frame), 64u);
+  const auto got = drain(*ch);
+  ASSERT_EQ(got.size(), 128u);
+  EXPECT_TRUE(std::equal(frame.begin(), frame.end(), got.begin()));
+  EXPECT_TRUE(std::equal(frame.begin(), frame.end(), got.begin() + 64));
+  EXPECT_EQ(ch->stats().frames_duplicated, 1u);
+}
+
+TEST(FaultyChannelTest, BitflipCorruptsBoundedBits) {
+  FaultConfig cfg;
+  cfg.bitflip_rate = 1.0;
+  cfg.max_bitflips = 4;
+  cfg.seed = 11;
+  auto ch = make_faulty(cfg);
+  const auto frame = pattern(512);
+  EXPECT_EQ(ch->try_write(frame), 512u);
+  const auto got = drain(*ch);
+  ASSERT_EQ(got.size(), 512u);
+  std::size_t differing_bits = 0;
+  for (std::size_t i = 0; i < 512; ++i) {
+    auto x = static_cast<unsigned>(frame[i] ^ got[i]);
+    while (x != 0) {
+      differing_bits += x & 1u;
+      x >>= 1;
+    }
+  }
+  EXPECT_GE(differing_bits, 1u);
+  EXPECT_LE(differing_bits, 4u);
+  EXPECT_EQ(ch->stats().frames_bitflipped, 1u);
+}
+
+TEST(FaultyChannelTest, DelayReleasesBehindLaterTraffic) {
+  FaultConfig cfg;
+  cfg.delay_rate = 1.0;
+  cfg.delay_ops = 1;
+  cfg.seed = 3;
+  auto ch = make_faulty(cfg);
+  const auto first = pattern(32, 0x00);
+  const auto second = pattern(32, 0x80);
+
+  EXPECT_EQ(ch->try_write(first), 32u);   // held (first delay draw)
+  EXPECT_EQ(ch->readable(), 0u);
+  // Second frame: the hold slot is occupied, so it passes through clean,
+  // overtaking the held frame.
+  EXPECT_EQ(ch->try_write(second), 32u);
+  // Third write ages the held frame out (delay_ops=1 exceeded) — and, with
+  // delay_rate=1.0, immediately occupies the freed hold slot itself.
+  const auto third = pattern(32, 0x40);
+  EXPECT_EQ(ch->try_write(third), 32u);
+
+  const auto got = drain(*ch);
+  ASSERT_EQ(got.size(), 64u);
+  // Order on the wire so far: second (overtook), then first (released).
+  EXPECT_TRUE(std::equal(second.begin(), second.end(), got.begin()));
+  EXPECT_TRUE(std::equal(first.begin(), first.end(), got.begin() + 32));
+  EXPECT_EQ(ch->stats().frames_delayed, 2u);
+
+  ch->close();  // force-flush the held third frame
+  EXPECT_EQ(drain(*ch), third);
+}
+
+TEST(FaultyChannelTest, CloseFlushesHeldFrame) {
+  FaultConfig cfg;
+  cfg.delay_rate = 1.0;
+  cfg.delay_ops = 1000;  // would never age out on its own
+  auto ch = make_faulty(cfg);
+  const auto frame = pattern(48);
+  EXPECT_EQ(ch->try_write(frame), 48u);
+  EXPECT_EQ(ch->readable(), 0u);
+  ch->close();
+  EXPECT_EQ(drain(*ch), frame);
+}
+
+TEST(FaultyChannelTest, ShortWriteIsHonestlyReported) {
+  FaultConfig cfg;
+  cfg.short_write_rate = 1.0;
+  cfg.seed = 17;
+  auto ch = make_faulty(cfg);
+  const auto frame = pattern(1000);
+  const ByteSpan parts[] = {{frame.data(), 400}, {frame.data() + 400, 600}};
+  const std::size_t accepted = ch->try_write_v(parts);
+  // A short write accepts a strict prefix and SAYS so — unlike drop and
+  // truncate, the caller is expected to resume the tail.
+  EXPECT_GE(accepted, 1u);
+  EXPECT_LT(accepted, 1000u);
+  const auto got = drain(*ch);
+  ASSERT_EQ(got.size(), accepted);
+  EXPECT_TRUE(std::equal(got.begin(), got.end(), frame.begin()));
+  EXPECT_EQ(ch->stats().short_writes, 1u);
+
+  // Resuming the unaccepted tail (as the device's pump does) completes
+  // the frame — possibly shortened again, so loop with a bound.
+  std::size_t off = accepted;
+  for (int i = 0; i < 64 && off < frame.size(); ++i) {
+    off += ch->try_write({frame.data() + off, frame.size() - off});
+  }
+  EXPECT_EQ(off, frame.size());
+  const auto rest = drain(*ch);
+  EXPECT_TRUE(std::equal(rest.begin(), rest.end(), frame.begin() + accepted));
+}
+
+TEST(FaultyChannelTest, SameSeedSameSchedule) {
+  FaultConfig cfg;
+  cfg.seed = 123;
+  cfg.drop_rate = 0.1;
+  cfg.truncate_rate = 0.1;
+  cfg.duplicate_rate = 0.1;
+  cfg.bitflip_rate = 0.1;
+  cfg.delay_rate = 0.1;
+  cfg.short_write_rate = 0.2;
+
+  auto run = [&cfg] {
+    auto ch = make_faulty(cfg);
+    std::vector<std::byte> delivered;
+    for (int i = 0; i < 200; ++i) {
+      const auto frame = pattern(64, static_cast<std::uint8_t>(i));
+      std::size_t off = 0;
+      for (int r = 0; r < 8 && off < frame.size(); ++r) {
+        off += ch->try_write({frame.data() + off, frame.size() - off});
+      }
+      const auto got = drain(*ch);
+      delivered.insert(delivered.end(), got.begin(), got.end());
+    }
+    return std::pair{delivered, ch->stats()};
+  };
+
+  const auto [bytes1, stats1] = run();
+  const auto [bytes2, stats2] = run();
+  EXPECT_EQ(bytes1, bytes2);
+  EXPECT_EQ(stats1.frames_total, stats2.frames_total);
+  EXPECT_EQ(stats1.frames_dropped, stats2.frames_dropped);
+  EXPECT_EQ(stats1.frames_truncated, stats2.frames_truncated);
+  EXPECT_EQ(stats1.frames_duplicated, stats2.frames_duplicated);
+  EXPECT_EQ(stats1.frames_bitflipped, stats2.frames_bitflipped);
+  EXPECT_EQ(stats1.frames_delayed, stats2.frames_delayed);
+  EXPECT_EQ(stats1.short_writes, stats2.short_writes);
+  // With every rate nonzero and 200 frames, silence would mean the
+  // injector is wired to nothing.
+  EXPECT_GT(stats1.injected(), 0u);
+}
+
+TEST(FaultyChannelTest, ReadsForwardUntouched) {
+  auto ch = make_faulty(FaultConfig{});
+  const auto frame = pattern(128);
+  EXPECT_EQ(ch->try_write(frame), 128u);
+  EXPECT_EQ(ch->readable(), 128u);
+  std::vector<std::byte> half(64);
+  EXPECT_EQ(ch->recv_into({half.data(), 64}), 64u);
+  EXPECT_TRUE(std::equal(half.begin(), half.end(), frame.begin()));
+  EXPECT_EQ(drain(*ch).size(), 64u);
+}
+
+}  // namespace
+}  // namespace motor::transport

@@ -167,6 +167,39 @@ TEST_F(PinningTest, NoUnpinCallEverNeededForConditionalPins) {
   vm_.heap().verify_heap();
 }
 
+TEST_F(PinningTest, PinSurvivesRepeatedCollectionsAcrossRetryWindow) {
+  // The reliability layer's retransmit window holds raw span pointers into
+  // heap arrays for many progress polls — potentially across several GCs
+  // triggered by the application thread between retries. A pin taken once
+  // must hold the backing bytes perfectly still for that whole window.
+  GcRoot arr(thread_, make_array(64));
+  const Obj addr = arr.get();
+  const std::byte* data = array_data(addr);
+  ASSERT_TRUE(vm_.heap().in_young(addr));
+  vm_.heap().pin(addr);
+
+  for (int retry = 0; retry < 8; ++retry) {
+    // Allocation pressure between "retries": enough garbage to churn the
+    // nursery and force real copying work at each collection.
+    for (int i = 0; i < 20; ++i) {
+      (void)vm_.heap().alloc_array(ints_, 100);
+    }
+    vm_.heap().collect();
+    ASSERT_EQ(arr.get(), addr) << "retry " << retry << ": object moved";
+    ASSERT_EQ(array_data(arr.get()), data)
+        << "retry " << retry << ": backing storage moved";
+    for (int i = 0; i < 64; i += 9) {
+      ASSERT_EQ(get_element<std::int32_t>(arr.get(), i), i * 3)
+          << "retry " << retry << ": contents corrupted at " << i;
+    }
+  }
+
+  vm_.heap().unpin(addr);
+  vm_.heap().collect();
+  EXPECT_EQ(vm_.heap().pin_table_size(), 0u);
+  vm_.heap().verify_heap();
+}
+
 TEST_F(PinningTest, ElderObjectsNeverMoveEvenUnpinned) {
   GcRoot arr(thread_, make_array(16));
   vm_.heap().collect();  // promote
