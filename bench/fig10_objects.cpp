@@ -12,9 +12,22 @@
 //
 // Budget deviation from the paper: iterations scale down at large object
 // counts (documented in EXPERIMENTS.md); shapes are unaffected.
+//
+// Extensions beyond the paper's figure:
+//   * a WIRE-PLAN ablation section (serialization only, no wire): the
+//     compiled per-type plan cache (wire_plan.hpp) on vs off, over an
+//     object array of all-primitive records and over the figure's linked
+//     list, reporting us/iteration, ns/object and objects/s;
+//   * flags: --smoke (tiny sizes, used by scripts/verify.sh so the bench
+//     cannot rot), --plan_cache=off (run the Motor ping-pong series on
+//     the ablation serializer), --json=PATH (write the ablation numbers
+//     as a machine-readable snapshot, e.g. BENCH_fig10.json).
 #include <cstdio>
+#include <cstring>
+#include <string>
 #include <vector>
 
+#include "pal/clock.hpp"
 #include "series.hpp"
 #include "vm/java_serializer.hpp"
 
@@ -35,14 +48,15 @@ baselines::PingPongSpec spec_for(int total_objects) {
 }
 
 /// Motor OO-ops series.
-RankSetup motor_objects(int elements) {
-  return [elements](mpi::RankCtx& ctx) {
+RankSetup motor_objects(int elements, bool plan_cache) {
+  return [elements, plan_cache](mpi::RankCtx& ctx) {
     auto host = std::make_shared<HostedRank>(vm::RuntimeProfile::sscli());
     // The Figure 10 reproduction depends on the PAPER's linear visited
     // structure (the fall-off past ~2048 objects); the runtime default is
     // now the hashed fix, so opt into kLinear explicitly here.
     mp::MPDirectConfig cfg;
     cfg.visited_mode = mp::VisitedMode::kLinear;
+    cfg.plan_cache = plan_cache;
     auto direct = std::make_shared<mp::MPDirect>(host->vm, host->thread,
                                                  ctx.comm_world(), cfg);
     auto fixture = std::make_shared<ListFixture>(host->vm);
@@ -135,12 +149,137 @@ RankSetup mpijava_objects(int elements, std::shared_ptr<std::atomic<bool>> faile
   };
 }
 
-}  // namespace
+// ---- wire-plan ablation (serialization only, no wire) ----
 
-int main() {
+struct AblationPoint {
+  int objects = 0;
+  double on_us = 0;   // us per serialization, plans on
+  double off_us = 0;  // us per serialization, plans off (ablation)
+};
+
+/// Mean time to serialize `root` into a FRESH buffer (exactly what osend
+/// does for its GatherRep metadata every call, so cold-buffer regrowth is
+/// part of the measured ablation cost).
+double time_serialize_us(mp::MotorSerializer& ser, vm::Obj root, int iters) {
+  for (int i = 0; i < 2; ++i) {
+    ByteBuffer warm;
+    (void)ser.serialize(root, warm);
+  }
+  pal::Stopwatch sw;
+  for (int i = 0; i < iters; ++i) {
+    ByteBuffer out;
+    (void)ser.serialize(root, out);
+  }
+  return sw.elapsed_us() / iters;
+}
+
+vm::VmConfig ablation_vm_config() {
+  vm::VmConfig c;
+  // Uncosted profile: the ablation isolates serializer mechanics, not the
+  // hosted-runtime cost model the ping-pong table charges.
+  c.profile = vm::RuntimeProfile::uncosted();
+  c.heap.young_bytes = 64 << 20;
+  return c;
+}
+
+/// Object array of all-primitive records (the plan cache's best case:
+/// every record is one bulk copy).
+AblationPoint measure_object_array(int objects, int iters) {
+  vm::Vm vm(ablation_vm_config());
+  vm::ManagedThread thread(vm);
+  const vm::MethodTable* cell = vm.types()
+                                    .define_class("Cell")
+                                    .field("x", vm::ElementKind::kDouble)
+                                    .field("y", vm::ElementKind::kDouble)
+                                    .field("z", vm::ElementKind::kDouble)
+                                    .field("id", vm::ElementKind::kInt32)
+                                    .field("flags", vm::ElementKind::kInt32)
+                                    .build();
+  const vm::MethodTable* arr_mt = vm.types().ref_array(cell);
+  // `objects` counts every transported object: the array + its cells.
+  const int cells = std::max(1, objects - 1);
+  vm::GcRoot arr(thread, vm.heap().alloc_array(arr_mt, cells));
+  for (int i = 0; i < cells; ++i) {
+    vm::Obj c = vm.heap().alloc_object(cell);
+    vm::set_field<double>(c, 0, i * 0.5);
+    vm::set_field<double>(c, 8, i * 1.5);
+    vm::set_field<double>(c, 16, i * 2.5);
+    vm::set_field<std::int32_t>(c, 24, i);
+    vm::set_field<std::int32_t>(c, 28, ~i);
+    vm::set_ref_element(arr.get(), i, c);
+  }
+
+  mp::MotorSerializer on(vm, mp::VisitedMode::kHashed, /*plan_cache=*/true);
+  mp::MotorSerializer off(vm, mp::VisitedMode::kHashed, /*plan_cache=*/false);
+  AblationPoint p;
+  p.objects = objects;
+  p.off_us = time_serialize_us(off, arr.get(), iters);
+  p.on_us = time_serialize_us(on, arr.get(), iters);
+  return p;
+}
+
+/// The figure's own shape: linked list of (node + byte-array) pairs,
+/// mixed reference/primitive records.
+AblationPoint measure_linked_list(int objects, int iters) {
+  vm::Vm vm(ablation_vm_config());
+  vm::ManagedThread thread(vm);
+  ListFixture fixture(vm);
+  const int elements = std::max(1, objects / 2);
+  vm::GcRoot list(thread,
+                  fixture.make(vm, thread, elements, kTotalPayloadBytes));
+
+  mp::MotorSerializer on(vm, mp::VisitedMode::kHashed, /*plan_cache=*/true);
+  mp::MotorSerializer off(vm, mp::VisitedMode::kHashed, /*plan_cache=*/false);
+  AblationPoint p;
+  p.objects = objects;
+  p.off_us = time_serialize_us(off, list.get(), iters);
+  p.on_us = time_serialize_us(on, list.get(), iters);
+  return p;
+}
+
+void print_ablation_row(const AblationPoint& p) {
+  const double on_ns = p.on_us * 1e3 / p.objects;
+  const double off_ns = p.off_us * 1e3 / p.objects;
+  std::printf("%10d %12.2f %12.2f %12.1f %12.1f %11.0f %11.0f %9.2fx\n",
+              p.objects, p.on_us, p.off_us, on_ns, off_ns,
+              p.objects / p.on_us * 1e6, p.objects / p.off_us * 1e6,
+              p.off_us / p.on_us);
+}
+
+void print_ablation_header(const char* title) {
+  std::printf("\n# wire-plan ablation: %s (serialization only)\n", title);
+  std::printf("%10s %12s %12s %12s %12s %11s %11s %10s\n", "objects",
+              "plan_us", "noplan_us", "plan_ns/obj", "noplan_ns/ob",
+              "plan_obj/s", "noplan_ob/s", "speedup");
+}
+
+void json_rows(std::FILE* f, const char* key,
+               const std::vector<AblationPoint>& rows) {
+  std::fprintf(f, "  \"%s\": [\n", key);
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const AblationPoint& p = rows[i];
+    std::fprintf(f,
+                 "    {\"objects\": %d, \"plan_on_us\": %.3f, "
+                 "\"plan_off_us\": %.3f, \"plan_on_ns_per_obj\": %.1f, "
+                 "\"plan_off_ns_per_obj\": %.1f, \"speedup\": %.3f}%s\n",
+                 p.objects, p.on_us, p.off_us, p.on_us * 1e3 / p.objects,
+                 p.off_us * 1e3 / p.objects, p.off_us / p.on_us,
+                 i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]");
+}
+
+/// The Figure 10 ping-pong table itself. In smoke mode only the smallest
+/// sizes run (and the shape summary is skipped) so scripts/verify.sh can
+/// exercise the binary in seconds.
+void run_fig10(bool smoke, bool plan_cache) {
   std::printf("# Figure 10: ping-pong, linked list of objects\n");
   std::printf("# total payload %zu bytes; objects = 2 x list elements\n",
               kTotalPayloadBytes);
+  if (!plan_cache) {
+    std::printf("# plan_cache=off: Motor series walks FieldDescs per record "
+                "(ablation)\n");
+  }
   std::printf("# time per iteration in microseconds; 'overflow' = the Java\n");
   std::printf("# serialization stack overflow the paper reports past 1024\n");
   std::printf("%10s %12s %14s %14s %14s\n", "objects", "Motor", "mpiJava",
@@ -151,13 +290,13 @@ int main() {
   bool java_overflowed = false;
   int java_last_ok = 0;
 
-  for (int objects = 2; objects <= 8192; objects *= 2) {
+  const int max_objects = smoke ? 8 : 8192;
+  for (int objects = 2; objects <= max_objects; objects *= 2) {
     const int elements = std::max(1, objects / 2);
     const auto spec = spec_for(objects);
 
-    const double motor_us =
-        baselines::run_pingpong_us(spec, motor_objects(elements),
-                                   paper_world_config());
+    const double motor_us = baselines::run_pingpong_us(
+        spec, motor_objects(elements, plan_cache), paper_world_config());
     auto failed = std::make_shared<std::atomic<bool>>(false);
     const double java_us =
         baselines::run_pingpong_us(spec, mpijava_objects(elements, failed),
@@ -191,6 +330,8 @@ int main() {
     }
   }
 
+  if (smoke) return;  // the shape summary needs the full size range
+
   std::printf("\n# shape summary\n");
   std::printf("motor_fastest_below_2048    %s   (paper: Motor best < 2048)\n",
               motor_small_sum < best_other_small_sum ? "yes" : "no");
@@ -200,5 +341,72 @@ int main() {
   std::printf("mpijava_overflowed          %s   (paper: stops at 1024 "
               "objects; last ok here: %d)\n",
               java_overflowed ? "yes" : "no", java_last_ok);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  bool plan_cache = true;
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--smoke") {
+      smoke = true;
+    } else if (arg == "--plan_cache=off") {
+      plan_cache = false;
+    } else if (arg == "--plan_cache=on") {
+      plan_cache = true;
+    } else if (arg.rfind("--json=", 0) == 0) {
+      json_path = arg.substr(7);
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--smoke] [--plan_cache=on|off] "
+                   "[--json=PATH]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+
+  run_fig10(smoke, plan_cache);
+
+  // Wire-plan ablation: compiled per-type plans vs the paper's per-field
+  // walk. Hashed visited structure on both sides so the visited-set cost
+  // does not mask the per-field dispatch being measured.
+  const std::vector<int> sizes =
+      smoke ? std::vector<int>{256, 1024}
+            : std::vector<int>{256, 1024, 4096, 16384};
+  const int iters = smoke ? 40 : 200;
+
+  std::vector<AblationPoint> array_rows, list_rows;
+  print_ablation_header("object array of all-primitive records");
+  for (int objects : sizes) {
+    array_rows.push_back(measure_object_array(objects, iters));
+    print_ablation_row(array_rows.back());
+    std::fflush(stdout);
+  }
+  print_ablation_header("fig10 linked list (mixed ref/primitive records)");
+  for (int objects : sizes) {
+    list_rows.push_back(measure_linked_list(objects, iters));
+    print_ablation_row(list_rows.back());
+    std::fflush(stdout);
+  }
+
+  if (!json_path.empty()) {
+    std::FILE* f = std::fopen(json_path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+      return 1;
+    }
+    std::fprintf(f, "{\n  \"bench\": \"fig10_plan_ablation\",\n");
+    std::fprintf(f, "  \"mode\": \"%s\",\n", smoke ? "smoke" : "full");
+    std::fprintf(f, "  \"iters\": %d,\n", iters);
+    json_rows(f, "object_array", array_rows);
+    std::fprintf(f, ",\n");
+    json_rows(f, "linked_list", list_rows);
+    std::fprintf(f, "\n}\n");
+    std::fclose(f);
+    std::printf("\n# wrote %s\n", json_path.c_str());
+  }
   return 0;
 }

@@ -15,6 +15,17 @@ cmake --build build -j "$(nproc)"
 
 ctest --test-dir build --output-on-failure
 
+# Serializer tier on its own label: the Motor serializer, the wire-plan
+# cache, and the seeded round-trip property suite (ctest -L serializer).
+# Redundant with the full run above but cheap, and it keeps the label
+# wiring itself verified.
+ctest --test-dir build -L serializer --output-on-failure
+
+# fig10 smoke: tiny ping-pong sizes plus the wire-plan ablation section,
+# strict (no `|| true`) so the bench binary and the plan_cache toggle
+# cannot rot.
+timeout 300 ./build/bench/fig10_objects --smoke
+
 # Sanitizer tier: fault-labelled stress tests under ASan + UBSan.
 cmake -B build-asan -S . -DMOTOR_SANITIZE=ON >/dev/null
 cmake --build build-asan -j "$(nproc)" --target test_fault

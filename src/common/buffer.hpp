@@ -29,9 +29,19 @@ inline MutableByteSpan as_writable_bytes_of(void* p, std::size_t n) {
 class ByteBuffer {
  public:
   ByteBuffer() = default;
-  explicit ByteBuffer(std::size_t reserve_bytes) { data_.reserve(reserve_bytes); }
+  explicit ByteBuffer(std::size_t reserve_bytes) { reserve(reserve_bytes); }
 
   [[nodiscard]] std::size_t size() const noexcept { return data_.size(); }
+  [[nodiscard]] std::size_t capacity() const noexcept {
+    return data_.capacity();
+  }
+  /// Number of capacity-increasing events (storage reallocations) over the
+  /// buffer's lifetime, including explicit reserve()/resize() growth.
+  /// Survives clear() — pooled buffers accumulate across reuse, which is
+  /// exactly why warm pool buffers stop growing at all.
+  [[nodiscard]] std::uint64_t growth_count() const noexcept {
+    return growths_;
+  }
   [[nodiscard]] bool empty() const noexcept { return data_.empty(); }
   [[nodiscard]] const std::byte* data() const noexcept { return data_.data(); }
   [[nodiscard]] std::byte* data() noexcept { return data_.data(); }
@@ -41,11 +51,18 @@ class ByteBuffer {
     data_.clear();
     cursor_ = 0;
   }
-  void reserve(std::size_t n) { data_.reserve(n); }
-  void resize(std::size_t n) { data_.resize(n); }
+  void reserve(std::size_t n) {
+    note_growth(n);
+    data_.reserve(n);
+  }
+  void resize(std::size_t n) {
+    note_growth(n);
+    data_.resize(n);
+  }
 
   // ---- writing ----
   void append(ByteSpan bytes) {
+    note_growth(data_.size() + bytes.size());
     data_.insert(data_.end(), bytes.begin(), bytes.end());
   }
   void append_raw(const void* p, std::size_t n) {
@@ -114,8 +131,13 @@ class ByteBuffer {
   }
 
  private:
+  void note_growth(std::size_t needed) {
+    if (needed > data_.capacity()) ++growths_;
+  }
+
   std::vector<std::byte> data_;
   std::size_t cursor_ = 0;
+  std::uint64_t growths_ = 0;
 };
 
 }  // namespace motor

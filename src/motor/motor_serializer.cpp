@@ -11,15 +11,14 @@ namespace {
 
 constexpr std::uint32_t kMagic = 0x4D4F5452;  // "MOTR"
 
-std::size_t class_wire_bytes(const vm::MethodTable* mt) {
-  std::size_t n = 0;
-  for (const vm::FieldDesc& f : mt->fields()) {
-    n += f.is_reference() ? 4 : f.size();
-  }
-  return n;
-}
-
 }  // namespace
+
+const WirePlan& MotorSerializer::plan_of(const vm::MethodTable* mt) {
+  bool built = false;
+  const WirePlan& plan = plans_.plan_for(mt, &built);
+  if (built) ++stats_.plan_builds;
+  return plan;
+}
 
 std::int32_t MotorSerializer::VisitedSet::find(vm::Obj obj) {
   ++stats_.visited_lookups;
@@ -77,12 +76,27 @@ Status MotorSerializer::serialize_impl(vm::Obj root,
   std::vector<const vm::MethodTable*> type_table;
   std::unordered_map<const vm::MethodTable*, std::uint16_t> type_ids;
 
+  // Hoisted plan lookup: object graphs are overwhelmingly homogeneous, so
+  // the per-object cost is a pointer compare, not a hash probe.
+  const vm::MethodTable* plan_mt = nullptr;
+  const WirePlan* plan_hot = nullptr;
+  auto plan_for = [&](const vm::MethodTable* mt) -> const WirePlan& {
+    if (mt != plan_mt) {
+      plan_hot = &plan_of(mt);
+      plan_mt = mt;
+    }
+    return *plan_hot;
+  };
+
+  std::size_t name_bytes = 0;    // length-prefixed type-name table
+  std::size_t record_bytes = 0;  // per-record stream bytes (plan path)
   auto type_ref_of = [&](const vm::MethodTable* mt) -> std::uint16_t {
     auto it = type_ids.find(mt);
     if (it != type_ids.end()) return it->second;
     const auto id = static_cast<std::uint16_t>(type_table.size());
     type_table.push_back(mt);
     type_ids.emplace(mt, id);
+    name_bytes += 2 + mt->name().size();
     return id;
   };
 
@@ -103,17 +117,44 @@ Status MotorSerializer::serialize_impl(vm::Obj root,
     vm::Obj obj = order[head];
     const vm::MethodTable* mt = vm::obj_mt(obj);
     if (mt->is_array()) {
+      const bool windowed_root = head == 0 && window.has_value();
+      std::int64_t lo = 0, len = vm::array_length(obj);
+      if (windowed_root) {
+        lo = window->offset;
+        len = window->count;
+      }
       if (mt->element_kind() == vm::ElementKind::kObjectRef) {
         // Arrays propagate their entries by default (§4.2.2).
-        std::int64_t lo = 0, hi = vm::array_length(obj);
-        if (head == 0 && window.has_value()) {
-          lo = window->offset;
-          hi = window->offset + window->count;
-        }
-        for (std::int64_t i = lo; i < hi; ++i) {
+        for (std::int64_t i = lo; i < lo + len; ++i) {
           discover(vm::get_ref_element(obj, i));
         }
+        if (use_plans_) record_bytes += static_cast<std::size_t>(len) * 4;
+      } else if (use_plans_) {
+        const std::size_t bytes =
+            static_cast<std::size_t>(len) * mt->element_bytes();
+        // Payloads the gather path references in place (raw mode,
+        // >= kGatherInlineMax) never enter the metadata stream.
+        if (raw == nullptr || bytes < kGatherInlineMax) record_bytes += bytes;
       }
+      if (use_plans_) {
+        record_bytes += 2;  // type ref
+        record_bytes += mt->rank() > 1 && !windowed_root
+                            ? 1 + 4 * static_cast<std::size_t>(mt->rank())
+                            : 1 + 8;
+      }
+    } else if (use_plans_) {
+      // The plan's ref list carries only the reference slots, so the
+      // discovery pass skips every primitive field instead of testing
+      // each FieldDesc.
+      const WirePlan& plan = plan_for(mt);
+      for (const RefSlot& r : plan.refs) {
+        if (!r.transportable) {
+          ++stats_.null_swapped_refs;  // written as null on the wire
+          continue;
+        }
+        discover(vm::get_ref_field(obj, r.offset));
+      }
+      record_bytes += 2 + plan.wire_bytes;
     } else {
       for (const vm::FieldDesc& f : mt->fields()) {
         if (!f.is_reference()) continue;
@@ -124,6 +165,15 @@ Status MotorSerializer::serialize_impl(vm::Obj root,
         discover(vm::get_ref_field(obj, f.offset()));
       }
     }
+  }
+
+  if (use_plans_) {
+    // Plan-derived size precomputation, accumulated record by record
+    // during discovery (which already touched every object once),
+    // mirroring the emit loop below byte for byte: one reserve()
+    // provisions the whole stream, so the hot loop never regrows the
+    // buffer.
+    out.reserve(out.size() + 4 + 2 + name_bytes + 4 + 4 + record_bytes);
   }
 
   // Emit: type table, then object records side by side.
@@ -138,6 +188,47 @@ Status MotorSerializer::serialize_impl(vm::Obj root,
   for (std::size_t idx = 0; idx < order.size(); ++idx) {
     vm::Obj obj = order[idx];
     const vm::MethodTable* mt = vm::obj_mt(obj);
+
+    if (use_plans_ && !mt->is_array()) {
+      const WirePlan& plan = plan_for(mt);
+      if (plan.single_run) {
+        // All-primitive fast path: the record is one bulk copy, and the
+        // elements of an object-array window hold consecutive ids, so
+        // this inner loop drains the whole window as u16 + memcpy
+        // records with no per-field dispatch at all.
+        const std::uint16_t tref = type_refs[idx];
+        const std::uint16_t run_fields =
+            plan.ops.empty() ? 0 : plan.ops[0].fields;
+        while (true) {
+          out.put_u16(tref);
+          out.append_raw(vm::obj_data(order[idx]) + plan.run_offset,
+                         plan.wire_bytes);
+          ++stats_.plan_hits;
+          if (plan.wire_bytes > 0) {
+            ++stats_.runs_copied;
+            stats_.fields_copied += run_fields;
+          }
+          if (idx + 1 >= order.size() || type_refs[idx + 1] != tref) break;
+          ++idx;
+        }
+        continue;
+      }
+      out.put_u16(type_refs[idx]);
+      ++stats_.plan_hits;
+      for (const WireOp& op : plan.ops) {
+        if (op.kind == WireOp::Kind::kRun) {
+          out.append_raw(vm::obj_data(obj) + op.offset, op.bytes);
+          ++stats_.runs_copied;
+          stats_.fields_copied += op.fields;
+        } else {
+          vm::Obj target =
+              op.transportable ? vm::get_ref_field(obj, op.offset) : nullptr;
+          out.put_i32(target == nullptr ? -1 : visited.find(target));
+        }
+      }
+      continue;
+    }
+
     out.put_u16(type_refs[idx]);
 
     if (mt->is_array()) {
@@ -311,6 +402,21 @@ Status MotorSerializer::deserialize(ByteBuffer& in, vm::ManagedThread& thread,
     }
   }
 
+  // Per-stream type info, resolved once per distinct type: the class
+  // record size comes from the MethodTable's load-time cache (the old
+  // code re-walked the FieldDesc list for every object record), and on
+  // the plan path pass 2 executes the compiled wire program.
+  struct TypeInfo {
+    std::size_t class_bytes = 0;
+    const WirePlan* plan = nullptr;
+  };
+  std::vector<TypeInfo> infos(types.size());
+  for (std::size_t i = 0; i < types.size(); ++i) {
+    if (types[i]->is_array()) continue;
+    infos[i].class_bytes = types[i]->wire_bytes();
+    if (use_plans_) infos[i].plan = &plan_of(types[i]);
+  }
+
   std::uint32_t object_count = 0;
   std::int32_t root_id = 0;
   MOTOR_RETURN_IF_ERROR(in.get(object_count));
@@ -324,12 +430,14 @@ Status MotorSerializer::deserialize(ByteBuffer& in, vm::ManagedThread& thread,
   // Pass 1: create objects, note payload cursors.
   vm::RootRange table(thread);
   std::vector<std::size_t> payload_pos(object_count);
+  std::vector<std::uint16_t> obj_trefs(object_count);
   for (std::uint32_t id = 0; id < object_count; ++id) {
     std::uint16_t tref = 0;
     MOTOR_RETURN_IF_ERROR(in.get(tref));
     if (tref >= types.size()) {
       return Status(ErrorCode::kSerialization, "bad type ref");
     }
+    obj_trefs[id] = tref;
     const vm::MethodTable* mt = types[tref];
     vm::Obj obj = nullptr;
     std::size_t payload = 0;
@@ -388,7 +496,7 @@ Status MotorSerializer::deserialize(ByteBuffer& in, vm::ManagedThread& thread,
                      : mt->element_bytes());
     } else {
       obj = vm_.heap().alloc_object(mt);
-      payload = class_wire_bytes(mt);
+      payload = infos[tref].class_bytes;
     }
     table.add(obj);
     payload_pos[id] = in.cursor();
@@ -422,6 +530,34 @@ Status MotorSerializer::deserialize(ByteBuffer& in, vm::ManagedThread& thread,
       } else {
         MOTOR_RETURN_IF_ERROR(
             in.read({vm::array_data(obj), vm::array_payload_bytes(obj)}));
+      }
+      continue;
+    }
+    if (const WirePlan* plan = infos[obj_trefs[id]].plan; plan != nullptr) {
+      ++stats_.plan_hits;
+      if (plan->single_run) {
+        MOTOR_RETURN_IF_ERROR(in.read(
+            {vm::obj_data(obj) + plan->run_offset, plan->wire_bytes}));
+        if (plan->wire_bytes > 0) {
+          ++stats_.runs_copied;
+          stats_.fields_copied += plan->ops[0].fields;
+        }
+        continue;
+      }
+      for (const WireOp& op : plan->ops) {
+        if (op.kind == WireOp::Kind::kRun) {
+          MOTOR_RETURN_IF_ERROR(
+              in.read({vm::obj_data(obj) + op.offset, op.bytes}));
+          ++stats_.runs_copied;
+          stats_.fields_copied += op.fields;
+        } else {
+          std::int32_t rid = 0;
+          MOTOR_RETURN_IF_ERROR(in.get(rid));
+          if (rid >= static_cast<std::int32_t>(object_count)) {
+            return Status(ErrorCode::kSerialization, "bad object ref");
+          }
+          vm::set_ref_field(obj, op.offset, resolve(rid));
+        }
       }
       continue;
     }

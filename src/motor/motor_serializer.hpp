@@ -31,6 +31,14 @@
 // place* on the managed heap instead of being copied into the metadata
 // buffer. The result is a SpanVec the device can push to the wire in one
 // scatter-gather operation — object-array payloads never flatten.
+//
+// WIRE PLANS (wire_plan.hpp): by default the serializer compiles each
+// class type's FieldDesc list once into a program of coalesced primitive
+// runs + reference slots and executes that program on both the serialize
+// and deserialize hot paths, with the output buffer pre-reserved from the
+// plan-derived exact stream size. The wire format is UNCHANGED — plans
+// only change how the bytes are produced/consumed. Construct with
+// plan_cache = false for the paper-faithful per-field ablation path.
 #pragma once
 
 #include <optional>
@@ -40,6 +48,7 @@
 
 #include "common/buffer.hpp"
 #include "common/spanvec.hpp"
+#include "motor/wire_plan.hpp"
 #include "vm/handles.hpp"
 #include "vm/object.hpp"
 
@@ -57,6 +66,11 @@ struct SerializerStats {
   std::uint64_t visited_lookups = 0;
   std::uint64_t visited_scan_steps = 0;  // linear-mode comparisons
   std::uint64_t null_swapped_refs = 0;   // non-Transportable refs nulled
+  // ---- wire-plan cache (see wire_plan.hpp) ----
+  std::uint64_t plan_builds = 0;    // plans compiled (bounded by types)
+  std::uint64_t plan_hits = 0;      // class records executed via a plan
+  std::uint64_t runs_copied = 0;    // coalesced primitive-run memcpys
+  std::uint64_t fields_copied = 0;  // FieldDescs those runs covered
 };
 
 /// Gathered serialized form. The wire bytes are the concatenation of
@@ -89,8 +103,11 @@ class MotorSerializer {
   /// metadata buffer rather than carried as separate gather parts.
   static constexpr std::size_t kGatherInlineMax = 256;
 
-  explicit MotorSerializer(vm::Vm& vm, VisitedMode mode = VisitedMode::kHashed)
-      : vm_(vm), mode_(mode) {}
+  /// `plan_cache = false` is the ablation configuration: every record
+  /// re-walks its FieldDesc list, as the paper's implementation did.
+  explicit MotorSerializer(vm::Vm& vm, VisitedMode mode = VisitedMode::kHashed,
+                           bool plan_cache = true)
+      : vm_(vm), mode_(mode), use_plans_(plan_cache) {}
 
   /// Regular representation of the graph reachable from `root` under the
   /// Transportable rules.
@@ -131,6 +148,7 @@ class MotorSerializer {
 
   [[nodiscard]] const SerializerStats& stats() const noexcept { return stats_; }
   [[nodiscard]] VisitedMode mode() const noexcept { return mode_; }
+  [[nodiscard]] bool plan_cache_enabled() const noexcept { return use_plans_; }
 
  private:
   struct Window {
@@ -167,9 +185,13 @@ class MotorSerializer {
                         ByteBuffer& out, std::vector<RawPart>* raw = nullptr);
   Status gather_impl(vm::Obj root, std::optional<Window> window,
                      GatherRep& out);
+  /// Cached plan lookup; charges plan_builds on first compile of a type.
+  const WirePlan& plan_of(const vm::MethodTable* mt);
 
   vm::Vm& vm_;
   VisitedMode mode_;
+  bool use_plans_;
+  WirePlanCache plans_;
   SerializerStats stats_;
 };
 

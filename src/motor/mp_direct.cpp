@@ -34,7 +34,7 @@ MPDirect::MPDirect(vm::Vm& vm, vm::ManagedThread& thread, mpi::Comm comm,
       comm_(std::move(comm)),
       config_(config),
       policy_(vm.heap(), config.pin_mode),
-      serializer_(vm, config.visited_mode),
+      serializer_(vm, config.visited_mode, config.plan_cache),
       pool_(vm.heap()) {}
 
 mpi::PollHook MPDirect::gc_poll_hook() {

@@ -38,6 +38,10 @@ struct MPRequest {
 struct MPDirectConfig {
   PinMode pin_mode = PinMode::kMotorPolicy;
   VisitedMode visited_mode = VisitedMode::kHashed;
+  /// Compiled per-type wire plans (wire_plan.hpp); false = the ablation
+  /// path that re-walks FieldDescs per record, as the paper's serializer
+  /// did. The wire format is identical either way.
+  bool plan_cache = true;
   /// Progress attempts before a blocking op gives up on the fast path and
   /// enters the (pin + polling-wait) slow path.
   int fast_attempts = 2;

@@ -1,0 +1,65 @@
+#include "motor/wire_plan.hpp"
+
+#include "common/status.hpp"
+
+namespace motor::mp {
+
+WirePlan WirePlan::compile(const vm::MethodTable& mt) {
+  MOTOR_CHECK(!mt.is_array(), "wire plans describe class records only");
+  WirePlan plan;
+  plan.type = &mt;
+
+  const vm::FieldDesc* prev = nullptr;
+  for (const vm::FieldDesc& f : mt.fields()) {
+    if (f.is_reference()) {
+      WireOp op;
+      op.kind = WireOp::Kind::kRef;
+      op.transportable = f.is_transportable();
+      op.offset = f.offset();
+      plan.ops.push_back(op);
+      plan.refs.push_back(RefSlot{f.offset(), f.is_transportable()});
+    } else if (!plan.ops.empty() &&
+               plan.ops.back().kind == WireOp::Kind::kRun &&
+               prev != nullptr && f.follows_contiguously(*prev)) {
+      // Coalesce: extends the previous run's heap window, and primitive
+      // wire layout is always gapless, so one memcpy covers both.
+      WireOp& run = plan.ops.back();
+      run.bytes += static_cast<std::uint32_t>(f.size());
+      ++run.fields;
+    } else {
+      WireOp op;
+      op.kind = WireOp::Kind::kRun;
+      op.offset = f.offset();
+      op.bytes = static_cast<std::uint32_t>(f.size());
+      op.fields = 1;
+      plan.ops.push_back(op);
+    }
+    plan.wire_bytes += static_cast<std::uint32_t>(f.wire_bytes());
+    prev = &f;
+  }
+
+  // Zero-field records are vacuously a single (empty) run.
+  plan.single_run =
+      plan.refs.empty() &&
+      (plan.ops.empty() || (plan.ops.size() == 1 &&
+                            plan.ops[0].kind == WireOp::Kind::kRun));
+  if (plan.single_run && !plan.ops.empty()) {
+    plan.run_offset = plan.ops[0].offset;
+  }
+  MOTOR_CHECK(plan.wire_bytes == mt.wire_bytes(),
+              "wire plan disagrees with MethodTable layout");
+  return plan;
+}
+
+const WirePlan& WirePlanCache::plan_for(const vm::MethodTable* mt,
+                                        bool* built) {
+  auto it = plans_.find(mt);
+  if (it != plans_.end()) {
+    if (built != nullptr) *built = false;
+    return it->second;
+  }
+  if (built != nullptr) *built = true;
+  return plans_.emplace(mt, WirePlan::compile(*mt)).first->second;
+}
+
+}  // namespace motor::mp

@@ -1,0 +1,91 @@
+// Compiled per-type wire plans for the Motor serializer.
+//
+// The paper's custom serializer (§7.5) walks the FieldDesc list of every
+// object it visits, per object, per send. Managed serializers that stay
+// fast compile a per-type marshalling layout once and reuse it (the JIT
+// stub approach of the mpiJava/Indiana-style bindings); this module is
+// that compilation step for Motor. On the first serialization of a class
+// type its FieldDesc list is lowered into an ordered WIRE PROGRAM of
+//
+//   * RUNS  — maximal groups of adjacent primitive fields whose heap
+//             storage is contiguous (no alignment gap, no interleaved
+//             reference); a run serializes as ONE memcpy,
+//   * REFS  — reference slots, serialized as 4-byte object indices,
+//
+// plus the precomputed record wire size. Both the serialize and the
+// deserialize hot loops execute the program instead of re-walking
+// FieldDescs; an all-primitive type whose layout is fully packed
+// collapses to a single bulk record copy.
+//
+// Cache properties: keyed by MethodTable* (method tables are immutable
+// after type load, so there is no invalidation), GC-safe (plans hold
+// layout integers and MethodTable pointers only — never Obj references,
+// so a moving collection cannot dangle a plan).
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "vm/method_table.hpp"
+
+namespace motor::mp {
+
+/// One step of a compiled class-record wire program.
+struct WireOp {
+  enum class Kind : std::uint8_t { kRun, kRef };
+  Kind kind = Kind::kRun;
+  /// kRef: the field's Transportable bit (non-transportable references
+  /// are null-swapped on the wire without touching the heap slot's
+  /// referent graph).
+  bool transportable = false;
+  /// kRun: how many FieldDescs were coalesced into this copy.
+  std::uint16_t fields = 0;
+  /// Byte offset within the object's instance data.
+  std::uint32_t offset = 0;
+  /// kRun: bytes to copy (heap bytes == wire bytes for primitive runs).
+  std::uint32_t bytes = 0;
+};
+
+/// A reference slot, extracted for the discovery pass (which only needs
+/// the references, not the primitive layout).
+struct RefSlot {
+  std::uint32_t offset = 0;
+  bool transportable = false;
+};
+
+/// Compiled wire program for one class MethodTable.
+struct WirePlan {
+  const vm::MethodTable* type = nullptr;
+  /// Ordered program; executing it front to back reproduces the exact
+  /// byte sequence the FieldDesc walk would have produced.
+  std::vector<WireOp> ops;
+  /// Just the reference slots, in field order (discovery pass).
+  std::vector<RefSlot> refs;
+  /// Record payload size on the wire (== MethodTable::wire_bytes()).
+  std::uint32_t wire_bytes = 0;
+  /// Whole record is one contiguous primitive run: serialize/deserialize
+  /// it as a single memcpy starting at `run_offset`.
+  bool single_run = false;
+  std::uint32_t run_offset = 0;
+
+  /// Lower `mt`'s FieldDesc list into a wire program. `mt` must be a
+  /// class (non-array) type.
+  static WirePlan compile(const vm::MethodTable& mt);
+};
+
+/// Per-serializer plan cache. Lookup is one hash probe; values are
+/// node-stable, so returned references survive later insertions.
+class WirePlanCache {
+ public:
+  /// The plan for `mt`, compiling it on first use. `*built` reports
+  /// whether this call compiled (for the serializer's plan_builds stat).
+  const WirePlan& plan_for(const vm::MethodTable* mt, bool* built);
+
+  [[nodiscard]] std::size_t size() const noexcept { return plans_.size(); }
+
+ private:
+  std::unordered_map<const vm::MethodTable*, WirePlan> plans_;
+};
+
+}  // namespace motor::mp

@@ -69,6 +69,23 @@ class FieldDesc {
     return element_size(kind());
   }
 
+  /// Bytes this field occupies in the Motor wire format: references
+  /// travel as 4-byte object-table indices, primitives at natural size.
+  [[nodiscard]] std::size_t wire_bytes() const noexcept {
+    return is_reference() ? 4 : size();
+  }
+
+  /// Packed-layout query: true when this field's heap storage starts
+  /// exactly where `prev`'s ends and neither is a reference — the
+  /// condition under which the serializer may coalesce both into one
+  /// contiguous copy (wire layout never has gaps between primitives, so
+  /// heap adjacency is the only requirement).
+  [[nodiscard]] bool follows_contiguously(const FieldDesc& prev)
+      const noexcept {
+    return !is_reference() && !prev.is_reference() &&
+           offset() == prev.offset() + prev.size();
+  }
+
  private:
   // Bit layout: [0..23] offset | [24..28] kind | [29] transportable.
   static constexpr std::uint32_t kOffsetMask = (1u << 24) - 1;

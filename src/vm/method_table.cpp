@@ -13,11 +13,18 @@ MethodTable::MethodTable(std::string name, std::uint32_t type_id,
       fields_(std::move(fields)),
       instance_bytes_(instance_bytes),
       transportable_class_(transportable_class) {
+  bool gapless = true;
+  const FieldDesc* prev = nullptr;
   for (const FieldDesc& f : fields_) {
     MOTOR_CHECK(f.offset() + f.size() <= instance_bytes_,
                 "field overruns instance data");
     if (f.is_reference()) ref_offsets_.push_back(f.offset());
+    wire_bytes_ += static_cast<std::uint32_t>(f.wire_bytes());
+    if (prev != nullptr && !f.follows_contiguously(*prev)) gapless = false;
+    prev = &f;
   }
+  all_primitive_ = ref_offsets_.empty();
+  packed_layout_ = all_primitive_ && gapless;
 }
 
 MethodTable::MethodTable(std::string name, std::uint32_t type_id,

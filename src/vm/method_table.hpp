@@ -56,6 +56,25 @@ class MethodTable {
   [[nodiscard]] bool is_transportable_class() const noexcept {
     return transportable_class_;
   }
+  /// Bytes one instance record of this class occupies in the Motor wire
+  /// format (references as 4-byte indices). Computed once at type-load
+  /// time; serializers must use this instead of re-walking the FieldDescs
+  /// per object. Zero for array types (their records are shape-dependent).
+  [[nodiscard]] std::uint32_t wire_bytes() const noexcept {
+    return wire_bytes_;
+  }
+  /// Layout query for the serializer's bulk fast path: class type whose
+  /// fields are all primitive (no reference slots).
+  [[nodiscard]] bool is_all_primitive() const noexcept {
+    return all_primitive_;
+  }
+  /// Packed-layout query: class type whose primitive fields sit back to
+  /// back with no alignment gaps between consecutive fields (reference
+  /// fields break packing for wire purposes, so this is only true when
+  /// the type is also all-primitive).
+  [[nodiscard]] bool has_packed_layout() const noexcept {
+    return packed_layout_;
+  }
 
   // ---- array types ----
   [[nodiscard]] bool is_array() const noexcept { return is_array_; }
@@ -82,7 +101,10 @@ class MethodTable {
   std::vector<FieldDesc> fields_;
   std::vector<std::uint32_t> ref_offsets_;
   std::uint32_t instance_bytes_ = 0;
+  std::uint32_t wire_bytes_ = 0;
   bool transportable_class_ = false;
+  bool all_primitive_ = false;
+  bool packed_layout_ = false;
 
   bool is_array_ = false;
   int rank_ = 0;

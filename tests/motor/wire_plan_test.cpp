@@ -1,0 +1,246 @@
+// Compiled per-type wire plans (wire_plan.hpp): run coalescing over the
+// packed FieldDesc layout, the single-run fast-path classification, the
+// cache's build-once behaviour, and the SerializerStats counters that
+// prove the plan amortizes across objects.
+#include "motor/wire_plan.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/buffer.hpp"
+#include "motor/motor_serializer.hpp"
+#include "vm/handles.hpp"
+#include "vm/vm.hpp"
+
+namespace motor::mp {
+namespace {
+
+vm::VmConfig test_config() {
+  vm::VmConfig c;
+  c.profile = vm::RuntimeProfile::uncosted();
+  c.heap.young_bytes = 8 << 20;
+  return c;
+}
+
+class WirePlanTest : public ::testing::Test {
+ protected:
+  WirePlanTest() : vm_(test_config()), thread_(vm_) {}
+
+  vm::Vm vm_;
+  vm::ManagedThread thread_;
+};
+
+TEST_F(WirePlanTest, PackedAllPrimitiveTypeCompilesToSingleRun) {
+  // x,y,z doubles then two i32s: offsets 0,8,16,24,28 — fully packed.
+  const vm::MethodTable* mt = vm_.types()
+                                  .define_class("PackedCell")
+                                  .field("x", vm::ElementKind::kDouble)
+                                  .field("y", vm::ElementKind::kDouble)
+                                  .field("z", vm::ElementKind::kDouble)
+                                  .field("id", vm::ElementKind::kInt32)
+                                  .field("flags", vm::ElementKind::kInt32)
+                                  .build();
+  EXPECT_TRUE(mt->is_all_primitive());
+  EXPECT_TRUE(mt->has_packed_layout());
+  EXPECT_EQ(mt->wire_bytes(), 32u);
+
+  WirePlan plan = WirePlan::compile(*mt);
+  ASSERT_EQ(plan.ops.size(), 1u);
+  EXPECT_EQ(plan.ops[0].kind, WireOp::Kind::kRun);
+  EXPECT_EQ(plan.ops[0].bytes, 32u);
+  EXPECT_EQ(plan.ops[0].fields, 5u);
+  EXPECT_TRUE(plan.single_run);
+  EXPECT_EQ(plan.run_offset, 0u);
+  EXPECT_EQ(plan.wire_bytes, 32u);
+  EXPECT_TRUE(plan.refs.empty());
+}
+
+TEST_F(WirePlanTest, AlignmentGapsSplitRuns) {
+  // u8@0, i64@8 (gap 1..7), u8@16 (contiguous after b), i32@20
+  // (gap 17..19): three runs, with b+c coalescing into one 9-byte copy.
+  const vm::MethodTable* mt = vm_.types()
+                                  .define_class("GappyCell")
+                                  .field("a", vm::ElementKind::kUInt8)
+                                  .field("b", vm::ElementKind::kInt64)
+                                  .field("c", vm::ElementKind::kUInt8)
+                                  .field("d", vm::ElementKind::kInt32)
+                                  .build();
+  EXPECT_TRUE(mt->is_all_primitive());
+  EXPECT_FALSE(mt->has_packed_layout());
+  EXPECT_EQ(mt->wire_bytes(), 14u);
+
+  WirePlan plan = WirePlan::compile(*mt);
+  ASSERT_EQ(plan.ops.size(), 3u);
+  for (const WireOp& op : plan.ops) {
+    EXPECT_EQ(op.kind, WireOp::Kind::kRun);
+  }
+  EXPECT_EQ(plan.ops[0].fields, 1u);  // a
+  EXPECT_EQ(plan.ops[0].bytes, 1u);
+  EXPECT_EQ(plan.ops[1].fields, 2u);  // b+c coalesce across no gap
+  EXPECT_EQ(plan.ops[1].bytes, 9u);
+  EXPECT_EQ(plan.ops[2].fields, 1u);  // d, behind the alignment gap
+  EXPECT_EQ(plan.ops[2].bytes, 4u);
+  EXPECT_FALSE(plan.single_run);
+}
+
+TEST_F(WirePlanTest, ReferencesSplitRunsAndLandInRefList) {
+  // i32,i32 (coalesce) | ref | f64,i32? — f64@16, i32@24 contiguous.
+  const vm::MethodTable* mt =
+      vm_.types()
+          .define_class("MixedCell")
+          .transportable()
+          .field("a", vm::ElementKind::kInt32)
+          .field("b", vm::ElementKind::kInt32)
+          .ref_field("r", vm_.types().object_type(), /*transportable=*/true)
+          .field("c", vm::ElementKind::kDouble)
+          .field("d", vm::ElementKind::kInt32)
+          .ref_field("s", vm_.types().object_type(), /*transportable=*/false)
+          .build();
+  EXPECT_FALSE(mt->is_all_primitive());
+  EXPECT_FALSE(mt->has_packed_layout());
+
+  WirePlan plan = WirePlan::compile(*mt);
+  // run{a,b} ref{r} run{c,d} ref{s}
+  ASSERT_EQ(plan.ops.size(), 4u);
+  EXPECT_EQ(plan.ops[0].kind, WireOp::Kind::kRun);
+  EXPECT_EQ(plan.ops[0].fields, 2u);
+  EXPECT_EQ(plan.ops[0].bytes, 8u);
+  EXPECT_EQ(plan.ops[1].kind, WireOp::Kind::kRef);
+  EXPECT_TRUE(plan.ops[1].transportable);
+  EXPECT_EQ(plan.ops[2].kind, WireOp::Kind::kRun);
+  EXPECT_EQ(plan.ops[2].fields, 2u);
+  EXPECT_EQ(plan.ops[2].bytes, 12u);
+  EXPECT_EQ(plan.ops[3].kind, WireOp::Kind::kRef);
+  EXPECT_FALSE(plan.ops[3].transportable);
+  ASSERT_EQ(plan.refs.size(), 2u);
+  EXPECT_TRUE(plan.refs[0].transportable);
+  EXPECT_FALSE(plan.refs[1].transportable);
+  // Wire size: 4+4 + 4(ref) + 8+4 + 4(ref) = 28, matching the load-time
+  // MethodTable cache.
+  EXPECT_EQ(plan.wire_bytes, 28u);
+  EXPECT_EQ(plan.wire_bytes, mt->wire_bytes());
+  EXPECT_FALSE(plan.single_run);
+}
+
+TEST_F(WirePlanTest, CacheCompilesOnceAndReturnsStableReference) {
+  const vm::MethodTable* mt = vm_.types()
+                                  .define_class("CachedCell")
+                                  .field("a", vm::ElementKind::kInt32)
+                                  .build();
+  WirePlanCache cache;
+  bool built = false;
+  const WirePlan& first = cache.plan_for(mt, &built);
+  EXPECT_TRUE(built);
+  const WirePlan& second = cache.plan_for(mt, &built);
+  EXPECT_FALSE(built);
+  EXPECT_EQ(&first, &second);
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST_F(WirePlanTest, StatsShowPlansAmortizeAcrossObjects) {
+  const vm::MethodTable* cell = vm_.types()
+                                    .define_class("StatCell")
+                                    .field("x", vm::ElementKind::kDouble)
+                                    .field("y", vm::ElementKind::kDouble)
+                                    .field("id", vm::ElementKind::kInt32)
+                                    .build();
+  const vm::MethodTable* arr_mt = vm_.types().ref_array(cell);
+  constexpr int kCount = 100;
+  vm::GcRoot arr(thread_, vm_.heap().alloc_array(arr_mt, kCount));
+  for (int i = 0; i < kCount; ++i) {
+    vm::Obj c = vm_.heap().alloc_object(cell);
+    vm::set_field<double>(c, 0, i * 1.5);
+    vm::set_field<double>(c, 8, i * 2.5);
+    vm::set_field<std::int32_t>(c, 16, i);
+    vm::set_ref_element(arr.get(), i, c);
+  }
+
+  MotorSerializer ser(vm_);
+  ASSERT_TRUE(ser.plan_cache_enabled());
+  ByteBuffer buf;
+  ASSERT_TRUE(ser.serialize(arr.get(), buf).is_ok());
+  // One distinct class type -> one build; every record a hit; coalesced
+  // runs cover all three fields each.
+  EXPECT_EQ(ser.stats().plan_builds, 1u);
+  EXPECT_EQ(ser.stats().plan_hits, static_cast<std::uint64_t>(kCount));
+  EXPECT_EQ(ser.stats().runs_copied, static_cast<std::uint64_t>(kCount));
+  EXPECT_EQ(ser.stats().fields_copied, static_cast<std::uint64_t>(3 * kCount));
+
+  // A second send of the same graph reuses the plan: hits scale with
+  // objects, builds stay bounded by distinct types.
+  ByteBuffer buf2;
+  ASSERT_TRUE(ser.serialize(arr.get(), buf2).is_ok());
+  EXPECT_EQ(ser.stats().plan_builds, 1u);
+  EXPECT_EQ(ser.stats().plan_hits, static_cast<std::uint64_t>(2 * kCount));
+
+  // Deserialize executes the same plan program.
+  buf.seek(0);
+  vm::Obj copy = nullptr;
+  ASSERT_TRUE(ser.deserialize(buf, thread_, &copy).is_ok());
+  EXPECT_EQ(ser.stats().plan_hits, static_cast<std::uint64_t>(3 * kCount));
+  EXPECT_EQ(ser.stats().plan_builds, 1u);
+}
+
+TEST_F(WirePlanTest, PlanSerializeReservesExactlyOnce) {
+  // The plan path precomputes the stream size and reserves once; the
+  // ablation path regrows the buffer as it appends.
+  const vm::MethodTable* cell = vm_.types()
+                                    .define_class("ReserveCell")
+                                    .field("x", vm::ElementKind::kDouble)
+                                    .field("y", vm::ElementKind::kDouble)
+                                    .field("z", vm::ElementKind::kDouble)
+                                    .field("w", vm::ElementKind::kDouble)
+                                    .build();
+  const vm::MethodTable* arr_mt = vm_.types().ref_array(cell);
+  constexpr int kCount = 1000;
+  vm::GcRoot arr(thread_, vm_.heap().alloc_array(arr_mt, kCount));
+  for (int i = 0; i < kCount; ++i) {
+    vm::set_ref_element(arr.get(), i, vm_.heap().alloc_object(cell));
+  }
+
+  MotorSerializer planned(vm_);
+  ByteBuffer fast;
+  ASSERT_TRUE(planned.serialize(arr.get(), fast).is_ok());
+  // At most one growth: the single up-front reserve.
+  EXPECT_LE(fast.growth_count(), 1u);
+  EXPECT_EQ(fast.capacity(), fast.size());  // the estimate was exact
+
+  MotorSerializer ablated(vm_, VisitedMode::kHashed, /*plan_cache=*/false);
+  ByteBuffer slow;
+  ASSERT_TRUE(ablated.serialize(arr.get(), slow).is_ok());
+  EXPECT_GT(slow.growth_count(), 1u);  // doubling regrowth, repeatedly
+  EXPECT_EQ(ablated.stats().plan_builds, 0u);
+  EXPECT_EQ(ablated.stats().plan_hits, 0u);
+
+  // Identical wire bytes either way — the plan cache must not change the
+  // format.
+  ASSERT_EQ(fast.size(), slow.size());
+  EXPECT_EQ(0, std::memcmp(fast.data(), slow.data(), fast.size()));
+}
+
+TEST_F(WirePlanTest, WindowGatherStillReferencesLargeRunsInPlace) {
+  // Plans must not disturb the PR 1 zero-copy gather path: large
+  // primitive payloads keep riding as in-place span references.
+  const vm::MethodTable* ints =
+      vm_.types().primitive_array(vm::ElementKind::kInt32);
+  vm::GcRoot big(thread_, vm_.heap().alloc_array(ints, 4096));
+  for (int i = 0; i < 4096; ++i) {
+    vm::set_element<std::int32_t>(big.get(), i, i);
+  }
+  MotorSerializer ser(vm_);
+  GatherRep rep;
+  ASSERT_TRUE(ser.serialize_gather(big.get(), rep).is_ok());
+  ASSERT_EQ(rep.backing.size(), 1u);
+  EXPECT_EQ(rep.backing[0], big.get());
+  bool aliased = false;
+  for (ByteSpan part : rep.spans.parts()) {
+    if (part.data() == vm::array_data(big.get())) aliased = true;
+  }
+  EXPECT_TRUE(aliased);
+  // The metadata buffer was reserved from the plan-derived size, which
+  // EXCLUDES the in-place payload: no regrowth, and meta stays small.
+  EXPECT_LE(rep.meta.growth_count(), 1u);
+  EXPECT_LT(rep.meta.size(), 256u);
+}
+
+}  // namespace
+}  // namespace motor::mp
