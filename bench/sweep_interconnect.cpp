@@ -1,18 +1,56 @@
-// Interconnect sweep (extension of Figure 9, motivated by §9: "The
-// layered Motor architecture will allow us to port Motor to other
-// platforms and interconnects"): how the Motor-vs-wrapper gap moves with
-// the interconnect class. On a fast fabric the managed-call overheads
-// dominate (Motor's advantage widens); on a slow WAN-ish wire everything
-// converges — the crossover the paper's single-testbed evaluation cannot
-// show.
+// Interconnect sweep, two parts.
+//
+// Part 1 (original, full mode only): how the Motor-vs-wrapper ping-pong
+// gap moves with the interconnect class (extension of Figure 9, motivated
+// by §9: "The layered Motor architecture will allow us to port Motor to
+// other platforms and interconnects").
+//
+// Part 2 (the scaling harness): weak/strong-scaling sweep of the
+// collective algorithm registry (src/mpi/collectives.hpp) over
+// topology-modelled fabrics — full mesh, 2-D mesh, 2-D torus, two-level
+// fat tree — at 4..256 thread-ranks. Every registered algorithm of every
+// collective is pinned in turn (the per-call CollAlgo override), timed at
+// several message sizes on the paper's GbE-class wire model (13 us per
+// hop, ~1 Gb/s per link), and its RESULT is checked against the analytic
+// expectation — so the ablation also proves the registry entries are
+// result-identical. bcast/reduce/allreduce rows keep the total vector
+// fixed as ranks grow (strong scaling); allgather/reduce_scatter rows
+// keep the per-rank block fixed (weak scaling). The harness then extracts
+// the measured per-size winner, the small->large crossover point per
+// (topology, world, collective), and how often the kAuto selection
+// function (select_algo) picks the measured winner.
+//
+// Timing: rank 0's clock over `timed` back-to-back calls plus one closing
+// barrier (drains the pipeline; identical overhead for every algorithm of
+// a row group, so winner and crossover comparisons are unaffected).
+//
+// Flags (fig9/fig10 conventions): --smoke (tiny grid, exercised by
+// scripts/verify.sh; exits non-zero on any result mismatch so the
+// identity check cannot rot), --json=PATH (machine-readable snapshot,
+// e.g. BENCH_sweep.json).
+#include <algorithm>
+#include <array>
+#include <atomic>
 #include <cstdio>
+#include <cstring>
+#include <functional>
+#include <initializer_list>
+#include <memory>
+#include <string>
+#include <vector>
 
+#include "mpi/collectives.hpp"
+#include "mpi/world.hpp"
+#include "pal/clock.hpp"
 #include "series.hpp"
+#include "transport/topology.hpp"
 
 namespace {
 
 using namespace motor;
 using namespace motor::bench;
+
+// ---------------------------------------------------------------- part 1
 
 struct Interconnect {
   const char* name;
@@ -20,14 +58,12 @@ struct Interconnect {
   std::uint64_t bandwidth_bps;  // 0 = unlimited
 };
 
-}  // namespace
-
-int main() {
+void run_interconnect_classes() {
   const Interconnect nets[] = {
-      {"shared-mem", 300, 0},                       // in-box
-      {"myrinet-ish", 4'000, 0},                    // low-latency cluster
-      {"gbe-localhost", 13'000, 0},                 // the paper's testbed
-      {"wan-ish", 200'000, 12'500'000},             // 100 Mb/s, 200 us
+      {"shared-mem", 300, 0},            // in-box
+      {"myrinet-ish", 4'000, 0},         // low-latency cluster
+      {"gbe-localhost", 13'000, 0},      // the paper's testbed
+      {"wan-ish", 200'000, 12'500'000},  // 100 Mb/s, 200 us
   };
 
   PingPongSpec spec;
@@ -62,6 +98,492 @@ int main() {
   }
   std::printf("\n# expectation: the relative Motor advantage GROWS as the\n");
   std::printf("# wire gets faster (fixed per-call overheads dominate) and\n");
-  std::printf("# vanishes into the WAN-ish noise floor.\n");
-  return 0;
+  std::printf("# vanishes into the WAN-ish noise floor.\n\n");
+}
+
+// ---------------------------------------------------------------- part 2
+
+struct SweepPoint {
+  mpi::CollOp op;
+  mpi::CollAlgo algo;
+  // bcast/reduce/allreduce: TOTAL vector bytes (strong scaling);
+  // allgather/reduce_scatter: PER-RANK block bytes (weak scaling).
+  std::size_t bytes;
+};
+
+struct SweepRow {
+  transport::TopologyKind topo{};
+  int world = 0;
+  SweepPoint pt{};
+  double us = 0;
+  bool verified = false;
+  mpi::CollAlgo selected = mpi::CollAlgo::kAuto;  // what kAuto resolves to
+};
+
+const char* op_name(mpi::CollOp op) {
+  switch (op) {
+    case mpi::CollOp::kBcast: return "bcast";
+    case mpi::CollOp::kReduce: return "reduce";
+    case mpi::CollOp::kAllreduce: return "allreduce";
+    case mpi::CollOp::kAllgather: return "allgather";
+    case mpi::CollOp::kReduceScatter: return "reduce_scatter";
+  }
+  return "?";
+}
+
+bool op_is_strong_scaling(mpi::CollOp op) {
+  return op == mpi::CollOp::kBcast || op == mpi::CollOp::kReduce ||
+         op == mpi::CollOp::kAllreduce;
+}
+
+std::string algo_name(mpi::CollAlgo a) {
+  return std::string(mpi::coll_algo_name(a));
+}
+
+/// The byte figure the dispatcher hands select_algo (total bytes moved):
+/// identity for total-vector ops, block*n for per-block ops.
+std::size_t selection_bytes(const SweepPoint& pt, int n) {
+  return op_is_strong_scaling(pt.op) ? pt.bytes
+                                     : pt.bytes * static_cast<std::size_t>(n);
+}
+
+/// Deterministic per-(rank, element) contribution; small enough that a
+/// 256-way int64 sum can never overflow.
+std::int64_t contrib(int rank, std::size_t j) {
+  const auto r = static_cast<std::uint64_t>(rank);
+  return static_cast<std::int64_t>((r * 1315423911u + j * 2654435761u) %
+                                   20011) -
+         10005;
+}
+
+/// Run one sweep point on the calling rank: one verified warmup call,
+/// then `timed` timed calls + a closing barrier. Returns us/call on
+/// rank 0 (0 elsewhere); clears `ok` on any error or result mismatch.
+double run_point(mpi::Comm& comm, const SweepPoint& pt, int timed,
+                 std::atomic<bool>& ok) {
+  const int n = comm.size();
+  const int rank = comm.rank();
+  const std::size_t count = std::max<std::size_t>(1, pt.bytes / 8);
+  const std::size_t step = std::max<std::size_t>(1, count / 13);
+  const auto t = mpi::Datatype::kInt64;
+  const auto sum = mpi::ReduceOp::kSum;
+
+  auto check = [&ok](bool cond) {
+    if (!cond) ok.store(false, std::memory_order_relaxed);
+  };
+
+  // One call of the collective; `verify` samples the result afterwards.
+  std::function<void()> call;
+  std::function<void()> verify;
+
+  std::vector<std::int64_t> in;
+  std::vector<std::int64_t> out;
+  switch (pt.op) {
+    case mpi::CollOp::kBcast:
+      out.resize(count, 0);
+      call = [&] {
+        if (rank == 0) {
+          for (std::size_t j = 0; j < count; ++j) out[j] = contrib(0, j);
+        }
+        check(mpi::bcast(comm, out.data(), count * 8, 0, {}, pt.algo) ==
+              ErrorCode::kSuccess);
+      };
+      verify = [&] {
+        for (std::size_t j = 0; j < count; j += step)
+          check(out[j] == contrib(0, j));
+      };
+      break;
+    case mpi::CollOp::kReduce:
+      in.resize(count);
+      for (std::size_t j = 0; j < count; ++j) in[j] = contrib(rank, j);
+      if (rank == 0) out.resize(count);
+      call = [&] {
+        check(mpi::reduce(comm, in.data(), rank == 0 ? out.data() : nullptr,
+                          count, t, sum, 0, {}, pt.algo) ==
+              ErrorCode::kSuccess);
+      };
+      verify = [&] {
+        if (rank != 0) return;
+        for (std::size_t j = 0; j < count; j += step) {
+          std::int64_t want = 0;
+          for (int r = 0; r < n; ++r) want += contrib(r, j);
+          check(out[j] == want);
+        }
+      };
+      break;
+    case mpi::CollOp::kAllreduce:
+      in.resize(count);
+      out.resize(count);
+      for (std::size_t j = 0; j < count; ++j) in[j] = contrib(rank, j);
+      call = [&] {
+        check(mpi::allreduce(comm, in.data(), out.data(), count, t, sum, {},
+                             pt.algo) == ErrorCode::kSuccess);
+      };
+      verify = [&] {
+        for (std::size_t j = 0; j < count; j += step) {
+          std::int64_t want = 0;
+          for (int r = 0; r < n; ++r) want += contrib(r, j);
+          check(out[j] == want);
+        }
+      };
+      break;
+    case mpi::CollOp::kAllgather:
+      in.resize(count);
+      out.resize(count * static_cast<std::size_t>(n));
+      for (std::size_t j = 0; j < count; ++j) in[j] = contrib(rank, j);
+      call = [&] {
+        check(mpi::allgather(comm, in.data(), count * 8, out.data(), {},
+                             pt.algo) == ErrorCode::kSuccess);
+      };
+      verify = [&] {
+        for (int r = 0; r < n; ++r)
+          for (std::size_t j = 0; j < count; j += step)
+            check(out[static_cast<std::size_t>(r) * count + j] ==
+                  contrib(r, j));
+      };
+      break;
+    case mpi::CollOp::kReduceScatter:
+      in.resize(count * static_cast<std::size_t>(n));
+      out.resize(count);
+      for (std::size_t j = 0; j < in.size(); ++j) in[j] = contrib(rank, j);
+      call = [&] {
+        check(mpi::reduce_scatter_block(comm, in.data(), out.data(), count, t,
+                                        sum, {}, pt.algo) ==
+              ErrorCode::kSuccess);
+      };
+      verify = [&] {
+        const std::size_t base = static_cast<std::size_t>(rank) * count;
+        for (std::size_t j = 0; j < count; j += step) {
+          std::int64_t want = 0;
+          for (int r = 0; r < n; ++r) want += contrib(r, base + j);
+          check(out[j] == want);
+        }
+      };
+      break;
+  }
+
+  call();
+  verify();
+  (void)mpi::barrier(comm);
+
+  pal::Stopwatch sw;
+  for (int i = 0; i < timed; ++i) call();
+  (void)mpi::barrier(comm);
+  return rank == 0 ? sw.elapsed_us() / timed : 0.0;
+}
+
+std::vector<SweepPoint> points_for(int n, bool smoke) {
+  std::vector<SweepPoint> pts;
+  auto add = [&pts](mpi::CollOp op, std::initializer_list<std::size_t> sizes) {
+    for (const mpi::CollAlgo a : mpi::registered_algos(op))
+      for (const std::size_t b : sizes) pts.push_back({op, a, b});
+  };
+  if (smoke) {
+    add(mpi::CollOp::kBcast, {2048});
+    add(mpi::CollOp::kAllreduce, {2048});
+    add(mpi::CollOp::kAllgather, {512});
+    add(mpi::CollOp::kReduceScatter, {512});
+    return pts;
+  }
+  if (n >= 128) {
+    // The 256-rank strong-scaling tail: the log-round vs linear story is
+    // carried by bcast/allreduce; the per-block ops would need n*block
+    // buffers per rank, so the 64-rank grid covers them.
+    add(mpi::CollOp::kAllreduce, {512, 65536});
+    add(mpi::CollOp::kBcast, {65536});
+    return pts;
+  }
+  add(mpi::CollOp::kBcast, {512, 8192, 65536});
+  add(mpi::CollOp::kReduce, {8192});
+  add(mpi::CollOp::kAllreduce, {512, 8192, 65536});
+  add(mpi::CollOp::kAllgather, {512, 4096});
+  add(mpi::CollOp::kReduceScatter, {512, 4096});
+  return pts;
+}
+
+mpi::WorldConfig sweep_world_config(transport::TopologyKind kind, bool smoke) {
+  mpi::WorldConfig wc;
+  // Bounded per-link buffers: the 256-rank worlds materialise thousands
+  // of lazy links; messages larger than the ring stream through it.
+  wc.channel_capacity = 64 << 10;
+  // The paper's GbE-class testbed per hop; smoke keeps the wire fast so
+  // scripts/verify.sh stays in the seconds range.
+  wc.wire_latency_ns = smoke ? 2'000 : 13'000;
+  wc.wire_bandwidth_bps = smoke ? 0 : 125'000'000;
+  wc.topology.kind = kind;
+  return wc;
+}
+
+void run_world(transport::TopologyKind kind, int n, bool smoke,
+               std::vector<SweepRow>& rows) {
+  const std::vector<SweepPoint> pts = points_for(n, smoke);
+  const int timed = smoke ? 1 : (n >= 128 ? 2 : 3);
+  std::vector<double> us(pts.size(), 0.0);
+  std::unique_ptr<std::atomic<bool>[]> oks(new std::atomic<bool>[pts.size()]);
+  for (std::size_t i = 0; i < pts.size(); ++i) oks[i].store(true);
+
+  mpi::World world(n, sweep_world_config(kind, smoke));
+  world.run([&](mpi::RankCtx& ctx) {
+    for (std::size_t i = 0; i < pts.size(); ++i) {
+      const double t = run_point(ctx.comm_world(), pts[i], timed, oks[i]);
+      if (ctx.comm_world().rank() == 0) us[i] = t;
+    }
+  });
+
+  transport::TopologySpec spec;
+  spec.kind = kind;
+  const transport::Topology topo(spec, n);
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    SweepRow row;
+    row.topo = kind;
+    row.world = n;
+    row.pt = pts[i];
+    row.us = us[i];
+    row.verified = oks[i].load();
+    row.selected = mpi::select_algo(pts[i].op, n, selection_bytes(pts[i], n),
+                                    &topo);
+    rows.push_back(row);
+    std::printf("%10s %6d %15s %8zu %24s %12.1f%s%s\n",
+                std::string(topology_kind_name(kind)).c_str(), n,
+                op_name(pts[i].op), pts[i].bytes,
+                algo_name(pts[i].algo).c_str(), us[i],
+                row.selected == pts[i].algo ? "  <- auto" : "",
+                row.verified ? "" : "  RESULT-MISMATCH");
+    std::fflush(stdout);
+  }
+}
+
+struct Crossover {
+  transport::TopologyKind topo{};
+  int world = 0;
+  mpi::CollOp op{};
+  mpi::CollAlgo small_winner{};
+  mpi::CollAlgo large_winner{};
+  std::size_t crossover_bytes = 0;  // 0 = no winner change over the grid
+};
+
+const SweepRow* find_row(const std::vector<SweepRow>& rows,
+                         transport::TopologyKind topo, int n, mpi::CollOp op,
+                         mpi::CollAlgo algo, std::size_t bytes) {
+  for (const SweepRow& r : rows) {
+    if (r.topo == topo && r.world == n && r.pt.op == op &&
+        r.pt.algo == algo && r.pt.bytes == bytes && r.verified) {
+      return &r;
+    }
+  }
+  return nullptr;
+}
+
+/// Measured winner at one grid point (verified rows only).
+mpi::CollAlgo winner_at(const std::vector<SweepRow>& rows,
+                        transport::TopologyKind topo, int n, mpi::CollOp op,
+                        std::size_t bytes) {
+  mpi::CollAlgo best = mpi::CollAlgo::kAuto;
+  double best_us = 0;
+  for (const SweepRow& r : rows) {
+    if (r.topo != topo || r.world != n || r.pt.op != op ||
+        r.pt.bytes != bytes || !r.verified) {
+      continue;
+    }
+    if (best == mpi::CollAlgo::kAuto || r.us < best_us) {
+      best = r.pt.algo;
+      best_us = r.us;
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--smoke") {
+      smoke = true;
+    } else if (arg.rfind("--json=", 0) == 0) {
+      json_path = arg.substr(7);
+    } else {
+      std::fprintf(stderr, "usage: %s [--smoke] [--json=PATH]\n", argv[0]);
+      return 2;
+    }
+  }
+
+  if (!smoke) run_interconnect_classes();
+
+  std::printf("# Collective scaling sweep: every registered algorithm,\n");
+  std::printf("# pinned per call; wire = %s per hop\n",
+              smoke ? "2 us (smoke)" : "13 us + 1 Gb/s (GbE model)");
+  std::printf("# bcast/reduce/allreduce bytes = total vector (strong "
+              "scaling);\n");
+  std::printf("# allgather/reduce_scatter bytes = per-rank block (weak "
+              "scaling)\n");
+  std::printf("%10s %6s %15s %8s %24s %12s\n", "topology", "ranks", "op",
+              "bytes", "algorithm", "us/op");
+
+  using transport::TopologyKind;
+  struct WorldJob {
+    TopologyKind kind;
+    int n;
+  };
+  std::vector<WorldJob> jobs;
+  if (smoke) {
+    jobs = {{TopologyKind::kFullMesh, 4}, {TopologyKind::kTorus2D, 8}};
+  } else {
+    for (const TopologyKind kind :
+         {TopologyKind::kFullMesh, TopologyKind::kMesh2D,
+          TopologyKind::kTorus2D, TopologyKind::kFatTree}) {
+      for (const int n : {4, 16, 64}) jobs.push_back({kind, n});
+    }
+    jobs.push_back({TopologyKind::kTorus2D, 256});
+  }
+
+  std::vector<SweepRow> rows;
+  for (const WorldJob& job : jobs) run_world(job.kind, job.n, smoke, rows);
+
+  // ---- crossover + selection-quality extraction ----
+  std::vector<Crossover> crossovers;
+  int sel_hits = 0;
+  int sel_total = 0;
+  {
+    // Unique (topo, world, op) groups in first-appearance order.
+    std::vector<std::array<int, 3>> groups;
+    for (const SweepRow& r : rows) {
+      const std::array<int, 3> g = {static_cast<int>(r.topo), r.world,
+                                    static_cast<int>(r.pt.op)};
+      if (std::find(groups.begin(), groups.end(), g) == groups.end())
+        groups.push_back(g);
+    }
+    for (const auto& g : groups) {
+      const auto topo = static_cast<transport::TopologyKind>(g[0]);
+      const int n = g[1];
+      const auto op = static_cast<mpi::CollOp>(g[2]);
+      std::vector<std::size_t> sizes;
+      for (const SweepRow& r : rows) {
+        if (r.topo == topo && r.world == n && r.pt.op == op &&
+            std::find(sizes.begin(), sizes.end(), r.pt.bytes) == sizes.end()) {
+          sizes.push_back(r.pt.bytes);
+        }
+      }
+      std::sort(sizes.begin(), sizes.end());
+      for (const std::size_t b : sizes) {
+        const mpi::CollAlgo w = winner_at(rows, topo, n, op, b);
+        const SweepRow* any = nullptr;
+        for (const SweepRow& r : rows) {
+          if (r.topo == topo && r.world == n && r.pt.op == op &&
+              r.pt.bytes == b) {
+            any = &r;
+            break;
+          }
+        }
+        if (w != mpi::CollAlgo::kAuto && any != nullptr) {
+          ++sel_total;
+          if (any->selected == w) ++sel_hits;
+        }
+      }
+      if (sizes.size() < 2) continue;
+      Crossover c;
+      c.topo = topo;
+      c.world = n;
+      c.op = op;
+      c.small_winner = winner_at(rows, topo, n, op, sizes.front());
+      c.large_winner = winner_at(rows, topo, n, op, sizes.back());
+      if (c.small_winner != c.large_winner) {
+        for (const std::size_t b : sizes) {
+          const SweepRow* lw = find_row(rows, topo, n, op, c.large_winner, b);
+          const SweepRow* sw = find_row(rows, topo, n, op, c.small_winner, b);
+          if (lw != nullptr && sw != nullptr && lw->us <= sw->us) {
+            c.crossover_bytes = b;
+            break;
+          }
+        }
+        crossovers.push_back(c);
+      }
+    }
+  }
+
+  std::printf("\n# crossovers (first size where the large-message winner "
+              "overtakes the small-message winner)\n");
+  for (const Crossover& c : crossovers) {
+    std::printf("%10s %6d %15s  %s -> %s at %zu bytes\n",
+                std::string(topology_kind_name(c.topo)).c_str(), c.world,
+                op_name(c.op), algo_name(c.small_winner).c_str(),
+                algo_name(c.large_winner).c_str(), c.crossover_bytes);
+  }
+  std::printf("# selection quality: kAuto picks the measured winner at "
+              "%d/%d grid points\n",
+              sel_hits, sel_total);
+
+  // The headline acceptance number: the scalable allreduce vs the seed
+  // linear reference at the largest world/size of the main grid.
+  {
+    const auto kind = transport::TopologyKind::kTorus2D;
+    const int n = smoke ? 8 : 64;
+    const std::size_t b = smoke ? 2048 : 65536;
+    const SweepRow* lin =
+        find_row(rows, kind, n, mpi::CollOp::kAllreduce, mpi::CollAlgo::kLinear, b);
+    const mpi::CollAlgo w = winner_at(rows, kind, n, mpi::CollOp::kAllreduce, b);
+    const SweepRow* best =
+        find_row(rows, kind, n, mpi::CollOp::kAllreduce, w, b);
+    if (lin != nullptr && best != nullptr && best->us > 0) {
+      std::printf("# allreduce %d ranks, %zu bytes (torus2d): linear %.1f us"
+                  " -> %s %.1f us (%.1fx)\n",
+                  n, b, lin->us, algo_name(w).c_str(), best->us,
+                  lin->us / best->us);
+    }
+  }
+
+  bool all_verified = true;
+  for (const SweepRow& r : rows) all_verified = all_verified && r.verified;
+  std::printf("# result identity across registry entries: %s\n",
+              all_verified ? "OK" : "FAILED");
+
+  if (!json_path.empty()) {
+    std::FILE* f = std::fopen(json_path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+      return 1;
+    }
+    std::fprintf(f, "{\n  \"bench\": \"sweep_collectives\",\n");
+    std::fprintf(f, "  \"mode\": \"%s\",\n", smoke ? "smoke" : "full");
+    std::fprintf(f,
+                 "  \"wire\": {\"latency_ns_per_hop\": %d, "
+                 "\"bandwidth_bps\": %d},\n",
+                 smoke ? 2000 : 13000, smoke ? 0 : 125000000);
+    std::fprintf(f, "  \"all_results_identical\": %s,\n",
+                 all_verified ? "true" : "false");
+    std::fprintf(f, "  \"selection_optimal_points\": %d,\n", sel_hits);
+    std::fprintf(f, "  \"selection_total_points\": %d,\n", sel_total);
+    std::fprintf(f, "  \"rows\": [\n");
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      const SweepRow& r = rows[i];
+      std::fprintf(
+          f,
+          "    {\"topology\": \"%s\", \"world\": %d, \"op\": \"%s\", "
+          "\"scaling\": \"%s\", \"bytes\": %zu, \"algo\": \"%s\", "
+          "\"us\": %.1f, \"auto_pick\": %s, \"verified\": %s}%s\n",
+          std::string(topology_kind_name(r.topo)).c_str(), r.world,
+          op_name(r.pt.op), op_is_strong_scaling(r.pt.op) ? "strong" : "weak",
+          r.pt.bytes, algo_name(r.pt.algo).c_str(), r.us,
+          r.selected == r.pt.algo ? "true" : "false",
+          r.verified ? "true" : "false", i + 1 < rows.size() ? "," : "");
+    }
+    std::fprintf(f, "  ],\n  \"crossovers\": [\n");
+    for (std::size_t i = 0; i < crossovers.size(); ++i) {
+      const Crossover& c = crossovers[i];
+      std::fprintf(f,
+                   "    {\"topology\": \"%s\", \"world\": %d, \"op\": \"%s\", "
+                   "\"small_winner\": \"%s\", \"large_winner\": \"%s\", "
+                   "\"crossover_bytes\": %zu}%s\n",
+                   std::string(topology_kind_name(c.topo)).c_str(), c.world,
+                   op_name(c.op), algo_name(c.small_winner).c_str(),
+                   algo_name(c.large_winner).c_str(), c.crossover_bytes,
+                   i + 1 < crossovers.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    std::printf("# wrote %s\n", json_path.c_str());
+  }
+  return all_verified ? 0 : 1;
 }

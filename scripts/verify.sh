@@ -21,15 +21,28 @@ ctest --test-dir build --output-on-failure
 # wiring itself verified.
 ctest --test-dir build -L serializer --output-on-failure
 
+# Collectives tier (ctest -L collectives): the per-world-size functional
+# suite plus the algorithm-registry property suite — every registered
+# algorithm vs the linear reference over random sizes/roots/non-pow2
+# worlds, all four topologies, and the fault-injected fail-fast pass.
+ctest --test-dir build -L collectives --output-on-failure
+
 # fig10 smoke: tiny ping-pong sizes plus the wire-plan ablation section,
 # strict (no `|| true`) so the bench binary and the plan_cache toggle
 # cannot rot.
 timeout 300 ./build/bench/fig10_objects --smoke
 
-# Sanitizer tier: fault-labelled stress tests under ASan + UBSan.
+# Collective sweep smoke, strict (no `|| true`): a tiny topology/algorithm
+# grid with the analytic result check — exits non-zero on any registry
+# entry producing a different answer, so the ablation identity cannot rot.
+timeout 300 ./build/bench/sweep_interconnect --smoke
+
+# Sanitizer tier: fault-labelled stress tests plus the collective
+# registry (tree/butterfly index arithmetic, in-place reduce windows)
+# under ASan + UBSan.
 cmake -B build-asan -S . -DMOTOR_SANITIZE=ON >/dev/null
-cmake --build build-asan -j "$(nproc)" --target test_fault
-ctest --test-dir build-asan -L fault --output-on-failure
+cmake --build build-asan -j "$(nproc)" --target test_fault --target test_collectives
+ctest --test-dir build-asan -L 'fault|collectives' --output-on-failure
 
 # fig9 smoke: the full sweep takes minutes; a capped run via the pingpong
 # spec is not exposed on the CLI, so just run the cheapest ablation bench

@@ -1,0 +1,43 @@
+// Collective algorithm identifiers and the per-device tuning override.
+//
+// Split out of collectives.hpp so DeviceConfig can carry a
+// CollectiveTuning without a device.hpp <-> collectives.hpp include
+// cycle. The registry and selection function live in collectives.hpp.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace motor::mpi {
+
+/// One entry per implemented collective algorithm. Not every algorithm
+/// applies to every collective; registered_algos() (collectives.hpp)
+/// enumerates the valid set per operation.
+enum class CollAlgo : std::uint8_t {
+  kAuto,                    // pick via select_algo(world, bytes, topology)
+  kLinear,                  // rooted linear / reduce+scatter reference path
+  kBinomial,                // binomial tree (short messages)
+  kScatterAllgather,        // bcast: binomial scatter + ring allgather
+  kRecursiveDoubling,       // allreduce: log2 rounds of pairwise exchange
+  kReduceScatterAllgather,  // allreduce: Rabenseifner (halving + doubling)
+  kRing,                    // allgather: neighbour ring
+  kBruck,                   // allgather: Bruck log-round displacement
+  kPairwise,                // reduce_scatter: pairwise exchange
+  kTwoLevel,                // topology-aware leader collectives
+};
+
+std::string_view coll_algo_name(CollAlgo algo) noexcept;
+
+/// Per-device algorithm override, MPDirectConfig-style: kAuto (default)
+/// defers to the size/world/topology selection function; anything else
+/// pins that collective to one registry entry — the ablation switch the
+/// scaling sweep uses to measure crossover points.
+struct CollectiveTuning {
+  CollAlgo bcast = CollAlgo::kAuto;
+  CollAlgo reduce = CollAlgo::kAuto;
+  CollAlgo allreduce = CollAlgo::kAuto;
+  CollAlgo allgather = CollAlgo::kAuto;
+  CollAlgo reduce_scatter = CollAlgo::kAuto;
+};
+
+}  // namespace motor::mpi

@@ -1,10 +1,20 @@
 #include "mpi/collectives.hpp"
 
+#include <algorithm>
 #include <cstring>
+#include <numeric>
+#include <unordered_map>
+
+#include "mpi/device.hpp"
+#include "transport/fabric.hpp"
+#include "transport/topology.hpp"
 
 namespace motor::mpi {
 
 namespace {
+
+using transport::Topology;
+using transport::TopologyKind;
 
 ErrorCode require_intra(const Comm& comm) {
   if (comm.is_null()) return ErrorCode::kCommError;
@@ -12,7 +22,729 @@ ErrorCode require_intra(const Comm& comm) {
   return ErrorCode::kSuccess;
 }
 
+const Topology* comm_topology(Comm& comm) {
+  return &comm.device().fabric().topology();
+}
+
+bool algo_registered(CollOp op, CollAlgo algo) {
+  const auto algos = registered_algos(op);
+  return std::find(algos.begin(), algos.end(), algo) != algos.end();
+}
+
+/// Explicit argument beats device tuning beats the selection function.
+CollAlgo resolve_algo(CollAlgo explicit_algo, CollAlgo tuned, CollOp op,
+                      Comm& comm, std::size_t total_bytes) {
+  if (explicit_algo != CollAlgo::kAuto) return explicit_algo;
+  if (tuned != CollAlgo::kAuto) return tuned;
+  return select_algo(op, comm.size(), total_bytes, comm_topology(comm));
+}
+
+int index_of(std::span<const int> ranks, int rank) {
+  for (std::size_t i = 0; i < ranks.size(); ++i) {
+    if (ranks[i] == rank) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+// ---- algorithms over explicit rank lists ---------------------------------
+//
+// The two-level collectives run the same binomial / recursive-doubling
+// cores over sub-groups (one node's ranks, or the per-node leaders), so
+// the cores take a rank list and work in index space; the full-comm
+// algorithms pass the identity list. A rank absent from the list returns
+// success without touching the wire.
+
+/// Binomial broadcast across `ranks`, rooted at index `root_idx`.
+ErrorCode bcast_over(Comm& comm, void* buf, std::size_t bytes,
+                     std::span<const int> ranks, int root_idx, int tag,
+                     const PollHook& poll) {
+  const int n = static_cast<int>(ranks.size());
+  if (n <= 1) return ErrorCode::kSuccess;
+  const int my_idx = index_of(ranks, comm.rank());
+  if (my_idx < 0) return ErrorCode::kSuccess;
+
+  const int rel = (my_idx - root_idx + n) % n;
+  int mask = 1;
+  while (mask < n) {
+    if (rel & mask) {
+      const int src = ranks[static_cast<std::size_t>((rel - mask + root_idx) % n)];
+      ErrorCode err = recv(comm, buf, bytes, src, tag, nullptr, poll);
+      if (err != ErrorCode::kSuccess) return err;
+      break;
+    }
+    mask <<= 1;
+  }
+  mask >>= 1;
+  while (mask > 0) {
+    if (rel + mask < n) {
+      const int dst = ranks[static_cast<std::size_t>((rel + mask + root_idx) % n)];
+      ErrorCode err = send(comm, buf, bytes, dst, tag, poll);
+      if (err != ErrorCode::kSuccess) return err;
+    }
+    mask >>= 1;
+  }
+  return ErrorCode::kSuccess;
+}
+
+/// Binomial reduction across `ranks` into `out` at index `root_idx`.
+/// `out` is written only at the root (and may be null elsewhere).
+ErrorCode reduce_over(Comm& comm, const void* contrib, void* out,
+                      std::size_t count, const ReduceKernel& k,
+                      std::span<const int> ranks, int root_idx, int tag,
+                      const PollHook& poll) {
+  const int n = static_cast<int>(ranks.size());
+  const int my_idx = index_of(ranks, comm.rank());
+  if (my_idx < 0) return ErrorCode::kSuccess;
+  const std::size_t bytes = count * k.elem_size;
+  if (n <= 1) {
+    if (my_idx == root_idx && bytes > 0) std::memcpy(out, contrib, bytes);
+    return ErrorCode::kSuccess;
+  }
+
+  std::vector<std::byte> accum(bytes);
+  std::vector<std::byte> incoming(bytes);
+  if (bytes > 0) std::memcpy(accum.data(), contrib, bytes);
+
+  const int rel = (my_idx - root_idx + n) % n;
+  int mask = 1;
+  while (mask < n) {
+    if (rel & mask) {
+      const int dst = ranks[static_cast<std::size_t>(((rel & ~mask) + root_idx) % n)];
+      ErrorCode err = send(comm, accum.data(), bytes, dst, tag, poll);
+      if (err != ErrorCode::kSuccess) return err;
+      break;
+    }
+    const int src_rel = rel | mask;
+    if (src_rel < n) {
+      const int src = ranks[static_cast<std::size_t>((src_rel + root_idx) % n)];
+      ErrorCode err =
+          recv(comm, incoming.data(), bytes, src, tag, nullptr, poll);
+      if (err != ErrorCode::kSuccess) return err;
+      k.apply(incoming.data(), accum.data(), count);
+    }
+    mask <<= 1;
+  }
+  if (my_idx == root_idx && bytes > 0) std::memcpy(out, accum.data(), bytes);
+  return ErrorCode::kSuccess;
+}
+
+/// Recursive-doubling allreduce across `ranks`, in place on `data`.
+/// Handles non-power-of-two sizes with the MPICH fold-in pre/post phase.
+ErrorCode allreduce_rd_over(Comm& comm, void* data, std::size_t count,
+                            const ReduceKernel& k, std::span<const int> ranks,
+                            int tag, const PollHook& poll) {
+  const int n = static_cast<int>(ranks.size());
+  if (n <= 1) return ErrorCode::kSuccess;
+  const int my_idx = index_of(ranks, comm.rank());
+  if (my_idx < 0) return ErrorCode::kSuccess;
+
+  const std::size_t bytes = count * k.elem_size;
+  std::vector<std::byte> tmp(bytes);
+  int pof2 = 1;
+  while (pof2 * 2 <= n) pof2 *= 2;
+  const int rem = n - pof2;
+
+  // Surplus ranks fold their vector into an odd partner and idle until the
+  // post phase; survivors renumber into a dense [0, pof2) index space.
+  int newidx;
+  if (my_idx < 2 * rem) {
+    if (my_idx % 2 == 0) {
+      ErrorCode err = send(comm, data, bytes,
+                           ranks[static_cast<std::size_t>(my_idx + 1)], tag,
+                           poll);
+      if (err != ErrorCode::kSuccess) return err;
+      newidx = -1;
+    } else {
+      ErrorCode err = recv(comm, tmp.data(), bytes,
+                           ranks[static_cast<std::size_t>(my_idx - 1)], tag,
+                           nullptr, poll);
+      if (err != ErrorCode::kSuccess) return err;
+      k.apply(tmp.data(), data, count);
+      newidx = my_idx / 2;
+    }
+  } else {
+    newidx = my_idx - rem;
+  }
+
+  if (newidx >= 0) {
+    for (int mask = 1; mask < pof2; mask <<= 1) {
+      const int partner_new = newidx ^ mask;
+      const int partner_idx =
+          partner_new < rem ? partner_new * 2 + 1 : partner_new + rem;
+      const int partner = ranks[static_cast<std::size_t>(partner_idx)];
+      ErrorCode err = sendrecv(comm, data, bytes, partner, tag, tmp.data(),
+                               bytes, partner, tag, nullptr, poll);
+      if (err != ErrorCode::kSuccess) return err;
+      k.apply(tmp.data(), data, count);
+    }
+  }
+
+  if (my_idx < 2 * rem) {
+    if (my_idx % 2 == 0) {
+      return recv(comm, data, bytes,
+                  ranks[static_cast<std::size_t>(my_idx + 1)], tag, nullptr,
+                  poll);
+    }
+    return send(comm, data, bytes, ranks[static_cast<std::size_t>(my_idx - 1)],
+                tag, poll);
+  }
+  return ErrorCode::kSuccess;
+}
+
+/// Rabenseifner allreduce across `ranks`, in place on `data`: recursive
+/// halving reduce-scatter, then recursive doubling allgather. Bandwidth
+/// term is 2*(p-1)/p * n bytes instead of recursive doubling's p*n.
+/// Falls back to recursive doubling when the vector is too short to split.
+ErrorCode allreduce_rsag_over(Comm& comm, void* data, std::size_t count,
+                              const ReduceKernel& k, std::span<const int> ranks,
+                              int tag, const PollHook& poll) {
+  const int n = static_cast<int>(ranks.size());
+  if (n <= 1) return ErrorCode::kSuccess;
+  int pof2 = 1;
+  while (pof2 * 2 <= n) pof2 *= 2;
+  if (pof2 < 2 || count < static_cast<std::size_t>(pof2)) {
+    return allreduce_rd_over(comm, data, count, k, ranks, tag, poll);
+  }
+  const int my_idx = index_of(ranks, comm.rank());
+  if (my_idx < 0) return ErrorCode::kSuccess;
+
+  const std::size_t es = k.elem_size;
+  const std::size_t bytes = count * es;
+  auto* base = static_cast<std::byte*>(data);
+  std::vector<std::byte> tmp(bytes);
+  const int rem = n - pof2;
+
+  int newidx;
+  if (my_idx < 2 * rem) {
+    if (my_idx % 2 == 0) {
+      ErrorCode err = send(comm, data, bytes,
+                           ranks[static_cast<std::size_t>(my_idx + 1)], tag,
+                           poll);
+      if (err != ErrorCode::kSuccess) return err;
+      newidx = -1;
+    } else {
+      ErrorCode err = recv(comm, tmp.data(), bytes,
+                           ranks[static_cast<std::size_t>(my_idx - 1)], tag,
+                           nullptr, poll);
+      if (err != ErrorCode::kSuccess) return err;
+      k.apply(tmp.data(), data, count);
+      newidx = my_idx / 2;
+    }
+  } else {
+    newidx = my_idx - rem;
+  }
+  const auto real_rank = [&](int ni) {
+    return ranks[static_cast<std::size_t>(ni < rem ? ni * 2 + 1 : ni + rem)];
+  };
+
+  // Element offsets of the pof2 scatter blocks (first count%pof2 blocks
+  // get one extra element).
+  std::vector<std::size_t> off(static_cast<std::size_t>(pof2) + 1, 0);
+  {
+    const std::size_t q = count / static_cast<std::size_t>(pof2);
+    const std::size_t r = count % static_cast<std::size_t>(pof2);
+    for (int i = 0; i < pof2; ++i) {
+      const auto u = static_cast<std::size_t>(i);
+      off[u + 1] = off[u] + q + (u < r ? 1 : 0);
+    }
+  }
+
+  if (newidx >= 0) {
+    // Recursive halving: each round trades away the half of the current
+    // window the partner owns and folds in the received half.
+    int lo = 0;
+    int hi = pof2;
+    for (int mask = pof2 >> 1; mask > 0; mask >>= 1) {
+      const int mid = lo + (hi - lo) / 2;
+      const bool upper = (newidx & mask) != 0;
+      const int keep_lo = upper ? mid : lo;
+      const int keep_hi = upper ? hi : mid;
+      const int give_lo = upper ? lo : mid;
+      const int give_hi = upper ? mid : hi;
+      const int partner = real_rank(newidx ^ mask);
+      const auto gl = static_cast<std::size_t>(give_lo);
+      const auto gh = static_cast<std::size_t>(give_hi);
+      const auto kl = static_cast<std::size_t>(keep_lo);
+      const auto kh = static_cast<std::size_t>(keep_hi);
+      ErrorCode err = sendrecv(comm, base + off[gl] * es,
+                               (off[gh] - off[gl]) * es, partner, tag,
+                               tmp.data(), (off[kh] - off[kl]) * es, partner,
+                               tag, nullptr, poll);
+      if (err != ErrorCode::kSuccess) return err;
+      k.apply(tmp.data(), base + off[kl] * es, off[kh] - off[kl]);
+      lo = keep_lo;
+      hi = keep_hi;
+    }
+    // Window is now the single fully-reduced block `newidx`; recursive
+    // doubling gathers the rest back, widening the owned window each round.
+    for (int mask = 1; mask < pof2; mask <<= 1) {
+      const int partner_new = newidx ^ mask;
+      const int partner = real_rank(partner_new);
+      const auto my_lo = static_cast<std::size_t>(newidx & ~(mask - 1));
+      const auto pa_lo = static_cast<std::size_t>(partner_new & ~(mask - 1));
+      const auto w = static_cast<std::size_t>(mask);
+      ErrorCode err = sendrecv(
+          comm, base + off[my_lo] * es, (off[my_lo + w] - off[my_lo]) * es,
+          partner, tag, base + off[pa_lo] * es,
+          (off[pa_lo + w] - off[pa_lo]) * es, partner, tag, nullptr, poll);
+      if (err != ErrorCode::kSuccess) return err;
+    }
+  }
+
+  if (my_idx < 2 * rem) {
+    if (my_idx % 2 == 0) {
+      return recv(comm, data, bytes,
+                  ranks[static_cast<std::size_t>(my_idx + 1)], tag, nullptr,
+                  poll);
+    }
+    return send(comm, data, bytes, ranks[static_cast<std::size_t>(my_idx - 1)],
+                tag, poll);
+  }
+  return ErrorCode::kSuccess;
+}
+
+// ---- node grouping (two-level collectives) -------------------------------
+
+/// Comm ranks bucketed by topology node. Dense node ids are assigned in
+/// order of first appearance over comm ranks 0..size-1, so every rank
+/// derives the identical grouping; the leader of a node is its lowest
+/// comm rank (members are built in ascending rank order).
+struct Grouping {
+  std::vector<int> node_of;                // comm rank -> dense node id
+  std::vector<std::vector<int>> members;   // dense node id -> comm ranks
+  std::vector<int> leaders;                // dense node id -> leader rank
+  int my_node = 0;
+};
+
+Grouping build_grouping(Comm& comm) {
+  const Topology& topo = comm.device().fabric().topology();
+  const int size = comm.size();
+  Grouping g;
+  g.node_of.resize(static_cast<std::size_t>(size));
+  std::unordered_map<int, int> dense;
+  for (int r = 0; r < size; ++r) {
+    const int topo_node = topo.node_of(comm.peer_world_rank(r));
+    const auto [it, fresh] =
+        dense.emplace(topo_node, static_cast<int>(g.members.size()));
+    if (fresh) g.members.emplace_back();
+    g.node_of[static_cast<std::size_t>(r)] = it->second;
+    g.members[static_cast<std::size_t>(it->second)].push_back(r);
+    if (r == comm.rank()) g.my_node = it->second;
+  }
+  g.leaders.reserve(g.members.size());
+  for (const auto& m : g.members) g.leaders.push_back(m.front());
+  return g;
+}
+
+// ---- bcast algorithms ----------------------------------------------------
+
+ErrorCode bcast_linear(Comm& comm, void* buf, std::size_t bytes, int root,
+                       const PollHook& poll) {
+  const int size = comm.size();
+  const int rank = comm.rank();
+  const int tag = comm.next_collective_tag();
+  if (rank == root) {
+    std::vector<Request> reqs;
+    reqs.reserve(static_cast<std::size_t>(size) - 1);
+    for (int i = 0; i < size; ++i) {
+      if (i == root) continue;
+      reqs.push_back(isend(comm, buf, bytes, i, tag));
+    }
+    waitall(comm, reqs, poll);
+    return ErrorCode::kSuccess;
+  }
+  return recv(comm, buf, bytes, root, tag, nullptr, poll);
+}
+
+ErrorCode bcast_binomial(Comm& comm, void* buf, std::size_t bytes, int root,
+                         const PollHook& poll) {
+  const int tag = comm.next_collective_tag();
+  std::vector<int> everyone(static_cast<std::size_t>(comm.size()));
+  std::iota(everyone.begin(), everyone.end(), 0);
+  return bcast_over(comm, buf, bytes, everyone, root, tag, poll);
+}
+
+/// MPICH long-message bcast: binomial scatter of ceiling(bytes/size)
+/// chunks down the tree, then a ring allgather over the chunks. Moves
+/// ~2*bytes per rank instead of the binomial tree's log2(p)*bytes.
+ErrorCode bcast_scatter_allgather(Comm& comm, void* buf, std::size_t bytes,
+                                  int root, const PollHook& poll) {
+  const int tag_scatter = comm.next_collective_tag();
+  const int tag_gather = comm.next_collective_tag();
+  const int size = comm.size();
+  const int rank = comm.rank();
+  if (size <= 1 || bytes == 0) return ErrorCode::kSuccess;
+
+  auto* base = static_cast<std::byte*>(buf);
+  const std::size_t s = (bytes + static_cast<std::size_t>(size) - 1) /
+                        static_cast<std::size_t>(size);
+  // Chunk i (relative-rank space) is bytes [off(i), off(i+1)); trailing
+  // chunks may be empty when bytes doesn't fill the ceiling grid.
+  const auto chunk_off = [&](int i) {
+    return std::min(bytes, static_cast<std::size_t>(i) * s);
+  };
+  const int rel = (rank - root + size) % size;
+  const auto abs_rank = [&](int r) { return (r + root) % size; };
+
+  // Binomial scatter: each subtree root receives its subtree's byte span.
+  std::size_t curr = (rel == 0) ? bytes : 0;
+  int mask = 1;
+  while (mask < size) {
+    if (rel & mask) {
+      const std::size_t start = chunk_off(rel);
+      const std::size_t span = std::min(static_cast<std::size_t>(mask) * s,
+                                        bytes > start ? bytes - start : 0);
+      if (span > 0) {
+        ErrorCode err = recv(comm, base + start, span, abs_rank(rel - mask),
+                             tag_scatter, nullptr, poll);
+        if (err != ErrorCode::kSuccess) return err;
+      }
+      curr = span;
+      break;
+    }
+    mask <<= 1;
+  }
+  mask >>= 1;
+  while (mask > 0) {
+    if (rel + mask < size) {
+      const std::size_t my_start = chunk_off(rel);
+      const std::size_t child_start = chunk_off(rel + mask);
+      if (my_start + curr > child_start) {
+        const std::size_t send_b = my_start + curr - child_start;
+        ErrorCode err = send(comm, base + child_start, send_b,
+                             abs_rank(rel + mask), tag_scatter, poll);
+        if (err != ErrorCode::kSuccess) return err;
+        curr -= send_b;
+      }
+    }
+    mask >>= 1;
+  }
+
+  // Ring allgather over the chunks (empty chunks still sync the ring).
+  const int right = (rank + 1) % size;
+  const int left = (rank - 1 + size) % size;
+  for (int step = 0; step < size - 1; ++step) {
+    const int send_chunk = (rel - step + size) % size;
+    const int recv_chunk = (rel - step - 1 + size) % size;
+    ErrorCode err = sendrecv(
+        comm, base + chunk_off(send_chunk),
+        chunk_off(send_chunk + 1) - chunk_off(send_chunk), right, tag_gather,
+        base + chunk_off(recv_chunk),
+        chunk_off(recv_chunk + 1) - chunk_off(recv_chunk), left, tag_gather,
+        nullptr, poll);
+    if (err != ErrorCode::kSuccess) return err;
+  }
+  return ErrorCode::kSuccess;
+}
+
+/// Topology-aware bcast: root -> its node leader, binomial across the
+/// leaders, binomial within each node. Crosses the slow inter-node links
+/// only log2(#nodes) times instead of log2(p).
+ErrorCode bcast_two_level(Comm& comm, void* buf, std::size_t bytes, int root,
+                          const PollHook& poll) {
+  const int tag_up = comm.next_collective_tag();
+  const int tag_leaders = comm.next_collective_tag();
+  const int tag_down = comm.next_collective_tag();
+  const int rank = comm.rank();
+
+  const Grouping g = build_grouping(comm);
+  const auto& members = g.members[static_cast<std::size_t>(g.my_node)];
+  if (g.members.size() <= 1) {
+    return bcast_over(comm, buf, bytes, members, index_of(members, root),
+                      tag_down, poll);
+  }
+
+  const int root_leader =
+      g.leaders[static_cast<std::size_t>(
+          g.node_of[static_cast<std::size_t>(root)])];
+  if (root != root_leader) {
+    if (rank == root) {
+      ErrorCode err = send(comm, buf, bytes, root_leader, tag_up, poll);
+      if (err != ErrorCode::kSuccess) return err;
+    } else if (rank == root_leader) {
+      ErrorCode err = recv(comm, buf, bytes, root, tag_up, nullptr, poll);
+      if (err != ErrorCode::kSuccess) return err;
+    }
+  }
+  if (rank == members.front()) {
+    ErrorCode err = bcast_over(comm, buf, bytes, g.leaders,
+                               index_of(g.leaders, root_leader), tag_leaders,
+                               poll);
+    if (err != ErrorCode::kSuccess) return err;
+  }
+  // Intra-node phase is rooted at the leader; in the root's node the root
+  // redundantly re-receives the bytes it already holds, which keeps the
+  // tree shape uniform across nodes.
+  return bcast_over(comm, buf, bytes, members, 0, tag_down, poll);
+}
+
+// ---- allreduce algorithms ------------------------------------------------
+
+/// Deterministic reference: rank-order linear fold at rank 0, binomial
+/// bcast of the result. The only entry with a defined operand order, so
+/// the property test uses it as the float reference.
+ErrorCode allreduce_linear(Comm& comm, const void* send_buf, void* recv_buf,
+                           std::size_t count, const ReduceKernel& k,
+                           const PollHook& poll) {
+  const int size = comm.size();
+  const int rank = comm.rank();
+  const int tag_reduce = comm.next_collective_tag();
+  const std::size_t bytes = count * k.elem_size;
+
+  if (rank == 0) {
+    std::vector<std::byte> incoming(bytes);
+    if (bytes > 0) std::memcpy(recv_buf, send_buf, bytes);
+    for (int r = 1; r < size; ++r) {
+      ErrorCode err =
+          recv(comm, incoming.data(), bytes, r, tag_reduce, nullptr, poll);
+      if (err != ErrorCode::kSuccess) return err;
+      k.apply(incoming.data(), recv_buf, count);
+    }
+  } else {
+    ErrorCode err = send(comm, send_buf, bytes, 0, tag_reduce, poll);
+    if (err != ErrorCode::kSuccess) return err;
+  }
+  return bcast_binomial(comm, recv_buf, bytes, 0, poll);
+}
+
+/// Topology-aware allreduce: binomial reduce to each node leader,
+/// recursive doubling across the leaders, binomial bcast back down.
+ErrorCode allreduce_two_level(Comm& comm, const void* send_buf, void* recv_buf,
+                              std::size_t count, const ReduceKernel& k,
+                              const PollHook& poll) {
+  const int tag_up = comm.next_collective_tag();
+  const int tag_leaders = comm.next_collective_tag();
+  const int tag_down = comm.next_collective_tag();
+
+  const Grouping g = build_grouping(comm);
+  const auto& members = g.members[static_cast<std::size_t>(g.my_node)];
+  ErrorCode err = reduce_over(comm, send_buf, recv_buf, count, k, members,
+                              /*root_idx=*/0, tag_up, poll);
+  if (err != ErrorCode::kSuccess) return err;
+  if (comm.rank() == members.front()) {
+    err = allreduce_rd_over(comm, recv_buf, count, k, g.leaders, tag_leaders,
+                            poll);
+    if (err != ErrorCode::kSuccess) return err;
+  }
+  return bcast_over(comm, recv_buf, count * k.elem_size, members, 0, tag_down,
+                    poll);
+}
+
+// ---- allgather algorithms ------------------------------------------------
+
+ErrorCode allgather_ring(Comm& comm, const void* send_buf,
+                         std::size_t block_bytes, void* recv_buf,
+                         const PollHook& poll) {
+  const int size = comm.size();
+  const int rank = comm.rank();
+  const int tag = comm.next_collective_tag();
+
+  auto* base = static_cast<std::byte*>(recv_buf);
+  std::memcpy(base + static_cast<std::size_t>(rank) * block_bytes, send_buf,
+              block_bytes);
+  // Ring: in step s, pass along the block that originated s hops upstream.
+  const int right = (rank + 1) % size;
+  const int left = (rank - 1 + size) % size;
+  for (int s = 0; s < size - 1; ++s) {
+    const int send_block = (rank - s + size) % size;
+    const int recv_block = (rank - s - 1 + size) % size;
+    ErrorCode err = sendrecv(
+        comm, base + static_cast<std::size_t>(send_block) * block_bytes,
+        block_bytes, right, tag,
+        base + static_cast<std::size_t>(recv_block) * block_bytes, block_bytes,
+        left, tag, nullptr, poll);
+    if (err != ErrorCode::kSuccess) return err;
+  }
+  return ErrorCode::kSuccess;
+}
+
+/// Bruck allgather: ceil(log2(p)) rounds of doubling block transfers on a
+/// rotated buffer, then one rotation back into rank order. Latency term
+/// log2(p)*alpha vs the ring's (p-1)*alpha — wins for small blocks.
+ErrorCode allgather_bruck(Comm& comm, const void* send_buf,
+                          std::size_t block_bytes, void* recv_buf,
+                          const PollHook& poll) {
+  const int size = comm.size();
+  const int rank = comm.rank();
+  const int tag = comm.next_collective_tag();
+
+  std::vector<std::byte> tmp(static_cast<std::size_t>(size) * block_bytes);
+  std::memcpy(tmp.data(), send_buf, block_bytes);
+  // Invariant: after processing distance `curr`, tmp[i] holds the block
+  // contributed by rank (rank + i) % size for i in [0, curr).
+  for (int curr = 1; curr < size; curr <<= 1) {
+    const int cnt = std::min(curr, size - curr);
+    const int dst = (rank - curr + size) % size;
+    const int src = (rank + curr) % size;
+    ErrorCode err = sendrecv(
+        comm, tmp.data(), static_cast<std::size_t>(cnt) * block_bytes, dst,
+        tag, tmp.data() + static_cast<std::size_t>(curr) * block_bytes,
+        static_cast<std::size_t>(cnt) * block_bytes, src, tag, nullptr, poll);
+    if (err != ErrorCode::kSuccess) return err;
+  }
+  auto* base = static_cast<std::byte*>(recv_buf);
+  for (int i = 0; i < size; ++i) {
+    const int block = (rank + i) % size;
+    std::memcpy(base + static_cast<std::size_t>(block) * block_bytes,
+                tmp.data() + static_cast<std::size_t>(i) * block_bytes,
+                block_bytes);
+  }
+  return ErrorCode::kSuccess;
+}
+
+ErrorCode allgather_linear(Comm& comm, const void* send_buf,
+                           std::size_t block_bytes, void* recv_buf,
+                           const PollHook& poll) {
+  ErrorCode err =
+      gather(comm, send_buf, block_bytes, recv_buf, /*root=*/0, poll);
+  if (err != ErrorCode::kSuccess) return err;
+  return bcast_binomial(comm, recv_buf,
+                        static_cast<std::size_t>(comm.size()) * block_bytes, 0,
+                        poll);
+}
+
+// ---- reduce_scatter algorithms -------------------------------------------
+
+/// Pairwise exchange: rank i accumulates only its own block; step d trades
+/// block (i-d) for block i with ranks i-d / i+d. Peak working state is one
+/// block, never the full size()*count vector.
+ErrorCode reduce_scatter_pairwise(Comm& comm, const void* send_buf,
+                                  void* recv_buf, std::size_t count,
+                                  const ReduceKernel& k, const PollHook& poll) {
+  const int size = comm.size();
+  const int rank = comm.rank();
+  const int tag = comm.next_collective_tag();
+  const std::size_t block_b = count * k.elem_size;
+
+  const auto* sbase = static_cast<const std::byte*>(send_buf);
+  if (block_b > 0) {
+    std::memcpy(recv_buf, sbase + static_cast<std::size_t>(rank) * block_b,
+                block_b);
+  }
+  std::vector<std::byte> tmp(block_b);
+  for (int d = 1; d < size; ++d) {
+    const int src = (rank + d) % size;
+    const int dst = (rank - d + size) % size;
+    ErrorCode err = sendrecv(
+        comm, sbase + static_cast<std::size_t>(dst) * block_b, block_b, dst,
+        tag, tmp.data(), block_b, src, tag, nullptr, poll);
+    if (err != ErrorCode::kSuccess) return err;
+    k.apply(tmp.data(), recv_buf, count);
+  }
+  return ErrorCode::kSuccess;
+}
+
+/// Reference path: rank-order linear fold at rank 0, then scatter. Only
+/// rank 0 materialises the full reduced vector (the seed version allocated
+/// it on every rank).
+ErrorCode reduce_scatter_linear(Comm& comm, const void* send_buf,
+                                void* recv_buf, std::size_t count,
+                                const ReduceKernel& k, const PollHook& poll) {
+  const int size = comm.size();
+  const int rank = comm.rank();
+  const int tag_reduce = comm.next_collective_tag();
+  const std::size_t total = count * static_cast<std::size_t>(size);
+  const std::size_t total_b = total * k.elem_size;
+
+  std::vector<std::byte> full;
+  if (rank == 0) {
+    full.resize(total_b);
+    std::vector<std::byte> incoming(total_b);
+    if (total_b > 0) std::memcpy(full.data(), send_buf, total_b);
+    for (int r = 1; r < size; ++r) {
+      ErrorCode err =
+          recv(comm, incoming.data(), total_b, r, tag_reduce, nullptr, poll);
+      if (err != ErrorCode::kSuccess) return err;
+      k.apply(incoming.data(), full.data(), total);
+    }
+  } else {
+    ErrorCode err = send(comm, send_buf, total_b, 0, tag_reduce, poll);
+    if (err != ErrorCode::kSuccess) return err;
+  }
+  return scatter(comm, full.data(), count * k.elem_size, recv_buf, 0, poll);
+}
+
 }  // namespace
+
+// ---- registry & selection ------------------------------------------------
+
+std::string_view coll_algo_name(CollAlgo algo) noexcept {
+  switch (algo) {
+    case CollAlgo::kAuto: return "auto";
+    case CollAlgo::kLinear: return "linear";
+    case CollAlgo::kBinomial: return "binomial";
+    case CollAlgo::kScatterAllgather: return "scatter_allgather";
+    case CollAlgo::kRecursiveDoubling: return "recursive_doubling";
+    case CollAlgo::kReduceScatterAllgather: return "reduce_scatter_allgather";
+    case CollAlgo::kRing: return "ring";
+    case CollAlgo::kBruck: return "bruck";
+    case CollAlgo::kPairwise: return "pairwise";
+    case CollAlgo::kTwoLevel: return "two_level";
+  }
+  return "unknown";
+}
+
+namespace {
+constexpr CollAlgo kBcastAlgos[] = {
+    CollAlgo::kLinear, CollAlgo::kBinomial, CollAlgo::kScatterAllgather,
+    CollAlgo::kTwoLevel};
+constexpr CollAlgo kReduceAlgos[] = {CollAlgo::kLinear, CollAlgo::kBinomial};
+constexpr CollAlgo kAllreduceAlgos[] = {
+    CollAlgo::kLinear, CollAlgo::kRecursiveDoubling,
+    CollAlgo::kReduceScatterAllgather, CollAlgo::kTwoLevel};
+constexpr CollAlgo kAllgatherAlgos[] = {CollAlgo::kLinear, CollAlgo::kRing,
+                                        CollAlgo::kBruck};
+constexpr CollAlgo kReduceScatterAlgos[] = {CollAlgo::kLinear,
+                                            CollAlgo::kPairwise};
+}  // namespace
+
+std::span<const CollAlgo> registered_algos(CollOp op) noexcept {
+  switch (op) {
+    case CollOp::kBcast: return kBcastAlgos;
+    case CollOp::kReduce: return kReduceAlgos;
+    case CollOp::kAllreduce: return kAllreduceAlgos;
+    case CollOp::kAllgather: return kAllgatherAlgos;
+    case CollOp::kReduceScatter: return kReduceScatterAlgos;
+  }
+  return {};
+}
+
+CollAlgo select_algo(CollOp op, int world_size, std::size_t total_bytes,
+                     const transport::Topology* topo) noexcept {
+  // A topology is "hierarchical" when inter-node hops are genuinely more
+  // expensive than intra-node ones — a flat full mesh never is, whatever
+  // its nominal node grouping.
+  const bool hierarchical = topo != nullptr &&
+                            topo->kind() != TopologyKind::kFullMesh &&
+                            topo->node_count() > 1 &&
+                            topo->ranks_per_node() > 1;
+  switch (op) {
+    case CollOp::kBcast:
+      // Binomial moves log2(p) full copies — fine until the bandwidth term
+      // dominates; then scatter+allgather (2x bytes/rank), with the
+      // leader variant when inter-node links are the bottleneck.
+      if (world_size <= 8 || total_bytes <= 16384) return CollAlgo::kBinomial;
+      return hierarchical ? CollAlgo::kTwoLevel : CollAlgo::kScatterAllgather;
+    case CollOp::kReduce:
+      return CollAlgo::kBinomial;
+    case CollOp::kAllreduce:
+      if (total_bytes <= 16384) {
+        return (hierarchical && world_size >= 16) ? CollAlgo::kTwoLevel
+                                                  : CollAlgo::kRecursiveDoubling;
+      }
+      return CollAlgo::kReduceScatterAllgather;
+    case CollOp::kAllgather:
+      // Bruck's log2(p) latency wins while blocks are small; the ring's
+      // contiguous neighbour traffic wins on bandwidth.
+      if (world_size <= 2) return CollAlgo::kRing;
+      return total_bytes <= 32768 ? CollAlgo::kBruck : CollAlgo::kRing;
+    case CollOp::kReduceScatter:
+      return CollAlgo::kPairwise;
+  }
+  return CollAlgo::kLinear;
+}
+
+// ---- public collectives --------------------------------------------------
 
 ErrorCode barrier(Comm& comm, const PollHook& poll) {
   if (ErrorCode err_ = require_intra(comm); err_ != ErrorCode::kSuccess) {
@@ -33,38 +765,26 @@ ErrorCode barrier(Comm& comm, const PollHook& poll) {
 }
 
 ErrorCode bcast(Comm& comm, void* buf, std::size_t bytes, int root,
-                const PollHook& poll) {
+                const PollHook& poll, CollAlgo algo) {
   if (ErrorCode err_ = require_intra(comm); err_ != ErrorCode::kSuccess) {
     return err_;
   }
-  const int size = comm.size();
-  const int rank = comm.rank();
-  if (root < 0 || root >= size) return ErrorCode::kRankError;
-  const int tag = comm.next_collective_tag();
-  if (size == 1) return ErrorCode::kSuccess;
-
-  // Binomial tree rooted at `root` (the MPICH2 short-message algorithm).
-  const int relrank = (rank - root + size) % size;
-  int mask = 1;
-  while (mask < size) {
-    if (relrank & mask) {
-      const int src = (relrank - mask + root) % size;
-      ErrorCode err = recv(comm, buf, bytes, src, tag, nullptr, poll);
-      if (err != ErrorCode::kSuccess) return err;
-      break;
-    }
-    mask <<= 1;
+  if (root < 0 || root >= comm.size()) return ErrorCode::kRankError;
+  if (comm.size() == 1) return ErrorCode::kSuccess;
+  const CollAlgo a =
+      resolve_algo(algo, comm.device().config().collectives.bcast,
+                   CollOp::kBcast, comm, bytes);
+  if (!algo_registered(CollOp::kBcast, a)) return ErrorCode::kNotImplemented;
+  switch (a) {
+    case CollAlgo::kLinear: return bcast_linear(comm, buf, bytes, root, poll);
+    case CollAlgo::kBinomial:
+      return bcast_binomial(comm, buf, bytes, root, poll);
+    case CollAlgo::kScatterAllgather:
+      return bcast_scatter_allgather(comm, buf, bytes, root, poll);
+    case CollAlgo::kTwoLevel:
+      return bcast_two_level(comm, buf, bytes, root, poll);
+    default: return ErrorCode::kNotImplemented;
   }
-  mask >>= 1;
-  while (mask > 0) {
-    if (relrank + mask < size) {
-      const int dst = (relrank + mask + root) % size;
-      ErrorCode err = send(comm, buf, bytes, dst, tag, poll);
-      if (err != ErrorCode::kSuccess) return err;
-    }
-    mask >>= 1;
-  }
-  return ErrorCode::kSuccess;
 }
 
 ErrorCode scatter(Comm& comm, const void* send_buf, std::size_t block_bytes,
@@ -165,80 +885,106 @@ ErrorCode gatherv(Comm& comm, const void* send_buf, std::size_t send_bytes,
 }
 
 ErrorCode allgather(Comm& comm, const void* send_buf, std::size_t block_bytes,
-                    void* recv_buf, const PollHook& poll) {
+                    void* recv_buf, const PollHook& poll, CollAlgo algo) {
   if (ErrorCode err_ = require_intra(comm); err_ != ErrorCode::kSuccess) {
     return err_;
   }
-  const int size = comm.size();
-  const int rank = comm.rank();
-  const int tag = comm.next_collective_tag();
-
-  auto* base = static_cast<std::byte*>(recv_buf);
-  std::memcpy(base + static_cast<std::size_t>(rank) * block_bytes, send_buf,
-              block_bytes);
-  // Ring: in step s, pass along the block that originated s hops upstream.
-  const int right = (rank + 1) % size;
-  const int left = (rank - 1 + size) % size;
-  for (int s = 0; s < size - 1; ++s) {
-    const int send_block = (rank - s + size) % size;
-    const int recv_block = (rank - s - 1 + size) % size;
-    ErrorCode err = sendrecv(
-        comm, base + static_cast<std::size_t>(send_block) * block_bytes,
-        block_bytes, right, tag,
-        base + static_cast<std::size_t>(recv_block) * block_bytes, block_bytes,
-        left, tag, nullptr, poll);
-    if (err != ErrorCode::kSuccess) return err;
+  const std::size_t total =
+      static_cast<std::size_t>(comm.size()) * block_bytes;
+  const CollAlgo a =
+      resolve_algo(algo, comm.device().config().collectives.allgather,
+                   CollOp::kAllgather, comm, total);
+  if (!algo_registered(CollOp::kAllgather, a)) {
+    return ErrorCode::kNotImplemented;
   }
-  return ErrorCode::kSuccess;
+  switch (a) {
+    case CollAlgo::kLinear:
+      return allgather_linear(comm, send_buf, block_bytes, recv_buf, poll);
+    case CollAlgo::kRing:
+      return allgather_ring(comm, send_buf, block_bytes, recv_buf, poll);
+    case CollAlgo::kBruck:
+      return allgather_bruck(comm, send_buf, block_bytes, recv_buf, poll);
+    default: return ErrorCode::kNotImplemented;
+  }
 }
 
 ErrorCode reduce(Comm& comm, const void* send_buf, void* recv_buf,
                  std::size_t count, Datatype t, ReduceOp op, int root,
-                 const PollHook& poll) {
+                 const PollHook& poll, CollAlgo algo) {
   if (ErrorCode err_ = require_intra(comm); err_ != ErrorCode::kSuccess) {
     return err_;
   }
   const int size = comm.size();
   const int rank = comm.rank();
   if (root < 0 || root >= size) return ErrorCode::kRankError;
-  const int tag = comm.next_collective_tag();
-  const std::size_t bytes = count * datatype_size(t);
+  const ReduceKernel k = resolve_reduce(op, t);
+  const std::size_t bytes = count * k.elem_size;
+  const CollAlgo a =
+      resolve_algo(algo, comm.device().config().collectives.reduce,
+                   CollOp::kReduce, comm, bytes);
+  if (!algo_registered(CollOp::kReduce, a)) return ErrorCode::kNotImplemented;
 
-  // Running accumulator starts as a copy of this rank's contribution.
-  std::vector<std::byte> accum(bytes);
-  std::memcpy(accum.data(), send_buf, bytes);
-  std::vector<std::byte> incoming(bytes);
+  if (a == CollAlgo::kLinear) {
+    // Rank-order fold at the root: the deterministic reference.
+    const int tag = comm.next_collective_tag();
+    if (rank == root) {
+      std::vector<std::byte> incoming(bytes);
+      bool first = true;
+      for (int r = 0; r < size; ++r) {
+        if (r == root) {
+          if (first && bytes > 0) std::memcpy(recv_buf, send_buf, bytes);
+          else if (bytes > 0) k.apply(send_buf, recv_buf, count);
+          first = false;
+          continue;
+        }
+        ErrorCode err =
+            recv(comm, incoming.data(), bytes, r, tag, nullptr, poll);
+        if (err != ErrorCode::kSuccess) return err;
+        if (first && bytes > 0) std::memcpy(recv_buf, incoming.data(), bytes);
+        else k.apply(incoming.data(), recv_buf, count);
+        first = false;
+      }
+      return ErrorCode::kSuccess;
+    }
+    return send(comm, send_buf, bytes, root, tag, poll);
+  }
 
   // Binomial tree: children fold into parents, root ends with the total.
-  const int relrank = (rank - root + size) % size;
-  int mask = 1;
-  while (mask < size) {
-    if (relrank & mask) {
-      const int dst = ((relrank & ~mask) + root) % size;
-      ErrorCode err = send(comm, accum.data(), bytes, dst, tag, poll);
-      if (err != ErrorCode::kSuccess) return err;
-      break;
-    }
-    const int src_rel = relrank | mask;
-    if (src_rel < size) {
-      const int src = (src_rel + root) % size;
-      ErrorCode err =
-          recv(comm, incoming.data(), bytes, src, tag, nullptr, poll);
-      if (err != ErrorCode::kSuccess) return err;
-      reduce_apply(op, t, incoming.data(), accum.data(), count);
-    }
-    mask <<= 1;
-  }
-  if (rank == root) std::memcpy(recv_buf, accum.data(), bytes);
-  return ErrorCode::kSuccess;
+  const int tag = comm.next_collective_tag();
+  std::vector<int> everyone(static_cast<std::size_t>(size));
+  std::iota(everyone.begin(), everyone.end(), 0);
+  return reduce_over(comm, send_buf, recv_buf, count, k, everyone, root, tag,
+                     poll);
 }
 
 ErrorCode allreduce(Comm& comm, const void* send_buf, void* recv_buf,
                     std::size_t count, Datatype t, ReduceOp op,
-                    const PollHook& poll) {
-  ErrorCode err = reduce(comm, send_buf, recv_buf, count, t, op, 0, poll);
-  if (err != ErrorCode::kSuccess) return err;
-  return bcast(comm, recv_buf, count * datatype_size(t), 0, poll);
+                    const PollHook& poll, CollAlgo algo) {
+  if (ErrorCode err_ = require_intra(comm); err_ != ErrorCode::kSuccess) {
+    return err_;
+  }
+  const ReduceKernel k = resolve_reduce(op, t);
+  const std::size_t bytes = count * k.elem_size;
+  const CollAlgo a =
+      resolve_algo(algo, comm.device().config().collectives.allreduce,
+                   CollOp::kAllreduce, comm, bytes);
+  if (!algo_registered(CollOp::kAllreduce, a)) {
+    return ErrorCode::kNotImplemented;
+  }
+  if (a == CollAlgo::kLinear) {
+    return allreduce_linear(comm, send_buf, recv_buf, count, k, poll);
+  }
+  if (a == CollAlgo::kTwoLevel) {
+    return allreduce_two_level(comm, send_buf, recv_buf, count, k, poll);
+  }
+  if (bytes > 0) std::memcpy(recv_buf, send_buf, bytes);
+  const int tag = comm.next_collective_tag();
+  std::vector<int> everyone(static_cast<std::size_t>(comm.size()));
+  std::iota(everyone.begin(), everyone.end(), 0);
+  if (a == CollAlgo::kRecursiveDoubling) {
+    return allreduce_rd_over(comm, recv_buf, count, k, everyone, tag, poll);
+  }
+  return allreduce_rsag_over(comm, recv_buf, count, k, everyone, tag, poll);
 }
 
 ErrorCode scan(Comm& comm, const void* send_buf, void* recv_buf,
@@ -250,7 +996,8 @@ ErrorCode scan(Comm& comm, const void* send_buf, void* recv_buf,
   const int size = comm.size();
   const int rank = comm.rank();
   const int tag = comm.next_collective_tag();
-  const std::size_t bytes = count * datatype_size(t);
+  const ReduceKernel k = resolve_reduce(op, t);
+  const std::size_t bytes = count * k.elem_size;
 
   // Linear pipeline: receive the running prefix from the left neighbour,
   // fold in this rank's contribution, pass the result to the right.
@@ -260,7 +1007,7 @@ ErrorCode scan(Comm& comm, const void* send_buf, void* recv_buf,
     ErrorCode err =
         recv(comm, incoming.data(), bytes, rank - 1, tag, nullptr, poll);
     if (err != ErrorCode::kSuccess) return err;
-    reduce_apply(op, t, incoming.data(), recv_buf, count);
+    k.apply(incoming.data(), recv_buf, count);
   }
   if (rank + 1 < size) {
     ErrorCode err = send(comm, recv_buf, bytes, rank + 1, tag, poll);
@@ -271,17 +1018,24 @@ ErrorCode scan(Comm& comm, const void* send_buf, void* recv_buf,
 
 ErrorCode reduce_scatter_block(Comm& comm, const void* send_buf,
                                void* recv_buf, std::size_t count, Datatype t,
-                               ReduceOp op, const PollHook& poll) {
+                               ReduceOp op, const PollHook& poll,
+                               CollAlgo algo) {
   if (ErrorCode err_ = require_intra(comm); err_ != ErrorCode::kSuccess) {
     return err_;
   }
-  const int size = comm.size();
-  const std::size_t total = count * static_cast<std::size_t>(size);
-  std::vector<std::byte> full(total * datatype_size(t));
-  ErrorCode err = reduce(comm, send_buf, full.data(), total, t, op, 0, poll);
-  if (err != ErrorCode::kSuccess) return err;
-  return scatter(comm, full.data(), count * datatype_size(t), recv_buf, 0,
-                 poll);
+  const ReduceKernel k = resolve_reduce(op, t);
+  const std::size_t total_bytes =
+      count * static_cast<std::size_t>(comm.size()) * k.elem_size;
+  const CollAlgo a =
+      resolve_algo(algo, comm.device().config().collectives.reduce_scatter,
+                   CollOp::kReduceScatter, comm, total_bytes);
+  if (!algo_registered(CollOp::kReduceScatter, a)) {
+    return ErrorCode::kNotImplemented;
+  }
+  if (a == CollAlgo::kLinear) {
+    return reduce_scatter_linear(comm, send_buf, recv_buf, count, k, poll);
+  }
+  return reduce_scatter_pairwise(comm, send_buf, recv_buf, count, k, poll);
 }
 
 ErrorCode alltoall(Comm& comm, const void* send_buf, std::size_t block_bytes,

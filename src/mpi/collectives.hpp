@@ -1,25 +1,67 @@
-// Collective operations over intracommunicators, built on pt2pt with the
-// algorithms MPICH2 uses at small scale: dissemination barrier, binomial
-// broadcast/reduce, ring allgather, linear rooted scatter/gather.
+// Collective operations over intracommunicators, built on pt2pt around an
+// algorithm registry in the MPICH2 style: every collective owns a set of
+// interchangeable algorithms (registered_algos), and a selection function
+// picks one per call from (world size, message size, topology). Callers can
+// pin an algorithm per call (trailing argument) or per device
+// (DeviceConfig::collectives) for ablation; kAuto defers to selection.
+//
+// Registered algorithms per operation:
+//   bcast           linear | binomial | scatter_allgather | two_level
+//   reduce          linear | binomial
+//   allreduce       linear | recursive_doubling | reduce_scatter_allgather
+//                   | two_level
+//   allgather       linear | ring | bruck
+//   reduce_scatter  linear | pairwise
+//
+// The `linear` entries are the deterministic reference paths (rank-order
+// fold for reductions); every other entry must produce identical results
+// for commutative/associative operator+data combinations — the property
+// test (tests/mpi/collectives_property_test.cpp) enforces this.
 //
 // All ranks of the communicator must call each collective in the same
-// order (standard MPI requirement); internal tags are sequenced per
-// communicator on that assumption.
+// order with the same resolved algorithm (standard MPI requirement);
+// internal tags are sequenced per communicator on that assumption.
 #pragma once
 
+#include <span>
 #include <vector>
 
+#include "mpi/coll_algo.hpp"
 #include "mpi/comm.hpp"
 #include "mpi/datatype.hpp"
 #include "mpi/pt2pt.hpp"
 
+namespace motor::transport {
+class Topology;
+}  // namespace motor::transport
+
 namespace motor::mpi {
+
+/// Collectives with more than one registered algorithm.
+enum class CollOp : std::uint8_t {
+  kBcast,
+  kReduce,
+  kAllreduce,
+  kAllgather,
+  kReduceScatter,
+};
+
+/// The algorithms implemented for `op`, reference (`linear`) entry first.
+[[nodiscard]] std::span<const CollAlgo> registered_algos(CollOp op) noexcept;
+
+/// The size/world/topology-aware selection function: what kAuto resolves
+/// to for a collective moving `total_bytes` across `world_size` ranks.
+/// `topo` may be null (treated as a flat full mesh). Pure — the scaling
+/// sweep calls it directly to check measured crossovers against the model.
+[[nodiscard]] CollAlgo select_algo(CollOp op, int world_size,
+                                   std::size_t total_bytes,
+                                   const transport::Topology* topo) noexcept;
 
 ErrorCode barrier(Comm& comm, const PollHook& poll = {});
 
 /// Root's `buf` [bytes] is replicated into every rank's `buf`.
 ErrorCode bcast(Comm& comm, void* buf, std::size_t bytes, int root,
-                const PollHook& poll = {});
+                const PollHook& poll = {}, CollAlgo algo = CollAlgo::kAuto);
 
 /// Root holds size()*block_bytes; rank i receives block i into recv_buf.
 ErrorCode scatter(Comm& comm, const void* send_buf, std::size_t block_bytes,
@@ -42,16 +84,19 @@ ErrorCode gatherv(Comm& comm, const void* send_buf, std::size_t send_bytes,
 
 /// Every rank ends with all ranks' blocks, in rank order.
 ErrorCode allgather(Comm& comm, const void* send_buf, std::size_t block_bytes,
-                    void* recv_buf, const PollHook& poll = {});
+                    void* recv_buf, const PollHook& poll = {},
+                    CollAlgo algo = CollAlgo::kAuto);
 
 /// Element-wise reduction of count elements of type t into root's recv_buf.
+/// recv_buf is significant only at root (non-root may pass nullptr).
 ErrorCode reduce(Comm& comm, const void* send_buf, void* recv_buf,
                  std::size_t count, Datatype t, ReduceOp op, int root,
-                 const PollHook& poll = {});
+                 const PollHook& poll = {}, CollAlgo algo = CollAlgo::kAuto);
 
 ErrorCode allreduce(Comm& comm, const void* send_buf, void* recv_buf,
                     std::size_t count, Datatype t, ReduceOp op,
-                    const PollHook& poll = {});
+                    const PollHook& poll = {},
+                    CollAlgo algo = CollAlgo::kAuto);
 
 /// Rank i sends block j of send_buf to rank j, receiving into block i.
 ErrorCode alltoall(Comm& comm, const void* send_buf, std::size_t block_bytes,
@@ -63,9 +108,12 @@ ErrorCode scan(Comm& comm, const void* send_buf, void* recv_buf,
                const PollHook& poll = {});
 
 /// Reduce size()*count elements, then scatter `count` elements to each
-/// rank (MPI_Reduce_scatter_block).
+/// rank (MPI_Reduce_scatter_block). The default pairwise algorithm never
+/// materialises the full reduced vector — each rank holds at most one
+/// `count`-element block of working state.
 ErrorCode reduce_scatter_block(Comm& comm, const void* send_buf,
                                void* recv_buf, std::size_t count, Datatype t,
-                               ReduceOp op, const PollHook& poll = {});
+                               ReduceOp op, const PollHook& poll = {},
+                               CollAlgo algo = CollAlgo::kAuto);
 
 }  // namespace motor::mpi

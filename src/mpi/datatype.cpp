@@ -50,103 +50,99 @@ std::string_view datatype_name(Datatype t) noexcept {
 
 namespace {
 
+// One fully-typed loop per (op, element type) pair, instantiated once at
+// compile time. resolve_reduce picks the instantiation; the loops
+// themselves carry zero dispatch.
+template <typename T, ReduceOp Op>
+void kernel_loop(const void* in_v, void* inout_v, std::size_t count) {
+  const T* in = static_cast<const T*>(in_v);
+  T* inout = static_cast<T*>(inout_v);
+  for (std::size_t i = 0; i < count; ++i) {
+    if constexpr (Op == ReduceOp::kSum) {
+      inout[i] = inout[i] + in[i];
+    } else if constexpr (Op == ReduceOp::kProd) {
+      inout[i] = inout[i] * in[i];
+    } else if constexpr (Op == ReduceOp::kMin) {
+      inout[i] = std::min(inout[i], in[i]);
+    } else if constexpr (Op == ReduceOp::kMax) {
+      inout[i] = std::max(inout[i], in[i]);
+    } else if constexpr (Op == ReduceOp::kLogicalAnd) {
+      inout[i] = static_cast<T>((inout[i] != 0) && (in[i] != 0));
+    } else if constexpr (Op == ReduceOp::kLogicalOr) {
+      inout[i] = static_cast<T>((inout[i] != 0) || (in[i] != 0));
+    } else if constexpr (Op == ReduceOp::kBitAnd) {
+      inout[i] = static_cast<T>(inout[i] & in[i]);
+    } else if constexpr (Op == ReduceOp::kBitOr) {
+      inout[i] = static_cast<T>(inout[i] | in[i]);
+    }
+  }
+}
+
 template <typename T>
-void apply_typed(ReduceOp op, const T* in, T* inout, std::size_t count) {
+ReduceKernel kernel_for(ReduceOp op) {
+  ReduceKernel k;
+  k.elem_size = sizeof(T);
   switch (op) {
-    case ReduceOp::kSum:
-      for (std::size_t i = 0; i < count; ++i) inout[i] = inout[i] + in[i];
-      return;
-    case ReduceOp::kProd:
-      for (std::size_t i = 0; i < count; ++i) inout[i] = inout[i] * in[i];
-      return;
-    case ReduceOp::kMin:
-      for (std::size_t i = 0; i < count; ++i)
-        inout[i] = std::min(inout[i], in[i]);
-      return;
-    case ReduceOp::kMax:
-      for (std::size_t i = 0; i < count; ++i)
-        inout[i] = std::max(inout[i], in[i]);
-      return;
+    case ReduceOp::kSum: k.fn = kernel_loop<T, ReduceOp::kSum>; return k;
+    case ReduceOp::kProd: k.fn = kernel_loop<T, ReduceOp::kProd>; return k;
+    case ReduceOp::kMin: k.fn = kernel_loop<T, ReduceOp::kMin>; return k;
+    case ReduceOp::kMax: k.fn = kernel_loop<T, ReduceOp::kMax>; return k;
     case ReduceOp::kLogicalAnd:
     case ReduceOp::kLogicalOr:
     case ReduceOp::kBitAnd:
     case ReduceOp::kBitOr:
       if constexpr (std::is_integral_v<T>) {
-        for (std::size_t i = 0; i < count; ++i) {
-          switch (op) {
-            case ReduceOp::kLogicalAnd:
-              inout[i] = static_cast<T>((inout[i] != 0) && (in[i] != 0));
-              break;
-            case ReduceOp::kLogicalOr:
-              inout[i] = static_cast<T>((inout[i] != 0) || (in[i] != 0));
-              break;
-            case ReduceOp::kBitAnd:
-              inout[i] = static_cast<T>(inout[i] & in[i]);
-              break;
-            case ReduceOp::kBitOr:
-              inout[i] = static_cast<T>(inout[i] | in[i]);
-              break;
-            default:
-              break;
-          }
+        switch (op) {
+          case ReduceOp::kLogicalAnd:
+            k.fn = kernel_loop<T, ReduceOp::kLogicalAnd>; return k;
+          case ReduceOp::kLogicalOr:
+            k.fn = kernel_loop<T, ReduceOp::kLogicalOr>; return k;
+          case ReduceOp::kBitAnd:
+            k.fn = kernel_loop<T, ReduceOp::kBitAnd>; return k;
+          default:
+            k.fn = kernel_loop<T, ReduceOp::kBitOr>; return k;
         }
       } else {
         fatal("mpi", "logical/bitwise reduce on floating datatype");
       }
-      return;
   }
   fatal("mpi", "unknown reduce op");
 }
 
 }  // namespace
 
-void reduce_apply(ReduceOp op, Datatype t, const void* in, void* inout,
-                  std::size_t count) {
+ReduceKernel resolve_reduce(ReduceOp op, Datatype t) {
   switch (t) {
     case Datatype::kByte:
     case Datatype::kUInt8:
     case Datatype::kPacked:
-      apply_typed(op, static_cast<const std::uint8_t*>(in),
-                  static_cast<std::uint8_t*>(inout), count);
-      return;
+      return kernel_for<std::uint8_t>(op);
     case Datatype::kChar:
     case Datatype::kInt8:
-      apply_typed(op, static_cast<const std::int8_t*>(in),
-                  static_cast<std::int8_t*>(inout), count);
-      return;
+      return kernel_for<std::int8_t>(op);
     case Datatype::kInt16:
-      apply_typed(op, static_cast<const std::int16_t*>(in),
-                  static_cast<std::int16_t*>(inout), count);
-      return;
+      return kernel_for<std::int16_t>(op);
     case Datatype::kUInt16:
-      apply_typed(op, static_cast<const std::uint16_t*>(in),
-                  static_cast<std::uint16_t*>(inout), count);
-      return;
+      return kernel_for<std::uint16_t>(op);
     case Datatype::kInt32:
-      apply_typed(op, static_cast<const std::int32_t*>(in),
-                  static_cast<std::int32_t*>(inout), count);
-      return;
+      return kernel_for<std::int32_t>(op);
     case Datatype::kUInt32:
-      apply_typed(op, static_cast<const std::uint32_t*>(in),
-                  static_cast<std::uint32_t*>(inout), count);
-      return;
+      return kernel_for<std::uint32_t>(op);
     case Datatype::kInt64:
-      apply_typed(op, static_cast<const std::int64_t*>(in),
-                  static_cast<std::int64_t*>(inout), count);
-      return;
+      return kernel_for<std::int64_t>(op);
     case Datatype::kUInt64:
-      apply_typed(op, static_cast<const std::uint64_t*>(in),
-                  static_cast<std::uint64_t*>(inout), count);
-      return;
+      return kernel_for<std::uint64_t>(op);
     case Datatype::kFloat:
-      apply_typed(op, static_cast<const float*>(in), static_cast<float*>(inout),
-                  count);
-      return;
+      return kernel_for<float>(op);
     case Datatype::kDouble:
-      apply_typed(op, static_cast<const double*>(in),
-                  static_cast<double*>(inout), count);
-      return;
+      return kernel_for<double>(op);
   }
+  return kernel_for<std::uint8_t>(op);
+}
+
+void reduce_apply(ReduceOp op, Datatype t, const void* in, void* inout,
+                  std::size_t count) {
+  resolve_reduce(op, t).apply(in, inout, count);
 }
 
 }  // namespace motor::mpi

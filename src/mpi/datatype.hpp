@@ -50,4 +50,20 @@ enum class ReduceOp : std::uint8_t {
 void reduce_apply(ReduceOp op, Datatype t, const void* in, void* inout,
                   std::size_t count);
 
+/// A reduction resolved to a direct function pointer plus element size.
+/// Collectives resolve (op, t) ONCE per call and run every inner loop
+/// through `fn` — no per-application datatype/op dispatch.
+struct ReduceKernel {
+  void (*fn)(const void* in, void* inout, std::size_t count) = nullptr;
+  std::size_t elem_size = 0;
+
+  void apply(const void* in, void* inout, std::size_t count) const {
+    fn(in, inout, count);
+  }
+};
+
+/// Resolve the (op, t) pair to its typed kernel. Fatals on invalid
+/// combinations (logical/bitwise on floating types), like reduce_apply.
+ReduceKernel resolve_reduce(ReduceOp op, Datatype t);
+
 }  // namespace motor::mpi

@@ -36,7 +36,9 @@ Request Device::post_send(ByteSpan data, int dst, int tag, int context,
 
 Request Device::post_send(SpanVec data, int dst, int tag, int context,
                           bool sync) {
-  MOTOR_CHECK(dst >= 0 && dst < fabric_.size(), "send to bad rank");
+  refresh_links();
+  MOTOR_CHECK(dst >= 0 && dst < static_cast<int>(out_links_.size()),
+              "send to bad rank");
   auto req = std::make_shared<RequestState>();
   if (config_.reliability.enabled) {
     // A flow that exhausted its retries is dead: fail fast instead of
@@ -99,6 +101,27 @@ Request Device::post_recv(MutableByteSpan buf, int src, int tag, int context) {
   req->context = context;
   req->recv_buf = buf.data();
   req->buffer_bytes = buf.size();
+
+  // A dead flow to `src` means nothing it sends can be acked any more:
+  // the connection is gone both ways, so fail fast exactly like sends do
+  // (buffered unexpected data, if any, is still drained first below).
+  if (config_.reliability.enabled && src != kAnySource) {
+    auto it = tx_.find(src);
+    if (it != tx_.end() && it->second.failed) {
+      bool buffered = false;
+      for (const UnexpectedMsg& msg : unexpected_) {
+        if (envelope_matches(req, msg.hdr)) {
+          buffered = true;
+          break;
+        }
+      }
+      if (!buffered) {
+        req->error = ErrorCode::kCommError;
+        req->mark_complete();
+        return req;
+      }
+    }
+  }
 
   // First look for an already-arrived message (the unexpected queue).
   for (auto it = unexpected_.begin(); it != unexpected_.end(); ++it) {
@@ -247,11 +270,29 @@ void Device::complete_drained(OutPacket& pkt) {
   }
 }
 
+void Device::refresh_links() {
+  if (fabric_.epoch() == link_epoch_) return;
+  link_epoch_ = fabric_.snapshot_rank(my_rank_, in_links_, out_links_);
+}
+
+transport::Channel& Device::out_link(int dst) {
+  refresh_links();
+  if (dst >= 0 && dst < static_cast<int>(out_links_.size()) &&
+      out_links_[static_cast<std::size_t>(dst)] != nullptr) {
+    return *out_links_[static_cast<std::size_t>(dst)];
+  }
+  // First send to this peer: materialise the link (bumps the epoch) and
+  // pick it up with a fresh snapshot.
+  transport::Channel& ch = fabric_.link(my_rank_, dst);
+  refresh_links();
+  return ch;
+}
+
 void Device::pump_outbound() {
   for (auto& [dst, queue] : outq_) {
     while (!queue.empty()) {
       OutPacket& pkt = queue.front();
-      transport::Channel& ch = fabric_.link(my_rank_, dst);
+      transport::Channel& ch = out_link(dst);
       const std::size_t psize = pkt.payload.total_bytes();
 
       if (config_.staged_copies) {
@@ -482,10 +523,12 @@ void Device::finish_payload(int src, InState& st) {
 }
 
 void Device::pump_inbound() {
-  const int n = fabric_.size();
+  refresh_links();
+  const int n = static_cast<int>(in_links_.size());
 
   if (config_.reliability.enabled) {
     for (int src = 0; src < n; ++src) {
+      if (in_links_[static_cast<std::size_t>(src)] == nullptr) continue;
       InState& st = in_[src];
       pump_inbound_reliable(src, st);
       if (st.ack_pending) {
@@ -506,7 +549,8 @@ void Device::pump_inbound() {
   std::byte scratch[4096];  // sink for truncated-overflow bytes
 
   for (int src = 0; src < n; ++src) {
-    transport::Channel& ch = fabric_.link(src, my_rank_);
+    if (in_links_[static_cast<std::size_t>(src)] == nullptr) continue;
+    transport::Channel& ch = *in_links_[static_cast<std::size_t>(src)];
     InState& st = in_[src];
 
     for (;;) {
@@ -561,7 +605,7 @@ void Device::pump_inbound() {
 }
 
 void Device::pump_inbound_reliable(int src, InState& st) {
-  transport::Channel& ch = fabric_.link(src, my_rank_);
+  transport::Channel& ch = *in_links_[static_cast<std::size_t>(src)];
 
   for (;;) {
     if (!st.in_payload) {
@@ -744,6 +788,28 @@ void Device::fail_flow(int dst) {
       ++it;
     }
   }
+  // Acks for inbound data ride this same (now dead) flow, so nothing the
+  // peer sends can ever be acknowledged either: the pairwise connection is
+  // gone in both directions. Receives addressed to the peer fail too —
+  // this is what lets a collective blocked in sendrecv() with a dead
+  // partner return kCommError instead of waiting forever on the recv half.
+  // Wildcard receives stay posted; another peer can still match them.
+  for (auto it = posted_recvs_.begin(); it != posted_recvs_.end();) {
+    if ((*it)->peer == dst) {
+      fail_req(*it);
+      it = posted_recvs_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  for (auto it = rndv_recvs_.begin(); it != rndv_recvs_.end();) {
+    if (it->second->peer == dst) {
+      fail_req(it->second);
+      it = rndv_recvs_.erase(it);
+    } else {
+      ++it;
+    }
+  }
 }
 
 void Device::reliability_tick() {
@@ -751,7 +817,8 @@ void Device::reliability_tick() {
   const ReliabilityConfig& rc = config_.reliability;
 
   // Retry timers, in rank order for run-to-run determinism.
-  const int n = fabric_.size();
+  refresh_links();
+  const int n = static_cast<int>(out_links_.size());
   for (int dst = 0; dst < n; ++dst) {
     auto it = tx_.find(dst);
     if (it == tx_.end()) continue;

@@ -24,6 +24,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "mpi/coll_algo.hpp"
 #include "mpi/packet.hpp"
 #include "mpi/request.hpp"
 #include "transport/fabric.hpp"
@@ -67,6 +68,9 @@ struct DeviceConfig {
   bool staged_copies = false;
   /// Checksums + sequence window + retransmission (see ReliabilityConfig).
   ReliabilityConfig reliability;
+  /// Collective algorithm overrides (kAuto = size/world/topology
+  /// selection; see mpi/collectives.hpp).
+  CollectiveTuning collectives;
 };
 
 class Device {
@@ -79,6 +83,7 @@ class Device {
 
   [[nodiscard]] int world_rank() const noexcept { return my_rank_; }
   [[nodiscard]] const DeviceConfig& config() const noexcept { return config_; }
+  [[nodiscard]] transport::Fabric& fabric() noexcept { return fabric_; }
 
   // ---- posting ----
 
@@ -229,6 +234,14 @@ class Device {
     std::vector<std::byte> payload;  // eager only; empty for RTS
   };
 
+  /// Outbound channel to `dst`, creating the fabric link on first send
+  /// and caching the pointer (invalidated by fabric epoch bumps).
+  transport::Channel& out_link(int dst);
+  /// Refresh the cached inbound/outbound rows if the fabric epoch moved.
+  /// The steady-state progress pump then iterates only channels that
+  /// exist, without touching the fabric mutex.
+  void refresh_links();
+
   void enqueue_control(int dst, PacketHeader hdr);
   void enqueue_data(int dst, PacketHeader hdr, SpanVec payload,
                     Request req, bool completes_on_drain,
@@ -256,6 +269,14 @@ class Device {
   int my_rank_;
   DeviceConfig config_;
   std::uint64_t next_req_id_ = 1;
+
+  // Cached link rows, valid for `link_epoch_` (0 = never snapshot).
+  // in_links_[src] is null until rank `src` first sends to us; the
+  // inbound pump skips null entries, so a 256-rank world costs each
+  // progress call only its live peers, not the whole rank column.
+  std::uint64_t link_epoch_ = 0;
+  std::vector<transport::Channel*> in_links_;
+  std::vector<transport::Channel*> out_links_;
 
   std::unordered_map<int, std::deque<OutPacket>> outq_;   // by destination
   std::unordered_map<int, InState> in_;                   // by source

@@ -5,7 +5,8 @@ namespace motor::mpi {
 World::World(int n_ranks, WorldConfig config)
     : config_(config),
       fabric_(n_ranks, config.channel, config.channel_capacity,
-              config.wire_latency_ns, config.wire_bandwidth_bps),
+              config.wire_latency_ns, config.wire_bandwidth_bps,
+              config.topology),
       initial_n_(n_ranks) {
   std::lock_guard lk(mu_);
   devices_.reserve(static_cast<std::size_t>(n_ranks));

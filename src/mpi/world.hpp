@@ -33,6 +33,10 @@ struct WorldConfig {
   /// Wire throughput cap in bytes/second (0 = unlimited); see
   /// transport/bandwidth_channel.hpp.
   std::uint64_t wire_bandwidth_bps = 0;
+  /// Link-graph model (mesh/torus/fat-tree) over the ranks; per-link
+  /// latency scales with hop distance. Default: flat full mesh, the
+  /// paper's single-testbed behaviour. See transport/topology.hpp.
+  transport::TopologySpec topology;
   DeviceConfig device;
 };
 

@@ -1,45 +1,72 @@
 #include "transport/bandwidth_channel.hpp"
 
 #include <algorithm>
+#include <vector>
 
 #include "pal/clock.hpp"
 
 namespace motor::transport {
 
-BandwidthChannel::BandwidthChannel(std::unique_ptr<Channel> inner,
-                                   std::uint64_t bytes_per_second,
-                                   std::size_t burst_bytes)
-    : inner_(std::move(inner)),
-      bytes_per_second_(bytes_per_second),
+TokenBucket::TokenBucket(std::uint64_t bytes_per_second,
+                         std::size_t burst_bytes)
+    : bytes_per_second_(bytes_per_second),
       burst_bytes_(burst_bytes),
       tokens_(static_cast<double>(burst_bytes)),
       last_refill_ns_(pal::monotonic_ns()) {}
 
-std::size_t BandwidthChannel::refill_locked() {
+std::size_t TokenBucket::refill_locked() {
   const std::uint64_t now = pal::monotonic_ns();
-  const double elapsed_s =
-      static_cast<double>(now - last_refill_ns_) / 1e9;
+  const double elapsed_s = static_cast<double>(now - last_refill_ns_) / 1e9;
   last_refill_ns_ = now;
-  tokens_ = std::min(static_cast<double>(burst_bytes_),
-                     tokens_ + elapsed_s * static_cast<double>(
-                                               bytes_per_second_));
+  tokens_ = std::min(
+      static_cast<double>(burst_bytes_),
+      tokens_ + elapsed_s * static_cast<double>(bytes_per_second_));
   return static_cast<std::size_t>(tokens_);
 }
 
-std::size_t BandwidthChannel::try_write(ByteSpan bytes) {
+std::size_t TokenBucket::take(std::size_t want) {
   std::lock_guard lk(mu_);
-  const std::size_t budget = refill_locked();
-  const std::size_t want = std::min(bytes.size(), budget);
-  if (want == 0) return 0;
-  const std::size_t n = inner_->try_write(bytes.first(want));
-  tokens_ -= static_cast<double>(n);
+  const std::size_t got = std::min(want, refill_locked());
+  tokens_ -= static_cast<double>(got);
+  return got;
+}
+
+void TokenBucket::refund(std::size_t n) {
+  if (n == 0) return;
+  std::lock_guard lk(mu_);
+  tokens_ = std::min(static_cast<double>(burst_bytes_),
+                     tokens_ + static_cast<double>(n));
+}
+
+std::size_t TokenBucket::peek() {
+  std::lock_guard lk(mu_);
+  return refill_locked();
+}
+
+BandwidthChannel::BandwidthChannel(std::unique_ptr<Channel> inner,
+                                   std::uint64_t bytes_per_second,
+                                   std::size_t burst_bytes)
+    : inner_(std::move(inner)),
+      bucket_(std::make_shared<TokenBucket>(bytes_per_second, burst_bytes)) {}
+
+BandwidthChannel::BandwidthChannel(std::unique_ptr<Channel> inner,
+                                   std::shared_ptr<TokenBucket> bucket)
+    : inner_(std::move(inner)), bucket_(std::move(bucket)) {}
+
+std::size_t BandwidthChannel::try_write(ByteSpan bytes) {
+  const std::size_t reserved = bucket_->take(bytes.size());
+  if (reserved == 0) return 0;
+  const std::size_t n = inner_->try_write(bytes.first(reserved));
+  bucket_->refund(reserved - n);
   return n;
 }
 
 std::size_t BandwidthChannel::try_write_v(std::span<const ByteSpan> parts) {
-  std::lock_guard lk(mu_);
-  std::size_t budget = refill_locked();
+  std::size_t total = 0;
+  for (const ByteSpan p : parts) total += p.size();
+  std::size_t budget = bucket_->take(total);
   if (budget == 0) return 0;
+  const std::size_t reserved = budget;
   // Clip the gather list to the byte budget, then commit through the
   // inner channel's own gathered write.
   std::vector<ByteSpan> clipped;
@@ -51,15 +78,12 @@ std::size_t BandwidthChannel::try_write_v(std::span<const ByteSpan> parts) {
     budget -= take;
   }
   const std::size_t n = inner_->try_write_v(clipped);
-  tokens_ -= static_cast<double>(n);
+  bucket_->refund(reserved - n);
   return n;
 }
 
 std::size_t BandwidthChannel::writable() const {
-  std::lock_guard lk(mu_);
-  const std::size_t budget =
-      const_cast<BandwidthChannel*>(this)->refill_locked();
-  return std::min(budget, inner_->writable());
+  return std::min(bucket_->peek(), inner_->writable());
 }
 
 }  // namespace motor::transport

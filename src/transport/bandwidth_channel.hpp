@@ -7,6 +7,12 @@
 // and watch where the Figure 9 crossovers move — an experiment the paper
 // gestures at ("The layered Motor architecture will allow us to port
 // Motor to other platforms and interconnects", §9).
+//
+// The bucket can be SHARED between channels: the fabric hands every
+// egress link of a rank the same bucket, so the bucket models the
+// rank's NIC — a root fanning a broadcast out to 63 peers serialises
+// at its own wire rate instead of enjoying 63 private wires. (A bucket
+// per link would make the linear fan-out algorithms look free at scale.)
 #pragma once
 
 #include <memory>
@@ -16,15 +22,41 @@
 
 namespace motor::transport {
 
+/// Refillable byte budget (thread-safe). One per modelled NIC.
+class TokenBucket {
+ public:
+  TokenBucket(std::uint64_t bytes_per_second, std::size_t burst_bytes);
+
+  /// Clip `want` to the refilled budget and consume the clip.
+  std::size_t take(std::size_t want);
+  /// Return tokens a caller reserved but did not use (inner wrote less).
+  void refund(std::size_t n);
+  /// Current budget after a refill (no consumption).
+  [[nodiscard]] std::size_t peek();
+
+ private:
+  std::size_t refill_locked();
+
+  std::uint64_t bytes_per_second_;
+  std::size_t burst_bytes_;
+  std::mutex mu_;
+  double tokens_;
+  std::uint64_t last_refill_ns_;
+};
+
 class BandwidthChannel final : public Channel {
  public:
+  /// Private bucket: this link alone is rate-limited.
   BandwidthChannel(std::unique_ptr<Channel> inner,
                    std::uint64_t bytes_per_second,
                    std::size_t burst_bytes = 16 * 1024);
+  /// Shared bucket: this link draws from `bucket` (the NIC model).
+  BandwidthChannel(std::unique_ptr<Channel> inner,
+                   std::shared_ptr<TokenBucket> bucket);
 
   std::size_t try_write(ByteSpan bytes) override;
-  /// Gathered write: one token-bucket refill for the whole gather; the
-  /// budget-clipped part list is forwarded to the inner gather in one
+  /// Gathered write: one token-bucket reservation for the whole gather;
+  /// the budget-clipped part list is forwarded to the inner gather in one
   /// operation (no flattening).
   std::size_t try_write_v(std::span<const ByteSpan> parts) override;
   std::size_t try_read(MutableByteSpan out) override {
@@ -41,15 +73,8 @@ class BandwidthChannel final : public Channel {
   }
 
  private:
-  std::size_t refill_locked();
-
   std::unique_ptr<Channel> inner_;
-  std::uint64_t bytes_per_second_;
-  std::size_t burst_bytes_;
-
-  mutable std::mutex mu_;
-  double tokens_;
-  std::uint64_t last_refill_ns_;
+  std::shared_ptr<TokenBucket> bucket_;
 };
 
 }  // namespace motor::transport

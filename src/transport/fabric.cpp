@@ -8,13 +8,16 @@ namespace motor::transport {
 
 Fabric::Fabric(int n_ranks, ChannelKind kind, std::size_t capacity_bytes,
                std::uint64_t wire_latency_ns,
-               std::uint64_t wire_bandwidth_bps)
+               std::uint64_t wire_bandwidth_bps, TopologySpec topology)
     : kind_(kind), capacity_(capacity_bytes),
       wire_latency_ns_(wire_latency_ns),
-      wire_bandwidth_bps_(wire_bandwidth_bps) {
+      wire_bandwidth_bps_(wire_bandwidth_bps),
+      topo_(topology, n_ranks) {
   MOTOR_CHECK(n_ranks >= 1, "fabric needs at least one rank");
   std::lock_guard lk(mu_);
-  grow_locked(n_ranks);
+  links_.resize(static_cast<std::size_t>(n_ranks));
+  for (auto& row : links_) row.resize(static_cast<std::size_t>(n_ranks));
+  egress_.resize(static_cast<std::size_t>(n_ranks));
 }
 
 int Fabric::size() const {
@@ -22,61 +25,107 @@ int Fabric::size() const {
   return static_cast<int>(links_.size());
 }
 
-Channel& Fabric::link(int from, int to) {
-  std::lock_guard lk(mu_);
+std::unique_ptr<Channel> Fabric::make_link(int from, int to) const {
+  if (from == to) return make_channel(ChannelKind::kLoopback, 0);
+  std::unique_ptr<Channel> link = make_channel(kind_, capacity_);
+  if (wire_bandwidth_bps_ > 0) {
+    // All egress links of `from` share one bucket: the rate limit models
+    // the rank's NIC, not a private wire per destination.
+    auto& bucket = egress_[static_cast<std::size_t>(from)];
+    if (!bucket) {
+      bucket = std::make_shared<TokenBucket>(wire_bandwidth_bps_, 16 * 1024);
+    }
+    link = std::make_unique<BandwidthChannel>(std::move(link), bucket);
+  }
+  if (wire_latency_ns_ > 0) {
+    const auto hops =
+        static_cast<std::uint64_t>(topo_.distance(from, to));
+    link = std::make_unique<LatencyChannel>(std::move(link),
+                                            wire_latency_ns_ * hops);
+  }
+  return link;
+}
+
+Channel& Fabric::link_locked(int from, int to) {
   MOTOR_CHECK(from >= 0 && from < static_cast<int>(links_.size()),
               "link: bad source rank");
   MOTOR_CHECK(to >= 0 && to < static_cast<int>(links_.size()),
               "link: bad destination rank");
-  return *links_[from][to];
+  auto& slot = links_[static_cast<std::size_t>(from)]
+                     [static_cast<std::size_t>(to)];
+  if (!slot) {
+    slot = make_link(from, to);
+    epoch_.fetch_add(1, std::memory_order_release);
+  }
+  return *slot;
+}
+
+Channel& Fabric::link(int from, int to) {
+  std::lock_guard lk(mu_);
+  return link_locked(from, to);
+}
+
+std::uint64_t Fabric::snapshot_inbound(int to,
+                                       std::vector<Channel*>& out) const {
+  std::lock_guard lk(mu_);
+  MOTOR_CHECK(to >= 0 && to < static_cast<int>(links_.size()),
+              "snapshot_inbound: bad rank");
+  const std::size_t n = links_.size();
+  out.assign(n, nullptr);
+  for (std::size_t src = 0; src < n; ++src) {
+    out[src] = links_[src][static_cast<std::size_t>(to)].get();
+  }
+  return epoch_.load(std::memory_order_acquire);
+}
+
+std::uint64_t Fabric::snapshot_rank(int rank, std::vector<Channel*>& in,
+                                    std::vector<Channel*>& out) const {
+  std::lock_guard lk(mu_);
+  MOTOR_CHECK(rank >= 0 && rank < static_cast<int>(links_.size()),
+              "snapshot_rank: bad rank");
+  const std::size_t n = links_.size();
+  in.assign(n, nullptr);
+  out.assign(n, nullptr);
+  for (std::size_t peer = 0; peer < n; ++peer) {
+    in[peer] = links_[peer][static_cast<std::size_t>(rank)].get();
+    out[peer] = links_[static_cast<std::size_t>(rank)][peer].get();
+  }
+  return epoch_.load(std::memory_order_acquire);
+}
+
+std::size_t Fabric::live_links() const {
+  std::lock_guard lk(mu_);
+  std::size_t n = 0;
+  for (const auto& row : links_) {
+    for (const auto& ch : row) n += ch ? 1 : 0;
+  }
+  return n;
 }
 
 int Fabric::add_ranks(int extra) {
   MOTOR_CHECK(extra >= 1, "add_ranks: extra must be positive");
   std::lock_guard lk(mu_);
   const int first_new = static_cast<int>(links_.size());
-  grow_locked(first_new + extra);
+  const int new_size = first_new + extra;
+  links_.resize(static_cast<std::size_t>(new_size));
+  for (auto& row : links_) row.resize(static_cast<std::size_t>(new_size));
+  egress_.resize(static_cast<std::size_t>(new_size));
+  topo_.resize(new_size);
+  epoch_.fetch_add(1, std::memory_order_release);
   return first_new;
 }
 
 FaultyChannel* Fabric::inject_faults(int from, int to,
                                      const FaultConfig& config) {
   std::lock_guard lk(mu_);
-  MOTOR_CHECK(from >= 0 && from < static_cast<int>(links_.size()),
-              "inject_faults: bad source rank");
-  MOTOR_CHECK(to >= 0 && to < static_cast<int>(links_.size()),
-              "inject_faults: bad destination rank");
-  auto wrapped =
-      std::make_unique<FaultyChannel>(std::move(links_[from][to]), config);
+  link_locked(from, to);  // materialise the link before wrapping it
+  auto& slot = links_[static_cast<std::size_t>(from)]
+                     [static_cast<std::size_t>(to)];
+  auto wrapped = std::make_unique<FaultyChannel>(std::move(slot), config);
   FaultyChannel* handle = wrapped.get();
-  links_[from][to] = std::move(wrapped);
+  slot = std::move(wrapped);
+  epoch_.fetch_add(1, std::memory_order_release);
   return handle;
-}
-
-void Fabric::grow_locked(int new_size) {
-  const int old_size = static_cast<int>(links_.size());
-  links_.resize(new_size);
-  for (int from = 0; from < new_size; ++from) {
-    links_[from].resize(new_size);
-    for (int to = (from < old_size ? old_size : 0); to < new_size; ++to) {
-      if (!links_[from][to]) {
-        if (from == to) {
-          links_[from][to] = make_channel(ChannelKind::kLoopback, 0);
-        } else {
-          std::unique_ptr<Channel> link = make_channel(kind_, capacity_);
-          if (wire_bandwidth_bps_ > 0) {
-            link = std::make_unique<BandwidthChannel>(std::move(link),
-                                                      wire_bandwidth_bps_);
-          }
-          if (wire_latency_ns_ > 0) {
-            link = std::make_unique<LatencyChannel>(std::move(link),
-                                                    wire_latency_ns_);
-          }
-          links_[from][to] = std::move(link);
-        }
-      }
-    }
-  }
 }
 
 }  // namespace motor::transport

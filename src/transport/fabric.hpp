@@ -1,12 +1,27 @@
-// Fabric: the full-mesh interconnect between ranks. One directed Channel
-// per ordered rank pair (i -> j), created up front; rank i's send side is
-// the only producer of channel (i, j) and rank j's progress engine is the
-// only consumer, which is what lets the ring channel stay lock-free.
+// Fabric: the interconnect between ranks. One directed Channel per
+// ordered rank pair (i -> j), created LAZILY on first use; rank i's send
+// side is the only producer of channel (i, j) and rank j's progress
+// engine is the only consumer, which is what lets the ring channel stay
+// lock-free.
+//
+// Lazy creation is what makes 64-256-rank worlds affordable: a scalable
+// collective touches O(log n) peers per rank, so only a sliver of the
+// n^2 pair matrix ever materialises. Consumers discover fresh links via
+// the fabric epoch: every channel creation (or fault wrap, or growth)
+// bumps an atomic counter, and Device re-snapshots its inbound row only
+// when the epoch moved — the steady-state progress pump never takes the
+// fabric mutex.
+//
+// The fabric composes the existing latency/bandwidth channel decorators
+// per link according to an explicit Topology (transport/topology.hpp):
+// a link's one-way propagation delay is wire_latency_ns x hop count, so
+// a mesh/torus/fat-tree wire is honestly slower across the diameter.
 //
 // The fabric can grow (add_ranks) to support MPI-2 dynamic process
 // management: spawned worlds get fresh rows/columns of channels.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <mutex>
@@ -14,25 +29,59 @@
 
 #include "transport/channel.hpp"
 #include "transport/faulty_channel.hpp"
+#include "transport/topology.hpp"
 
 namespace motor::transport {
 
+class TokenBucket;  // transport/bandwidth_channel.hpp
+
 class Fabric {
  public:
-  /// Builds an n_ranks x n_ranks mesh. Diagonal entries are loopback
-  /// channels regardless of `kind` (self-sends must not block on capacity).
+  /// Prepares an n_ranks x n_ranks link table; channels are created on
+  /// first link() access. Diagonal entries are loopback channels
+  /// regardless of `kind` (self-sends must not block on capacity).
   /// `wire_latency_ns` > 0 wraps every non-loopback channel in a
-  /// LatencyChannel modelling interconnect propagation delay.
-  /// `wire_bandwidth_bps` > 0 additionally rate-limits every non-loopback
-  /// channel (token bucket), composing as latency(bandwidth(channel)).
+  /// LatencyChannel modelling interconnect propagation delay, scaled by
+  /// the topology's hop count for the pair. `wire_bandwidth_bps` > 0
+  /// additionally rate-limits every non-loopback channel, composing as
+  /// latency(bandwidth(channel)); all egress links of one rank share one
+  /// token bucket, so the limit models the rank's NIC — a broadcast root
+  /// fanning out to n-1 peers serialises at wire rate rather than
+  /// enjoying n-1 private wires.
   Fabric(int n_ranks, ChannelKind kind, std::size_t capacity_bytes,
          std::uint64_t wire_latency_ns = 0,
-         std::uint64_t wire_bandwidth_bps = 0);
+         std::uint64_t wire_bandwidth_bps = 0,
+         TopologySpec topology = TopologySpec{});
 
   [[nodiscard]] int size() const;
 
-  /// Channel carrying bytes from rank `from` to rank `to`.
+  /// Channel carrying bytes from rank `from` to rank `to`, created on
+  /// first use (bumps the epoch).
   Channel& link(int from, int to);
+
+  /// Monotonic counter bumped whenever the set of live channels changes
+  /// (creation, fault wrapping, growth). Cached Channel* rows are valid
+  /// while the epoch they were snapshot under is current.
+  [[nodiscard]] std::uint64_t epoch() const noexcept {
+    return epoch_.load(std::memory_order_acquire);
+  }
+
+  /// Snapshot the inbound row of rank `to`: out[src] = the existing
+  /// channel src -> to, or nullptr where none has been created yet.
+  /// Returns the epoch the snapshot is valid for.
+  std::uint64_t snapshot_inbound(int to, std::vector<Channel*>& out) const;
+
+  /// Snapshot both link rows of `rank` under one lock hold: in[src] is
+  /// the channel src -> rank, out[dst] the channel rank -> dst (nullptr
+  /// where not yet created). Returns the epoch of the snapshot.
+  std::uint64_t snapshot_rank(int rank, std::vector<Channel*>& in,
+                              std::vector<Channel*>& out) const;
+
+  /// Count of channels actually created so far (diagnostics/tests).
+  [[nodiscard]] std::size_t live_links() const;
+
+  /// The link-graph model the fabric was built over.
+  [[nodiscard]] const Topology& topology() const noexcept { return topo_; }
 
   /// Extend the mesh by `extra` ranks (dynamic process management).
   /// Returns the rank id of the first new rank.
@@ -48,15 +97,21 @@ class Fabric {
   [[nodiscard]] ChannelKind kind() const noexcept { return kind_; }
 
  private:
-  void grow_locked(int new_size);
+  Channel& link_locked(int from, int to);
+  std::unique_ptr<Channel> make_link(int from, int to) const;
 
   mutable std::mutex mu_;
   ChannelKind kind_;
   std::size_t capacity_;
   std::uint64_t wire_latency_ns_;
   std::uint64_t wire_bandwidth_bps_;
-  // links_[from][to]
+  Topology topo_;
+  std::atomic<std::uint64_t> epoch_{1};
+  // links_[from][to]; null until first use.
   std::vector<std::vector<std::unique_ptr<Channel>>> links_;
+  // Per-rank shared egress budget (the NIC model); null until the rank's
+  // first rate-limited link materialises.
+  mutable std::vector<std::shared_ptr<TokenBucket>> egress_;
 };
 
 }  // namespace motor::transport

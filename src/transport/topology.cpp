@@ -1,0 +1,94 @@
+#include "transport/topology.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+
+#include "common/status.hpp"
+
+namespace motor::transport {
+
+std::string_view topology_kind_name(TopologyKind kind) noexcept {
+  switch (kind) {
+    case TopologyKind::kFullMesh: return "fullmesh";
+    case TopologyKind::kMesh2D: return "mesh2d";
+    case TopologyKind::kTorus2D: return "torus2d";
+    case TopologyKind::kFatTree: return "fattree";
+  }
+  return "<unknown>";
+}
+
+Topology::Topology(TopologySpec spec, int n_ranks) : spec_(spec) {
+  MOTOR_CHECK(n_ranks >= 1, "topology needs at least one rank");
+  MOTOR_CHECK(spec_.fat_tree_radix >= 2, "fat tree radix must be >= 2");
+  MOTOR_CHECK(spec_.ranks_per_node >= 0, "ranks_per_node must be >= 0");
+  resize(n_ranks);
+}
+
+void Topology::resize(int n_ranks) {
+  n_ = n_ranks;
+  // Near-square grid: cols = ceil(sqrt(n)), last row possibly partial.
+  cols_ = std::max(1, static_cast<int>(
+                          std::ceil(std::sqrt(static_cast<double>(n_)))));
+  rows_ = (n_ + cols_ - 1) / cols_;
+
+  if (spec_.ranks_per_node > 0) {
+    per_node_ = spec_.ranks_per_node;
+  } else {
+    switch (spec_.kind) {
+      case TopologyKind::kFullMesh: per_node_ = 8; break;
+      case TopologyKind::kMesh2D:
+      case TopologyKind::kTorus2D: per_node_ = cols_; break;
+      case TopologyKind::kFatTree: per_node_ = spec_.fat_tree_radix; break;
+    }
+  }
+  per_node_ = std::max(1, std::min(per_node_, n_));
+}
+
+int Topology::node_size(int node) const {
+  MOTOR_CHECK(node >= 0 && node < node_count(), "node_size: bad node");
+  return std::min(per_node_, n_ - node * per_node_);
+}
+
+int Topology::grid_distance(int a, int b, bool wrap) const {
+  const int ra = a / cols_, ca = a % cols_;
+  const int rb = b / cols_, cb = b % cols_;
+  int dr = std::abs(ra - rb);
+  int dc = std::abs(ca - cb);
+  if (wrap) {
+    // Wraparound in both dimensions. The last row/column may be partial;
+    // the wrap is modelled over the full grid extent — an idealisation,
+    // like every other interconnect model in transport/.
+    dr = std::min(dr, rows_ - dr);
+    dc = std::min(dc, cols_ - dc);
+  }
+  return dr + dc;
+}
+
+int Topology::distance(int a, int b) const {
+  MOTOR_CHECK(a >= 0 && a < n_ && b >= 0 && b < n_, "distance: bad rank");
+  if (a == b) return 0;
+  switch (spec_.kind) {
+    case TopologyKind::kFullMesh:
+      return 1;
+    case TopologyKind::kMesh2D:
+      return grid_distance(a, b, /*wrap=*/false);
+    case TopologyKind::kTorus2D:
+      return std::max(1, grid_distance(a, b, /*wrap=*/true));
+    case TopologyKind::kFatTree:
+      // Same leaf switch: one hop through the leaf. Different leaves:
+      // leaf -> spine -> leaf.
+      return (a / spec_.fat_tree_radix == b / spec_.fat_tree_radix) ? 1 : 3;
+  }
+  return 1;
+}
+
+std::vector<int> Topology::neighbors(int rank) const {
+  std::vector<int> out;
+  for (int r = 0; r < n_; ++r) {
+    if (r != rank && distance(rank, r) == 1) out.push_back(r);
+  }
+  return out;
+}
+
+}  // namespace motor::transport

@@ -1,0 +1,90 @@
+// Topology: an explicit link-graph model over the fabric's ranks.
+//
+// The paper runs on a single flat testbed; scale-out worlds need the
+// fabric to know *where* ranks sit. A Topology maps every ordered rank
+// pair to a hop distance on a modelled interconnect — full crossbar,
+// 2-D mesh, 2-D torus, or two-level fat tree — and groups ranks into
+// "nodes" (SMP boxes / leaf switches). The fabric composes the existing
+// latency/bandwidth channel decorators per link, scaling the one-way
+// propagation delay by the hop count, so multi-hop links are honestly
+// slower. Upper layers (the collectives' selection function and the
+// two-level leader algorithms) query distance, node grouping, and
+// neighbourhoods through this class.
+//
+// Node groupings are always CONTIGUOUS rank ranges (rows for mesh/torus,
+// leaf switches for fat trees, fixed-size blocks otherwise); the leader
+// of a node is its lowest rank. Collectives rely on this contiguity.
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+namespace motor::transport {
+
+enum class TopologyKind : std::uint8_t {
+  kFullMesh,  // flat crossbar: every pair one hop (the seed behaviour)
+  kMesh2D,    // near-square grid, no wraparound; hops = Manhattan distance
+  kTorus2D,   // grid with wraparound links in both dimensions
+  kFatTree,   // two-level: leaf switches of `fat_tree_radix` ports + spine
+};
+
+std::string_view topology_kind_name(TopologyKind kind) noexcept;
+
+struct TopologySpec {
+  TopologyKind kind = TopologyKind::kFullMesh;
+  /// Ranks per "node" for the two-level collectives' grouping. 0 = auto:
+  /// one grid row (mesh/torus), one leaf switch (fat tree), blocks of 8
+  /// (full mesh — an SMP-cluster-style grouping over a flat wire).
+  int ranks_per_node = 0;
+  /// Ports per leaf switch (fat tree only).
+  int fat_tree_radix = 8;
+};
+
+class Topology {
+ public:
+  Topology(TopologySpec spec, int n_ranks);
+
+  [[nodiscard]] TopologyKind kind() const noexcept { return spec_.kind; }
+  [[nodiscard]] const TopologySpec& spec() const noexcept { return spec_; }
+  [[nodiscard]] int size() const noexcept { return n_; }
+  [[nodiscard]] std::string_view name() const noexcept {
+    return topology_kind_name(spec_.kind);
+  }
+
+  /// Hop count between ranks: 0 for a==b, >=1 otherwise.
+  [[nodiscard]] int distance(int a, int b) const;
+
+  /// Ranks exactly one hop from `rank`, ascending.
+  [[nodiscard]] std::vector<int> neighbors(int rank) const;
+
+  // ---- node grouping (two-level collectives) ----
+
+  [[nodiscard]] int ranks_per_node() const noexcept { return per_node_; }
+  [[nodiscard]] int node_count() const noexcept {
+    return (n_ + per_node_ - 1) / per_node_;
+  }
+  [[nodiscard]] int node_of(int rank) const { return rank / per_node_; }
+  [[nodiscard]] bool same_node(int a, int b) const {
+    return node_of(a) == node_of(b);
+  }
+  /// Lowest rank of `node` (nodes are contiguous rank ranges).
+  [[nodiscard]] int leader_of(int node) const { return node * per_node_; }
+  /// Number of ranks in `node` (the last node may be partial).
+  [[nodiscard]] int node_size(int node) const;
+
+  /// Grow the rank count (dynamic process management). Grid dimensions
+  /// are recomputed; links the fabric already created keep the per-hop
+  /// latency they were built with.
+  void resize(int n_ranks);
+
+ private:
+  [[nodiscard]] int grid_distance(int a, int b, bool wrap) const;
+
+  TopologySpec spec_;
+  int n_ = 0;
+  int cols_ = 1;      // grid row width (mesh/torus)
+  int rows_ = 1;
+  int per_node_ = 1;  // effective node grouping width
+};
+
+}  // namespace motor::transport

@@ -1,0 +1,409 @@
+// Seeded property suite for the collective algorithm registry: every
+// registered algorithm must produce the same result as the deterministic
+// `linear` reference, over random message sizes and roots, non-power-of-
+// two worlds (including 1, 3, 7, 13), and every modelled topology. A
+// final fault-injected pass proves that a collective over a dead link
+// fails fast with kCommError on every rank instead of hanging.
+#include "mpi/collectives.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <vector>
+
+#include "common/prng.hpp"
+#include "mpi/world.hpp"
+#include "transport/fabric.hpp"
+#include "transport/topology.hpp"
+
+namespace motor::mpi {
+namespace {
+
+using transport::TopologyKind;
+using transport::TopologySpec;
+
+// Non-power-of-two heavy: 1 and 13 hit the degenerate and deep-tree
+// paths, 3 and 7 the fold-in pre/post phases, 8 the clean pof2 fast path.
+constexpr int kWorldSizes[] = {1, 3, 7, 8, 13};
+
+constexpr TopologyKind kTopologies[] = {
+    TopologyKind::kFullMesh, TopologyKind::kMesh2D, TopologyKind::kTorus2D,
+    TopologyKind::kFatTree};
+
+// Deterministic per-rank contribution: any rank can reconstruct any other
+// rank's data, so references are computed locally without extra traffic.
+std::int64_t contrib(int rank, std::size_t j, std::uint64_t salt) {
+  return static_cast<std::int64_t>(
+      (static_cast<std::uint64_t>(rank) + 1) * 1315423911ull +
+      j * 2654435761ull + salt * 97ull) %
+         100003 -
+         50000;
+}
+
+WorldConfig topo_world_config(TopologyKind kind) {
+  WorldConfig cfg;
+  cfg.topology.kind = kind;
+  // Small grouping so even 3-rank worlds span multiple nodes and the
+  // two-level leader phases actually run.
+  cfg.topology.ranks_per_node = 3;
+  cfg.topology.fat_tree_radix = 3;
+  return cfg;
+}
+
+struct Draw {
+  std::size_t count;
+  int root;
+};
+
+Draw next_draw(Prng& rng, int world) {
+  Draw d;
+  d.count = 1 + rng.next_below(600);
+  d.root = static_cast<int>(rng.next_below(static_cast<std::uint64_t>(world)));
+  return d;
+}
+
+TEST(CollectivesProperty, BcastAllAlgosMatchOnAllTopologies) {
+  for (const TopologyKind kind : kTopologies) {
+    for (const int n : kWorldSizes) {
+      World world(n, topo_world_config(kind));
+      world.run([n, kind](RankCtx& ctx) {
+        Comm& comm = ctx.comm_world();
+        Prng rng(0xB0A57ull ^ (static_cast<std::uint64_t>(kind) << 8) ^
+                 static_cast<std::uint64_t>(n));
+        for (int iter = 0; iter < 3; ++iter) {
+          const Draw d = next_draw(rng, n);
+          std::vector<std::int64_t> expected(d.count);
+          for (std::size_t j = 0; j < d.count; ++j) {
+            expected[j] = contrib(d.root, j, static_cast<std::uint64_t>(iter));
+          }
+          for (const CollAlgo algo : registered_algos(CollOp::kBcast)) {
+            std::vector<std::int64_t> buf(d.count, -1);
+            if (comm.rank() == d.root) buf = expected;
+            ASSERT_EQ(bcast(comm, buf.data(),
+                            d.count * sizeof(std::int64_t), d.root, {}, algo),
+                      ErrorCode::kSuccess)
+                << coll_algo_name(algo);
+            EXPECT_EQ(buf, expected)
+                << coll_algo_name(algo) << " n=" << n << " iter=" << iter;
+          }
+        }
+      });
+    }
+  }
+}
+
+TEST(CollectivesProperty, ReduceAllAlgosMatchLinearReference) {
+  for (const TopologyKind kind : kTopologies) {
+    for (const int n : kWorldSizes) {
+      World world(n, topo_world_config(kind));
+      world.run([n, kind](RankCtx& ctx) {
+        Comm& comm = ctx.comm_world();
+        Prng rng(0x2ED0CEull ^ (static_cast<std::uint64_t>(kind) << 8) ^
+                 static_cast<std::uint64_t>(n));
+        for (int iter = 0; iter < 3; ++iter) {
+          const Draw d = next_draw(rng, n);
+          const auto salt = static_cast<std::uint64_t>(iter);
+          std::vector<std::int64_t> mine(d.count);
+          for (std::size_t j = 0; j < d.count; ++j) {
+            mine[j] = contrib(comm.rank(), j, salt);
+          }
+          std::vector<std::int64_t> ref(d.count);
+          ASSERT_EQ(reduce(comm, mine.data(), ref.data(), d.count,
+                           Datatype::kInt64, ReduceOp::kSum, d.root, {},
+                           CollAlgo::kLinear),
+                    ErrorCode::kSuccess);
+          if (comm.rank() == d.root) {
+            for (std::size_t j = 0; j < d.count; ++j) {
+              std::int64_t want = 0;
+              for (int r = 0; r < n; ++r) want += contrib(r, j, salt);
+              ASSERT_EQ(ref[j], want) << "linear reference is wrong";
+            }
+          }
+          for (const CollAlgo algo : registered_algos(CollOp::kReduce)) {
+            if (algo == CollAlgo::kLinear) continue;
+            std::vector<std::int64_t> out(d.count, -7);
+            ASSERT_EQ(reduce(comm, mine.data(), out.data(), d.count,
+                             Datatype::kInt64, ReduceOp::kSum, d.root, {},
+                             algo),
+                      ErrorCode::kSuccess)
+                << coll_algo_name(algo);
+            if (comm.rank() == d.root) {
+              EXPECT_EQ(out, ref)
+                  << coll_algo_name(algo) << " n=" << n << " iter=" << iter;
+            }
+          }
+        }
+      });
+    }
+  }
+}
+
+TEST(CollectivesProperty, AllreduceAllAlgosMatchLinearReference) {
+  for (const TopologyKind kind : kTopologies) {
+    for (const int n : kWorldSizes) {
+      World world(n, topo_world_config(kind));
+      world.run([n, kind](RankCtx& ctx) {
+        Comm& comm = ctx.comm_world();
+        Prng rng(0xA11ull ^ (static_cast<std::uint64_t>(kind) << 8) ^
+                 static_cast<std::uint64_t>(n));
+        for (int iter = 0; iter < 3; ++iter) {
+          const Draw d = next_draw(rng, n);
+          const auto salt = static_cast<std::uint64_t>(iter);
+          std::vector<std::int64_t> mine(d.count);
+          for (std::size_t j = 0; j < d.count; ++j) {
+            mine[j] = contrib(comm.rank(), j, salt);
+          }
+          std::vector<std::int64_t> ref(d.count);
+          ASSERT_EQ(allreduce(comm, mine.data(), ref.data(), d.count,
+                              Datatype::kInt64, ReduceOp::kSum, {},
+                              CollAlgo::kLinear),
+                    ErrorCode::kSuccess);
+          for (const CollAlgo algo : registered_algos(CollOp::kAllreduce)) {
+            if (algo == CollAlgo::kLinear) continue;
+            std::vector<std::int64_t> out(d.count, -7);
+            ASSERT_EQ(allreduce(comm, mine.data(), out.data(), d.count,
+                                Datatype::kInt64, ReduceOp::kSum, {}, algo),
+                      ErrorCode::kSuccess)
+                << coll_algo_name(algo);
+            EXPECT_EQ(out, ref)
+                << coll_algo_name(algo) << " n=" << n << " iter=" << iter
+                << " count=" << d.count;
+          }
+          // Min is commutative but not invertible — a different failure
+          // surface than sum (lost contributions can hide under sums).
+          std::vector<std::int64_t> ref_min(d.count);
+          ASSERT_EQ(allreduce(comm, mine.data(), ref_min.data(), d.count,
+                              Datatype::kInt64, ReduceOp::kMin, {},
+                              CollAlgo::kLinear),
+                    ErrorCode::kSuccess);
+          for (const CollAlgo algo : registered_algos(CollOp::kAllreduce)) {
+            if (algo == CollAlgo::kLinear) continue;
+            std::vector<std::int64_t> out(d.count, -7);
+            ASSERT_EQ(allreduce(comm, mine.data(), out.data(), d.count,
+                                Datatype::kInt64, ReduceOp::kMin, {}, algo),
+                      ErrorCode::kSuccess);
+            EXPECT_EQ(out, ref_min) << coll_algo_name(algo) << " (min)";
+          }
+        }
+      });
+    }
+  }
+}
+
+TEST(CollectivesProperty, AllreduceDoubleStaysWithinTolerance) {
+  // Tree/butterfly orders reassociate floating-point sums; results must
+  // agree with the rank-order reference to rounding, not bit-exactly.
+  for (const int n : kWorldSizes) {
+    World world(n, topo_world_config(TopologyKind::kMesh2D));
+    world.run([n](RankCtx& ctx) {
+      Comm& comm = ctx.comm_world();
+      constexpr std::size_t kCount = 257;
+      std::vector<double> mine(kCount);
+      for (std::size_t j = 0; j < kCount; ++j) {
+        mine[j] =
+            std::sin(static_cast<double>(comm.rank() * 131 + 7) +
+                     static_cast<double>(j)) *
+            1e3;
+      }
+      std::vector<double> ref(kCount);
+      ASSERT_EQ(allreduce(comm, mine.data(), ref.data(), kCount,
+                          Datatype::kDouble, ReduceOp::kSum, {},
+                          CollAlgo::kLinear),
+                ErrorCode::kSuccess);
+      for (const CollAlgo algo : registered_algos(CollOp::kAllreduce)) {
+        if (algo == CollAlgo::kLinear) continue;
+        std::vector<double> out(kCount);
+        ASSERT_EQ(allreduce(comm, mine.data(), out.data(), kCount,
+                            Datatype::kDouble, ReduceOp::kSum, {}, algo),
+                  ErrorCode::kSuccess);
+        for (std::size_t j = 0; j < kCount; ++j) {
+          EXPECT_NEAR(out[j], ref[j], 1e-6 * (1.0 + std::abs(ref[j])))
+              << coll_algo_name(algo) << " j=" << j;
+        }
+      }
+    });
+  }
+}
+
+TEST(CollectivesProperty, AllgatherAllAlgosMatchOnAllTopologies) {
+  for (const TopologyKind kind : kTopologies) {
+    for (const int n : kWorldSizes) {
+      World world(n, topo_world_config(kind));
+      world.run([n, kind](RankCtx& ctx) {
+        Comm& comm = ctx.comm_world();
+        Prng rng(0xA11647ull ^ (static_cast<std::uint64_t>(kind) << 8) ^
+                 static_cast<std::uint64_t>(n));
+        for (int iter = 0; iter < 3; ++iter) {
+          const std::size_t count = 1 + rng.next_below(300);
+          const auto salt = static_cast<std::uint64_t>(iter);
+          std::vector<std::int64_t> mine(count);
+          for (std::size_t j = 0; j < count; ++j) {
+            mine[j] = contrib(comm.rank(), j, salt);
+          }
+          std::vector<std::int64_t> expected(
+              count * static_cast<std::size_t>(n));
+          for (int r = 0; r < n; ++r) {
+            for (std::size_t j = 0; j < count; ++j) {
+              expected[static_cast<std::size_t>(r) * count + j] =
+                  contrib(r, j, salt);
+            }
+          }
+          for (const CollAlgo algo : registered_algos(CollOp::kAllgather)) {
+            std::vector<std::int64_t> out(expected.size(), -3);
+            ASSERT_EQ(allgather(comm, mine.data(),
+                                count * sizeof(std::int64_t), out.data(), {},
+                                algo),
+                      ErrorCode::kSuccess)
+                << coll_algo_name(algo);
+            EXPECT_EQ(out, expected)
+                << coll_algo_name(algo) << " n=" << n << " iter=" << iter;
+          }
+        }
+      });
+    }
+  }
+}
+
+TEST(CollectivesProperty, ReduceScatterAllAlgosMatchOnAllTopologies) {
+  for (const TopologyKind kind : kTopologies) {
+    for (const int n : kWorldSizes) {
+      World world(n, topo_world_config(kind));
+      world.run([n, kind](RankCtx& ctx) {
+        Comm& comm = ctx.comm_world();
+        Prng rng(0x2ED5Cull ^ (static_cast<std::uint64_t>(kind) << 8) ^
+                 static_cast<std::uint64_t>(n));
+        for (int iter = 0; iter < 3; ++iter) {
+          const std::size_t count = 1 + rng.next_below(300);
+          const auto salt = static_cast<std::uint64_t>(iter);
+          const std::size_t total = count * static_cast<std::size_t>(n);
+          std::vector<std::int64_t> mine(total);
+          for (std::size_t j = 0; j < total; ++j) {
+            mine[j] = contrib(comm.rank(), j, salt);
+          }
+          std::vector<std::int64_t> expected(count);
+          const std::size_t base =
+              static_cast<std::size_t>(comm.rank()) * count;
+          for (std::size_t j = 0; j < count; ++j) {
+            std::int64_t want = 0;
+            for (int r = 0; r < n; ++r) want += contrib(r, base + j, salt);
+            expected[j] = want;
+          }
+          for (const CollAlgo algo :
+               registered_algos(CollOp::kReduceScatter)) {
+            std::vector<std::int64_t> out(count, -9);
+            ASSERT_EQ(reduce_scatter_block(comm, mine.data(), out.data(),
+                                           count, Datatype::kInt64,
+                                           ReduceOp::kSum, {}, algo),
+                      ErrorCode::kSuccess)
+                << coll_algo_name(algo);
+            EXPECT_EQ(out, expected)
+                << coll_algo_name(algo) << " n=" << n << " iter=" << iter;
+          }
+        }
+      });
+    }
+  }
+}
+
+TEST(CollectivesProperty, DeviceTuningPinsTheAlgorithm) {
+  // The MPDirectConfig-style override: pinning an algorithm per device
+  // must route every call through it (and still be correct).
+  WorldConfig cfg = topo_world_config(TopologyKind::kTorus2D);
+  cfg.device.collectives.allreduce = CollAlgo::kReduceScatterAllgather;
+  cfg.device.collectives.allgather = CollAlgo::kBruck;
+  World world(7, cfg);
+  world.run([](RankCtx& ctx) {
+    Comm& comm = ctx.comm_world();
+    constexpr std::size_t kCount = 64;
+    std::vector<std::int64_t> mine(kCount);
+    for (std::size_t j = 0; j < kCount; ++j) {
+      mine[j] = contrib(comm.rank(), j, 5);
+    }
+    std::vector<std::int64_t> out(kCount);
+    ASSERT_EQ(allreduce(comm, mine.data(), out.data(), kCount,
+                        Datatype::kInt64, ReduceOp::kSum),
+              ErrorCode::kSuccess);
+    for (std::size_t j = 0; j < kCount; ++j) {
+      std::int64_t want = 0;
+      for (int r = 0; r < 7; ++r) want += contrib(r, j, 5);
+      EXPECT_EQ(out[j], want);
+    }
+  });
+}
+
+TEST(CollectivesProperty, SelectionAlwaysReturnsARegisteredAlgo) {
+  for (const TopologyKind kind : kTopologies) {
+    transport::Topology topo({kind}, 64);
+    for (const CollOp op :
+         {CollOp::kBcast, CollOp::kReduce, CollOp::kAllreduce,
+          CollOp::kAllgather, CollOp::kReduceScatter}) {
+      for (const int n : {1, 2, 5, 16, 64, 256}) {
+        for (const std::size_t bytes : {std::size_t{0}, std::size_t{64},
+                                        std::size_t{1} << 14,
+                                        std::size_t{1} << 20}) {
+          const CollAlgo a = select_algo(op, n, bytes, &topo);
+          const auto algos = registered_algos(op);
+          EXPECT_NE(std::find(algos.begin(), algos.end(), a), algos.end())
+              << "op=" << static_cast<int>(op) << " n=" << n
+              << " bytes=" << bytes;
+          EXPECT_NE(a, CollAlgo::kAuto);
+        }
+      }
+    }
+    // Null topology (flat) must work too.
+    EXPECT_NE(select_algo(CollOp::kBcast, 64, 1 << 20, nullptr),
+              CollAlgo::kAuto);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Fault pass: collectives over a dead wire must fail fast with kCommError
+// on every rank — never hang. Both directions of the 0<->1 link are black
+// holes, so each rank's Go-Back-N window exhausts its retries, the flow is
+// declared dead, and the in-flight sendrecv on BOTH sides errors out.
+
+TEST(CollectivesProperty, DeadLinkFailsFastWithCommError) {
+  WorldConfig cfg;
+  cfg.device.reliability.enabled = true;
+  cfg.device.reliability.retry_timeout_polls = 16;
+  cfg.device.reliability.retry_timeout_cap_polls = 64;
+  cfg.device.reliability.max_retries = 4;
+  World world(2, cfg);
+  transport::FaultConfig black_hole;
+  black_hole.seed = 99;
+  black_hole.drop_rate = 1.0;
+  world.fabric().inject_faults(0, 1, black_hole);
+  world.fabric().inject_faults(1, 0, black_hole);
+
+  world.run([](RankCtx& ctx) {
+    Comm& comm = ctx.comm_world();
+    constexpr std::size_t kCount = 64;
+    std::vector<std::int64_t> mine(kCount, 1);
+    std::vector<std::int64_t> out(kCount);
+    // Symmetric collectives: every rank sends, so every rank's flow dies
+    // and its posted receives are failed along with it.
+    EXPECT_EQ(allreduce(comm, mine.data(), out.data(), kCount,
+                        Datatype::kInt64, ReduceOp::kSum, {},
+                        CollAlgo::kRecursiveDoubling),
+              ErrorCode::kCommError);
+    EXPECT_EQ(allreduce(comm, mine.data(), out.data(), kCount,
+                        Datatype::kInt64, ReduceOp::kSum, {},
+                        CollAlgo::kReduceScatterAllgather),
+              ErrorCode::kCommError);
+    std::vector<std::int64_t> gathered(kCount * 2);
+    EXPECT_EQ(allgather(comm, mine.data(), kCount * sizeof(std::int64_t),
+                        gathered.data(), {}, CollAlgo::kRing),
+              ErrorCode::kCommError);
+    std::vector<std::int64_t> wide(kCount * 2, 1);
+    EXPECT_EQ(reduce_scatter_block(comm, wide.data(), out.data(), kCount,
+                                   Datatype::kInt64, ReduceOp::kSum, {},
+                                   CollAlgo::kPairwise),
+              ErrorCode::kCommError);
+    EXPECT_EQ(barrier(comm), ErrorCode::kCommError);
+  });
+}
+
+}  // namespace
+}  // namespace motor::mpi

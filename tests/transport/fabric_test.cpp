@@ -61,5 +61,77 @@ TEST(FabricTest, SingleRankWorldIsJustLoopback) {
   EXPECT_EQ(fabric.link(0, 0).name(), "loopback");
 }
 
+TEST(FabricTest, LinksAreCreatedLazily) {
+  // A 64-rank fabric must not allocate 64^2 channel buffers up front;
+  // links materialise on first use and each use bumps the epoch exactly
+  // once.
+  Fabric fabric(64, ChannelKind::kRing, 1 << 16);
+  EXPECT_EQ(fabric.live_links(), 0u);
+  const std::uint64_t e0 = fabric.epoch();
+
+  Channel& ch = fabric.link(3, 7);
+  EXPECT_EQ(fabric.live_links(), 1u);
+  EXPECT_EQ(fabric.epoch(), e0 + 1);
+
+  // Second lookup reuses the channel without another epoch bump.
+  EXPECT_EQ(&fabric.link(3, 7), &ch);
+  EXPECT_EQ(fabric.live_links(), 1u);
+  EXPECT_EQ(fabric.epoch(), e0 + 1);
+}
+
+TEST(FabricTest, SnapshotRankSeesOnlyLiveLinks) {
+  Fabric fabric(4, ChannelKind::kRing, 1 << 10);
+  fabric.link(1, 2);  // outbound from 2's perspective: none; inbound: 1->2
+  fabric.link(2, 0);
+
+  std::vector<Channel*> in;
+  std::vector<Channel*> out;
+  const std::uint64_t e = fabric.snapshot_rank(2, in, out);
+  EXPECT_EQ(e, fabric.epoch());
+  ASSERT_EQ(in.size(), 4u);
+  ASSERT_EQ(out.size(), 4u);
+  EXPECT_NE(in[1], nullptr);   // 1 -> 2 exists
+  EXPECT_EQ(in[0], nullptr);   // 0 -> 2 never touched
+  EXPECT_NE(out[0], nullptr);  // 2 -> 0 exists
+  EXPECT_EQ(out[3], nullptr);
+
+  // Creating a new link invalidates the snapshot via the epoch.
+  fabric.link(3, 2);
+  EXPECT_GT(fabric.epoch(), e);
+  const std::uint64_t e2 = fabric.snapshot_rank(2, in, out);
+  EXPECT_EQ(e2, fabric.epoch());
+  EXPECT_NE(in[3], nullptr);
+}
+
+TEST(FabricTest, EgressLinksShareOneBandwidthBudget) {
+  // The rate limit models each rank's NIC: with a 1-byte/s wire, the
+  // initial 16 KiB burst budget is shared across every egress link of
+  // rank 0, so writing it out on link 0->1 leaves nothing for 0->2,
+  // while rank 1's own egress budget is untouched.
+  Fabric fabric(3, ChannelKind::kRing, 1 << 20, /*wire_latency_ns=*/0,
+                /*wire_bandwidth_bps=*/1);
+  std::vector<std::byte> burst(16 * 1024);
+  EXPECT_EQ(fabric.link(0, 1).try_write({burst.data(), burst.size()}),
+            burst.size());
+  EXPECT_EQ(fabric.link(0, 2).try_write({burst.data(), burst.size()}), 0u);
+  EXPECT_EQ(fabric.link(1, 2).try_write({burst.data(), burst.size()}),
+            burst.size());
+}
+
+TEST(FabricTest, TopologyScalesLatencyByHopCount) {
+  // 9 ranks on a 3x3 mesh with 1ms per hop: the corner-to-corner link
+  // (4 hops) must model 4x the delay of a neighbour link. Channel names
+  // confirm the latency decorator is present; hop counts come from the
+  // topology the fabric exposes.
+  TopologySpec spec;
+  spec.kind = TopologyKind::kMesh2D;
+  Fabric fabric(9, ChannelKind::kRing, 1 << 10, /*wire_latency_ns=*/1000000,
+                /*wire_bandwidth_bps=*/0, spec);
+  EXPECT_EQ(fabric.topology().kind(), TopologyKind::kMesh2D);
+  EXPECT_EQ(fabric.topology().distance(0, 8), 4);
+  EXPECT_EQ(fabric.link(0, 1).name(), "ring+latency");
+  EXPECT_EQ(fabric.link(0, 0).name(), "loopback");
+}
+
 }  // namespace
 }  // namespace motor::transport

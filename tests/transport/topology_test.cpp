@@ -1,0 +1,122 @@
+#include "transport/topology.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/status.hpp"
+
+namespace motor::transport {
+namespace {
+
+TEST(TopologyTest, FullMeshIsOneHopEverywhere) {
+  Topology topo({TopologyKind::kFullMesh}, 9);
+  for (int a = 0; a < 9; ++a) {
+    for (int b = 0; b < 9; ++b) {
+      EXPECT_EQ(topo.distance(a, b), a == b ? 0 : 1);
+    }
+  }
+  EXPECT_EQ(topo.neighbors(4).size(), 8u);
+}
+
+TEST(TopologyTest, Mesh2DIsManhattanDistance) {
+  // 9 ranks -> 3x3 grid:  0 1 2 / 3 4 5 / 6 7 8
+  Topology topo({TopologyKind::kMesh2D}, 9);
+  EXPECT_EQ(topo.distance(0, 1), 1);
+  EXPECT_EQ(topo.distance(0, 3), 1);
+  EXPECT_EQ(topo.distance(0, 4), 2);
+  EXPECT_EQ(topo.distance(0, 8), 4);  // corner to corner, no wrap
+  EXPECT_EQ(topo.distance(2, 6), 4);
+  const std::vector<int> center = topo.neighbors(4);
+  EXPECT_EQ(center, (std::vector<int>{1, 3, 5, 7}));
+  const std::vector<int> corner = topo.neighbors(0);
+  EXPECT_EQ(corner, (std::vector<int>{1, 3}));
+}
+
+TEST(TopologyTest, Torus2DWrapsBothDimensions) {
+  Topology topo({TopologyKind::kTorus2D}, 9);
+  EXPECT_EQ(topo.distance(0, 2), 1);  // wraps around the row
+  EXPECT_EQ(topo.distance(0, 6), 1);  // wraps around the column
+  EXPECT_EQ(topo.distance(0, 8), 2);  // one wrap in each dimension
+  EXPECT_EQ(topo.distance(0, 4), 2);
+  // Torus distance can never exceed the mesh distance.
+  Topology mesh({TopologyKind::kMesh2D}, 9);
+  for (int a = 0; a < 9; ++a) {
+    for (int b = 0; b < 9; ++b) {
+      EXPECT_LE(topo.distance(a, b), mesh.distance(a, b));
+    }
+  }
+}
+
+TEST(TopologyTest, FatTreeIsOneOrThreeHops) {
+  TopologySpec spec{TopologyKind::kFatTree};
+  spec.fat_tree_radix = 4;
+  Topology topo(spec, 10);
+  EXPECT_EQ(topo.distance(0, 3), 1);  // same leaf switch
+  EXPECT_EQ(topo.distance(0, 4), 3);  // leaf -> spine -> leaf
+  EXPECT_EQ(topo.distance(8, 9), 1);  // partial trailing leaf
+  EXPECT_EQ(topo.ranks_per_node(), 4);
+  EXPECT_EQ(topo.node_count(), 3);
+}
+
+TEST(TopologyTest, DistanceIsSymmetricAndPositive) {
+  for (const TopologyKind kind :
+       {TopologyKind::kFullMesh, TopologyKind::kMesh2D, TopologyKind::kTorus2D,
+        TopologyKind::kFatTree}) {
+    for (const int n : {1, 2, 5, 13, 16}) {
+      Topology topo({kind}, n);
+      for (int a = 0; a < n; ++a) {
+        EXPECT_EQ(topo.distance(a, a), 0);
+        for (int b = 0; b < n; ++b) {
+          EXPECT_EQ(topo.distance(a, b), topo.distance(b, a));
+          if (a != b) EXPECT_GE(topo.distance(a, b), 1);
+        }
+      }
+    }
+  }
+}
+
+TEST(TopologyTest, NodesAreContiguousAndLedByLowestRank) {
+  TopologySpec spec{TopologyKind::kMesh2D};
+  spec.ranks_per_node = 4;
+  Topology topo(spec, 10);
+  EXPECT_EQ(topo.node_count(), 3);
+  EXPECT_EQ(topo.node_of(0), 0);
+  EXPECT_EQ(topo.node_of(3), 0);
+  EXPECT_EQ(topo.node_of(4), 1);
+  EXPECT_EQ(topo.node_of(9), 2);
+  EXPECT_TRUE(topo.same_node(4, 7));
+  EXPECT_FALSE(topo.same_node(3, 4));
+  EXPECT_EQ(topo.leader_of(1), 4);
+  EXPECT_EQ(topo.node_size(0), 4);
+  EXPECT_EQ(topo.node_size(2), 2);  // trailing partial node
+}
+
+TEST(TopologyTest, AutoNodeGroupingFollowsTheFabricShape) {
+  // Mesh/torus group by grid row; fat tree by leaf switch.
+  Topology mesh({TopologyKind::kMesh2D}, 16);  // 4x4 grid
+  EXPECT_EQ(mesh.ranks_per_node(), 4);
+  TopologySpec ft{TopologyKind::kFatTree};
+  ft.fat_tree_radix = 8;
+  Topology tree(ft, 32);
+  EXPECT_EQ(tree.ranks_per_node(), 8);
+  EXPECT_EQ(tree.node_count(), 4);
+}
+
+TEST(TopologyTest, ResizeRecomputesGridAndGrouping) {
+  Topology topo({TopologyKind::kMesh2D}, 4);  // 2x2
+  EXPECT_EQ(topo.distance(0, 3), 2);
+  topo.resize(16);  // 4x4
+  EXPECT_EQ(topo.size(), 16);
+  EXPECT_EQ(topo.distance(0, 15), 6);
+  EXPECT_EQ(topo.ranks_per_node(), 4);
+}
+
+TEST(TopologyTest, BadRankFatals) {
+  Topology topo({TopologyKind::kMesh2D}, 4);
+  EXPECT_THROW(topo.distance(-1, 0), FatalError);
+  EXPECT_THROW(topo.distance(0, 4), FatalError);
+}
+
+}  // namespace
+}  // namespace motor::transport
