@@ -1,0 +1,268 @@
+// Parameter-server throughput: sustained push updates/sec and p99 push
+// latency vs worker count, with and without coalescing (the ablation).
+//
+// One server shard plus W workers on the paper-calibrated wire (13 us
+// one-way, as in Figure 9/10 — see EXPERIMENTS.md). Every worker pushes
+// `ops` integer-valued 32-float deltas over a 64-key space, then the
+// server verifies the final table against the closed-form expectation
+// (workers * ops / keys per lane) — the run exits non-zero on any
+// mismatch, so the verify.sh smoke check cannot rot into a no-op.
+//
+//   --coalesce=on   records pack into 32 KiB batches (size/count/deadline
+//                   flush), one wire message per batch;
+//   --coalesce=off  every push is its own wire message (immediate flush),
+//                   still async and credit-windowed.
+//
+// Flags (fig9/fig10 conventions): --smoke (tiny grid, exercised by
+// scripts/verify.sh; exits non-zero on any convergence mismatch),
+// --json=PATH (machine-readable snapshot, e.g. BENCH_ps.json).
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "motor/motor_runtime.hpp"
+#include "pal/clock.hpp"
+#include "ps/ps.hpp"
+
+namespace motor::ps {
+namespace {
+
+constexpr std::uint64_t kKeys = 64;
+constexpr int kValueLen = 32;  // 128-byte payload per push
+
+struct CaseResult {
+  int workers = 0;
+  bool coalesce = true;
+  int ops_per_worker = 0;
+  std::uint64_t records = 0;
+  std::uint64_t batches = 0;
+  double records_per_batch = 0.0;
+  double elapsed_s = 0.0;
+  double updates_per_sec = 0.0;
+  double mean_us = 0.0;  // flush -> credit-return round trip
+  double p99_us = 0.0;
+  bool converged = false;
+};
+
+double percentile(std::vector<std::uint64_t>& ns, double p) {
+  if (ns.empty()) return 0.0;
+  std::sort(ns.begin(), ns.end());
+  const auto idx = static_cast<std::size_t>(
+      p * static_cast<double>(ns.size() - 1) + 0.5);
+  return static_cast<double>(ns[std::min(idx, ns.size() - 1)]) / 1000.0;
+}
+
+/// One grid point: ranks 1..workers push, rank 0 serves and verifies.
+CaseResult run_case(int workers, bool coalesce, int ops, bool smoke) {
+  CaseResult res;
+  res.workers = workers;
+  res.coalesce = coalesce;
+  res.ops_per_worker = ops;
+  res.records =
+      static_cast<std::uint64_t>(workers) * static_cast<std::uint64_t>(ops);
+
+  mp::MotorWorldConfig wc;
+  wc.ranks = workers + 1;
+  wc.vm.profile = vm::RuntimeProfile::uncosted();
+  wc.vm.heap.young_bytes = 512 * 1024;
+  // The paper-testbed wire (bench/series.hpp): per-message cost is what
+  // coalescing amortizes, so the wire must charge for messages.
+  wc.world.wire_latency_ns = smoke ? 2'000 : 13'000;
+
+  std::mutex mu;
+  std::uint64_t max_elapsed_ns = 0;
+  std::uint64_t batches = 0;
+  std::vector<std::uint64_t> latency_ns;
+  bool converged = true;
+
+  run_motor_world(wc, [&](mp::MotorContext& ctx) {
+    PsConfig pc;
+    pc.servers = 1;
+    pc.coalesce = coalesce;
+    pc.collect_latency = true;
+    pc.serve_timeout_ns = 300ull * 1000 * 1000 * 1000;
+    pc.op_timeout_ns = 300ull * 1000 * 1000 * 1000;
+    PsNode node(ctx, pc);
+    if (node.is_server()) {
+      const bool ok = node.server().Serve().is_ok();
+      // Closed-form expectation: worker w's op i hits key i % kKeys with
+      // an all-ones delta, so every lane of key k counts the hits.
+      const auto per_key = static_cast<float>(
+          static_cast<std::uint64_t>(workers) *
+          (static_cast<std::uint64_t>(ops) / kKeys));
+      bool table_ok = ok && node.server().table_size() == kKeys;
+      for (std::uint64_t k = 0; table_ok && k < kKeys; ++k) {
+        std::vector<float> v;
+        table_ok = node.server().Lookup(k, &v) &&
+                   v.size() == static_cast<std::size_t>(kValueLen);
+        for (std::size_t j = 0; table_ok && j < v.size(); ++j) {
+          table_ok = v[j] == per_key;
+        }
+      }
+      std::lock_guard<std::mutex> lk(mu);
+      converged = converged && table_ok;
+      return;
+    }
+    PsClient& cl = node.client();
+    std::vector<float> delta(kValueLen, 1.0f);
+    const std::uint64_t t0 = pal::monotonic_ns();
+    bool ok = true;
+    for (int i = 0; ok && i < ops; ++i) {
+      ok = cl.Push(static_cast<std::uint64_t>(i) % kKeys, delta).is_ok();
+    }
+    ok = ok && cl.Flush().is_ok();
+    const std::uint64_t elapsed = pal::monotonic_ns() - t0;
+    // One read exercises the pull path under load-adjacent conditions;
+    // the value is verified authoritatively by the server after FINs.
+    std::vector<float> got;
+    ok = ok && cl.Pull(0, &got).is_ok() &&
+         got.size() == static_cast<std::size_t>(kValueLen);
+    std::vector<std::uint64_t> samples = cl.take_latency_samples();
+    const PsClientStats st = cl.stats();
+    ok = ok && cl.Close().is_ok();
+    std::lock_guard<std::mutex> lk(mu);
+    converged = converged && ok;
+    max_elapsed_ns = std::max(max_elapsed_ns, elapsed);
+    batches += st.batches_flushed;
+    latency_ns.insert(latency_ns.end(), samples.begin(), samples.end());
+  });
+
+  res.converged = converged;
+  res.batches = batches;
+  res.records_per_batch =
+      batches > 0 ? static_cast<double>(res.records) /
+                        static_cast<double>(batches)
+                  : 0.0;
+  res.elapsed_s = static_cast<double>(max_elapsed_ns) / 1e9;
+  res.updates_per_sec =
+      res.elapsed_s > 0 ? static_cast<double>(res.records) / res.elapsed_s
+                        : 0.0;
+  double sum = 0;
+  for (const std::uint64_t s : latency_ns) sum += static_cast<double>(s);
+  res.mean_us = latency_ns.empty()
+                    ? 0.0
+                    : sum / static_cast<double>(latency_ns.size()) / 1000.0;
+  res.p99_us = percentile(latency_ns, 0.99);
+  return res;
+}
+
+const CaseResult* find_case(const std::vector<CaseResult>& rows, int workers,
+                            bool coalesce) {
+  for (const CaseResult& r : rows) {
+    if (r.workers == workers && r.coalesce == coalesce) return &r;
+  }
+  return nullptr;
+}
+
+int run(bool smoke, const std::string& json_path) {
+  // Off-mode op counts shrink with the per-message wire cost so the full
+  // sweep stays tractable; updates/sec normalizes the comparison.
+  const std::vector<int> worker_grid =
+      smoke ? std::vector<int>{2} : std::vector<int>{1, 2, 4, 8, 16};
+  const int ops_on = smoke ? 512 : 12'800;
+  const int ops_off = smoke ? 128 : 1'280;
+
+  std::printf("# ps_throughput (%s): 1 server shard, %d-float deltas, "
+              "%llu keys, wire %d ns\n",
+              smoke ? "smoke" : "full", kValueLen,
+              static_cast<unsigned long long>(kKeys), smoke ? 2000 : 13000);
+  std::printf("%8s %9s %8s %10s %10s %12s %10s %10s %10s\n", "workers",
+              "coalesce", "ops/wkr", "records", "rec/batch", "updates/s",
+              "mean_us", "p99_us", "elapsed_s");
+  std::fflush(stdout);
+
+  std::vector<CaseResult> rows;
+  bool all_converged = true;
+  for (const int w : worker_grid) {
+    for (const bool on : {true, false}) {
+      const CaseResult r = run_case(w, on, on ? ops_on : ops_off, smoke);
+      all_converged = all_converged && r.converged;
+      std::printf("%8d %9s %8d %10llu %10.1f %12.0f %10.1f %10.1f %9.3f%s\n",
+                  r.workers, r.coalesce ? "on" : "off", r.ops_per_worker,
+                  static_cast<unsigned long long>(r.records),
+                  r.records_per_batch, r.updates_per_sec, r.mean_us,
+                  r.p99_us, r.elapsed_s,
+                  r.converged ? "" : "  CONVERGENCE FAILED");
+      std::fflush(stdout);
+      rows.push_back(r);
+    }
+  }
+
+  // The headline acceptance number: coalescing vs the ablation at the
+  // largest worker count.
+  const int peak = worker_grid.back();
+  const CaseResult* on = find_case(rows, peak, true);
+  const CaseResult* off = find_case(rows, peak, false);
+  double speedup = 0.0;
+  if (on != nullptr && off != nullptr && off->updates_per_sec > 0) {
+    speedup = on->updates_per_sec / off->updates_per_sec;
+    std::printf("# coalescing at %d workers: %.0f -> %.0f updates/s "
+                "(%.1fx), p99 push %.1f us\n",
+                peak, off->updates_per_sec, on->updates_per_sec, speedup,
+                on->p99_us);
+  }
+  std::printf("# convergence (every lane equals workers*ops/keys): %s\n",
+              all_converged ? "OK" : "FAILED");
+
+  if (!json_path.empty()) {
+    std::FILE* f = std::fopen(json_path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+      return 1;
+    }
+    std::fprintf(f, "{\n  \"bench\": \"ps_throughput\",\n");
+    std::fprintf(f, "  \"mode\": \"%s\",\n", smoke ? "smoke" : "full");
+    std::fprintf(f,
+                 "  \"wire\": {\"latency_ns_per_hop\": %d},\n"
+                 "  \"shards\": 1,\n  \"value_floats\": %d,\n"
+                 "  \"keys\": %llu,\n",
+                 smoke ? 2000 : 13000, kValueLen,
+                 static_cast<unsigned long long>(kKeys));
+    std::fprintf(f, "  \"all_converged\": %s,\n",
+                 all_converged ? "true" : "false");
+    std::fprintf(f, "  \"peak_workers\": %d,\n", peak);
+    std::fprintf(f, "  \"coalesce_speedup_at_peak\": %.2f,\n", speedup);
+    std::fprintf(f, "  \"rows\": [\n");
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      const CaseResult& r = rows[i];
+      std::fprintf(
+          f,
+          "    {\"workers\": %d, \"coalesce\": %s, \"ops_per_worker\": %d, "
+          "\"records\": %llu, \"records_per_batch\": %.1f, "
+          "\"updates_per_sec\": %.0f, \"mean_push_us\": %.1f, "
+          "\"p99_push_us\": %.1f, \"elapsed_s\": %.3f, \"converged\": %s}%s\n",
+          r.workers, r.coalesce ? "true" : "false", r.ops_per_worker,
+          static_cast<unsigned long long>(r.records), r.records_per_batch,
+          r.updates_per_sec, r.mean_us, r.p99_us, r.elapsed_s,
+          r.converged ? "true" : "false",
+          i + 1 < rows.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    std::printf("# wrote %s\n", json_path.c_str());
+  }
+  return all_converged ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace motor::ps
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--smoke") {
+      smoke = true;
+    } else if (arg.rfind("--json=", 0) == 0) {
+      json_path = arg.substr(7);
+    } else {
+      std::fprintf(stderr, "usage: %s [--smoke] [--json=PATH]\n", argv[0]);
+      return 2;
+    }
+  }
+  return motor::ps::run(smoke, json_path);
+}

@@ -27,6 +27,19 @@ ctest --test-dir build -L serializer --output-on-failure
 # worlds, all four topologies, and the fault-injected fail-fast pass.
 ctest --test-dir build -L collectives --output-on-failure
 
+# Parameter-server tier (ctest -L ps): push/pull round trips, object
+# entries, cross-shard forwarding, the shared-pool steady state, the
+# back-pressure bound, the seeded convergence property, and the faulted
+# determinism suite (test_ps_fault is also under -L fault).
+ctest --test-dir build -L ps --output-on-failure
+
+# PS throughput smoke, strict (no `|| true`): a tiny coalesce-on/off grid
+# whose final table is checked against the closed-form expectation — the
+# binary exits non-zero on any convergence mismatch, so the coalescing
+# ablation cannot rot. The JSON lands in the build tree (the committed
+# BENCH_ps.json is the full sweep).
+timeout 300 ./build/bench/ps_throughput --smoke --json=build/ps_smoke.json
+
 # fig10 smoke: tiny ping-pong sizes plus the wire-plan ablation section,
 # strict (no `|| true`) so the bench binary and the plan_cache toggle
 # cannot rot.
@@ -37,12 +50,13 @@ timeout 300 ./build/bench/fig10_objects --smoke
 # entry producing a different answer, so the ablation identity cannot rot.
 timeout 300 ./build/bench/sweep_interconnect --smoke
 
-# Sanitizer tier: fault-labelled stress tests plus the collective
-# registry (tree/butterfly index arithmetic, in-place reduce windows)
-# under ASan + UBSan.
+# Sanitizer tier: fault-labelled stress tests, the collective registry
+# (tree/butterfly index arithmetic, in-place reduce windows), and the
+# parameter server (unaligned record payloads, pooled buffer recycling,
+# comm-thread handoffs) under ASan + UBSan.
 cmake -B build-asan -S . -DMOTOR_SANITIZE=ON >/dev/null
-cmake --build build-asan -j "$(nproc)" --target test_fault --target test_collectives
-ctest --test-dir build-asan -L 'fault|collectives' --output-on-failure
+cmake --build build-asan -j "$(nproc)" --target test_fault --target test_collectives --target test_ps --target test_ps_fault
+ctest --test-dir build-asan -L 'fault|collectives|ps' --output-on-failure
 
 # fig9 smoke: the full sweep takes minutes; a capped run via the pingpong
 # spec is not exposed on the CLI, so just run the cheapest ablation bench

@@ -1,0 +1,67 @@
+// Batched delivery hooks — the native-thread slice of MPDirect used by
+// the parameter-server comm thread (src/ps).
+//
+// Contrast with oo_ops.cpp: the OO operations run on the managed rank
+// thread under the FCall discipline (GC polls, pinning policy) and frame
+// every transfer as size-message + payload-message. These hooks are the
+// opposite corner: a dedicated native thread moving pooled native
+// buffers, one wire message per batch with the framing inside the
+// payload. No GC poll may run here — the calling thread owns no managed
+// state — and no pinning is ever needed (§7.4/§7.5 static-buffer rule).
+//
+// Thread-safety contract: while a comm thread drives these hooks, it is
+// the device's single driver; the managed owner thread must not issue
+// operations on any communicator sharing the device until the comm
+// thread is joined.
+#include "motor/mp_direct.hpp"
+#include "mpi/device.hpp"
+#include "mpi/pt2pt.hpp"
+
+namespace motor::mp {
+
+MPRequest MPDirect::isend_batch(ByteSpan bytes, int dst, int tag) {
+  mpi::Request req = mpi::isend(comm_, bytes.data(), bytes.size(), dst, tag);
+  if (req != nullptr) {
+    ++batch_stats_.batches_sent;
+    batch_stats_.batch_bytes_sent += bytes.size();
+  }
+  return MPRequest{std::move(req)};
+}
+
+bool MPDirect::test_batch(MPRequest& request, MpStatus* status) {
+  if (!request.valid()) return false;
+  if (!comm_.device().test(request.req)) return false;
+  fill_status(comm_, request.req, status);
+  if (status != nullptr) status->error = request.req->error;
+  return true;
+}
+
+bool MPDirect::try_recv_batch(ByteBuffer& into, int tag, MpStatus* status) {
+  mpi::MsgStatus st;
+  if (!mpi::iprobe(comm_, mpi::kAnySource, tag, &st)) {
+    ++batch_stats_.probe_misses;
+    return false;
+  }
+  ++batch_stats_.probe_hits;
+  // Receive exactly the probed envelope: the directed (source, tag) pair
+  // cannot match a different message because per-peer channels are FIFO
+  // and this thread is the only receiver on the context.
+  into.clear();
+  into.resize(st.count_bytes);
+  mpi::MsgStatus recv_st;
+  const ErrorCode err = mpi::recv(comm_, into.data(), into.size(), st.source,
+                                  st.tag, &recv_st);
+  ++batch_stats_.batches_received;
+  batch_stats_.batch_bytes_received += into.size();
+  if (status != nullptr) {
+    status->source = st.source;
+    status->tag = st.tag;
+    status->error = err;
+    status->count_bytes = static_cast<std::int64_t>(into.size());
+  }
+  return true;
+}
+
+void MPDirect::progress_batch() { comm_.device().progress(); }
+
+}  // namespace motor::mp

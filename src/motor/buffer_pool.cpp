@@ -3,32 +3,32 @@
 namespace motor::mp {
 
 PooledBuffer::~PooledBuffer() {
-  if (buf_ != nullptr) pool_->release(std::move(buf_));
+  if (pool_ != nullptr) pool_->put(std::move(buf_));
 }
 
 BufferPool::BufferPool(vm::ManagedHeap& heap) : heap_(heap) {
   heap_.add_gc_hook(&BufferPool::gc_hook, this);
 }
 
-PooledBuffer BufferPool::acquire() {
-  std::unique_ptr<ByteBuffer> buf;
+PooledBuffer BufferPool::acquire() { return PooledBuffer(*this, take()); }
+
+ByteBuffer BufferPool::take() {
   {
     std::lock_guard lk(mu_);
     if (!stack_.empty()) {
-      buf = std::move(stack_.back().buf);
+      ByteBuffer buf = std::move(stack_.back().buf);
       stack_.pop_back();
-      ++reused_;
+      reused_.fetch_add(1, std::memory_order_relaxed);
+      buf.clear();
+      return buf;
     }
   }
-  if (buf == nullptr) {
-    buf = std::make_unique<ByteBuffer>();
-    ++created_;
-  }
-  buf->clear();
-  return PooledBuffer(*this, std::move(buf));
+  created_.fetch_add(1, std::memory_order_relaxed);
+  return ByteBuffer{};
 }
 
-void BufferPool::release(std::unique_ptr<ByteBuffer> buf) {
+void BufferPool::put(ByteBuffer&& buf) {
+  buf.clear();
   std::lock_guard lk(mu_);
   stack_.push_back(Idle{std::move(buf), heap_.epoch()});
 }
@@ -50,8 +50,8 @@ void BufferPool::on_gc(std::uint64_t epoch) {
   auto keep = stack_.begin();
   for (Idle& idle : stack_) {
     if (idle.released_epoch + 2 <= epoch) {
-      ++trimmed_;
-      continue;  // unique_ptr frees the buffer
+      trimmed_.fetch_add(1, std::memory_order_relaxed);
+      continue;  // storage freed as the slot is dropped
     }
     *keep++ = std::move(idle);
   }

@@ -7,9 +7,18 @@
 //
 // Because these buffers live outside the managed heap, OO operations need
 // no pinning at all (§7.4).
+//
+// The pool is shared by every native-buffer hot path of a rank: the OO
+// serializer ops (orecv/obcast/oscatter and the gathered osend metadata
+// stream) and the parameter-server coalescer/comm thread (src/ps). Buffers
+// move by VALUE (ByteBuffer is a moved vector) so steady state performs no
+// heap allocation at all — a warm buffer keeps its capacity across
+// take()/put() cycles, which the pool-stats counters (`created`, `reused`)
+// make assertable in tests. All entry points are thread-safe: the comm
+// thread and the managed rank thread share one pool.
 #pragma once
 
-#include <memory>
+#include <atomic>
 #include <mutex>
 #include <vector>
 
@@ -24,21 +33,24 @@ class BufferPool;
 /// destruction.
 class PooledBuffer {
  public:
-  PooledBuffer(BufferPool& pool, std::unique_ptr<ByteBuffer> buf)
+  PooledBuffer(BufferPool& pool, ByteBuffer buf)
       : pool_(&pool), buf_(std::move(buf)) {}
   ~PooledBuffer();
 
-  PooledBuffer(PooledBuffer&&) = default;
+  PooledBuffer(PooledBuffer&& other) noexcept
+      : pool_(other.pool_), buf_(std::move(other.buf_)) {
+    other.pool_ = nullptr;
+  }
   PooledBuffer& operator=(PooledBuffer&&) = delete;
   PooledBuffer(const PooledBuffer&) = delete;
   PooledBuffer& operator=(const PooledBuffer&) = delete;
 
-  ByteBuffer& operator*() { return *buf_; }
-  ByteBuffer* operator->() { return buf_.get(); }
+  ByteBuffer& operator*() { return buf_; }
+  ByteBuffer* operator->() { return &buf_; }
 
  private:
   BufferPool* pool_;
-  std::unique_ptr<ByteBuffer> buf_;
+  ByteBuffer buf_;
 };
 
 class BufferPool {
@@ -53,28 +65,38 @@ class BufferPool {
   /// cleared.
   PooledBuffer acquire();
 
+  /// Value form of acquire(): callers that hand buffers across threads
+  /// (the coalescer / comm-thread pipeline) move the ByteBuffer itself and
+  /// return it with put() when the wire is done with it.
+  ByteBuffer take();
+  void put(ByteBuffer&& buf);
+
   [[nodiscard]] std::size_t idle_count() const;
-  [[nodiscard]] std::uint64_t created() const noexcept { return created_; }
-  [[nodiscard]] std::uint64_t reused() const noexcept { return reused_; }
-  [[nodiscard]] std::uint64_t trimmed() const noexcept { return trimmed_; }
+  [[nodiscard]] std::uint64_t created() const noexcept {
+    return created_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t reused() const noexcept {
+    return reused_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t trimmed() const noexcept {
+    return trimmed_.load(std::memory_order_relaxed);
+  }
 
  private:
-  friend class PooledBuffer;
-  void release(std::unique_ptr<ByteBuffer> buf);
   void on_gc(std::uint64_t epoch);
   static void gc_hook(void* ctx, std::uint64_t epoch);
 
   struct Idle {
-    std::unique_ptr<ByteBuffer> buf;
+    ByteBuffer buf;
     std::uint64_t released_epoch;
   };
 
   vm::ManagedHeap& heap_;
   mutable std::mutex mu_;
   std::vector<Idle> stack_;
-  std::uint64_t created_ = 0;
-  std::uint64_t reused_ = 0;
-  std::uint64_t trimmed_ = 0;
+  std::atomic<std::uint64_t> created_{0};
+  std::atomic<std::uint64_t> reused_{0};
+  std::atomic<std::uint64_t> trimmed_{0};
 };
 
 }  // namespace motor::mp

@@ -65,7 +65,14 @@ Communicator spawn_motor_workers(
 
 void run_motor_world(const MotorWorldConfig& config,
                      const std::function<void(MotorContext&)>& rank_main) {
+  run_motor_world(config, {}, rank_main);
+}
+
+void run_motor_world(const MotorWorldConfig& config,
+                     const std::function<void(mpi::World&)>& world_setup,
+                     const std::function<void(MotorContext&)>& rank_main) {
   mpi::World world(config.ranks, config.world);
+  if (world_setup) world_setup(world);
   world.run([&config, &rank_main](mpi::RankCtx& rank_ctx) {
     MotorContext ctx(rank_ctx, config);
     rank_main(ctx);

@@ -79,4 +79,11 @@ Communicator spawn_motor_workers(
 void run_motor_world(const MotorWorldConfig& config,
                      const std::function<void(MotorContext&)>& rank_main);
 
+/// As above, but `world_setup` runs on the constructed World BEFORE any
+/// rank starts — the window where transport decorators must be attached
+/// (e.g. Fabric::inject_faults for the PS fault suite).
+void run_motor_world(const MotorWorldConfig& config,
+                     const std::function<void(mpi::World&)>& world_setup,
+                     const std::function<void(MotorContext&)>& rank_main);
+
 }  // namespace motor::mp

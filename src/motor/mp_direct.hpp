@@ -35,6 +35,21 @@ struct MPRequest {
   [[nodiscard]] bool valid() const noexcept { return req != nullptr; }
 };
 
+/// Counters for the batched (single-message) delivery hooks below —
+/// the parameter-server comm thread's traffic. Distinct from the OO ops'
+/// two-message size+payload protocol: a batch rides the wire as ONE
+/// message whose framing lives inside the payload, so per-message device
+/// overhead (header, packetization, progress wakeups) is paid once per
+/// batch instead of once per record.
+struct BatchStats {
+  std::uint64_t batches_sent = 0;
+  std::uint64_t batches_received = 0;
+  std::uint64_t batch_bytes_sent = 0;
+  std::uint64_t batch_bytes_received = 0;
+  std::uint64_t probe_hits = 0;
+  std::uint64_t probe_misses = 0;
+};
+
 struct MPDirectConfig {
   PinMode pin_mode = PinMode::kMotorPolicy;
   VisitedMode visited_mode = VisitedMode::kHashed;
@@ -110,6 +125,31 @@ class MPDirect {
   /// ends with the complete array (extension beyond the paper's list).
   Status oallgather(vm::Obj my_piece, vm::Obj* merged);
 
+  // ---- batched delivery hooks (batch_io.cpp) ----
+  //
+  // Native-thread entry points for the parameter-server comm thread
+  // (src/ps): raw byte batches, single-message framing, NO FCall/GC
+  // discipline and NO pinning — callers move only native (pooled)
+  // buffers, never managed objects. While a comm thread drives these, the
+  // managed owner thread must not use this MPDirect (or any other comm
+  // sharing its device): the device keeps its single-driver rule, the
+  // driver just changes for the attach window.
+
+  /// Start sending `bytes` as one wire message. The storage must stay
+  /// valid until the request completes.
+  MPRequest isend_batch(ByteSpan bytes, int dst, int tag);
+  /// Drive progress once; true when `request` completed (status filled).
+  bool test_batch(MPRequest& request, MpStatus* status = nullptr);
+  /// Probe (any source) for a batch on `tag`; when one is available,
+  /// receive it whole into `into` (resized to the message) and fill
+  /// `status`. False when nothing is pending.
+  bool try_recv_batch(ByteBuffer& into, int tag, MpStatus* status = nullptr);
+  /// One pump of the device progress engine.
+  void progress_batch();
+  [[nodiscard]] const BatchStats& batch_stats() const noexcept {
+    return batch_stats_;
+  }
+
   [[nodiscard]] std::uint64_t fcall_invocations() const noexcept {
     return fcall_invocations_;
   }
@@ -138,6 +178,7 @@ class MPDirect {
   MotorSerializer serializer_;
   BufferPool pool_;
   std::uint64_t fcall_invocations_ = 0;
+  BatchStats batch_stats_;
 };
 
 }  // namespace motor::mp

@@ -99,18 +99,26 @@ Status MPDirect::send_gathered(GatherRep& rep, int dst, int tag) {
 
 Status MPDirect::osend(vm::Obj obj, int dst, int tag) {
   OoFCallScope fcall(vm_, thread_);
+  // The gather metadata stream recycles through the same static pool as
+  // the flat OO buffers and the parameter-server coalescer: a warm pool
+  // buffer keeps its capacity, so steady-state osend allocates nothing.
   GatherRep rep;
-  MOTOR_RETURN_IF_ERROR(serializer_.serialize_gather(obj, rep));
-  return send_gathered(rep, dst, tag);
+  rep.meta = pool_.take();
+  Status st = serializer_.serialize_gather(obj, rep);
+  if (st.is_ok()) st = send_gathered(rep, dst, tag);
+  pool_.put(std::move(rep.meta));
+  return st;
 }
 
 Status MPDirect::osend(vm::Obj arr, std::int64_t offset, std::int64_t count,
                        int dst, int tag) {
   OoFCallScope fcall(vm_, thread_);
   GatherRep rep;
-  MOTOR_RETURN_IF_ERROR(
-      serializer_.serialize_window_gather(arr, offset, count, rep));
-  return send_gathered(rep, dst, tag);
+  rep.meta = pool_.take();
+  Status st = serializer_.serialize_window_gather(arr, offset, count, rep);
+  if (st.is_ok()) st = send_gathered(rep, dst, tag);
+  pool_.put(std::move(rep.meta));
+  return st;
 }
 
 Status MPDirect::orecv(int src, int tag, vm::Obj* out, MpStatus* status) {
@@ -165,9 +173,12 @@ Status MPDirect::oscatter(vm::Obj arr, int root, vm::Obj* my_piece) {
     for (int r = 0; r < n; ++r) {
       if (r == root) continue;
       GatherRep piece;
-      MOTOR_RETURN_IF_ERROR(serializer_.serialize_window_gather(
-          arr, per_rank * r, per_rank, piece));
-      MOTOR_RETURN_IF_ERROR(send_gathered(piece, r, tag));
+      piece.meta = pool_.take();  // same warm buffer cycles every iteration
+      Status st = serializer_.serialize_window_gather(arr, per_rank * r,
+                                                      per_rank, piece);
+      if (st.is_ok()) st = send_gathered(piece, r, tag);
+      pool_.put(std::move(piece.meta));
+      MOTOR_RETURN_IF_ERROR(st);
     }
     PooledBuffer mine = pool_.acquire();
     MOTOR_RETURN_IF_ERROR(serializer_.serialize_array_window(
@@ -200,9 +211,12 @@ Status MPDirect::ogather(vm::Obj my_piece, int root, vm::Obj* merged) {
 
   if (comm_.rank() != root) {
     GatherRep rep;
-    MOTOR_RETURN_IF_ERROR(serializer_.serialize_window_gather(
-        my_piece, 0, vm::array_length(my_piece), rep));
-    return send_gathered(rep, root, tag);
+    rep.meta = pool_.take();
+    Status st = serializer_.serialize_window_gather(
+        my_piece, 0, vm::array_length(my_piece), rep);
+    if (st.is_ok()) st = send_gathered(rep, root, tag);
+    pool_.put(std::move(rep.meta));
+    return st;
   }
 
   // Root: collect pieces in rank order, then fuse — "the deserialization

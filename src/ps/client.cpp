@@ -1,0 +1,431 @@
+#include "ps/client.hpp"
+
+#include <chrono>
+#include <cstring>
+#include <utility>
+
+#include "pal/clock.hpp"
+
+namespace motor::ps {
+
+PsClient::PsClient(mp::MPDirect& direct, PsConfig config)
+    : direct_(direct),
+      cfg_(std::move(config)),
+      n_servers_(cfg_.servers),
+      self_(direct.rank()),
+      comm_(direct, CommThreadConfig{cfg_.tag}) {
+  co_.resize(static_cast<std::size_t>(n_servers_));
+  credits_.assign(static_cast<std::size_t>(n_servers_), cfg_.window_batches);
+  sent_.resize(static_cast<std::size_t>(n_servers_));
+  next_seq_.assign(static_cast<std::size_t>(n_servers_), 0);
+  comm_.set_inbound_handler(
+      [this](ByteBuffer buf, int src) { on_reply(std::move(buf), src); });
+  comm_.set_failure_handler(
+      [this](int peer, ErrorCode err) { on_failure(peer, err); });
+  comm_.set_tick_handler([this] { on_tick(); });
+  comm_.start();
+}
+
+PsClient::~PsClient() { Close(); }
+
+int PsClient::route(std::uint64_t key) const {
+  if (cfg_.route_hook) return cfg_.route_hook(key);
+  return shard_of(key, n_servers_);
+}
+
+PsClient::Coalescer& PsClient::open_locked(int shard) {
+  Coalescer& c = co_[static_cast<std::size_t>(shard)];
+  if (!c.open) {
+    c.buf = direct_.pool().take();
+    BatchHeader h;
+    h.kind = MsgKind::kRequest;
+    h.origin = static_cast<std::uint32_t>(self_);
+    h.seq = next_seq_[static_cast<std::size_t>(shard)]++;
+    write_header(c.buf, h);
+    c.records = 0;
+    c.opened_ns = pal::monotonic_ns();
+    c.open = true;
+    c.want_flush = false;
+  }
+  return c;
+}
+
+void PsClient::note_queued_locked() {
+  std::uint64_t open_bytes = 0;
+  for (const Coalescer& c : co_) {
+    if (c.open) open_bytes += c.buf.size();
+  }
+  const std::uint64_t queued = in_flight_bytes_ + open_bytes;
+  if (queued > stats_.peak_queued_bytes) stats_.peak_queued_bytes = queued;
+}
+
+void PsClient::send_locked(int shard) {
+  Coalescer& c = co_[static_cast<std::size_t>(shard)];
+  patch_header(c.buf, c.records, 0);
+  credits_[static_cast<std::size_t>(shard)]--;
+  const std::uint64_t bytes = c.buf.size();
+  in_flight_bytes_ += bytes;
+  sent_[static_cast<std::size_t>(shard)].push_back(
+      SentBatch{pal::monotonic_ns(), bytes});
+  stats_.batches_flushed++;
+  stats_.records_flushed += c.records;
+  stats_.bytes_flushed += bytes;
+  note_queued_locked();
+  comm_.post(shard, std::move(c.buf));
+  c.open = false;
+  c.records = 0;
+  c.want_flush = false;
+}
+
+Status PsClient::wait_while(std::unique_lock<std::mutex>& lk,
+                            const std::function<bool()>& blocked) {
+  const std::uint64_t start_ns = pal::monotonic_ns();
+  while (blocked() && !failed_) {
+    cv_.wait_for(lk, std::chrono::milliseconds(50));
+    if (cfg_.op_timeout_ns != 0 && blocked() && !failed_ &&
+        pal::monotonic_ns() - start_ns > cfg_.op_timeout_ns) {
+      // Watchdog: a peer stopped answering entirely. Fail the endpoint so
+      // nothing (including other waiters) wedges.
+      failed_ = true;
+      fail_code_ = ErrorCode::kCommError;
+      for (auto& [corr, p] : pending_) {
+        if (!p.done) {
+          p.done = true;
+          p.err = fail_code_;
+        }
+      }
+      cv_.notify_all();
+      break;
+    }
+  }
+  if (failed_) return Status(fail_code_, "ps client failed");
+  return Status::ok();
+}
+
+Status PsClient::flush_locked(int shard, std::unique_lock<std::mutex>& lk) {
+  Coalescer& c = co_[static_cast<std::size_t>(shard)];
+  if (!c.open || c.records == 0) return Status::ok();
+  // The back-pressure point: no credit means window_batches batches are
+  // already unapplied at this shard. Block the worker here rather than
+  // letting queue memory grow without bound.
+  if (credits_[static_cast<std::size_t>(shard)] == 0) stats_.credit_waits++;
+  MOTOR_RETURN_IF_ERROR(wait_while(lk, [this, shard] {
+    // The comm thread may flush this batch itself (deadline + returned
+    // credit) while we wait — then there is nothing left to send here.
+    const Coalescer& now = co_[static_cast<std::size_t>(shard)];
+    return now.open && now.records > 0 &&
+           credits_[static_cast<std::size_t>(shard)] == 0;
+  }));
+  Coalescer& again = co_[static_cast<std::size_t>(shard)];
+  if (!again.open || again.records == 0) return Status::ok();
+  send_locked(shard);
+  return Status::ok();
+}
+
+Status PsClient::maybe_flush_locked(int shard,
+                                    std::unique_lock<std::mutex>& lk) {
+  Coalescer& c = co_[static_cast<std::size_t>(shard)];
+  note_queued_locked();
+  if (!cfg_.coalesce) {
+    stats_.immediate_flushes++;
+  } else if (c.records >= cfg_.flush_records) {
+    stats_.count_flushes++;
+  } else if (c.buf.size() >= cfg_.flush_bytes) {
+    stats_.size_flushes++;
+  } else {
+    return Status::ok();
+  }
+  return flush_locked(shard, lk);
+}
+
+Status PsClient::Push(std::uint64_t key, std::span<const float> delta) {
+  std::unique_lock<std::mutex> lk(mu_);
+  if (closed_) return Status(ErrorCode::kRequestError, "ps client closed");
+  if (failed_) return Status(fail_code_, "ps client failed");
+  stats_.pushes++;
+  const int shard = route(key);
+  Coalescer& c = open_locked(shard);
+  append_push(c.buf, key,
+              as_bytes_of(delta.data(), delta.size_bytes()));
+  c.records++;
+  return maybe_flush_locked(shard, lk);
+}
+
+Status PsClient::enqueue_pull(std::uint64_t key, ReqOp op,
+                              std::uint64_t* corr_out) {
+  // Caller holds mu_ via the public entry points below.
+  const int shard = route(key);
+  const std::uint64_t corr = next_corr_++;
+  Coalescer& c = open_locked(shard);
+  if (op == ReqOp::kPull) {
+    append_pull(c.buf, key, corr);
+  } else {
+    append_get_object(c.buf, key, corr);
+  }
+  c.records++;
+  pending_.emplace(corr, Pending{});
+  *corr_out = corr;
+  return Status::ok();
+}
+
+Status PsClient::Pull(std::uint64_t key, std::vector<float>* out) {
+  std::unique_lock<std::mutex> lk(mu_);
+  if (closed_) return Status(ErrorCode::kRequestError, "ps client closed");
+  if (failed_) return Status(fail_code_, "ps client failed");
+  stats_.pulls++;
+  std::uint64_t corr = 0;
+  MOTOR_RETURN_IF_ERROR(enqueue_pull(key, ReqOp::kPull, &corr));
+  const int shard = route(key);
+  stats_.immediate_flushes++;
+  Status st = flush_locked(shard, lk);
+  if (!st.is_ok()) {
+    pending_.erase(corr);
+    return st;
+  }
+  st = wait_while(lk, [this, corr] { return !pending_.at(corr).done; });
+  auto it = pending_.find(corr);
+  if (!st.is_ok() && !it->second.done) {
+    pending_.erase(it);
+    return st;
+  }
+  Pending p = std::move(it->second);
+  pending_.erase(it);
+  if (p.err != ErrorCode::kSuccess) {
+    direct_.pool().put(std::move(p.data));
+    return Status(p.err, "ps pull failed");
+  }
+  const std::size_t n = p.data.size() / sizeof(float);
+  out->resize(n);
+  if (n > 0) std::memcpy(out->data(), p.data.data(), n * sizeof(float));
+  direct_.pool().put(std::move(p.data));
+  return Status::ok();
+}
+
+Status PsClient::PutObject(std::uint64_t key, vm::Obj obj) {
+  // Serialize on the managed thread before taking mu_: serialization may
+  // allocate (visited sets) but never touches client state.
+  ByteBuffer tmp = direct_.pool().take();
+  Status ser = direct_.serializer().serialize(obj, tmp);
+  if (!ser.is_ok()) {
+    direct_.pool().put(std::move(tmp));
+    return ser;
+  }
+  std::unique_lock<std::mutex> lk(mu_);
+  if (closed_) {
+    lk.unlock();
+    direct_.pool().put(std::move(tmp));
+    return Status(ErrorCode::kRequestError, "ps client closed");
+  }
+  if (failed_) {
+    lk.unlock();
+    direct_.pool().put(std::move(tmp));
+    return Status(fail_code_, "ps client failed");
+  }
+  stats_.object_puts++;
+  const int shard = route(key);
+  Coalescer& c = open_locked(shard);
+  append_put_object(c.buf, key, ByteSpan{tmp.data(), tmp.size()});
+  c.records++;
+  Status st = maybe_flush_locked(shard, lk);
+  lk.unlock();
+  direct_.pool().put(std::move(tmp));
+  return st;
+}
+
+Status PsClient::GetObject(std::uint64_t key, vm::Obj* out) {
+  std::unique_lock<std::mutex> lk(mu_);
+  if (closed_) return Status(ErrorCode::kRequestError, "ps client closed");
+  if (failed_) return Status(fail_code_, "ps client failed");
+  stats_.object_gets++;
+  std::uint64_t corr = 0;
+  MOTOR_RETURN_IF_ERROR(enqueue_pull(key, ReqOp::kGetObject, &corr));
+  const int shard = route(key);
+  stats_.immediate_flushes++;
+  Status st = flush_locked(shard, lk);
+  if (!st.is_ok()) {
+    pending_.erase(corr);
+    return st;
+  }
+  st = wait_while(lk, [this, corr] { return !pending_.at(corr).done; });
+  auto it = pending_.find(corr);
+  if (!st.is_ok() && !it->second.done) {
+    pending_.erase(it);
+    return st;
+  }
+  Pending p = std::move(it->second);
+  pending_.erase(it);
+  lk.unlock();
+  // Deserialize outside mu_: it allocates on the managed heap and may run
+  // a GC; reply dispatch must not stall behind that.
+  Status result = Status::ok();
+  if (p.err != ErrorCode::kSuccess) {
+    result = Status(p.err, "ps get-object failed");
+  } else {
+    p.data.seek(0);
+    result = direct_.serializer().deserialize(p.data, direct_.thread(), out);
+  }
+  direct_.pool().put(std::move(p.data));
+  return result;
+}
+
+Status PsClient::Flush() {
+  std::unique_lock<std::mutex> lk(mu_);
+  for (int s = 0; s < n_servers_; ++s) {
+    MOTOR_RETURN_IF_ERROR(flush_locked(s, lk));
+  }
+  // Quiesce: every credit home means every flushed batch was applied.
+  return wait_while(lk, [this] {
+    if (!pending_.empty()) return true;
+    for (const auto& q : sent_) {
+      if (!q.empty()) return true;
+    }
+    return false;
+  });
+}
+
+Status PsClient::Close() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (closed_) return Status::ok();
+  }
+  Status st = Flush();
+  std::unique_lock<std::mutex> lk(mu_);
+  closed_ = true;
+  // End-of-stream to every shard, credit-exempt: header-only kFin.
+  for (int s = 0; s < n_servers_; ++s) {
+    ByteBuffer fin = direct_.pool().take();
+    BatchHeader h;
+    h.kind = MsgKind::kFin;
+    h.origin = static_cast<std::uint32_t>(self_);
+    h.seq = next_seq_[static_cast<std::size_t>(s)]++;
+    write_header(fin, h);
+    comm_.post(s, std::move(fin));
+  }
+  lk.unlock();
+  comm_.request_stop();
+  comm_.join();
+  // Return any parked coalescer storage to the pool.
+  std::lock_guard<std::mutex> lk2(mu_);
+  for (Coalescer& c : co_) {
+    if (c.open) {
+      direct_.pool().put(std::move(c.buf));
+      c.open = false;
+    }
+  }
+  if (!st.is_ok()) return st;
+  if (failed_) return Status(fail_code_, "ps client failed");
+  return Status::ok();
+}
+
+PsClientStats PsClient::stats() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return stats_;
+}
+
+std::uint64_t PsClient::queued_bytes() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  std::uint64_t open_bytes = 0;
+  for (const Coalescer& c : co_) {
+    if (c.open) open_bytes += c.buf.size();
+  }
+  return in_flight_bytes_ + open_bytes;
+}
+
+std::vector<std::uint64_t> PsClient::take_latency_samples() {
+  std::lock_guard<std::mutex> lk(mu_);
+  return std::move(latency_ns_);
+}
+
+void PsClient::on_reply(ByteBuffer buf, int src) {
+  BatchHeader h;
+  Status st = read_header(buf, &h);
+  if (!st.is_ok() || h.kind != MsgKind::kReply || src < 0 ||
+      src >= n_servers_) {
+    direct_.pool().put(std::move(buf));
+    on_failure(src, ErrorCode::kSerialization);
+    return;
+  }
+  std::lock_guard<std::mutex> lk(mu_);
+  // Credits come home: the server applied h.credit_return of our batches.
+  auto& acks = sent_[static_cast<std::size_t>(src)];
+  const std::uint64_t now =
+      cfg_.collect_latency && h.credit_return > 0 ? pal::monotonic_ns() : 0;
+  for (std::uint32_t i = 0; i < h.credit_return && !acks.empty(); ++i) {
+    const SentBatch sb = acks.front();
+    acks.pop_front();
+    in_flight_bytes_ -= sb.bytes;
+    if (cfg_.collect_latency) latency_ns_.push_back(now - sb.flushed_ns);
+  }
+  credits_[static_cast<std::size_t>(src)] +=
+      static_cast<int>(h.credit_return);
+  bool parse_ok = true;
+  for (std::uint32_t i = 0; i < h.record_count; ++i) {
+    ReplyRecord r;
+    if (!read_reply(buf, &r).is_ok()) {
+      parse_ok = false;
+      break;
+    }
+    auto it = pending_.find(r.correlation);
+    if (it == pending_.end()) {
+      stats_.orphan_replies++;
+      continue;
+    }
+    Pending& p = it->second;
+    p.err = r.op == ReplyOp::kError ? r.error : ErrorCode::kSuccess;
+    p.data = direct_.pool().take();
+    p.data.append(r.payload);
+    p.done = true;
+  }
+  // Credit may have unblocked a deadline-flush that found the window shut.
+  for (int s = 0; s < n_servers_; ++s) {
+    Coalescer& c = co_[static_cast<std::size_t>(s)];
+    if (c.want_flush && c.open && c.records > 0 &&
+        credits_[static_cast<std::size_t>(s)] > 0) {
+      stats_.deadline_flushes++;
+      send_locked(s);
+    }
+  }
+  direct_.pool().put(std::move(buf));
+  cv_.notify_all();
+  if (!parse_ok) on_failure(src, ErrorCode::kSerialization);
+}
+
+void PsClient::on_failure(int peer, ErrorCode err) {
+  (void)peer;
+  std::lock_guard<std::mutex> lk(mu_);
+  if (!failed_) {
+    failed_ = true;
+    fail_code_ = err == ErrorCode::kSuccess ? ErrorCode::kCommError : err;
+  }
+  // Nothing will ever complete these; fail them so no caller hangs.
+  for (auto& [corr, p] : pending_) {
+    if (!p.done) {
+      p.done = true;
+      p.err = fail_code_;
+    }
+  }
+  cv_.notify_all();
+}
+
+void PsClient::on_tick() {
+  if (cfg_.flush_deadline_ns == 0) return;
+  const std::uint64_t now = pal::monotonic_ns();
+  // Rate-limit: the comm loop ticks far more often than deadlines expire.
+  if (now - last_tick_ns_ < cfg_.flush_deadline_ns / 2) return;
+  last_tick_ns_ = now;
+  std::lock_guard<std::mutex> lk(mu_);
+  if (failed_) return;
+  for (int s = 0; s < n_servers_; ++s) {
+    Coalescer& c = co_[static_cast<std::size_t>(s)];
+    if (!c.open || c.records == 0 || c.want_flush) continue;
+    if (now - c.opened_ns < cfg_.flush_deadline_ns) continue;
+    if (credits_[static_cast<std::size_t>(s)] > 0) {
+      stats_.deadline_flushes++;
+      send_locked(s);
+    } else {
+      c.want_flush = true;  // flushed by on_reply when a credit returns
+    }
+  }
+}
+
+}  // namespace motor::ps

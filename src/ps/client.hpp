@@ -1,0 +1,157 @@
+// PsClient: the worker-side endpoint of the sharded parameter server.
+//
+// Hot path (Push): route the key to its shard, append one thin record to
+// that shard's open coalescer — a pooled native buffer — and return.
+// Nothing touches the wire on the application thread; the per-endpoint
+// CommThread drains flushed batches asynchronously (Multiverso idiom).
+//
+// Flush triggers, in priority order:
+//   * size      open batch reached flush_bytes,
+//   * count     open batch reached flush_records,
+//   * deadline  comm-thread tick found a batch older than
+//               flush_deadline_ns (so stragglers never wait on a full
+//               batch),
+//   * immediate coalesce=false (the ablation), and every Pull (reads are
+//               latency-sensitive and must not sit in a half-full batch).
+//
+// Back-pressure: each server shard extends the client window_batches
+// credits. A flush consumes one; the server returns it in a reply header
+// only AFTER applying the batch. When a shard's credits hit zero, flush
+// blocks the application thread — a stalled server therefore bounds
+// client-side queue memory at window_batches * flush_bytes + one open
+// coalescer per shard, which tests/ps/ps_backpressure_test.cpp asserts.
+//
+// Pulls carry a correlation id; replies may arrive on any future inbound
+// batch and complete the matching Pending entry. Forwarded pulls (the
+// first-hop shard did not own the key) are answered directly by the
+// owning server — the client never knows the difference.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "motor/mp_direct.hpp"
+#include "ps/comm_thread.hpp"
+#include "ps/config.hpp"
+#include "ps/wire.hpp"
+
+namespace motor::ps {
+
+struct PsClientStats {
+  std::uint64_t pushes = 0;
+  std::uint64_t pulls = 0;
+  std::uint64_t object_puts = 0;
+  std::uint64_t object_gets = 0;
+  std::uint64_t batches_flushed = 0;
+  std::uint64_t records_flushed = 0;
+  std::uint64_t bytes_flushed = 0;
+  std::uint64_t size_flushes = 0;
+  std::uint64_t count_flushes = 0;
+  std::uint64_t deadline_flushes = 0;
+  std::uint64_t immediate_flushes = 0;
+  std::uint64_t credit_waits = 0;     // flushes that blocked on a credit
+  std::uint64_t orphan_replies = 0;   // reply records with no pending op
+  std::uint64_t peak_queued_bytes = 0;  // in-flight + open coalescer bytes
+};
+
+class PsClient {
+ public:
+  PsClient(mp::MPDirect& direct, PsConfig config);
+  ~PsClient();
+
+  PsClient(const PsClient&) = delete;
+  PsClient& operator=(const PsClient&) = delete;
+
+  /// Accumulate `delta` element-wise into the value at `key` (creating a
+  /// zero vector of delta's length on first touch). Asynchronous: returns
+  /// after coalescing; delivery is bounded by the credit window.
+  Status Push(std::uint64_t key, std::span<const float> delta);
+  /// Read the current value at `key` into *out. Blocks until the owning
+  /// shard replies.
+  Status Pull(std::uint64_t key, std::vector<float>* out);
+  /// Replace the entry at `key` with a serialized managed object.
+  Status PutObject(std::uint64_t key, vm::Obj obj);
+  /// Fetch and deserialize the object at `key` into *out.
+  Status GetObject(std::uint64_t key, vm::Obj* out);
+
+  /// Flush all open coalescers and block until every in-flight batch has
+  /// been applied (all credits home) and every pull completed.
+  Status Flush();
+  /// Flush, send end-of-stream FINs to every shard, and join the comm
+  /// thread. The client is unusable afterwards. Idempotent.
+  Status Close();
+
+  [[nodiscard]] PsClientStats stats() const;
+  /// Current worker-side queue footprint: in-flight batch bytes plus open
+  /// coalescer bytes (the quantity back-pressure bounds).
+  [[nodiscard]] std::uint64_t queued_bytes() const;
+  /// Flush->credit-return round-trip samples (collect_latency only).
+  std::vector<std::uint64_t> take_latency_samples();
+  [[nodiscard]] const CommThreadStats& comm_stats() const {
+    return comm_.stats();
+  }
+
+ private:
+  struct Coalescer {
+    ByteBuffer buf;
+    std::uint32_t records = 0;
+    std::uint64_t opened_ns = 0;
+    bool open = false;
+    bool want_flush = false;  // deadline hit while out of credit
+  };
+  struct Pending {
+    bool done = false;
+    ErrorCode err = ErrorCode::kSuccess;
+    ByteBuffer data;
+  };
+  struct SentBatch {
+    std::uint64_t flushed_ns = 0;
+    std::uint64_t bytes = 0;
+  };
+
+  [[nodiscard]] int route(std::uint64_t key) const;
+  /// Wait (with the op_timeout_ns watchdog) until !blocked() or failure.
+  Status wait_while(std::unique_lock<std::mutex>& lk,
+                    const std::function<bool()>& blocked);
+  Coalescer& open_locked(int shard);
+  Status maybe_flush_locked(int shard, std::unique_lock<std::mutex>& lk);
+  Status flush_locked(int shard, std::unique_lock<std::mutex>& lk);
+  /// Requires credits_[shard] > 0; consumes one and posts the batch.
+  void send_locked(int shard);
+  void note_queued_locked();
+  Status enqueue_pull(std::uint64_t key, ReqOp op, std::uint64_t* corr_out);
+
+  // Comm-thread callbacks.
+  void on_reply(ByteBuffer buf, int src);
+  void on_failure(int peer, ErrorCode err);
+  void on_tick();
+
+  mp::MPDirect& direct_;
+  PsConfig cfg_;
+  int n_servers_;
+  int self_;
+  CommThread comm_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  bool failed_ = false;
+  ErrorCode fail_code_ = ErrorCode::kSuccess;
+  bool closed_ = false;
+  std::vector<Coalescer> co_;
+  std::vector<int> credits_;
+  std::vector<std::deque<SentBatch>> sent_;  // FIFO per shard, credit acks
+  std::vector<std::uint64_t> next_seq_;
+  std::uint64_t in_flight_bytes_ = 0;
+  std::uint64_t next_corr_ = 1;
+  std::unordered_map<std::uint64_t, Pending> pending_;
+  PsClientStats stats_;
+  std::vector<std::uint64_t> latency_ns_;
+  std::uint64_t last_tick_ns_ = 0;  // comm thread only
+};
+
+}  // namespace motor::ps

@@ -1,0 +1,158 @@
+#include "ps/comm_thread.hpp"
+
+#include <chrono>
+#include <utility>
+
+namespace motor::ps {
+
+CommThread::CommThread(mp::MPDirect& direct, CommThreadConfig config)
+    : direct_(direct), config_(config) {}
+
+CommThread::~CommThread() {
+  request_stop();
+  join();
+}
+
+void CommThread::start() {
+  if (started_) return;
+  started_ = true;
+  thread_ = pal::Thread("ps-comm", [this] { run(); });
+}
+
+void CommThread::request_stop() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    stop_ = true;
+  }
+  wake_.set();
+}
+
+void CommThread::join() {
+  if (thread_.joinable()) thread_.join();
+}
+
+void CommThread::post(int dst, ByteBuffer buf) {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    outbound_.push_back(Outbound{dst, std::move(buf)});
+  }
+  wake_.set();
+}
+
+void CommThread::fail(int peer, ErrorCode err) {
+  if (on_failure_) on_failure_(peer, err);
+}
+
+bool CommThread::pump_outbound(std::vector<Outbound>& scratch) {
+  scratch.clear();
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (outbound_.empty()) return false;
+    if (outbound_.size() > stats_.max_outbound_depth) {
+      stats_.max_outbound_depth = outbound_.size();
+    }
+    while (!outbound_.empty()) {
+      scratch.push_back(std::move(outbound_.front()));
+      outbound_.pop_front();
+    }
+  }
+  for (Outbound& out : scratch) {
+    stats_.posted++;
+    ByteSpan bytes{out.buf.data(), out.buf.size()};
+    mp::MPRequest req = direct_.isend_batch(bytes, out.dst, config_.tag);
+    if (!req.valid()) {
+      stats_.send_errors++;
+      direct_.pool().put(std::move(out.buf));
+      fail(out.dst, ErrorCode::kRequestError);
+      continue;
+    }
+    in_flight_.push_back(InFlight{out.dst, std::move(req), std::move(out.buf)});
+    if (in_flight_.size() > stats_.max_in_flight) {
+      stats_.max_in_flight = in_flight_.size();
+    }
+  }
+  return true;
+}
+
+bool CommThread::pump_completions() {
+  bool did_work = false;
+  for (std::size_t i = 0; i < in_flight_.size();) {
+    InFlight& f = in_flight_[i];
+    mp::MpStatus st;
+    if (!direct_.test_batch(f.req, &st)) {
+      ++i;
+      continue;
+    }
+    did_work = true;
+    stats_.sent++;
+    if (st.error != ErrorCode::kSuccess) {
+      stats_.send_errors++;
+      fail(f.dst, st.error);
+    }
+    direct_.pool().put(std::move(f.buf));
+    in_flight_.erase(in_flight_.begin() + static_cast<std::ptrdiff_t>(i));
+  }
+  return did_work;
+}
+
+bool CommThread::pump_inbound(ByteBuffer& staging) {
+  // Bounded drain so a flood of inbound batches cannot starve the
+  // outbound queue (replies carrying credits must keep flowing).
+  bool did_work = false;
+  for (int i = 0; i < 16; ++i) {
+    mp::MpStatus st;
+    if (!direct_.try_recv_batch(staging, config_.tag, &st)) break;
+    did_work = true;
+    stats_.received++;
+    if (st.error != ErrorCode::kSuccess) {
+      stats_.recv_errors++;
+      fail(st.source, st.error);
+      staging.clear();
+      continue;
+    }
+    if (on_inbound_) {
+      on_inbound_(std::move(staging), st.source);
+      staging = direct_.pool().take();
+    }
+  }
+  return did_work;
+}
+
+void CommThread::run() {
+  std::vector<Outbound> scratch;
+  ByteBuffer staging = direct_.pool().take();
+  int idle = 0;
+  for (;;) {
+    bool did_work = false;
+    did_work |= pump_outbound(scratch);
+    did_work |= pump_completions();
+    did_work |= pump_inbound(staging);
+    if (on_tick_) on_tick_();
+
+    if (!did_work) {
+      bool stop_now = false;
+      {
+        std::lock_guard<std::mutex> lk(mu_);
+        stop_now = stop_ && outbound_.empty() && in_flight_.empty();
+      }
+      if (stop_now) break;
+      if (++idle >= config_.idle_spins) {
+        // Park instead of spinning: on a single-core box the worker and
+        // server threads need the CPU to produce the next batch at all.
+        stats_.parks++;
+        if (wake_.timed_wait(std::chrono::nanoseconds(config_.idle_park_ns))) {
+          stats_.wakeups++;
+        }
+        idle = 0;
+      } else {
+        direct_.progress_batch();
+        pal::Thread::yield();
+      }
+    } else {
+      idle = 0;
+    }
+  }
+  direct_.pool().put(std::move(staging));
+}
+
+}  // namespace motor::ps

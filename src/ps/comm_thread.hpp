@@ -1,0 +1,132 @@
+// CommThread: the asynchronous progress thread behind a parameter-server
+// endpoint (Multiverso communicator idiom). One native pal::Thread per
+// rank owns ALL wire traffic for that endpoint:
+//
+//   * drains an outbound queue of coalesced batches (posted by the
+//     managed application thread via post()) into non-blocking
+//     isend_batch operations,
+//   * completes in-flight sends and recycles their pooled buffers,
+//   * probes for inbound batches and hands each to the inbound handler
+//     (client: reply dispatch + credit return; server: request enqueue),
+//   * runs a periodic tick (deadline-triggered coalescer flush).
+//
+// Worker compute never blocks on the wire: Push() appends to a local
+// coalescer and returns; the comm thread moves the bytes.
+//
+// Threading contract: while the comm thread runs, it is the device's
+// single driver — the endpoint's managed thread must not issue MPDirect
+// operations on any communicator sharing the device. The PS facade
+// guarantees this by construction: the managed thread only talks to the
+// wire through post() until the comm thread is joined.
+//
+// Handlers run ON the comm thread. They must not block on the wire and
+// must not touch managed-heap state: native buffers, mutexes and condvars
+// only. (The single managed thread per rank VM only runs GC at its own
+// polls, so a non-polling native thread is GC-safe by construction.)
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <vector>
+
+#include "common/buffer.hpp"
+#include "motor/mp_direct.hpp"
+#include "pal/event.hpp"
+#include "pal/thread.hpp"
+
+namespace motor::ps {
+
+struct CommThreadConfig {
+  int tag = 71;
+  /// Consecutive idle loops before the thread parks on the wake event
+  /// (cooperative yielding matters: CI boxes are often single-core).
+  int idle_spins = 64;
+  /// Park duration while idle; a post() wakes the thread early.
+  std::uint64_t idle_park_ns = 200'000;
+};
+
+struct CommThreadStats {
+  std::uint64_t posted = 0;
+  std::uint64_t sent = 0;
+  std::uint64_t received = 0;
+  std::uint64_t send_errors = 0;
+  std::uint64_t recv_errors = 0;
+  std::uint64_t parks = 0;
+  std::uint64_t wakeups = 0;
+  std::uint64_t max_outbound_depth = 0;
+  std::uint64_t max_in_flight = 0;
+};
+
+class CommThread {
+ public:
+  /// Inbound batch: ownership of the buffer transfers to the handler,
+  /// which must return it to the endpoint's pool when done. `src` is the
+  /// sender's comm rank.
+  using InboundHandler = std::function<void(ByteBuffer buf, int src)>;
+  /// A send or receive failed terminally (`peer` is -1 when unknown).
+  using FailureHandler = std::function<void(int peer, ErrorCode err)>;
+  using TickHandler = std::function<void()>;
+
+  CommThread(mp::MPDirect& direct, CommThreadConfig config);
+  ~CommThread();
+
+  CommThread(const CommThread&) = delete;
+  CommThread& operator=(const CommThread&) = delete;
+
+  void set_inbound_handler(InboundHandler h) { on_inbound_ = std::move(h); }
+  void set_failure_handler(FailureHandler h) { on_failure_ = std::move(h); }
+  void set_tick_handler(TickHandler h) { on_tick_ = std::move(h); }
+
+  void start();
+  /// Ask the loop to exit once the outbound queue and in-flight sends are
+  /// drained (inbound delivery stops immediately after the drain).
+  void request_stop();
+  void join();
+
+  /// Enqueue one batch for transmission (thread-safe; any thread). The
+  /// buffer's bytes [0, size) go out as one wire message; the buffer is
+  /// recycled through the endpoint pool on completion.
+  void post(int dst, ByteBuffer buf);
+
+  [[nodiscard]] const CommThreadStats& stats() const noexcept {
+    return stats_;
+  }
+  [[nodiscard]] int tag() const noexcept { return config_.tag; }
+
+ private:
+  struct Outbound {
+    int dst = -1;
+    ByteBuffer buf;
+  };
+  struct InFlight {
+    int dst = -1;
+    mp::MPRequest req;
+    ByteBuffer buf;
+  };
+
+  void run();
+  bool pump_outbound(std::vector<Outbound>& scratch);
+  bool pump_inbound(ByteBuffer& staging);
+  bool pump_completions();
+  void fail(int peer, ErrorCode err);
+
+  mp::MPDirect& direct_;
+  CommThreadConfig config_;
+  InboundHandler on_inbound_;
+  FailureHandler on_failure_;
+  TickHandler on_tick_;
+
+  std::mutex mu_;                 // guards outbound_ + stop_
+  std::deque<Outbound> outbound_;
+  bool stop_ = false;
+  pal::Event wake_{pal::Event::ResetMode::kAuto};
+
+  std::vector<InFlight> in_flight_;  // comm thread only
+  CommThreadStats stats_;            // comm thread only (read after join)
+  pal::Thread thread_;
+  bool started_ = false;
+};
+
+}  // namespace motor::ps

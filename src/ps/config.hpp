@@ -1,0 +1,60 @@
+// Shared configuration for the sharded parameter server (client, server
+// and facade all read the same struct so one object configures a job).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+namespace motor::ps {
+
+struct PsConfig {
+  /// The first `servers` comm ranks host shards; the rest are clients.
+  int servers = 1;
+
+  // ---- coalescing (client) ----
+  /// false = the ablation path: every record flushes as its own batch,
+  /// paying full per-message device overhead (bench --coalesce=off).
+  bool coalesce = true;
+  /// Flush when the open batch reaches this many payload bytes...
+  std::size_t flush_bytes = 32 * 1024;
+  /// ...or this many records, whichever first.
+  std::uint32_t flush_records = 512;
+  /// Deadline flush: an open batch older than this is flushed by the comm
+  /// thread's tick so stragglers never wait on a full batch. 0 disables
+  /// (required by determinism tests — timing must not shape traffic).
+  std::uint64_t flush_deadline_ns = 500'000;
+
+  // ---- back-pressure (client) ----
+  /// Credit window: batches in flight to one server before Push/Pull
+  /// blocks. Credits return with replies only after the server APPLIED
+  /// the batch, so a stalled shard bounds client-side memory at
+  /// window_batches * flush_bytes (plus one open coalescer).
+  int window_batches = 8;
+
+  // ---- server ----
+  /// Pin table values in the managed heap (paper §7.4 trade-off: no GC
+  /// copy cost on the apply path, at the price of heap fragmentation).
+  bool pin_values = false;
+  /// Give up waiting for client FINs after this long; 0 = wait forever.
+  /// Fault tests use a finite timeout so a lost client fails the serve
+  /// loop with kCommError instead of hanging the suite.
+  std::uint64_t serve_timeout_ns = 0;
+
+  // ---- plumbing ----
+  /// Client watchdog: a credit or pull wait longer than this fails with
+  /// kCommError instead of hanging (0 = wait forever). Normal runs never
+  /// get near it; it exists so a dead peer cannot wedge a worker.
+  std::uint64_t op_timeout_ns = 120ull * 1000 * 1000 * 1000;
+  /// Tag reserved for PS batches on the dup'd communicator.
+  int tag = 71;
+  /// Record per-batch flush->credit round-trip samples (bench p99).
+  bool collect_latency = false;
+  /// Test hook: overrides shard_of() routing on the CLIENT only, to force
+  /// misrouted records through the server-side forwarding path.
+  std::function<int(std::uint64_t)> route_hook;
+  /// Test hook: runs on the server thread before each apply cycle (used
+  /// to stall a shard and observe client-side back-pressure).
+  std::function<void()> apply_gate;
+};
+
+}  // namespace motor::ps

@@ -1,0 +1,66 @@
+// PsNode: the collective facade over the sharded parameter server.
+//
+// Construct one on EVERY rank of a Motor world (it is collective: the
+// constructor dups the world communicator so PS batch traffic rides an
+// isolated context, away from application tags). The first
+// PsConfig::servers comm ranks become shards; the rest become clients:
+//
+//   run_motor_world(cfg, [&](mp::MotorContext& ctx) {
+//     ps::PsNode node(ctx, psc);
+//     if (node.is_server()) {
+//       node.server().Serve();            // until every client Close()s
+//     } else {
+//       node.client().Push(key, delta);
+//       node.client().Pull(key, &value);
+//       node.client().Close();
+//     }
+//   });
+//
+// Threading: the facade spawns one comm thread per rank (inside the
+// client/server endpoint). From construction until Close()/Serve()
+// returns, that comm thread is the dup'd device's driver; the rank's
+// managed thread must route all PS traffic through the endpoint API and
+// may keep using ctx.mp() for unrelated traffic ONLY before construction
+// or after shutdown (one device per rank, one driver at a time).
+#pragma once
+
+#include <memory>
+
+#include "motor/motor_runtime.hpp"
+#include "ps/client.hpp"
+#include "ps/config.hpp"
+#include "ps/server.hpp"
+
+namespace motor::ps {
+
+class PsNode {
+ public:
+  /// Collective over ctx's world. Requires 1 <= config.servers < size.
+  PsNode(mp::MotorContext& ctx, PsConfig config)
+      : comm_(ctx.mp().Dup()), config_(std::move(config)) {
+    MOTOR_CHECK(config_.servers >= 1 && config_.servers < comm_.Size(),
+                "PsConfig::servers must leave at least one client rank");
+    if (comm_.Rank() < config_.servers) {
+      server_ = std::make_unique<PsServer>(ctx.vm(), ctx.thread(),
+                                           comm_.direct(), config_);
+    } else {
+      client_ = std::make_unique<PsClient>(comm_.direct(), config_);
+    }
+  }
+
+  [[nodiscard]] bool is_server() const noexcept { return server_ != nullptr; }
+  [[nodiscard]] PsServer& server() { return *server_; }
+  [[nodiscard]] PsClient& client() { return *client_; }
+  [[nodiscard]] int rank() const { return comm_.Rank(); }
+  [[nodiscard]] int n_servers() const noexcept { return config_.servers; }
+  [[nodiscard]] int n_clients() const { return comm_.Size() - config_.servers; }
+  [[nodiscard]] mp::MPDirect& direct() noexcept { return comm_.direct(); }
+
+ private:
+  mp::Communicator comm_;
+  PsConfig config_;
+  std::unique_ptr<PsServer> server_;
+  std::unique_ptr<PsClient> client_;
+};
+
+}  // namespace motor::ps

@@ -1,0 +1,453 @@
+#include "ps/server.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+#include <utility>
+
+#include "pal/clock.hpp"
+#include "vm/object.hpp"
+
+namespace motor::ps {
+
+namespace {
+
+/// splitmix64 step, used to fold table bytes into the checksum.
+std::uint64_t mix(std::uint64_t h, std::uint64_t v) {
+  std::uint64_t x = h ^ (v + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2));
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+PsServer::PsServer(vm::Vm& vm, vm::ManagedThread& thread,
+                   mp::MPDirect& direct, PsConfig config)
+    : vm_(vm),
+      thread_(thread),
+      direct_(direct),
+      cfg_(std::move(config)),
+      self_(direct.rank()),
+      n_servers_(cfg_.servers),
+      expected_client_fins_(direct.size() - cfg_.servers),
+      f32_mt_(vm.types().primitive_array(vm::ElementKind::kFloat)),
+      comm_(direct, CommThreadConfig{cfg_.tag}),
+      values_(thread) {
+  comm_.set_inbound_handler(
+      [this](ByteBuffer buf, int src) { on_message(std::move(buf), src); });
+  comm_.set_failure_handler(
+      [this](int peer, ErrorCode err) { on_failure(peer, err); });
+  comm_.start();
+}
+
+PsServer::~PsServer() {
+  comm_.request_stop();
+  comm_.join();
+  std::lock_guard<std::mutex> lk(qmu_);
+  for (Inbound& m : queue_) direct_.pool().put(std::move(m.buf));
+  queue_.clear();
+  if (cfg_.pin_values) {
+    for (std::size_t i = 0; i < values_.size(); ++i) {
+      if (values_.at(i) != nullptr) vm_.heap().unpin(values_.at(i));
+    }
+  }
+}
+
+void PsServer::on_message(ByteBuffer buf, int src) {
+  std::lock_guard<std::mutex> lk(qmu_);
+  queue_.push_back(Inbound{src, std::move(buf)});
+  qcv_.notify_all();
+}
+
+void PsServer::on_failure(int peer, ErrorCode err) {
+  (void)peer;
+  std::lock_guard<std::mutex> lk(qmu_);
+  if (!failed_) {
+    failed_ = true;
+    fail_code_ = err == ErrorCode::kSuccess ? ErrorCode::kCommError : err;
+  }
+  qcv_.notify_all();
+}
+
+void PsServer::store(std::uint64_t key, vm::Obj obj) {
+  auto payload_of = [this](vm::Obj o) -> std::uint64_t {
+    return (o != nullptr && vm::obj_mt(o) == f32_mt_)
+               ? vm::array_payload_bytes(o)
+               : 0;
+  };
+  auto it = index_.find(key);
+  if (it != index_.end()) {
+    vm::Obj old = values_[it->second];
+    stats_.value_bytes -= payload_of(old);
+    if (cfg_.pin_values && old != nullptr) vm_.heap().unpin(old);
+    values_[it->second] = obj;
+  } else {
+    index_.emplace(key, values_.size());
+    values_.add(obj);
+    stats_.keys++;
+  }
+  stats_.value_bytes += payload_of(obj);
+  if (cfg_.pin_values) vm_.heap().pin(obj);
+}
+
+Status PsServer::apply_push(std::uint64_t key, ByteSpan payload) {
+  if (payload.size() % sizeof(float) != 0) {
+    return Status(ErrorCode::kCountError, "push payload not float-sized");
+  }
+  const std::size_t n = payload.size() / sizeof(float);
+  vm::Obj obj = nullptr;
+  auto it = index_.find(key);
+  if (it == index_.end()) {
+    // First touch: a zeroed float vector of the delta's length. The
+    // allocation may run a GC; `payload` views native batch memory, which
+    // the collector never moves.
+    obj = vm_.new_array(f32_mt_, static_cast<std::int64_t>(n));
+    if (obj == nullptr) return Status(ErrorCode::kNoMem, "ps table alloc");
+    store(key, obj);
+  } else {
+    obj = values_[it->second];
+    if (obj == nullptr || vm::obj_mt(obj) != f32_mt_) {
+      return Status(ErrorCode::kTypeError, "push to non-float entry");
+    }
+    if (vm::array_payload_bytes(obj) != payload.size()) {
+      return Status(ErrorCode::kCountError, "push length mismatch");
+    }
+  }
+  float* v = reinterpret_cast<float*>(vm::array_data(obj));
+  const std::byte* src = payload.data();
+  for (std::size_t i = 0; i < n; ++i) {
+    float d;  // memcpy: record payloads are not float-aligned in the batch
+    std::memcpy(&d, src + i * sizeof(float), sizeof(float));
+    v[i] += d;
+  }
+  return Status::ok();
+}
+
+Status PsServer::apply_put_object(std::uint64_t key, ByteSpan payload) {
+  ByteBuffer tmp = direct_.pool().take();
+  tmp.append(payload);
+  tmp.seek(0);
+  vm::Obj obj = nullptr;
+  Status st = direct_.serializer().deserialize(tmp, thread_, &obj);
+  direct_.pool().put(std::move(tmp));
+  if (!st.is_ok()) return st;
+  store(key, obj);
+  return Status::ok();
+}
+
+void PsServer::serve_pull(std::uint64_t key, std::uint64_t corr,
+                          Reply& reply) {
+  auto it = index_.find(key);
+  if (it == index_.end()) {
+    append_reply_error(reply.buf, key, corr, ErrorCode::kRequestError);
+    stats_.errors_replied++;
+  } else {
+    vm::Obj obj = values_[it->second];
+    if (obj == nullptr || vm::obj_mt(obj) != f32_mt_) {
+      append_reply_error(reply.buf, key, corr, ErrorCode::kTypeError);
+      stats_.errors_replied++;
+    } else {
+      append_reply_data(reply.buf, ReplyOp::kPullData, key, corr,
+                        ByteSpan{vm::array_data(obj),
+                                 vm::array_payload_bytes(obj)});
+      stats_.pulls_served++;
+    }
+  }
+  reply.records++;
+}
+
+void PsServer::serve_get_object(std::uint64_t key, std::uint64_t corr,
+                                Reply& reply) {
+  auto it = index_.find(key);
+  if (it == index_.end()) {
+    append_reply_error(reply.buf, key, corr, ErrorCode::kRequestError);
+    stats_.errors_replied++;
+    reply.records++;
+    return;
+  }
+  ByteBuffer tmp = direct_.pool().take();
+  Status st = direct_.serializer().serialize(values_[it->second], tmp);
+  if (!st.is_ok()) {
+    append_reply_error(reply.buf, key, corr, st.code());
+    stats_.errors_replied++;
+  } else {
+    append_reply_data(reply.buf, ReplyOp::kObjectData, key, corr,
+                      ByteSpan{tmp.data(), tmp.size()});
+    stats_.object_gets++;
+  }
+  direct_.pool().put(std::move(tmp));
+  reply.records++;
+}
+
+PsServer::Reply& PsServer::reply_for(Cycle& cycle, int origin) {
+  Reply& rep = cycle.replies[origin];
+  if (!rep.open) {
+    rep.buf = direct_.pool().take();
+    BatchHeader h;
+    h.kind = MsgKind::kReply;
+    h.origin = static_cast<std::uint32_t>(self_);
+    h.seq = reply_seq_[origin]++;
+    write_header(rep.buf, h);
+    rep.open = true;
+  }
+  return rep;
+}
+
+PsServer::Forward& PsServer::forward_for(Cycle& cycle, int owner,
+                                         std::uint32_t origin) {
+  const std::uint64_t key =
+      (static_cast<std::uint64_t>(static_cast<std::uint32_t>(owner)) << 32) |
+      origin;
+  Forward& fwd = cycle.forwards[key];
+  if (!fwd.open) {
+    fwd.owner = owner;
+    fwd.buf = direct_.pool().take();
+    BatchHeader h;
+    h.kind = MsgKind::kForward;
+    h.origin = origin;  // masquerade: the owner replies to the client
+    h.seq = fwd_seq_[owner]++;
+    write_header(fwd.buf, h);
+    fwd.open = true;
+  }
+  return fwd;
+}
+
+Status PsServer::apply_records(const BatchHeader& h, ByteBuffer& buf,
+                               Cycle& cycle) {
+  const bool allow_forward = h.kind == MsgKind::kRequest;
+  const int origin = static_cast<int>(h.origin);
+  for (std::uint32_t i = 0; i < h.record_count; ++i) {
+    ReqRecord r;
+    MOTOR_RETURN_IF_ERROR(read_request(buf, &r));
+    const int owner = shard_of(r.key, n_servers_);
+    if (allow_forward && owner != self_) {
+      // Not ours (a client route hook, or a stale shard map): re-pack for
+      // the owning shard instead of failing the whole batch.
+      Forward& fwd = forward_for(cycle, owner, h.origin);
+      switch (r.op) {
+        case ReqOp::kPush:
+          append_push(fwd.buf, r.key, r.payload);
+          break;
+        case ReqOp::kPull:
+          append_pull(fwd.buf, r.key, r.correlation);
+          break;
+        case ReqOp::kPutObject:
+          append_put_object(fwd.buf, r.key, r.payload);
+          break;
+        case ReqOp::kGetObject:
+          append_get_object(fwd.buf, r.key, r.correlation);
+          break;
+      }
+      fwd.records++;
+      stats_.records_forwarded++;
+      continue;
+    }
+    switch (r.op) {
+      case ReqOp::kPush:
+        if (apply_push(r.key, r.payload).is_ok()) {
+          stats_.pushes_applied++;
+        } else {
+          stats_.push_errors++;  // malformed pushes drop, reads still serve
+        }
+        break;
+      case ReqOp::kPull:
+        serve_pull(r.key, r.correlation, reply_for(cycle, origin));
+        break;
+      case ReqOp::kPutObject:
+        if (apply_put_object(r.key, r.payload).is_ok()) {
+          stats_.object_puts++;
+        } else {
+          stats_.push_errors++;
+        }
+        break;
+      case ReqOp::kGetObject:
+        serve_get_object(r.key, r.correlation, reply_for(cycle, origin));
+        break;
+    }
+  }
+  return Status::ok();
+}
+
+Status PsServer::process(Inbound& msg, Cycle& cycle) {
+  BatchHeader h;
+  MOTOR_RETURN_IF_ERROR(read_header(msg.buf, &h));
+  switch (h.kind) {
+    case MsgKind::kFin:
+      stats_.fins_received++;
+      if (msg.src < n_servers_) {
+        server_fins_++;
+      } else {
+        client_fins_++;
+      }
+      return Status::ok();
+    case MsgKind::kRequest: {
+      MOTOR_RETURN_IF_ERROR(apply_records(h, msg.buf, cycle));
+      stats_.batches_applied++;
+      // The batch is applied (or re-packed onward) — only now does its
+      // credit go home. The window models the client -> first-hop flow.
+      reply_for(cycle, msg.src).credits++;
+      return Status::ok();
+    }
+    case MsgKind::kForward:
+      MOTOR_RETURN_IF_ERROR(apply_records(h, msg.buf, cycle));
+      stats_.forwards_applied++;
+      return Status::ok();
+    case MsgKind::kReply:
+      return Status(ErrorCode::kSerialization, "ps server got a reply batch");
+  }
+  return Status(ErrorCode::kInternal, "unreachable");
+}
+
+void PsServer::flush_cycle(Cycle& cycle) {
+  // Forwards first: they keep downstream shards busy while the replies
+  // (credits) unblock upstream clients.
+  for (auto& [key, fwd] : cycle.forwards) {
+    if (!fwd.open) continue;
+    if (fwd.records == 0) {
+      direct_.pool().put(std::move(fwd.buf));
+      continue;
+    }
+    patch_header(fwd.buf, fwd.records, 0);
+    stats_.forward_batches_sent++;
+    comm_.post(fwd.owner, std::move(fwd.buf));
+  }
+  for (auto& [origin, rep] : cycle.replies) {
+    if (!rep.open) continue;
+    if (rep.records == 0 && rep.credits == 0) {
+      direct_.pool().put(std::move(rep.buf));
+      continue;
+    }
+    patch_header(rep.buf, rep.records, rep.credits);
+    stats_.replies_sent++;
+    stats_.credits_returned += rep.credits;
+    comm_.post(origin, std::move(rep.buf));
+  }
+}
+
+void PsServer::send_server_fins() {
+  for (int s = 0; s < n_servers_; ++s) {
+    if (s == self_) continue;
+    ByteBuffer fin = direct_.pool().take();
+    BatchHeader h;
+    h.kind = MsgKind::kFin;
+    h.origin = static_cast<std::uint32_t>(self_);
+    h.seq = fwd_seq_[s]++;
+    write_header(fin, h);
+    comm_.post(s, std::move(fin));
+  }
+  server_fins_sent_ = true;
+}
+
+Status PsServer::Serve() {
+  const std::uint64_t start_ns = pal::monotonic_ns();
+  std::vector<Inbound> cycle_msgs;
+  Status result = Status::ok();
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lk(qmu_);
+      if (queue_.empty()) {
+        if (failed_) {
+          result = Status(fail_code_, "ps server comm failure");
+          break;
+        }
+        if (client_fins_ >= expected_client_fins_) {
+          if (!server_fins_sent_) {
+            lk.unlock();
+            // Every client batch is applied and every forward posted
+            // (FIFO outbound), so peer shards see forwards before this.
+            send_server_fins();
+            continue;
+          }
+          if (server_fins_ >= n_servers_ - 1) break;
+        }
+        if (cfg_.serve_timeout_ns != 0 &&
+            pal::monotonic_ns() - start_ns > cfg_.serve_timeout_ns) {
+          result = Status(ErrorCode::kCommError,
+                          "ps serve timed out waiting for fins");
+          break;
+        }
+        qcv_.wait_for(lk, std::chrono::milliseconds(1));
+        continue;
+      }
+      cycle_msgs.clear();
+      std::swap(cycle_msgs, queue_);
+    }
+    if (cfg_.apply_gate) cfg_.apply_gate();
+    Cycle cycle;
+    Status st = Status::ok();
+    for (Inbound& m : cycle_msgs) {
+      if (st.is_ok()) st = process(m, cycle);
+      direct_.pool().put(std::move(m.buf));
+    }
+    flush_cycle(cycle);
+    stats_.apply_cycles++;
+    thread_.poll_gc();  // the serve loop is this rank's only GC-yield point
+    if (!st.is_ok()) {
+      result = st;
+      break;
+    }
+  }
+  comm_.request_stop();
+  comm_.join();
+  return result;
+}
+
+bool PsServer::Lookup(std::uint64_t key, std::vector<float>* out) const {
+  auto it = index_.find(key);
+  if (it == index_.end()) return false;
+  vm::Obj obj = values_.at(it->second);
+  if (obj == nullptr || vm::obj_mt(obj) != f32_mt_) return false;
+  const std::size_t n = vm::array_payload_bytes(obj) / sizeof(float);
+  out->resize(n);
+  if (n > 0) std::memcpy(out->data(), vm::array_data(obj), n * sizeof(float));
+  return true;
+}
+
+std::uint64_t PsServer::table_checksum() const {
+  std::vector<std::uint64_t> keys;
+  keys.reserve(index_.size());
+  for (const auto& [key, slot] : index_) keys.push_back(key);
+  std::sort(keys.begin(), keys.end());
+  std::uint64_t h = 0x6d6f746f722d7073ull;  // "motor-ps"
+  for (std::uint64_t key : keys) {
+    h = mix(h, key);
+    vm::Obj obj = values_.at(index_.at(key));
+    if (obj == nullptr) {
+      h = mix(h, 0);
+      continue;
+    }
+    const bool is_f32 = vm::obj_mt(obj) == f32_mt_;
+    h = mix(h, is_f32 ? 1 : 2);
+    if (is_f32) {
+      const std::size_t bytes = vm::array_payload_bytes(obj);
+      const std::byte* p = vm::array_data(obj);
+      h = mix(h, bytes);
+      for (std::size_t i = 0; i + 8 <= bytes; i += 8) {
+        std::uint64_t w;
+        std::memcpy(&w, p + i, 8);
+        h = mix(h, w);
+      }
+      std::uint64_t tail = 0;
+      const std::size_t rem = bytes % 8;
+      if (rem != 0) {
+        std::memcpy(&tail, p + (bytes - rem), rem);
+        h = mix(h, tail);
+      }
+    } else {
+      // Object entries fold in their (deterministic) wire bytes.
+      ByteBuffer tmp;
+      if (direct_.serializer().serialize(obj, tmp).is_ok()) {
+        h = mix(h, tmp.size());
+        for (std::size_t i = 0; i + 8 <= tmp.size(); i += 8) {
+          std::uint64_t w;
+          std::memcpy(&w, tmp.data() + i, 8);
+          h = mix(h, w);
+        }
+      }
+    }
+  }
+  return h;
+}
+
+}  // namespace motor::ps

@@ -1,0 +1,162 @@
+// PsServer: one shard of the parameter server. Owns a key -> managed
+// object table on this rank's VM heap: float-vector entries (the Push/
+// Pull hot path) and arbitrary serialized objects (PutObject/GetObject),
+// all rooted through a RootRange so the moving collector sees and may
+// relocate them (or pinned in place with PsConfig::pin_values).
+//
+// Division of labour across the rank's two threads:
+//   comm thread     (CommThread) receives request batches and enqueues
+//                   the raw pooled buffers — it never touches the
+//                   managed heap;
+//   managed thread  (Serve()) drains the queue, decodes records, applies
+//                   them to the table, and builds reply batches. All
+//                   allocation, GC polling and serialization happen here,
+//                   keeping the VM's one-managed-thread-per-rank rule.
+//
+// Back-pressure: each applied request batch earns its origin one credit,
+// returned in the reply header — accumulated per origin per apply cycle,
+// so one reply message acks many batches (reply coalescing). Credits are
+// counted only AFTER apply, which is what lets a stalled shard (see
+// PsConfig::apply_gate) freeze its clients' windows.
+//
+// Forwarding (ceph fwdreq idiom): a record whose key hashes to another
+// shard is re-packed into a kForward batch carrying the ORIGINAL client
+// as origin; the owning shard applies it and replies directly to that
+// client with credit_return = 0 — the first hop already returned the
+// batch credit, the owner only owes pull data.
+//
+// Shutdown: clients FIN every shard after flushing. Once all expected
+// client FINs are in and the queue is drained, a shard FINs its peer
+// shards (per-link FIFO puts these after any forwards it sent) and exits
+// when it has every peer's FIN — so no forwarded record can be lost.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "motor/mp_direct.hpp"
+#include "ps/comm_thread.hpp"
+#include "ps/config.hpp"
+#include "ps/wire.hpp"
+#include "vm/handles.hpp"
+
+namespace motor::ps {
+
+struct PsServerStats {
+  std::uint64_t batches_applied = 0;    // kRequest batches
+  std::uint64_t forwards_applied = 0;   // kForward batches
+  std::uint64_t fins_received = 0;      // client + server FINs
+  std::uint64_t pushes_applied = 0;
+  std::uint64_t pulls_served = 0;
+  std::uint64_t object_puts = 0;
+  std::uint64_t object_gets = 0;
+  std::uint64_t records_forwarded = 0;
+  std::uint64_t forward_batches_sent = 0;
+  std::uint64_t replies_sent = 0;
+  std::uint64_t credits_returned = 0;
+  std::uint64_t errors_replied = 0;   // pull/get error records
+  std::uint64_t push_errors = 0;      // dropped malformed pushes
+  std::uint64_t apply_cycles = 0;
+  std::uint64_t keys = 0;             // gauge: live table entries
+  std::uint64_t value_bytes = 0;      // gauge: float payload bytes held
+};
+
+class PsServer {
+ public:
+  PsServer(vm::Vm& vm, vm::ManagedThread& thread, mp::MPDirect& direct,
+           PsConfig config);
+  ~PsServer();
+
+  PsServer(const PsServer&) = delete;
+  PsServer& operator=(const PsServer&) = delete;
+
+  /// Run the shard until every expected FIN arrived (or failure /
+  /// serve_timeout_ns). Call on the rank's managed thread. Returns with
+  /// the comm thread joined, so the table is quiescent afterwards.
+  Status Serve();
+
+  // ---- post-Serve introspection (managed thread) ----
+  /// Copy the float vector at `key` out of the table; false if absent or
+  /// not a float entry.
+  bool Lookup(std::uint64_t key, std::vector<float>* out) const;
+  [[nodiscard]] std::size_t table_size() const { return index_.size(); }
+  /// Order-independent-input digest of the full table (keys, kinds and
+  /// payload bytes, accumulated in sorted key order) — the determinism
+  /// anchor for the fault tests.
+  [[nodiscard]] std::uint64_t table_checksum() const;
+
+  [[nodiscard]] const PsServerStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] const CommThreadStats& comm_stats() const {
+    return comm_.stats();
+  }
+
+ private:
+  struct Inbound {
+    int src = -1;
+    ByteBuffer buf;
+  };
+  struct Reply {
+    ByteBuffer buf;
+    std::uint32_t records = 0;
+    std::uint32_t credits = 0;
+    bool open = false;
+  };
+  struct Forward {
+    int owner = -1;
+    ByteBuffer buf;
+    std::uint32_t records = 0;
+    bool open = false;
+  };
+  /// Per-apply-cycle outbound accumulators, keyed by destination.
+  struct Cycle {
+    std::map<int, Reply> replies;               // origin -> reply batch
+    std::map<std::uint64_t, Forward> forwards;  // (owner, origin) key
+  };
+
+  void on_message(ByteBuffer buf, int src);
+  void on_failure(int peer, ErrorCode err);
+
+  Status process(Inbound& msg, Cycle& cycle);
+  Status apply_records(const BatchHeader& h, ByteBuffer& buf, Cycle& cycle);
+  Status apply_push(std::uint64_t key, ByteSpan payload);
+  Status apply_put_object(std::uint64_t key, ByteSpan payload);
+  void serve_pull(std::uint64_t key, std::uint64_t corr, Reply& reply);
+  void serve_get_object(std::uint64_t key, std::uint64_t corr, Reply& reply);
+  Reply& reply_for(Cycle& cycle, int origin);
+  Forward& forward_for(Cycle& cycle, int owner, std::uint32_t origin);
+  void flush_cycle(Cycle& cycle);
+  void send_server_fins();
+  void store(std::uint64_t key, vm::Obj obj);
+
+  vm::Vm& vm_;
+  vm::ManagedThread& thread_;
+  mp::MPDirect& direct_;
+  PsConfig cfg_;
+  int self_;
+  int n_servers_;
+  int expected_client_fins_;
+  const vm::MethodTable* f32_mt_;
+  CommThread comm_;
+
+  std::mutex qmu_;
+  std::condition_variable qcv_;
+  std::vector<Inbound> queue_;
+  bool failed_ = false;
+  ErrorCode fail_code_ = ErrorCode::kSuccess;
+
+  // Managed-thread state.
+  vm::RootRange values_;
+  std::unordered_map<std::uint64_t, std::size_t> index_;  // key -> slot
+  int client_fins_ = 0;
+  int server_fins_ = 0;
+  bool server_fins_sent_ = false;
+  std::unordered_map<int, std::uint64_t> reply_seq_;
+  std::unordered_map<int, std::uint64_t> fwd_seq_;
+  PsServerStats stats_;
+};
+
+}  // namespace motor::ps

@@ -1,0 +1,83 @@
+#include "ps/wire.hpp"
+
+namespace motor::ps {
+
+namespace {
+
+Status read_payload(ByteBuffer& buf, ByteSpan* out) {
+  std::uint32_t len = 0;
+  MOTOR_RETURN_IF_ERROR(buf.get(len));
+  if (len > buf.remaining()) {
+    return Status(ErrorCode::kSerialization, "ps record payload underrun");
+  }
+  *out = ByteSpan{buf.data() + buf.cursor(), len};
+  buf.seek(buf.cursor() + len);
+  return Status::ok();
+}
+
+}  // namespace
+
+Status read_header(ByteBuffer& buf, BatchHeader* out) {
+  std::uint32_t magic = 0;
+  MOTOR_RETURN_IF_ERROR(buf.get(magic));
+  if (magic != kBatchMagic) {
+    return Status(ErrorCode::kSerialization, "bad ps batch magic");
+  }
+  std::uint8_t kind = 0, pad8 = 0;
+  std::uint16_t pad16 = 0;
+  MOTOR_RETURN_IF_ERROR(buf.get(kind));
+  MOTOR_RETURN_IF_ERROR(buf.get(pad8));
+  MOTOR_RETURN_IF_ERROR(buf.get(pad16));
+  if (kind < 1 || kind > 4) {
+    return Status(ErrorCode::kSerialization, "bad ps batch kind");
+  }
+  out->kind = static_cast<MsgKind>(kind);
+  MOTOR_RETURN_IF_ERROR(buf.get(out->origin));
+  MOTOR_RETURN_IF_ERROR(buf.get(out->record_count));
+  MOTOR_RETURN_IF_ERROR(buf.get(out->seq));
+  MOTOR_RETURN_IF_ERROR(buf.get(out->credit_return));
+  return Status::ok();
+}
+
+Status read_request(ByteBuffer& buf, ReqRecord* out) {
+  std::uint8_t op = 0;
+  MOTOR_RETURN_IF_ERROR(buf.get(op));
+  if (op < 1 || op > 4) {
+    return Status(ErrorCode::kSerialization, "bad ps request op");
+  }
+  out->op = static_cast<ReqOp>(op);
+  MOTOR_RETURN_IF_ERROR(buf.get(out->key));
+  out->correlation = 0;
+  out->payload = ByteSpan{};
+  switch (out->op) {
+    case ReqOp::kPush:
+    case ReqOp::kPutObject:
+      return read_payload(buf, &out->payload);
+    case ReqOp::kPull:
+    case ReqOp::kGetObject:
+      return buf.get(out->correlation);
+  }
+  return Status(ErrorCode::kInternal, "unreachable");
+}
+
+Status read_reply(ByteBuffer& buf, ReplyRecord* out) {
+  std::uint8_t op = 0;
+  MOTOR_RETURN_IF_ERROR(buf.get(op));
+  if (op < 1 || op > 3) {
+    return Status(ErrorCode::kSerialization, "bad ps reply op");
+  }
+  out->op = static_cast<ReplyOp>(op);
+  MOTOR_RETURN_IF_ERROR(buf.get(out->key));
+  MOTOR_RETURN_IF_ERROR(buf.get(out->correlation));
+  out->error = ErrorCode::kSuccess;
+  out->payload = ByteSpan{};
+  if (out->op == ReplyOp::kError) {
+    std::uint32_t code = 0;
+    MOTOR_RETURN_IF_ERROR(buf.get(code));
+    out->error = static_cast<ErrorCode>(code);
+    return Status::ok();
+  }
+  return read_payload(buf, &out->payload);
+}
+
+}  // namespace motor::ps

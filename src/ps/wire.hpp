@@ -1,0 +1,182 @@
+// Parameter-server wire format: typed request/reply records coalesced
+// into batch messages (the ClassdescMP-thin-record idiom over Motor's
+// byte device).
+//
+// One batch = one wire message = one MPDirect batched-delivery send:
+//
+//   [BatchHeader][record][record]...[record]
+//
+// Everything is little-endian via ByteBuffer's scalar accessors, so the
+// format is defined (not host-dependent) and batches are comparable in
+// tests. The header's record_count and credit_return are back-patched at
+// flush time — the coalescer appends records into a pooled buffer whose
+// header was written when the batch was opened.
+//
+// Message kinds:
+//   kRequest  client -> server    push/pull/put/get records
+//   kForward  server -> server    records re-packed for their owning
+//                                 shard; `origin` masquerades the
+//                                 original client (ceph fwdreq idiom):
+//                                 the owner replies DIRECTLY to the
+//                                 origin, never back through the first
+//                                 hop.
+//   kReply    server -> client    pull data / object data / error
+//                                 records, plus credit_return — the
+//                                 back-pressure tokens restoring the
+//                                 client's in-flight window.
+//   kFin      client -> server    end-of-stream: the client will send no
+//                                 further batches; servers exit Serve()
+//                                 once every expected client has finned.
+#pragma once
+
+#include <cstdint>
+
+#include "common/buffer.hpp"
+
+namespace motor::ps {
+
+inline constexpr std::uint32_t kBatchMagic = 0x50534231;  // "PSB1"
+
+enum class MsgKind : std::uint8_t {
+  kRequest = 1,
+  kReply = 2,
+  kForward = 3,
+  kFin = 4,
+};
+
+/// Request-batch record opcodes.
+enum class ReqOp : std::uint8_t {
+  kPush = 1,       // key, len, payload: element-wise delta accumulate
+  kPull = 2,       // key, correlation: read current value
+  kPutObject = 3,  // key, len, serialized object: replace entry
+  kGetObject = 4,  // key, correlation: read serialized object
+};
+
+/// Reply-batch record opcodes.
+enum class ReplyOp : std::uint8_t {
+  kPullData = 1,    // key, correlation, len, payload
+  kObjectData = 2,  // key, correlation, len, serialized object
+  kError = 3,       // key, correlation, error code
+};
+
+struct BatchHeader {
+  MsgKind kind = MsgKind::kRequest;
+  std::uint32_t origin = 0;        // comm rank of the requesting client
+  std::uint32_t record_count = 0;  // records following the header
+  std::uint64_t seq = 0;           // per (origin, destination) sequence
+  std::uint32_t credit_return = 0; // replies: request batches acked
+};
+
+// Fixed header layout (offsets for back-patching).
+inline constexpr std::size_t kMagicOffset = 0;
+inline constexpr std::size_t kKindOffset = 4;
+inline constexpr std::size_t kOriginOffset = 8;
+inline constexpr std::size_t kRecordCountOffset = 12;
+inline constexpr std::size_t kSeqOffset = 16;
+inline constexpr std::size_t kCreditOffset = 24;
+inline constexpr std::size_t kBatchHeaderBytes = 28;
+
+/// Append a batch header to `buf` (normally the first bytes of a fresh
+/// pooled buffer).
+inline void write_header(ByteBuffer& buf, const BatchHeader& h) {
+  buf.put_u32(kBatchMagic);
+  buf.put_u8(static_cast<std::uint8_t>(h.kind));
+  buf.put_u8(0);
+  buf.put_u16(0);
+  buf.put_u32(h.origin);
+  buf.put_u32(h.record_count);
+  buf.put_u64(h.seq);
+  buf.put_u32(h.credit_return);
+}
+
+/// Back-patch the mutable header fields at flush time.
+inline void patch_header(ByteBuffer& buf, std::uint32_t record_count,
+                         std::uint32_t credit_return) {
+  buf.overwrite_at(kRecordCountOffset, record_count);
+  buf.overwrite_at(kCreditOffset, credit_return);
+}
+
+Status read_header(ByteBuffer& buf, BatchHeader* out);
+
+// ---- request records ----
+
+inline void append_push(ByteBuffer& buf, std::uint64_t key, ByteSpan delta) {
+  buf.put_u8(static_cast<std::uint8_t>(ReqOp::kPush));
+  buf.put_u64(key);
+  buf.put_u32(static_cast<std::uint32_t>(delta.size()));
+  buf.append(delta);
+}
+
+inline void append_pull(ByteBuffer& buf, std::uint64_t key,
+                        std::uint64_t correlation) {
+  buf.put_u8(static_cast<std::uint8_t>(ReqOp::kPull));
+  buf.put_u64(key);
+  buf.put_u64(correlation);
+}
+
+inline void append_put_object(ByteBuffer& buf, std::uint64_t key,
+                              ByteSpan bytes) {
+  buf.put_u8(static_cast<std::uint8_t>(ReqOp::kPutObject));
+  buf.put_u64(key);
+  buf.put_u32(static_cast<std::uint32_t>(bytes.size()));
+  buf.append(bytes);
+}
+
+inline void append_get_object(ByteBuffer& buf, std::uint64_t key,
+                              std::uint64_t correlation) {
+  buf.put_u8(static_cast<std::uint8_t>(ReqOp::kGetObject));
+  buf.put_u64(key);
+  buf.put_u64(correlation);
+}
+
+/// One decoded request record. `payload` views into the batch buffer.
+struct ReqRecord {
+  ReqOp op = ReqOp::kPush;
+  std::uint64_t key = 0;
+  std::uint64_t correlation = 0;  // pull / get_object
+  ByteSpan payload;               // push / put_object
+};
+
+Status read_request(ByteBuffer& buf, ReqRecord* out);
+
+// ---- reply records ----
+
+inline void append_reply_data(ByteBuffer& buf, ReplyOp op, std::uint64_t key,
+                              std::uint64_t correlation, ByteSpan payload) {
+  buf.put_u8(static_cast<std::uint8_t>(op));
+  buf.put_u64(key);
+  buf.put_u64(correlation);
+  buf.put_u32(static_cast<std::uint32_t>(payload.size()));
+  buf.append(payload);
+}
+
+inline void append_reply_error(ByteBuffer& buf, std::uint64_t key,
+                               std::uint64_t correlation, ErrorCode code) {
+  buf.put_u8(static_cast<std::uint8_t>(ReplyOp::kError));
+  buf.put_u64(key);
+  buf.put_u64(correlation);
+  buf.put_u32(static_cast<std::uint32_t>(code));
+}
+
+/// One decoded reply record. `payload` views into the batch buffer.
+struct ReplyRecord {
+  ReplyOp op = ReplyOp::kPullData;
+  std::uint64_t key = 0;
+  std::uint64_t correlation = 0;
+  ErrorCode error = ErrorCode::kSuccess;  // kError records
+  ByteSpan payload;
+};
+
+Status read_reply(ByteBuffer& buf, ReplyRecord* out);
+
+/// The shard map: keys scatter over server ranks by a splitmix64 hash —
+/// cheap, uniform, and stable across ranks.
+inline int shard_of(std::uint64_t key, int n_servers) {
+  std::uint64_t x = key + 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  x ^= x >> 31;
+  return static_cast<int>(x % static_cast<std::uint64_t>(n_servers));
+}
+
+}  // namespace motor::ps

@@ -305,5 +305,39 @@ TEST(OoOpsTest, BufferPoolReusesAndTrims) {
   });
 }
 
+// The gathered-send hot path (OSend and friends) cycles its metadata
+// stream through the static pool: after warm-up, steady-state sends take
+// a warm buffer and create nothing. (Sender-side only — the receiver
+// allocates managed objects, and its GC epochs may legitimately trim an
+// idle pool buffer between rounds.)
+TEST(OoOpsTest, GatheredSendSteadyStateCreatesNoBuffers) {
+  run_motor_world(test_config(), [](MotorContext& ctx) {
+    ListTypes types(ctx.vm());
+    if (ctx.rank() == 0) {
+      vm::GcRoot list(ctx.thread(), nullptr);
+      for (int i = 0; i < 6; ++i) {
+        list.set(types.make_node(ctx, i, list.get()));
+      }
+      mp::BufferPool& pool = ctx.mp().direct().pool();
+      for (int warm = 0; warm < 4; ++warm) {
+        ASSERT_TRUE(ctx.mp().OSend(list.get(), 1, warm).is_ok());
+      }
+      const std::uint64_t created = pool.created();
+      const std::uint64_t reused = pool.reused();
+      for (int round = 4; round < 40; ++round) {
+        ASSERT_TRUE(ctx.mp().OSend(list.get(), 1, round).is_ok());
+      }
+      EXPECT_EQ(pool.created(), created)
+          << "steady-state OSend must recycle the warm pool buffer";
+      EXPECT_GE(pool.reused(), reused + 36);
+    } else {
+      for (int round = 0; round < 40; ++round) {
+        ASSERT_NE(ctx.mp().ORecv(0, round), nullptr);
+      }
+    }
+    ctx.mp().Barrier();
+  });
+}
+
 }  // namespace
 }  // namespace motor::mp

@@ -1,0 +1,171 @@
+// Back-pressure and convergence suite.
+//
+// StalledShardBoundsClientQueue: freeze the server's apply loop and keep
+// pushing. The credit window must (a) make the client block (credit_waits
+// observed) and (b) clamp worker-side queue memory to
+// window_batches * batch_bytes + one open coalescer — far below the bytes
+// pushed — then drain completely once the shard is released.
+//
+// InterleavedPushesConvergeToSerialReference: seeded property test. N
+// clients push interleaved random integer-valued deltas through
+// coalescing, batching, forwarding and credit stalls; the sharded table
+// must finish bit-equal to a serial replay of the same workloads
+// (integer-valued f32 addition is exact and commutative, so any
+// interleaving must produce the same floats).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <map>
+#include <thread>
+#include <vector>
+
+#include "common/prng.hpp"
+#include "motor/motor_runtime.hpp"
+#include "pal/event.hpp"
+#include "ps/ps.hpp"
+
+namespace motor::ps {
+namespace {
+
+mp::MotorWorldConfig world_config(int ranks) {
+  mp::MotorWorldConfig c;
+  c.ranks = ranks;
+  c.vm.profile = vm::RuntimeProfile::uncosted();
+  c.vm.heap.young_bytes = 512 * 1024;
+  return c;
+}
+
+TEST(PsBackpressureTest, StalledShardBoundsClientQueue) {
+  // Ranks share the process, so the test coordinates the stall through
+  // shared native state.
+  pal::Event release(pal::Event::ResetMode::kManual);
+  std::atomic<bool> server_stalled{false};
+  run_motor_world(world_config(2), [&](mp::MotorContext& ctx) {
+    PsConfig pc;
+    pc.servers = 1;
+    pc.flush_records = 8;
+    pc.flush_bytes = 1 << 20;  // count-triggered flushes only
+    pc.flush_deadline_ns = 0;
+    pc.window_batches = 2;
+    pc.serve_timeout_ns = 60ull * 1000 * 1000 * 1000;
+    pc.op_timeout_ns = 60ull * 1000 * 1000 * 1000;
+    if (ctx.rank() == 0) {
+      pc.apply_gate = [&] {
+        server_stalled.store(true, std::memory_order_release);
+        release.wait();  // manual-reset: free forever once set
+      };
+      PsNode node(ctx, pc);
+      ASSERT_TRUE(node.server().Serve().is_ok());
+      std::vector<float> v;
+      ASSERT_TRUE(node.server().Lookup(3, &v));
+      ASSERT_EQ(v.size(), 16u);
+      for (float x : v) EXPECT_EQ(x, 2000.0f);  // every push arrived
+      return;
+    }
+    PsNode node(ctx, pc);
+    PsClient& cl = node.client();
+    // Release the shard only after the stall demonstrably produced
+    // back-pressure (a blocked flush), so the bound is actually exercised.
+    std::thread releaser([&] {
+      while (!server_stalled.load(std::memory_order_acquire) ||
+             cl.stats().credit_waits == 0) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+      release.set();
+    });
+    const std::vector<float> unit(16, 1.0f);  // 64-byte payload
+    std::uint64_t peak = 0;
+    for (int i = 0; i < 2000; ++i) {
+      ASSERT_TRUE(cl.Push(3, unit).is_ok());
+      peak = std::max(peak, cl.queued_bytes());
+    }
+    ASSERT_TRUE(cl.Flush().is_ok());
+    releaser.join();
+    const PsClientStats st = cl.stats();
+    EXPECT_GT(st.credit_waits, 0u) << "the window never closed";
+    // 2000 pushes x 64B payload ~ 125 KiB entered the client, but queue
+    // memory must stay at window (2) + 1 open batch of ~8 records each.
+    const std::uint64_t batch_bytes =
+        kBatchHeaderBytes + 8 * (1 + 8 + 4 + 64);
+    const std::uint64_t bound = (2 + 1) * batch_bytes;
+    EXPECT_LE(peak, 2 * bound) << "queue memory not bounded by the window";
+    EXPECT_LE(st.peak_queued_bytes, 2 * bound);
+    EXPECT_EQ(cl.queued_bytes(), 0u) << "Flush must fully drain the queue";
+    ASSERT_TRUE(cl.Close().is_ok());
+  });
+}
+
+constexpr std::uint64_t kSeed = 0xC0FFEE5EED;
+constexpr int kKeys = 24;
+constexpr int kOps = 400;
+constexpr int kLen = 8;
+
+/// The client workload, as a pure function of the rank: op i pushes an
+/// integer-valued delta vector into a pseudo-random key.
+void replay_workload(int rank, std::map<std::uint64_t,
+                                        std::vector<float>>* table) {
+  Prng gen(kSeed ^ static_cast<std::uint64_t>(rank));
+  for (int i = 0; i < kOps; ++i) {
+    const std::uint64_t key = gen.next_below(kKeys);
+    auto& acc = (*table)[key];
+    acc.resize(kLen, 0.0f);
+    for (int j = 0; j < kLen; ++j) {
+      acc[static_cast<std::size_t>(j)] +=
+          static_cast<float>(gen.next_in(-8, 8));
+    }
+  }
+}
+
+TEST(PsBackpressureTest, InterleavedPushesConvergeToSerialReference) {
+  run_motor_world(world_config(4), [](mp::MotorContext& ctx) {
+    PsConfig pc;
+    pc.servers = 2;
+    pc.flush_records = 8;
+    pc.flush_deadline_ns = 200'000;
+    pc.window_batches = 3;
+    pc.serve_timeout_ns = 60ull * 1000 * 1000 * 1000;
+    pc.op_timeout_ns = 60ull * 1000 * 1000 * 1000;
+    PsNode node(ctx, pc);
+    if (node.is_server()) {
+      ASSERT_TRUE(node.server().Serve().is_ok());
+      // Serial reference: both workloads replayed client-after-client.
+      std::map<std::uint64_t, std::vector<float>> expected;
+      replay_workload(2, &expected);
+      replay_workload(3, &expected);
+      for (const auto& [key, want] : expected) {
+        if (shard_of(key, pc.servers) != ctx.rank()) continue;
+        std::vector<float> got;
+        ASSERT_TRUE(node.server().Lookup(key, &got)) << "key " << key;
+        ASSERT_EQ(got.size(), want.size());
+        for (int j = 0; j < kLen; ++j) {
+          EXPECT_EQ(got[static_cast<std::size_t>(j)],
+                    want[static_cast<std::size_t>(j)])
+              << "key " << key << " lane " << j;
+        }
+      }
+      return;
+    }
+    PsClient& cl = node.client();
+    Prng gen(kSeed ^ static_cast<std::uint64_t>(ctx.rank()));
+    std::vector<float> delta(kLen);
+    for (int i = 0; i < kOps; ++i) {
+      const std::uint64_t key = gen.next_below(kKeys);
+      for (int j = 0; j < kLen; ++j) {
+        delta[static_cast<std::size_t>(j)] =
+            static_cast<float>(gen.next_in(-8, 8));
+      }
+      ASSERT_TRUE(cl.Push(key, delta).is_ok());
+      if (i % 97 == 0) {
+        std::vector<float> got;
+        ASSERT_TRUE(cl.Pull(key, &got).is_ok());
+        ASSERT_EQ(got.size(), static_cast<std::size_t>(kLen));
+      }
+    }
+    ASSERT_TRUE(cl.Close().is_ok());
+  });
+}
+
+}  // namespace
+}  // namespace motor::ps

@@ -1,0 +1,217 @@
+// Parameter server under transport faults (extends ctest -L fault).
+//
+// With DeviceConfig::reliability on, drops/corruption/duplication on
+// every link must be absorbed: every push applies exactly once, every
+// pull completes, and the run is DETERMINISTIC — the table checksum and
+// the timing-independent counters are bit-identical across reruns
+// (deadline flushing is disabled so wall-clock never shapes the wire
+// traffic; the fault schedule is PRNG-driven per link).
+//
+// With an unrecoverable link (100% drop, finite retries), everything must
+// fail CLEANLY: client calls return kCommError, Serve() returns an error
+// after its timeout, nothing hangs.
+#include <gtest/gtest.h>
+
+#include <mutex>
+#include <sstream>
+#include <vector>
+
+#include "common/prng.hpp"
+#include "motor/motor_runtime.hpp"
+#include "mpi/world.hpp"
+#include "ps/ps.hpp"
+#include "transport/faulty_channel.hpp"
+
+namespace motor::ps {
+namespace {
+
+constexpr int kRanks = 3;  // 1 server, 2 clients
+constexpr int kOps = 240;
+constexpr int kKeys = 16;
+constexpr int kLen = 6;
+
+mp::MotorWorldConfig world_config() {
+  mp::MotorWorldConfig c;
+  c.ranks = kRanks;
+  c.vm.profile = vm::RuntimeProfile::uncosted();
+  c.vm.heap.young_bytes = 512 * 1024;
+  mpi::ReliabilityConfig rc;
+  rc.enabled = true;
+  rc.retry_timeout_polls = 64;
+  rc.retry_timeout_cap_polls = 1024;
+  rc.max_retries = 64;  // generous: these scenarios must SUCCEED
+  rc.recv_stall_polls = 1 << 20;
+  c.world.device.reliability = rc;
+  return c;
+}
+
+/// Everything a run may deterministically count. Two runs of one
+/// scenario must produce equal snapshots. (Timing-shaped quantities —
+/// reply grouping, apply cycles, probe misses — are deliberately absent.)
+struct Snapshot {
+  std::uint64_t table_checksum = 0;
+  std::uint64_t table_keys = 0;
+  std::uint64_t pushes_applied = 0;
+  std::uint64_t pulls_served = 0;
+  std::uint64_t batches_applied = 0;
+  std::uint64_t credits_returned = 0;
+  std::uint64_t client_pushes = 0;
+  std::uint64_t client_pulls = 0;
+  std::uint64_t client_batches = 0;
+  std::uint64_t client_records = 0;
+
+  bool operator==(const Snapshot&) const = default;
+
+  [[nodiscard]] std::string str() const {
+    std::ostringstream os;
+    os << "checksum=" << table_checksum << " keys=" << table_keys
+       << " applied=" << pushes_applied << "/" << batches_applied
+       << " pulls=" << pulls_served << " credits=" << credits_returned
+       << " client[pushes=" << client_pushes << " pulls=" << client_pulls
+       << " batches=" << client_batches << " records=" << client_records
+       << "]";
+    return os.str();
+  }
+};
+
+Snapshot run_faulted(std::uint64_t seed, double drop, double bitflip,
+                     double duplicate) {
+  Snapshot snap;
+  std::mutex snap_mu;
+  const mp::MotorWorldConfig wc = world_config();
+  mp::run_motor_world(
+      wc,
+      [&](mpi::World& world) {
+        for (int i = 0; i < kRanks; ++i) {
+          for (int j = 0; j < kRanks; ++j) {
+            if (i == j) continue;
+            transport::FaultConfig fc;
+            fc.seed = seed * 1000003ull +
+                      static_cast<std::uint64_t>(i * kRanks + j);
+            fc.drop_rate = drop;
+            fc.bitflip_rate = bitflip;
+            fc.duplicate_rate = duplicate;
+            world.fabric().inject_faults(i, j, fc);
+          }
+        }
+      },
+      [&](mp::MotorContext& ctx) {
+        PsConfig pc;
+        pc.servers = 1;
+        pc.flush_records = 8;
+        pc.flush_deadline_ns = 0;  // determinism: no wall-clock flushes
+        pc.window_batches = 4;
+        pc.serve_timeout_ns = 60ull * 1000 * 1000 * 1000;
+        PsNode node(ctx, pc);
+        if (node.is_server()) {
+          Status st = node.server().Serve();
+          ASSERT_TRUE(st.is_ok()) << st.message();
+          std::lock_guard<std::mutex> lk(snap_mu);
+          snap.table_checksum = node.server().table_checksum();
+          snap.table_keys = node.server().table_size();
+          snap.pushes_applied = node.server().stats().pushes_applied;
+          snap.pulls_served = node.server().stats().pulls_served;
+          snap.batches_applied = node.server().stats().batches_applied;
+          snap.credits_returned = node.server().stats().credits_returned;
+          return;
+        }
+        PsClient& cl = node.client();
+        Prng gen(seed ^ static_cast<std::uint64_t>(ctx.rank()));
+        std::vector<float> delta(kLen);
+        for (int i = 0; i < kOps; ++i) {
+          const std::uint64_t key = gen.next_below(kKeys);
+          for (int j = 0; j < kLen; ++j) {
+            delta[static_cast<std::size_t>(j)] =
+                static_cast<float>(gen.next_in(-16, 16));
+          }
+          ASSERT_TRUE(cl.Push(key, delta).is_ok());
+          if (i % 60 == 0) {
+            std::vector<float> got;
+            ASSERT_TRUE(cl.Pull(key, &got).is_ok());
+            ASSERT_EQ(got.size(), static_cast<std::size_t>(kLen));
+          }
+        }
+        ASSERT_TRUE(cl.Close().is_ok());
+        const PsClientStats st = cl.stats();
+        std::lock_guard<std::mutex> lk(snap_mu);
+        snap.client_pushes += st.pushes;
+        snap.client_pulls += st.pulls;
+        snap.client_batches += st.batches_flushed;
+        snap.client_records += st.records_flushed;
+      });
+  return snap;
+}
+
+struct FaultScenario {
+  const char* label;
+  std::uint64_t seed;
+  double drop, bitflip, duplicate;
+};
+
+TEST(PsFaultTest, FaultedLinksRecoverExactlyOnceAndDeterministically) {
+  const FaultScenario scenarios[] = {
+      {"drops", 11, 0.03, 0.0, 0.0},
+      {"corruption", 22, 0.0, 0.03, 0.0},
+      {"mixed", 33, 0.02, 0.02, 0.02},
+  };
+  for (const FaultScenario& sc : scenarios) {
+    SCOPED_TRACE(sc.label);
+    Snapshot first = run_faulted(sc.seed, sc.drop, sc.bitflip, sc.duplicate);
+    if (::testing::Test::HasFatalFailure()) return;
+    // Exactly-once application under faults.
+    EXPECT_EQ(first.pushes_applied,
+              static_cast<std::uint64_t>(2 * kOps));
+    EXPECT_EQ(first.client_pushes, static_cast<std::uint64_t>(2 * kOps));
+    EXPECT_EQ(first.pulls_served, first.client_pulls);
+    EXPECT_EQ(first.credits_returned, first.client_batches);
+    EXPECT_GT(first.table_keys, 0u);
+    // Bit-identical rerun.
+    Snapshot second = run_faulted(sc.seed, sc.drop, sc.bitflip, sc.duplicate);
+    if (::testing::Test::HasFatalFailure()) return;
+    EXPECT_EQ(first, second) << "first:  " << first.str() << "\nsecond: "
+                             << second.str();
+  }
+}
+
+TEST(PsFaultTest, UnrecoverableLinkFailsCleanlyNeverHangs) {
+  mp::MotorWorldConfig wc = world_config();
+  wc.ranks = 2;
+  wc.world.device.reliability.max_retries = 4;
+  wc.world.device.reliability.retry_timeout_polls = 32;
+  wc.world.device.reliability.retry_timeout_cap_polls = 128;
+  mp::run_motor_world(
+      wc,
+      [&](mpi::World& world) {
+        transport::FaultConfig dead;
+        dead.seed = 7;
+        dead.drop_rate = 1.0;  // the client->server link eats every frame
+        world.fabric().inject_faults(1, 0, dead);
+      },
+      [&](mp::MotorContext& ctx) {
+        PsConfig pc;
+        pc.servers = 1;
+        pc.flush_records = 4;
+        pc.flush_deadline_ns = 0;
+        pc.window_batches = 2;
+        pc.serve_timeout_ns = 5ull * 1000 * 1000 * 1000;
+        PsNode node(ctx, pc);
+        if (node.is_server()) {
+          Status st = node.server().Serve();
+          EXPECT_FALSE(st.is_ok()) << "no client traffic can have arrived";
+          return;
+        }
+        PsClient& cl = node.client();
+        const std::vector<float> unit(4, 1.0f);
+        Status st = Status::ok();
+        for (int i = 0; i < 100000 && st.is_ok(); ++i) {
+          st = cl.Push(static_cast<std::uint64_t>(i), unit);
+        }
+        EXPECT_FALSE(st.is_ok()) << "a dead link must surface an error";
+        EXPECT_EQ(st.code(), ErrorCode::kCommError);
+        Status closed = cl.Close();
+        EXPECT_FALSE(closed.is_ok());
+      });
+}
+
+}  // namespace
+}  // namespace motor::ps
