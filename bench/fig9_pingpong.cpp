@@ -8,9 +8,26 @@
 // times and averaged, single node, two ranks. Also prints the §8 headline
 // ratios (experiment E3): Motor vs Indiana-SSCLI peak / mean / >64 KiB
 // mean improvements.
+//
+// Flags:
+//   --smoke               reduced sizes and iteration counts (CI tier)
+//   --json=PATH           write the Motor series as JSON (same schema in
+//                         every mode, so thread and process runs diff
+//                         structurally clean)
+//   --transport=thread    in-process two-rank world (default)
+//   --transport=socket    RE-EXECS ITSELF under the launcher: two real
+//   --transport=shm       rank processes over AF_UNIX sockets / POSIX
+//                         shm rings, Motor series only (the hosted
+//                         baseline series measure wrapper cost, which is
+//                         transport-independent)
 #include <cstdio>
+#include <cstring>
+#include <string>
 #include <vector>
 
+#include "launch/launch.hpp"
+#include "mpi/collectives.hpp"
+#include "pal/clock.hpp"
 #include "series.hpp"
 
 namespace {
@@ -23,16 +40,126 @@ struct Row {
   double cpp, motor, indiana_sscli, indiana_net, mpijava;
 };
 
-}  // namespace
+struct Options {
+  bool smoke = false;
+  std::string json_path;
+  std::string transport = "thread";
+};
 
-int main() {
-  PingPongSpec spec;
-  spec.warmup_iterations = 100;
-  spec.timed_iterations = 100;
-  spec.repeats = 3;
-
+std::vector<std::size_t> size_sweep(bool smoke) {
+  if (smoke) return {4, 1024, 65536, 262144};
   std::vector<std::size_t> sizes;
   for (std::size_t b = 4; b <= 262144; b *= 2) sizes.push_back(b);
+  return sizes;
+}
+
+PingPongSpec spec_for(bool smoke) {
+  PingPongSpec spec;
+  spec.warmup_iterations = smoke ? 20 : 100;
+  spec.timed_iterations = smoke ? 50 : 100;
+  spec.repeats = smoke ? 1 : 3;
+  return spec;
+}
+
+// The one schema every mode emits: mode + spec + per-size Motor numbers.
+// mbps counts both directions of the round trip (bytes/us == MB/s).
+void write_json(const Options& opt, const PingPongSpec& spec,
+                const std::vector<std::size_t>& sizes,
+                const std::vector<double>& motor_us) {
+  std::FILE* f = std::fopen(opt.json_path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "fig9: cannot write %s\n", opt.json_path.c_str());
+    return;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"fig9_pingpong\",\n");
+  std::fprintf(f, "  \"mode\": \"%s\",\n", opt.transport.c_str());
+  std::fprintf(f,
+               "  \"spec\": {\"warmup\": %d, \"timed\": %d, \"repeats\": "
+               "%d},\n",
+               spec.warmup_iterations, spec.timed_iterations, spec.repeats);
+  std::fprintf(f, "  \"rows\": [\n");
+  for (std::size_t i = 0; i < sizes.size(); ++i) {
+    const double us = motor_us[i];
+    const double mbps =
+        us > 0.0 ? 2.0 * static_cast<double>(sizes[i]) / us : 0.0;
+    std::fprintf(f,
+                 "    {\"bytes\": %zu, \"motor_us\": %.3f, \"motor_mbps\": "
+                 "%.1f}%s\n",
+                 sizes[i], us, mbps, i + 1 < sizes.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::fprintf(stderr, "fig9: wrote %s\n", opt.json_path.c_str());
+}
+
+// ---------------------------------------------------------------------------
+// Cross-process mode. The parent re-execs itself under motor_launch's
+// library form; each child detects the rank environment and runs the
+// Motor series over the real wire, one world for the whole sweep
+// (MatlabMPI-style: the processes ARE the ranks; a fresh world per
+// repeat is a thread-mode luxury). Rank 0 prints the table and writes
+// the JSON.
+
+int run_proc_child(const Options& opt) {
+  const PingPongSpec spec = spec_for(opt.smoke);
+  const std::vector<std::size_t> sizes = size_sweep(opt.smoke);
+  mpi::WorldConfig wc;  // the wire is real; no modelled latency
+  return launch::run_rank(wc, [&](mpi::RankCtx& ctx) {
+    const int me = ctx.comm_world().rank();
+    std::vector<double> motor_us;
+    if (me == 0) {
+      std::printf("# Figure 9 (cross-process, %s transport): Motor series\n",
+                  opt.transport.c_str());
+      std::printf("%10s %12s %12s\n", "bytes", "Motor_us", "MB/s");
+    }
+    for (const std::size_t bytes : sizes) {
+      double total_us = 0.0;
+      for (int repeat = 0; repeat < spec.repeats; ++repeat) {
+        // Fresh VM + buffers per repeat, matching run_pingpong_us.
+        IterationFn iteration = motor_pingpong(bytes)(ctx);
+        mpi::barrier(ctx.comm_world());
+        for (int i = 0; i < spec.warmup_iterations; ++i) iteration();
+        mpi::barrier(ctx.comm_world());
+        pal::Stopwatch sw;
+        for (int i = 0; i < spec.timed_iterations; ++i) iteration();
+        total_us += sw.elapsed_us() / spec.timed_iterations;
+        mpi::barrier(ctx.comm_world());
+      }
+      const double us = total_us / spec.repeats;
+      if (me == 0) {
+        motor_us.push_back(us);
+        std::printf("%10zu %12.2f %12.1f\n", bytes, us,
+                    2.0 * static_cast<double>(bytes) / us);
+        std::fflush(stdout);
+      }
+    }
+    if (me == 0 && !opt.json_path.empty()) {
+      write_json(opt, spec, sizes, motor_us);
+    }
+  });
+}
+
+int run_proc_parent(const Options& opt, const char* self) {
+  launch::LaunchConfig lc;
+  lc.n_ranks = 2;
+  lc.transport = opt.transport;
+  lc.program = {self, "--transport=" + opt.transport};
+  if (opt.smoke) lc.program.push_back("--smoke");
+  if (!opt.json_path.empty()) lc.program.push_back("--json=" + opt.json_path);
+  lc.watchdog_ns = 600ull * 1000 * 1000 * 1000;
+  const launch::LaunchResult result = launch::launch_world(lc);
+  if (result.exit_code != 0) {
+    std::fprintf(stderr, "%s", result.summary.c_str());
+  }
+  return result.exit_code;
+}
+
+// ---------------------------------------------------------------------------
+// Thread mode: the full five-series paper reproduction.
+
+int run_thread_mode(const Options& opt) {
+  const PingPongSpec spec = spec_for(opt.smoke);
+  const std::vector<std::size_t> sizes = size_sweep(opt.smoke);
 
   std::printf("# Figure 9: ping-pong, regular MPI operations\n");
   std::printf("# time per iteration (round trip) in microseconds\n");
@@ -44,8 +171,8 @@ int main() {
     Row row{};
     row.bytes = bytes;
     row.cpp = baselines::native_pingpong_us(bytes, spec, paper_world_config());
-    row.motor =
-        baselines::run_pingpong_us(spec, motor_pingpong(bytes), paper_world_config());
+    row.motor = baselines::run_pingpong_us(spec, motor_pingpong(bytes),
+                                           paper_world_config());
     row.indiana_sscli = baselines::run_pingpong_us(
         spec, indiana_pingpong(bytes, vm::RuntimeProfile::sscli()),
         paper_world_config());
@@ -59,6 +186,12 @@ int main() {
                 row.cpp, row.motor, row.indiana_sscli, row.indiana_net,
                 row.mpijava);
     std::fflush(stdout);
+  }
+
+  if (!opt.json_path.empty()) {
+    std::vector<double> motor_us;
+    for (const Row& r : rows) motor_us.push_back(r.motor);
+    write_json(opt, spec, sizes, motor_us);
   }
 
   // E3: the paper's headline Motor-vs-Indiana-SSCLI improvements:
@@ -131,8 +264,8 @@ int main() {
        {std::size_t{16384}, std::size_t{65536}, std::size_t{262144}}) {
     mpi::WorldConfig rel_wc = paper_world_config();
     rel_wc.device.reliability.enabled = true;
-    const double off =
-        baselines::run_pingpong_us(spec, motor_pingpong(bytes), paper_world_config());
+    const double off = baselines::run_pingpong_us(spec, motor_pingpong(bytes),
+                                                  paper_world_config());
     const double on =
         baselines::run_pingpong_us(spec, motor_pingpong(bytes), rel_wc);
     const double off_bw = 2.0 * static_cast<double>(bytes) / off;
@@ -142,4 +275,28 @@ int main() {
     std::fflush(stdout);
   }
   return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--smoke") {
+      opt.smoke = true;
+    } else if (a.rfind("--json=", 0) == 0) {
+      opt.json_path = a.substr(7);
+    } else if (a.rfind("--transport=", 0) == 0) {
+      opt.transport = a.substr(12);
+    } else {
+      std::fprintf(stderr,
+                   "usage: fig9_pingpong [--smoke] [--json=PATH]\n"
+                   "                     [--transport=thread|socket|shm]\n");
+      return 2;
+    }
+  }
+  if (opt.transport == "thread") return run_thread_mode(opt);
+  if (motor::launch::in_rank_process()) return run_proc_child(opt);
+  return run_proc_parent(opt, argv[0]);
 }

@@ -50,13 +50,49 @@ timeout 300 ./build/bench/fig10_objects --smoke
 # entry producing a different answer, so the ablation identity cannot rot.
 timeout 300 ./build/bench/sweep_interconnect --smoke
 
+# Cross-process tier (ctest -L procs): channel conformance for all eight
+# channel implementations, the motor_launch end-to-end suite over
+# socket/tcp/shm (pingpong, collectives, PS), the crash-containment
+# suite (a rank dies mid-collective / mid-push; survivors must error out
+# within the grace window, never hang), and the seeded socket/shm fault
+# determinism suite.
+ctest --test-dir build -L procs --output-on-failure
+
+# fig9 across real process boundaries, strict: both transports must
+# produce JSON structurally identical to each other (same schema the
+# thread mode emits), and shm must beat the socket at the largest size —
+# the whole point of having two wires.
+timeout 600 ./build/bench/fig9_pingpong --transport=socket --smoke \
+    --json=build/fig9_socket_smoke.json
+timeout 600 ./build/bench/fig9_pingpong --transport=shm --smoke \
+    --json=build/fig9_shm_smoke.json
+python3 - <<'EOF'
+import json
+def shape(v):
+    if isinstance(v, dict): return {k: shape(x) for k, x in sorted(v.items())}
+    if isinstance(v, list): return [shape(x) for x in v]
+    return type(v).__name__
+sock = json.load(open("build/fig9_socket_smoke.json"))
+shm = json.load(open("build/fig9_shm_smoke.json"))
+assert shape(sock) == shape(shm), "fig9 JSON schemas diverge across transports"
+last = lambda d: d["rows"][-1]
+s, m = last(sock), last(shm)
+assert s["bytes"] == m["bytes"]
+assert m["motor_mbps"] > s["motor_mbps"], (
+    f"shm ({m['motor_mbps']} MB/s) did not beat socket ({s['motor_mbps']} MB/s)")
+print(f"fig9 procs OK: shm {m['motor_mbps']:.0f} MB/s > "
+      f"socket {s['motor_mbps']:.0f} MB/s at {s['bytes']} B")
+EOF
+
 # Sanitizer tier: fault-labelled stress tests, the collective registry
-# (tree/butterfly index arithmetic, in-place reduce windows), and the
+# (tree/butterfly index arithmetic, in-place reduce windows), the
 # parameter server (unaligned record payloads, pooled buffer recycling,
-# comm-thread handoffs) under ASan + UBSan.
+# comm-thread handoffs), and the cross-process tier (shm ring index
+# discipline, socket partial-write resync, launcher teardown) under
+# ASan + UBSan.
 cmake -B build-asan -S . -DMOTOR_SANITIZE=ON >/dev/null
-cmake --build build-asan -j "$(nproc)" --target test_fault --target test_collectives --target test_ps --target test_ps_fault
-ctest --test-dir build-asan -L 'fault|collectives|ps' --output-on-failure
+cmake --build build-asan -j "$(nproc)" --target test_fault --target test_collectives --target test_ps --target test_ps_fault --target test_channel_conformance --target test_proc_fault --target test_launch --target launch_rank_helper
+ctest --test-dir build-asan -L 'fault|collectives|ps|procs' --output-on-failure
 
 # fig9 smoke: the full sweep takes minutes; a capped run via the pingpong
 # spec is not exposed on the CLI, so just run the cheapest ablation bench

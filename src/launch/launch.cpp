@@ -1,0 +1,485 @@
+#include "launch/launch.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <exception>
+#include <memory>
+#include <unordered_map>
+
+#include <arpa/inet.h>
+#include <csignal>
+#include <dirent.h>
+#include <errno.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/stat.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "common/status.hpp"
+#include "pal/clock.hpp"
+#include "pal/thread.hpp"
+#include "transport/shm_channel.hpp"
+#include "transport/socket_channel.hpp"
+
+namespace motor::launch {
+
+namespace {
+
+constexpr std::uint64_t kWireUpTimeoutNs = 30ull * 1000 * 1000 * 1000;
+
+std::string env_or(const char* key, const std::string& fallback) {
+  const char* v = std::getenv(key);
+  return v != nullptr ? std::string(v) : fallback;
+}
+
+std::string sock_path(const std::string& dir, int rank) {
+  return dir + "/rank" + std::to_string(rank) + ".sock";
+}
+
+std::string port_path(const std::string& dir, int rank) {
+  return dir + "/rank" + std::to_string(rank) + ".port";
+}
+
+std::string shm_link_name(const std::string& prefix, int from, int to) {
+  return prefix + "." + std::to_string(from) + "." + std::to_string(to);
+}
+
+[[noreturn]] void fatal(const std::string& what) {
+  throw FatalError("launch: " + what);
+}
+
+// ---- blocking-with-deadline socket helpers (rendezvous only; the
+// channels themselves are non-blocking) ----
+
+void write_all(int fd, const void* buf, std::size_t n) {
+  const char* p = static_cast<const char*>(buf);
+  std::size_t off = 0;
+  while (off < n) {
+    const ssize_t w = ::write(fd, p + off, n - off);
+    if (w > 0) {
+      off += static_cast<std::size_t>(w);
+      continue;
+    }
+    if (w < 0 && errno == EINTR) continue;
+    fatal("hello write failed");
+  }
+}
+
+bool read_all_deadline(int fd, void* buf, std::size_t n,
+                       std::uint64_t deadline_ns) {
+  char* p = static_cast<char*>(buf);
+  std::size_t off = 0;
+  while (off < n) {
+    pollfd pf{fd, POLLIN, 0};
+    const int pr = ::poll(&pf, 1, 50);
+    if (pr < 0 && errno != EINTR) return false;
+    if (pr <= 0) {
+      if (pal::monotonic_ns() >= deadline_ns) return false;
+      continue;
+    }
+    const ssize_t r = ::read(fd, p + off, n - off);
+    if (r > 0) {
+      off += static_cast<std::size_t>(r);
+      continue;
+    }
+    if (r < 0 && errno == EINTR) continue;
+    return false;  // EOF or error mid-hello
+  }
+  return true;
+}
+
+int make_unix_listener(const std::string& path, int backlog) {
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  MOTOR_CHECK(fd >= 0, "launch: socket(AF_UNIX) failed");
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  MOTOR_CHECK(path.size() < sizeof(addr.sun_path),
+              "launch: rendezvous path too long for AF_UNIX");
+  std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
+  ::unlink(path.c_str());
+  MOTOR_CHECK(::bind(fd, reinterpret_cast<sockaddr*>(&addr),
+                     sizeof(addr)) == 0,
+              "launch: bind(AF_UNIX) failed");
+  MOTOR_CHECK(::listen(fd, backlog) == 0, "launch: listen failed");
+  return fd;
+}
+
+int make_tcp_listener(const std::string& dir, int rank, int backlog) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  MOTOR_CHECK(fd >= 0, "launch: socket(AF_INET) failed");
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = 0;  // ephemeral
+  MOTOR_CHECK(::bind(fd, reinterpret_cast<sockaddr*>(&addr),
+                     sizeof(addr)) == 0,
+              "launch: bind(127.0.0.1) failed");
+  MOTOR_CHECK(::listen(fd, backlog) == 0, "launch: listen failed");
+  sockaddr_in bound{};
+  socklen_t blen = sizeof(bound);
+  MOTOR_CHECK(::getsockname(fd, reinterpret_cast<sockaddr*>(&bound),
+                            &blen) == 0,
+              "launch: getsockname failed");
+  // Publish the port via atomic rename so readers never see a torn file.
+  const std::string tmp = port_path(dir, rank) + ".tmp";
+  FILE* f = std::fopen(tmp.c_str(), "w");
+  MOTOR_CHECK(f != nullptr, "launch: cannot write port file");
+  std::fprintf(f, "%u\n", static_cast<unsigned>(ntohs(bound.sin_port)));
+  std::fclose(f);
+  MOTOR_CHECK(::rename(tmp.c_str(), port_path(dir, rank).c_str()) == 0,
+              "launch: port file rename failed");
+  return fd;
+}
+
+int connect_unix_deadline(const std::string& path, std::uint64_t deadline_ns) {
+  for (;;) {
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    MOTOR_CHECK(fd >= 0, "launch: socket(AF_UNIX) failed");
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
+    if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) == 0) {
+      return fd;
+    }
+    ::close(fd);
+    if (errno != ENOENT && errno != ECONNREFUSED && errno != EINTR) {
+      fatal("connect(AF_UNIX) failed");
+    }
+    if (pal::monotonic_ns() >= deadline_ns) {
+      fatal("timed out connecting to " + path);
+    }
+    pal::Thread::sleep_for(std::chrono::milliseconds(1));
+  }
+}
+
+int connect_tcp_deadline(const std::string& dir, int peer,
+                         std::uint64_t deadline_ns) {
+  // First wait for the peer's port file.
+  unsigned port = 0;
+  for (;;) {
+    FILE* f = std::fopen(port_path(dir, peer).c_str(), "r");
+    if (f != nullptr) {
+      const bool got = std::fscanf(f, "%u", &port) == 1;
+      std::fclose(f);
+      if (got && port != 0) break;
+    }
+    if (pal::monotonic_ns() >= deadline_ns) {
+      fatal("timed out waiting for rank " + std::to_string(peer) + " port");
+    }
+    pal::Thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  for (;;) {
+    const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    MOTOR_CHECK(fd >= 0, "launch: socket(AF_INET) failed");
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(static_cast<std::uint16_t>(port));
+    if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) == 0) {
+      const int one = 1;
+      ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+      return fd;
+    }
+    ::close(fd);
+    if (errno != ECONNREFUSED && errno != EINTR) {
+      fatal("connect(127.0.0.1) failed");
+    }
+    if (pal::monotonic_ns() >= deadline_ns) {
+      fatal("timed out connecting to rank " + std::to_string(peer));
+    }
+    pal::Thread::sleep_for(std::chrono::milliseconds(1));
+  }
+}
+
+int accept_deadline(int listen_fd, std::uint64_t deadline_ns) {
+  for (;;) {
+    pollfd pf{listen_fd, POLLIN, 0};
+    const int pr = ::poll(&pf, 1, 50);
+    if (pr > 0) {
+      const int fd = ::accept(listen_fd, nullptr, nullptr);
+      if (fd >= 0) return fd;
+      if (errno != EINTR && errno != EAGAIN) fatal("accept failed");
+    } else if (pr < 0 && errno != EINTR) {
+      fatal("poll(listener) failed");
+    }
+    if (pal::monotonic_ns() >= deadline_ns) {
+      fatal("timed out accepting peer connections");
+    }
+  }
+}
+
+/// One full-duplex socket per unordered pair: connect to lower ranks
+/// (hello carries our rank), accept from higher ranks. Returns peer -> fd.
+std::unordered_map<int, int> wire_up_sockets(const RankEnv& env) {
+  const bool tcp = env.transport == "tcp";
+  const std::uint64_t deadline = pal::monotonic_ns() + kWireUpTimeoutNs;
+  const int listen_fd =
+      tcp ? make_tcp_listener(env.rendezvous_dir, env.rank, env.world_size)
+          : make_unix_listener(sock_path(env.rendezvous_dir, env.rank),
+                               env.world_size);
+
+  std::unordered_map<int, int> fds;
+  for (int peer = 0; peer < env.rank; ++peer) {
+    const int fd =
+        tcp ? connect_tcp_deadline(env.rendezvous_dir, peer, deadline)
+            : connect_unix_deadline(sock_path(env.rendezvous_dir, peer),
+                                    deadline);
+    const std::uint32_t hello = static_cast<std::uint32_t>(env.rank);
+    write_all(fd, &hello, sizeof(hello));
+    fds.emplace(peer, fd);
+  }
+  for (int n = env.rank + 1; n < env.world_size; ++n) {
+    const int fd = accept_deadline(listen_fd, deadline);
+    if (tcp) {
+      const int one = 1;
+      ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    }
+    std::uint32_t hello = 0;
+    if (!read_all_deadline(fd, &hello, sizeof(hello), deadline)) {
+      fatal("peer hello never arrived");
+    }
+    const int peer = static_cast<int>(hello);
+    MOTOR_CHECK(peer > env.rank && peer < env.world_size && !fds.count(peer),
+                "launch: bad hello rank");
+    fds.emplace(peer, fd);
+  }
+  ::close(listen_fd);
+  if (!tcp) ::unlink(sock_path(env.rendezvous_dir, env.rank).c_str());
+  return fds;
+}
+
+/// Key for the prebuilt-channel map the link factory consumes from.
+std::uint64_t link_key(int from, int to) {
+  return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(from)) << 32) |
+         static_cast<std::uint32_t>(to);
+}
+
+using ChannelMap =
+    std::unordered_map<std::uint64_t, std::unique_ptr<transport::Channel>>;
+
+/// Build both directed channels for every peer, eagerly, into a map the
+/// fabric's link factory hands out. Eager build is what makes rendezvous
+/// synchronous: when this returns, every pair connection exists.
+std::shared_ptr<ChannelMap> build_channels(const RankEnv& env) {
+  auto map = std::make_shared<ChannelMap>();
+  if (env.transport == "shm") {
+    // Producer side first (create never blocks), then attach to every
+    // peer's ring with a deadline — no ordering deadlock possible.
+    std::vector<std::unique_ptr<transport::ShmChannel>> mine;
+    for (int peer = 0; peer < env.world_size; ++peer) {
+      if (peer == env.rank) continue;
+      (*map)[link_key(env.rank, peer)] = transport::ShmChannel::create(
+          shm_link_name(env.shm_prefix, env.rank, peer),
+          env.channel_capacity, transport::ShmChannel::Role::kProducer);
+    }
+    for (int peer = 0; peer < env.world_size; ++peer) {
+      if (peer == env.rank) continue;
+      auto in = transport::ShmChannel::open(
+          shm_link_name(env.shm_prefix, peer, env.rank),
+          transport::ShmChannel::Role::kConsumer, kWireUpTimeoutNs);
+      if (!in) fatal("shm ring from rank " + std::to_string(peer) +
+                     " never appeared");
+      (*map)[link_key(peer, env.rank)] = std::move(in);
+    }
+    return map;
+  }
+  std::unordered_map<int, int> fds = wire_up_sockets(env);
+  for (auto& [peer, fd] : fds) {
+    const int wdup = ::dup(fd);
+    MOTOR_CHECK(wdup >= 0, "launch: dup failed");
+    // Outbound channel drives the write half via a dup; inbound owns the
+    // original and reads. shutdown(SHUT_WR) on the dup still reaches the
+    // peer as EOF — dup shares the socket, which is exactly the close()
+    // semantics a directed channel wants.
+    (*map)[link_key(env.rank, peer)] =
+        std::make_unique<transport::SocketChannel>(wdup, -1);
+    (*map)[link_key(peer, env.rank)] =
+        std::make_unique<transport::SocketChannel>(-1, fd);
+  }
+  return map;
+}
+
+}  // namespace
+
+bool in_rank_process() { return std::getenv("MOTOR_RANK") != nullptr; }
+
+RankEnv rank_env() {
+  RankEnv env;
+  const char* rank = std::getenv("MOTOR_RANK");
+  MOTOR_CHECK(rank != nullptr, "rank_env: MOTOR_RANK not set");
+  env.rank = std::atoi(rank);
+  env.world_size = std::atoi(env_or("MOTOR_WORLD_SIZE", "1").c_str());
+  env.transport = env_or("MOTOR_TRANSPORT", "socket");
+  env.rendezvous_dir = env_or("MOTOR_RENDEZVOUS_DIR", "/tmp");
+  env.shm_prefix = env_or("MOTOR_SHM_PREFIX", "/motor_shm");
+  env.channel_capacity = static_cast<std::size_t>(
+      std::atoll(env_or("MOTOR_CHANNEL_CAP", "1048576").c_str()));
+  MOTOR_CHECK(env.rank >= 0 && env.rank < env.world_size,
+              "rank_env: rank out of range");
+  MOTOR_CHECK(env.transport == "socket" || env.transport == "tcp" ||
+                  env.transport == "shm",
+              "rank_env: unknown MOTOR_TRANSPORT");
+  return env;
+}
+
+int run_rank(const mpi::WorldConfig& base,
+             const std::function<void(mpi::RankCtx&)>& rank_main) {
+  try {
+    const RankEnv env = rank_env();
+    std::shared_ptr<ChannelMap> channels = build_channels(env);
+
+    mpi::WorldConfig config = base;
+    config.link_factory =
+        [channels](int from, int to) -> std::unique_ptr<transport::Channel> {
+      auto it = channels->find(link_key(from, to));
+      if (it == channels->end()) return nullptr;  // fall back (loopback etc.)
+      return std::move(it->second);
+    };
+
+    mpi::World world(env.world_size, config);
+    // Materialise this rank's full row/column up front: the prebuilt
+    // channels move into the fabric and the device's first snapshot sees
+    // every peer (no lazy wire-up races across processes).
+    for (int peer = 0; peer < env.world_size; ++peer) {
+      if (peer == env.rank) continue;
+      world.fabric().link(env.rank, peer);
+      world.fabric().link(peer, env.rank);
+    }
+    world.run_rank(env.rank, rank_main);
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "motor rank failed: %s\n", e.what());
+    return 1;
+  }
+}
+
+LaunchResult launch_world(const LaunchConfig& config) {
+  MOTOR_CHECK(config.n_ranks >= 1, "launch_world: need at least one rank");
+  MOTOR_CHECK(!config.program.empty(), "launch_world: empty program argv");
+  MOTOR_CHECK(config.transport == "socket" || config.transport == "tcp" ||
+                  config.transport == "shm",
+              "launch_world: unknown transport");
+
+  std::string dir = config.rendezvous_dir;
+  bool own_dir = false;
+  if (dir.empty()) {
+    char tmpl[] = "/tmp/motor.XXXXXX";
+    MOTOR_CHECK(::mkdtemp(tmpl) != nullptr, "launch_world: mkdtemp failed");
+    dir = tmpl;
+    own_dir = true;
+  }
+  const std::string shm_prefix =
+      "/motor_" + std::to_string(pal::current_pid()) + "_" +
+      std::to_string(pal::monotonic_ns() % 1000000);
+
+  LaunchResult result;
+  result.ranks.resize(static_cast<std::size_t>(config.n_ranks));
+  std::vector<pal::Process> procs;
+  procs.reserve(static_cast<std::size_t>(config.n_ranks));
+  for (int r = 0; r < config.n_ranks; ++r) {
+    std::vector<std::string> env = config.extra_env;
+    env.push_back("MOTOR_RANK=" + std::to_string(r));
+    env.push_back("MOTOR_WORLD_SIZE=" + std::to_string(config.n_ranks));
+    env.push_back("MOTOR_TRANSPORT=" + config.transport);
+    env.push_back("MOTOR_RENDEZVOUS_DIR=" + dir);
+    env.push_back("MOTOR_SHM_PREFIX=" + shm_prefix);
+    env.push_back("MOTOR_CHANNEL_CAP=" +
+                  std::to_string(config.channel_capacity));
+    procs.push_back(pal::Process::spawn(config.program, env));
+    result.ranks[static_cast<std::size_t>(r)].rank = r;
+    result.ranks[static_cast<std::size_t>(r)].pid = procs.back().pid();
+  }
+
+  // Monitor: reap as ranks finish; on the first failure give survivors a
+  // grace window to observe the dead peer (kCommError) and exit cleanly,
+  // then escalate SIGTERM -> SIGKILL. The watchdog bounds everything.
+  const std::uint64_t start = pal::monotonic_ns();
+  std::uint64_t first_fail_ns = 0;
+  bool sent_term = false;
+  bool sent_kill = false;
+  for (;;) {
+    int running = 0;
+    for (int r = 0; r < config.n_ranks; ++r) {
+      pal::Process& p = procs[static_cast<std::size_t>(r)];
+      if (!p.running()) continue;
+      auto st = p.try_wait();
+      if (!st.has_value()) {
+        ++running;
+        continue;
+      }
+      result.ranks[static_cast<std::size_t>(r)].status = *st;
+      if (!st->ok() && first_fail_ns == 0) first_fail_ns = pal::monotonic_ns();
+    }
+    if (running == 0) break;
+
+    const std::uint64_t now = pal::monotonic_ns();
+    if (config.watchdog_ns != 0 && now - start > config.watchdog_ns) {
+      result.timed_out = true;
+      for (auto& p : procs) p.kill(SIGKILL);
+      for (auto& p : procs) p.wait();
+      for (int r = 0; r < config.n_ranks; ++r) {
+        auto st = procs[static_cast<std::size_t>(r)].try_wait();
+        if (st) result.ranks[static_cast<std::size_t>(r)].status = *st;
+      }
+      break;
+    }
+    if (first_fail_ns != 0) {
+      if (!sent_term && now - first_fail_ns > config.fail_grace_ns) {
+        for (auto& p : procs) p.kill(SIGTERM);
+        sent_term = true;
+        first_fail_ns = now;  // reuse as the SIGTERM timestamp
+      } else if (sent_term && !sent_kill &&
+                 now - first_fail_ns > config.term_grace_ns) {
+        for (auto& p : procs) p.kill(SIGKILL);
+        sent_kill = true;
+      }
+    }
+    pal::Thread::sleep_for(std::chrono::milliseconds(2));
+  }
+
+  // Rendezvous cleanup: sockets/port files the ranks left behind, the
+  // mkdtemp dir if we made it, and every possible shm segment (a killed
+  // rank never runs its destructors).
+  for (int r = 0; r < config.n_ranks; ++r) {
+    ::unlink(sock_path(dir, r).c_str());
+    ::unlink(port_path(dir, r).c_str());
+  }
+  if (own_dir) ::rmdir(dir.c_str());
+  if (config.transport == "shm") {
+    for (int i = 0; i < config.n_ranks; ++i) {
+      for (int j = 0; j < config.n_ranks; ++j) {
+        if (i != j) pal::SharedMemory::unlink(shm_link_name(shm_prefix, i, j));
+      }
+    }
+  }
+
+  // Per-rank report + exit code.
+  for (const RankReport& rr : result.ranks) {
+    result.summary += "rank " + std::to_string(rr.rank) + ": pid " +
+                      std::to_string(rr.pid);
+    if (rr.status.exited) {
+      result.summary += " exit " + std::to_string(rr.status.exit_code);
+    } else if (rr.status.signalled) {
+      result.summary += " signal " + std::to_string(rr.status.term_signal);
+    } else {
+      result.summary += " unknown";
+    }
+    result.summary += "\n";
+    if (!rr.status.ok() && result.exit_code == 0) {
+      result.exit_code = rr.status.exited ? rr.status.exit_code : 1;
+    }
+  }
+  if (result.timed_out) {
+    result.summary += "launch: watchdog expired, world killed\n";
+    if (result.exit_code == 0) result.exit_code = 1;
+  }
+  return result;
+}
+
+}  // namespace motor::launch

@@ -1,0 +1,117 @@
+// Cross-process world bootstrap — the MatlabMPI-style minimum: a launcher
+// that spawns one OS process per rank, an environment contract telling
+// each rank who it is, and a file/name rendezvous that wires every rank
+// pair with a real transport (AF_UNIX or TCP socket, or a POSIX shm
+// ring). The MPI/Motor stack above is transport-agnostic, so once the
+// fabric's link factory hands out these channels, eager/rendezvous,
+// gather sends, reliability and the collectives run unchanged across
+// process boundaries.
+//
+// Environment contract (set by the launcher, read by run_rank):
+//   MOTOR_RANK            this process's world rank
+//   MOTOR_WORLD_SIZE      number of ranks
+//   MOTOR_TRANSPORT       "socket" (AF_UNIX) | "tcp" | "shm"
+//   MOTOR_RENDEZVOUS_DIR  directory for listener sockets / port files
+//   MOTOR_SHM_PREFIX      per-launch shm name prefix (shm transport)
+//   MOTOR_CHANNEL_CAP     shm ring capacity in bytes
+//
+// Rendezvous protocol:
+//   socket/tcp  every rank first publishes a listener (an AF_UNIX path
+//               "rank<r>.sock", or an ephemeral TCP port written to
+//               "rank<r>.port" via atomic rename), then connects to every
+//               LOWER rank (retrying until the peer's listener appears)
+//               and accepts from every HIGHER rank; the connector opens
+//               with a 4-byte little-endian hello carrying its rank. One
+//               full-duplex connection serves the pair: each directed
+//               channel owns a dup()'d fd and uses one half.
+//   shm         rank i creates segment "<prefix>.<i>.<j>" (it is the
+//               producer) and opens "<prefix>.<j>.<i>" with retry.
+//
+// Failure semantics: any rank exiting non-zero (or by signal) fails the
+// launch. The launcher leaves survivors a grace window to observe the
+// dead peer themselves (broken links surface as kCommError through the
+// device), then escalates SIGTERM -> SIGKILL, and always reports
+// per-rank outcomes. A global watchdog bounds total wall time, so a
+// wedged world can never hang the caller.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "mpi/world.hpp"
+#include "pal/process.hpp"
+
+namespace motor::launch {
+
+struct LaunchConfig {
+  int n_ranks = 2;
+  /// "socket" (AF_UNIX), "tcp" (127.0.0.1), or "shm".
+  std::string transport = "socket";
+  /// Ring capacity per directed shm link.
+  std::size_t channel_capacity = 1 << 20;
+  /// argv of the rank program (argv[0] = executable path). Every rank
+  /// runs the same argv; ranks differentiate via MOTOR_RANK.
+  std::vector<std::string> program;
+  /// Extra "KEY=VALUE" entries for the rank environment.
+  std::vector<std::string> extra_env;
+  /// Rendezvous directory; empty = a fresh mkdtemp under /tmp, removed
+  /// at teardown.
+  std::string rendezvous_dir;
+  /// After the first rank failure, how long survivors get to notice the
+  /// dead peer and exit on their own before SIGTERM.
+  std::uint64_t fail_grace_ns = 10ull * 1000 * 1000 * 1000;
+  /// SIGTERM -> SIGKILL escalation gap.
+  std::uint64_t term_grace_ns = 2ull * 1000 * 1000 * 1000;
+  /// Global deadline for the whole world, 0 = none. On expiry every rank
+  /// is killed and the launch reports a timeout.
+  std::uint64_t watchdog_ns = 0;
+};
+
+struct RankReport {
+  int rank = -1;
+  std::int64_t pid = -1;
+  pal::ExitStatus status;
+};
+
+struct LaunchResult {
+  /// 0 when every rank exited 0 in time; otherwise the first failing
+  /// rank's exit code (or 1 for signals/timeouts).
+  int exit_code = 0;
+  bool timed_out = false;
+  std::vector<RankReport> ranks;
+  /// Human-readable per-rank report (one line per rank).
+  std::string summary;
+};
+
+/// Spawn `config.n_ranks` processes of `config.program`, monitor them to
+/// completion (or failure/watchdog), tear down, clean up rendezvous
+/// state, and report.
+LaunchResult launch_world(const LaunchConfig& config);
+
+// ---- rank-process side ----
+
+/// True when this process was started by launch_world (MOTOR_RANK set).
+bool in_rank_process();
+
+/// The environment contract, parsed. Fatal if malformed.
+struct RankEnv {
+  int rank = 0;
+  int world_size = 1;
+  std::string transport;
+  std::string rendezvous_dir;
+  std::string shm_prefix;
+  std::size_t channel_capacity = 1 << 20;
+};
+RankEnv rank_env();
+
+/// Wire up this rank's links to every peer per the rendezvous protocol,
+/// build the (per-process) World over them, and run `rank_main` as this
+/// rank on the calling thread. `base` supplies device/channel tuning;
+/// its link factory is overwritten. Returns the process exit code: 0 on
+/// clean return, 1 on exception (printed to stderr).
+int run_rank(const mpi::WorldConfig& base,
+             const std::function<void(mpi::RankCtx&)>& rank_main);
+
+}  // namespace motor::launch

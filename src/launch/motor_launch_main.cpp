@@ -1,0 +1,63 @@
+// motor_launch: spawn an N-rank Motor world as real OS processes.
+//
+//   motor_launch -n 4 --transport=shm -- ./my_rank_program arg1 arg2
+//
+// Everything after "--" is the rank program argv; each rank process reads
+// the MOTOR_* environment (see launch/launch.hpp) and typically calls
+// motor::launch::run_rank(). Exits with 0 when every rank exited 0,
+// otherwise non-zero, after printing a per-rank report to stderr.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "launch/launch.hpp"
+
+namespace {
+
+void usage() {
+  std::fprintf(
+      stderr,
+      "usage: motor_launch [-n RANKS] [--transport=socket|tcp|shm]\n"
+      "                    [--capacity=BYTES] [--watchdog-ms=MS]\n"
+      "                    -- PROGRAM [ARGS...]\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  motor::launch::LaunchConfig cfg;
+  int i = 1;
+  for (; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--") {
+      ++i;
+      break;
+    }
+    if (a == "-n" && i + 1 < argc) {
+      cfg.n_ranks = std::atoi(argv[++i]);
+    } else if (a.rfind("--transport=", 0) == 0) {
+      cfg.transport = a.substr(12);
+    } else if (a.rfind("--capacity=", 0) == 0) {
+      cfg.channel_capacity = static_cast<std::size_t>(
+          std::atoll(a.substr(11).c_str()));
+    } else if (a.rfind("--watchdog-ms=", 0) == 0) {
+      cfg.watchdog_ns =
+          static_cast<std::uint64_t>(std::atoll(a.substr(14).c_str())) *
+          1'000'000ull;
+    } else {
+      usage();
+      return 2;
+    }
+  }
+  for (; i < argc; ++i) cfg.program.push_back(argv[i]);
+  if (cfg.program.empty() || cfg.n_ranks < 1) {
+    usage();
+    return 2;
+  }
+
+  const motor::launch::LaunchResult result = motor::launch::launch_world(cfg);
+  std::fprintf(stderr, "%s", result.summary.c_str());
+  return result.exit_code;
+}

@@ -64,4 +64,8 @@ bool MPDirect::try_recv_batch(ByteBuffer& into, int tag, MpStatus* status) {
 
 void MPDirect::progress_batch() { comm_.device().progress(); }
 
+std::vector<int> MPDirect::take_failed_peers() {
+  return comm_.device().take_failed_peers();
+}
+
 }  // namespace motor::mp

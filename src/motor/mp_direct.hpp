@@ -146,6 +146,10 @@ class MPDirect {
   bool try_recv_batch(ByteBuffer& into, int tag, MpStatus* status = nullptr);
   /// One pump of the device progress engine.
   void progress_batch();
+  /// Peers whose device flow newly failed since the last call (see
+  /// Device::take_failed_peers). Lets a polling client with no pending
+  /// operations observe peer death instead of waiting out its timeout.
+  std::vector<int> take_failed_peers();
   [[nodiscard]] const BatchStats& batch_stats() const noexcept {
     return batch_stats_;
   }

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstring>
+#include <utility>
 
 #include "common/checksum.hpp"
 #include "pal/thread.hpp"
@@ -40,9 +41,10 @@ Request Device::post_send(SpanVec data, int dst, int tag, int context,
   MOTOR_CHECK(dst >= 0 && dst < static_cast<int>(out_links_.size()),
               "send to bad rank");
   auto req = std::make_shared<RequestState>();
-  if (config_.reliability.enabled) {
-    // A flow that exhausted its retries is dead: fail fast instead of
-    // queueing traffic that can never be acked.
+  {
+    // A flow that exhausted its retries — or whose link broke under a
+    // cross-process transport — is dead: fail fast instead of queueing
+    // traffic that can never arrive.
     auto it = tx_.find(dst);
     if (it != tx_.end() && it->second.failed) {
       req->kind = RequestKind::kSend;
@@ -105,7 +107,7 @@ Request Device::post_recv(MutableByteSpan buf, int src, int tag, int context) {
   // A dead flow to `src` means nothing it sends can be acked any more:
   // the connection is gone both ways, so fail fast exactly like sends do
   // (buffered unexpected data, if any, is still drained first below).
-  if (config_.reliability.enabled && src != kAnySource) {
+  if (src != kAnySource) {
     auto it = tx_.find(src);
     if (it != tx_.end() && it->second.failed) {
       bool buffered = false;
@@ -753,6 +755,7 @@ void Device::process_ack(int src, std::uint32_t cum_seq) {
 
 void Device::fail_flow(int dst) {
   TxFlow& fl = tx_[dst];
+  if (!fl.failed) failed_peers_.push_back(dst);
   fl.failed = true;
   fl.deadline = 0;
 
@@ -864,6 +867,27 @@ void Device::reliability_tick() {
   }
 }
 
+void Device::scan_dead_links() {
+  refresh_links();
+  const int n = static_cast<int>(in_links_.size());
+  for (int peer = 0; peer < n; ++peer) {
+    if (peer == my_rank_) continue;
+    transport::Channel* in = in_links_[static_cast<std::size_t>(peer)];
+    transport::Channel* out = out_links_[static_cast<std::size_t>(peer)];
+    if (!(in != nullptr && in->broken()) &&
+        !(out != nullptr && out->broken())) {
+      continue;
+    }
+    auto it = tx_.find(peer);
+    if (it != tx_.end() && it->second.failed) continue;  // already declared
+    fail_flow(peer);
+  }
+}
+
+std::vector<int> Device::take_failed_peers() {
+  return std::exchange(failed_peers_, {});
+}
+
 void Device::progress() {
   // Quiescence pump: drain everything the channels can currently move in
   // ONE poll. A drained packet can unlock cascaded work inside the same
@@ -872,6 +896,7 @@ void Device::progress() {
   // outbound/inbound pass is not enough — loop until the byte counters
   // stop advancing.
   if (config_.reliability.enabled) reliability_tick();
+  scan_dead_links();
   for (;;) {
     const std::uint64_t before = bytes_sent_ + bytes_received_;
     pump_outbound();

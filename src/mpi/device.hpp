@@ -256,6 +256,20 @@ class Device {
   void reliability_tick();
   void process_ack(int src, std::uint32_t cum_seq);
   void fail_flow(int dst);
+  /// Fail the flow to every peer whose link reports broken() (a rank
+  /// process died under a cross-process transport). In-process channels
+  /// never break, so this is a cheap flag scan in thread worlds.
+  void scan_dead_links();
+
+ public:
+  /// Drain the peers whose flow newly failed (broken link or retry
+  /// exhaustion) since the last call. Pollers that keep no posted
+  /// requests — e.g. a PS client parked on window credit — have no
+  /// pending operation for fail_flow() to complete, so this is their
+  /// only way to learn a peer died.
+  std::vector<int> take_failed_peers();
+
+ private:
   void complete_drained(OutPacket& pkt);
   void dispatch_header(int src, InState& st);
   void finish_payload(int src, InState& st);
@@ -293,6 +307,7 @@ class Device {
 
   // Reliability state (untouched while config_.reliability.enabled is off).
   std::unordered_map<int, TxFlow> tx_;  // by destination
+  std::vector<int> failed_peers_;       // transitions, for take_failed_peers()
   std::uint64_t poll_clock_ = 0;        // progress() call count
   std::uint64_t frames_dropped_ = 0;
   std::uint64_t frames_retried_ = 0;

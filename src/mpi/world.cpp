@@ -8,6 +8,7 @@ World::World(int n_ranks, WorldConfig config)
               config.wire_latency_ns, config.wire_bandwidth_bps,
               config.topology),
       initial_n_(n_ranks) {
+  if (config_.link_factory) fabric_.set_link_factory(config_.link_factory);
   std::lock_guard lk(mu_);
   devices_.reserve(static_cast<std::size_t>(n_ranks));
   for (int r = 0; r < n_ranks; ++r) {
@@ -62,6 +63,15 @@ void World::launch_rank_thread(std::string name, std::function<void()> body) {
   std::lock_guard lk(mu_);
   threads_.push_back(
       std::make_unique<pal::Thread>(std::move(name), std::move(wrapped)));
+}
+
+void World::run_rank(int rank,
+                     const std::function<void(RankCtx&)>& rank_main) {
+  MOTOR_CHECK(rank >= 0 && rank < initial_n_, "run_rank: bad rank");
+  const Group world_group = Group::contiguous(initial_n_);
+  Comm comm_world(this, &device(rank), world_group, /*context_id=*/1);
+  RankCtx ctx(*this, rank, std::move(comm_world), Comm{});
+  rank_main(ctx);
 }
 
 void World::run(const std::function<void(RankCtx&)>& rank_main) {

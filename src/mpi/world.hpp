@@ -37,6 +37,10 @@ struct WorldConfig {
   /// latency scales with hop distance. Default: flat full mesh, the
   /// paper's single-testbed behaviour. See transport/topology.hpp.
   transport::TopologySpec topology;
+  /// Cross-process mode: custom base-channel builder for non-loopback
+  /// links (sockets/shm the launcher pre-wired). Installed on the fabric
+  /// before any link materialises; see transport::LinkFactory.
+  transport::LinkFactory link_factory;
   DeviceConfig device;
 };
 
@@ -56,6 +60,12 @@ class World {
   /// rank thread (including dynamically spawned ones) before returning.
   /// Rethrows the first rank exception after all threads finish.
   void run(const std::function<void(RankCtx&)>& rank_main);
+
+  /// Cross-process mode: run exactly ONE rank's main on the calling
+  /// thread. The other ranks live in sibling OS processes wired up by a
+  /// link factory; their Device slots here exist but stay idle.
+  /// Exceptions propagate to the caller.
+  void run_rank(int rank, const std::function<void(RankCtx&)>& rank_main);
 
   /// Fresh communicator context id (world-unique).
   int allocate_context() {

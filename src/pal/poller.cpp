@@ -1,0 +1,53 @@
+#include "pal/poller.hpp"
+
+#include <errno.h>
+#include <sys/epoll.h>
+#include <unistd.h>
+
+#include "common/status.hpp"
+
+namespace motor::pal {
+
+Poller::Poller() {
+  epfd_ = ::epoll_create1(EPOLL_CLOEXEC);
+  MOTOR_CHECK(epfd_ >= 0, "Poller: epoll_create1 failed");
+}
+
+Poller::~Poller() {
+  if (epfd_ >= 0) ::close(epfd_);
+}
+
+void Poller::add(int fd, bool want_read, bool want_write,
+                 std::uint64_t user_data) {
+  epoll_event ev{};
+  ev.events = EPOLLRDHUP;
+  if (want_read) ev.events |= EPOLLIN;
+  if (want_write) ev.events |= EPOLLOUT;
+  ev.data.u64 = user_data;
+  const int rc = ::epoll_ctl(epfd_, EPOLL_CTL_ADD, fd, &ev);
+  MOTOR_CHECK(rc == 0, "Poller::add: epoll_ctl failed");
+}
+
+void Poller::remove(int fd) {
+  ::epoll_ctl(epfd_, EPOLL_CTL_DEL, fd, nullptr);
+}
+
+int Poller::wait(std::vector<PollEvent>& out, int timeout_ms) {
+  epoll_event evs[16];
+  int n;
+  do {
+    n = ::epoll_wait(epfd_, evs, 16, timeout_ms);
+  } while (n < 0 && errno == EINTR);
+  if (n <= 0) return 0;
+  for (int i = 0; i < n; ++i) {
+    PollEvent pe;
+    pe.user_data = evs[i].data.u64;
+    pe.readable = (evs[i].events & EPOLLIN) != 0;
+    pe.writable = (evs[i].events & EPOLLOUT) != 0;
+    pe.hangup = (evs[i].events & (EPOLLHUP | EPOLLRDHUP | EPOLLERR)) != 0;
+    out.push_back(pe);
+  }
+  return n;
+}
+
+}  // namespace motor::pal

@@ -1,0 +1,39 @@
+// PAL fd readiness poller — the epoll analog of the PAL's completion
+// queue, for file descriptors instead of posted packets. The launcher and
+// socket rendezvous use it to wait on many listeners/connections without
+// per-fd threads; the device's progress engine stays non-blocking and
+// never needs it.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace motor::pal {
+
+struct PollEvent {
+  std::uint64_t user_data = 0;  // callers usually stash the fd here
+  bool readable = false;
+  bool writable = false;
+  bool hangup = false;  // peer closed / error on the fd
+};
+
+class Poller {
+ public:
+  Poller();
+  ~Poller();
+  Poller(const Poller&) = delete;
+  Poller& operator=(const Poller&) = delete;
+
+  /// Watch `fd`. `user_data` rides back on every event for that fd.
+  void add(int fd, bool want_read, bool want_write, std::uint64_t user_data);
+  void remove(int fd);
+
+  /// Wait up to `timeout_ms` (-1 = forever, 0 = poll) and append ready
+  /// fds to `out`. Returns the number of events appended (0 on timeout).
+  int wait(std::vector<PollEvent>& out, int timeout_ms);
+
+ private:
+  int epfd_ = -1;
+};
+
+}  // namespace motor::pal

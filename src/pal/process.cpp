@@ -1,0 +1,137 @@
+#include "pal/process.hpp"
+
+#include <csignal>
+#include <cstdlib>
+#include <utility>
+
+#include <errno.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include "common/status.hpp"
+
+extern char** environ;
+
+namespace motor::pal {
+
+Process::Process(Process&& other) noexcept
+    : pid_(std::exchange(other.pid_, -1)),
+      status_(std::exchange(other.status_, std::nullopt)) {}
+
+Process& Process::operator=(Process&& other) noexcept {
+  if (this != &other) {
+    pid_ = std::exchange(other.pid_, -1);
+    status_ = std::exchange(other.status_, std::nullopt);
+  }
+  return *this;
+}
+
+Process Process::spawn(const std::vector<std::string>& argv,
+                       const std::vector<std::string>& extra_env) {
+  MOTOR_CHECK(!argv.empty(), "Process::spawn: empty argv");
+
+  // Build the child argv/envp BEFORE forking: only async-signal-safe
+  // calls are legal between fork and exec.
+  std::vector<char*> cargv;
+  cargv.reserve(argv.size() + 1);
+  for (const std::string& a : argv) {
+    cargv.push_back(const_cast<char*>(a.c_str()));
+  }
+  cargv.push_back(nullptr);
+
+  std::vector<char*> cenv;
+  for (char** e = environ; e != nullptr && *e != nullptr; ++e) {
+    cenv.push_back(*e);
+  }
+  for (const std::string& e : extra_env) {
+    cenv.push_back(const_cast<char*>(e.c_str()));
+  }
+  cenv.push_back(nullptr);
+
+  const pid_t pid = ::fork();
+  MOTOR_CHECK(pid >= 0, "Process::spawn: fork failed");
+  if (pid == 0) {
+    ::execve(cargv[0], cargv.data(), cenv.data());
+    // exec failed: the conventional "command not runnable" code, reported
+    // through the normal exit-status path so the parent can't hang.
+    ::_exit(127);
+  }
+
+  Process p;
+  p.pid_ = pid;
+  return p;
+}
+
+namespace {
+
+ExitStatus decode_wait_status(int wstatus) {
+  ExitStatus st;
+  if (WIFEXITED(wstatus)) {
+    st.exited = true;
+    st.exit_code = WEXITSTATUS(wstatus);
+  } else if (WIFSIGNALED(wstatus)) {
+    st.signalled = true;
+    st.term_signal = WTERMSIG(wstatus);
+  }
+  return st;
+}
+
+}  // namespace
+
+std::optional<ExitStatus> Process::try_wait() {
+  if (status_.has_value()) return status_;
+  if (pid_ <= 0) return std::nullopt;
+  int wstatus = 0;
+  pid_t r;
+  do {
+    r = ::waitpid(static_cast<pid_t>(pid_), &wstatus, WNOHANG);
+  } while (r < 0 && errno == EINTR);
+  if (r == 0) return std::nullopt;  // still running
+  if (r < 0) {
+    // ECHILD: reaped elsewhere (shouldn't happen under our ownership) —
+    // report a generic failure rather than looping forever.
+    ExitStatus st;
+    st.exited = true;
+    st.exit_code = 255;
+    status_ = st;
+    return status_;
+  }
+  status_ = decode_wait_status(wstatus);
+  return status_;
+}
+
+ExitStatus Process::wait() {
+  if (status_.has_value()) return *status_;
+  MOTOR_CHECK(pid_ > 0, "Process::wait: no child");
+  int wstatus = 0;
+  pid_t r;
+  do {
+    r = ::waitpid(static_cast<pid_t>(pid_), &wstatus, 0);
+  } while (r < 0 && errno == EINTR);
+  if (r < 0) {
+    ExitStatus st;
+    st.exited = true;
+    st.exit_code = 255;
+    status_ = st;
+    return *status_;
+  }
+  status_ = decode_wait_status(wstatus);
+  return *status_;
+}
+
+void Process::kill(int signum) {
+  if (pid_ > 0 && !status_.has_value()) {
+    ::kill(static_cast<pid_t>(pid_), signum);
+  }
+}
+
+bool process_alive(std::int64_t pid) {
+  if (pid <= 0) return false;
+  if (::kill(static_cast<pid_t>(pid), 0) == 0) return true;
+  return errno != ESRCH;
+}
+
+std::int64_t current_pid() noexcept { return static_cast<std::int64_t>(::getpid()); }
+
+}  // namespace motor::pal

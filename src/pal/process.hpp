@@ -1,0 +1,69 @@
+// PAL process objects: spawn/wait/signal for child processes, the
+// CreateProcess/WaitForSingleObject analog of the SSCLI PAL. The launcher
+// (src/launch) uses these to run one OS process per rank; everything
+// above the PAL sees pids and exit reports, never raw fork/exec.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace motor::pal {
+
+/// How a child process ended.
+struct ExitStatus {
+  bool exited = false;      // normal _exit / return from main
+  int exit_code = 0;        // valid when exited
+  bool signalled = false;   // killed by a signal
+  int term_signal = 0;      // valid when signalled
+  [[nodiscard]] bool ok() const noexcept { return exited && exit_code == 0; }
+};
+
+/// One spawned child. Movable, not copyable; the destructor does NOT kill
+/// or reap — call kill()/wait() explicitly (the launcher owns teardown
+/// policy, the PAL only owns the mechanism).
+class Process {
+ public:
+  Process() = default;
+  Process(Process&& other) noexcept;
+  Process& operator=(Process&& other) noexcept;
+  Process(const Process&) = delete;
+  Process& operator=(const Process&) = delete;
+
+  /// fork+exec `argv` (argv[0] = executable path) with `extra_env`
+  /// ("KEY=VALUE") appended to the inherited environment. Throws
+  /// FatalError when the fork or exec setup fails; an exec failure inside
+  /// the child surfaces as exit code 127.
+  static Process spawn(const std::vector<std::string>& argv,
+                       const std::vector<std::string>& extra_env = {});
+
+  [[nodiscard]] std::int64_t pid() const noexcept { return pid_; }
+  [[nodiscard]] bool running() const noexcept {
+    return pid_ > 0 && !status_.has_value();
+  }
+
+  /// Non-blocking reap: returns the exit status if the child has ended
+  /// (idempotent afterwards), std::nullopt while it is still running.
+  std::optional<ExitStatus> try_wait();
+
+  /// Blocking reap.
+  ExitStatus wait();
+
+  /// Send `signum` (e.g. SIGTERM, SIGKILL). No-op once reaped.
+  void kill(int signum);
+
+ private:
+  std::int64_t pid_ = -1;
+  std::optional<ExitStatus> status_;
+};
+
+/// True when a process with `pid` still exists from this process's view
+/// (signal-0 probe; a dead-but-unreaped zombie still "exists" until its
+/// parent reaps it).
+bool process_alive(std::int64_t pid);
+
+/// This process's pid.
+std::int64_t current_pid() noexcept;
+
+}  // namespace motor::pal

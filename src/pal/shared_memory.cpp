@@ -1,0 +1,112 @@
+#include "pal/shared_memory.hpp"
+
+#include <utility>
+
+#include <errno.h>
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include "common/status.hpp"
+#include "pal/clock.hpp"
+#include "pal/thread.hpp"
+
+namespace motor::pal {
+
+SharedMemory::~SharedMemory() { reset(); }
+
+SharedMemory::SharedMemory(SharedMemory&& other) noexcept
+    : name_(std::move(other.name_)),
+      base_(std::exchange(other.base_, nullptr)),
+      size_(std::exchange(other.size_, 0)),
+      owner_(std::exchange(other.owner_, false)) {}
+
+SharedMemory& SharedMemory::operator=(SharedMemory&& other) noexcept {
+  if (this != &other) {
+    reset();
+    name_ = std::move(other.name_);
+    base_ = std::exchange(other.base_, nullptr);
+    size_ = std::exchange(other.size_, 0);
+    owner_ = std::exchange(other.owner_, false);
+  }
+  return *this;
+}
+
+void SharedMemory::reset() noexcept {
+  if (base_ != nullptr) {
+    ::munmap(base_, size_);
+    base_ = nullptr;
+  }
+  if (owner_ && !name_.empty()) {
+    ::shm_unlink(name_.c_str());
+    owner_ = false;
+  }
+}
+
+SharedMemory SharedMemory::create(const std::string& name, std::size_t bytes) {
+  int fd = ::shm_open(name.c_str(), O_CREAT | O_EXCL | O_RDWR, 0600);
+  if (fd < 0 && errno == EEXIST) {
+    // Leftover from a killed run: names are unique per launch, so it can
+    // never belong to a live peer.
+    ::shm_unlink(name.c_str());
+    fd = ::shm_open(name.c_str(), O_CREAT | O_EXCL | O_RDWR, 0600);
+  }
+  MOTOR_CHECK(fd >= 0, "SharedMemory::create: shm_open failed");
+  if (::ftruncate(fd, static_cast<off_t>(bytes)) != 0) {
+    ::close(fd);
+    ::shm_unlink(name.c_str());
+    MOTOR_CHECK(false, "SharedMemory::create: ftruncate failed");
+  }
+  void* base =
+      ::mmap(nullptr, bytes, PROT_READ | PROT_WRITE, MAP_SHARED, fd, 0);
+  ::close(fd);
+  if (base == MAP_FAILED) {
+    ::shm_unlink(name.c_str());
+    MOTOR_CHECK(false, "SharedMemory::create: mmap failed");
+  }
+  SharedMemory sm;
+  sm.name_ = name;
+  sm.base_ = base;
+  sm.size_ = bytes;
+  sm.owner_ = true;
+  return sm;
+}
+
+SharedMemory SharedMemory::open(const std::string& name, std::size_t bytes,
+                                std::uint64_t timeout_ns) {
+  const std::uint64_t deadline = monotonic_ns() + timeout_ns;
+  for (;;) {
+    const int fd = ::shm_open(name.c_str(), O_RDWR, 0600);
+    if (fd >= 0) {
+      // The creator sizes before any opener can see a consistent ring, so
+      // wait until ftruncate has landed too.
+      struct stat st{};
+      const bool sized =
+          ::fstat(fd, &st) == 0 && static_cast<std::size_t>(st.st_size) >= bytes;
+      if (sized) {
+        void* base =
+            ::mmap(nullptr, bytes, PROT_READ | PROT_WRITE, MAP_SHARED, fd, 0);
+        ::close(fd);
+        if (base != MAP_FAILED) {
+          SharedMemory sm;
+          sm.name_ = name;
+          sm.base_ = base;
+          sm.size_ = bytes;
+          sm.owner_ = false;
+          return sm;
+        }
+      } else {
+        ::close(fd);
+      }
+    }
+    if (monotonic_ns() >= deadline) return SharedMemory{};
+    Thread::sleep_for(std::chrono::microseconds(200));
+  }
+}
+
+void SharedMemory::unlink(const std::string& name) {
+  ::shm_unlink(name.c_str());
+}
+
+}  // namespace motor::pal

@@ -1,0 +1,52 @@
+// PAL POSIX shared-memory mapping (shm_open/mmap RAII). A segment is
+// created by exactly one process and opened by its peer; open() retries
+// until the creator has published the segment or a deadline passes, which
+// is the only rendezvous the shm transport needs beyond an agreed name.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace motor::pal {
+
+class SharedMemory {
+ public:
+  SharedMemory() = default;
+  ~SharedMemory();
+  SharedMemory(SharedMemory&& other) noexcept;
+  SharedMemory& operator=(SharedMemory&& other) noexcept;
+  SharedMemory(const SharedMemory&) = delete;
+  SharedMemory& operator=(const SharedMemory&) = delete;
+
+  /// Create (O_EXCL) and size a segment. The creator owns the name: its
+  /// destructor unlinks it. Throws FatalError on failure (a stale segment
+  /// with the same name is unlinked and recreated — names are unique per
+  /// launch, so a collision is always a leftover from a killed run).
+  static SharedMemory create(const std::string& name, std::size_t bytes);
+
+  /// Map an existing segment, retrying until it appears and is fully
+  /// sized, up to `timeout_ns`. Returns an unmapped object (valid() ==
+  /// false) on timeout. The opener never unlinks.
+  static SharedMemory open(const std::string& name, std::size_t bytes,
+                           std::uint64_t timeout_ns);
+
+  /// Remove a name from the shm namespace (idempotent; for launcher
+  /// cleanup of segments a killed rank never destructed).
+  static void unlink(const std::string& name);
+
+  [[nodiscard]] bool valid() const noexcept { return base_ != nullptr; }
+  [[nodiscard]] void* base() const noexcept { return base_; }
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+
+ private:
+  void reset() noexcept;
+
+  std::string name_;
+  void* base_ = nullptr;
+  std::size_t size_ = 0;
+  bool owner_ = false;  // creator unlinks on destruction
+};
+
+}  // namespace motor::pal

@@ -290,6 +290,13 @@ Status PsClient::Close() {
   }
   Status st = Flush();
   std::unique_lock<std::mutex> lk(mu_);
+  // Verdict point: a successful Flush means every credit is home, i.e.
+  // every batch was applied server-side — from here the only frame we
+  // still owe the wire is the FIN itself. A shard tears down once it
+  // holds every client's FIN, and a dead shard acks nothing, so a lossy
+  // wire can fail the flow while our own FIN retransmits race its exit.
+  // That failure carries no data loss; judge Close by the state here.
+  const bool failed_pre_fin = failed_;
   closed_ = true;
   // End-of-stream to every shard, credit-exempt: header-only kFin.
   for (int s = 0; s < n_servers_; ++s) {
@@ -313,7 +320,7 @@ Status PsClient::Close() {
     }
   }
   if (!st.is_ok()) return st;
-  if (failed_) return Status(fail_code_, "ps client failed");
+  if (failed_pre_fin) return Status(fail_code_, "ps client failed");
   return Status::ok();
 }
 
@@ -391,7 +398,10 @@ void PsClient::on_reply(ByteBuffer buf, int src) {
 }
 
 void PsClient::on_failure(int peer, ErrorCode err) {
-  (void)peer;
+  // Only a server's death strands this client's operations. Another
+  // worker exiting (cross-process worlds tear links down rank by rank)
+  // must not poison the client.
+  if (peer >= n_servers_) return;
   std::lock_guard<std::mutex> lk(mu_);
   if (!failed_) {
     failed_ = true;

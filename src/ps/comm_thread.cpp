@@ -127,6 +127,14 @@ void CommThread::run() {
     did_work |= pump_outbound(scratch);
     did_work |= pump_completions();
     did_work |= pump_inbound(staging);
+    // A peer whose flow died between our operations leaves nothing
+    // in-flight to fail: surface it here so a client parked on window
+    // credit gets kCommError instead of waiting out its op timeout.
+    for (int peer : direct_.take_failed_peers()) {
+      stats_.recv_errors++;
+      fail(peer, ErrorCode::kCommError);
+      did_work = true;
+    }
     if (on_tick_) on_tick_();
 
     if (!did_work) {

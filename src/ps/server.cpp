@@ -61,12 +61,15 @@ void PsServer::on_message(ByteBuffer buf, int src) {
 }
 
 void PsServer::on_failure(int peer, ErrorCode err) {
-  (void)peer;
   std::lock_guard<std::mutex> lk(qmu_);
-  if (!failed_) {
-    failed_ = true;
-    fail_code_ = err == ErrorCode::kSuccess ? ErrorCode::kCommError : err;
-  }
+  // Recorded per peer, judged only once the inbound queue is drained: a
+  // peer whose FIN reached us before its link died (cross-process worlds
+  // tear links down rank by rank at clean exit) is shutdown order, not a
+  // failure — but its FIN may still be sitting unprocessed in the queue
+  // when the link break is noticed, so the verdict cannot be made here.
+  peer_failures_.emplace(peer,
+                         err == ErrorCode::kSuccess ? ErrorCode::kCommError
+                                                    : err);
   qcv_.notify_all();
 }
 
@@ -280,6 +283,10 @@ Status PsServer::process(Inbound& msg, Cycle& cycle) {
       } else {
         client_fins_++;
       }
+      {
+        std::lock_guard<std::mutex> lk(qmu_);
+        finned_.insert(msg.src);
+      }
       return Status::ok();
     case MsgKind::kRequest: {
       MOTOR_RETURN_IF_ERROR(apply_records(h, msg.buf, cycle));
@@ -347,8 +354,19 @@ Status PsServer::Serve() {
     {
       std::unique_lock<std::mutex> lk(qmu_);
       if (queue_.empty()) {
-        if (failed_) {
-          result = Status(fail_code_, "ps server comm failure");
+        // Queue drained: every FIN that arrived before a link break has
+        // been applied, so any failed peer NOT in finned_ really died.
+        bool fatal = false;
+        ErrorCode fatal_code = ErrorCode::kCommError;
+        for (const auto& [peer, code] : peer_failures_) {
+          if (finned_.count(peer) == 0) {
+            fatal = true;
+            fatal_code = code;
+            break;
+          }
+        }
+        if (fatal) {
+          result = Status(fatal_code, "ps server comm failure");
           break;
         }
         if (client_fins_ >= expected_client_fins_) {

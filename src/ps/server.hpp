@@ -36,6 +36,7 @@
 #include <map>
 #include <mutex>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "motor/mp_direct.hpp"
@@ -145,14 +146,17 @@ class PsServer {
   std::mutex qmu_;
   std::condition_variable qcv_;
   std::vector<Inbound> queue_;
-  bool failed_ = false;
-  ErrorCode fail_code_ = ErrorCode::kSuccess;
+  // Peer -> first error reported by the comm thread (guarded by qmu_).
+  // Judged against finned_ only when the inbound queue is empty; see
+  // on_failure() for why the verdict is deferred.
+  std::unordered_map<int, ErrorCode> peer_failures_;
 
   // Managed-thread state.
   vm::RootRange values_;
   std::unordered_map<std::uint64_t, std::size_t> index_;  // key -> slot
   int client_fins_ = 0;
   int server_fins_ = 0;
+  std::unordered_set<int> finned_;  // FIN arrived; peer may exit (qmu_)
   bool server_fins_sent_ = false;
   std::unordered_map<int, std::uint64_t> reply_seq_;
   std::unordered_map<int, std::uint64_t> fwd_seq_;

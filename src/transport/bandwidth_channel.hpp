@@ -68,6 +68,7 @@ class BandwidthChannel final : public Channel {
   [[nodiscard]] std::size_t writable() const override;
   void close() override { inner_->close(); }
   [[nodiscard]] bool at_eof() const override { return inner_->at_eof(); }
+  [[nodiscard]] bool broken() const override { return inner_->broken(); }
   [[nodiscard]] std::string name() const override {
     return inner_->name() + "+bw";
   }

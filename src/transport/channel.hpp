@@ -67,6 +67,14 @@ class Channel {
   /// True once closed *and* drained.
   [[nodiscard]] virtual bool at_eof() const = 0;
 
+  /// True when the transport failed underneath: the peer process died or
+  /// the wire reset, as opposed to a clean local close(). A broken
+  /// channel delivers no further bytes and black-holes writes; the device
+  /// reacts by failing the whole flow with kCommError. In-process
+  /// channels never break — only genuinely external transports (sockets,
+  /// shared memory) can report it.
+  [[nodiscard]] virtual bool broken() const { return false; }
+
   /// Short transport name for diagnostics ("ring", "stream", "loopback").
   [[nodiscard]] virtual std::string name() const = 0;
 };

@@ -25,9 +25,16 @@ int Fabric::size() const {
   return static_cast<int>(links_.size());
 }
 
+void Fabric::set_link_factory(LinkFactory factory) {
+  std::lock_guard lk(mu_);
+  link_factory_ = std::move(factory);
+}
+
 std::unique_ptr<Channel> Fabric::make_link(int from, int to) const {
   if (from == to) return make_channel(ChannelKind::kLoopback, 0);
-  std::unique_ptr<Channel> link = make_channel(kind_, capacity_);
+  std::unique_ptr<Channel> link;
+  if (link_factory_) link = link_factory_(from, to);
+  if (!link) link = make_channel(kind_, capacity_);
   if (wire_bandwidth_bps_ > 0) {
     // All egress links of `from` share one bucket: the rate limit models
     // the rank's NIC, not a private wire per destination.

@@ -23,6 +23,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <vector>
@@ -34,6 +35,12 @@
 namespace motor::transport {
 
 class TokenBucket;  // transport/bandwidth_channel.hpp
+
+/// Builds the base channel for a directed link (cross-process transports:
+/// a socket or shm ring the launcher pre-wired for the pair). The fabric
+/// still composes its latency/bandwidth decorators on top.
+using LinkFactory =
+    std::function<std::unique_ptr<Channel>(int from, int to)>;
 
 class Fabric {
  public:
@@ -96,6 +103,13 @@ class Fabric {
 
   [[nodiscard]] ChannelKind kind() const noexcept { return kind_; }
 
+  /// Install a custom base-channel builder for non-loopback links
+  /// (cross-process transports). Must be called BEFORE the links it
+  /// should affect materialise; already-created links keep their old
+  /// channel. The factory may return nullptr to fall back to the
+  /// fabric's built-in channel kind for that pair.
+  void set_link_factory(LinkFactory factory);
+
  private:
   Channel& link_locked(int from, int to);
   std::unique_ptr<Channel> make_link(int from, int to) const;
@@ -105,6 +119,7 @@ class Fabric {
   std::size_t capacity_;
   std::uint64_t wire_latency_ns_;
   std::uint64_t wire_bandwidth_bps_;
+  LinkFactory link_factory_;
   Topology topo_;
   std::atomic<std::uint64_t> epoch_{1};
   // links_[from][to]; null until first use.

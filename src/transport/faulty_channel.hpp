@@ -88,6 +88,7 @@ class FaultyChannel final : public Channel {
   }
   void close() override;
   [[nodiscard]] bool at_eof() const override { return inner_->at_eof(); }
+  [[nodiscard]] bool broken() const override { return inner_->broken(); }
   [[nodiscard]] std::string name() const override {
     return inner_->name() + "+faulty";
   }

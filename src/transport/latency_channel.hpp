@@ -33,6 +33,7 @@ class LatencyChannel final : public Channel {
   [[nodiscard]] bool at_eof() const override {
     return inner_->at_eof();
   }
+  [[nodiscard]] bool broken() const override { return inner_->broken(); }
   [[nodiscard]] std::string name() const override {
     return inner_->name() + "+latency";
   }

@@ -1,0 +1,278 @@
+#include "transport/shm_channel.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <bit>
+#include <cstring>
+
+#include <errno.h>
+#include <semaphore.h>
+#include <time.h>
+
+#include "common/status.hpp"
+#include "pal/clock.hpp"
+#include "pal/process.hpp"
+#include "pal/thread.hpp"
+
+namespace motor::transport {
+
+namespace {
+constexpr std::uint64_t kMagic = 0x4d4f544f525348ull;  // "MOTORSH"
+// Peer-death probes are syscalls; one per interval is plenty — the
+// crash-test watchdogs run in seconds, detection in tens of millis.
+constexpr std::uint64_t kProbeIntervalNs = 10ull * 1000 * 1000;
+}  // namespace
+
+/// Lives at offset 0 of the segment; the ring data follows. Only
+/// address-free members (std::atomic over plain integers, pshared
+/// semaphores) — the segment maps at different addresses per process.
+struct ShmRingHeader {
+  std::atomic<std::uint64_t> magic;
+  std::uint64_t capacity;  // power of two; written before magic
+  alignas(64) std::atomic<std::uint64_t> head;  // consumer position
+  alignas(64) std::atomic<std::uint64_t> tail;  // producer position
+  alignas(64) std::atomic<std::uint32_t> closed;
+  std::atomic<std::int64_t> producer_pid;
+  std::atomic<std::int64_t> consumer_pid;
+  sem_t data_doorbell;   // posted by the producer after publishing bytes
+  sem_t space_doorbell;  // posted by the consumer after freeing space
+};
+
+static_assert(std::atomic<std::uint64_t>::is_always_lock_free,
+              "shm ring indices must be address-free atomics");
+
+namespace {
+
+/// sem_timedwait for a bounded slice of wall time. Returns true when the
+/// semaphore was taken. Waits are sliced so a missed doorbell (posts are
+/// best-effort) only costs one slice, never the whole deadline.
+bool sem_wait_slice(sem_t* sem, std::uint64_t slice_ns) {
+  timespec ts{};
+  ::clock_gettime(CLOCK_REALTIME, &ts);
+  ts.tv_sec += static_cast<time_t>(slice_ns / 1'000'000'000ull);
+  ts.tv_nsec += static_cast<long>(slice_ns % 1'000'000'000ull);
+  if (ts.tv_nsec >= 1'000'000'000L) {
+    ts.tv_sec += 1;
+    ts.tv_nsec -= 1'000'000'000L;
+  }
+  int rc;
+  do {
+    rc = ::sem_timedwait(sem, &ts);
+  } while (rc != 0 && errno == EINTR);
+  return rc == 0;
+}
+
+}  // namespace
+
+ShmChannel::ShmChannel(pal::SharedMemory segment, Role role)
+    : segment_(std::move(segment)), role_(role) {
+  ShmRingHeader* h = hdr();
+  capacity_ = static_cast<std::size_t>(h->capacity);
+  mask_ = capacity_ - 1;
+  const std::int64_t me = pal::current_pid();
+  if (role_ == Role::kProducer || role_ == Role::kBoth) {
+    h->producer_pid.store(me, std::memory_order_release);
+  }
+  if (role_ == Role::kConsumer || role_ == Role::kBoth) {
+    h->consumer_pid.store(me, std::memory_order_release);
+  }
+}
+
+ShmChannel::~ShmChannel() = default;
+
+ShmRingHeader* ShmChannel::hdr() const noexcept {
+  return static_cast<ShmRingHeader*>(segment_.base());
+}
+
+std::byte* ShmChannel::ring() const noexcept {
+  return static_cast<std::byte*>(segment_.base()) + sizeof(ShmRingHeader);
+}
+
+std::unique_ptr<ShmChannel> ShmChannel::create(const std::string& name,
+                                               std::size_t capacity_bytes,
+                                               Role role) {
+  const std::size_t cap = std::bit_ceil(
+      capacity_bytes < 64 ? std::size_t{64} : capacity_bytes);
+  pal::SharedMemory seg =
+      pal::SharedMemory::create(name, sizeof(ShmRingHeader) + cap);
+  auto* h = new (seg.base()) ShmRingHeader();
+  h->capacity = cap;
+  h->head.store(0, std::memory_order_relaxed);
+  h->tail.store(0, std::memory_order_relaxed);
+  h->closed.store(0, std::memory_order_relaxed);
+  h->producer_pid.store(0, std::memory_order_relaxed);
+  h->consumer_pid.store(0, std::memory_order_relaxed);
+  MOTOR_CHECK(::sem_init(&h->data_doorbell, /*pshared=*/1, 0) == 0 &&
+                  ::sem_init(&h->space_doorbell, /*pshared=*/1, 0) == 0,
+              "ShmChannel: sem_init failed");
+  // Publish last: an opener that sees the magic sees a complete ring.
+  h->magic.store(kMagic, std::memory_order_release);
+  return std::unique_ptr<ShmChannel>(new ShmChannel(std::move(seg), role));
+}
+
+std::unique_ptr<ShmChannel> ShmChannel::open(const std::string& name,
+                                             Role role,
+                                             std::uint64_t timeout_ns) {
+  const std::uint64_t deadline = pal::monotonic_ns() + timeout_ns;
+  pal::SharedMemory seg = pal::SharedMemory::open(
+      name, sizeof(ShmRingHeader), timeout_ns);
+  if (!seg.valid()) return nullptr;
+  // Wait for the creator's publish (magic) — the segment can exist sized
+  // but not yet initialised.
+  auto* h = static_cast<ShmRingHeader*>(seg.base());
+  while (h->magic.load(std::memory_order_acquire) != kMagic) {
+    if (pal::monotonic_ns() >= deadline) return nullptr;
+    pal::Thread::sleep_for(std::chrono::microseconds(200));
+  }
+  // The header-sized mapping proved rendezvous; remap at full ring size.
+  const std::size_t full = sizeof(ShmRingHeader) +
+                           static_cast<std::size_t>(h->capacity);
+  seg = pal::SharedMemory::open(name, full, timeout_ns);
+  if (!seg.valid()) return nullptr;
+  return std::unique_ptr<ShmChannel>(new ShmChannel(std::move(seg), role));
+}
+
+void ShmChannel::place(std::size_t pos, ByteSpan bytes) {
+  const std::size_t start = pos & mask_;
+  const std::size_t first = std::min(bytes.size(), capacity_ - start);
+  std::memcpy(ring() + start, bytes.data(), first);
+  if (bytes.size() > first) {
+    std::memcpy(ring(), bytes.data() + first, bytes.size() - first);
+  }
+}
+
+std::size_t ShmChannel::try_write(ByteSpan bytes) {
+  ShmRingHeader* h = hdr();
+  if (h->closed.load(std::memory_order_relaxed) != 0) return 0;
+  const std::uint64_t head = h->head.load(std::memory_order_acquire);
+  const std::uint64_t tail = h->tail.load(std::memory_order_relaxed);
+  const std::size_t free_space = capacity_ - static_cast<std::size_t>(tail - head);
+  const std::size_t n = std::min(bytes.size(), free_space);
+  if (n == 0) return 0;
+  place(static_cast<std::size_t>(tail), bytes.first(n));
+  h->tail.store(tail + n, std::memory_order_release);
+  ::sem_post(&h->data_doorbell);  // best-effort; overflow is harmless
+  return n;
+}
+
+std::size_t ShmChannel::try_write_v(std::span<const ByteSpan> parts) {
+  ShmRingHeader* h = hdr();
+  if (h->closed.load(std::memory_order_relaxed) != 0) return 0;
+  const std::uint64_t head = h->head.load(std::memory_order_acquire);
+  const std::uint64_t tail = h->tail.load(std::memory_order_relaxed);
+  const std::size_t free_space = capacity_ - static_cast<std::size_t>(tail - head);
+  if (free_space == 0) return 0;
+
+  std::size_t written = 0;
+  for (ByteSpan p : parts) {
+    const std::size_t n = std::min(p.size(), free_space - written);
+    if (n > 0) place(static_cast<std::size_t>(tail) + written, p.first(n));
+    written += n;
+    if (n < p.size()) break;  // out of space mid-gather
+  }
+  if (written > 0) {
+    h->tail.store(tail + written, std::memory_order_release);
+    ::sem_post(&h->data_doorbell);
+  }
+  return written;
+}
+
+std::size_t ShmChannel::try_read(MutableByteSpan out) {
+  ShmRingHeader* h = hdr();
+  const std::uint64_t tail = h->tail.load(std::memory_order_acquire);
+  const std::uint64_t head = h->head.load(std::memory_order_relaxed);
+  const std::size_t avail = static_cast<std::size_t>(tail - head);
+  const std::size_t n = std::min(out.size(), avail);
+  if (n == 0) return 0;
+
+  const std::size_t start = static_cast<std::size_t>(head) & mask_;
+  const std::size_t first = std::min(n, capacity_ - start);
+  std::memcpy(out.data(), ring() + start, first);
+  if (n > first) {
+    std::memcpy(out.data() + first, ring(), n - first);
+  }
+  h->head.store(head + n, std::memory_order_release);
+  ::sem_post(&h->space_doorbell);
+  return n;
+}
+
+std::size_t ShmChannel::readable() const {
+  const ShmRingHeader* h = hdr();
+  return static_cast<std::size_t>(h->tail.load(std::memory_order_acquire) -
+                                  h->head.load(std::memory_order_acquire));
+}
+
+std::size_t ShmChannel::writable() const {
+  const ShmRingHeader* h = hdr();
+  if (h->closed.load(std::memory_order_relaxed) != 0) return 0;
+  return capacity_ - readable();
+}
+
+void ShmChannel::close() {
+  ShmRingHeader* h = hdr();
+  h->closed.store(1, std::memory_order_release);
+  ::sem_post(&h->data_doorbell);  // wake a consumer parked on the doorbell
+}
+
+bool ShmChannel::at_eof() const {
+  const ShmRingHeader* h = hdr();
+  return h->closed.load(std::memory_order_acquire) != 0 && readable() == 0;
+}
+
+std::int64_t ShmChannel::peer_pid() const {
+  const ShmRingHeader* h = hdr();
+  switch (role_) {
+    case Role::kProducer:
+      return h->consumer_pid.load(std::memory_order_acquire);
+    case Role::kConsumer:
+      return h->producer_pid.load(std::memory_order_acquire);
+    case Role::kBoth:
+      return 0;
+  }
+  return 0;
+}
+
+bool ShmChannel::broken() const {
+  if (role_ == Role::kBoth) return false;  // both ends are this process
+  if (!peer_dead_) {
+    const std::uint64_t now = pal::monotonic_ns();
+    if (now - last_probe_ns_ < kProbeIntervalNs) return false;
+    last_probe_ns_ = now;
+    const std::int64_t pid = peer_pid();
+    // pid 0 = the peer has not attached yet (still in rendezvous).
+    if (pid == 0 || pal::process_alive(pid)) return false;
+    peer_dead_ = true;
+  }
+  // Drain-first: bytes a producer published before dying still deliver.
+  return role_ == Role::kProducer || readable() == 0;
+}
+
+bool ShmChannel::wait_readable(std::uint64_t timeout_ns) {
+  ShmRingHeader* h = hdr();
+  const std::uint64_t deadline = pal::monotonic_ns() + timeout_ns;
+  while (readable() == 0) {
+    if (h->closed.load(std::memory_order_acquire) != 0) return false;
+    const std::uint64_t now = pal::monotonic_ns();
+    if (now >= deadline) return false;
+    const std::uint64_t slice =
+        std::min<std::uint64_t>(deadline - now, 10'000'000ull);
+    sem_wait_slice(&h->data_doorbell, slice);
+  }
+  return true;
+}
+
+bool ShmChannel::wait_writable(std::uint64_t timeout_ns) {
+  ShmRingHeader* h = hdr();
+  const std::uint64_t deadline = pal::monotonic_ns() + timeout_ns;
+  while (writable() == 0) {
+    if (h->closed.load(std::memory_order_acquire) != 0) return false;
+    const std::uint64_t now = pal::monotonic_ns();
+    if (now >= deadline) return false;
+    const std::uint64_t slice =
+        std::min<std::uint64_t>(deadline - now, 10'000'000ull);
+    sem_wait_slice(&h->space_doorbell, slice);
+  }
+  return true;
+}
+
+}  // namespace motor::transport

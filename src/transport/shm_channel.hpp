@@ -1,0 +1,87 @@
+// ShmChannel: the RingChannel's lock-free SPSC byte ring laid out in a
+// POSIX shared-memory segment, so producer and consumer can live in
+// DIFFERENT processes. Same index discipline as RingChannel
+// (cache-line-separated head/tail, power-of-two capacity, one release
+// store publishes a whole gather); the segment adds process-shared
+// semaphore doorbells (the completion-queue idiom from src/pal: post on
+// publish, wait when idle) so a blocking consumer does not have to spin,
+// and producer/consumer pid slots so peer death is detectable.
+//
+// Rendezvous is just the agreed segment NAME: the producer side creates
+// and sizes the segment (publishing a magic word last), the consumer
+// open()s with retry until the magic appears. The launcher derives names
+// from a per-launch prefix — segment "<prefix>.<i>.<j>" carries bytes
+// from rank i to rank j and is created by rank i.
+//
+// Failure semantics: broken() probes the registered peer pid (rate-
+// limited signal-0 check) once the ring is drained, so a crashed peer
+// surfaces after its last published bytes are consumed — the same
+// drain-first rule the socket channel gets from kernel EOF ordering.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "pal/shared_memory.hpp"
+#include "transport/channel.hpp"
+
+namespace motor::transport {
+
+struct ShmRingHeader;  // defined in shm_channel.cpp
+
+class ShmChannel final : public Channel {
+ public:
+  /// Which end(s) of the ring this process drives. kBoth is the
+  /// in-process loopback used by conformance tests.
+  enum class Role { kProducer, kConsumer, kBoth };
+
+  /// Create the segment (producer side, or kBoth). Capacity is rounded up
+  /// to a power of two (min 64 bytes).
+  static std::unique_ptr<ShmChannel> create(const std::string& name,
+                                            std::size_t capacity_bytes,
+                                            Role role);
+
+  /// Attach to a segment the peer created, retrying up to `timeout_ns`
+  /// for it to appear. Returns nullptr on timeout.
+  static std::unique_ptr<ShmChannel> open(const std::string& name, Role role,
+                                          std::uint64_t timeout_ns);
+
+  ~ShmChannel() override;
+
+  std::size_t try_write(ByteSpan bytes) override;
+  std::size_t try_write_v(std::span<const ByteSpan> parts) override;
+  std::size_t try_read(MutableByteSpan out) override;
+  [[nodiscard]] std::size_t readable() const override;
+  [[nodiscard]] std::size_t writable() const override;
+  void close() override;
+  [[nodiscard]] bool at_eof() const override;
+  [[nodiscard]] bool broken() const override;
+  [[nodiscard]] std::string name() const override { return "shm"; }
+
+  /// Block (doorbell wait) until bytes are readable, the producer closed,
+  /// or `timeout_ns` passes. Returns readable() > 0.
+  bool wait_readable(std::uint64_t timeout_ns);
+  /// Block until ring space frees up or `timeout_ns` passes.
+  bool wait_writable(std::uint64_t timeout_ns);
+
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+
+ private:
+  ShmChannel(pal::SharedMemory segment, Role role);
+
+  [[nodiscard]] ShmRingHeader* hdr() const noexcept;
+  [[nodiscard]] std::byte* ring() const noexcept;
+  void place(std::size_t pos, ByteSpan bytes);
+  [[nodiscard]] std::int64_t peer_pid() const;
+
+  pal::SharedMemory segment_;
+  Role role_;
+  std::size_t capacity_ = 0;
+  std::size_t mask_ = 0;
+  // Peer-death probe cache: at most one kill(pid, 0) per probe interval.
+  mutable std::uint64_t last_probe_ns_ = 0;
+  mutable bool peer_dead_ = false;
+};
+
+}  // namespace motor::transport

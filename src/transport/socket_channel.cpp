@@ -1,0 +1,205 @@
+#include "transport/socket_channel.hpp"
+
+#include <algorithm>
+
+#include <errno.h>
+#include <fcntl.h>
+#include <poll.h>
+#include <sys/ioctl.h>
+#include <sys/socket.h>
+#include <sys/uio.h>
+#include <unistd.h>
+
+#include "common/status.hpp"
+
+namespace motor::transport {
+
+namespace {
+
+constexpr int kSendFlags = MSG_DONTWAIT | MSG_NOSIGNAL;
+// writable() fallback when the kernel can't report its queue depth: large
+// enough that the device never throttles on the estimate (it trusts
+// try_write return values for the real back-pressure).
+constexpr std::size_t kWritableHint = 256 * 1024;
+constexpr std::size_t kMaxIov = 64;
+
+void set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  MOTOR_CHECK(flags >= 0, "SocketChannel: fcntl(F_GETFL) failed");
+  MOTOR_CHECK(::fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0,
+              "SocketChannel: fcntl(F_SETFL) failed");
+}
+
+}  // namespace
+
+SocketChannel::SocketChannel(int write_fd, int read_fd)
+    : wfd_(write_fd), rfd_(read_fd) {
+  MOTOR_CHECK(wfd_ >= 0 || rfd_ >= 0, "SocketChannel: no fd");
+  if (wfd_ >= 0) {
+    set_nonblocking(wfd_);
+    int sndbuf = 0;
+    socklen_t len = sizeof(sndbuf);
+    if (::getsockopt(wfd_, SOL_SOCKET, SO_SNDBUF, &sndbuf, &len) == 0 &&
+        sndbuf > 0) {
+      sndbuf_ = static_cast<std::size_t>(sndbuf);
+    }
+  }
+  if (rfd_ >= 0 && rfd_ != wfd_) set_nonblocking(rfd_);
+}
+
+SocketChannel::~SocketChannel() {
+  if (wfd_ >= 0) ::close(wfd_);
+  if (rfd_ >= 0 && rfd_ != wfd_) ::close(rfd_);
+}
+
+std::unique_ptr<SocketChannel> SocketChannel::make_loopback_pair(
+    std::size_t sndbuf_bytes) {
+  int sv[2];
+  MOTOR_CHECK(::socketpair(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0, sv) == 0,
+              "SocketChannel: socketpair failed");
+  if (sndbuf_bytes > 0) {
+    const int v = static_cast<int>(sndbuf_bytes);
+    ::setsockopt(sv[0], SOL_SOCKET, SO_SNDBUF, &v, sizeof(v));
+  }
+  return std::make_unique<SocketChannel>(sv[0], sv[1]);
+}
+
+void SocketChannel::note_send_error(int err) {
+  if (err == EPIPE || err == ECONNRESET || err == EBADF || err == ENOTCONN ||
+      err == ESHUTDOWN) {
+    tx_broken_ = true;
+  }
+}
+
+std::size_t SocketChannel::try_write(ByteSpan bytes) {
+  if (wfd_ < 0 || closed_ || tx_broken_ || bytes.empty()) return 0;
+  std::size_t written = 0;
+  while (written < bytes.size()) {
+    const ssize_t n = ::send(wfd_, bytes.data() + written,
+                             bytes.size() - written, kSendFlags);
+    if (n > 0) {
+      written += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+    if (n < 0) note_send_error(errno);
+    break;
+  }
+  return written;
+}
+
+std::size_t SocketChannel::try_write_v(std::span<const ByteSpan> parts) {
+  if (wfd_ < 0 || closed_ || tx_broken_) return 0;
+  std::size_t written = 0;
+  std::size_t part = 0;        // first part not fully sent
+  std::size_t part_off = 0;    // bytes of parts[part] already sent
+  while (part < parts.size()) {
+    iovec iov[kMaxIov];
+    std::size_t n_iov = 0;
+    std::size_t batch_bytes = 0;
+    for (std::size_t p = part; p < parts.size() && n_iov < kMaxIov; ++p) {
+      const std::size_t off = (p == part) ? part_off : 0;
+      const ByteSpan s = parts[p];
+      if (s.size() <= off) continue;  // empty (or fully-sent head) part
+      iov[n_iov].iov_base =
+          const_cast<std::byte*>(s.data() + off);
+      iov[n_iov].iov_len = s.size() - off;
+      batch_bytes += iov[n_iov].iov_len;
+      ++n_iov;
+    }
+    if (n_iov == 0) break;
+    msghdr msg{};
+    msg.msg_iov = iov;
+    msg.msg_iovlen = n_iov;
+    ssize_t n;
+    do {
+      n = ::sendmsg(wfd_, &msg, kSendFlags);
+    } while (n < 0 && errno == EINTR);
+    if (n < 0) {
+      if (errno != EAGAIN && errno != EWOULDBLOCK) note_send_error(errno);
+      break;
+    }
+    written += static_cast<std::size_t>(n);
+    if (static_cast<std::size_t>(n) < batch_bytes) break;  // kernel is full
+    // Whole batch accepted: advance past it and gather the next one.
+    std::size_t left = static_cast<std::size_t>(n) + part_off;
+    while (part < parts.size() && left >= parts[part].size()) {
+      left -= parts[part].size();
+      ++part;
+    }
+    part_off = left;
+  }
+  return written;
+}
+
+std::size_t SocketChannel::try_read(MutableByteSpan out) {
+  if (rfd_ < 0 || out.empty()) return 0;
+  std::size_t got = 0;
+  while (got < out.size()) {
+    const ssize_t n =
+        ::recv(rfd_, out.data() + got, out.size() - got, MSG_DONTWAIT);
+    if (n > 0) {
+      got += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n == 0) {  // orderly shutdown from the peer, buffer fully drained
+      rx_eof_ = true;
+      break;
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+    rx_eof_ = true;  // ECONNRESET and friends: the stream is over
+    break;
+  }
+  return got;
+}
+
+std::size_t SocketChannel::readable() const {
+  if (rfd_ < 0) return 0;
+  int avail = 0;
+  if (::ioctl(rfd_, FIONREAD, &avail) != 0 || avail < 0) return 0;
+  return static_cast<std::size_t>(avail);
+}
+
+std::size_t SocketChannel::writable() const {
+  if (wfd_ < 0 || closed_ || tx_broken_) return 0;
+  int queued = 0;
+  if (sndbuf_ > 0 && ::ioctl(wfd_, TIOCOUTQ, &queued) == 0 && queued >= 0) {
+    const auto q = static_cast<std::size_t>(queued);
+    return q < sndbuf_ ? sndbuf_ - q : 0;
+  }
+  return kWritableHint;
+}
+
+void SocketChannel::close() {
+  if (closed_) return;
+  closed_ = true;
+  if (wfd_ >= 0) ::shutdown(wfd_, SHUT_WR);
+}
+
+bool SocketChannel::at_eof() const {
+  if (rfd_ < 0) return closed_;
+  if (rx_eof_) return true;
+  if (readable() > 0) return false;
+  // No buffered data and no EOF seen yet: probe whether the peer already
+  // shut its write half down (a reader that never calls try_read again
+  // must still be able to observe end-of-stream).
+  pollfd p{rfd_, POLLIN | POLLRDHUP, 0};
+  if (::poll(&p, 1, 0) > 0 &&
+      (p.revents & (POLLRDHUP | POLLHUP | POLLERR)) != 0 && readable() == 0) {
+    rx_eof_ = true;
+    return true;
+  }
+  return false;
+}
+
+bool SocketChannel::broken() const {
+  // An EOF we did not cause with a local close() means the peer is gone:
+  // on a rank link the remote end lives for the peer process's lifetime,
+  // so remote shutdown == peer death. rx_eof_ only latches once the
+  // kernel buffer is drained, so pre-death bytes still deliver first.
+  return tx_broken_ || (rx_eof_ && !closed_);
+}
+
+}  // namespace motor::transport

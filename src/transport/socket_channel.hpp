@@ -1,0 +1,70 @@
+// SocketChannel: the Channel interface over a real OS socket — the first
+// transport where the process does not own the wire. Bytes cross a kernel
+// buffer (AF_UNIX or TCP), so partial reads/writes, EINTR, EAGAIN and
+// peer death are genuine states here, not simulations.
+//
+// A channel is DIRECTED (the Channel contract), but a socket is
+// full-duplex: the launcher establishes ONE connection per unordered rank
+// pair and builds two SocketChannels over it, each owning a dup()'d fd —
+// the outbound channel uses only the write half, the inbound channel only
+// the read half. close() is shutdown(SHUT_WR), which travels to the peer
+// as EOF after all buffered bytes, exactly the producer-side
+// end-of-stream the interface asks for.
+//
+// writable() is an ESTIMATE (SO_SNDBUF minus the kernel's unsent queue
+// where the ioctl supports it): the kernel does not expose exact
+// accept-without-blocking capacity. The device only trusts try_write*
+// RETURN VALUES, never writable(), so the estimate is advisory — the
+// conformance harness marks socket channels `exact_backpressure = false`.
+//
+// Failure semantics: a send hitting EPIPE/ECONNRESET, or a recv hitting
+// EOF/reset that the local side did not cause with close(), marks the
+// channel broken(). Broken is only reported once nothing readable
+// remains, so bytes the peer pushed before dying still deliver.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "transport/channel.hpp"
+
+namespace motor::transport {
+
+class SocketChannel final : public Channel {
+ public:
+  /// Wrap existing fds (either may be -1 for a role-limited half). Takes
+  /// ownership; both are switched to non-blocking mode.
+  SocketChannel(int write_fd, int read_fd);
+  ~SocketChannel() override;
+
+  /// In-process loopback over a connected AF_UNIX socketpair: writes
+  /// enter one end, reads drain the other. Used by the conformance suite
+  /// and the single-threaded fault determinism suite. `sndbuf_bytes` > 0
+  /// shrinks SO_SNDBUF so back-pressure (EAGAIN) is reachable with small
+  /// test payloads.
+  static std::unique_ptr<SocketChannel> make_loopback_pair(
+      std::size_t sndbuf_bytes = 0);
+
+  std::size_t try_write(ByteSpan bytes) override;
+  std::size_t try_write_v(std::span<const ByteSpan> parts) override;
+  std::size_t try_read(MutableByteSpan out) override;
+  [[nodiscard]] std::size_t readable() const override;
+  [[nodiscard]] std::size_t writable() const override;
+  void close() override;
+  [[nodiscard]] bool at_eof() const override;
+  [[nodiscard]] bool broken() const override;
+  [[nodiscard]] std::string name() const override { return "socket"; }
+
+ private:
+  void note_send_error(int err);
+
+  int wfd_ = -1;
+  int rfd_ = -1;
+  bool closed_ = false;            // local close() called
+  bool tx_broken_ = false;         // EPIPE/ECONNRESET on the write half
+  mutable bool rx_eof_ = false;    // read half saw EOF or reset
+  std::size_t sndbuf_ = 0;         // cached SO_SNDBUF for writable()
+};
+
+}  // namespace motor::transport

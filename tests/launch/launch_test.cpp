@@ -1,0 +1,132 @@
+// Cross-process world tests (ctest -L procs): real rank PROCESSES wired
+// over AF_UNIX sockets, TCP, and POSIX shm rings, driven through the
+// motor_launch bootstrap. The crash tests are the reliability-layer's
+// reason to exist made concrete: kill a rank mid-collective / mid-PS-push
+// and require (a) survivors observe kCommError and exit by themselves,
+// (b) the launcher reports every rank and exits non-zero, (c) nothing
+// hangs — every launch here runs under its own watchdog, and the
+// assertions bound wall time explicitly.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "launch/launch.hpp"
+#include "pal/clock.hpp"
+
+namespace motor::launch {
+namespace {
+
+// The rank program (tests/launch/rank_helper_main.cpp), path injected by
+// CMake so discovery works from any working directory.
+std::string helper() { return MOTOR_RANK_HELPER; }
+
+LaunchConfig base_config(const std::string& transport, int ranks,
+                         const std::string& mode) {
+  LaunchConfig cfg;
+  cfg.n_ranks = ranks;
+  cfg.transport = transport;
+  cfg.program = {helper(), mode};
+  cfg.watchdog_ns = 120ull * 1000 * 1000 * 1000;
+  // Crash runs: survivors should notice the dead peer in well under this.
+  cfg.fail_grace_ns = 30ull * 1000 * 1000 * 1000;
+  return cfg;
+}
+
+void expect_all_exit_zero(const LaunchResult& r) {
+  EXPECT_EQ(r.exit_code, 0) << r.summary;
+  EXPECT_FALSE(r.timed_out);
+  for (const RankReport& rr : r.ranks) {
+    EXPECT_TRUE(rr.status.exited) << r.summary;
+    EXPECT_EQ(rr.status.exit_code, 0) << r.summary;
+  }
+}
+
+TEST(LaunchTest, PingPongOverUnixSockets) {
+  expect_all_exit_zero(launch_world(base_config("socket", 2, "pingpong")));
+}
+
+TEST(LaunchTest, PingPongOverTcp) {
+  expect_all_exit_zero(launch_world(base_config("tcp", 2, "pingpong")));
+}
+
+TEST(LaunchTest, PingPongOverShm) {
+  expect_all_exit_zero(launch_world(base_config("shm", 2, "pingpong")));
+}
+
+TEST(LaunchTest, CollectivesRunAcrossProcesses) {
+  expect_all_exit_zero(launch_world(base_config("socket", 4, "collective")));
+}
+
+TEST(LaunchTest, CollectivesRunAcrossProcessesShm) {
+  expect_all_exit_zero(launch_world(base_config("shm", 3, "collective")));
+}
+
+TEST(LaunchTest, PsPushPullAcrossProcesses) {
+  expect_all_exit_zero(launch_world(base_config("socket", 3, "ps_push")));
+}
+
+// ---- crash-a-rank ----
+
+void expect_crash_contained(const LaunchResult& r, int victim) {
+  // Launcher: non-zero, not a watchdog timeout, per-rank report present.
+  EXPECT_NE(r.exit_code, 0) << r.summary;
+  EXPECT_FALSE(r.timed_out) << "survivors hung instead of failing fast:\n"
+                            << r.summary;
+  ASSERT_FALSE(r.ranks.empty());
+  for (const RankReport& rr : r.ranks) {
+    ASSERT_TRUE(rr.status.exited) << "rank " << rr.rank
+                                  << " was killed, not self-exited:\n"
+                                  << r.summary;
+    if (rr.rank == victim) {
+      EXPECT_EQ(rr.status.exit_code, 42) << r.summary;
+    } else {
+      // Survivors observed kCommError and exited 0 on their own (exit 3
+      // = the error never surfaced, signal = the grace window expired).
+      EXPECT_EQ(rr.status.exit_code, 0) << r.summary;
+    }
+  }
+}
+
+LaunchConfig crash_config(const std::string& transport, int ranks,
+                          const std::string& mode, int victim) {
+  LaunchConfig cfg = base_config(transport, ranks, mode);
+  cfg.extra_env.push_back("MOTOR_CRASH_RANK=" + std::to_string(victim));
+  cfg.extra_env.push_back("MOTOR_CRASH_ITER=5");
+  return cfg;
+}
+
+TEST(LaunchCrashTest, RankDeathMidCollectiveOverSockets) {
+  pal::Stopwatch watch;
+  const LaunchResult r =
+      launch_world(crash_config("socket", 4, "collective", 2));
+  expect_crash_contained(r, 2);
+  EXPECT_LT(watch.elapsed_ns(), 90ull * 1000 * 1000 * 1000);
+}
+
+TEST(LaunchCrashTest, RankDeathMidCollectiveOverShm) {
+  pal::Stopwatch watch;
+  const LaunchResult r = launch_world(crash_config("shm", 3, "collective", 1));
+  expect_crash_contained(r, 1);
+  EXPECT_LT(watch.elapsed_ns(), 90ull * 1000 * 1000 * 1000);
+}
+
+TEST(LaunchCrashTest, ServerDeathMidPsPush) {
+  pal::Stopwatch watch;
+  const LaunchResult r = launch_world(crash_config("socket", 3, "ps_push", 0));
+  expect_crash_contained(r, 0);
+  EXPECT_LT(watch.elapsed_ns(), 90ull * 1000 * 1000 * 1000);
+}
+
+TEST(LaunchTest, ReportsEveryRank) {
+  const LaunchResult r = launch_world(base_config("socket", 3, "pingpong"));
+  // 3-rank pingpong: ranks 2+ idle in the barrier; all must be reported.
+  EXPECT_EQ(r.ranks.size(), 3u);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_NE(r.summary.find("rank " + std::to_string(i) + ":"),
+              std::string::npos)
+        << r.summary;
+  }
+}
+
+}  // namespace
+}  // namespace motor::launch

@@ -1,0 +1,200 @@
+// Rank program exec'd by the cross-process launch tests (one binary,
+// mode-selected by argv[1]):
+//
+//   pingpong    2 ranks; gathered sends + plain recv echo, data verified
+//   collective  N ranks; allreduce loop, sums verified. With
+//               MOTOR_CRASH_RANK/MOTOR_CRASH_ITER set, the victim rank
+//               _exit(42)s mid-loop; SURVIVORS must then observe
+//               kCommError (never a hang) and exit 0.
+//   ps_push     N ranks; rank 0 is the PS shard, the rest push/pull.
+//               With MOTOR_CRASH_RANK=0 the server _exit(42)s mid-apply;
+//               workers must get kCommError from a PS op and exit 0.
+//
+// Exit codes: 0 expected outcome, 42 deliberate crash, 2 bad usage,
+// 3 protocol violation (wrong data / expected error never surfaced),
+// 1 unexpected exception (from launch::run_rank).
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include <unistd.h>
+
+#include "launch/launch.hpp"
+#include "motor/motor_runtime.hpp"
+#include "mpi/collectives.hpp"
+#include "mpi/pt2pt.hpp"
+#include "ps/ps.hpp"
+
+namespace {
+
+using namespace motor;
+
+int crash_rank() {
+  const char* v = std::getenv("MOTOR_CRASH_RANK");
+  return v != nullptr ? std::atoi(v) : -1;
+}
+
+int crash_iter() {
+  const char* v = std::getenv("MOTOR_CRASH_ITER");
+  return v != nullptr ? std::atoi(v) : 3;
+}
+
+int run_pingpong() {
+  mpi::WorldConfig cfg;  // real wire: no modelled latency/bandwidth
+  return motor::launch::run_rank(cfg, [](mpi::RankCtx& ctx) {
+    mpi::Comm& comm = ctx.comm_world();
+    constexpr int kIters = 50;
+    constexpr std::size_t kBytes = 4096;
+    std::vector<std::byte> buf(kBytes);
+    if (ctx.world_rank() == 0) {
+      // Gathered send: header + two payload halves, exercising
+      // try_write_v over the real wire.
+      std::vector<std::byte> payload(kBytes);
+      for (std::size_t i = 0; i < kBytes; ++i) {
+        payload[i] = static_cast<std::byte>(i * 7 + 13);
+      }
+      for (int it = 0; it < kIters; ++it) {
+        SpanVec msg;
+        msg.append(ByteSpan{payload.data(), kBytes / 2});
+        msg.append(ByteSpan{payload.data() + kBytes / 2, kBytes / 2});
+        MOTOR_CHECK(mpi::send_v(comm, msg, 1, 5) == ErrorCode::kSuccess,
+                    "pingpong send failed");
+        MOTOR_CHECK(mpi::recv(comm, buf.data(), kBytes, 1, 6) ==
+                        ErrorCode::kSuccess,
+                    "pingpong recv failed");
+        MOTOR_CHECK(std::memcmp(buf.data(), payload.data(), kBytes) == 0,
+                    "pingpong payload corrupted");
+      }
+    } else if (ctx.world_rank() == 1) {
+      for (int it = 0; it < kIters; ++it) {
+        MOTOR_CHECK(mpi::recv(comm, buf.data(), kBytes, 0, 5) ==
+                        ErrorCode::kSuccess,
+                    "pingpong recv failed");
+        MOTOR_CHECK(mpi::send(comm, buf.data(), kBytes, 0, 6) ==
+                        ErrorCode::kSuccess,
+                    "pingpong echo failed");
+      }
+    }
+    // Ranks >= 2 only participate in the barrier.
+    MOTOR_CHECK(mpi::barrier(comm) == ErrorCode::kSuccess, "final barrier");
+  });
+}
+
+int run_collective() {
+  mpi::WorldConfig cfg;
+  int outcome = 0;
+  const int rc = motor::launch::run_rank(cfg, [&](mpi::RankCtx& ctx) {
+    mpi::Comm& comm = ctx.comm_world();
+    const int n = comm.size();
+    const int me = comm.rank();
+    const int victim = crash_rank();
+    const int crash_at = crash_iter();
+    constexpr int kIters = 60;
+    bool saw_comm_error = false;
+    std::vector<std::int32_t> in(256), out(256);
+    for (int it = 0; it < kIters; ++it) {
+      if (me == victim && it == crash_at) ::_exit(42);
+      for (std::size_t k = 0; k < in.size(); ++k) {
+        in[k] = me + static_cast<int>(k) + it;
+      }
+      const ErrorCode ec =
+          mpi::allreduce(comm, in.data(), out.data(), in.size(),
+                         mpi::Datatype::kInt32, mpi::ReduceOp::kSum);
+      if (ec == ErrorCode::kCommError) {
+        saw_comm_error = true;
+        break;
+      }
+      if (ec != ErrorCode::kSuccess) {
+        outcome = 3;
+        return;
+      }
+      // sum over ranks of (r + k + it) = n*(k+it) + n(n-1)/2
+      const std::int32_t base = n * (n - 1) / 2;
+      for (std::size_t k = 0; k < out.size(); ++k) {
+        const std::int32_t want =
+            base + n * (static_cast<int>(k) + it);
+        if (out[k] != want) {
+          outcome = 3;
+          return;
+        }
+      }
+    }
+    if (victim >= 0 && me != victim && !saw_comm_error) {
+      outcome = 3;  // a dead peer must surface, never be survived silently
+    }
+  });
+  return rc != 0 ? rc : outcome;
+}
+
+int run_ps_push() {
+  mp::MotorWorldConfig mcfg;
+  mcfg.vm.profile = vm::RuntimeProfile::uncosted();
+  mcfg.vm.heap.young_bytes = 512 * 1024;
+  int outcome = 0;
+  const int rc =
+      motor::launch::run_rank(mcfg.world, [&](mpi::RankCtx& rank_ctx) {
+        mp::MotorContext ctx(rank_ctx, mcfg);
+        const int victim = crash_rank();
+
+        ps::PsConfig psc;
+        psc.servers = 1;
+        psc.flush_records = 8;
+        psc.flush_bytes = 2048;
+        psc.window_batches = 4;
+        psc.serve_timeout_ns = 20ull * 1000 * 1000 * 1000;
+        psc.op_timeout_ns = 20ull * 1000 * 1000 * 1000;
+        int applies = 0;
+        if (victim == 0) {
+          // Kill the shard mid-push stream: the gate runs on the server's
+          // comm thread before each apply cycle.
+          psc.apply_gate = [&applies] {
+            if (++applies == 4) ::_exit(42);
+          };
+        }
+        ps::PsNode node(ctx, psc);
+        if (node.is_server()) {
+          const Status st = node.server().Serve();
+          if (victim < 0 && !st.is_ok()) outcome = 3;
+          return;
+        }
+        ps::PsClient& cl = node.client();
+        const std::vector<float> unit(16, 1.0f);
+        bool saw_comm_error = false;
+        for (int i = 0; i < 400; ++i) {
+          Status st = cl.Push(7, unit);
+          if (st.is_ok() && i % 50 == 49) st = cl.Flush();
+          if (!st.is_ok()) {
+            if (st.code() == ErrorCode::kCommError) saw_comm_error = true;
+            break;
+          }
+        }
+        if (victim >= 0) {
+          if (!saw_comm_error) outcome = 3;
+          return;  // no Close(): the server is gone
+        }
+        std::vector<float> got;
+        if (!cl.Flush().is_ok() || !cl.Pull(7, &got).is_ok() ||
+            got.size() != 16) {
+          outcome = 3;
+        }
+        if (!cl.Close().is_ok()) outcome = 3;
+      });
+  return rc != 0 ? rc : outcome;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: rank_helper pingpong|collective|ps_push\n");
+    return 2;
+  }
+  const std::string mode = argv[1];
+  if (mode == "pingpong") return run_pingpong();
+  if (mode == "collective") return run_collective();
+  if (mode == "ps_push") return run_ps_push();
+  std::fprintf(stderr, "rank_helper: unknown mode %s\n", mode.c_str());
+  return 2;
+}

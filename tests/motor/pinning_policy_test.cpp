@@ -7,6 +7,9 @@
 #include "motor/motor_runtime.hpp"
 #include "motor/motor_serializer.hpp"
 #include "mpi/device.hpp"
+#include "pal/clock.hpp"
+#include "pal/event.hpp"
+#include "pal/thread.hpp"
 #include "transport/fabric.hpp"
 #include "transport/faulty_channel.hpp"
 
@@ -54,20 +57,28 @@ TEST(PinningPolicyTest, ElderObjectsAreNeverPinned) {
 }
 
 TEST(PinningPolicyTest, YoungBufferPinnedOnlyOnSlowPath) {
-  run_motor_world(policy_config(PinMode::kMotorPolicy), [](MotorContext& ctx) {
+  // Rank 1 posts its recv only after rank 0 has committed to the Ssend
+  // (event) and burned through the fast-path attempts (clock-driven gap),
+  // so the young send must enter the polling-wait (slow path -> deferred
+  // pin). The event replaces a fixed pre-send sleep that could misfire if
+  // rank 0 was descheduled longer than the guess.
+  pal::Event send_committed(pal::Event::ResetMode::kManual);
+  run_motor_world(policy_config(PinMode::kMotorPolicy),
+                  [&](MotorContext& ctx) {
     const int peer = 1 - ctx.rank();
-    // Rank 1 delays its recv so rank 0's young send must enter the
-    // polling-wait (slow path -> deferred pin).
     if (ctx.rank() == 0) {
       vm::GcRoot arr(ctx.thread(), make_ints(ctx, 1024, 7));
       ASSERT_TRUE(ctx.vm().heap().in_young(arr.get()));
+      send_committed.set();
       ASSERT_TRUE(ctx.mp().Ssend(arr.get(), peer, 0).is_ok());
       const PinStats& st = ctx.mp().direct().policy().stats();
       EXPECT_EQ(st.blocking_pinned, 1u);  // pinned exactly once
       // Balanced pin/unpin: nothing left in the pin table.
       EXPECT_EQ(ctx.vm().heap().pin_table_size(), 0u);
     } else {
-      pal::Thread::sleep_for(std::chrono::milliseconds(20));
+      send_committed.wait();
+      const pal::Stopwatch gap;
+      while (gap.elapsed_ns() < 5'000'000) pal::Thread::yield();
       vm::GcRoot arr(ctx.thread(), make_ints(ctx, 1024, 0));
       ASSERT_TRUE(ctx.mp().Recv(arr.get(), peer, 0).is_ok());
       EXPECT_EQ((vm::get_element<std::int32_t>(arr.get(), 3)), 10);
@@ -101,18 +112,24 @@ TEST(PinningPolicyTest, NonBlockingUsesConditionalPins) {
 
 TEST(PinningPolicyTest, ConditionalPinHoldsBufferAcrossMidFlightGc) {
   // A GC between ISend and Wait must not corrupt the in-flight buffer.
-  run_motor_world(policy_config(PinMode::kMotorPolicy), [](MotorContext& ctx) {
+  // Rank 1 holds its recv until rank 0 has finished both collections, so
+  // the GCs are guaranteed to run while the send is still un-matched —
+  // stronger than the fixed delay this replaces.
+  pal::Event collected(pal::Event::ResetMode::kManual);
+  run_motor_world(policy_config(PinMode::kMotorPolicy),
+                  [&](MotorContext& ctx) {
     const int peer = 1 - ctx.rank();
     if (ctx.rank() == 0) {
       vm::GcRoot out(ctx.thread(), make_ints(ctx, 2048, 31));
       MPRequest s = ctx.mp().ISend(out.get(), peer, 0);
-      // Collect while the send may still be outstanding: the conditional
-      // pin must keep the buffer in place while the transport reads it.
+      // Collect while the send is still outstanding: the conditional pin
+      // must keep the buffer in place while the transport reads it.
       ctx.vm().heap().collect();
       ctx.vm().heap().collect();
+      collected.set();
       ASSERT_TRUE(ctx.mp().Wait(s).is_ok());
     } else {
-      pal::Thread::sleep_for(std::chrono::milliseconds(10));
+      collected.wait();
       vm::GcRoot in(ctx.thread(), make_ints(ctx, 2048, 0));
       ASSERT_TRUE(ctx.mp().Recv(in.get(), peer, 0).is_ok());
       for (int i = 0; i < 2048; i += 97) {
@@ -123,14 +140,19 @@ TEST(PinningPolicyTest, ConditionalPinHoldsBufferAcrossMidFlightGc) {
 }
 
 TEST(PinningPolicyTest, AlwaysPinModePinsEveryYoungAndElderOp) {
-  run_motor_world(policy_config(PinMode::kAlwaysPin), [](MotorContext& ctx) {
+  // Rank 0 sends only after rank 1 is committed to its recv (the pin
+  // decision is the same on either path; the event just keeps the
+  // recv-first ordering the old fixed delay aimed for).
+  pal::Event recv_committed(pal::Event::ResetMode::kManual);
+  run_motor_world(policy_config(PinMode::kAlwaysPin), [&](MotorContext& ctx) {
     const int peer = 1 - ctx.rank();
     vm::GcRoot arr(ctx.thread(), make_ints(ctx, 64, 0));
     ctx.vm().heap().collect();  // elder now — policy must STILL pin
     if (ctx.rank() == 0) {
-      pal::Thread::sleep_for(std::chrono::milliseconds(5));
+      recv_committed.wait();
       ASSERT_TRUE(ctx.mp().Send(arr.get(), peer, 0).is_ok());
     } else {
+      recv_committed.set();
       ASSERT_TRUE(ctx.mp().Recv(arr.get(), peer, 0).is_ok());
     }
     ctx.mp().Barrier();

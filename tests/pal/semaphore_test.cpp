@@ -39,10 +39,9 @@ TEST(SemaphoreTest, TimedAcquireTimesOut) {
 
 TEST(SemaphoreTest, AcquireBlocksUntilRelease) {
   Semaphore sem(0);
-  std::thread t([&] {
-    std::this_thread::sleep_for(20ms);
-    sem.release();
-  });
+  // The release may land before or after acquire() blocks; either order
+  // must complete without a deadlock, so no delay is needed.
+  std::thread t([&] { sem.release(); });
   sem.acquire();  // must not deadlock
   t.join();
   EXPECT_FALSE(sem.try_acquire());

@@ -131,7 +131,11 @@ Snapshot run_faulted(std::uint64_t seed, double drop, double bitflip,
             ASSERT_EQ(got.size(), static_cast<std::size_t>(kLen));
           }
         }
-        ASSERT_TRUE(cl.Close().is_ok());
+        const Status close_st = cl.Close();
+        ASSERT_TRUE(close_st.is_ok())
+            << "rank " << ctx.rank() << ": "
+            << static_cast<int>(close_st.code()) << " "
+            << close_st.message();
         const PsClientStats st = cl.stats();
         std::lock_guard<std::mutex> lk(snap_mu);
         snap.client_pushes += st.pushes;

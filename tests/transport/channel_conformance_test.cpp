@@ -1,0 +1,311 @@
+// ChannelConformance: ONE parameterized contract suite for every Channel
+// implementation in the tree — the in-process channels (ring, stream,
+// loopback), the decorators (latency, bandwidth, faulty), the base-class
+// default try_write_v forwarding, and the two genuinely external
+// transports (socket over an AF_UNIX pair, shm ring in kBoth loopback).
+//
+// The contract under test (what the device's partial-commit resume path
+// and the reliability layer's frame accounting rely on):
+//   * a gathered write commits an EXACT PREFIX of the concatenated parts,
+//     even when the cut falls mid-part, and resuming the unaccepted tail
+//     completes the sequence byte-identically;
+//   * channels with exact back-pressure accept exactly
+//     min(total, writable()) — kernel-buffered transports only promise
+//     the prefix property, their writable() is advisory;
+//   * zero-length operations are no-ops;
+//   * close() stops writes immediately but buffered bytes still drain,
+//     and only then does at_eof() report;
+//   * a healthy channel never reports broken().
+//
+// Promoted from the short-write suite that previously lived inside
+// channel_test.cpp, which covered only the in-process channels.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <unistd.h>
+
+#include "common/prng.hpp"
+#include "transport/bandwidth_channel.hpp"
+#include "transport/channel.hpp"
+#include "transport/faulty_channel.hpp"
+#include "transport/latency_channel.hpp"
+#include "transport/ring_channel.hpp"
+#include "transport/shm_channel.hpp"
+#include "transport/socket_channel.hpp"
+
+namespace motor::transport {
+namespace {
+
+std::vector<std::byte> make_payload(std::size_t n, std::uint64_t seed) {
+  Prng prng(seed);
+  std::vector<std::byte> data(n);
+  for (auto& b : data) b = static_cast<std::byte>(prng.next_u64());
+  return data;
+}
+
+// Exercises Channel::try_write_v's default part-by-part forwarding: only
+// the five core operations are overridden, everything else inherits.
+class MinimalChannel final : public Channel {
+ public:
+  explicit MinimalChannel(std::size_t cap) : inner_(cap) {}
+  std::size_t try_write(ByteSpan bytes) override {
+    return inner_.try_write(bytes);
+  }
+  std::size_t try_read(MutableByteSpan out) override {
+    return inner_.try_read(out);
+  }
+  [[nodiscard]] std::size_t readable() const override {
+    return inner_.readable();
+  }
+  [[nodiscard]] std::size_t writable() const override {
+    return inner_.writable();
+  }
+  void close() override { inner_.close(); }
+  [[nodiscard]] bool at_eof() const override { return inner_.at_eof(); }
+  [[nodiscard]] std::string name() const override { return "minimal"; }
+
+ private:
+  RingChannel inner_;
+};
+
+std::string unique_shm_name() {
+  static std::atomic<int> counter{0};
+  return "/motor_conf_" + std::to_string(::getpid()) + "_" +
+         std::to_string(counter.fetch_add(1));
+}
+
+struct ConformanceCase {
+  const char* name;
+  std::unique_ptr<Channel> (*make)(std::size_t cap);
+  // accepted == min(total, writable()) holds exactly. Kernel-buffered
+  // transports (socket) only promise the prefix property; their
+  // writable() is an estimate the device never relies on.
+  bool exact_backpressure;
+  // writable() can actually reach zero by filling the channel (loopback
+  // grows without bound; the saturation test skips it).
+  bool saturable;
+};
+
+std::unique_ptr<Channel> make_ring_c(std::size_t cap) {
+  return make_channel(ChannelKind::kRing, cap);
+}
+std::unique_ptr<Channel> make_stream_c(std::size_t cap) {
+  return make_channel(ChannelKind::kStream, cap);
+}
+std::unique_ptr<Channel> make_loopback_c(std::size_t cap) {
+  return make_channel(ChannelKind::kLoopback, cap);
+}
+std::unique_ptr<Channel> make_latency_c(std::size_t cap) {
+  return std::make_unique<LatencyChannel>(
+      make_channel(ChannelKind::kRing, cap), 1 /*ns: readable immediately*/);
+}
+std::unique_ptr<Channel> make_bandwidth_c(std::size_t cap) {
+  // Generous rate and burst: the token bucket must not be the limiter
+  // here — these cases check the decorator's mid-part clipping only.
+  return std::make_unique<BandwidthChannel>(
+      make_channel(ChannelKind::kRing, cap), 4'000'000'000ull, 1 << 20);
+}
+std::unique_ptr<Channel> make_faulty_c(std::size_t cap) {
+  // All fault rates zero: the decorator must be perfectly transparent.
+  return std::make_unique<FaultyChannel>(make_channel(ChannelKind::kRing, cap),
+                                         FaultConfig{});
+}
+std::unique_ptr<Channel> make_minimal_c(std::size_t cap) {
+  return std::make_unique<MinimalChannel>(cap);
+}
+std::unique_ptr<Channel> make_socket_c(std::size_t cap) {
+  // The kernel clamps SO_SNDBUF to its floor, so tiny caps still leave a
+  // few KiB of room — the suite's assertions tolerate that via the
+  // exact_backpressure trait.
+  return SocketChannel::make_loopback_pair(cap);
+}
+std::unique_ptr<Channel> make_shm_c(std::size_t cap) {
+  return ShmChannel::create(unique_shm_name(), cap, ShmChannel::Role::kBoth);
+}
+
+class ChannelConformance : public ::testing::TestWithParam<ConformanceCase> {
+ protected:
+  std::unique_ptr<Channel> make(std::size_t cap) {
+    auto ch = GetParam().make(cap);
+    EXPECT_NE(ch, nullptr);
+    return ch;
+  }
+};
+
+std::vector<std::byte> drain_all(Channel& ch, std::size_t expect) {
+  std::vector<std::byte> out(expect);
+  std::size_t got = 0;
+  // LatencyChannel delivers on a (tiny) delay; spin until quiescent.
+  for (int spins = 0; got < expect && spins < 1'000'000; ++spins) {
+    got += ch.try_read({out.data() + got, expect - got});
+  }
+  out.resize(got);
+  return out;
+}
+
+TEST_P(ChannelConformance, MidPartCutIsExactPrefix) {
+  // Capacity 128 cuts a 300-byte gather inside the third part (on
+  // channels with small enough buffers; kernel-backed ones may take it
+  // whole — the prefix and resume clauses hold either way).
+  auto ch = make(128);
+  const auto payload = make_payload(300, 42);
+  const ByteSpan parts[] = {{payload.data(), 7},
+                            {payload.data() + 7, 93},
+                            {payload.data() + 100, 150},
+                            {payload.data() + 250, 50}};
+
+  const std::size_t room = ch->writable();
+  const std::size_t accepted = ch->try_write_v(parts);
+  if (GetParam().exact_backpressure) {
+    EXPECT_EQ(accepted, std::min<std::size_t>(300, room)) << GetParam().name;
+  } else {
+    EXPECT_LE(accepted, 300u) << GetParam().name;
+  }
+
+  const auto wire = drain_all(*ch, accepted);
+  ASSERT_EQ(wire.size(), accepted) << GetParam().name;
+  EXPECT_TRUE(std::equal(wire.begin(), wire.end(), payload.begin()))
+      << GetParam().name << ": accepted bytes are not the logical prefix";
+
+  // Resume the tail until the full sequence has crossed.
+  std::size_t off = accepted;
+  std::vector<std::byte> rest;
+  for (int spins = 0; off < payload.size() && spins < 1'000'000; ++spins) {
+    const std::size_t n =
+        ch->try_write({payload.data() + off, payload.size() - off});
+    off += n;
+    const auto chunk = drain_all(*ch, n);
+    rest.insert(rest.end(), chunk.begin(), chunk.end());
+  }
+  ASSERT_EQ(off, payload.size()) << GetParam().name;
+  EXPECT_TRUE(std::equal(rest.begin(), rest.end(),
+                         payload.begin() + static_cast<long>(accepted)))
+      << GetParam().name;
+}
+
+TEST_P(ChannelConformance, EmptyAndDegenerateParts) {
+  auto ch = make(1024);
+  EXPECT_EQ(ch->try_write_v(std::span<const ByteSpan>{}), 0u);
+
+  // Empty parts interleaved with real ones must not disturb the sequence.
+  const auto payload = make_payload(96, 9);
+  const ByteSpan parts[] = {{payload.data(), 0},
+                            {payload.data(), 48},
+                            {payload.data() + 48, 0},
+                            {payload.data() + 48, 48}};
+  EXPECT_EQ(ch->try_write_v(parts), 96u) << GetParam().name;
+  const auto wire = drain_all(*ch, 96);
+  EXPECT_EQ(wire, payload) << GetParam().name;
+}
+
+TEST_P(ChannelConformance, SaturatedChannelAcceptsZero) {
+  if (!GetParam().saturable) {
+    GTEST_SKIP() << GetParam().name << " grows without bound";
+  }
+  auto ch = make(64);
+  const auto fill = make_payload(64, 13);
+  // Saturate by the only authoritative signal: try_write returning 0.
+  // (writable() is advisory on kernel-buffered transports.) 16 KiB
+  // rounds cover the largest SO_SNDBUF floor a kernel hands back.
+  bool full = false;
+  for (int i = 0; i < 100'000; ++i) {
+    if (ch->try_write(fill) == 0) {
+      full = true;
+      break;
+    }
+  }
+  ASSERT_TRUE(full) << GetParam().name << " never saturated";
+  const ByteSpan parts[] = {{fill.data(), 32}, {fill.data() + 32, 32}};
+  EXPECT_EQ(ch->try_write_v(parts), 0u) << GetParam().name;
+  EXPECT_EQ(ch->try_write(fill), 0u) << GetParam().name;
+}
+
+TEST_P(ChannelConformance, ZeroLengthOpsAreNoOps) {
+  auto ch = make(256);
+  EXPECT_EQ(ch->try_write(ByteSpan{}), 0u);
+  std::byte dummy;
+  EXPECT_EQ(ch->try_read({&dummy, 0}), 0u);
+  const auto payload = make_payload(16, 7);
+  ASSERT_EQ(ch->try_write(payload), payload.size());
+  EXPECT_EQ(ch->try_write(ByteSpan{}), 0u);
+  EXPECT_EQ(ch->try_read({&dummy, 0}), 0u);
+  const auto wire = drain_all(*ch, payload.size());
+  EXPECT_EQ(wire, payload) << GetParam().name;
+}
+
+TEST_P(ChannelConformance, CloseDrainsBufferedBytesThenReportsEof) {
+  auto ch = make(256);
+  const auto payload = make_payload(32, 3);
+  ASSERT_EQ(ch->try_write(payload), payload.size());
+  ch->close();
+  EXPECT_EQ(ch->try_write(payload), 0u) << GetParam().name;
+
+  const auto wire = drain_all(*ch, payload.size());
+  EXPECT_EQ(wire, payload) << GetParam().name;
+
+  // EOF may take a moment to propagate through a kernel buffer.
+  bool eof = false;
+  for (int spins = 0; spins < 1'000'000 && !eof; ++spins) {
+    eof = ch->at_eof();
+  }
+  EXPECT_TRUE(eof) << GetParam().name;
+  // A clean local close is end-of-stream, never a transport failure.
+  EXPECT_FALSE(ch->broken()) << GetParam().name;
+}
+
+TEST_P(ChannelConformance, HealthyChannelIsNotBroken) {
+  auto ch = make(256);
+  EXPECT_FALSE(ch->broken()) << GetParam().name;
+  const auto payload = make_payload(64, 21);
+  ASSERT_EQ(ch->try_write(payload), payload.size());
+  EXPECT_FALSE(ch->broken()) << GetParam().name;
+  const auto wire = drain_all(*ch, payload.size());
+  EXPECT_EQ(wire, payload);
+  EXPECT_FALSE(ch->broken()) << GetParam().name;
+}
+
+TEST_P(ChannelConformance, InterleavedWritesAndReadsPreserveSequence) {
+  auto ch = make(256);
+  Prng prng(99);
+  std::vector<std::byte> sent, received;
+  std::byte buf[192];
+  for (int round = 0; round < 500; ++round) {
+    const auto chunk = make_payload(
+        static_cast<std::size_t>(prng.next_in(1, 160)), prng.next_u64());
+    const std::size_t n = ch->try_write(chunk);
+    sent.insert(sent.end(), chunk.begin(),
+                chunk.begin() + static_cast<long>(n));
+    const std::size_t got = ch->try_read({buf, sizeof buf});
+    received.insert(received.end(), buf, buf + got);
+  }
+  for (int spins = 0; received.size() < sent.size() && spins < 1'000'000;
+       ++spins) {
+    const std::size_t got = ch->try_read({buf, sizeof buf});
+    received.insert(received.end(), buf, buf + got);
+  }
+  EXPECT_EQ(received, sent) << GetParam().name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllChannels, ChannelConformance,
+    ::testing::Values(
+        ConformanceCase{"ring", make_ring_c, true, true},
+        ConformanceCase{"stream", make_stream_c, true, true},
+        ConformanceCase{"loopback", make_loopback_c, true, false},
+        ConformanceCase{"latency", make_latency_c, true, true},
+        ConformanceCase{"bandwidth", make_bandwidth_c, true, true},
+        ConformanceCase{"faulty", make_faulty_c, true, true},
+        ConformanceCase{"default_impl", make_minimal_c, true, true},
+        ConformanceCase{"socket", make_socket_c, false, true},
+        ConformanceCase{"shm", make_shm_c, true, true}),
+    [](const ::testing::TestParamInfo<ConformanceCase>& info) {
+      return info.param.name;
+    });
+
+}  // namespace
+}  // namespace motor::transport

@@ -234,158 +234,9 @@ TEST(RingChannelTest, ConcurrentProducerConsumerStress) {
   EXPECT_EQ(out, payload);
 }
 
-// ---------------------------------------------------------------------------
-// Gathered-write (try_write_v) short-write conformance.
-//
-// Contract, for EVERY channel implementation (overrides and the base-class
-// default forwarding alike): a gathered write accepts exactly
-// min(total, writable()) logical bytes, the bytes that land on the wire
-// are precisely that prefix of the concatenated parts — even when the cut
-// falls mid-part — and resuming the unaccepted tail completes the
-// sequence byte-identically. The device's partial-commit resume path (and
-// the reliability layer's frame accounting) depend on every clause.
-
-// Exercises Channel::try_write_v's default part-by-part forwarding: only
-// the five core operations are overridden, everything else inherits.
-class MinimalChannel final : public Channel {
- public:
-  explicit MinimalChannel(std::size_t cap) : inner_(cap) {}
-  std::size_t try_write(ByteSpan bytes) override {
-    return inner_.try_write(bytes);
-  }
-  std::size_t try_read(MutableByteSpan out) override {
-    return inner_.try_read(out);
-  }
-  [[nodiscard]] std::size_t readable() const override {
-    return inner_.readable();
-  }
-  [[nodiscard]] std::size_t writable() const override {
-    return inner_.writable();
-  }
-  void close() override { inner_.close(); }
-  [[nodiscard]] bool at_eof() const override { return inner_.at_eof(); }
-  [[nodiscard]] std::string name() const override { return "minimal"; }
-
- private:
-  RingChannel inner_;
-};
-
-struct GatherCase {
-  const char* name;
-  std::unique_ptr<Channel> (*make)(std::size_t cap);
-};
-
-std::unique_ptr<Channel> make_ring_g(std::size_t cap) {
-  return make_channel(ChannelKind::kRing, cap);
-}
-std::unique_ptr<Channel> make_stream_g(std::size_t cap) {
-  return make_channel(ChannelKind::kStream, cap);
-}
-std::unique_ptr<Channel> make_loopback_g(std::size_t cap) {
-  return make_channel(ChannelKind::kLoopback, cap);
-}
-std::unique_ptr<Channel> make_bandwidth_g(std::size_t cap) {
-  // Generous rate and burst: the token bucket must not be the limiter
-  // here — this case checks the decorator's mid-part clipping only.
-  return std::make_unique<BandwidthChannel>(
-      make_channel(ChannelKind::kRing, cap), 4'000'000'000ull, 1 << 20);
-}
-std::unique_ptr<Channel> make_latency_g(std::size_t cap) {
-  return std::make_unique<LatencyChannel>(
-      make_channel(ChannelKind::kRing, cap), 1 /*ns: readable immediately*/);
-}
-std::unique_ptr<Channel> make_minimal_g(std::size_t cap) {
-  return std::make_unique<MinimalChannel>(cap);
-}
-
-class GatheredWriteConformance
-    : public ::testing::TestWithParam<GatherCase> {};
-
-std::vector<std::byte> drain_all(Channel& ch, std::size_t expect) {
-  std::vector<std::byte> out(expect);
-  std::size_t got = 0;
-  // LatencyChannel delivers on a (tiny) delay; spin until quiescent.
-  for (int spins = 0; got < expect && spins < 1'000'000; ++spins) {
-    got += ch.try_read({out.data() + got, expect - got});
-  }
-  out.resize(got);
-  return out;
-}
-
-TEST_P(GatheredWriteConformance, MidPartCutIsExactPrefix) {
-  // Capacity 128 cuts a 300-byte gather inside the third part.
-  auto ch = GetParam().make(128);
-  const auto payload = make_payload(300, 42);
-  const ByteSpan parts[] = {{payload.data(), 7},
-                            {payload.data() + 7, 93},
-                            {payload.data() + 100, 150},
-                            {payload.data() + 250, 50}};
-
-  const std::size_t room = ch->writable();
-  const std::size_t accepted = ch->try_write_v(parts);
-  EXPECT_EQ(accepted, std::min<std::size_t>(300, room)) << GetParam().name;
-
-  const auto wire = drain_all(*ch, accepted);
-  ASSERT_EQ(wire.size(), accepted) << GetParam().name;
-  EXPECT_TRUE(std::equal(wire.begin(), wire.end(), payload.begin()))
-      << GetParam().name << ": accepted bytes are not the logical prefix";
-
-  // Resume the tail until the full sequence has crossed.
-  std::size_t off = accepted;
-  std::vector<std::byte> rest;
-  for (int spins = 0; off < payload.size() && spins < 1'000'000; ++spins) {
-    const std::size_t n =
-        ch->try_write({payload.data() + off, payload.size() - off});
-    off += n;
-    const auto chunk = drain_all(*ch, n);
-    rest.insert(rest.end(), chunk.begin(), chunk.end());
-  }
-  ASSERT_EQ(off, payload.size()) << GetParam().name;
-  EXPECT_TRUE(std::equal(rest.begin(), rest.end(),
-                         payload.begin() + static_cast<long>(accepted)))
-      << GetParam().name;
-}
-
-TEST_P(GatheredWriteConformance, EmptyAndDegenerateParts) {
-  auto ch = GetParam().make(1024);
-  EXPECT_EQ(ch->try_write_v(std::span<const ByteSpan>{}), 0u);
-
-  // Empty parts interleaved with real ones must not disturb the sequence.
-  const auto payload = make_payload(96, 9);
-  const ByteSpan parts[] = {{payload.data(), 0},
-                            {payload.data(), 48},
-                            {payload.data() + 48, 0},
-                            {payload.data() + 48, 48}};
-  EXPECT_EQ(ch->try_write_v(parts), 96u) << GetParam().name;
-  const auto wire = drain_all(*ch, 96);
-  EXPECT_EQ(wire, payload) << GetParam().name;
-}
-
-TEST_P(GatheredWriteConformance, FullChannelAcceptsZero) {
-  auto ch = GetParam().make(64);
-  const auto fill = make_payload(4096, 13);
-  // Saturate (loopback never saturates; writable() stays huge).
-  std::size_t wrote = 0;
-  for (int i = 0; i < 200 && ch->writable() > 0; ++i) {
-    wrote += ch->try_write({fill.data() + (wrote % 64), 64});
-  }
-  if (ch->writable() == 0) {
-    const ByteSpan parts[] = {{fill.data(), 32}, {fill.data() + 32, 32}};
-    EXPECT_EQ(ch->try_write_v(parts), 0u) << GetParam().name;
-  }
-}
-
-INSTANTIATE_TEST_SUITE_P(
-    AllChannels, GatheredWriteConformance,
-    ::testing::Values(GatherCase{"ring", make_ring_g},
-                      GatherCase{"stream", make_stream_g},
-                      GatherCase{"loopback", make_loopback_g},
-                      GatherCase{"bandwidth", make_bandwidth_g},
-                      GatherCase{"latency", make_latency_g},
-                      GatherCase{"default_impl", make_minimal_g}),
-    [](const ::testing::TestParamInfo<GatherCase>& info) {
-      return info.param.name;
-    });
+// The gathered-write short-write conformance suite that used to live here
+// was promoted to tests/transport/channel_conformance_test.cpp, where it
+// now also covers the socket and shm transports.
 
 }  // namespace
 }  // namespace motor::transport

@@ -54,7 +54,10 @@ TEST(LatencyChannelTest, WritesReleaseInOrder) {
   std::byte a[4] = {std::byte{1}, std::byte{1}, std::byte{1}, std::byte{1}};
   std::byte b[4] = {std::byte{2}, std::byte{2}, std::byte{2}, std::byte{2}};
   ch->try_write({a, 4});
-  pal::Thread::sleep_for(1ms);
+  // Clock-driven gap so the two writes get distinct release deadlines
+  // (the channel stamps deadlines from pal::Clock, so spin on it too).
+  const pal::Stopwatch gap;
+  while (gap.elapsed_ns() < 1'000'000) pal::Thread::yield();
   ch->try_write({b, 4});
 
   std::byte out[8];
