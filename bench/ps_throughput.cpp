@@ -20,6 +20,7 @@
 #include <cstdio>
 #include <cstring>
 #include <mutex>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -117,9 +118,10 @@ CaseResult run_case(int workers, bool coalesce, int ops, bool smoke) {
     const std::uint64_t elapsed = pal::monotonic_ns() - t0;
     // One read exercises the pull path under load-adjacent conditions;
     // the value is verified authoritatively by the server after FINs.
-    std::vector<float> got;
-    ok = ok && cl.Pull(0, &got).is_ok() &&
-         got.size() == static_cast<std::size_t>(kValueLen);
+    // Exact-size typed pull into caller storage (no resize, and a length
+    // mismatch would surface as kCountError).
+    std::vector<float> got(kValueLen);
+    ok = ok && cl.Pull(0, std::span<float>(got)).is_ok();
     std::vector<std::uint64_t> samples = cl.take_latency_samples();
     const PsClientStats st = cl.stats();
     ok = ok && cl.Close().is_ok();

@@ -1,18 +1,24 @@
 // heat_scatter: a 1-D heat-diffusion solver on four Motor ranks — the
 // classic scientific-kernel shape the paper's e-Science motivation is
-// about (§1).
+// about (§1), ported to the typed transport.
 //
-// The rod is scattered from rank 0 with the array-window Send overloads,
-// each rank iterates a stencil on its chunk exchanging single-element
-// halos with neighbours, and the result is gathered back — all through
-// the System.MP bindings, on managed arrays, with the pinning policy and
-// GC running underneath.
+// The rod is a std::vector<double>; rank 0 scatters chunk subspans with
+// typed::send_span (wire-identical to the managed array-window Send, so
+// a reflective rank could sit on the other end), each rank iterates a
+// stencil on its chunk exchanging single-element halos with neighbours,
+// and the result is gathered back — all on native storage, with the GC
+// still polled on every transfer because the ranks are managed.
+// (The managed-array version of this example was 135 lines; see
+// DESIGN.md "Typed transport layer".)
 //
 //   $ ./examples/heat_scatter
 #include <cmath>
 #include <cstdio>
+#include <span>
+#include <vector>
 
 #include "motor/motor_runtime.hpp"
+#include "motor/typed/typed.hpp"
 
 using namespace motor;
 
@@ -31,87 +37,71 @@ int main() {
   config.ranks = kRanks;
 
   mp::run_motor_world(config, [](mp::MotorContext& ctx) {
-    auto& types = ctx.vm().types();
-    const vm::MethodTable* doubles =
-        types.primitive_array(vm::ElementKind::kDouble);
+    auto& mp = ctx.mp().direct();
     const int rank = ctx.rank();
     const int left = rank - 1;
     const int right = rank + 1;
 
-    // Rank 0 initializes the rod: a hot spike in the middle.
-    vm::GcRoot rod(ctx.thread(), nullptr);
+    // Rank 0 initializes the rod (a hot spike in the middle) and scatters
+    // chunk subspans; local buffers carry two halo cells: [0], [kChunk+1].
+    std::vector<double> rod;
+    std::vector<double> local(kChunk + 2, 0.0);
     if (rank == 0) {
-      rod.set(ctx.vm().heap().alloc_array(doubles, kCells));
-      for (int i = 0; i < kCells; ++i) {
-        vm::set_element<double>(rod.get(), i,
-                                i == kCells / 2 ? 1000.0 : 0.0);
-      }
-    }
-
-    // Scatter chunks using the array-window Send overloads (§4.2.1).
-    // Local buffer has two halo cells: [0] and [kChunk+1].
-    vm::GcRoot local(ctx.thread(),
-                     ctx.vm().heap().alloc_array(doubles, kChunk + 2));
-    if (rank == 0) {
+      rod.assign(kCells, 0.0);
+      rod[kCells / 2] = 1000.0;
+      const std::span<const double> all(rod);
       for (int r = 1; r < kRanks; ++r) {
-        ctx.mp().Send(rod.get(), r * kChunk, kChunk, r, 0);
+        typed::send_span(mp, all.subspan(r * kChunk, kChunk), r, 0);
       }
-      for (int i = 0; i < kChunk; ++i) {
-        vm::set_element<double>(local.get(), i + 1,
-                                vm::get_element<double>(rod.get(), i));
-      }
+      for (int i = 0; i < kChunk; ++i) local[i + 1] = rod[i];
     } else {
-      ctx.mp().Recv(local.get(), 1, kChunk, 0, 0);
+      std::vector<double> chunk;
+      typed::recv_span(mp, chunk, 0, 0);
+      for (int i = 0; i < kChunk; ++i) local[i + 1] = chunk[i];
     }
 
-    // Stencil iterations with halo exchange.
-    vm::GcRoot halo(ctx.thread(), ctx.vm().heap().alloc_array(doubles, 1));
-    vm::GcRoot next(ctx.thread(),
-                    ctx.vm().heap().alloc_array(doubles, kChunk + 2));
+    // Stencil iterations with halo exchange: single-element typed spans,
+    // same send-before-recv ordering as the managed window version.
+    std::vector<double> halo;
+    std::vector<double> next(kChunk + 2, 0.0);
     for (int step = 0; step < kSteps; ++step) {
-      // Exchange boundaries (send my edge, receive neighbour's edge).
       if (left >= 0) {
-        ctx.mp().Send(local.get(), 1, 1, left, 1);
-        ctx.mp().Recv(local.get(), 0, 1, left, 2);
+        typed::send_span(mp, std::span<const double>(&local[1], 1), left, 1);
+        typed::recv_span(mp, halo, left, 2);
+        local[0] = halo[0];
       } else {
-        vm::set_element<double>(local.get(), 0, 0.0);  // fixed cold end
+        local[0] = 0.0;  // fixed cold end
       }
       if (right < kRanks) {
-        ctx.mp().Recv(local.get(), kChunk + 1, 1, right, 1);
-        ctx.mp().Send(local.get(), kChunk, 1, right, 2);
+        typed::recv_span(mp, halo, right, 1);
+        local[kChunk + 1] = halo[0];
+        typed::send_span(mp, std::span<const double>(&local[kChunk], 1),
+                         right, 2);
       } else {
-        vm::set_element<double>(local.get(), kChunk + 1, 0.0);
+        local[kChunk + 1] = 0.0;
       }
 
       for (int i = 1; i <= kChunk; ++i) {
-        const double u = vm::get_element<double>(local.get(), i);
-        const double ul = vm::get_element<double>(local.get(), i - 1);
-        const double ur = vm::get_element<double>(local.get(), i + 1);
-        vm::set_element<double>(next.get(), i, u + kAlpha * (ul - 2 * u + ur));
+        const double u = local[i];
+        next[i] = u + kAlpha * (local[i - 1] - 2 * u + local[i + 1]);
       }
-      for (int i = 1; i <= kChunk; ++i) {
-        vm::set_element<double>(local.get(), i,
-                                vm::get_element<double>(next.get(), i));
-      }
-      (void)halo;
+      for (int i = 1; i <= kChunk; ++i) local[i] = next[i];
     }
 
-    // Gather chunks back to rank 0 (window Recv into the rod).
+    // Gather chunks back to rank 0.
     if (rank == 0) {
-      for (int i = 0; i < kChunk; ++i) {
-        vm::set_element<double>(rod.get(), i,
-                                vm::get_element<double>(local.get(), i + 1));
-      }
+      for (int i = 0; i < kChunk; ++i) rod[i] = local[i + 1];
+      std::vector<double> chunk;
       for (int r = 1; r < kRanks; ++r) {
-        ctx.mp().Recv(rod.get(), r * kChunk, kChunk, r, 3);
+        typed::recv_span(mp, chunk, r, 3);
+        for (int i = 0; i < kChunk; ++i) rod[r * kChunk + i] = chunk[i];
       }
       double total = 0.0, peak = 0.0;
       int peak_at = 0;
       for (int i = 0; i < kCells; ++i) {
-        const double v = vm::get_element<double>(rod.get(), i);
-        total += v;
-        if (v > peak) {
-          peak = v;
+        total += rod[i];
+        if (rod[i] > peak) {
+          peak = rod[i];
           peak_at = i;
         }
       }
@@ -128,7 +118,7 @@ int main() {
         std::printf("heat_scatter: OK\n");
       }
     } else {
-      ctx.mp().Send(local.get(), 1, kChunk, 0, 3);
+      typed::send_span(mp, std::span<const double>(&local[1], kChunk), 0, 3);
     }
   });
   return 0;

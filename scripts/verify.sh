@@ -33,6 +33,12 @@ ctest --test-dir build -L collectives --output-on-failure
 # determinism suite (test_ps_fault is also under -L fault).
 ctest --test-dir build -L ps --output-on-failure
 
+# Typed-transport tier (ctest -L typed): the compile-time wire plans, the
+# VM-free codec, the seeded three-way byte-identity property suite
+# (typed == plan-cache == reflective), typed send/recv across ranks with
+# managed interop in both directions, and the PS typed hot paths.
+ctest --test-dir build -L typed --output-on-failure
+
 # PS throughput smoke, strict (no `|| true`): a tiny coalesce-on/off grid
 # whose final table is checked against the closed-form expectation — the
 # binary exits non-zero on any convergence mismatch, so the coalescing
@@ -40,9 +46,11 @@ ctest --test-dir build -L ps --output-on-failure
 # BENCH_ps.json is the full sweep).
 timeout 300 ./build/bench/ps_throughput --smoke --json=build/ps_smoke.json
 
-# fig10 smoke: tiny ping-pong sizes plus the wire-plan ablation section,
-# strict (no `|| true`) so the bench binary and the plan_cache toggle
-# cannot rot.
+# fig10 smoke: tiny ping-pong sizes plus the wire-plan ablation and the
+# typed-transport ablation, strict (no `|| true`): the binary exits
+# non-zero if the typed/plan-cache/reflective streams ever diverge
+# byte-wise or the perf ordering typed <= plan <= reflective breaks, so
+# the zero-overhead claim cannot rot.
 timeout 300 ./build/bench/fig10_objects --smoke
 
 # Collective sweep smoke, strict (no `|| true`): a tiny topology/algorithm
@@ -87,12 +95,13 @@ EOF
 # Sanitizer tier: fault-labelled stress tests, the collective registry
 # (tree/butterfly index arithmetic, in-place reduce windows), the
 # parameter server (unaligned record payloads, pooled buffer recycling,
-# comm-thread handoffs), and the cross-process tier (shm ring index
-# discipline, socket partial-write resync, launcher teardown) under
-# ASan + UBSan.
+# comm-thread handoffs), the typed transport (reinterpret-cast leaf
+# gathers, in-place payload references, twin layout verification), and
+# the cross-process tier (shm ring index discipline, socket partial-write
+# resync, launcher teardown) under ASan + UBSan.
 cmake -B build-asan -S . -DMOTOR_SANITIZE=ON >/dev/null
-cmake --build build-asan -j "$(nproc)" --target test_fault --target test_collectives --target test_ps --target test_ps_fault --target test_channel_conformance --target test_proc_fault --target test_launch --target launch_rank_helper
-ctest --test-dir build-asan -L 'fault|collectives|ps|procs' --output-on-failure
+cmake --build build-asan -j "$(nproc)" --target test_fault --target test_collectives --target test_ps --target test_ps_fault --target test_typed --target test_channel_conformance --target test_proc_fault --target test_launch --target launch_rank_helper
+ctest --test-dir build-asan -L 'fault|collectives|ps|procs|typed' --output-on-failure
 
 # fig9 smoke: the full sweep takes minutes; a capped run via the pingpong
 # spec is not exposed on the CLI, so just run the cheapest ablation bench

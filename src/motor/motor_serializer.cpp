@@ -7,11 +7,8 @@
 
 namespace motor::mp {
 
-namespace {
-
-constexpr std::uint32_t kMagic = 0x4D4F5452;  // "MOTR"
-
-}  // namespace
+// Stream magic kWireMagic lives in wire_ops.hpp, shared with the typed
+// codec (typed/codec.hpp) which emits the same stream from native types.
 
 const WirePlan& MotorSerializer::plan_of(const vm::MethodTable* mt) {
   bool built = false;
@@ -177,7 +174,7 @@ Status MotorSerializer::serialize_impl(vm::Obj root,
   }
 
   // Emit: type table, then object records side by side.
-  out.put_u32(kMagic);
+  out.put_u32(kWireMagic);
   out.put_u16(static_cast<std::uint16_t>(type_table.size()));
   for (const vm::MethodTable* mt : type_table) {
     vm::detail::write_string(out, mt->name());
@@ -387,7 +384,7 @@ Status MotorSerializer::deserialize(ByteBuffer& in, vm::ManagedThread& thread,
                                     vm::Obj* out) {
   std::uint32_t magic = 0;
   MOTOR_RETURN_IF_ERROR(in.get(magic));
-  if (magic != kMagic) {
+  if (magic != kWireMagic) {
     return Status(ErrorCode::kSerialization, "bad Motor serializer magic");
   }
   std::uint16_t type_count = 0;

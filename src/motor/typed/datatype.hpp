@@ -1,0 +1,59 @@
+// Lowering compile-time wire plans into MPI derived datatypes.
+//
+// typed_datatype<T>() turns TypedPlan<T> into the DatatypeDef the native
+// layer already understands (MPI_Type_create_struct semantics): the same
+// leaf list that drives the typed codec becomes the datatype's type map,
+// so send_derived/recv_derived, pack/unpack and the MPI baselines move
+// described structs without anyone re-declaring the layout. For a packed
+// T the result is contiguous and DatatypeDef's fast paths (single memcpy,
+// zero-copy send) engage automatically; for padded T the run-coalesced
+// pack loop skips the holes — the identical runs the wire plan computed.
+#pragma once
+
+#include "motor/typed/plan.hpp"
+#include "motor/typed/traits.hpp"
+#include "mpi/derived.hpp"
+
+namespace motor::typed {
+
+namespace detail {
+
+constexpr mpi::Datatype datatype_of(vm::ElementKind kind) {
+  switch (kind) {
+    case vm::ElementKind::kBool: return mpi::Datatype::kUInt8;
+    case vm::ElementKind::kChar: return mpi::Datatype::kUInt16;
+    case vm::ElementKind::kInt8: return mpi::Datatype::kInt8;
+    case vm::ElementKind::kUInt8: return mpi::Datatype::kUInt8;
+    case vm::ElementKind::kInt16: return mpi::Datatype::kInt16;
+    case vm::ElementKind::kUInt16: return mpi::Datatype::kUInt16;
+    case vm::ElementKind::kInt32: return mpi::Datatype::kInt32;
+    case vm::ElementKind::kUInt32: return mpi::Datatype::kUInt32;
+    case vm::ElementKind::kInt64: return mpi::Datatype::kInt64;
+    case vm::ElementKind::kUInt64: return mpi::Datatype::kUInt64;
+    case vm::ElementKind::kFloat: return mpi::Datatype::kFloat;
+    case vm::ElementKind::kDouble: return mpi::Datatype::kDouble;
+    case vm::ElementKind::kObjectRef: break;  // unreachable for leaves
+  }
+  return mpi::Datatype::kByte;
+}
+
+}  // namespace detail
+
+/// The derived datatype of a wireable T: extent sizeof(T), type map the
+/// compile-time leaf list. Build once, reuse freely (DatatypeDef is a
+/// value).
+template <motor_wireable T>
+mpi::DatatypeDef typed_datatype() {
+  if constexpr (motor_scalar<T>) {
+    return mpi::DatatypeDef::basic(detail::datatype_of(kind_of<T>()));
+  } else {
+    constexpr auto leaves = detail::leaves_of<T>();
+    std::array<std::pair<std::size_t, mpi::Datatype>, leaves.size()> fields{};
+    for (std::size_t i = 0; i < leaves.size(); ++i) {
+      fields[i] = {leaves[i].offset, detail::datatype_of(leaves[i].kind)};
+    }
+    return mpi::DatatypeDef::structure(fields, sizeof(T));
+  }
+}
+
+}  // namespace motor::typed

@@ -1,0 +1,62 @@
+// Managed twins of described native structs.
+//
+// The typed codec's byte-identity with the reflective serializer only
+// pays off if both sides can actually name the same type: a typed sender
+// emitting "Point" records can hand them to a reflective receiver (the
+// parameter server's object table, a managed rank) iff that receiver's
+// TypeSystem defines a class "Point" with the SAME field layout. This
+// header derives that class mechanically from Describe<T>, so the two
+// definitions cannot drift.
+//
+// Layout equivalence is not assumed, it is checked: ClassBuilder assigns
+// offsets in declaration order under natural alignment — the same rule
+// the Itanium ABI applies to standard-layout structs — so each managed
+// field must land exactly at its C++ leaf's offsetof. register twin
+// MOTOR_CHECKs every offset; an exotic layout (alignas-overaligned
+// members) fails loudly at registration, never silently on the wire.
+#pragma once
+
+#include <string>
+
+#include "motor/typed/plan.hpp"
+#include "motor/typed/traits.hpp"
+#include "vm/type_system.hpp"
+
+namespace motor::typed {
+
+/// Define (or look up) the managed class equivalent of T in `ts`. Field
+/// names are positional ("f0", "f1", ...) — the Motor wire format never
+/// carries field names, only type names, so positional names cannot
+/// break interop. Idempotent per TypeSystem; verified against the
+/// compile-time leaf list on every call.
+template <motor_described T>
+const vm::MethodTable* register_managed_twin(vm::TypeSystem& ts) {
+  constexpr auto leaves = detail::leaves_of<T>();
+  const std::string name(Describe<std::remove_cv_t<T>>::name);
+  const vm::MethodTable* mt = ts.find(name);
+  if (mt == nullptr) {
+    vm::ClassBuilder builder = ts.define_class(name);
+    builder.transportable();
+    std::size_t i = 0;
+    for (LeafField f : leaves) {
+      builder.field("f" + std::to_string(i++), f.kind);
+    }
+    mt = builder.build();
+  }
+  MOTOR_CHECK(!mt->is_array(), "managed twin name collides with an array");
+  MOTOR_CHECK(mt->fields().size() == leaves.size(),
+              "managed twin '" + name + "' has a different field count");
+  std::size_t i = 0;
+  for (LeafField f : leaves) {
+    const vm::FieldDesc& fd = mt->fields()[i++];
+    MOTOR_CHECK(fd.kind() == f.kind && fd.offset() == f.offset,
+                "managed twin '" + name +
+                    "' layout diverges from the C++ struct (overaligned "
+                    "member?) — typed/reflective interop would corrupt data");
+  }
+  MOTOR_CHECK(mt->wire_bytes() == TypedPlan<T>::wire_bytes,
+              "managed twin wire size diverges from the typed plan");
+  return mt;
+}
+
+}  // namespace motor::typed

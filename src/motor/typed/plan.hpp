@@ -1,0 +1,118 @@
+// Compile-time wire plans.
+//
+// TypedPlan<T> lowers a wireable type's leaf list (typed/traits.hpp) into
+// the SAME wire-program representation the runtime plan cache compiles
+// from FieldDescs (motor/wire_ops.hpp) — coalesced primitive runs — but
+// at compile time, as a constexpr std::array<WireOp, N> in static
+// storage. The coalescing rule is the same one WirePlan::compile applies
+// (FieldDesc::follows_contiguously): a leaf whose storage starts exactly
+// where the previous leaf ends extends the previous run. Padding holes
+// break runs, so padded structs serialize as a few memcpys skipping the
+// holes; packed structs collapse to a single run covering sizeof(T), in
+// which case the codec can reference payloads in place with zero copies.
+//
+// TypedPlan<T>::view() returns a WireProgramView — the identical currency
+// WirePlan::view() returns — so every executor downstream (the typed
+// codec, the run executors, derived-datatype lowering) is shared between
+// the compile-time and runtime compilers.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "motor/typed/traits.hpp"
+#include "motor/wire_ops.hpp"
+
+namespace motor::typed {
+
+namespace detail {
+
+/// The flattened leaf list of any wireable T (scalars: one leaf at 0).
+template <motor_wireable T>
+consteval auto leaves_of() {
+  if constexpr (motor_scalar<T>) {
+    return std::array<LeafField, 1>{LeafField{0, kind_of<T>()}};
+  } else {
+    return Describe<std::remove_cv_t<T>>::fields();
+  }
+}
+
+/// Number of coalesced runs the leaf list lowers to.
+template <motor_wireable T>
+consteval std::size_t run_count() {
+  constexpr auto leaves = leaves_of<T>();
+  std::size_t runs = 0;
+  std::uint32_t end = 0;  // one past the previous leaf's storage
+  bool open = false;
+  for (LeafField f : leaves) {
+    if (!open || f.offset != end) ++runs;
+    open = true;
+    end = f.offset + static_cast<std::uint32_t>(f.size());
+  }
+  return runs;
+}
+
+/// Lower the leaf list into runs — the consteval twin of
+/// WirePlan::compile's coalescing loop.
+template <motor_wireable T>
+consteval auto make_ops() {
+  constexpr auto leaves = leaves_of<T>();
+  std::array<mp::WireOp, run_count<T>()> ops{};
+  std::size_t n = 0;
+  std::uint32_t end = 0;
+  for (LeafField f : leaves) {
+    const auto sz = static_cast<std::uint32_t>(f.size());
+    if (n > 0 && f.offset == end) {
+      ops[n - 1].bytes += sz;
+      ++ops[n - 1].fields;
+    } else {
+      ops[n].kind = mp::WireOp::Kind::kRun;
+      ops[n].offset = f.offset;
+      ops[n].bytes = sz;
+      ops[n].fields = 1;
+      ++n;
+    }
+    end = f.offset + sz;
+  }
+  return ops;
+}
+
+template <motor_wireable T>
+consteval std::uint32_t wire_bytes_of() {
+  std::uint32_t total = 0;
+  for (LeafField f : leaves_of<T>()) {
+    total += static_cast<std::uint32_t>(f.size());
+  }
+  return total;
+}
+
+}  // namespace detail
+
+/// The compile-time wire plan of T. Everything here is a constant the
+/// optimizer folds: serializing a span of T becomes a fixed sequence of
+/// memcpys with no plan lookup, no dispatch, and no per-call branching.
+template <motor_wireable T>
+struct TypedPlan {
+  /// Ordered run program, in static storage for the WireProgramView.
+  static constexpr auto ops = detail::make_ops<T>();
+  /// Record payload size on the wire (padding stripped).
+  static constexpr std::uint32_t wire_bytes = detail::wire_bytes_of<T>();
+  /// Whole record is one contiguous run starting at run_offset.
+  static constexpr bool single_run = ops.size() == 1;
+  static constexpr std::uint32_t run_offset = ops[0].offset;
+  /// Wire bytes == object bytes: records can be memcpy'd (or referenced
+  /// in place) straight from an array of T with no per-record gather.
+  static constexpr bool contiguous =
+      single_run && run_offset == 0 && wire_bytes == sizeof(T);
+
+  /// The same program view WirePlan::view() produces at run time —
+  /// executable by the shared run executors in wire_ops.hpp.
+  static constexpr mp::WireProgramView view() noexcept {
+    return mp::WireProgramView{{ops.data(), ops.size()},
+                               wire_bytes,
+                               single_run,
+                               run_offset};
+  }
+};
+
+}  // namespace motor::typed

@@ -1,0 +1,280 @@
+// Concepts and compile-time type description for the typed transport
+// layer (motor::typed).
+//
+// The reflective serializer learns a type's layout from FieldDescs at run
+// time; this header teaches the compiler the same facts at compile time:
+//
+//   * motor_scalar      — an arithmetic type with a CTS ElementKind;
+//   * motor_trivial     — memcpy-safe as raw bytes (standard layout,
+//                         trivially copyable, no padding indeterminism);
+//   * motor_described   — a struct registered with MOTOR_TYPED_STRUCT,
+//                         whose members flatten to a constexpr leaf list;
+//   * motor_wireable    — scalar or described: has a compile-time wire
+//                         plan (typed/plan.hpp);
+//   * motor_span_like   — a contiguous range of wireable elements.
+//
+// MOTOR_TYPED_STRUCT(Type, members...) is the one-line registration that
+// replaces ClassBuilder for native structs. It hard-errors (static_assert)
+// on non-standard-layout or non-trivially-copyable types — the failure
+// the byte APIs only catch with a runtime assert deep in the serializer.
+#pragma once
+
+#include <array>
+#include <concepts>
+#include <cstddef>
+#include <cstdint>
+#include <ranges>
+#include <span>
+#include <string_view>
+#include <type_traits>
+
+#include "vm/field_desc.hpp"
+
+namespace motor::typed {
+
+// ---- scalar kinds ----------------------------------------------------
+
+namespace detail {
+
+template <class T>
+inline constexpr bool is_scalar_candidate =
+    (std::is_integral_v<T> || std::is_floating_point_v<T>) &&
+    !std::is_same_v<T, long double> && sizeof(T) <= 8;
+
+}  // namespace detail
+
+/// An arithmetic type representable as one CTS element (vm::ElementKind):
+/// bool, the sized integers (incl. char variants), float, double.
+template <class T>
+concept motor_scalar = detail::is_scalar_candidate<std::remove_cv_t<T>>;
+
+/// The CTS element kind of a scalar — the same enum FieldDesc carries, so
+/// typed leaves and reflective fields agree on wire width by construction.
+template <motor_scalar T>
+consteval vm::ElementKind kind_of() {
+  using U = std::remove_cv_t<T>;
+  if constexpr (std::is_same_v<U, bool>) {
+    return vm::ElementKind::kBool;
+  } else if constexpr (std::is_same_v<U, char16_t>) {
+    return vm::ElementKind::kChar;  // CLI char is UTF-16
+  } else if constexpr (std::is_same_v<U, float>) {
+    return vm::ElementKind::kFloat;
+  } else if constexpr (std::is_same_v<U, double>) {
+    return vm::ElementKind::kDouble;
+  } else if constexpr (sizeof(U) == 1) {
+    return std::is_signed_v<U> ? vm::ElementKind::kInt8
+                               : vm::ElementKind::kUInt8;
+  } else if constexpr (sizeof(U) == 2) {
+    return std::is_signed_v<U> ? vm::ElementKind::kInt16
+                               : vm::ElementKind::kUInt16;
+  } else if constexpr (sizeof(U) == 4) {
+    return std::is_signed_v<U> ? vm::ElementKind::kInt32
+                               : vm::ElementKind::kUInt32;
+  } else {
+    return std::is_signed_v<U> ? vm::ElementKind::kInt64
+                               : vm::ElementKind::kUInt64;
+  }
+}
+
+// ---- raw-bytes safety ------------------------------------------------
+
+/// Safe to put on the wire as raw object representation: standard layout,
+/// trivially copyable, every bit pattern meaningful (no padding bytes
+/// leaking uninitialised memory), and no pointers (addresses are
+/// meaningless in another process).
+template <class T>
+concept motor_trivial =
+    std::is_trivially_copyable_v<T> && std::is_standard_layout_v<T> &&
+    std::has_unique_object_representations_v<T> && !std::is_pointer_v<T> &&
+    !std::is_member_pointer_v<T>;
+
+// ---- described aggregates --------------------------------------------
+
+/// One flattened scalar member: where it lives in the C++ object and what
+/// CTS kind it is. The typed analog of a (non-reference) FieldDesc.
+struct LeafField {
+  std::uint32_t offset = 0;
+  vm::ElementKind kind = vm::ElementKind::kBool;
+
+  [[nodiscard]] constexpr std::size_t size() const noexcept {
+    return vm::element_size(kind);
+  }
+};
+
+/// Customization point: specialized by MOTOR_TYPED_STRUCT. A
+/// specialization provides
+///   static constexpr std::string_view name;   // managed twin type name
+///   static consteval auto fields();           // std::array<LeafField, N>
+template <class T>
+struct Describe;  // primary template intentionally undefined
+
+template <class T>
+concept motor_described = requires {
+  { Describe<std::remove_cv_t<T>>::name } -> std::convertible_to<std::string_view>;
+  Describe<std::remove_cv_t<T>>::fields();
+};
+
+/// Anything the typed layer can compute a wire plan for.
+template <class T>
+concept motor_wireable = motor_scalar<T> || motor_described<T>;
+
+/// A contiguous, sized range whose elements are wireable — std::span,
+/// std::vector, std::array, C arrays of scalars or described structs.
+template <class R>
+concept motor_span_like =
+    std::ranges::contiguous_range<R> && std::ranges::sized_range<R> &&
+    motor_wireable<std::remove_cv_t<std::ranges::range_value_t<R>>>;
+
+// ---- member flattening -----------------------------------------------
+
+namespace detail {
+
+template <class>
+inline constexpr bool dependent_false = false;
+
+/// Number of scalar leaves a member of type M contributes.
+template <class M>
+consteval std::size_t leaf_count() {
+  using U = std::remove_cv_t<M>;
+  if constexpr (motor_scalar<U>) {
+    return 1;
+  } else if constexpr (std::is_bounded_array_v<U>) {
+    return std::extent_v<U> * leaf_count<std::remove_extent_t<U>>();
+  } else if constexpr (motor_described<U>) {
+    return Describe<U>::fields().size();
+  } else {
+    static_assert(dependent_false<M>,
+                  "member type is not typed-transportable: scalar, bounded "
+                  "array, or MOTOR_TYPED_STRUCT-described struct required "
+                  "(pointers and references cannot cross address spaces)");
+    return 0;
+  }
+}
+
+/// Flattened leaves of one member located at byte `base` in the
+/// enclosing struct: scalars are one leaf, arrays repeat their element's
+/// leaves stride by stride, nested described structs inline their own
+/// leaf list shifted by `base`.
+template <class M>
+consteval auto member_leaves(std::size_t base) {
+  using U = std::remove_cv_t<M>;
+  std::array<LeafField, leaf_count<M>()> out{};
+  if constexpr (motor_scalar<U>) {
+    out[0] = LeafField{static_cast<std::uint32_t>(base), kind_of<U>()};
+  } else if constexpr (std::is_bounded_array_v<U>) {
+    using E = std::remove_extent_t<U>;
+    std::size_t i = 0;
+    for (std::size_t e = 0; e < std::extent_v<U>; ++e) {
+      for (LeafField f : member_leaves<E>(base + e * sizeof(E))) {
+        out[i++] = f;
+      }
+    }
+  } else {
+    std::size_t i = 0;
+    for (LeafField f : Describe<U>::fields()) {
+      out[i++] = LeafField{static_cast<std::uint32_t>(base) + f.offset, f.kind};
+    }
+  }
+  return out;
+}
+
+/// Concatenate per-member leaf arrays into the struct's full leaf list.
+template <std::size_t... Ns>
+consteval auto concat(std::array<LeafField, Ns>... parts) {
+  std::array<LeafField, (Ns + ... + 0)> out{};
+  std::size_t i = 0;
+  auto add = [&](const auto& a) {
+    for (LeafField f : a) out[i++] = f;
+  };
+  (add(parts), ...);
+  return out;
+}
+
+}  // namespace detail
+
+}  // namespace motor::typed
+
+// ---- MOTOR_TYPED_STRUCT ----------------------------------------------
+//
+// MOTOR_TYPED_STRUCT(Point, x, y, label) at namespace scope registers
+// `Point` with the typed layer: its members (in declaration order) become
+// the constexpr leaf list from which typed/plan.hpp derives the wire
+// plan, and `Point` becomes usable with every typed entry point,
+// including as the element type of spans/vectors. The struct must be
+// standard-layout and trivially copyable — enforced right here at compile
+// time, not by a runtime assert deep in the serializer.
+
+#define MOTOR_TYPED_LEAVES_OF(TYPE, member)                       \
+  motor::typed::detail::member_leaves<decltype(TYPE::member)>(    \
+      offsetof(TYPE, member))
+
+// FOR_EACH over up to 16 members, expanding F(TYPE, member) per member.
+#define MOTOR_TYPED_FE_1(F, T, a) F(T, a)
+#define MOTOR_TYPED_FE_2(F, T, a, ...) \
+  F(T, a), MOTOR_TYPED_FE_1(F, T, __VA_ARGS__)
+#define MOTOR_TYPED_FE_3(F, T, a, ...) \
+  F(T, a), MOTOR_TYPED_FE_2(F, T, __VA_ARGS__)
+#define MOTOR_TYPED_FE_4(F, T, a, ...) \
+  F(T, a), MOTOR_TYPED_FE_3(F, T, __VA_ARGS__)
+#define MOTOR_TYPED_FE_5(F, T, a, ...) \
+  F(T, a), MOTOR_TYPED_FE_4(F, T, __VA_ARGS__)
+#define MOTOR_TYPED_FE_6(F, T, a, ...) \
+  F(T, a), MOTOR_TYPED_FE_5(F, T, __VA_ARGS__)
+#define MOTOR_TYPED_FE_7(F, T, a, ...) \
+  F(T, a), MOTOR_TYPED_FE_6(F, T, __VA_ARGS__)
+#define MOTOR_TYPED_FE_8(F, T, a, ...) \
+  F(T, a), MOTOR_TYPED_FE_7(F, T, __VA_ARGS__)
+#define MOTOR_TYPED_FE_9(F, T, a, ...) \
+  F(T, a), MOTOR_TYPED_FE_8(F, T, __VA_ARGS__)
+#define MOTOR_TYPED_FE_10(F, T, a, ...) \
+  F(T, a), MOTOR_TYPED_FE_9(F, T, __VA_ARGS__)
+#define MOTOR_TYPED_FE_11(F, T, a, ...) \
+  F(T, a), MOTOR_TYPED_FE_10(F, T, __VA_ARGS__)
+#define MOTOR_TYPED_FE_12(F, T, a, ...) \
+  F(T, a), MOTOR_TYPED_FE_11(F, T, __VA_ARGS__)
+#define MOTOR_TYPED_FE_13(F, T, a, ...) \
+  F(T, a), MOTOR_TYPED_FE_12(F, T, __VA_ARGS__)
+#define MOTOR_TYPED_FE_14(F, T, a, ...) \
+  F(T, a), MOTOR_TYPED_FE_13(F, T, __VA_ARGS__)
+#define MOTOR_TYPED_FE_15(F, T, a, ...) \
+  F(T, a), MOTOR_TYPED_FE_14(F, T, __VA_ARGS__)
+#define MOTOR_TYPED_FE_16(F, T, a, ...) \
+  F(T, a), MOTOR_TYPED_FE_15(F, T, __VA_ARGS__)
+
+#define MOTOR_TYPED_NARG(...)                                                \
+  MOTOR_TYPED_NARG_(__VA_ARGS__, 16, 15, 14, 13, 12, 11, 10, 9, 8, 7, 6, 5, \
+                    4, 3, 2, 1)
+#define MOTOR_TYPED_NARG_(_1, _2, _3, _4, _5, _6, _7, _8, _9, _10, _11, _12, \
+                          _13, _14, _15, _16, N, ...)                        \
+  N
+
+#define MOTOR_TYPED_CAT(a, b) MOTOR_TYPED_CAT_(a, b)
+#define MOTOR_TYPED_CAT_(a, b) a##b
+
+#define MOTOR_TYPED_FOR_EACH(F, T, ...)                                   \
+  MOTOR_TYPED_CAT(MOTOR_TYPED_FE_, MOTOR_TYPED_NARG(__VA_ARGS__))(F, T,  \
+                                                                  __VA_ARGS__)
+
+/// Register NAME (a string literal — the managed twin's class name) for
+/// TYPE. Use MOTOR_TYPED_STRUCT when the C++ type name IS the wire name.
+#define MOTOR_TYPED_STRUCT_NAMED(TYPE, NAME, ...)                            \
+  template <>                                                                \
+  struct motor::typed::Describe<TYPE> {                                      \
+    static_assert(std::is_standard_layout_v<TYPE>,                           \
+                  #TYPE                                                      \
+                  " is not standard-layout: the typed transport layer "      \
+                  "cannot compute a wire plan for it");                      \
+    static_assert(std::is_trivially_copyable_v<TYPE>,                        \
+                  #TYPE                                                      \
+                  " is not trivially copyable: the typed transport layer "   \
+                  "moves bytes, not constructors");                          \
+    using type = TYPE;                                                       \
+    static constexpr std::string_view name = NAME;                           \
+    static consteval auto fields() {                                         \
+      return motor::typed::detail::concat(                                   \
+          MOTOR_TYPED_FOR_EACH(MOTOR_TYPED_LEAVES_OF, TYPE, __VA_ARGS__));   \
+    }                                                                        \
+  }
+
+#define MOTOR_TYPED_STRUCT(TYPE, ...) \
+  MOTOR_TYPED_STRUCT_NAMED(TYPE, #TYPE, __VA_ARGS__)

@@ -1,0 +1,146 @@
+// Typed transport entry points.
+//
+// These speak the OO operations' wire protocol — a u64 size message, then
+// the serialized representation as one (possibly gathered) message
+// (§7.5) — but produce/consume the stream with the compile-time codec
+// instead of the reflective serializer. Because the stream bytes are
+// identical, the pairings compose freely:
+//
+//   typed::send_span(comm, span<float>) --> managed rank's ORecv()
+//   managed rank's OSend(float_array)   --> typed::recv_span<float>()
+//
+// Large payloads go to the wire through the same scatter-gather path as
+// the managed gathered sends (SpanVec + mpi::send_v): the payload is
+// referenced in the caller's storage, never staged. Native storage needs
+// no pinning — the pinning policy exists for movable managed heap memory;
+// a std::span's bytes cannot move.
+//
+// The MPDirect overloads run the same transfers from a managed rank,
+// polling GC on every progress iteration exactly like the FCall-bound
+// operations, so a typed send never blocks a collection.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "motor/mp_direct.hpp"
+#include "motor/typed/codec.hpp"
+#include "mpi/pt2pt.hpp"
+
+namespace motor::typed {
+
+// ---- over a raw communicator (native threads) ------------------------
+
+/// Blocking typed send: encode `data` (one reserve, gather for large
+/// payloads) and ship it under the size-then-payload protocol.
+template <motor_wireable T>
+Status send_span(mpi::Comm& comm, std::span<const T> data, int dst, int tag,
+                 const mpi::PollHook& poll = {}) {
+  ByteBuffer meta;
+  SpanVec sv;
+  if constexpr (motor_scalar<T>) {
+    serialize_span_gather(data, meta, sv);
+  } else {
+    serialize_span(data, meta);
+    sv.append(meta.span());
+  }
+  const std::uint64_t size = sv.total_bytes();
+  ErrorCode err = mpi::send(comm, &size, sizeof size, dst, tag, poll);
+  if (err != ErrorCode::kSuccess) return Status(err);
+  return Status(mpi::send_v(comm, sv, dst, tag, poll));
+}
+
+/// Blocking typed receive into `out` (resized to the sender's count).
+template <motor_wireable T>
+Status recv_span(mpi::Comm& comm, std::vector<T>& out, int src, int tag,
+                 mpi::MsgStatus* status = nullptr,
+                 const mpi::PollHook& poll = {}) {
+  std::uint64_t size = 0;
+  mpi::MsgStatus size_st;
+  ErrorCode err = mpi::recv(comm, &size, sizeof size, src, tag, &size_st,
+                            poll);
+  if (err != ErrorCode::kSuccess) return Status(err);
+  ByteBuffer buf;
+  buf.resize(size);
+  err = mpi::recv(comm, buf.data(), buf.size(), size_st.source, size_st.tag,
+                  status, poll);
+  if (err != ErrorCode::kSuccess) return Status(err);
+  return deserialize_span<T>(buf, out);
+}
+
+/// Blocking typed send of one described value.
+template <motor_described T>
+Status send_value(mpi::Comm& comm, const T& value, int dst, int tag,
+                  const mpi::PollHook& poll = {}) {
+  ByteBuffer buf;
+  serialize_value(value, buf);
+  const std::uint64_t size = buf.size();
+  ErrorCode err = mpi::send(comm, &size, sizeof size, dst, tag, poll);
+  if (err != ErrorCode::kSuccess) return Status(err);
+  return Status(mpi::send(comm, buf.data(), buf.size(), dst, tag, poll));
+}
+
+/// Blocking typed receive of one described value.
+template <motor_described T>
+Status recv_value(mpi::Comm& comm, T* out, int src, int tag,
+                  mpi::MsgStatus* status = nullptr,
+                  const mpi::PollHook& poll = {}) {
+  std::uint64_t size = 0;
+  mpi::MsgStatus size_st;
+  ErrorCode err = mpi::recv(comm, &size, sizeof size, src, tag, &size_st,
+                            poll);
+  if (err != ErrorCode::kSuccess) return Status(err);
+  ByteBuffer buf;
+  buf.resize(size);
+  err = mpi::recv(comm, buf.data(), buf.size(), size_st.source, size_st.tag,
+                  status, poll);
+  if (err != ErrorCode::kSuccess) return Status(err);
+  return deserialize_value<T>(buf, out);
+}
+
+// ---- over MPDirect (managed ranks) -----------------------------------
+
+namespace detail {
+
+inline mpi::PollHook gc_poll(mp::MPDirect& mp) {
+  return [&mp] { mp.thread().poll_gc(); };
+}
+
+}  // namespace detail
+
+/// Typed send from a managed rank: same wire traffic as the Comm variant,
+/// with the GC polled on every progress iteration (§7.4 discipline).
+template <motor_wireable T>
+Status send_span(mp::MPDirect& mp, std::span<const T> data, int dst,
+                 int tag) {
+  return send_span(mp.comm(), data, dst, tag, detail::gc_poll(mp));
+}
+
+template <motor_wireable T>
+Status recv_span(mp::MPDirect& mp, std::vector<T>& out, int src, int tag,
+                 mpi::MsgStatus* status = nullptr) {
+  return recv_span(mp.comm(), out, src, tag, status, detail::gc_poll(mp));
+}
+
+template <motor_described T>
+Status send_value(mp::MPDirect& mp, const T& value, int dst, int tag) {
+  return send_value(mp.comm(), value, dst, tag, detail::gc_poll(mp));
+}
+
+template <motor_described T>
+Status recv_value(mp::MPDirect& mp, T* out, int src, int tag,
+                  mpi::MsgStatus* status = nullptr) {
+  return recv_value(mp.comm(), out, src, tag, status, detail::gc_poll(mp));
+}
+
+// ---- range conveniences ----------------------------------------------
+
+template <motor_span_like R, class Endpoint>
+Status send_range(Endpoint& ep, const R& range, int dst, int tag) {
+  using T = std::remove_cv_t<std::ranges::range_value_t<R>>;
+  return send_span<T>(
+      ep, std::span<const T>(std::ranges::data(range), std::ranges::size(range)),
+      dst, tag);
+}
+
+}  // namespace motor::typed

@@ -1,0 +1,18 @@
+// Umbrella header for the typed transport layer (motor::typed).
+//
+// One include gives the whole compile-time data path:
+//   traits.hpp       — concepts + MOTOR_TYPED_STRUCT registration
+//   plan.hpp         — TypedPlan<T>: consteval wire programs (WireOp runs)
+//   codec.hpp        — Motor-stream serialize/deserialize, byte-identical
+//                      to the reflective serializer
+//   transport.hpp    — send/recv over Comm and MPDirect (OO-ops protocol)
+//   managed_twin.hpp — derive the managed class equivalent of a struct
+//   datatype.hpp     — lower a plan to an MPI derived datatype
+#pragma once
+
+#include "motor/typed/codec.hpp"
+#include "motor/typed/datatype.hpp"
+#include "motor/typed/managed_twin.hpp"
+#include "motor/typed/plan.hpp"
+#include "motor/typed/traits.hpp"
+#include "motor/typed/transport.hpp"

@@ -1,0 +1,93 @@
+// The wire-program representation shared by BOTH plan compilers.
+//
+// Motor has two ways to know a type's layout:
+//
+//   * the runtime plan cache (wire_plan.hpp) lowers a MethodTable's
+//     FieldDesc list into a wire program on first serialization;
+//   * the typed layer (typed/plan.hpp) computes the same lowering at
+//     COMPILE TIME from a `Describe<T>` member list via consteval.
+//
+// Both produce the exact same instruction set — ordered WireOps of
+// coalesced primitive RUNS and reference SLOTS — and both are executed by
+// the same inline run executors below. This header is deliberately
+// independent of the VM headers so the typed layer's constexpr tables can
+// be built in any translation unit without dragging in MethodTable.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "common/buffer.hpp"
+
+namespace motor::mp {
+
+/// Stream magic of the Motor custom serialization format (§7.5): "MOTR".
+/// Shared by the reflective serializer, the plan-cache path, and the
+/// typed codec — all three emit byte-identical streams.
+inline constexpr std::uint32_t kWireMagic = 0x4D4F5452;
+
+/// One step of a compiled class-record wire program.
+struct WireOp {
+  enum class Kind : std::uint8_t { kRun, kRef };
+  Kind kind = Kind::kRun;
+  /// kRef: the field's Transportable bit (non-transportable references
+  /// are null-swapped on the wire without touching the heap slot's
+  /// referent graph).
+  bool transportable = false;
+  /// kRun: how many fields were coalesced into this copy.
+  std::uint16_t fields = 0;
+  /// Byte offset within the object's instance data.
+  std::uint32_t offset = 0;
+  /// kRun: bytes to copy (heap bytes == wire bytes for primitive runs).
+  std::uint32_t bytes = 0;
+};
+
+/// A reference slot, extracted for the discovery pass (which only needs
+/// the references, not the primitive layout).
+struct RefSlot {
+  std::uint32_t offset = 0;
+  bool transportable = false;
+};
+
+/// Non-owning view of a wire program — the common currency between the
+/// runtime WirePlan (WirePlan::view()) and the typed layer's constexpr
+/// plans (TypedPlan<T>::view()). Consumers executing a view cannot tell
+/// which compiler produced it.
+struct WireProgramView {
+  std::span<const WireOp> ops;
+  /// Record payload size on the wire.
+  std::uint32_t wire_bytes = 0;
+  /// Whole record is one contiguous primitive run starting at
+  /// `run_offset`: serialize/deserialize as a single memcpy.
+  bool single_run = false;
+  std::uint32_t run_offset = 0;
+};
+
+/// Emit one record payload from `base` (the start of the record's storage)
+/// through a REFERENCE-FREE program. Both plan compilers guarantee their
+/// all-primitive programs collapse padding gaps into the minimal run list,
+/// so this loop is a handful of memcpys — one, for packed layouts.
+inline void emit_runs(const WireProgramView& v, const std::byte* base,
+                      ByteBuffer& out) {
+  if (v.single_run) {
+    out.append_raw(base + v.run_offset, v.wire_bytes);
+    return;
+  }
+  for (const WireOp& op : v.ops) {
+    out.append_raw(base + op.offset, op.bytes);
+  }
+}
+
+/// Inverse of emit_runs: scatter one wire record back into `base`.
+inline Status read_runs(const WireProgramView& v, std::byte* base,
+                        ByteBuffer& in) {
+  if (v.single_run) {
+    return in.read({base + v.run_offset, v.wire_bytes});
+  }
+  for (const WireOp& op : v.ops) {
+    MOTOR_RETURN_IF_ERROR(in.read({base + op.offset, op.bytes}));
+  }
+  return Status::ok();
+}
+
+}  // namespace motor::mp

@@ -27,32 +27,14 @@
 #include <unordered_map>
 #include <vector>
 
+#include "motor/wire_ops.hpp"
 #include "vm/method_table.hpp"
 
 namespace motor::mp {
 
-/// One step of a compiled class-record wire program.
-struct WireOp {
-  enum class Kind : std::uint8_t { kRun, kRef };
-  Kind kind = Kind::kRun;
-  /// kRef: the field's Transportable bit (non-transportable references
-  /// are null-swapped on the wire without touching the heap slot's
-  /// referent graph).
-  bool transportable = false;
-  /// kRun: how many FieldDescs were coalesced into this copy.
-  std::uint16_t fields = 0;
-  /// Byte offset within the object's instance data.
-  std::uint32_t offset = 0;
-  /// kRun: bytes to copy (heap bytes == wire bytes for primitive runs).
-  std::uint32_t bytes = 0;
-};
-
-/// A reference slot, extracted for the discovery pass (which only needs
-/// the references, not the primitive layout).
-struct RefSlot {
-  std::uint32_t offset = 0;
-  bool transportable = false;
-};
+// WireOp / RefSlot / WireProgramView live in wire_ops.hpp: the typed
+// layer (typed/plan.hpp) builds the same representation at compile time
+// and must not depend on the VM headers.
 
 /// Compiled wire program for one class MethodTable.
 struct WirePlan {
@@ -68,6 +50,13 @@ struct WirePlan {
   /// it as a single memcpy starting at `run_offset`.
   bool single_run = false;
   std::uint32_t run_offset = 0;
+
+  /// The plan as the shared program representation executed by the run
+  /// executors in wire_ops.hpp — the same view TypedPlan<T> produces at
+  /// compile time.
+  [[nodiscard]] WireProgramView view() const noexcept {
+    return WireProgramView{ops, wire_bytes, single_run, run_offset};
+  }
 
   /// Lower `mt`'s FieldDesc list into a wire program. `mt` must be a
   /// class (non-array) type.

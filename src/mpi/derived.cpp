@@ -7,11 +7,30 @@
 
 namespace motor::mpi {
 
+void DatatypeDef::coalesce_runs() {
+  // Same lowering the serializer's wire plans apply to FieldDesc lists
+  // (and the typed layer applies at compile time): a map entry whose
+  // storage starts exactly where the previous one ends extends the
+  // previous run. Wire layout is gapless, so heap adjacency in map order
+  // is the only condition. Entry order is preserved — it IS the wire
+  // order.
+  runs_.clear();
+  for (const auto& [off, t] : map_) {
+    const std::size_t sz = datatype_size(t);
+    if (!runs_.empty() && off == runs_.back().offset + runs_.back().bytes) {
+      runs_.back().bytes += sz;
+    } else {
+      runs_.push_back(Run{off, sz});
+    }
+  }
+}
+
 DatatypeDef DatatypeDef::basic(Datatype t) {
   DatatypeDef def;
   def.map_.emplace_back(0, t);
   def.size_ = datatype_size(t);
   def.extent_ = def.size_;
+  def.coalesce_runs();
   return def;
 }
 
@@ -25,6 +44,7 @@ DatatypeDef DatatypeDef::contiguous(int count, const DatatypeDef& old) {
   }
   def.size_ = old.size_ * static_cast<std::size_t>(count);
   def.extent_ = old.extent_ * static_cast<std::size_t>(count);
+  def.coalesce_runs();
   return def;
 }
 
@@ -53,6 +73,7 @@ DatatypeDef DatatypeDef::vector(int count, int blocklength, int stride,
                    static_cast<std::size_t>(blocklength)) *
                   old.extent_;
   }
+  def.coalesce_runs();
   return def;
 }
 
@@ -82,6 +103,7 @@ DatatypeDef DatatypeDef::indexed(std::span<const int> blocklengths,
   }
   std::sort(def.map_.begin(), def.map_.end());
   def.extent_ = max_end;
+  def.coalesce_runs();
   return def;
 }
 
@@ -97,26 +119,28 @@ DatatypeDef DatatypeDef::structure(
   }
   std::sort(def.map_.begin(), def.map_.end());
   def.extent_ = extent_bytes;
+  def.coalesce_runs();
   return def;
 }
 
 bool DatatypeDef::is_contiguous() const noexcept {
-  if (size_ != extent_) return false;
-  std::size_t expected = 0;
-  for (const auto& [off, t] : map_) {
-    if (off != expected) return false;
-    expected += datatype_size(t);
-  }
-  return true;
+  return size_ == extent_ && runs_.size() <= 1 &&
+         (runs_.empty() || runs_[0].offset == 0);
 }
 
 void DatatypeDef::pack(const void* base, std::size_t count,
                        ByteBuffer& out) const {
   const auto* b = static_cast<const std::byte*>(base);
+  out.reserve(out.size() + count * size_);
+  if (is_contiguous()) {
+    // Gapless type map: all `count` elements are one byte range.
+    out.append_raw(b, count * size_);
+    return;
+  }
   for (std::size_t i = 0; i < count; ++i) {
     const std::byte* elem = b + i * extent_;
-    for (const auto& [off, t] : map_) {
-      out.append_raw(elem + off, datatype_size(t));
+    for (const Run& r : runs_) {
+      out.append_raw(elem + r.offset, r.bytes);
     }
   }
 }
@@ -124,11 +148,13 @@ void DatatypeDef::pack(const void* base, std::size_t count,
 Status DatatypeDef::unpack(ByteBuffer& in, void* base,
                            std::size_t count) const {
   auto* b = static_cast<std::byte*>(base);
+  if (is_contiguous()) {
+    return in.read({b, count * size_});
+  }
   for (std::size_t i = 0; i < count; ++i) {
     std::byte* elem = b + i * extent_;
-    for (const auto& [off, t] : map_) {
-      MOTOR_RETURN_IF_ERROR(
-          in.read({elem + off, datatype_size(t)}));
+    for (const Run& r : runs_) {
+      MOTOR_RETURN_IF_ERROR(in.read({elem + r.offset, r.bytes}));
     }
   }
   return Status::ok();

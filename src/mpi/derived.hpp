@@ -61,9 +61,20 @@ class DatatypeDef {
     return map_;
   }
 
+  /// The map coalesced into maximal contiguous byte runs — the same
+  /// lowering the serializer's wire plans apply to FieldDescs. pack and
+  /// unpack move one memcpy per run, not one per map entry.
+  struct Run {
+    std::size_t offset = 0;
+    std::size_t bytes = 0;
+  };
+  [[nodiscard]] const std::vector<Run>& runs() const noexcept { return runs_; }
+
   [[nodiscard]] bool is_contiguous() const noexcept;
 
   /// Gather `count` elements starting at `base` into a contiguous buffer.
+  /// One reserve up front, one memcpy per coalesced run (one total for
+  /// fully contiguous types).
   void pack(const void* base, std::size_t count, ByteBuffer& out) const;
 
   /// Scatter `count` elements from `in` back to their mapped offsets.
@@ -72,7 +83,11 @@ class DatatypeDef {
  private:
   DatatypeDef() = default;
 
+  /// Recompute runs_ from map_ (factories call this after building map_).
+  void coalesce_runs();
+
   std::vector<std::pair<std::size_t, Datatype>> map_;  // sorted by offset
+  std::vector<Run> runs_;                              // coalesced map_
   std::size_t size_ = 0;
   std::size_t extent_ = 0;
 };

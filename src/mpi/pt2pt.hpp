@@ -8,6 +8,7 @@
 
 #include <functional>
 #include <span>
+#include <type_traits>
 
 #include "mpi/comm.hpp"
 #include "mpi/datatype.hpp"
@@ -76,16 +77,37 @@ bool iprobe(Comm& comm, int src, int tag, MsgStatus* status = nullptr);
 MsgStatus probe(Comm& comm, int src, int tag, const PollHook& poll = {});
 
 // ---- typed convenience (native-baseline style: buf, count, datatype) ----
+//
+// These move raw object representations, so the element type must be
+// memcpy-safe: the static_asserts below turn what used to be a runtime
+// assert deep in the serializer (or silent garbage across a process
+// boundary) into a compile error at the call site. The motor::typed layer
+// (motor/typed/transport.hpp) provides the richer concept-guarded entry
+// points; these remain for the native baselines.
 
 template <typename T>
 ErrorCode send_typed(Comm& comm, const T* buf, std::size_t count, int dst,
                      int tag) {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "send_typed moves raw bytes: T must be trivially copyable");
+  static_assert(std::is_standard_layout_v<T>,
+                "send_typed requires a standard-layout T: the receiver "
+                "reconstructs the object from its byte representation");
+  static_assert(!std::is_pointer_v<T>,
+                "send_typed of a pointer ships an address, not the data");
   return send(comm, buf, count * sizeof(T), dst, tag);
 }
 
 template <typename T>
 ErrorCode recv_typed(Comm& comm, T* buf, std::size_t count, int src, int tag,
                      MsgStatus* status = nullptr) {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "recv_typed fills raw bytes: T must be trivially copyable");
+  static_assert(std::is_standard_layout_v<T>,
+                "recv_typed requires a standard-layout T: the object is "
+                "reconstructed from its byte representation");
+  static_assert(!std::is_pointer_v<T>,
+                "recv_typed into a pointer receives an address, not data");
   return recv(comm, buf, count * sizeof(T), src, tag, status);
 }
 

@@ -145,8 +145,7 @@ Status PsClient::Push(std::uint64_t key, std::span<const float> delta) {
   stats_.pushes++;
   const int shard = route(key);
   Coalescer& c = open_locked(shard);
-  append_push(c.buf, key,
-              as_bytes_of(delta.data(), delta.size_bytes()));
+  append_push(c.buf, key, delta);  // typed record: one statically-sized memcpy
   c.records++;
   return maybe_flush_locked(shard, lk);
 }
@@ -168,7 +167,7 @@ Status PsClient::enqueue_pull(std::uint64_t key, ReqOp op,
   return Status::ok();
 }
 
-Status PsClient::Pull(std::uint64_t key, std::vector<float>* out) {
+Status PsClient::pull_bytes(std::uint64_t key, ByteBuffer* data) {
   std::unique_lock<std::mutex> lk(mu_);
   if (closed_) return Status(ErrorCode::kRequestError, "ps client closed");
   if (failed_) return Status(fail_code_, "ps client failed");
@@ -194,45 +193,56 @@ Status PsClient::Pull(std::uint64_t key, std::vector<float>* out) {
     direct_.pool().put(std::move(p.data));
     return Status(p.err, "ps pull failed");
   }
-  const std::size_t n = p.data.size() / sizeof(float);
-  out->resize(n);
-  if (n > 0) std::memcpy(out->data(), p.data.data(), n * sizeof(float));
-  direct_.pool().put(std::move(p.data));
+  *data = std::move(p.data);  // caller recycles via pool().put
   return Status::ok();
+}
+
+Status PsClient::Pull(std::uint64_t key, std::vector<float>* out) {
+  ByteBuffer data;
+  MOTOR_RETURN_IF_ERROR(pull_bytes(key, &data));
+  const std::size_t n = data.size() / sizeof(float);
+  out->resize(n);
+  if (n > 0) std::memcpy(out->data(), data.data(), n * sizeof(float));
+  direct_.pool().put(std::move(data));
+  return Status::ok();
+}
+
+Status PsClient::Pull(std::uint64_t key, std::span<float> out) {
+  ByteBuffer data;
+  MOTOR_RETURN_IF_ERROR(pull_bytes(key, &data));
+  if (data.size() != out.size_bytes()) {
+    direct_.pool().put(std::move(data));
+    return Status(ErrorCode::kCountError,
+                  "ps pull: entry length does not match the span");
+  }
+  if (!out.empty()) std::memcpy(out.data(), data.data(), out.size_bytes());
+  direct_.pool().put(std::move(data));
+  return Status::ok();
+}
+
+Status PsClient::put_object_bytes(std::uint64_t key, const ByteBuffer& bytes) {
+  std::unique_lock<std::mutex> lk(mu_);
+  if (closed_) return Status(ErrorCode::kRequestError, "ps client closed");
+  if (failed_) return Status(fail_code_, "ps client failed");
+  stats_.object_puts++;
+  const int shard = route(key);
+  Coalescer& c = open_locked(shard);
+  append_put_object(c.buf, key, ByteSpan{bytes.data(), bytes.size()});
+  c.records++;
+  return maybe_flush_locked(shard, lk);
 }
 
 Status PsClient::PutObject(std::uint64_t key, vm::Obj obj) {
   // Serialize on the managed thread before taking mu_: serialization may
   // allocate (visited sets) but never touches client state.
   ByteBuffer tmp = direct_.pool().take();
-  Status ser = direct_.serializer().serialize(obj, tmp);
-  if (!ser.is_ok()) {
-    direct_.pool().put(std::move(tmp));
-    return ser;
-  }
-  std::unique_lock<std::mutex> lk(mu_);
-  if (closed_) {
-    lk.unlock();
-    direct_.pool().put(std::move(tmp));
-    return Status(ErrorCode::kRequestError, "ps client closed");
-  }
-  if (failed_) {
-    lk.unlock();
-    direct_.pool().put(std::move(tmp));
-    return Status(fail_code_, "ps client failed");
-  }
-  stats_.object_puts++;
-  const int shard = route(key);
-  Coalescer& c = open_locked(shard);
-  append_put_object(c.buf, key, ByteSpan{tmp.data(), tmp.size()});
-  c.records++;
-  Status st = maybe_flush_locked(shard, lk);
-  lk.unlock();
+  Status st = direct_.serializer().serialize(obj, tmp);
+  if (st.is_ok()) st = put_object_bytes(key, tmp);
   direct_.pool().put(std::move(tmp));
   return st;
 }
 
-Status PsClient::GetObject(std::uint64_t key, vm::Obj* out) {
+Status PsClient::get_object_bytes(std::uint64_t key, ByteBuffer* data) {
   std::unique_lock<std::mutex> lk(mu_);
   if (closed_) return Status(ErrorCode::kRequestError, "ps client closed");
   if (failed_) return Status(fail_code_, "ps client failed");
@@ -254,17 +264,22 @@ Status PsClient::GetObject(std::uint64_t key, vm::Obj* out) {
   }
   Pending p = std::move(it->second);
   pending_.erase(it);
-  lk.unlock();
-  // Deserialize outside mu_: it allocates on the managed heap and may run
-  // a GC; reply dispatch must not stall behind that.
-  Status result = Status::ok();
   if (p.err != ErrorCode::kSuccess) {
-    result = Status(p.err, "ps get-object failed");
-  } else {
-    p.data.seek(0);
-    result = direct_.serializer().deserialize(p.data, direct_.thread(), out);
+    direct_.pool().put(std::move(p.data));
+    return Status(p.err, "ps get-object failed");
   }
-  direct_.pool().put(std::move(p.data));
+  *data = std::move(p.data);  // caller recycles via pool().put
+  return Status::ok();
+}
+
+Status PsClient::GetObject(std::uint64_t key, vm::Obj* out) {
+  ByteBuffer data;
+  MOTOR_RETURN_IF_ERROR(get_object_bytes(key, &data));
+  // Deserialize outside mu_ (get_object_bytes released it): managed-heap
+  // allocation may run a GC; reply dispatch must not stall behind that.
+  data.seek(0);
+  Status result = direct_.serializer().deserialize(data, direct_.thread(), out);
+  direct_.pool().put(std::move(data));
   return result;
 }
 

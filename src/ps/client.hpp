@@ -36,6 +36,7 @@
 #include <vector>
 
 #include "motor/mp_direct.hpp"
+#include "motor/typed/codec.hpp"
 #include "ps/comm_thread.hpp"
 #include "ps/config.hpp"
 #include "ps/wire.hpp"
@@ -69,15 +70,50 @@ class PsClient {
 
   /// Accumulate `delta` element-wise into the value at `key` (creating a
   /// zero vector of delta's length on first touch). Asynchronous: returns
-  /// after coalescing; delivery is bounded by the credit window.
+  /// after coalescing; delivery is bounded by the credit window. The
+  /// span-typed record lands in the coalescer as one statically-sized
+  /// memcpy (see append_push) — no caller-side size bookkeeping.
   Status Push(std::uint64_t key, std::span<const float> delta);
   /// Read the current value at `key` into *out. Blocks until the owning
   /// shard replies.
   Status Pull(std::uint64_t key, std::vector<float>* out);
+  /// Typed pull into caller-owned storage: the entry's length must equal
+  /// out.size() exactly (the preallocated-buffer hot path — no resize, no
+  /// allocation on the application thread).
+  Status Pull(std::uint64_t key, std::span<float> out);
   /// Replace the entry at `key` with a serialized managed object.
   Status PutObject(std::uint64_t key, vm::Obj obj);
   /// Fetch and deserialize the object at `key` into *out.
   Status GetObject(std::uint64_t key, vm::Obj* out);
+
+  /// Typed PutObject: encode a described native struct with the
+  /// compile-time codec — byte-identical to the managed stream, so the
+  /// server's reflective deserializer (and any GetObject caller, typed or
+  /// managed) reads it unchanged. Requires the server VM to know the
+  /// type (typed::register_managed_twin on the server rank).
+  template <typed::motor_described T>
+  Status PutObject(std::uint64_t key, const T& value) {
+    ByteBuffer tmp = direct_.pool().take();
+    typed::serialize_value(value, tmp);
+    Status st = put_object_bytes(key, tmp);
+    direct_.pool().put(std::move(tmp));
+    return st;
+  }
+
+  /// Typed GetObject: fetch the entry's serialized form and decode it
+  /// with the compile-time codec — no managed allocation, no GC, works
+  /// from native threads. Accepts entries written by either PutObject.
+  template <typed::motor_described T>
+  Status GetObject(std::uint64_t key, T* out) {
+    ByteBuffer data;  // filled from the reply path's pooled buffer
+    Status st = get_object_bytes(key, &data);
+    if (st.is_ok()) {
+      data.seek(0);
+      st = typed::deserialize_value(data, out);
+    }
+    direct_.pool().put(std::move(data));
+    return st;
+  }
 
   /// Flush all open coalescers and block until every in-flight batch has
   /// been applied (all credits home) and every pull completed.
@@ -125,6 +161,15 @@ class PsClient {
   void send_locked(int shard);
   void note_queued_locked();
   Status enqueue_pull(std::uint64_t key, ReqOp op, std::uint64_t* corr_out);
+  /// Issue a pull for `key` and hand back the raw reply payload (shared
+  /// body of the two Pull overloads).
+  Status pull_bytes(std::uint64_t key, ByteBuffer* data);
+  /// Append `bytes` as a kPutObject record (shared body of the PutObject
+  /// overloads; `bytes` is read, never consumed).
+  Status put_object_bytes(std::uint64_t key, const ByteBuffer& bytes);
+  /// Fetch the serialized entry at `key` into *data (shared body of the
+  /// GetObject overloads).
+  Status get_object_bytes(std::uint64_t key, ByteBuffer* data);
 
   // Comm-thread callbacks.
   void on_reply(ByteBuffer buf, int src);

@@ -30,6 +30,8 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
+#include <type_traits>
 
 #include "common/buffer.hpp"
 
@@ -100,11 +102,34 @@ Status read_header(ByteBuffer& buf, BatchHeader* out);
 
 // ---- request records ----
 
+/// Bytes a push record of `payload_bytes` occupies in a batch — the
+/// closed form the typed client uses to budget coalescer capacity.
+inline constexpr std::size_t push_record_bytes(std::size_t payload_bytes) {
+  return 1 + 8 + 4 + payload_bytes;
+}
+
 inline void append_push(ByteBuffer& buf, std::uint64_t key, ByteSpan delta) {
+  // Exactly one capacity decision per record: a cold coalescer grows once
+  // to the full record size instead of once per field put; a warm pooled
+  // buffer never grows at all.
+  buf.reserve(buf.size() + push_record_bytes(delta.size()));
   buf.put_u8(static_cast<std::uint8_t>(ReqOp::kPush));
   buf.put_u64(key);
   buf.put_u32(static_cast<std::uint32_t>(delta.size()));
   buf.append(delta);
+}
+
+/// Typed push record: the element span goes into the batch as one
+/// statically-sized memcpy — no caller-side byte bookkeeping. The element
+/// type is guarded here (compile error, not a runtime assert) because the
+/// server accumulates raw element payloads.
+template <typename T>
+inline void append_push(ByteBuffer& buf, std::uint64_t key,
+                        std::span<const T> delta) {
+  static_assert(std::is_trivially_copyable_v<T> && !std::is_pointer_v<T>,
+                "push payloads are raw element bytes: T must be trivially "
+                "copyable and not a pointer");
+  append_push(buf, key, as_bytes_of(delta.data(), delta.size_bytes()));
 }
 
 inline void append_pull(ByteBuffer& buf, std::uint64_t key,
@@ -116,6 +141,7 @@ inline void append_pull(ByteBuffer& buf, std::uint64_t key,
 
 inline void append_put_object(ByteBuffer& buf, std::uint64_t key,
                               ByteSpan bytes) {
+  buf.reserve(buf.size() + 1 + 8 + 4 + bytes.size());
   buf.put_u8(static_cast<std::uint8_t>(ReqOp::kPutObject));
   buf.put_u64(key);
   buf.put_u32(static_cast<std::uint32_t>(bytes.size()));
@@ -143,6 +169,7 @@ Status read_request(ByteBuffer& buf, ReqRecord* out);
 
 inline void append_reply_data(ByteBuffer& buf, ReplyOp op, std::uint64_t key,
                               std::uint64_t correlation, ByteSpan payload) {
+  buf.reserve(buf.size() + 1 + 8 + 8 + 4 + payload.size());
   buf.put_u8(static_cast<std::uint8_t>(op));
   buf.put_u64(key);
   buf.put_u64(correlation);

@@ -4,29 +4,6 @@
 
 namespace motor::vm {
 
-std::size_t element_size(ElementKind kind) noexcept {
-  switch (kind) {
-    case ElementKind::kBool:
-    case ElementKind::kInt8:
-    case ElementKind::kUInt8:
-      return 1;
-    case ElementKind::kChar:  // CLI char is UTF-16
-    case ElementKind::kInt16:
-    case ElementKind::kUInt16:
-      return 2;
-    case ElementKind::kInt32:
-    case ElementKind::kUInt32:
-    case ElementKind::kFloat:
-      return 4;
-    case ElementKind::kInt64:
-    case ElementKind::kUInt64:
-    case ElementKind::kDouble:
-    case ElementKind::kObjectRef:
-      return 8;
-  }
-  return 0;
-}
-
 std::string_view element_kind_name(ElementKind kind) noexcept {
   switch (kind) {
     case ElementKind::kBool: return "bool";

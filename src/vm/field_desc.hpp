@@ -30,8 +30,30 @@ enum class ElementKind : std::uint8_t {
   kObjectRef,  // managed reference (pointer-sized)
 };
 
-/// Byte width of one element of `kind`.
-std::size_t element_size(ElementKind kind) noexcept;
+/// Byte width of one element of `kind`. Constexpr so the typed layer's
+/// compile-time wire plans (motor/typed/plan.hpp) can evaluate it.
+constexpr std::size_t element_size(ElementKind kind) noexcept {
+  switch (kind) {
+    case ElementKind::kBool:
+    case ElementKind::kInt8:
+    case ElementKind::kUInt8:
+      return 1;
+    case ElementKind::kChar:  // CLI char is UTF-16
+    case ElementKind::kInt16:
+    case ElementKind::kUInt16:
+      return 2;
+    case ElementKind::kInt32:
+    case ElementKind::kUInt32:
+    case ElementKind::kFloat:
+      return 4;
+    case ElementKind::kInt64:
+    case ElementKind::kUInt64:
+    case ElementKind::kDouble:
+    case ElementKind::kObjectRef:
+      return 8;
+  }
+  return 0;
+}
 
 std::string_view element_kind_name(ElementKind kind) noexcept;
 

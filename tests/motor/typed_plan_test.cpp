@@ -1,0 +1,296 @@
+// The compile-time wire plans (motor/typed): concept gates, leaf
+// flattening, run coalescing, the closed-form stream sizes, and the
+// VM-free codec round trips. Everything TypedPlan computes is constexpr,
+// so most of this suite is static_asserts that run at compile time — the
+// gtest bodies cover the codec's runtime behaviour and error paths.
+#include "motor/typed/typed.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+namespace motor::typed {
+namespace {
+
+struct Packed {
+  double x;
+  double y;
+  std::int32_t a;
+  std::int32_t b;
+};
+
+struct Padded {
+  std::uint8_t a;   // 0..1, then 7 bytes of padding
+  double b;         // 8..16
+  std::int16_t c;   // 16..18, tail padding to 24
+};
+
+struct Inner {
+  float u;
+  float v;
+};
+
+struct Outer {
+  std::int32_t id;  // 0..4
+  Inner in;         // 4..12 (nested described struct inlines its leaves)
+  double w;         // 16..24 (4 bytes padding before)
+};
+
+struct WithArray {
+  double pos[3];    // 0..24, three leaves coalescing into one run
+  std::int32_t tag; // 24..28
+};
+
+}  // namespace
+}  // namespace motor::typed
+
+MOTOR_TYPED_STRUCT(motor::typed::Packed, x, y, a, b);
+MOTOR_TYPED_STRUCT(motor::typed::Padded, a, b, c);
+MOTOR_TYPED_STRUCT_NAMED(motor::typed::Inner, "Inner", u, v);
+MOTOR_TYPED_STRUCT_NAMED(motor::typed::Outer, "Outer", id, in, w);
+MOTOR_TYPED_STRUCT_NAMED(motor::typed::WithArray, "WithArray", pos, tag);
+
+namespace motor::typed {
+namespace {
+
+// ---- concepts --------------------------------------------------------
+
+static_assert(motor_scalar<float> && motor_scalar<double>);
+static_assert(motor_scalar<std::int8_t> && motor_scalar<std::uint64_t>);
+static_assert(motor_scalar<bool> && motor_scalar<char16_t>);
+static_assert(!motor_scalar<long double>);
+static_assert(!motor_scalar<Packed>);
+static_assert(motor_described<Packed> && motor_described<Outer>);
+static_assert(!motor_described<float>);
+static_assert(motor_wireable<double> && motor_wireable<WithArray>);
+static_assert(!motor_wireable<void*>);
+static_assert(motor_span_like<std::vector<float>>);
+static_assert(motor_span_like<std::span<const Packed>>);
+static_assert(!motor_span_like<std::vector<void*>>);
+
+static_assert(kind_of<float>() == vm::ElementKind::kFloat);
+static_assert(kind_of<bool>() == vm::ElementKind::kBool);
+static_assert(kind_of<char16_t>() == vm::ElementKind::kChar);
+static_assert(kind_of<std::int64_t>() == vm::ElementKind::kInt64);
+static_assert(kind_of<std::uint16_t>() == vm::ElementKind::kUInt16);
+
+// ---- plans -----------------------------------------------------------
+
+// A gapless struct collapses to a single run covering the whole object:
+// records can be memcpy'd (or referenced in place) straight from arrays.
+static_assert(TypedPlan<Packed>::ops.size() == 1);
+static_assert(TypedPlan<Packed>::wire_bytes == 24);
+static_assert(TypedPlan<Packed>::contiguous);
+static_assert(sizeof(Packed) == 24);
+
+// Padding holes break runs; the trailing leaf at the end of the second
+// run extends it (b at 8..16, c at 16..18 coalesce).
+static_assert(TypedPlan<Padded>::ops.size() == 2);
+static_assert(TypedPlan<Padded>::ops[0].offset == 0 &&
+              TypedPlan<Padded>::ops[0].bytes == 1);
+static_assert(TypedPlan<Padded>::ops[1].offset == 8 &&
+              TypedPlan<Padded>::ops[1].bytes == 10);
+static_assert(TypedPlan<Padded>::wire_bytes == 11);
+static_assert(!TypedPlan<Padded>::contiguous);
+
+// Nested structs inline their leaves at shifted offsets; the id/in pair
+// is gapless (0..12), then padding before w breaks the run.
+static_assert(TypedPlan<Outer>::ops.size() == 2);
+static_assert(TypedPlan<Outer>::ops[0].offset == 0 &&
+              TypedPlan<Outer>::ops[0].bytes == 12);
+static_assert(TypedPlan<Outer>::ops[1].offset == 16 &&
+              TypedPlan<Outer>::ops[1].bytes == 8);
+static_assert(TypedPlan<Outer>::wire_bytes == 20);
+
+// Bounded arrays repeat their element's leaves stride by stride — all
+// adjacent, so the whole struct is one run.
+static_assert(TypedPlan<WithArray>::ops.size() == 1);
+static_assert(TypedPlan<WithArray>::wire_bytes == 28);
+// Single-run but NOT contiguous: tail padding makes sizeof(WithArray) 32,
+// so records still gather run-by-run rather than memcpy'ing whole objects.
+static_assert(TypedPlan<WithArray>::single_run);
+static_assert(!TypedPlan<WithArray>::contiguous);
+static_assert(sizeof(WithArray) == 32);
+
+// Scalars have the trivial single-leaf plan.
+static_assert(TypedPlan<double>::ops.size() == 1);
+static_assert(TypedPlan<double>::wire_bytes == 8);
+static_assert(TypedPlan<double>::contiguous);
+
+// The plan's view is the same currency the runtime plan cache produces.
+static_assert(TypedPlan<Packed>::view().single_run);
+static_assert(TypedPlan<Packed>::view().wire_bytes == 24);
+static_assert(TypedPlan<Padded>::view().ops.size() == 2);
+
+// ---- closed-form stream sizes ----------------------------------------
+
+TEST(TypedPlanTest, ScalarStreamSizeClosedForm) {
+  for (std::size_t n : {std::size_t{0}, std::size_t{1}, std::size_t{7},
+                        std::size_t{1000}}) {
+    std::vector<float> v(n, 1.5f);
+    ByteBuffer out;
+    serialize_span(std::span<const float>(v), out);
+    EXPECT_EQ(out.size(), span_stream_bytes<float>(n)) << "n=" << n;
+  }
+}
+
+TEST(TypedPlanTest, DescribedStreamSizeClosedForm) {
+  for (std::size_t n : {std::size_t{0}, std::size_t{1}, std::size_t{13}}) {
+    std::vector<Padded> v(n);
+    ByteBuffer out;
+    serialize_span(std::span<const Padded>(v), out);
+    EXPECT_EQ(out.size(), span_stream_bytes<Padded>(n)) << "n=" << n;
+  }
+}
+
+TEST(TypedPlanTest, SerializeDoesExactlyOneReserve) {
+  // The zero-overhead contract: closed-form sizes mean one capacity
+  // decision per stream, so a fresh buffer grows exactly once.
+  std::vector<Packed> v(64, Packed{1.0, 2.0, 3, 4});
+  ByteBuffer out;
+  const std::uint64_t before = out.growth_count();
+  serialize_span(std::span<const Packed>(v), out);
+  EXPECT_LE(out.growth_count() - before, 1u);
+}
+
+// ---- codec round trips (no VM anywhere) ------------------------------
+
+TEST(TypedPlanTest, ScalarSpanRoundTrip) {
+  std::vector<std::int32_t> v{1, -2, 3, -4, 5};
+  ByteBuffer buf;
+  serialize_span(std::span<const std::int32_t>(v), buf);
+  buf.seek(0);
+  std::vector<std::int32_t> back;
+  ASSERT_TRUE(deserialize_span(buf, back).is_ok());
+  EXPECT_EQ(back, v);
+}
+
+TEST(TypedPlanTest, EmptySpanRoundTrip) {
+  ByteBuffer buf;
+  serialize_span(std::span<const double>{}, buf);
+  buf.seek(0);
+  std::vector<double> back{1.0, 2.0};
+  ASSERT_TRUE(deserialize_span(buf, back).is_ok());
+  EXPECT_TRUE(back.empty());
+
+  ByteBuffer obuf;
+  serialize_span(std::span<const Packed>{}, obuf);
+  obuf.seek(0);
+  std::vector<Packed> oback(3);
+  ASSERT_TRUE(deserialize_span(obuf, oback).is_ok());
+  EXPECT_TRUE(oback.empty());
+}
+
+TEST(TypedPlanTest, DescribedSpanRoundTrip) {
+  std::vector<Padded> v;
+  for (int i = 0; i < 9; ++i) {
+    Padded p{};
+    p.a = static_cast<std::uint8_t>(i);
+    p.b = i * 1.25;
+    p.c = static_cast<std::int16_t>(-i);
+    v.push_back(p);
+  }
+  ByteBuffer buf;
+  serialize_span(std::span<const Padded>(v), buf);
+  buf.seek(0);
+  std::vector<Padded> back;
+  ASSERT_TRUE(deserialize_span(buf, back).is_ok());
+  ASSERT_EQ(back.size(), v.size());
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    EXPECT_EQ(back[i].a, v[i].a);
+    EXPECT_EQ(back[i].b, v[i].b);
+    EXPECT_EQ(back[i].c, v[i].c);
+  }
+}
+
+TEST(TypedPlanTest, NestedValueRoundTrip) {
+  Outer o{};
+  o.id = 42;
+  o.in = Inner{1.5f, -2.5f};
+  o.w = 3.25;
+  ByteBuffer buf;
+  serialize_value(o, buf);
+  buf.seek(0);
+  Outer back{};
+  ASSERT_TRUE(deserialize_value(buf, &back).is_ok());
+  EXPECT_EQ(back.id, 42);
+  EXPECT_EQ(back.in.u, 1.5f);
+  EXPECT_EQ(back.in.v, -2.5f);
+  EXPECT_EQ(back.w, 3.25);
+}
+
+TEST(TypedPlanTest, DeserializeIntoExactLength) {
+  std::vector<float> v(16, 2.0f);
+  ByteBuffer buf;
+  serialize_span(std::span<const float>(v), buf);
+
+  buf.seek(0);
+  std::vector<float> exact(16);
+  ASSERT_TRUE(deserialize_span_into(buf, std::span<float>(exact)).is_ok());
+  EXPECT_EQ(exact, v);
+
+  buf.seek(0);
+  std::vector<float> wrong(8);
+  Status st = deserialize_span_into(buf, std::span<float>(wrong));
+  EXPECT_EQ(st.code(), ErrorCode::kCountError);
+}
+
+TEST(TypedPlanTest, GatherConcatenationIsByteIdentical) {
+  // Below the inline threshold the gather variant degrades to the flat
+  // encoding; above it the payload is referenced in place. Either way the
+  // concatenation of the parts must equal serialize_span()'s bytes.
+  for (std::size_t n : {std::size_t{4}, std::size_t{4096}}) {
+    std::vector<float> v(n);
+    for (std::size_t i = 0; i < n; ++i) v[i] = static_cast<float>(i) * 0.5f;
+
+    ByteBuffer flat;
+    serialize_span(std::span<const float>(v), flat);
+
+    ByteBuffer meta;
+    SpanVec sv;
+    serialize_span_gather(std::span<const float>(v), meta, sv);
+    ASSERT_EQ(sv.total_bytes(), flat.size());
+    std::vector<std::byte> gathered;
+    for (ByteSpan part : sv.parts()) {
+      gathered.insert(gathered.end(), part.begin(), part.end());
+    }
+    EXPECT_EQ(std::memcmp(gathered.data(), flat.data(), flat.size()), 0)
+        << "n=" << n;
+    // Large payloads must be referenced, not copied: the metadata buffer
+    // stays header-sized.
+    if (n * sizeof(float) >= kGatherInlineMax) {
+      EXPECT_LT(meta.size(), kGatherInlineMax);
+      EXPECT_EQ(sv.part_count(), 2u);
+    }
+  }
+}
+
+TEST(TypedPlanTest, RejectsCorruptStreams) {
+  std::vector<float> v(4, 1.0f);
+  ByteBuffer buf;
+  serialize_span(std::span<const float>(v), buf);
+
+  // Bad magic.
+  ByteBuffer bad;
+  bad.append(buf.span());
+  bad.overwrite_at(0, std::uint32_t{0xDEADBEEF});
+  bad.seek(0);
+  std::vector<float> out;
+  EXPECT_FALSE(deserialize_span(bad, out).is_ok());
+
+  // Wrong element type: a float[] stream is not an int32[] stream.
+  buf.seek(0);
+  std::vector<std::int32_t> ints;
+  EXPECT_FALSE(deserialize_span(buf, ints).is_ok());
+
+  // Truncated payload.
+  ByteBuffer cut;
+  cut.append(ByteSpan{buf.data(), buf.size() - 3});
+  cut.seek(0);
+  EXPECT_FALSE(deserialize_span(cut, out).is_ok());
+}
+
+}  // namespace
+}  // namespace motor::typed
