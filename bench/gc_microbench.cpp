@@ -1,112 +1,403 @@
-// GC microbenchmarks: allocation throughput, collection pause versus live
-// set, and — the §4.3 concern — what conditional pin entries cost the
-// collector's mark phase ("checking the status of an operation causes the
-// garbage collector minimal extra work during the mark phase").
-#include <benchmark/benchmark.h>
+// GC pause behaviour under live parameter-server traffic: the
+// pause-bounded (incremental) collector versus the stop-the-world
+// baseline at production heap sizes.
+//
+// Two ranks: rank 0 serves a PS shard and verifies the final table
+// against the closed-form expectation; rank 1 builds a large live elder
+// graph (chains rooted in a handle range), then pushes deltas while
+// churning its heap — young garbage plus occasional insertions into the
+// elder graph, every reference store barriered. Pause statistics come
+// from the worker heap's per-pause histogram, restricted to the
+// measurement window by differencing the bucket counts.
+//
+// Modes per run:
+//   off  traffic only, no churn (no collections in the window): the
+//        throughput ceiling the loss numbers are measured against;
+//   stw  churn with the stop-the-world collector (incremental=false);
+//   inc  churn with incremental marking + pin-aware regions.
+//
+// Flags (fig9/fig10 conventions): --smoke (small heap, exercised by
+// scripts/verify.sh; exits non-zero if any run fails or the incremental
+// max pause exceeds the stop-the-world max), --json=PATH (snapshot,
+// e.g. BENCH_gc.json). The full run additionally gates on the ISSUE
+// acceptance numbers: incremental max pause <= 1/5 of the STW max and
+// <= 10% traffic throughput loss at a 256 MiB live heap.
+#include <algorithm>
+#include <array>
+#include <cstdio>
+#include <cstring>
+#include <mutex>
+#include <string>
+#include <vector>
 
+#include "motor/motor_runtime.hpp"
+#include "pal/clock.hpp"
+#include "ps/ps.hpp"
 #include "vm/handles.hpp"
-#include "vm/vm.hpp"
 
+namespace motor::ps {
 namespace {
 
-using namespace motor;
+constexpr std::uint64_t kKeys = 64;
+constexpr int kValueLen = 32;       // 128-byte payload per push
+constexpr std::size_t kHeads = 512; // root slots anchoring the live graph
 
-vm::VmConfig heap_config(std::size_t young = 1 << 20) {
-  vm::VmConfig c;
-  c.profile = vm::RuntimeProfile::uncosted();
-  c.heap.young_bytes = young;
-  return c;
+enum class GcMode { kOff, kStw, kIncremental };
+
+const char* mode_name(GcMode m) {
+  switch (m) {
+    case GcMode::kOff: return "off";
+    case GcMode::kStw: return "stw";
+    default: return "inc";
+  }
 }
 
-void BM_AllocSmallObjects(benchmark::State& state) {
-  vm::Vm vm(heap_config(8 << 20));
-  vm::ManagedThread thread(vm);
-  const vm::MethodTable* node = vm.types()
-                                    .define_class("N")
-                                    .field("a", vm::ElementKind::kInt64)
-                                    .field("b", vm::ElementKind::kInt64)
-                                    .build();
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(vm.heap().alloc_object(node));
-  }
-  state.counters["collections"] =
-      static_cast<double>(vm.heap().stats().collections);
-}
-BENCHMARK(BM_AllocSmallObjects);
+struct Params {
+  std::size_t live_bytes;   // elder live set built before measuring
+  std::size_t young_bytes;
+  int pushes;
+  int churn_per_push;       // young allocations per push (0 in off mode)
+  std::uint64_t wire_ns;
+};
 
-void BM_AllocArrays(benchmark::State& state) {
-  vm::Vm vm(heap_config(8 << 20));
-  vm::ManagedThread thread(vm);
-  const vm::MethodTable* ints =
-      vm.types().primitive_array(vm::ElementKind::kInt32);
-  const auto n = state.range(0);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(vm.heap().alloc_array(ints, n));
-  }
-  state.SetBytesProcessed(state.iterations() * n * 4);
+Params params(bool smoke) {
+  Params p;
+  p.live_bytes = smoke ? 16u << 20 : 256u << 20;
+  p.young_bytes = smoke ? 1u << 20 : 4u << 20;
+  p.pushes = smoke ? 256 : 4096;
+  p.churn_per_push = smoke ? 256 : 256;
+  p.wire_ns = smoke ? 2'000 : 13'000;
+  return p;
 }
-BENCHMARK(BM_AllocArrays)->Arg(16)->Arg(256)->Arg(4096);
 
-/// Collection pause as the live set grows (promoted survivors are traced
-/// every cycle).
-void BM_CollectionPause(benchmark::State& state) {
-  vm::Vm vm(heap_config(1 << 20));
-  vm::ManagedThread thread(vm);
-  const vm::MethodTable* node =
-      vm.types()
-          .define_class("L")
-          .ref_field("next", vm.types().object_type(), true)
-          .field("v", vm::ElementKind::kInt64)
-          .build();
-  vm::GcRoot head(thread, nullptr);
-  for (int i = 0; i < state.range(0); ++i) {
-    vm::Obj n = vm.heap().alloc_object(node);
-    vm::set_ref_field(n, 0, head.get());
-    head.set(n);
-  }
-  for (auto _ : state) {
-    vm.heap().collect();
-  }
-  state.counters["live_objects"] = static_cast<double>(state.range(0));
-}
-BENCHMARK(BM_CollectionPause)->Arg(100)->Arg(1000)->Arg(10000);
+/// Pause-histogram bucket counts restricted to a measurement window
+/// (after minus before). Quantiles report the bucket's upper bound, the
+/// max the top non-empty bucket's upper bound clamped to the heap's
+/// exact lifetime max.
+struct WindowHist {
+  std::array<std::uint64_t, vm::PauseHistogram::kBuckets> counts{};
+  std::uint64_t samples = 0;
+  std::uint64_t exact_max_ns = 0;  // lifetime max: upper clamp only
 
-/// Mark-phase cost of N outstanding conditional pin entries (incomplete
-/// requests, so every entry is checked and kept each cycle).
-void BM_CollectWithConditionalPins(benchmark::State& state) {
-  vm::Vm vm(heap_config(1 << 20));
-  vm::ManagedThread thread(vm);
-  const vm::MethodTable* ints =
-      vm.types().primitive_array(vm::ElementKind::kInt32);
-  vm::RootRange buffers(thread);
-  std::vector<mpi::Request> requests;
-  for (int i = 0; i < state.range(0); ++i) {
-    buffers.add(vm.heap().alloc_array(ints, 16));
-    auto req = std::make_shared<mpi::RequestState>();  // stays incomplete
-    vm.heap().add_conditional_pin(buffers[static_cast<std::size_t>(i)], req);
-    requests.push_back(std::move(req));
+  static WindowHist diff(const vm::PauseHistogram& before,
+                         const vm::PauseHistogram& after) {
+    WindowHist w;
+    for (int b = 0; b < vm::PauseHistogram::kBuckets; ++b) {
+      const auto i = static_cast<std::size_t>(b);
+      w.counts[i] = after.counts[i] - before.counts[i];
+      w.samples += w.counts[i];
+    }
+    w.exact_max_ns = after.max_ns;
+    return w;
   }
-  for (auto _ : state) {
-    vm.heap().collect();
-  }
-  state.counters["cond_pins"] = static_cast<double>(state.range(0));
-}
-BENCHMARK(BM_CollectWithConditionalPins)->Arg(0)->Arg(64)->Arg(1024);
 
-/// The heap verifier (diagnostic walk) as a coverage-ish throughput probe.
-void BM_HeapVerify(benchmark::State& state) {
-  vm::Vm vm(heap_config(4 << 20));
-  vm::ManagedThread thread(vm);
-  const vm::MethodTable* ints =
-      vm.types().primitive_array(vm::ElementKind::kInt32);
-  vm::RootRange keep(thread);
-  for (int i = 0; i < 2000; ++i) keep.add(vm.heap().alloc_array(ints, 8));
-  for (auto _ : state) {
-    vm.heap().verify_heap();
+  [[nodiscard]] std::uint64_t quantile_ns(double q) const {
+    if (samples == 0) return 0;
+    const auto rank =
+        static_cast<std::uint64_t>(q * static_cast<double>(samples - 1));
+    std::uint64_t seen = 0;
+    for (int b = 0; b < vm::PauseHistogram::kBuckets; ++b) {
+      seen += counts[static_cast<std::size_t>(b)];
+      if (seen > rank) {
+        const std::uint64_t hi = (std::uint64_t{2} << b) - 1;
+        return std::min(hi, exact_max_ns);
+      }
+    }
+    return exact_max_ns;
   }
+  [[nodiscard]] std::uint64_t max_ns() const { return quantile_ns(1.0); }
+};
+
+struct CaseResult {
+  GcMode gc = GcMode::kOff;
+  int pushes = 0;
+  double elapsed_s = 0.0;
+  double pushes_per_sec = 0.0;
+  double loss_pct = 0.0;  // vs the off-mode ceiling (filled by run())
+  std::size_t live_bytes = 0;
+  // Collector activity inside the measurement window.
+  std::uint64_t collections = 0;
+  std::uint64_t incremental_cycles = 0;
+  std::uint64_t mark_slices = 0;
+  std::uint64_t barrier_shades = 0;
+  std::uint64_t remset_records = 0;
+  // Per-phase totals (ns) inside the window.
+  std::uint64_t pin_ns = 0, root_ns = 0, mark_phase_ns = 0;
+  std::uint64_t reloc_ns = 0, sweep_phase_ns = 0;
+  WindowHist pauses;
+  bool ok = false;
+};
+
+/// One mode: build the live graph, then push under churn and difference
+/// the worker heap's counters across the measurement window.
+CaseResult run_case(GcMode gc, const Params& p) {
+  CaseResult res;
+  res.gc = gc;
+  res.pushes = p.pushes;
+
+  mp::MotorWorldConfig wc;
+  wc.ranks = 2;
+  wc.vm.profile = vm::RuntimeProfile::uncosted();
+  wc.vm.heap.young_bytes = p.young_bytes;
+  wc.vm.heap.incremental = (gc == GcMode::kIncremental);
+  wc.world.wire_latency_ns = p.wire_ns;
+
+  std::mutex mu;
+  bool converged = true;
+  std::uint64_t elapsed_ns = 0;
+
+  run_motor_world(wc, [&](mp::MotorContext& ctx) {
+    PsConfig pc;
+    pc.servers = 1;
+    pc.serve_timeout_ns = 600ull * 1000 * 1000 * 1000;
+    pc.op_timeout_ns = 600ull * 1000 * 1000 * 1000;
+    PsNode node(ctx, pc);
+    if (node.is_server()) {
+      const bool served = node.server().Serve().is_ok();
+      // Single worker: every lane of key k must equal pushes / kKeys.
+      const auto per_key =
+          static_cast<float>(static_cast<std::uint64_t>(p.pushes) / kKeys);
+      bool table_ok = served && node.server().table_size() == kKeys;
+      for (std::uint64_t k = 0; table_ok && k < kKeys; ++k) {
+        std::vector<float> v;
+        table_ok = node.server().Lookup(k, &v) &&
+                   v.size() == static_cast<std::size_t>(kValueLen);
+        for (std::size_t j = 0; table_ok && j < v.size(); ++j) {
+          table_ok = v[j] == per_key;
+        }
+      }
+      std::lock_guard<std::mutex> lk(mu);
+      converged = converged && table_ok;
+      return;
+    }
+
+    // ---- worker: live graph + churn under traffic ----
+    vm::Vm& wvm = ctx.vm();
+    vm::ManagedThread& t = ctx.thread();
+    vm::ManagedHeap& heap = wvm.heap();
+    const vm::MethodTable* node_mt =
+        wvm.types()
+            .define_class("ChurnNode")
+            .field("value", vm::ElementKind::kInt64)
+            .ref_field("next", wvm.types().object_type(), true)
+            .build();
+    auto make_node = [&](std::int64_t value, vm::Obj next) {
+      vm::GcRoot next_root(t, next);
+      vm::Obj n = heap.alloc_object(node_mt);
+      vm::set_field(n, 0, value);
+      heap.store_ref_field(n, 8, next_root.get());
+      return n;
+    };
+
+    // The live set: kHeads chains grown round-robin until the elder
+    // generation holds the target bytes (collections during the build
+    // promote everything, since every node is rooted).
+    vm::RootRange heads(t);
+    for (std::size_t i = 0; i < kHeads; ++i) heads.add(nullptr);
+    std::int64_t serial = 0;
+    while (heap.elder_bytes() < p.live_bytes) {
+      const std::size_t k = static_cast<std::size_t>(serial) % kHeads;
+      heads[k] = make_node(serial, heads.at(k));
+      ++serial;
+    }
+    heap.collect();  // start the window with an empty nursery
+
+    vm::GcRoot churn_head(t, nullptr);
+    auto churn = [&](int n) {
+      for (int j = 0; j < n; ++j) {
+        vm::Obj c = make_node(++serial, churn_head.get());
+        if (serial % 64 == 0) {
+          // Insert into the elder graph behind a head node: a young
+          // object now referenced from the elder generation (remembered
+          // set + barrier work), without severing the chain.
+          vm::Obj head = heads.at(static_cast<std::size_t>(serial) % kHeads);
+          heap.store_ref_field(c, 8, vm::get_ref_field(head, 8));
+          heap.store_ref_field(head, 8, c);
+        }
+        // Drop the churn chain periodically so the garbage dies young.
+        churn_head.set(serial % 16 == 0 ? nullptr : c);
+      }
+    };
+
+    const vm::GcStats before = heap.stats();
+    PsClient& cl = node.client();
+    std::vector<float> delta(kValueLen, 1.0f);
+    bool ok = true;
+    const std::uint64_t t0 = pal::monotonic_ns();
+    for (int i = 0; ok && i < p.pushes; ++i) {
+      ok = cl.Push(static_cast<std::uint64_t>(i) % kKeys, delta).is_ok();
+      if (gc != GcMode::kOff) churn(p.churn_per_push);
+    }
+    ok = ok && cl.Flush().is_ok();
+    const std::uint64_t elapsed = pal::monotonic_ns() - t0;
+    const vm::GcStats after = heap.stats();
+    ok = ok && cl.Close().is_ok();
+
+    std::lock_guard<std::mutex> lk(mu);
+    converged = converged && ok;
+    elapsed_ns = elapsed;
+    res.live_bytes = heap.elder_bytes();
+    res.collections = after.collections - before.collections;
+    res.incremental_cycles =
+        after.incremental_cycles - before.incremental_cycles;
+    res.mark_slices = after.mark_slices - before.mark_slices;
+    res.barrier_shades = after.barrier_shades - before.barrier_shades;
+    res.remset_records = after.remset_records - before.remset_records;
+    res.pin_ns = after.pin_resolve_ns - before.pin_resolve_ns;
+    res.root_ns = after.root_scan_ns - before.root_scan_ns;
+    res.mark_phase_ns = after.mark_ns - before.mark_ns;
+    res.reloc_ns = after.relocate_ns - before.relocate_ns;
+    res.sweep_phase_ns = after.sweep_ns - before.sweep_ns;
+    res.pauses = WindowHist::diff(before.pause_hist, after.pause_hist);
+  });
+
+  res.ok = converged;
+  res.elapsed_s = static_cast<double>(elapsed_ns) / 1e9;
+  res.pushes_per_sec =
+      res.elapsed_s > 0 ? static_cast<double>(p.pushes) / res.elapsed_s : 0.0;
+  return res;
 }
-BENCHMARK(BM_HeapVerify);
+
+double ms(std::uint64_t ns) { return static_cast<double>(ns) / 1e6; }
+
+int run(bool smoke, const std::string& json_path) {
+  const Params p = params(smoke);
+  std::printf("# gc_microbench (%s): live %zu MiB, young %zu KiB, "
+              "%d pushes, churn %d allocs/push, wire %llu ns\n",
+              smoke ? "smoke" : "full", p.live_bytes >> 20,
+              p.young_bytes >> 10, p.pushes, p.churn_per_push,
+              static_cast<unsigned long long>(p.wire_ns));
+  std::printf("%5s %10s %9s %8s %7s %7s %10s %10s %10s %8s\n", "mode",
+              "pushes/s", "loss_pct", "gcs", "cycles", "slices",
+              "p50_ms", "p99_ms", "max_ms", "ok");
+  std::fflush(stdout);
+
+  std::vector<CaseResult> rows;
+  for (GcMode gc : {GcMode::kOff, GcMode::kStw, GcMode::kIncremental}) {
+    CaseResult r = run_case(gc, p);
+    if (!rows.empty() && rows.front().pushes_per_sec > 0) {
+      r.loss_pct =
+          100.0 * (1.0 - r.pushes_per_sec / rows.front().pushes_per_sec);
+    }
+    std::printf("%5s %10.0f %9.1f %8llu %7llu %7llu %10.3f %10.3f %10.3f "
+                "%8s\n",
+                mode_name(r.gc), r.pushes_per_sec, r.loss_pct,
+                static_cast<unsigned long long>(r.collections),
+                static_cast<unsigned long long>(r.incremental_cycles),
+                static_cast<unsigned long long>(r.mark_slices),
+                ms(r.pauses.quantile_ns(0.5)), ms(r.pauses.quantile_ns(0.99)),
+                ms(r.pauses.max_ns()), r.ok ? "yes" : "NO");
+    std::printf("#       phases: pin %.1f root %.1f mark %.1f reloc %.1f "
+                "sweep %.1f ms\n",
+                ms(r.pin_ns), ms(r.root_ns), ms(r.mark_phase_ns),
+                ms(r.reloc_ns), ms(r.sweep_phase_ns));
+    std::fflush(stdout);
+    rows.push_back(r);
+  }
+
+  const CaseResult& stw = rows[1];
+  const CaseResult& inc = rows[2];
+  bool pass = rows[0].ok && stw.ok && inc.ok;
+  // Both GC modes must actually have collected inside the window, or
+  // the pause comparison is vacuous.
+  pass = pass && stw.collections > 0 && inc.collections > 0;
+
+  const double ratio =
+      inc.pauses.max_ns() > 0 ? static_cast<double>(stw.pauses.max_ns()) /
+                                    static_cast<double>(inc.pauses.max_ns())
+                              : 0.0;
+  std::printf("# max pause: stw %.3f ms, inc %.3f ms (%.1fx shorter)\n",
+              ms(stw.pauses.max_ns()), ms(inc.pauses.max_ns()), ratio);
+  std::printf("# traffic loss vs no-churn ceiling: stw %.1f%%, inc %.1f%%\n",
+              stw.loss_pct, inc.loss_pct);
+  // Throughput cost of the incremental machinery itself (barrier, root
+  // re-scans, slice scheduling), measured against STW doing the same GC
+  // work in the same window. The vs-off losses above mostly price GC
+  // work as such, which both modes pay equally.
+  const double inc_vs_stw_loss =
+      stw.pushes_per_sec > 0
+          ? 100.0 * (1.0 - inc.pushes_per_sec / stw.pushes_per_sec)
+          : 0.0;
+  std::printf("# incremental overhead vs stw throughput: %.1f%%\n",
+              inc_vs_stw_loss);
+  if (smoke) {
+    pass = pass && inc.pauses.max_ns() <= stw.pauses.max_ns();
+  } else {
+    // The ISSUE acceptance gates, full mode only: incremental max pause
+    // at most 1/5 of STW, and at most 10% throughput lost to the
+    // incremental machinery.
+    pass = pass && inc.pauses.max_ns() * 5 <= stw.pauses.max_ns();
+    pass = pass && inc_vs_stw_loss <= 10.0;
+  }
+  std::printf("# gates (%s): %s\n", smoke ? "smoke" : "full",
+              pass ? "PASS" : "FAIL");
+
+  if (!json_path.empty()) {
+    std::FILE* f = std::fopen(json_path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+      return 1;
+    }
+    std::fprintf(f, "{\n  \"bench\": \"gc_microbench\",\n");
+    std::fprintf(f, "  \"mode\": \"%s\",\n", smoke ? "smoke" : "full");
+    std::fprintf(f,
+                 "  \"live_mib\": %zu,\n  \"young_kib\": %zu,\n"
+                 "  \"pushes\": %d,\n  \"churn_per_push\": %d,\n"
+                 "  \"wire\": {\"latency_ns_per_hop\": %llu},\n",
+                 p.live_bytes >> 20, p.young_bytes >> 10, p.pushes,
+                 p.churn_per_push,
+                 static_cast<unsigned long long>(p.wire_ns));
+    std::fprintf(f, "  \"max_pause_ratio_stw_over_inc\": %.2f,\n", ratio);
+    std::fprintf(f, "  \"inc_throughput_loss_pct\": %.2f,\n", inc_vs_stw_loss);
+    std::fprintf(f, "  \"inc_loss_vs_idle_pct\": %.2f,\n", inc.loss_pct);
+    std::fprintf(f, "  \"stw_loss_vs_idle_pct\": %.2f,\n", stw.loss_pct);
+    std::fprintf(f, "  \"gates_pass\": %s,\n", pass ? "true" : "false");
+    std::fprintf(f, "  \"rows\": [\n");
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      const CaseResult& r = rows[i];
+      std::fprintf(
+          f,
+          "    {\"gc\": \"%s\", \"pushes\": %d, \"elapsed_s\": %.3f, "
+          "\"pushes_per_sec\": %.0f, \"loss_pct\": %.2f, "
+          "\"live_mib\": %.1f, \"collections\": %llu, "
+          "\"incremental_cycles\": %llu, \"mark_slices\": %llu, "
+          "\"barrier_shades\": %llu, \"remset_records\": %llu, "
+          "\"pause_p50_ms\": %.3f, \"pause_p99_ms\": %.3f, "
+          "\"pause_max_ms\": %.3f, \"ok\": %s}%s\n",
+          mode_name(r.gc), r.pushes, r.elapsed_s, r.pushes_per_sec,
+          r.loss_pct, static_cast<double>(r.live_bytes) / (1 << 20),
+          static_cast<unsigned long long>(r.collections),
+          static_cast<unsigned long long>(r.incremental_cycles),
+          static_cast<unsigned long long>(r.mark_slices),
+          static_cast<unsigned long long>(r.barrier_shades),
+          static_cast<unsigned long long>(r.remset_records),
+          ms(r.pauses.quantile_ns(0.5)), ms(r.pauses.quantile_ns(0.99)),
+          ms(r.pauses.max_ns()), r.ok ? "true" : "false",
+          i + 1 < rows.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    std::printf("# wrote %s\n", json_path.c_str());
+  }
+  return pass ? 0 : 1;
+}
 
 }  // namespace
+}  // namespace motor::ps
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  bool smoke = false;
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--smoke") {
+      smoke = true;
+    } else if (arg.rfind("--json=", 0) == 0) {
+      json_path = arg.substr(7);
+    } else {
+      std::fprintf(stderr, "usage: %s [--smoke] [--json=PATH]\n", argv[0]);
+      return 2;
+    }
+  }
+  return motor::ps::run(smoke, json_path);
+}

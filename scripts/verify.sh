@@ -39,12 +39,52 @@ ctest --test-dir build -L ps --output-on-failure
 # managed interop in both directions, and the PS typed hot paths.
 ctest --test-dir build -L typed --output-on-failure
 
+# Pause-bounded GC tier (ctest -L gc): incremental-vs-STW seeded
+# reachable-set identity, write-barrier and remembered-set correctness,
+# conditional pins held across mark slices, pin-density region decisions
+# (wholesale promote / evacuate / donate), donated-region recycling, and
+# serializer byte-identity across GC modes and mid-cycle.
+ctest --test-dir build -L gc --output-on-failure
+
+# Both GC schedules against the rest of the stack: MOTOR_GC_INCREMENTAL
+# overrides every heap's collection mode at construction, so the ps and
+# fault tiers (comm threads, pooled buffers, pinned serializer sends)
+# and the A1 pinning ablation also run against the incremental
+# collector. The unprefixed runs above cover the stop-the-world default.
+# (The gc label itself must NOT run with the override: its property
+# suites pin one mode per world to compare the two.)
+MOTOR_GC_INCREMENTAL=1 ctest --test-dir build -L 'ps|fault' --output-on-failure
+timeout 300 ./build/bench/ablation_pinning >/dev/null
+MOTOR_GC_INCREMENTAL=1 timeout 300 ./build/bench/ablation_pinning >/dev/null
+
 # PS throughput smoke, strict (no `|| true`): a tiny coalesce-on/off grid
 # whose final table is checked against the closed-form expectation — the
 # binary exits non-zero on any convergence mismatch, so the coalescing
 # ablation cannot rot. The JSON lands in the build tree (the committed
 # BENCH_ps.json is the full sweep).
 timeout 300 ./build/bench/ps_throughput --smoke --json=build/ps_smoke.json
+
+# GC pause smoke, strict (no `|| true`): live PS traffic against a heap
+# at three GC settings (off / stop-the-world / incremental). The binary
+# exits non-zero if any run fails its closed-form convergence check, a
+# GC mode fails to collect inside the measurement window, or the
+# incremental max pause exceeds the stop-the-world max — so the
+# pause-bounding claim cannot rot. The JSON lands in the build tree (the
+# committed BENCH_gc.json is the full 256 MiB run).
+timeout 300 ./build/bench/gc_microbench --smoke --json=build/gc_smoke.json
+python3 - <<'EOF'
+import json
+gc = json.load(open("build/gc_smoke.json"))
+assert gc["gates_pass"] is True
+rows = {r["gc"]: r for r in gc["rows"]}
+assert set(rows) == {"off", "stw", "inc"}, rows.keys()
+assert rows["inc"]["incremental_cycles"] > 0
+assert rows["inc"]["mark_slices"] > 0
+assert rows["stw"]["pause_max_ms"] >= rows["inc"]["pause_max_ms"]
+print(f"gc smoke OK: stw max {rows['stw']['pause_max_ms']:.1f} ms, "
+      f"inc max {rows['inc']['pause_max_ms']:.1f} ms over "
+      f"{rows['inc']['mark_slices']} mark slices")
+EOF
 
 # fig10 smoke: tiny ping-pong sizes plus the wire-plan ablation and the
 # typed-transport ablation, strict (no `|| true`): the binary exits
@@ -100,8 +140,17 @@ EOF
 # the cross-process tier (shm ring index discipline, socket partial-write
 # resync, launcher teardown) under ASan + UBSan.
 cmake -B build-asan -S . -DMOTOR_SANITIZE=ON >/dev/null
-cmake --build build-asan -j "$(nproc)" --target test_fault --target test_collectives --target test_ps --target test_ps_fault --target test_typed --target test_channel_conformance --target test_proc_fault --target test_launch --target launch_rank_helper
-ctest --test-dir build-asan -L 'fault|collectives|ps|procs|typed' --output-on-failure
+cmake --build build-asan -j "$(nproc)" --target test_fault --target test_collectives --target test_ps --target test_ps_fault --target test_typed --target test_channel_conformance --target test_proc_fault --target test_launch --target launch_rank_helper --target test_gc
+ctest --test-dir build-asan -L 'fault|collectives|ps|procs|typed|gc' --output-on-failure
+
+# Race tier: the same GC suite plus the parameter server under
+# ThreadSanitizer. The write barrier runs on mutator and PS comm threads
+# concurrently with GC slices; the side-mark design (bitmap + flat set
+# behind mark_mu_, no header-word marking) is exactly the part TSan can
+# falsify, so it gets its own tree.
+cmake -B build-tsan -S . -DMOTOR_SANITIZE=thread >/dev/null
+cmake --build build-tsan -j "$(nproc)" --target test_gc --target test_ps --target test_ps_fault
+ctest --test-dir build-tsan -L 'gc|ps' --output-on-failure
 
 # fig9 smoke: the full sweep takes minutes; a capped run via the pingpong
 # spec is not exposed on the CLI, so just run the cheapest ablation bench

@@ -522,7 +522,7 @@ Status MotorSerializer::deserialize(ByteBuffer& in, vm::ManagedThread& thread,
           if (rid >= static_cast<std::int32_t>(object_count)) {
             return Status(ErrorCode::kSerialization, "bad object ref");
           }
-          vm::set_ref_element(obj, i, resolve(rid));
+          vm_.heap().store_ref_element(obj, i, resolve(rid));
         }
       } else {
         MOTOR_RETURN_IF_ERROR(
@@ -553,7 +553,7 @@ Status MotorSerializer::deserialize(ByteBuffer& in, vm::ManagedThread& thread,
           if (rid >= static_cast<std::int32_t>(object_count)) {
             return Status(ErrorCode::kSerialization, "bad object ref");
           }
-          vm::set_ref_field(obj, op.offset, resolve(rid));
+          vm_.heap().store_ref_field(obj, op.offset, resolve(rid));
         }
       }
       continue;
@@ -565,7 +565,7 @@ Status MotorSerializer::deserialize(ByteBuffer& in, vm::ManagedThread& thread,
         if (rid >= static_cast<std::int32_t>(object_count)) {
           return Status(ErrorCode::kSerialization, "bad object ref");
         }
-        vm::set_ref_field(obj, f.offset(), resolve(rid));
+        vm_.heap().store_ref_field(obj, f.offset(), resolve(rid));
       } else {
         MOTOR_RETURN_IF_ERROR(
             in.read({vm::obj_data(obj) + f.offset(), f.size()}));
@@ -612,7 +612,8 @@ Status MotorSerializer::deserialize_merge(std::span<ByteBuffer> pieces,
     merged = merged_root.get();  // re-read in case a collection moved it
     if (arr_mt->element_kind() == vm::ElementKind::kObjectRef) {
       for (std::int64_t i = 0; i < n; ++i) {
-        vm::set_ref_element(merged, at + i, vm::get_ref_element(sub, i));
+        vm_.heap().store_ref_element(merged, at + i,
+                                     vm::get_ref_element(sub, i));
       }
     } else {
       std::memcpy(vm::array_data(merged) +

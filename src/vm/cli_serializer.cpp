@@ -206,7 +206,7 @@ Status CliBinarySerializer::deserialize(ByteBuffer& in, ManagedThread& thread,
         for (std::int64_t i = 0; i < n; ++i) {
           std::int32_t rid = 0;
           MOTOR_RETURN_IF_ERROR(in.get(rid));
-          set_ref_element(obj, i, resolve(rid));
+          vm_.heap().store_ref_element(obj, i, resolve(rid));
         }
       } else {
         MOTOR_RETURN_IF_ERROR(in.read(
@@ -218,7 +218,7 @@ Status CliBinarySerializer::deserialize(ByteBuffer& in, ManagedThread& thread,
       if (f.is_reference()) {
         std::int32_t rid = 0;
         MOTOR_RETURN_IF_ERROR(in.get(rid));
-        set_ref_field(obj, f.offset(), resolve(rid));
+        vm_.heap().store_ref_field(obj, f.offset(), resolve(rid));
       } else {
         MOTOR_RETURN_IF_ERROR(in.read({obj_data(obj) + f.offset(), f.size()}));
       }

@@ -1,6 +1,16 @@
 // Collection phases of the two-generation collector. See heap.hpp for the
 // overall design and the paper sections each mechanism reproduces.
+//
+// Both modes share one machinery: a cycle = begin (pin resolve + root
+// snapshot), marking, a relocation pause (root re-scan, residual drain,
+// per-region promotion decisions, fixup), then an elder sweep when due.
+// The baseline runs the whole cycle inside a single stop-the-world pause;
+// incremental mode spreads marking and sweeping over bounded slices with
+// mutators running in between, kept sound by the Dijkstra write barrier
+// (barrier_slow) and the final root re-scan.
 #include <algorithm>
+#include <cstring>
+#include <limits>
 
 #include "pal/clock.hpp"
 #include "vm/heap.hpp"
@@ -10,21 +20,16 @@ namespace motor::vm {
 
 namespace {
 
-/// Root visitor that marks reachable objects into a worklist.
-class MarkVisitor final : public RootVisitor {
+/// Root visitor that collects live root targets for shading.
+class ShadeVisitor final : public RootVisitor {
  public:
-  MarkVisitor(ManagedHeap& heap, std::vector<Obj>& worklist,
-              void (ManagedHeap::*trace)(Obj, std::vector<Obj>&))
-      : heap_(heap), worklist_(worklist), trace_(trace) {}
-
+  explicit ShadeVisitor(std::vector<Obj>& out) : out_(out) {}
   void visit(Obj* slot) override {
-    if (*slot != nullptr) (heap_.*trace_)(*slot, worklist_);
+    if (*slot != nullptr) out_.push_back(*slot);
   }
 
  private:
-  ManagedHeap& heap_;
-  std::vector<Obj>& worklist_;
-  void (ManagedHeap::*trace_)(Obj, std::vector<Obj>&);
+  std::vector<Obj>& out_;
 };
 
 /// Root visitor that repoints slots at promoted objects.
@@ -39,54 +44,92 @@ class FixupVisitor final : public RootVisitor {
 
 }  // namespace
 
-void ManagedHeap::collect_locked(bool force_elder_sweep) {
-  pal::Stopwatch pause;
-  ++stats_.collections;
+// ---- side marks ----
+//
+// Liveness lives outside object headers: a bitmap over the young arena
+// (bit per alignment slot) and a set of marked elder objects. Mutator
+// shading (the barrier) and GC slices serialize on mark_mu_; mutators
+// never read or write header words the GC touches, which keeps the
+// barrier TSan-clean.
 
-  // Mark phase, beginning with pin resolution: this is where Motor's
-  // request-status-dependent pins are honoured or retired (§4.3).
-  resolve_conditional_pins();
-  mark_from_roots();
-
-  // Plan and promote the young generation.
-  std::vector<YoungRecord> records = scan_young();
-  bool any_pinned_survivor = false;
-  promote_young(records, any_pinned_survivor);
-  fixup_references(records);
-
-  if (any_pinned_survivor) {
-    // "The entire block of younger generational memory is assigned to the
-    // elder generation, thereby promoting pinned objects" (§5.2).
-    donate_young_block(records);
-    ++stats_.young_blocks_donated;
-  } else {
-    young_used_ = 0;
+bool ManagedHeap::try_mark_unlocked(Obj obj) {
+  const auto* b = reinterpret_cast<const std::byte*>(obj);
+  if (b >= young_base_ && b < young_base_ + config_.young_bytes &&
+      region_is_young_[(static_cast<std::size_t>(b - young_base_)) >>
+                       region_shift_] != 0) {
+    const std::size_t slot =
+        static_cast<std::size_t>(b - young_base_) / kObjectAlignment;
+    std::uint64_t& word = young_mark_bits_[slot / 64];
+    const std::uint64_t bit = std::uint64_t{1} << (slot % 64);
+    if ((word & bit) != 0) return false;
+    word |= bit;
+    return true;
   }
-
-  const bool sweep =
-      force_elder_sweep ||
-      ++collections_since_sweep_ >= config_.elder_sweep_interval;
-  if (sweep) {
-    sweep_elder();
-    collections_since_sweep_ = 0;
-    ++stats_.elder_sweeps;
-  }
-  clear_marks();
-
-  for (const GcHook& hook : gc_hooks_) hook.fn(hook.ctx, stats_.collections);
-  stats_.total_pause_ns += pause.elapsed_ns();
+  // Young cycles never mark (or trace into) the elder graph: elder is
+  // implicitly live until the next full cycle, and its young references
+  // are covered by the remembered set.
+  if (!cycle_full_) return false;
+  return marked_elder_.insert(obj);
 }
 
+bool ManagedHeap::is_side_marked_unlocked(Obj obj) const {
+  const auto* b = reinterpret_cast<const std::byte*>(obj);
+  if (b >= young_base_ && b < young_base_ + config_.young_bytes &&
+      region_is_young_[(static_cast<std::size_t>(b - young_base_)) >>
+                       region_shift_] != 0) {
+    const std::size_t slot =
+        static_cast<std::size_t>(b - young_base_) / kObjectAlignment;
+    return (young_mark_bits_[slot / 64] &
+            (std::uint64_t{1} << (slot % 64))) != 0;
+  }
+  return marked_elder_.contains(obj);
+}
+
+void ManagedHeap::clear_side_marks() {
+  std::fill(young_mark_bits_.begin(), young_mark_bits_.end(), 0);
+  marked_elder_.clear();
+}
+
+// ---- mutator-facing slow paths ----
+
+void ManagedHeap::barrier_slow(Obj holder, Obj target) {
+  // Record elder objects that may now reference the young generation so
+  // the relocation fixup is bounded by the mutated set, and shade the
+  // stored target while a marking cycle is live (Dijkstra: the invariant
+  // "no black object points at a white one" is restored by greying the
+  // target).
+  const bool record =
+      holder != nullptr && !in_young(holder) && in_young(target);
+  const bool marking =
+      phase_.load(std::memory_order_relaxed) == GcPhase::kMarking;
+  if (!record && !marking) return;
+  std::lock_guard lk(mark_mu_);
+  if (record && remset_.insert(holder)) ++stats_.remset_records;
+  if (marking && try_mark_unlocked(target)) {
+    mark_worklist_.push_back(target);
+    ++stats_.barrier_shades;
+  }
+}
+
+void ManagedHeap::shade_external(Obj obj) {
+  if (obj == nullptr) return;
+  std::lock_guard lk(mark_mu_);
+  if (phase_.load(std::memory_order_relaxed) != GcPhase::kMarking) return;
+  if (try_mark_unlocked(obj)) {
+    mark_worklist_.push_back(obj);
+    ++stats_.barrier_shades;
+  }
+}
+
+// ---- pins ----
+
 void ManagedHeap::resolve_conditional_pins() {
-  gc_pinned_now_.clear();
-  gc_pin_set_.clear();
-
-  std::lock_guard lk(pin_mu_);
-  for (const auto& [obj, count] : pin_counts_) gc_pinned_now_.push_back(obj);
-
   // Conditional pins: hold iff the transport operation is still running;
   // otherwise "the pinning request is no longer necessary and is
-  // disregarded" (§7.4).
+  // disregarded" (§7.4). Re-run at every slice boundary so completed
+  // sends release their buffers without waiting for the cycle to end.
+  std::lock_guard lk(pin_mu_);
+  cond_held_.clear();
   auto keep = conditional_pins_.begin();
   for (auto& entry : conditional_pins_) {
     ++stats_.conditional_checked;
@@ -94,88 +137,403 @@ void ManagedHeap::resolve_conditional_pins() {
       ++stats_.conditional_dropped;
       continue;
     }
-    gc_pinned_now_.push_back(entry.obj);
+    cond_held_.insert(entry.obj);
     *keep++ = std::move(entry);
   }
   conditional_pins_.erase(keep, conditional_pins_.end());
-
-  for (Obj obj : gc_pinned_now_) gc_pin_set_.insert(obj);
-  stats_.pinned_at_collection += gc_pin_set_.size();
 }
 
-void ManagedHeap::trace_object(Obj obj, std::vector<Obj>& worklist) {
-  if (is_marked(obj)) return;
-  set_mark(obj);
-  worklist.push_back(obj);
-}
+// ---- marking ----
 
-void ManagedHeap::mark_from_roots() {
-  std::vector<Obj> worklist;
-  MarkVisitor visitor(*this, worklist, &ManagedHeap::trace_object);
-
-  // Pinned objects are roots: the transport is actively reading them.
-  for (Obj obj : gc_pinned_now_) trace_object(obj, worklist);
+void ManagedHeap::scan_roots(std::uint64_t& phase_ns) {
+  pal::Stopwatch sw;
+  std::vector<Obj> roots;
+  {
+    // Pinned objects are roots: the transport is actively reading them.
+    std::lock_guard lk(pin_mu_);
+    roots.reserve(pin_set_.size() + cond_held_.size());
+    for (Obj obj : pin_set_) roots.push_back(obj);
+    for (Obj obj : cond_held_) roots.push_back(obj);
+  }
   // Thread stacks, native GCPROTECT slots, interpreter frames.
+  ShadeVisitor visitor(roots);
   vm_.enumerate_roots(visitor);
   // Static reference fields.
   vm_.types().for_each_type([&](MethodTable* mt) {
     for (void*& slot : mt->static_ref_slots()) {
-      if (slot != nullptr) trace_object(static_cast<Obj>(slot), worklist);
+      if (slot != nullptr) roots.push_back(static_cast<Obj>(slot));
     }
   });
+  {
+    std::lock_guard lk(mark_mu_);
+    for (Obj obj : roots) {
+      if (try_mark_unlocked(obj)) mark_worklist_.push_back(obj);
+    }
+  }
+  phase_ns += sw.elapsed_ns();
+}
 
-  while (!worklist.empty()) {
-    Obj obj = worklist.back();
-    worklist.pop_back();
-    const MethodTable* mt = obj_mt(obj);
-    if (mt->is_array()) {
-      if (mt->element_kind() == ElementKind::kObjectRef) {
-        const std::int64_t n = array_length(obj);
-        for (std::int64_t i = 0; i < n; ++i) {
-          Obj elem = get_ref_element(obj, i);
-          if (elem != nullptr) trace_object(elem, worklist);
+void ManagedHeap::trace_children(Obj obj) {
+  const MethodTable* mt = obj_mt(obj);
+  if (mt->is_array()) {
+    if (mt->element_kind() == ElementKind::kObjectRef) {
+      const std::int64_t n = array_length(obj);
+      for (std::int64_t i = 0; i < n; ++i) {
+        Obj elem = get_ref_element(obj, i);
+        if (elem != nullptr && try_mark_unlocked(elem)) {
+          mark_worklist_.push_back(elem);
         }
       }
-    } else {
-      for (std::uint32_t off : mt->reference_offsets()) {
-        Obj field = get_ref_field(obj, off);
-        if (field != nullptr) trace_object(field, worklist);
-      }
+    }
+    return;
+  }
+  for (std::uint32_t off : mt->reference_offsets()) {
+    Obj field = get_ref_field(obj, off);
+    if (field != nullptr && try_mark_unlocked(field)) {
+      mark_worklist_.push_back(field);
     }
   }
 }
 
-std::vector<ManagedHeap::YoungRecord> ManagedHeap::scan_young() const {
+std::size_t ManagedHeap::drain_mark_worklist(std::size_t max_objects) {
+  std::size_t traced = 0;
+  while (!mark_worklist_.empty() && traced < max_objects) {
+    Obj obj = mark_worklist_.back();
+    mark_worklist_.pop_back();
+    trace_children(obj);
+    ++traced;
+  }
+  marked_this_cycle_ += traced;
+  return traced;
+}
+
+// ---- cycle phases (each runs inside one stop-the-world pause) ----
+
+void ManagedHeap::begin_cycle_locked(bool force_full) {
+  phase_.store(GcPhase::kMarking, std::memory_order_relaxed);
+  marked_this_cycle_ = 0;
+  fresh_elder_.clear();
+  // Generational schedule: trace the full graph only when this cycle
+  // may sweep the elder generation (the same condition finish_cycle
+  // checks); otherwise elder is implicitly live and the cycle's mark
+  // cost is bounded by the nursery.
+  const bool full =
+      !config_.incremental || force_full ||
+      collections_since_sweep_ + 1 >= config_.elder_sweep_interval;
+  {
+    std::lock_guard lk(mark_mu_);
+    cycle_full_ = full;
+    clear_side_marks();
+    if (full) marked_elder_.reserve(elder_entries_.size());
+    mark_worklist_.clear();
+  }
+  {
+    pal::Stopwatch sw;
+    resolve_conditional_pins();
+    stats_.pin_resolve_ns += sw.elapsed_ns();
+  }
+  scan_roots(stats_.root_scan_ns);
+  if (!full) {
+    // Young cycle: elder holders that stored young references since the
+    // last relocation are the only way elder reaches the nursery. Trace
+    // their children (the holders themselves stay unmarked); everything
+    // stored after this point is shaded by the write barrier.
+    std::lock_guard lk(mark_mu_);
+    remset_.for_each([this](Obj holder) { trace_children(holder); });
+  }
+
+  // Adaptive mark budget: with S = free_young / (2 * slice_alloc_step)
+  // slices expected before the nursery fills, each slice must trace
+  // roughly live_estimate / S objects for marking to finish comfortably
+  // ahead of exhaustion (which would force a synchronous full pause).
+  const std::size_t free_bytes =
+      config_.young_bytes - donated_bytes_ - young_used_;
+  const std::size_t step = std::max<std::size_t>(1, config_.slice_alloc_step);
+  const std::size_t slices = std::max<std::size_t>(1, free_bytes / (2 * step));
+  const std::uint64_t expect =
+      full ? std::max<std::uint64_t>(marked_last_full_, elder_entries_.size())
+           : std::max<std::uint64_t>(marked_last_young_,
+                                     young_used_ / 64 + 1);
+  mark_budget_ = std::max<std::size_t>(
+      config_.mark_slice_objects,
+      static_cast<std::size_t>(expect / slices) + 1);
+  bytes_since_slice_ = 0;
+}
+
+void ManagedHeap::mark_slice_locked() {
+  // Slice boundary: retire completed transport requests and make sure
+  // every currently held conditional pin is shaded (§4.3 across slices).
+  {
+    pal::Stopwatch sw;
+    resolve_conditional_pins();
+    stats_.pin_resolve_ns += sw.elapsed_ns();
+  }
+  std::vector<Obj> held;
+  {
+    std::lock_guard lk(pin_mu_);
+    held.assign(cond_held_.begin(), cond_held_.end());
+  }
+  pal::Stopwatch sw;
+  bool drained;
+  {
+    std::lock_guard lk(mark_mu_);
+    for (Obj obj : held) {
+      if (try_mark_unlocked(obj)) mark_worklist_.push_back(obj);
+    }
+    drain_mark_worklist(mark_budget_);
+    drained = mark_worklist_.empty();
+  }
+  stats_.mark_ns += sw.elapsed_ns();
+  ++stats_.mark_slices;
+  // Worklist dry: finish the cycle inside this same pause (this is the
+  // "final pause" the histogram's tail measures).
+  if (drained) finish_cycle_locked(false);
+}
+
+void ManagedHeap::finish_cycle_locked(bool force_elder_sweep) {
+  const bool inc = config_.incremental;
+  if (inc) {
+    // Mutators ran since the snapshot: re-resolve pins and re-scan roots
+    // (a reference held only in a stack slot has no store barrier).
+    {
+      pal::Stopwatch sw;
+      resolve_conditional_pins();
+      stats_.pin_resolve_ns += sw.elapsed_ns();
+    }
+    scan_roots(stats_.root_scan_ns);
+  }
+  {
+    pal::Stopwatch sw;
+    std::lock_guard lk(mark_mu_);
+    drain_mark_worklist(std::numeric_limits<std::size_t>::max());
+    stats_.mark_ns += sw.elapsed_ns();
+  }
+  if (cycle_full_) {
+    marked_last_full_ = marked_this_cycle_;
+  } else {
+    marked_last_young_ = marked_this_cycle_;
+  }
+  {
+    std::lock_guard lk(pin_mu_);
+    std::uint64_t distinct = pin_set_.size();
+    for (Obj obj : cond_held_) {
+      if (!pin_set_.contains(obj)) ++distinct;
+    }
+    stats_.pinned_at_collection += distinct;
+  }
+
+  {
+    pal::Stopwatch sw;
+    bool any_donated = false;
+    relocate_young_locked(any_donated);
+    stats_.relocate_ns += sw.elapsed_ns();
+  }
+
+  ++stats_.collections;
+  if (inc) {
+    ++stats_.incremental_cycles;
+    if (!cycle_full_) ++stats_.young_mark_cycles;
+  }
+
+  // Sweeping requires this cycle's marks to cover the whole graph; a
+  // forced sweep arriving at the end of a young cycle is handled by the
+  // caller (collect runs a second, full cycle).
+  ++collections_since_sweep_;
+  const bool sweep =
+      cycle_full_ &&
+      (force_elder_sweep ||
+       collections_since_sweep_ >= config_.elder_sweep_interval);
+  if (sweep) {
+    collections_since_sweep_ = 0;
+    if (inc) {
+      // Sweep in bounded slices: two-index compaction over the entry
+      // snapshot; entries appended by large allocations mid-sweep land
+      // beyond end_ and are never examined. The per-slice budget is
+      // paced like marking: finish comfortably within the allocation
+      // headroom the empty nursery provides.
+      sweep_read_ = 0;
+      sweep_write_ = 0;
+      sweep_end_ = elder_entries_.size();
+      const std::size_t step =
+          std::max<std::size_t>(1, config_.slice_alloc_step);
+      const std::size_t free_bytes =
+          config_.young_bytes - donated_bytes_ - young_used_;
+      const std::size_t slices =
+          std::max<std::size_t>(1, free_bytes / (2 * step));
+      sweep_budget_ = std::max<std::size_t>(config_.sweep_slice_entries,
+                                            sweep_end_ / slices + 1);
+      phase_.store(GcPhase::kSweeping, std::memory_order_relaxed);
+    } else {
+      pal::Stopwatch sw;
+      sweep_elder_full();
+      stats_.sweep_ns += sw.elapsed_ns();
+      ++stats_.elder_sweeps;
+      phase_.store(GcPhase::kIdle, std::memory_order_relaxed);
+    }
+  } else {
+    phase_.store(GcPhase::kIdle, std::memory_order_relaxed);
+  }
+  bytes_since_slice_ = 0;
+
+  for (const GcHook& hook : gc_hooks_) hook.fn(hook.ctx, stats_.collections);
+}
+
+void ManagedHeap::collect_locked(bool force_elder_sweep) {
+  // Baseline: the whole cycle in one pause. begin + finish back to back;
+  // finish skips the incremental-only re-scan, so conditional pins are
+  // examined exactly once per collection.
+  begin_cycle_locked(force_elder_sweep);
+  finish_cycle_locked(force_elder_sweep);
+}
+
+// ---- relocation ----
+
+std::vector<ManagedHeap::YoungRecord> ManagedHeap::scan_young(
+    std::vector<RegionPlan>& plans) {
   std::vector<YoungRecord> records;
-  const std::byte* p = young_base_;
-  while (p < young_base_ + young_used_) {
-    Obj obj = reinterpret_cast<Obj>(const_cast<std::byte*>(p));
-    const std::size_t size = object_total_bytes(obj);
-    records.push_back(
-        YoungRecord{obj, size, is_marked(obj), gc_pin_set_.contains(obj)});
-    p += size;
+  std::lock_guard pk(pin_mu_);
+  std::lock_guard mk(mark_mu_);
+  for (std::size_t r = 0; r < regions_.size(); ++r) {
+    const YoungRegion& reg = regions_[r];
+    if (reg.state == RegionState::kDonated || reg.used == 0) continue;
+    const std::byte* p = young_base_ + reg.base;
+    const std::byte* end = p + reg.used;
+    while (p < end) {
+      Obj obj = reinterpret_cast<Obj>(const_cast<std::byte*>(p));
+      const std::size_t size = object_total_bytes(obj);
+      const bool marked = is_side_marked_unlocked(obj);
+      const bool pinned =
+          pin_set_.contains(obj) || cond_held_.contains(obj);
+      records.push_back(
+          YoungRecord{obj, size, static_cast<int>(r), marked, pinned});
+      if (marked) {
+        plans[r].live_bytes += size;
+        ++plans[r].live_objects;
+        if (pinned) ++plans[r].pinned_objects;
+      }
+      p += size;
+    }
   }
   return records;
 }
 
-void ManagedHeap::promote_young(std::vector<YoungRecord>& records,
-                                bool& any_pinned_survivor) {
-  for (YoungRecord& rec : records) {
+void ManagedHeap::relocate_young_locked(bool& any_donated) {
+  std::vector<RegionPlan> plans(regions_.size());
+  std::vector<YoungRecord> records = scan_young(plans);
+
+  // Per-region decision: no pins -> evacuate (copy-promote survivors);
+  // pinned and live-dense -> promote the region wholesale in place;
+  // pinned but sparse -> evacuate unpinned survivors and donate the
+  // region with the pinned residents left where they are.
+  std::vector<std::uint8_t> donate(regions_.size(), 0);
+  std::vector<std::uint8_t> wholesale(regions_.size(), 0);
+  for (std::size_t r = 0; r < regions_.size(); ++r) {
+    const YoungRegion& reg = regions_[r];
+    if (reg.state == RegionState::kDonated || reg.used == 0) continue;
+    if (plans[r].pinned_objects > 0) {
+      any_donated = true;
+      donate[r] = 1;
+      const double density = static_cast<double>(plans[r].live_bytes) /
+                             static_cast<double>(reg.span);
+      if (config_.incremental && density >= config_.wholesale_density) {
+        wholesale[r] = 1;
+      }
+    } else if (plans[r].live_objects > 0) {
+      ++stats_.regions_evacuated;
+    }
+  }
+
+  // Pass 1: copy-promote survivors that move (compaction into elder).
+  for (const YoungRecord& rec : records) {
     if (!rec.marked) {
       ++stats_.dead_young_objects;
       continue;
     }
-    if (rec.pinned) {
-      any_pinned_survivor = true;
-      continue;  // not moved
+    if (rec.pinned || wholesale[static_cast<std::size_t>(rec.region)] != 0) {
+      continue;  // stays in place
     }
-    // Copy-promote with compaction into the elder generation.
     Obj copy = elder_alloc(rec.bytes);
     std::memcpy(copy, rec.obj, rec.bytes);
     set_forwarding(rec.obj, copy);
+    marked_elder_.insert(copy);
+    fresh_elder_.push_back(copy);
     ++stats_.promoted_objects;
     stats_.promoted_bytes += rec.bytes;
   }
+
+  // Pass 2: repoint every slot that can see a moved object. Baseline:
+  // roots + statics + all live elder + in-place survivors. Incremental:
+  // the elder scan is replaced by the remembered set (elder holders that
+  // stored young references since the last relocation) plus this cycle's
+  // fresh copies — bounded by mutation, not by heap size.
+  FixupVisitor visitor;
+  vm_.enumerate_roots(visitor);
+  vm_.types().for_each_type([&](MethodTable* mt) {
+    for (void*& slot : mt->static_ref_slots()) {
+      Obj obj = static_cast<Obj>(slot);
+      if (obj != nullptr && is_forwarded(obj)) slot = forwarding_target(obj);
+    }
+  });
+  if (!config_.incremental) {
+    for (const ElderEntry& e : elder_entries_) {
+      if (marked_elder_.contains(e.obj)) fixup_object_fields(e.obj);
+    }
+    for (const YoungRecord& rec : records) {
+      if (rec.marked && rec.pinned) fixup_object_fields(rec.obj);
+    }
+  } else {
+    for (Obj obj : fresh_elder_) fixup_object_fields(obj);
+    for (const YoungRecord& rec : records) {
+      if (rec.marked &&
+          (rec.pinned || wholesale[static_cast<std::size_t>(rec.region)])) {
+        fixup_object_fields(rec.obj);
+      }
+    }
+    std::lock_guard lk(mark_mu_);
+    remset_.for_each([this](Obj holder) { fixup_object_fields(holder); });
+  }
+
+  // Pass 3: donate pinned regions, reset the rest.
+  if (!config_.incremental) {
+    if (any_donated) {
+      // "The entire block of younger generational memory is assigned to
+      // the elder generation, thereby promoting pinned objects" (§5.2).
+      donate_region(0, records, /*promote_all_marked=*/false);
+    } else {
+      regions_[0].used = 0;
+      regions_[0].state = RegionState::kOpen;
+      open_region_ = 0;
+      young_used_ = 0;
+    }
+    return;
+  }
+  for (std::size_t r = 0; r < regions_.size(); ++r) {
+    if (regions_[r].state == RegionState::kDonated) continue;
+    if (donate[r] != 0) {
+      donate_region(static_cast<int>(r), records, wholesale[r] != 0);
+    } else {
+      regions_[r].used = 0;
+      regions_[r].state = RegionState::kFree;
+    }
+  }
+  young_used_ = 0;
+  open_region_ = 0;
+  for (std::size_t r = 0; r < regions_.size(); ++r) {
+    if (regions_[r].state == RegionState::kFree) {
+      regions_[r].state = RegionState::kOpen;
+      open_region_ = static_cast<int>(r);
+      break;
+    }
+  }
+  {
+    // Young is empty: every elder->young edge is gone, so the remembered
+    // set restarts from scratch.
+    std::lock_guard lk(mark_mu_);
+    remset_.clear();
+  }
+  trigger_bytes_ = static_cast<std::size_t>(
+      config_.incremental_trigger *
+      static_cast<double>(config_.young_bytes - donated_bytes_));
 }
 
 void ManagedHeap::fixup_slot(Obj* slot) {
@@ -206,50 +564,82 @@ void ManagedHeap::fixup_object_fields(Obj obj) {
   }
 }
 
-void ManagedHeap::fixup_references(const std::vector<YoungRecord>& records) {
-  FixupVisitor visitor;
-  vm_.enumerate_roots(visitor);
-  vm_.types().for_each_type([&](MethodTable* mt) {
-    for (void*& slot : mt->static_ref_slots()) {
-      Obj obj = static_cast<Obj>(slot);
-      if (obj != nullptr && is_forwarded(obj)) slot = forwarding_target(obj);
-    }
-  });
-
-  // Live elder objects (including this cycle's fresh promotions).
-  for (const ElderEntry& e : elder_entries_) {
-    if (is_marked(e.obj)) fixup_object_fields(e.obj);
-  }
-  // Pinned young survivors still sitting in the young block.
-  for (const YoungRecord& rec : records) {
-    if (rec.marked && rec.pinned) fixup_object_fields(rec.obj);
-  }
-}
-
-void ManagedHeap::donate_young_block(const std::vector<YoungRecord>& records) {
+void ManagedHeap::donate_region(int region,
+                                const std::vector<YoungRecord>& records,
+                                bool promote_all_marked) {
   auto block = std::make_unique<ElderBlock>();
-  block->storage = std::move(young_storage_);
-  block->bytes = config_.young_bytes;
   block->donated_young = true;
+  YoungRegion& reg = regions_[static_cast<std::size_t>(region)];
+  if (!config_.incremental) {
+    // Baseline: hand the whole nursery storage to the elder generation
+    // and allocate a fresh one (addresses of residents stay valid).
+    block->storage = std::move(young_storage_);
+    block->base = block->storage.get();
+    block->bytes = config_.young_bytes;
+  } else {
+    // Incremental: the region stays inside the arena on loan to elder;
+    // it returns to the young free pool when its last resident dies.
+    block->base = young_base_ + reg.base;
+    block->bytes = reg.span;
+    block->region = region;
+    reg.state = RegionState::kDonated;
+    reg.used = 0;
+    reg.pin_count = 0;
+    region_is_young_[static_cast<std::size_t>(region)] = 0;
+    donated_bytes_ += reg.span;
+  }
+  int promoted = 0;
   for (const YoungRecord& rec : records) {
-    if (rec.marked && rec.pinned) {
-      elder_entries_.push_back(ElderEntry{rec.obj, rec.bytes, block.get()});
-      ++block->live_objects;
-      elder_bytes_ += rec.bytes;
-    }
+    if (rec.region != region || !rec.marked) continue;
+    if (!promote_all_marked && !rec.pinned) continue;
+    elder_entries_.push_back(ElderEntry{rec.obj, rec.bytes, block.get()});
+    ++block->live_objects;
+    elder_bytes_ += rec.bytes;
+    marked_elder_.insert(rec.obj);
+    ++promoted;
   }
   MOTOR_CHECK(block->live_objects > 0, "donated young block with no pins");
+  if (promote_all_marked) {
+    ++stats_.regions_promoted_wholesale;
+    stats_.wholesale_promoted_objects += static_cast<std::uint64_t>(promoted);
+  } else {
+    ++stats_.regions_donated_sparse;
+  }
+  ++stats_.young_blocks_donated;
   elder_blocks_.push_back(std::move(block));
 
-  young_storage_ = std::make_unique<std::byte[]>(config_.young_bytes);
-  young_base_ = young_storage_.get();
-  young_used_ = 0;
+  if (!config_.incremental) init_young_arena();
 }
 
-void ManagedHeap::sweep_elder() {
+// ---- sweeping ----
+
+void ManagedHeap::release_dead_blocks() {
+  for (const auto& block : elder_blocks_) {
+    if (block->live_objects == 0 && block->region >= 0) {
+      // Recycle the donated arena region into the young free pool.
+      YoungRegion& reg = regions_[static_cast<std::size_t>(block->region)];
+      reg.state = RegionState::kFree;
+      reg.used = 0;
+      reg.pin_count = 0;
+      region_is_young_[static_cast<std::size_t>(block->region)] = 1;
+      donated_bytes_ -= reg.span;
+    }
+  }
+  if (elder_open_ != nullptr && elder_open_->live_objects == 0) {
+    elder_open_ = nullptr;  // its chunk is about to be freed
+  }
+  std::erase_if(elder_blocks_, [](const std::unique_ptr<ElderBlock>& b) {
+    return b->live_objects == 0;
+  });
+  trigger_bytes_ = static_cast<std::size_t>(
+      config_.incremental_trigger *
+      static_cast<double>(config_.young_bytes - donated_bytes_));
+}
+
+void ManagedHeap::sweep_elder_full() {
   auto keep = elder_entries_.begin();
   for (ElderEntry& e : elder_entries_) {
-    if (is_marked(e.obj)) {
+    if (marked_elder_.contains(e.obj)) {
       *keep++ = e;
       continue;
     }
@@ -262,13 +652,34 @@ void ManagedHeap::sweep_elder() {
 
   // Free blocks whose last object died (a donated young block lingers
   // until its final pinned resident is collected — real fragmentation).
-  std::erase_if(elder_blocks_, [](const std::unique_ptr<ElderBlock>& b) {
-    return b->live_objects == 0;
-  });
+  release_dead_blocks();
 }
 
-void ManagedHeap::clear_marks() {
-  for (const ElderEntry& e : elder_entries_) clear_mark(e.obj);
+void ManagedHeap::sweep_slice_locked() {
+  pal::Stopwatch sw;
+  std::size_t budget = std::max<std::size_t>(1, sweep_budget_);
+  while (budget > 0 && sweep_read_ < sweep_end_) {
+    const ElderEntry& e = elder_entries_[sweep_read_++];
+    if (marked_elder_.contains(e.obj)) {
+      elder_entries_[sweep_write_++] = e;
+    } else {
+      ++stats_.elder_freed_objects;
+      stats_.elder_freed_bytes += e.bytes;
+      elder_bytes_ -= e.bytes;
+      --e.block->live_objects;
+    }
+    --budget;
+  }
+  if (sweep_read_ >= sweep_end_) {
+    elder_entries_.erase(
+        elder_entries_.begin() + static_cast<std::ptrdiff_t>(sweep_write_),
+        elder_entries_.begin() + static_cast<std::ptrdiff_t>(sweep_end_));
+    release_dead_blocks();
+    ++stats_.elder_sweeps;
+    phase_.store(GcPhase::kIdle, std::memory_order_relaxed);
+  }
+  ++stats_.sweep_slices;
+  stats_.sweep_ns += sw.elapsed_ns();
 }
 
 }  // namespace motor::vm

@@ -1,7 +1,9 @@
 #include "vm/heap.hpp"
 
+#include <cstdlib>
 #include <cstring>
 
+#include "pal/clock.hpp"
 #include "vm/vm.hpp"
 
 namespace motor::vm {
@@ -9,40 +11,127 @@ namespace motor::vm {
 ManagedHeap::ManagedHeap(Vm& vm, HeapConfig config)
     : vm_(vm), config_(config) {
   MOTOR_CHECK(config_.young_bytes >= 4096, "nursery too small");
+  // MOTOR_GC_INCREMENTAL=0|1 overrides the configured collection mode so
+  // existing binaries (tests, ablations) can run either schedule without
+  // a rebuild. Suites that pin a mode explicitly (the gc label's
+  // inc-vs-stw comparisons) must run with the variable unset.
+  if (const char* env = std::getenv("MOTOR_GC_INCREMENTAL")) {
+    if (env[0] == '0') config_.incremental = false;
+    if (env[0] == '1') config_.incremental = true;
+  }
+  if (config_.incremental) {
+    MOTOR_CHECK(std::has_single_bit(config_.region_bytes) &&
+                    config_.region_bytes >= 4096,
+                "region_bytes must be a power of two >= 4096");
+  }
+  init_young_arena();
+}
+
+ManagedHeap::~ManagedHeap() = default;
+
+void ManagedHeap::init_young_arena() {
   young_storage_ = std::make_unique<std::byte[]>(config_.young_bytes);
   young_base_ = young_storage_.get();
   MOTOR_CHECK((reinterpret_cast<std::uintptr_t>(young_base_) &
                (kObjectAlignment - 1)) == 0,
               "young block misaligned");
+
+  // Baseline: one region spanning the nursery (shift 63 maps every
+  // offset to index 0). Incremental: power-of-two regions.
+  std::size_t span = config_.young_bytes;
+  region_shift_ = 63;
+  if (config_.incremental && config_.region_bytes < config_.young_bytes) {
+    span = config_.region_bytes;
+    region_shift_ = static_cast<unsigned>(std::bit_width(span) - 1);
+  }
+  const std::size_t n = (config_.young_bytes + span - 1) / span;
+  regions_.assign(n, YoungRegion{});
+  region_is_young_.assign(n, 1);
+  for (std::size_t i = 0; i < n; ++i) {
+    regions_[i].base = i * span;
+    regions_[i].span = std::min(span, config_.young_bytes - regions_[i].base);
+  }
+  regions_[0].state = RegionState::kOpen;
+  open_region_ = 0;
+  young_used_ = 0;
+  donated_bytes_ = 0;
+
+  // Large objects go straight to elder; in incremental mode they must
+  // also fit a single region.
+  large_threshold_ = static_cast<std::size_t>(
+      config_.large_object_fraction * static_cast<double>(config_.young_bytes));
+  large_threshold_ = std::min(large_threshold_, span);
+  trigger_bytes_ = static_cast<std::size_t>(
+      config_.incremental_trigger *
+      static_cast<double>(config_.young_bytes - donated_bytes_));
+
+  young_mark_bits_.assign(
+      (config_.young_bytes / kObjectAlignment + 63) / 64, 0);
 }
 
-ManagedHeap::~ManagedHeap() = default;
-
 std::byte* ManagedHeap::try_young_bump(std::size_t bytes) {
-  if (young_used_ + bytes > config_.young_bytes) return nullptr;
-  std::byte* p = young_base_ + young_used_;
-  young_used_ += bytes;
-  return p;
+  YoungRegion* r = &regions_[static_cast<std::size_t>(open_region_)];
+  if (r->state == RegionState::kOpen && r->used + bytes <= r->span) {
+    std::byte* p = young_base_ + r->base + r->used;
+    r->used += bytes;
+    young_used_ += bytes;
+    return p;
+  }
+  // Open region exhausted (or donated from under us): advance to the
+  // next free region that can hold the request.
+  if (r->state == RegionState::kOpen) r->state = RegionState::kFull;
+  for (std::size_t i = 0; i < regions_.size(); ++i) {
+    YoungRegion& cand = regions_[i];
+    if (cand.state != RegionState::kFree || cand.used + bytes > cand.span) {
+      continue;
+    }
+    cand.state = RegionState::kOpen;
+    open_region_ = static_cast<int>(i);
+    std::byte* p = young_base_ + cand.base + cand.used;
+    cand.used += bytes;
+    young_used_ += bytes;
+    return p;
+  }
+  return nullptr;
 }
 
 Obj ManagedHeap::elder_alloc(std::size_t bytes) {
-  auto block = std::make_unique<ElderBlock>();
-  block->storage = std::make_unique<std::byte[]>(bytes);
-  block->bytes = bytes;
-  block->live_objects = 1;
-  Obj obj = reinterpret_cast<Obj>(block->storage.get());
-  elder_entries_.push_back(ElderEntry{obj, bytes, block.get()});
-  elder_blocks_.push_back(std::move(block));
+  const std::size_t need = align_up(bytes);
+  if (elder_open_ == nullptr ||
+      elder_open_->bytes - elder_open_->used < need) {
+    auto block = std::make_unique<ElderBlock>();
+    block->bytes = std::max(kElderChunkBytes, need);
+    block->storage = std::make_unique<std::byte[]>(block->bytes);
+    block->base = block->storage.get();
+    elder_open_ = block.get();
+    elder_blocks_.push_back(std::move(block));
+  }
+  Obj obj = reinterpret_cast<Obj>(elder_open_->base + elder_open_->used);
+  elder_open_->used += need;
+  ++elder_open_->live_objects;
+  elder_entries_.push_back(ElderEntry{obj, bytes, elder_open_});
   elder_bytes_ += bytes;
   return obj;
 }
 
+void ManagedHeap::pace_incremental(std::size_t upcoming_bytes) {
+  bytes_since_slice_ += upcoming_bytes;
+  const GcPhase phase = phase_.load(std::memory_order_relaxed);
+  if (phase == GcPhase::kIdle) {
+    if (young_used_ + upcoming_bytes >= trigger_bytes_) incremental_step();
+  } else if (bytes_since_slice_ >= config_.slice_alloc_step) {
+    bytes_since_slice_ = 0;
+    incremental_step();
+  }
+}
+
 Obj ManagedHeap::allocate_raw(const MethodTable* mt, std::size_t total_bytes) {
-  const bool large = static_cast<double>(total_bytes) >
-                     config_.large_object_fraction *
-                         static_cast<double>(config_.young_bytes);
+  const bool large = total_bytes > large_threshold_;
   std::byte* p = nullptr;
   if (!large) {
+    // Incremental pacing: start or advance a cycle before the bump so a
+    // completed relocation can hand regions back first.
+    if (config_.incremental) pace_incremental(total_bytes);
     p = try_young_bump(total_bytes);
     if (p == nullptr) {
       // "Garbage collection ... is triggered by a request for a new
@@ -99,9 +188,20 @@ Obj ManagedHeap::alloc_md_array(const MethodTable* mt,
 }
 
 void ManagedHeap::pin(Obj obj) {
-  std::lock_guard lk(pin_mu_);
-  ++pin_counts_[obj];
-  ++stats_.pin_calls;
+  bool shade = false;
+  {
+    std::lock_guard lk(pin_mu_);
+    int& count = pin_counts_[obj];
+    if (++count == 1) {
+      pin_set_.insert(obj);
+      if (in_young(obj)) ++regions_[region_index(obj)].pin_count;
+    }
+    ++stats_.pin_calls;
+    shade = config_.incremental &&
+            phase_.load(std::memory_order_relaxed) == GcPhase::kMarking;
+  }
+  // A pin taken mid-cycle makes the object a root of this cycle.
+  if (shade) shade_external(obj);
 }
 
 void ManagedHeap::unpin(Obj obj) {
@@ -109,7 +209,15 @@ void ManagedHeap::unpin(Obj obj) {
   auto it = pin_counts_.find(obj);
   MOTOR_CHECK(it != pin_counts_.end(), "unpin of object that is not pinned");
   ++stats_.unpin_calls;
-  if (--it->second == 0) pin_counts_.erase(it);
+  if (--it->second == 0) {
+    pin_counts_.erase(it);
+    pin_set_.erase(obj);
+    if (in_young(obj)) {
+      YoungRegion& r = regions_[region_index(obj)];
+      MOTOR_CHECK(r.pin_count > 0, "region pin count underflow");
+      --r.pin_count;
+    }
+  }
 }
 
 bool ManagedHeap::is_pinned(Obj obj) const {
@@ -119,28 +227,92 @@ bool ManagedHeap::is_pinned(Obj obj) const {
 
 void ManagedHeap::add_conditional_pin(Obj obj, mpi::Request req) {
   MOTOR_CHECK(req != nullptr, "conditional pin needs a request");
-  std::lock_guard lk(pin_mu_);
-  conditional_pins_.push_back(ConditionalPin{obj, std::move(req)});
+  bool shade = false;
+  {
+    std::lock_guard lk(pin_mu_);
+    conditional_pins_.push_back(ConditionalPin{obj, std::move(req)});
+    shade = config_.incremental &&
+            phase_.load(std::memory_order_relaxed) == GcPhase::kMarking;
+  }
+  if (shade) shade_external(obj);
 }
 
 bool ManagedHeap::in_young(const void* p) const noexcept {
   const auto* b = static_cast<const std::byte*>(p);
-  return b >= young_base_ && b < young_base_ + config_.young_bytes;
+  if (b < young_base_ || b >= young_base_ + config_.young_bytes) return false;
+  return region_is_young_[(static_cast<std::size_t>(b - young_base_)) >>
+                          region_shift_] != 0;
 }
 
 bool ManagedHeap::in_elder(const void* p) const {
   const auto* b = static_cast<const std::byte*>(p);
   for (const auto& block : elder_blocks_) {
-    if (b >= block->storage.get() && b < block->storage.get() + block->bytes) {
-      return true;
-    }
+    if (b >= block->base && b < block->base + block->bytes) return true;
   }
   return false;
 }
 
+std::size_t ManagedHeap::donated_region_count() const noexcept {
+  std::size_t n = 0;
+  for (const YoungRegion& r : regions_) {
+    if (r.state == RegionState::kDonated) ++n;
+  }
+  return n;
+}
+
 void ManagedHeap::collect(bool force_elder_sweep) {
-  vm_.safepoints().run_stop_the_world(
-      [this, force_elder_sweep] { collect_locked(force_elder_sweep); });
+  vm_.safepoints().run_stop_the_world([this, force_elder_sweep] {
+    pal::Stopwatch pause;
+    if (config_.incremental) {
+      // A full collection finishes whatever is in flight, then runs one
+      // complete cycle (mark, relocate, and — when due — sweep).
+      while (phase_.load(std::memory_order_relaxed) == GcPhase::kSweeping) {
+        sweep_slice_locked();
+      }
+      if (phase_.load(std::memory_order_relaxed) == GcPhase::kIdle) {
+        begin_cycle_locked(force_elder_sweep);
+      }
+      finish_cycle_locked(force_elder_sweep);
+      while (phase_.load(std::memory_order_relaxed) == GcPhase::kSweeping) {
+        sweep_slice_locked();
+      }
+      if (force_elder_sweep && !cycle_full_) {
+        // The in-flight cycle was generational (young-only marks), so it
+        // could not satisfy the forced sweep; run a full cycle now.
+        begin_cycle_locked(true);
+        finish_cycle_locked(true);
+        while (phase_.load(std::memory_order_relaxed) == GcPhase::kSweeping) {
+          sweep_slice_locked();
+        }
+      }
+    } else {
+      collect_locked(force_elder_sweep);
+    }
+    const std::uint64_t ns = pause.elapsed_ns();
+    stats_.total_pause_ns += ns;
+    stats_.pause_hist.record(ns);
+  });
+}
+
+void ManagedHeap::incremental_step() {
+  if (!config_.incremental) return;
+  vm_.safepoints().run_stop_the_world([this] {
+    pal::Stopwatch pause;
+    switch (phase_.load(std::memory_order_relaxed)) {
+      case GcPhase::kIdle:
+        begin_cycle_locked(false);
+        break;
+      case GcPhase::kMarking:
+        mark_slice_locked();
+        break;
+      case GcPhase::kSweeping:
+        sweep_slice_locked();
+        break;
+    }
+    const std::uint64_t ns = pause.elapsed_ns();
+    stats_.total_pause_ns += ns;
+    stats_.pause_hist.record(ns);
+  });
 }
 
 void ManagedHeap::add_gc_hook(GcEpochHook hook, void* ctx) {
@@ -149,19 +321,33 @@ void ManagedHeap::add_gc_hook(GcEpochHook hook, void* ctx) {
 
 void ManagedHeap::verify_heap() const {
   std::unordered_set<const void*> valid;
-  // Young generation is linearly walkable between collections.
-  const std::byte* p = young_base_;
-  while (p < young_base_ + young_used_) {
-    Obj obj = reinterpret_cast<Obj>(const_cast<std::byte*>(p));
-    const MethodTable* mt = obj_mt(obj);
-    MOTOR_CHECK(mt != nullptr, "verify: null MethodTable");
-    const std::size_t size = object_total_bytes(obj);
-    MOTOR_CHECK(size >= kHeaderBytes && p + size <= young_base_ + young_used_,
-                "verify: object overruns young block");
-    valid.insert(obj);
-    p += size;
+  // Young regions are linearly walkable between collections.
+  for (const YoungRegion& r : regions_) {
+    if (r.state == RegionState::kDonated) continue;
+    const std::byte* p = young_base_ + r.base;
+    const std::byte* end = p + r.used;
+    while (p < end) {
+      Obj obj = reinterpret_cast<Obj>(const_cast<std::byte*>(p));
+      const MethodTable* mt = obj_mt(obj);
+      MOTOR_CHECK(mt != nullptr, "verify: null MethodTable");
+      const std::size_t size = object_total_bytes(obj);
+      MOTOR_CHECK(size >= kHeaderBytes && p + size <= end,
+                  "verify: object overruns young region");
+      valid.insert(obj);
+      p += size;
+    }
   }
-  for (const ElderEntry& e : elder_entries_) valid.insert(e.obj);
+  // During a sliced sweep, unmarked entries below the end_ snapshot are
+  // dead (their fields may dangle at objects already relocated) and the
+  // compaction window holds stale duplicates; only marked entries are
+  // authoritative there.
+  const bool sweeping =
+      phase_.load(std::memory_order_relaxed) == GcPhase::kSweeping;
+  for (std::size_t i = 0; i < elder_entries_.size(); ++i) {
+    const ElderEntry& e = elder_entries_[i];
+    if (sweeping && i < sweep_end_ && !marked_elder_.contains(e.obj)) continue;
+    valid.insert(e.obj);
+  }
 
   auto check_ref = [&](Obj target) {
     MOTOR_CHECK(target == nullptr || valid.contains(target),
@@ -182,6 +368,22 @@ void ManagedHeap::verify_heap() const {
   };
   for (const void* v : valid) {
     check_object(reinterpret_cast<Obj>(const_cast<void*>(v)));
+  }
+
+  // The incrementally maintained pin mirrors must agree with the
+  // authoritative pin table.
+  std::lock_guard lk(pin_mu_);
+  MOTOR_CHECK(pin_set_.size() == pin_counts_.size(),
+              "verify: pin_set_ out of sync with pin_counts_");
+  std::vector<std::uint32_t> region_pins(regions_.size(), 0);
+  for (const auto& [obj, count] : pin_counts_) {
+    MOTOR_CHECK(count > 0, "verify: non-positive pin count");
+    MOTOR_CHECK(pin_set_.contains(obj), "verify: pinned object not in mirror");
+    if (in_young(obj)) ++region_pins[region_index(obj)];
+  }
+  for (std::size_t r = 0; r < regions_.size(); ++r) {
+    MOTOR_CHECK(regions_[r].pin_count == region_pins[r],
+                "verify: region pin count drift");
   }
 }
 

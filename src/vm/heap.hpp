@@ -1,24 +1,51 @@
 // The two-generation managed heap (paper §5.2) with Motor's pin machinery
-// (§4.3, §7.4).
+// (§4.3, §7.4) and an optional pause-bounded incremental collection mode.
 //
-// * Young generation: one contiguous block, bump allocation. Collections
-//   promote live objects to the elder generation by copying (compaction).
-// * Pinned objects are not moved. If any pinned object survives a
-//   collection, the ENTIRE young block is donated to the elder generation
-//   (promoting the pinned objects in place) and a fresh young block is
-//   allocated — exactly the SSCLI behaviour the paper describes.
-// * Elder generation: per-object allocations, mark-sweep, never compacted.
-//   Swept only on "full" collections (elder pressure or every Nth young
+// * Young generation: one contiguous arena, bump allocation. In the
+//   stop-the-world baseline the arena is a single block; in incremental
+//   mode it is partitioned into power-of-two regions so promotion and
+//   donation decisions are made per region instead of for the whole
+//   nursery.
+// * Pinned objects are not moved. Baseline: if any pinned object survives
+//   a collection, the ENTIRE young block is donated to the elder
+//   generation (promoting the pinned objects in place) and a fresh young
+//   block is allocated — exactly the SSCLI behaviour the paper describes.
+//   Incremental: the decision is pin-density-aware and per region — a
+//   region with no pins is evacuated (copy-promoted), a pinned and
+//   live-dense region is promoted wholesale in place, and a pinned but
+//   sparse region evacuates its unpinned survivors and donates the region
+//   with the pinned residents left where the transport expects them.
+//   Donated regions return to the young free pool when their last
+//   resident dies.
+// * Elder generation: per-object allocations, mark-sweep, never
+//   compacted. Swept only on "full" collections (every Nth young
 //   collection), so it is "collected less frequently".
 // * Conditional pin requests — Motor's non-blocking unpin mechanism — are
-//   resolved during the mark phase: an entry pins its object iff the
+//   resolved at the start of each collection and again at every mark
+//   slice boundary in incremental mode: an entry pins its object iff the
 //   associated MPI request is still incomplete; completed entries are
-//   dropped (§4.3/§7.4).
+//   dropped (§4.3/§7.4), so in-flight zero-copy sends stay correct across
+//   slices.
 //
-// Collections are triggered by allocation (a request for a new object) and
-// run under stop-the-world via the SafepointController.
+// Incremental mode (HeapConfig::incremental) splits a collection into
+// bounded stop-the-world slices driven by the safepoint machinery:
+// begin (pin resolve + root snapshot), N mark slices, a final pause
+// (root re-scan, residual drain, relocation, fixup), then sliced elder
+// sweeping. Mutators run between slices; a Dijkstra-style write barrier
+// on reference stores (see write_barrier) shades newly stored targets so
+// the tri-color invariant holds, and records elder objects that may
+// reference the young generation so the final fixup is bounded by the
+// mutated set instead of the whole live elder heap. Marks live in side
+// structures (a young bitmap and an elder mark set), never in object
+// headers, so mutator-side shading cannot race header reads.
+//
+// Collections are triggered by allocation (a request for a new object)
+// and every pause runs under stop-the-world via the SafepointController.
 #pragma once
 
+#include <array>
+#include <atomic>
+#include <bit>
 #include <cstdint>
 #include <memory>
 #include <mutex>
@@ -40,6 +67,134 @@ struct HeapConfig {
   double large_object_fraction = 0.25;
   /// Sweep the elder generation every Nth collection (1 = every time).
   int elder_sweep_interval = 4;
+
+  // ---- pause-bounded (incremental) collection ----
+
+  /// Split collections into bounded mark/sweep slices with a mutator
+  /// write barrier. Off = the paper-faithful stop-the-world baseline;
+  /// every existing suite and the A1 ablation run against that default.
+  bool incremental = false;
+  /// Young-region granularity in incremental mode (power of two). The
+  /// baseline always uses a single region spanning the whole nursery.
+  std::size_t region_bytes = 256 * 1024;
+  /// Young occupancy fraction that starts a marking cycle.
+  double incremental_trigger = 0.5;
+  /// Bytes of young allocation between consecutive GC slices.
+  std::size_t slice_alloc_step = 64 * 1024;
+  /// Minimum objects traced per mark slice (the pacer raises this when
+  /// the previous cycle marked more than the remaining slices can cover).
+  std::size_t mark_slice_objects = 2048;
+  /// Elder entries examined per sweep slice.
+  std::size_t sweep_slice_entries = 16384;
+  /// A pinned region whose live-byte fraction is at least this is
+  /// promoted wholesale in place instead of being evacuated around its
+  /// pins.
+  double wholesale_density = 0.5;
+};
+
+/// Log2-bucketed pause-duration histogram (exact max, bucket-resolution
+/// quantiles). Cheap enough to record every stop-the-world pause.
+struct PauseHistogram {
+  static constexpr int kBuckets = 40;  // bucket b covers [2^b, 2^{b+1}) ns
+  std::array<std::uint64_t, kBuckets> counts{};
+  std::uint64_t samples = 0;
+  std::uint64_t total_ns = 0;
+  std::uint64_t max_ns = 0;
+
+  void record(std::uint64_t ns) noexcept {
+    int b = ns == 0 ? 0 : std::bit_width(ns) - 1;
+    if (b >= kBuckets) b = kBuckets - 1;
+    ++counts[static_cast<std::size_t>(b)];
+    ++samples;
+    total_ns += ns;
+    if (ns > max_ns) max_ns = ns;
+  }
+
+  /// Upper bound of the bucket holding the q-quantile sample (q in
+  /// [0,1]); the top sample reports the exact max.
+  [[nodiscard]] std::uint64_t quantile_ns(double q) const noexcept {
+    if (samples == 0) return 0;
+    if (q < 0) q = 0;
+    if (q > 1) q = 1;
+    const auto rank =
+        static_cast<std::uint64_t>(q * static_cast<double>(samples - 1));
+    std::uint64_t seen = 0;
+    for (int b = 0; b < kBuckets; ++b) {
+      seen += counts[static_cast<std::size_t>(b)];
+      if (seen > rank) {
+        const std::uint64_t hi = (std::uint64_t{2} << b) - 1;
+        return hi < max_ns ? hi : max_ns;
+      }
+    }
+    return max_ns;
+  }
+};
+
+/// Open-addressing pointer set (linear probing, power-of-2 capacity, no
+/// erase). Marking inserts one entry per live elder object — hundreds of
+/// thousands per cycle at production heap sizes — and a node-based set
+/// would put that many tiny chunks on the system allocator, degrading it
+/// badly enough that unrelated allocations inside a pause stall for
+/// >100 ms. All slots live in one flat vector instead.
+class PtrSet {
+ public:
+  void reserve(std::size_t expect) {
+    std::size_t cap = kMinCapacity;
+    while (cap < expect * 2) cap <<= 1;
+    if (cap > slots_.size()) rehash(cap);
+  }
+  void clear() noexcept {
+    std::fill(slots_.begin(), slots_.end(), nullptr);
+    size_ = 0;
+  }
+  /// True if `p` was newly inserted (false: already present).
+  bool insert(Obj p) {
+    if (size_ * 2 >= slots_.size()) {
+      rehash(slots_.empty() ? kMinCapacity : slots_.size() * 2);
+    }
+    std::size_t i = slot_of(p);
+    while (slots_[i] != nullptr) {
+      if (slots_[i] == p) return false;
+      i = (i + 1) & (slots_.size() - 1);
+    }
+    slots_[i] = p;
+    ++size_;
+    return true;
+  }
+  [[nodiscard]] bool contains(Obj p) const noexcept {
+    if (size_ == 0) return false;
+    std::size_t i = slot_of(p);
+    while (slots_[i] != nullptr) {
+      if (slots_[i] == p) return true;
+      i = (i + 1) & (slots_.size() - 1);
+    }
+    return false;
+  }
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  template <typename F>
+  void for_each(F&& f) const {
+    for (Obj p : slots_) {
+      if (p != nullptr) f(p);
+    }
+  }
+
+ private:
+  static constexpr std::size_t kMinCapacity = 64;
+  [[nodiscard]] std::size_t slot_of(Obj p) const noexcept {
+    auto x = reinterpret_cast<std::uintptr_t>(p);
+    x *= 0x9E3779B97F4A7C15ull;  // Fibonacci hashing
+    return static_cast<std::size_t>(x >> 32) & (slots_.size() - 1);
+  }
+  void rehash(std::size_t cap) {
+    std::vector<Obj> old = std::move(slots_);
+    slots_.assign(cap, nullptr);
+    size_ = 0;
+    for (Obj p : old) {
+      if (p != nullptr) insert(p);
+    }
+  }
+  std::vector<Obj> slots_;
+  std::size_t size_ = 0;
 };
 
 struct GcStats {
@@ -50,14 +205,38 @@ struct GcStats {
   std::uint64_t dead_young_objects = 0;
   std::uint64_t young_blocks_donated = 0;
   std::uint64_t pinned_at_collection = 0;     // explicit + conditional holds
-  std::uint64_t conditional_checked = 0;      // entries examined at mark
+  std::uint64_t conditional_checked = 0;      // entries examined at resolve
   std::uint64_t conditional_dropped = 0;      // entries whose request completed
   std::uint64_t elder_freed_objects = 0;
   std::uint64_t elder_freed_bytes = 0;
   std::uint64_t pin_calls = 0;
   std::uint64_t unpin_calls = 0;
   std::uint64_t total_pause_ns = 0;
+
+  // ---- pause-bounded collection ----
+  std::uint64_t incremental_cycles = 0;   // cycles completed incrementally
+  std::uint64_t young_mark_cycles = 0;    // cycles that skipped the elder graph
+  std::uint64_t mark_slices = 0;
+  std::uint64_t sweep_slices = 0;
+  std::uint64_t barrier_shades = 0;       // objects shaded by the barrier
+  std::uint64_t remset_records = 0;       // elder holders remembered
+  std::uint64_t regions_evacuated = 0;
+  std::uint64_t regions_promoted_wholesale = 0;
+  std::uint64_t regions_donated_sparse = 0;
+  std::uint64_t wholesale_promoted_objects = 0;
+  // Per-phase totals across all pauses.
+  std::uint64_t pin_resolve_ns = 0;
+  std::uint64_t root_scan_ns = 0;
+  std::uint64_t mark_ns = 0;
+  std::uint64_t relocate_ns = 0;
+  std::uint64_t sweep_ns = 0;
+  PauseHistogram pause_hist;  // one sample per stop-the-world pause
 };
+
+/// Collection-cycle phase, observable between pauses in incremental mode
+/// (the baseline completes a whole cycle inside one pause, so it always
+/// reads kIdle from mutator code).
+enum class GcPhase : int { kIdle = 0, kMarking = 1, kSweeping = 2 };
 
 /// Root enumeration contract: the VM walks every slot that may hold a
 /// managed reference and hands its *address* to the collector so moved
@@ -100,7 +279,8 @@ class ManagedHeap {
   }
 
   /// Motor's non-blocking pin: holds exactly while `req` is incomplete,
-  /// evaluated during the mark phase of each collection.
+  /// evaluated when pins are resolved (each collection, and each slice
+  /// boundary in incremental mode).
   void add_conditional_pin(Obj obj, mpi::Request req);
   [[nodiscard]] std::size_t conditional_pin_count() const {
     return conditional_pins_.size();
@@ -108,20 +288,50 @@ class ManagedHeap {
 
   // ---- generation queries (the Motor pinning-policy primitive) ----
 
-  /// True iff `p` lies within the current young-generation block
-  /// ("checks the object's internal memory address against the boundaries
-  /// of the younger generation", §7.4).
+  /// True iff `p` lies within the young generation ("checks the object's
+  /// internal memory address against the boundaries of the younger
+  /// generation", §7.4). Donated regions are elder memory even while they
+  /// still sit inside the arena.
   [[nodiscard]] bool in_young(const void* p) const noexcept;
   [[nodiscard]] bool in_elder(const void* p) const;
 
+  // ---- barriered reference stores (incremental-mode contract) ----
+
+  /// Dijkstra-style write barrier: after storing `target` into a
+  /// reference slot of `holder`, shade `target` if a marking cycle is in
+  /// progress, and remember elder holders that may now reference the
+  /// young generation. A no-op (one branch) in the baseline; callers that
+  /// only ever run stop-the-world may keep using raw set_ref_* stores.
+  void write_barrier(Obj holder, Obj target);
+  /// set_ref_field / set_ref_element plus the write barrier. All ref
+  /// stores into live objects must go through these (or call
+  /// write_barrier themselves) for incremental mode to be sound.
+  void store_ref_field(Obj holder, std::uint32_t offset, Obj value);
+  void store_ref_element(Obj array, std::int64_t index, Obj value);
+
   // ---- collection ----
 
-  /// Force a collection (allocation triggers this automatically).
+  /// Force a complete collection (allocation triggers collection
+  /// automatically). In incremental mode this finishes any in-flight
+  /// cycle and runs a full one synchronously.
   void collect(bool force_elder_sweep = false);
+
+  /// One bounded stop-the-world slice: starts a cycle when idle,
+  /// advances marking, or advances the elder sweep. No-op in the
+  /// baseline. Allocation paces these automatically; tests and benches
+  /// may call it directly for deterministic stepping.
+  void incremental_step();
+  [[nodiscard]] GcPhase gc_phase() const noexcept {
+    return phase_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] bool incremental_enabled() const noexcept {
+    return config_.incremental;
+  }
 
   /// GC-epoch counter: bumped once per collection. The Motor buffer pool
   /// uses it to detect buffers unused since the last collection (§7.5).
-  /// Callbacks run during collection get invoked after sweeping.
+  /// Callbacks run when a cycle completes (after the inline sweep in the
+  /// baseline, after relocation in incremental mode).
   using GcEpochHook = void (*)(void* ctx, std::uint64_t epoch);
   void add_gc_hook(GcEpochHook hook, void* ctx);
 
@@ -129,10 +339,17 @@ class ManagedHeap {
   [[nodiscard]] std::uint64_t epoch() const noexcept {
     return stats_.collections;
   }
+  /// Bytes currently bump-allocated in young regions (donated regions
+  /// are elder memory and do not count).
   [[nodiscard]] std::size_t young_used() const noexcept { return young_used_; }
   [[nodiscard]] std::size_t young_capacity() const noexcept {
     return config_.young_bytes;
   }
+  [[nodiscard]] std::size_t young_region_count() const noexcept {
+    return regions_.size();
+  }
+  /// Arena regions currently on loan to the elder generation.
+  [[nodiscard]] std::size_t donated_region_count() const noexcept;
   [[nodiscard]] std::size_t elder_object_count() const {
     return elder_entries_.size();
   }
@@ -141,16 +358,31 @@ class ManagedHeap {
   }
 
   /// Walk the whole heap and verify every header points at a registered
-  /// MethodTable and every reference field targets a live heap object.
+  /// MethodTable and every reference field targets a live heap object,
+  /// and that the incrementally maintained pin structures (pin_set_,
+  /// per-region pin counts) agree with the authoritative pin table.
   /// Throws FatalError on corruption. (Test/diagnostic aid.)
   void verify_heap() const;
 
  private:
+  enum class RegionState : std::uint8_t { kFree, kOpen, kFull, kDonated };
+
+  struct YoungRegion {
+    std::size_t base = 0;  // offset into the arena
+    std::size_t span = 0;
+    std::size_t used = 0;
+    std::uint32_t pin_count = 0;  // distinct explicitly pinned residents
+    RegionState state = RegionState::kFree;
+  };
+
   struct ElderBlock {
-    std::unique_ptr<std::byte[]> storage;
+    std::unique_ptr<std::byte[]> storage;  // null for arena-region-backed
+    std::byte* base = nullptr;
     std::size_t bytes = 0;
+    std::size_t used = 0;  // bump cursor for chunked promotion blocks
     int live_objects = 0;
     bool donated_young = false;
+    int region = -1;  // arena region index when region-backed
   };
   struct ElderEntry {
     Obj obj;
@@ -169,53 +401,145 @@ class ManagedHeap {
   struct YoungRecord {
     Obj obj;
     std::size_t bytes;
+    int region;
     bool marked;
-    bool pinned;
+    bool pinned;  // explicit pin or held conditional pin
   };
 
+  // Per-region relocation outcome aggregates.
+  struct RegionPlan {
+    std::size_t live_bytes = 0;
+    std::size_t live_objects = 0;
+    std::size_t pinned_objects = 0;
+  };
+
+  void init_young_arena();
+  [[nodiscard]] std::size_t region_index(const void* p) const noexcept {
+    return (static_cast<const std::byte*>(p) - young_base_) >> region_shift_;
+  }
   std::byte* try_young_bump(std::size_t bytes);
   Obj allocate_raw(const MethodTable* mt, std::size_t total_bytes);
   Obj elder_alloc(std::size_t bytes);
-  void collect_locked(bool force_elder_sweep);
+  void pace_incremental(std::size_t upcoming_bytes);
 
-  // Collection phases (gc.cpp).
+  // Collection phases (gc.cpp). All run inside a stop-the-world pause.
+  void collect_locked(bool force_elder_sweep);  // baseline: whole cycle
+  void begin_cycle_locked(bool force_full);
+  void mark_slice_locked();
+  void finish_cycle_locked(bool force_elder_sweep);
+  void sweep_slice_locked();
+  void sweep_elder_full();
+  void release_dead_blocks();
+
   void resolve_conditional_pins();
-  void mark_from_roots();
-  void trace_object(Obj obj, std::vector<Obj>& worklist);
-  std::vector<YoungRecord> scan_young() const;
-  void promote_young(std::vector<YoungRecord>& records,
-                     bool& any_pinned_survivor);
-  void fixup_references(const std::vector<YoungRecord>& records);
+  void scan_roots(std::uint64_t& phase_ns);
+  std::size_t drain_mark_worklist(std::size_t max_objects);
+  void trace_children(Obj obj);
+  std::vector<YoungRecord> scan_young(std::vector<RegionPlan>& plans);
+  void relocate_young_locked(bool& any_donated);
   void fixup_object_fields(Obj obj);
   static void fixup_slot(Obj* slot);
-  void donate_young_block(const std::vector<YoungRecord>& records);
-  void sweep_elder();
-  void clear_marks();
+  void donate_region(int region, const std::vector<YoungRecord>& records,
+                     bool promote_all_marked);
+
+  // Side-mark helpers. `*_unlocked` variants require either mark_mu_ or a
+  // stop-the-world pause.
+  [[nodiscard]] bool try_mark_unlocked(Obj obj);
+  [[nodiscard]] bool is_side_marked_unlocked(Obj obj) const;
+  void clear_side_marks();
+  void barrier_slow(Obj holder, Obj target);
+  void shade_external(Obj obj);  // shade from mutator context (locks)
 
   Vm& vm_;
   HeapConfig config_;
 
+  // ---- young arena ----
   std::unique_ptr<std::byte[]> young_storage_;
   std::byte* young_base_ = nullptr;
-  std::size_t young_used_ = 0;
+  std::size_t young_used_ = 0;      // bump bytes across non-donated regions
+  std::size_t donated_bytes_ = 0;   // arena bytes on loan to elder
+  std::size_t large_threshold_ = 0;
+  std::size_t trigger_bytes_ = 0;   // young_used_ level that starts a cycle
+  unsigned region_shift_ = 63;
+  std::vector<YoungRegion> regions_;
+  // 1 = arena region is young memory; 0 = donated. Written only inside
+  // stop-the-world pauses, read by mutator fast paths (in_young).
+  std::vector<std::uint8_t> region_is_young_;
+  int open_region_ = 0;
 
+  // ---- elder generation ----
+  // Promoted objects bump-allocate into shared chunks rather than one
+  // malloc per object: hundreds of thousands of tiny live chunks degrade
+  // the system allocator badly enough that unrelated allocations (e.g. a
+  // root-vector realloc inside a pause) stall for >100 ms.
+  static constexpr std::size_t kElderChunkBytes = 256 * 1024;
   std::vector<std::unique_ptr<ElderBlock>> elder_blocks_;
+  ElderBlock* elder_open_ = nullptr;  // current bump chunk, if any
   std::vector<ElderEntry> elder_entries_;
   std::size_t elder_bytes_ = 0;
 
   // Pin structures are touched by any managed thread; the GC reads them
   // only inside stop-the-world, but mutator threads race each other.
+  // Never hold pin_mu_ and mark_mu_ at the same time.
   mutable std::mutex pin_mu_;
   std::unordered_map<Obj, int> pin_counts_;
+  // Incrementally maintained mirror of pin_counts_ keys (updated on the
+  // 0<->1 transitions in pin/unpin, never rebuilt per collection).
+  std::unordered_set<Obj> pin_set_;
   std::vector<ConditionalPin> conditional_pins_;
+  // Conditional pins held by the current resolution (request incomplete).
+  std::unordered_set<Obj> cond_held_;
   std::vector<GcHook> gc_hooks_;
 
-  // Per-collection scratch (valid only inside collect()).
-  std::vector<Obj> gc_pinned_now_;
-  std::unordered_set<Obj> gc_pin_set_;
-  int collections_since_sweep_ = 0;
+  // ---- cycle state (side marks, worklist, remembered set) ----
+  std::atomic<GcPhase> phase_{GcPhase::kIdle};
+  // Guards side marks, the worklist and the remembered set against
+  // concurrent mutator-side shading between slices.
+  mutable std::mutex mark_mu_;
+  std::vector<std::uint64_t> young_mark_bits_;  // bit per alignment slot
+  PtrSet marked_elder_;
+  std::vector<Obj> mark_worklist_;
+  PtrSet remset_;                       // elder holders that may ref young
+  std::vector<Obj> fresh_elder_;        // entries created by this relocation
+  std::size_t bytes_since_slice_ = 0;
+  std::size_t mark_budget_ = 0;         // objects per mark slice this cycle
+  std::uint64_t marked_this_cycle_ = 0;
+  std::uint64_t marked_last_full_ = 0;  // live estimate for full cycles
+  std::uint64_t marked_last_young_ = 0;
+  // Generational cycle kind. Full cycles trace the whole graph (elder
+  // included) and may schedule an elder sweep; young cycles treat elder
+  // as implicitly live and root the young subgraph at the remembered set
+  // instead — their mark cost is bounded by the nursery, not the heap.
+  // The baseline is always full. Written at cycle begin under mark_mu_,
+  // read by try_mark_unlocked (mark_mu_ or stop-the-world).
+  bool cycle_full_ = true;
+  // Sliced elder-sweep cursors (two-index compaction over elder_entries_
+  // up to the end_ snapshot; entries appended mid-sweep are never swept).
+  std::size_t sweep_read_ = 0;
+  std::size_t sweep_write_ = 0;
+  std::size_t sweep_end_ = 0;
+  std::size_t sweep_budget_ = 0;        // entries per sweep slice this cycle
 
+  int collections_since_sweep_ = 0;
   GcStats stats_;
 };
+
+inline void ManagedHeap::write_barrier(Obj holder, Obj target) {
+  // Baseline fast path: one branch, no atomics, no locks.
+  if (!config_.incremental || target == nullptr) return;
+  barrier_slow(holder, target);
+}
+
+inline void ManagedHeap::store_ref_field(Obj holder, std::uint32_t offset,
+                                         Obj value) {
+  set_ref_field(holder, offset, value);
+  write_barrier(holder, value);
+}
+
+inline void ManagedHeap::store_ref_element(Obj array, std::int64_t index,
+                                           Obj value) {
+  set_ref_element(array, index, value);
+  write_barrier(array, value);
+}
 
 }  // namespace motor::vm

@@ -448,6 +448,9 @@ Value Interpreter::run(const Program& program, const Method& method,
         Obj obj = pop_ref();
         if (obj == nullptr) throw_managed("NullReferenceException");
         write_slot(static_cast<ElementKind>(ins.aux), obj_data(obj) + ins.i, v);
+        if (static_cast<ElementKind>(ins.aux) == ElementKind::kObjectRef) {
+          vm_.heap().write_barrier(obj, v.ref);
+        }
         break;
       }
       case Op::kLdElem: {
@@ -477,6 +480,9 @@ Value Interpreter::run(const Program& program, const Method& method,
                    array_data(arr) +
                        static_cast<std::size_t>(idx) * mt->element_bytes(),
                    v);
+        if (mt->element_kind() == ElementKind::kObjectRef) {
+          vm_.heap().write_barrier(arr, v.ref);
+        }
         break;
       }
       case Op::kLdLen: {

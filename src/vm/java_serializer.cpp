@@ -227,7 +227,7 @@ Status JavaSerializer::read_value(ReadState& rs, ByteBuffer& in, int depth,
         for (std::int64_t i = 0; i < length; ++i) {
           Obj elem = nullptr;
           MOTOR_RETURN_IF_ERROR(read_value(rs, in, depth + 1, &elem));
-          set_ref_element(arr, i, elem);
+          vm_.heap().store_ref_element(arr, i, elem);
         }
       } else {
         MOTOR_RETURN_IF_ERROR(
@@ -253,7 +253,7 @@ Status JavaSerializer::read_value(ReadState& rs, ByteBuffer& in, int depth,
         if (f.is_reference()) {
           Obj field_val = nullptr;
           MOTOR_RETURN_IF_ERROR(read_value(rs, in, depth + 1, &field_val));
-          set_ref_field(obj, f.offset(), field_val);
+          vm_.heap().store_ref_field(obj, f.offset(), field_val);
         } else {
           MOTOR_RETURN_IF_ERROR(
               in.read({obj_data(obj) + f.offset(), f.size()}));

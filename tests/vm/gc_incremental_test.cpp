@@ -1,0 +1,428 @@
+// Pause-bounded (incremental) collection: bounded mark slices, the
+// Dijkstra write barrier, pin-density-aware region relocation, the
+// remembered set, and the seeded property that incremental-on and
+// incremental-off agree on the reachable set.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/prng.hpp"
+#include "mpi/request.hpp"
+#include "vm/handles.hpp"
+#include "vm/vm.hpp"
+
+namespace motor::vm {
+namespace {
+
+VmConfig gc_config(bool incremental, std::size_t young = 64 * 1024,
+                   std::size_t region = 16 * 1024) {
+  VmConfig c;
+  c.profile = RuntimeProfile::uncosted();
+  c.heap.young_bytes = young;
+  c.heap.incremental = incremental;
+  c.heap.region_bytes = region;
+  // One object per slice makes small graphs take several slices, so the
+  // tests below genuinely interleave mutation with marking; the small
+  // alloc step lets pacing fire inside a 64 KiB nursery.
+  c.heap.mark_slice_objects = 1;
+  c.heap.slice_alloc_step = 4 * 1024;
+  return c;
+}
+
+/// A VM plus the Node type (i64 value at 0, ref next at 8) — one per GC
+/// mode so the property tests can drive two heaps through an identical
+/// workload.
+struct World {
+  explicit World(const VmConfig& config) : vm(config), thread(vm) {
+    node = vm.types()
+               .define_class("Node")
+               .field("value", ElementKind::kInt64)
+               .ref_field("next", vm.types().object_type(), true)
+               .build();
+  }
+
+  Obj make_node(std::int64_t value, Obj next) {
+    GcRoot next_root(thread, next);
+    Obj n = vm.heap().alloc_object(node);
+    set_field(n, 0, value);
+    vm.heap().store_ref_field(n, 8, next_root.get());
+    return n;
+  }
+
+  Vm vm;
+  ManagedThread thread;
+  const MethodTable* node;
+};
+
+void drive_to_idle(ManagedHeap& heap) {
+  for (int i = 0; i < 10000 && heap.gc_phase() != GcPhase::kIdle; ++i) {
+    heap.incremental_step();
+  }
+  ASSERT_EQ(heap.gc_phase(), GcPhase::kIdle);
+}
+
+/// Canonical signature of the graph reachable from `roots`: values in
+/// DFS order with back-references by discovery index, so two heaps with
+/// different addresses compare structurally.
+std::string reachable_signature(const RootRange& roots, std::size_t count) {
+  std::unordered_map<Obj, int> seen;
+  std::string sig;
+  std::vector<Obj> stack;
+  for (std::size_t i = 0; i < count; ++i) {
+    sig += "|r" + std::to_string(i);
+    stack.push_back(roots.at(i));
+    while (!stack.empty()) {
+      Obj obj = stack.back();
+      stack.pop_back();
+      if (obj == nullptr) {
+        sig += ",_";
+        continue;
+      }
+      auto it = seen.find(obj);
+      if (it != seen.end()) {
+        sig += ",@" + std::to_string(it->second);
+        continue;
+      }
+      const int id = static_cast<int>(seen.size());
+      seen.emplace(obj, id);
+      sig += "," + std::to_string(get_field<std::int64_t>(obj, 0));
+      stack.push_back(get_ref_field(obj, 8));
+    }
+  }
+  return sig;
+}
+
+TEST(GcIncrementalTest, ExplicitStepsCompleteACycle) {
+  World w(gc_config(true));
+  GcRoot head(w.thread,
+              w.make_node(1, w.make_node(2, w.make_node(3, nullptr))));
+  w.make_node(100, nullptr);  // garbage
+  w.make_node(101, nullptr);
+
+  ASSERT_EQ(w.vm.heap().gc_phase(), GcPhase::kIdle);
+  w.vm.heap().incremental_step();
+  EXPECT_EQ(w.vm.heap().gc_phase(), GcPhase::kMarking);
+  w.vm.heap().verify_heap();  // mid-cycle heap is still walkable
+
+  drive_to_idle(w.vm.heap());
+  EXPECT_EQ(w.vm.heap().stats().collections, 1u);
+  EXPECT_EQ(w.vm.heap().stats().incremental_cycles, 1u);
+  EXPECT_GE(w.vm.heap().stats().mark_slices, 2u);
+
+  Obj n1 = head.get();
+  ASSERT_NE(n1, nullptr);
+  EXPECT_TRUE(w.vm.heap().in_elder(n1));
+  Obj n2 = get_ref_field(n1, 8);
+  Obj n3 = get_ref_field(n2, 8);
+  EXPECT_EQ(get_field<std::int64_t>(n1, 0), 1);
+  EXPECT_EQ(get_field<std::int64_t>(n2, 0), 2);
+  EXPECT_EQ(get_field<std::int64_t>(n3, 0), 3);
+  EXPECT_EQ(w.vm.heap().young_used(), 0u);
+  w.vm.heap().verify_heap();
+}
+
+TEST(GcIncrementalTest, WriteBarrierKeepsHiddenObjectAlive) {
+  World w(gc_config(true));
+  GcRoot holder(w.thread, w.make_node(42, nullptr));
+  w.vm.heap().collect();
+  ASSERT_TRUE(w.vm.heap().in_elder(holder.get()));
+
+  // Enough rooted work that the cycle needs several one-object slices.
+  GcRoot chain(w.thread, nullptr);
+  for (int i = 0; i < 16; ++i) chain.set(w.make_node(i, chain.get()));
+
+  w.vm.heap().incremental_step();  // begin: holder is shaded as a root
+  ASSERT_EQ(w.vm.heap().gc_phase(), GcPhase::kMarking);
+  // Trace until holder itself has been blackened (children scanned).
+  w.vm.heap().incremental_step();
+  w.vm.heap().incremental_step();
+
+  // Hide a new object behind the already-traced holder: only the write
+  // barrier can tell the collector about it.
+  Obj hidden = w.make_node(7, nullptr);
+  w.vm.heap().store_ref_field(holder.get(), 8, hidden);
+  hidden = nullptr;  // no root keeps it alive
+
+  drive_to_idle(w.vm.heap());
+  Obj survivor = get_ref_field(holder.get(), 8);
+  ASSERT_NE(survivor, nullptr);
+  EXPECT_EQ(get_field<std::int64_t>(survivor, 0), 7);
+  EXPECT_GE(w.vm.heap().stats().barrier_shades, 1u);
+  w.vm.heap().verify_heap();
+}
+
+TEST(GcIncrementalTest, RemsetRepointsElderHolderAfterRelocation) {
+  World w(gc_config(true));
+  World baseline(gc_config(false));
+  GcRoot holder(w.thread, w.make_node(1, nullptr));
+  w.vm.heap().collect();
+  ASSERT_TRUE(w.vm.heap().in_elder(holder.get()));
+
+  // Elder -> young store while the collector is idle must still be
+  // remembered: the next relocation's fixup only repoints remembered
+  // holders, not the whole live elder generation.
+  ASSERT_EQ(w.vm.heap().gc_phase(), GcPhase::kIdle);
+  Obj target = w.make_node(55, nullptr);
+  ASSERT_TRUE(w.vm.heap().in_young(target));
+  w.vm.heap().store_ref_field(holder.get(), 8, target);
+  EXPECT_GE(w.vm.heap().stats().remset_records, 1u);
+
+  w.vm.heap().collect();
+  Obj moved = get_ref_field(holder.get(), 8);
+  ASSERT_NE(moved, nullptr);
+  EXPECT_TRUE(w.vm.heap().in_elder(moved));
+  EXPECT_EQ(get_field<std::int64_t>(moved, 0), 55);
+  w.vm.heap().verify_heap();
+}
+
+TEST(GcIncrementalTest, YoungCyclesSkipElderYetForcedSweepReclaims) {
+  World w(gc_config(true));
+  GcRoot keep(w.thread, w.make_node(1, nullptr));
+  GcRoot doomed(w.thread, w.make_node(2, nullptr));
+  w.vm.heap().collect();
+  ASSERT_TRUE(w.vm.heap().in_elder(keep.get()));
+  ASSERT_TRUE(w.vm.heap().in_elder(doomed.get()));
+  doomed.set(nullptr);
+
+  // Unforced cycles off the sweep schedule are generational: they mark
+  // only the young generation and must not reclaim (or trace) elder.
+  const std::uint64_t young_before = w.vm.heap().stats().young_mark_cycles;
+  for (int cycle = 0; cycle < 2; ++cycle) {
+    w.vm.heap().incremental_step();
+    drive_to_idle(w.vm.heap());
+  }
+  EXPECT_GE(w.vm.heap().stats().young_mark_cycles, young_before + 2);
+  EXPECT_EQ(w.vm.heap().stats().elder_freed_objects, 0u);
+
+  // A forced sweep upgrades the schedule to a full cycle: the unrooted
+  // elder node goes, the rooted one stays.
+  w.vm.heap().collect(/*force_elder_sweep=*/true);
+  EXPECT_GE(w.vm.heap().stats().elder_freed_objects, 1u);
+  ASSERT_NE(keep.get(), nullptr);
+  EXPECT_EQ(get_field<std::int64_t>(keep.get(), 0), 1);
+  w.vm.heap().verify_heap();
+}
+
+TEST(GcIncrementalTest, RemsetRootsYoungMarkingInGenerationalCycles) {
+  World w(gc_config(true));
+  GcRoot holder(w.thread, w.make_node(1, nullptr));
+  w.vm.heap().collect();
+  ASSERT_TRUE(w.vm.heap().in_elder(holder.get()));
+
+  // Young node reachable ONLY through the elder holder: in a
+  // generational cycle the elder graph is never traced, so survival
+  // depends on the remembered set seeding the young mark.
+  w.vm.heap().store_ref_field(holder.get(), 8, w.make_node(9, nullptr));
+  GcRoot chain(w.thread, nullptr);
+  for (int i = 0; i < 8; ++i) chain.set(w.make_node(i, chain.get()));
+
+  w.vm.heap().incremental_step();
+  ASSERT_EQ(w.vm.heap().gc_phase(), GcPhase::kMarking);
+  drive_to_idle(w.vm.heap());
+
+  EXPECT_GE(w.vm.heap().stats().young_mark_cycles, 2u);
+  Obj survivor = get_ref_field(holder.get(), 8);
+  ASSERT_NE(survivor, nullptr);
+  EXPECT_TRUE(w.vm.heap().in_elder(survivor));
+  EXPECT_EQ(get_field<std::int64_t>(survivor, 0), 9);
+  w.vm.heap().verify_heap();
+}
+
+TEST(GcIncrementalTest, ConditionalPinHoldsAcrossMarkSlices) {
+  World w(gc_config(true));
+  GcRoot obj(w.thread, w.make_node(77, nullptr));
+  auto req = std::make_shared<mpi::RequestState>();
+  w.vm.heap().add_conditional_pin(obj.get(), req);
+  const void* addr = obj.get();
+
+  GcRoot chain(w.thread, nullptr);
+  for (int i = 0; i < 16; ++i) chain.set(w.make_node(i, chain.get()));
+
+  w.vm.heap().incremental_step();
+  ASSERT_EQ(w.vm.heap().gc_phase(), GcPhase::kMarking);
+  w.vm.heap().incremental_step();  // a slice boundary re-resolves the pin
+  drive_to_idle(w.vm.heap());
+
+  // Held through begin, every slice, and relocation: never moved, now
+  // promoted in place (its region was donated around the pin).
+  EXPECT_EQ(static_cast<const void*>(obj.get()), addr);
+  EXPECT_TRUE(w.vm.heap().in_elder(obj.get()));
+  EXPECT_EQ(get_field<std::int64_t>(obj.get(), 0), 77);
+  EXPECT_GE(w.vm.heap().stats().conditional_checked, 3u);
+  EXPECT_EQ(w.vm.heap().stats().conditional_dropped, 0u);
+  EXPECT_EQ(w.vm.heap().conditional_pin_count(), 1u);
+
+  req->mark_complete();
+  w.vm.heap().collect();
+  EXPECT_EQ(w.vm.heap().conditional_pin_count(), 0u);
+  EXPECT_GE(w.vm.heap().stats().conditional_dropped, 1u);
+  // Already elder, so dropping the pin does not move it.
+  EXPECT_EQ(get_field<std::int64_t>(obj.get(), 0), 77);
+  w.vm.heap().verify_heap();
+}
+
+TEST(GcIncrementalTest, PinDensityPromotesDenseRegionWholesale) {
+  World w(gc_config(true));
+  // Fill most of the nursery with rooted nodes and pin every one: each
+  // fully occupied region is pinned and fully live, so relocation
+  // promotes those regions wholesale in place instead of copying around
+  // the pins.
+  RootRange keep(w.thread);
+  std::vector<const void*> addrs;
+  std::int64_t i = 0;
+  while (w.vm.heap().young_used() < 40 * 1024) {
+    Obj n = w.make_node(i++, nullptr);
+    keep.add(n);
+    w.vm.heap().pin(n);
+    addrs.push_back(n);
+  }
+  w.vm.heap().collect();
+  EXPECT_GE(w.vm.heap().stats().regions_promoted_wholesale, 2u);
+  EXPECT_GE(w.vm.heap().stats().wholesale_promoted_objects, keep.size() / 2);
+  EXPECT_GE(w.vm.heap().donated_region_count(), 1u);
+  for (std::size_t i = 0; i < keep.size(); ++i) {
+    EXPECT_EQ(static_cast<const void*>(keep.at(i)), addrs[i]);
+    EXPECT_TRUE(w.vm.heap().in_elder(keep.at(i)));
+    EXPECT_EQ(get_field<std::int64_t>(keep.at(i), 0),
+              static_cast<std::int64_t>(i));
+  }
+  for (std::size_t i = 0; i < keep.size(); ++i) w.vm.heap().unpin(keep.at(i));
+  w.vm.heap().verify_heap();
+}
+
+TEST(GcIncrementalTest, SparseRegionDonatesAroundPinAndIsRecycled) {
+  World w(gc_config(true));
+  GcRoot pinned(w.thread, w.make_node(9, nullptr));
+  w.vm.heap().pin(pinned.get());
+  const void* addr = pinned.get();
+  // Mostly-garbage neighbourhood: the pinned region is sparse, so its
+  // unpinned survivors evacuate and the region is donated around the pin.
+  for (int i = 0; i < 64; ++i) w.make_node(i, nullptr);
+
+  w.vm.heap().collect();
+  EXPECT_GE(w.vm.heap().stats().regions_donated_sparse, 1u);
+  EXPECT_GE(w.vm.heap().donated_region_count(), 1u);
+  EXPECT_EQ(static_cast<const void*>(pinned.get()), addr);
+  EXPECT_TRUE(w.vm.heap().in_elder(pinned.get()));
+  EXPECT_GE(w.vm.heap().stats().dead_young_objects, 32u);
+
+  // Donated regions return to the young free pool once the last resident
+  // dies: unpin, unroot, collect with an elder sweep.
+  w.vm.heap().unpin(pinned.get());
+  pinned.set(nullptr);
+  w.vm.heap().collect(/*force_elder_sweep=*/true);
+  drive_to_idle(w.vm.heap());
+  EXPECT_EQ(w.vm.heap().donated_region_count(), 0u);
+  w.vm.heap().verify_heap();
+}
+
+TEST(GcIncrementalTest, PinStructuresMaintainedIncrementally) {
+  World w(gc_config(true));
+  Prng prng(0xF00Du);
+  RootRange keep(w.thread);
+  for (int i = 0; i < 24; ++i) keep.add(w.make_node(i, nullptr));
+
+  std::unordered_map<Obj, int> expected;
+  for (int round = 0; round < 200; ++round) {
+    Obj obj = keep.at(prng.next_below(keep.size()));
+    if (prng.next_bool(0.55)) {
+      w.vm.heap().pin(obj);
+      ++expected[obj];
+    } else if (expected[obj] > 0) {
+      w.vm.heap().unpin(obj);
+      if (--expected[obj] == 0) expected.erase(obj);
+    }
+    if (round % 50 == 49) {
+      w.vm.heap().collect();
+      // verify_heap asserts the pin_set_ mirror and per-region pin
+      // counts against the authoritative table.
+      w.vm.heap().verify_heap();
+    }
+  }
+  std::size_t distinct = 0;
+  for (const auto& [obj, n] : expected) distinct += (n > 0) ? 1 : 0;
+  EXPECT_EQ(w.vm.heap().pin_table_size(), distinct);
+  for (const auto& [obj, n] : expected) {
+    for (int i = 0; i < n; ++i) w.vm.heap().unpin(obj);
+  }
+  EXPECT_EQ(w.vm.heap().pin_table_size(), 0u);
+  w.vm.heap().verify_heap();
+}
+
+TEST(GcIncrementalTest, AllocationPacingCollectsAndRecordsPauses) {
+  World w(gc_config(true));
+  // Pure allocation churn: pacing must start cycles, slice the marking,
+  // and finish relocations without any explicit collect() call.
+  GcRoot ring(w.thread, nullptr);
+  for (int i = 0; i < 4000; ++i) {
+    ring.set(w.make_node(i, i % 7 == 0 ? nullptr : ring.get()));
+  }
+  const GcStats& s = w.vm.heap().stats();
+  EXPECT_GE(s.collections, 1u);
+  EXPECT_GE(s.incremental_cycles, 1u);
+  EXPECT_GE(s.mark_slices, 1u);
+  EXPECT_GE(s.pause_hist.samples, s.mark_slices);
+  EXPECT_LE(s.pause_hist.quantile_ns(0.5), s.pause_hist.quantile_ns(0.99));
+  EXPECT_LE(s.pause_hist.quantile_ns(0.99), s.pause_hist.max_ns);
+  EXPECT_EQ(s.pause_hist.quantile_ns(1.0), s.pause_hist.max_ns);
+  EXPECT_LE(s.pause_hist.max_ns, s.pause_hist.total_ns);
+  EXPECT_GT(s.mark_ns + s.relocate_ns, 0u);
+  w.vm.heap().verify_heap();
+}
+
+/// The tentpole property: an identical seeded workload leaves the same
+/// reachable set (structure and values) whether collections ran
+/// incrementally or stop-the-world.
+TEST(GcIncrementalTest, SeededWorkloadMatchesStopTheWorldReachableSet) {
+  for (std::uint64_t seed : {1u, 42u, 0xBEEFu}) {
+    World inc(gc_config(true));
+    World stw(gc_config(false));
+    constexpr std::size_t kSlots = 24;
+    RootRange inc_roots(inc.thread);
+    RootRange stw_roots(stw.thread);
+    for (std::size_t i = 0; i < kSlots; ++i) {
+      inc_roots.add(nullptr);
+      stw_roots.add(nullptr);
+    }
+
+    // One PRNG per world, same seed: both see the identical op stream.
+    Prng p1(seed), p2(seed);
+    auto step = [&](World& w, RootRange& roots, Prng& prng) {
+      const std::size_t slot = prng.next_below(kSlots);
+      const double dice = prng.next_double();
+      const auto value = static_cast<std::int64_t>(prng.next_u64() % 1000);
+      if (dice < 0.55) {  // new node chained onto a random root
+        roots[slot] = w.make_node(value, roots.at(prng.next_below(kSlots)));
+      } else if (dice < 0.8) {  // mutate an existing edge (barriered)
+        Obj holder = roots.at(slot);
+        if (holder != nullptr) {
+          w.vm.heap().store_ref_field(holder, 8,
+                                      roots.at(prng.next_below(kSlots)));
+        }
+      } else if (dice < 0.9) {  // drop a root
+        roots[slot] = nullptr;
+      } else if (w.vm.heap().incremental_enabled()) {
+        w.vm.heap().incremental_step();  // extra slice, inc world only
+      }
+    };
+
+    for (int op = 0; op < 3000; ++op) {
+      step(inc, inc_roots, p1);
+      step(stw, stw_roots, p2);
+    }
+    // Quiesce both: finish any in-flight cycle, sweep, and compare.
+    inc.vm.heap().collect(/*force_elder_sweep=*/true);
+    stw.vm.heap().collect(/*force_elder_sweep=*/true);
+    inc.vm.heap().verify_heap();
+    stw.vm.heap().verify_heap();
+    EXPECT_EQ(reachable_signature(inc_roots, kSlots),
+              reachable_signature(stw_roots, kSlots))
+        << "seed " << seed;
+  }
+}
+
+}  // namespace
+}  // namespace motor::vm
